@@ -1,0 +1,305 @@
+//! Tokenizer for the assess statement syntax.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Bare identifier or keyword (keywords are resolved by the parser,
+    /// case-insensitively).
+    Ident(String),
+    /// `'quoted string'` (single quotes; `''` escapes a quote).
+    Str(String),
+    /// Numeric literal (unsigned; the parser applies unary minus).
+    Number(f64),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Colon,
+    Dot,
+    Eq,
+    Star,
+    Minus,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Number(v) => write!(f, "{v}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Comma => write!(f, ","),
+            Token::Colon => write!(f, ":"),
+            Token::Dot => write!(f, "."),
+            Token::Eq => write!(f, "="),
+            Token::Star => write!(f, "*"),
+            Token::Minus => write!(f, "-"),
+        }
+    }
+}
+
+/// A lexical error with its byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes a statement.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '{' => {
+                tokens.push(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Token::RBrace);
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token::RBracket);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            ':' => {
+                tokens.push(Token::Colon);
+                i += 1;
+            }
+            '.' if i + 1 >= bytes.len() || !(bytes[i + 1] as char).is_ascii_digit() => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(LexError {
+                            offset: start,
+                            message: "unterminated string literal".into(),
+                        });
+                    }
+                    if bytes[i] == b'\'' {
+                        // '' escapes a quote.
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                            continue;
+                        }
+                        i += 1;
+                        break;
+                    }
+                    // Strings may hold arbitrary UTF-8; walk char-wise.
+                    let ch = input[i..].chars().next().expect("in-bounds char");
+                    s.push(ch);
+                    i += ch.len_utf8();
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                let mut saw_dot = false;
+                let mut saw_exp = false;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_digit() {
+                        i += 1;
+                    } else if d == '.' && !saw_dot && !saw_exp {
+                        saw_dot = true;
+                        i += 1;
+                    } else if (d == 'e' || d == 'E')
+                        && !saw_exp
+                        && i + 1 < bytes.len()
+                        && ((bytes[i + 1] as char).is_ascii_digit()
+                            || bytes[i + 1] == b'+'
+                            || bytes[i + 1] == b'-')
+                    {
+                        saw_exp = true;
+                        i += 2;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[start..i];
+                let v: f64 = text.parse().map_err(|_| LexError {
+                    offset: start,
+                    message: format!("malformed number `{text}`"),
+                })?;
+                tokens.push(Token::Number(v));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_alphanumeric() || d == '_' || d == '#' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(LexError { offset: i, message: format!("unexpected character `{other}`") })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_full_statement() {
+        let toks = tokenize("with SALES by month assess* storeSales against past 4").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("with".into()),
+                Token::Ident("SALES".into()),
+                Token::Ident("by".into()),
+                Token::Ident("month".into()),
+                Token::Ident("assess".into()),
+                Token::Star,
+                Token::Ident("storeSales".into()),
+                Token::Ident("against".into()),
+                Token::Ident("past".into()),
+                Token::Number(4.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes_and_unicode() {
+        let toks = tokenize("'Fresh Fruit' 'O''Brien' '北京'").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Str("Fresh Fruit".into()),
+                Token::Str("O'Brien".into()),
+                Token::Str("北京".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_in_all_shapes() {
+        let toks = tokenize("0 0.9 1.1 1e3 2.5E-2 .5").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Number(0.0),
+                Token::Number(0.9),
+                Token::Number(1.1),
+                Token::Number(1000.0),
+                Token::Number(0.025),
+                Token::Number(0.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn range_punctuation() {
+        let toks = tokenize("{[0, 0.9): bad}").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::LBrace,
+                Token::LBracket,
+                Token::Number(0.0),
+                Token::Comma,
+                Token::Number(0.9),
+                Token::RParen,
+                Token::Colon,
+                Token::Ident("bad".into()),
+                Token::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_vs_decimal() {
+        let toks = tokenize("benchmark.quantity B.m 1.5").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("benchmark".into()),
+                Token::Dot,
+                Token::Ident("quantity".into()),
+                Token::Ident("B".into()),
+                Token::Dot,
+                Token::Ident("m".into()),
+                Token::Number(1.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = tokenize("with 'oops").unwrap_err();
+        assert_eq!(err.offset, 5);
+        let err = tokenize("x @ y").unwrap_err();
+        assert!(err.message.contains('@'));
+    }
+
+    #[test]
+    fn ssb_member_names_lex_as_idents() {
+        // MFGR#1101 and m5 appear in member names; # is part of identifiers.
+        let toks = tokenize("MFGR#1101").unwrap();
+        assert_eq!(toks, vec![Token::Ident("MFGR#1101".into())]);
+    }
+}

@@ -1,0 +1,23 @@
+//! # assess-sql
+//!
+//! Lexer and recursive-descent parser for the SQL-like assess statement
+//! syntax of Section 4.1:
+//!
+//! ```text
+//! with SALES
+//! for type = 'Fresh Fruit', country = 'Italy'
+//! by product, country
+//! assess quantity against country = 'France'
+//! using percOfTotal(difference(quantity, benchmark.quantity))
+//! labels {[-inf, -0.2): bad, [-0.2, 0.2]: ok, (0.2, inf]: good}
+//! ```
+//!
+//! Parsing produces an [`assess_core::AssessStatement`]; statements render
+//! back to text via that type's `Display`, and `parse(render(s)) == s`
+//! round-trips (tested, including property tests).
+
+pub mod lexer;
+pub mod parser;
+
+pub use lexer::{tokenize, LexError, Token};
+pub use parser::{parse, ParseError};

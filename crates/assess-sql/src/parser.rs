@@ -1,0 +1,522 @@
+//! Recursive-descent parser for assess statements.
+
+use std::fmt;
+
+use assess_core::ast::{
+    AssessStatement, BenchmarkSpec, Bound, FuncExpr, LabelingSpec, PredicateSpec, RangeRule,
+};
+
+use crate::lexer::{tokenize, LexError, Token};
+
+/// A parse error with the offending position (token index) and message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub position: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at token {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { position: 0, message: e.to_string() }
+    }
+}
+
+/// Parses a complete assess statement.
+pub fn parse(input: &str) -> Result<AssessStatement, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err(format!("trailing input starting with `{}`", p.tokens[p.pos])));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { position: self.pos, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consumes a keyword (case-insensitive identifier).
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            Some(t) => Err(ParseError {
+                position: self.pos - 1,
+                message: format!("expected keyword `{kw}`, found `{t}`"),
+            }),
+            None => Err(self.err(format!("expected keyword `{kw}`, found end of input"))),
+        }
+    }
+
+    /// Whether the next token is the given keyword (without consuming).
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            Some(t) => Err(ParseError {
+                position: self.pos - 1,
+                message: format!("expected {what}, found `{t}`"),
+            }),
+            None => Err(self.err(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Str(s)) => Ok(s),
+            Some(t) => Err(ParseError {
+                position: self.pos - 1,
+                message: format!("expected {what} (a quoted string), found `{t}`"),
+            }),
+            None => Err(self.err(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn expect(&mut self, token: Token) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if t == token => Ok(()),
+            Some(t) => Err(ParseError {
+                position: self.pos - 1,
+                message: format!("expected `{token}`, found `{t}`"),
+            }),
+            None => Err(self.err(format!("expected `{token}`, found end of input"))),
+        }
+    }
+
+    fn eat(&mut self, token: &Token) -> bool {
+        if self.peek() == Some(token) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A (possibly negated) numeric value; `inf`/`-inf` allowed when
+    /// `allow_inf`.
+    fn number(&mut self, allow_inf: bool) -> Result<f64, ParseError> {
+        let negative = self.eat(&Token::Minus);
+        let v = match self.next() {
+            Some(Token::Number(v)) => v,
+            Some(Token::Ident(s)) if allow_inf && s.eq_ignore_ascii_case("inf") => f64::INFINITY,
+            Some(t) => {
+                return Err(ParseError {
+                    position: self.pos - 1,
+                    message: format!("expected a number, found `{t}`"),
+                })
+            }
+            None => return Err(self.err("expected a number, found end of input")),
+        };
+        Ok(if negative { -v } else { v })
+    }
+
+    fn statement(&mut self) -> Result<AssessStatement, ParseError> {
+        self.keyword("with")?;
+        let cube = self.ident("a cube name")?;
+
+        let mut for_preds = Vec::new();
+        if self.at_keyword("for") {
+            self.pos += 1;
+            loop {
+                for_preds.push(self.predicate()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+
+        self.keyword("by")?;
+        let mut by = vec![self.ident("a group-by level")?];
+        while self.eat(&Token::Comma) {
+            by.push(self.ident("a group-by level")?);
+        }
+
+        self.keyword("assess")?;
+        let starred = self.eat(&Token::Star);
+        let measure = self.ident("a measure name")?;
+
+        let mut against = None;
+        if self.at_keyword("against") {
+            self.pos += 1;
+            against = Some(self.benchmark()?);
+        }
+
+        let mut using = None;
+        if self.at_keyword("using") {
+            self.pos += 1;
+            using = Some(self.func_expr()?);
+        }
+
+        self.keyword("labels")?;
+        let labels = self.labeling()?;
+
+        Ok(AssessStatement { cube, for_preds, by, measure, starred, against, using, labels })
+    }
+
+    fn predicate(&mut self) -> Result<PredicateSpec, ParseError> {
+        let level = self.ident("a level name")?;
+        if self.at_keyword("in") {
+            self.pos += 1;
+            self.expect(Token::LParen)?;
+            let mut members = vec![self.string("a member")?];
+            while self.eat(&Token::Comma) {
+                members.push(self.string("a member")?);
+            }
+            self.expect(Token::RParen)?;
+            Ok(PredicateSpec { level, members })
+        } else {
+            self.expect(Token::Eq)?;
+            let member = self.string("a member")?;
+            Ok(PredicateSpec::eq(level, member))
+        }
+    }
+
+    fn benchmark(&mut self) -> Result<BenchmarkSpec, ParseError> {
+        match self.peek() {
+            Some(Token::Number(_)) | Some(Token::Minus) => {
+                Ok(BenchmarkSpec::Constant(self.number(false)?))
+            }
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("past") => {
+                self.pos += 1;
+                let k = self.number(false)?;
+                if k < 1.0 || k.fract() != 0.0 {
+                    return Err(self.err(format!("`against past {k}` needs a positive integer")));
+                }
+                Ok(BenchmarkSpec::Past(k as u32))
+            }
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("ancestor") => {
+                self.pos += 1;
+                let level = self.ident("an ancestor level name")?;
+                Ok(BenchmarkSpec::Ancestor { level })
+            }
+            Some(Token::Ident(_)) => {
+                let name = self.ident("a level or cube name")?;
+                if self.eat(&Token::Dot) {
+                    let measure = self.ident("a measure name")?;
+                    Ok(BenchmarkSpec::External { cube: name, measure })
+                } else {
+                    self.expect(Token::Eq)?;
+                    let member = self.string("a member")?;
+                    Ok(BenchmarkSpec::Sibling { level: name, member })
+                }
+            }
+            Some(t) => Err(self.err(format!("expected a benchmark specification, found `{t}`"))),
+            None => Err(self.err("expected a benchmark specification, found end of input")),
+        }
+    }
+
+    fn func_expr(&mut self) -> Result<FuncExpr, ParseError> {
+        match self.peek() {
+            Some(Token::Number(_)) | Some(Token::Minus) => {
+                Ok(FuncExpr::Number(self.number(true)?))
+            }
+            Some(Token::Ident(_)) => {
+                let name = self.ident("a function or measure name")?;
+                if name.eq_ignore_ascii_case("benchmark") && self.eat(&Token::Dot) {
+                    let measure = self.ident("a measure name")?;
+                    return Ok(FuncExpr::BenchmarkMeasure(measure));
+                }
+                if name.eq_ignore_ascii_case("property")
+                    && self.peek() == Some(&Token::LParen)
+                {
+                    self.pos += 1;
+                    let level = self.ident("a level name")?;
+                    self.expect(Token::Comma)?;
+                    let prop = self.string("a property name")?;
+                    self.expect(Token::RParen)?;
+                    return Ok(FuncExpr::Property { level, name: prop });
+                }
+                if self.eat(&Token::LParen) {
+                    let mut args = vec![self.func_expr()?];
+                    while self.eat(&Token::Comma) {
+                        args.push(self.func_expr()?);
+                    }
+                    self.expect(Token::RParen)?;
+                    Ok(FuncExpr::Call { name, args })
+                } else {
+                    Ok(FuncExpr::Measure(name))
+                }
+            }
+            Some(t) => Err(self.err(format!("expected an expression, found `{t}`"))),
+            None => Err(self.err("expected an expression, found end of input")),
+        }
+    }
+
+    fn labeling(&mut self) -> Result<LabelingSpec, ParseError> {
+        if self.eat(&Token::LBrace) {
+            let mut rules = vec![self.range_rule()?];
+            while self.eat(&Token::Comma) {
+                rules.push(self.range_rule()?);
+            }
+            self.expect(Token::RBrace)?;
+            Ok(LabelingSpec::Ranges(rules))
+        } else {
+            Ok(LabelingSpec::Named(self.ident("a labeling name")?))
+        }
+    }
+
+    fn range_rule(&mut self) -> Result<RangeRule, ParseError> {
+        let lo_inclusive = if self.eat(&Token::LBracket) {
+            true
+        } else if self.eat(&Token::LParen) {
+            false
+        } else {
+            return Err(self.err("expected `[` or `(` to open a range"));
+        };
+        let lo = self.number(true)?;
+        self.expect(Token::Comma)?;
+        let hi = self.number(true)?;
+        let hi_inclusive = if self.eat(&Token::RBracket) {
+            true
+        } else if self.eat(&Token::RParen) {
+            false
+        } else {
+            return Err(self.err("expected `]` or `)` to close a range"));
+        };
+        self.expect(Token::Colon)?;
+        let label = match self.next() {
+            Some(Token::Ident(s)) => s,
+            Some(Token::Str(s)) => s,
+            Some(t) => {
+                return Err(ParseError {
+                    position: self.pos - 1,
+                    message: format!("expected a label, found `{t}`"),
+                })
+            }
+            None => return Err(self.err("expected a label, found end of input")),
+        };
+        Ok(RangeRule {
+            lo: Bound { value: lo, inclusive: lo_inclusive },
+            hi: Bound { value: hi, inclusive: hi_inclusive },
+            label,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_example_1_1() {
+        let stmt = parse(
+            "with SALES\n\
+             for year = '2019', product = 'milk'\n\
+             by year, product\n\
+             assess quantity against 1000\n\
+             using ratio(quantity, 1000)\n\
+             labels {[0, 0.9): bad, [0.9, 1.1]: acceptable, (1.1, inf]: good}",
+        )
+        .unwrap();
+        assert_eq!(stmt.cube, "SALES");
+        assert_eq!(stmt.for_preds.len(), 2);
+        assert_eq!(stmt.by, vec!["year", "product"]);
+        assert_eq!(stmt.measure, "quantity");
+        assert!(!stmt.starred);
+        assert_eq!(stmt.against, Some(BenchmarkSpec::Constant(1000.0)));
+        match &stmt.labels {
+            LabelingSpec::Ranges(rules) => {
+                assert_eq!(rules.len(), 3);
+                assert_eq!(rules[0].label, "bad");
+                assert!(!rules[0].hi.inclusive);
+                assert_eq!(rules[2].hi.value, f64::INFINITY);
+            }
+            other => panic!("expected ranges, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_the_sibling_statement() {
+        let stmt = parse(
+            "with SALES \
+             for type = 'Fresh Fruit', country = 'Italy' \
+             by product, country \
+             assess quantity against country = 'France' \
+             using percOfTotal(difference(quantity, benchmark.quantity)) \
+             labels {[-inf, -0.2): bad, [-0.2, 0.2]: ok, (0.2, inf]: good}",
+        )
+        .unwrap();
+        assert_eq!(
+            stmt.against,
+            Some(BenchmarkSpec::Sibling { level: "country".into(), member: "France".into() })
+        );
+        match &stmt.using {
+            Some(FuncExpr::Call { name, args }) => {
+                assert_eq!(name, "percOfTotal");
+                match &args[0] {
+                    FuncExpr::Call { name, args } => {
+                        assert_eq!(name, "difference");
+                        assert_eq!(args[1], FuncExpr::BenchmarkMeasure("quantity".into()));
+                    }
+                    other => panic!("unexpected arg {other:?}"),
+                }
+            }
+            other => panic!("unexpected using {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_past_and_starred() {
+        let stmt = parse(
+            "with SALES for month = '1997-07', store = 'SmartMart' by month, store \
+             assess* storeSales against past 4 \
+             using ratio(storeSales, benchmark.storeSales) \
+             labels {[0, 0.9): worse, [0.9, 1.1]: fine, (1.1, inf]: better}",
+        )
+        .unwrap();
+        assert!(stmt.starred);
+        assert_eq!(stmt.against, Some(BenchmarkSpec::Past(4)));
+    }
+
+    #[test]
+    fn parses_external_and_named_labels() {
+        let stmt = parse(
+            "with SSB by customer, year assess revenue \
+             against SSB_EXPECTED.expected_revenue labels quintiles",
+        )
+        .unwrap();
+        assert_eq!(
+            stmt.against,
+            Some(BenchmarkSpec::External {
+                cube: "SSB_EXPECTED".into(),
+                measure: "expected_revenue".into()
+            })
+        );
+        assert_eq!(stmt.labels, LabelingSpec::Named("quintiles".into()));
+    }
+
+    #[test]
+    fn parses_minimal_statement_and_in_predicates() {
+        let stmt = parse(
+            "with SALES for month in ('m0', 'm1') by month assess storeSales labels quartiles",
+        )
+        .unwrap();
+        assert_eq!(stmt.against, None);
+        assert_eq!(stmt.using, None);
+        assert_eq!(stmt.for_preds[0].members, vec!["m0", "m1"]);
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let stmt =
+            parse("WITH SALES BY month ASSESS storeSales AGAINST 10 LABELS quartiles").unwrap();
+        assert_eq!(stmt.against, Some(BenchmarkSpec::Constant(10.0)));
+    }
+
+    #[test]
+    fn negative_constants_and_bounds() {
+        let stmt = parse(
+            "with S by l assess m against -5 using difference(m, -5) \
+             labels {[-inf, -1): low, [-1, inf]: high}",
+        )
+        .unwrap();
+        assert_eq!(stmt.against, Some(BenchmarkSpec::Constant(-5.0)));
+        match &stmt.using {
+            Some(FuncExpr::Call { args, .. }) => assert_eq!(args[1], FuncExpr::Number(-5.0)),
+            other => panic!("unexpected using {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quoted_labels_allow_stars() {
+        let stmt = parse(
+            "with S by l assess m labels {[0, 0.5]: '*', (0.5, 1]: '*****'}",
+        )
+        .unwrap();
+        match &stmt.labels {
+            LabelingSpec::Ranges(rules) => assert_eq!(rules[1].label, "*****"),
+            other => panic!("unexpected labels {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_messages_point_at_the_problem() {
+        let err = parse("with SALES by month assess").unwrap_err();
+        assert!(err.message.contains("measure"));
+        let err = parse("with SALES by month assess m against labels q").unwrap_err();
+        assert!(err.message.contains("benchmark") || err.message.contains("expected"));
+        let err = parse("with SALES by month assess m labels {0, 1]: x}").unwrap_err();
+        assert!(err.message.contains('['));
+        let err = parse("with SALES by month assess m labels quartiles extra").unwrap_err();
+        assert!(err.message.contains("trailing"));
+        let err = parse("with SALES by month assess m against past 0 labels q").unwrap_err();
+        assert!(err.message.contains("positive integer"));
+    }
+
+    #[test]
+    fn parses_ancestor_and_property_extensions() {
+        let stmt = parse(
+            "with SSB by c_nation assess revenue against ancestor c_region \
+             using ratio(revenue, property(c_nation, 'population')) \
+             labels quartiles",
+        )
+        .unwrap();
+        assert_eq!(
+            stmt.against,
+            Some(BenchmarkSpec::Ancestor { level: "c_region".into() })
+        );
+        match &stmt.using {
+            Some(FuncExpr::Call { args, .. }) => {
+                assert_eq!(
+                    args[1],
+                    FuncExpr::Property { level: "c_nation".into(), name: "population".into() }
+                );
+            }
+            other => panic!("unexpected using {other:?}"),
+        }
+        // Round-trip.
+        assert_eq!(parse(&stmt.to_string()).unwrap(), stmt);
+    }
+
+    #[test]
+    fn round_trips_through_display() {
+        let sources = [
+            "with SALES\nby month\nassess storeSales\nlabels quartiles",
+            "with SALES\nfor type = 'Fresh Fruit', country = 'Italy'\nby product, country\n\
+             assess quantity against country = 'France'\n\
+             using percOfTotal(difference(quantity, benchmark.quantity))\n\
+             labels {[-inf, -0.2): bad, [-0.2, 0.2]: ok, (0.2, inf]: good}",
+            "with SALES\nfor month = '1997-07', store = 'SmartMart'\nby month, store\n\
+             assess* storeSales against past 4\n\
+             using ratio(storeSales, benchmark.storeSales)\n\
+             labels {[0, 0.9): worse, [0.9, 1.1]: fine, (1.1, inf]: better}",
+            "with SSB\nby customer, year\nassess revenue against SSB_EXPECTED.expected_revenue\n\
+             labels quintiles",
+        ];
+        for src in sources {
+            let stmt = parse(src).unwrap();
+            let rendered = stmt.to_string();
+            assert_eq!(rendered, src, "statement must render back to its source");
+            assert_eq!(parse(&rendered).unwrap(), stmt, "round-trip must be stable");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests: every well-formed statement renders to text that parses
+//! back to the identical AST.
+
+use assess_core::ast::{
+    AssessStatement, BenchmarkSpec, Bound, FuncExpr, LabelingSpec, PredicateSpec, RangeRule,
+};
+use assess_sql::parse;
+use proptest::prelude::*;
+
+/// Identifiers that cannot collide with statement keywords.
+fn ident() -> impl Strategy<Value = String> {
+    "[a-zA-Z_][a-zA-Z0-9_]{0,10}".prop_filter("not a keyword", |s| {
+        !matches!(
+            s.to_ascii_lowercase().as_str(),
+            "with" | "for" | "by" | "assess" | "against" | "using" | "labels" | "in" | "past"
+                | "inf" | "benchmark"
+        )
+    })
+}
+
+/// Member names: printable, quotes allowed (escaping must round-trip).
+fn member() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 '#-]{1,12}"
+}
+
+/// Numbers that print losslessly.
+fn number() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        (-1_000_000i64..1_000_000).prop_map(|v| v as f64),
+        (-1_000_000i64..1_000_000).prop_map(|v| v as f64 / 100.0),
+    ]
+}
+
+fn func_expr(depth: u32) -> BoxedStrategy<FuncExpr> {
+    let leaf = prop_oneof![
+        ident().prop_map(FuncExpr::Measure),
+        ident().prop_map(FuncExpr::BenchmarkMeasure),
+        number().prop_map(FuncExpr::Number),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        prop_oneof![
+            leaf,
+            (ident(), proptest::collection::vec(func_expr(depth - 1), 1..3))
+                .prop_map(|(name, args)| FuncExpr::Call { name, args }),
+        ]
+        .boxed()
+    }
+}
+
+fn bound() -> impl Strategy<Value = Bound> {
+    (
+        prop_oneof![
+            number(),
+            Just(f64::INFINITY),
+            Just(f64::NEG_INFINITY),
+        ],
+        any::<bool>(),
+    )
+        .prop_map(|(value, inclusive)| Bound { value, inclusive })
+}
+
+fn labeling() -> impl Strategy<Value = LabelingSpec> {
+    prop_oneof![
+        ident().prop_map(LabelingSpec::Named),
+        proptest::collection::vec(
+            (bound(), bound(), ident()).prop_map(|(lo, hi, label)| RangeRule { lo, hi, label }),
+            1..4
+        )
+        .prop_map(LabelingSpec::Ranges),
+    ]
+}
+
+fn benchmark() -> impl Strategy<Value = BenchmarkSpec> {
+    prop_oneof![
+        number().prop_map(BenchmarkSpec::Constant),
+        (ident(), ident()).prop_map(|(cube, measure)| BenchmarkSpec::External { cube, measure }),
+        (ident(), member()).prop_map(|(level, member)| BenchmarkSpec::Sibling { level, member }),
+        (1u32..20).prop_map(BenchmarkSpec::Past),
+    ]
+}
+
+fn predicate() -> impl Strategy<Value = PredicateSpec> {
+    (ident(), proptest::collection::vec(member(), 1..4))
+        .prop_map(|(level, members)| PredicateSpec { level, members })
+}
+
+fn statement() -> impl Strategy<Value = AssessStatement> {
+    (
+        ident(),
+        proptest::collection::vec(predicate(), 0..3),
+        proptest::collection::vec(ident(), 1..4),
+        ident(),
+        any::<bool>(),
+        proptest::option::of(benchmark()),
+        proptest::option::of(func_expr(2)),
+        labeling(),
+    )
+        .prop_map(|(cube, for_preds, by, measure, starred, against, using, labels)| {
+            AssessStatement { cube, for_preds, by, measure, starred, against, using, labels }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn render_parse_round_trip(stmt in statement()) {
+        let rendered = stmt.to_string();
+        let parsed = parse(&rendered)
+            .unwrap_or_else(|e| panic!("failed to parse rendered statement:\n{rendered}\n{e}"));
+        prop_assert_eq!(parsed, stmt);
+    }
+
+    #[test]
+    fn rendering_is_stable(stmt in statement()) {
+        let once = stmt.to_string();
+        let twice = parse(&once).unwrap().to_string();
+        prop_assert_eq!(once, twice);
+    }
+}

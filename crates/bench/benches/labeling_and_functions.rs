@@ -1,0 +1,84 @@
+//! Ablations of the assessment method itself: labeling strategies (explicit
+//! ranges vs distribution-based) and cell vs holistic transform evaluation,
+//! on realistic result-cube sizes.
+
+use assess_core::ast::LabelingSpec;
+use assess_core::functions::Function;
+use assess_core::labeling::{self, ranges};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 100_000;
+
+fn values() -> Vec<Option<f64>> {
+    let mut rng = SmallRng::seed_from_u64(7);
+    (0..N)
+        .map(|_| if rng.gen::<f64>() < 0.02 { None } else { Some(rng.gen_range(-3.0..3.0)) })
+        .collect()
+}
+
+fn bench_labeling(c: &mut Criterion) {
+    let vals = values();
+    let range_labeling = labeling::resolve(&LabelingSpec::Ranges(ranges(&[
+        (f64::NEG_INFINITY, true, -1.0, false, "bad"),
+        (-1.0, true, 1.0, true, "ok"),
+        (1.0, false, f64::INFINITY, true, "good"),
+    ])))
+    .unwrap();
+    let quartiles = labeling::resolve(&LabelingSpec::Named("quartiles".into())).unwrap();
+    let stars = labeling::resolve(&LabelingSpec::Named("5stars".into())).unwrap();
+    let mut group = c.benchmark_group("labeling_100k");
+    group.bench_function("explicit_ranges", |b| {
+        b.iter(|| labeling::apply(&range_labeling, &vals).len())
+    });
+    group.bench_function("quartiles_equi_depth", |b| {
+        b.iter(|| labeling::apply(&quartiles, &vals).len())
+    });
+    group.bench_function("five_stars_equi_width", |b| {
+        b.iter(|| labeling::apply(&stars, &vals).len())
+    });
+    group.finish();
+}
+
+fn bench_functions(c: &mut Criterion) {
+    let a = values();
+    let b_col = values();
+    let mut group = c.benchmark_group("functions_100k");
+    group.bench_function("cell_difference", |bch| {
+        bch.iter_batched(
+            || (a.clone(), b_col.clone()),
+            |(a, b)| {
+                (0..a.len())
+                    .map(|i| Function::Difference.eval_cell(&[a[i], b[i]]))
+                    .filter(Option::is_some)
+                    .count()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("holistic_minmaxnorm", |bch| {
+        bch.iter(|| Function::MinMaxNorm.eval_holistic(&[&a]).len())
+    });
+    group.bench_function("holistic_zscore", |bch| {
+        bch.iter(|| Function::ZScore.eval_holistic(&[&a]).len())
+    });
+    group.bench_function("holistic_rank", |bch| {
+        bch.iter(|| Function::Rank.eval_holistic(&[&a]).len())
+    });
+    group.finish();
+}
+
+fn bench_regression(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(11);
+    let histories: Vec<Vec<Option<f64>>> = (0..N / 10)
+        .map(|_| (0..6).map(|_| Some(rng.gen_range(0.0..100.0))).collect())
+        .collect();
+    let forecaster = olap_timeseries::Forecaster::default();
+    c.bench_function("regression_forecast_10k_cells_k6", |b| {
+        b.iter(|| forecaster.predict_batch(&histories).len())
+    });
+}
+
+criterion_group!(benches, bench_labeling, bench_functions, bench_regression);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Parser throughput: the interactive-analysis setting assumes statements
+//! parse in negligible time compared to execution.
+
+use assess_bench::workloads;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_parse(c: &mut Criterion) {
+    let texts = workloads::intention_texts();
+    let mut group = c.benchmark_group("parse_statement");
+    for (name, text) in &texts {
+        group.bench_function(*name, |b| b.iter(|| assess_sql::parse(text).unwrap()));
+    }
+    group.finish();
+    let all: String = texts.iter().map(|(_, t)| t.as_str()).collect::<Vec<_>>().join("\n");
+    c.bench_function("tokenize_all_four", |b| {
+        b.iter(|| assess_sql::tokenize(&all).unwrap().len())
+    });
+}
+
+fn bench_render(c: &mut Criterion) {
+    let statements: Vec<_> =
+        workloads::intentions().into_iter().map(|i| i.statement).collect();
+    c.bench_function("render_all_four", |b| {
+        b.iter(|| statements.iter().map(|s| s.to_string().len()).sum::<usize>())
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_render);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! End-to-end plan ablations: each canonical intention under every feasible
+//! strategy, plus the rewrite machinery itself (P2/P3 application cost).
+
+use assess_bench::{setup, workloads};
+use assess_core::plan::{self, Strategy};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const SF: f64 = 0.01;
+
+fn bench_strategies(c: &mut Criterion) {
+    let env = setup(SF, true);
+    for intention in workloads::intentions() {
+        let resolved = env.runner.resolve(&intention.statement).unwrap();
+        let mut group = c.benchmark_group(format!("intention_{}", intention.name));
+        for strategy in Strategy::all() {
+            if !strategy.feasible_for(&resolved.benchmark) {
+                continue;
+            }
+            group.bench_function(strategy.acronym(), |b| {
+                b.iter(|| env.runner.execute(&resolved, strategy).unwrap().0.len())
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_planning(c: &mut Criterion) {
+    let env = setup(0.001, false);
+    let intentions = workloads::intentions();
+    let past = env.runner.resolve(&intentions[3].statement).unwrap();
+    let sibling = env.runner.resolve(&intentions[2].statement).unwrap();
+    let mut group = c.benchmark_group("planning");
+    group.bench_function("resolve_past", |b| {
+        b.iter(|| env.runner.resolve(&intentions[3].statement).unwrap())
+    });
+    group.bench_function("plan_past_pop_p2_p3", |b| {
+        b.iter(|| plan::plan(&past, Strategy::PivotOptimized).unwrap().root.size())
+    });
+    group.bench_function("plan_sibling_pop_p3", |b| {
+        b.iter(|| plan::plan(&sibling, Strategy::PivotOptimized).unwrap().root.size())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_planning);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! # assess-bench
+//!
+//! The experiment harness reproducing Section 6 of the paper. Each binary
+//! regenerates one table or figure:
+//!
+//! | target | paper artifact |
+//! |---|---|
+//! | `table1_formulation_effort` | Table 1 — formulation effort (chars) |
+//! | `table2_cardinalities`      | Table 2 — target cube cardinalities |
+//! | `table3_min_times`          | Table 3 — minimum execution times |
+//! | `figure3_plan_times`        | Figure 3 — NP/JOP/POP times per scale |
+//! | `figure4_breakdown`         | Figure 4 — Past intention breakdown |
+//! | `run_all`                   | everything above, writing JSON reports |
+//!
+//! The Criterion benches under `benches/` are ablations: join vs pivot,
+//! materialized views on/off, labeling strategies, function evaluation and
+//! parser throughput.
+
+pub mod report;
+pub mod runs;
+pub mod scales;
+pub mod workloads;
+
+pub use scales::{setup, ExperimentEnv, ScaleSpec};
+pub use workloads::{intentions, Intention};

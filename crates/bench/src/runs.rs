@@ -1,0 +1,129 @@
+//! Shared measurement loop for the timing experiments (Table 3, Figures
+//! 3 and 4).
+
+use assess_core::exec::StageTimings;
+use assess_core::plan::Strategy;
+use serde::Serialize;
+
+use crate::scales::{setup, ScaleSpec};
+use crate::workloads::intentions;
+
+/// Averaged measurements of one (intention, strategy, scale) cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct PlanTiming {
+    pub intention: String,
+    pub strategy: String,
+    pub sf: f64,
+    /// Mean end-to-end seconds over the repetitions.
+    pub seconds: f64,
+    /// Mean per-stage seconds, Figure 4 category order.
+    pub breakdown: Vec<(String, f64)>,
+    /// Result cardinality `|C|`.
+    pub cells: usize,
+    /// Rows scanned per execution.
+    pub rows_scanned: usize,
+}
+
+fn mean_breakdown(samples: &[StageTimings]) -> Vec<(String, f64)> {
+    let n = samples.len().max(1) as f64;
+    let mut acc: Vec<(String, f64)> = samples
+        .first()
+        .map(|t| t.as_rows().into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        .unwrap_or_default();
+    for t in samples.iter().skip(1) {
+        for ((_, slot), (_, v)) in acc.iter_mut().zip(t.as_rows()) {
+            *slot += v;
+        }
+    }
+    for (_, slot) in acc.iter_mut() {
+        *slot /= n;
+    }
+    acc
+}
+
+/// Runs every intention under every feasible strategy at every scale,
+/// `reps` times each (the paper runs five and averages; caching effects are
+/// absent here, repetitions just tighten the mean). `only` restricts to one
+/// intention family (e.g. Figure 4 measures only "Past").
+pub fn run_matrix(
+    scales: &[ScaleSpec],
+    reps: usize,
+    only: Option<&str>,
+    with_views: bool,
+) -> Vec<PlanTiming> {
+    let mut out = Vec::new();
+    for scale in scales {
+        eprintln!("[setup] generating {} …", scale.label());
+        let env = setup(scale.sf, with_views);
+        for intention in intentions() {
+            if only.is_some_and(|o| o != intention.name) {
+                continue;
+            }
+            let resolved =
+                env.runner.resolve(&intention.statement).expect("canonical statements resolve");
+            for strategy in Strategy::all() {
+                if !strategy.feasible_for(&resolved.benchmark) {
+                    continue;
+                }
+                let mut samples = Vec::with_capacity(reps);
+                let mut cells = 0;
+                let mut rows_scanned = 0;
+                for _ in 0..reps.max(1) {
+                    let (result, report) = env
+                        .runner
+                        .execute(&resolved, strategy)
+                        .expect("feasible strategies execute");
+                    cells = result.len();
+                    rows_scanned = report.rows_scanned;
+                    samples.push(report.timings);
+                }
+                let seconds =
+                    samples.iter().map(|t| t.total().as_secs_f64()).sum::<f64>() / samples.len() as f64;
+                eprintln!(
+                    "[run] {} {} at {}: {:.3}s ({} cells)",
+                    intention.name,
+                    strategy.acronym(),
+                    scale.label(),
+                    seconds,
+                    cells
+                );
+                out.push(PlanTiming {
+                    intention: intention.name.to_string(),
+                    strategy: strategy.acronym().to_string(),
+                    sf: scale.sf,
+                    seconds,
+                    breakdown: mean_breakdown(&samples),
+                    cells,
+                    rows_scanned,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_covers_the_feasibility_table() {
+        // Tiny scale: the point is coverage, not timing fidelity.
+        let rows = run_matrix(&[ScaleSpec { sf: 0.001 }], 1, None, true);
+        let combos: Vec<(String, String)> =
+            rows.iter().map(|r| (r.intention.clone(), r.strategy.clone())).collect();
+        // Constant: NP only; External: NP+JOP; Sibling/Past: all three.
+        assert_eq!(combos.len(), 1 + 2 + 3 + 3);
+        assert!(combos.contains(&("Constant".into(), "NP".into())));
+        assert!(!combos.contains(&("Constant".into(), "JOP".into())));
+        assert!(combos.contains(&("External".into(), "JOP".into())));
+        assert!(!combos.contains(&("External".into(), "POP".into())));
+        assert!(combos.contains(&("Sibling".into(), "POP".into())));
+        assert!(combos.contains(&("Past".into(), "POP".into())));
+        for row in &rows {
+            assert!(row.cells > 0, "{} {} produced no cells", row.intention, row.strategy);
+            assert!(row.seconds >= 0.0);
+            assert_eq!(row.breakdown.len(), 7);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! The four canonical intentions of the evaluation (Section 6).
+//!
+//! The paper evaluates one assess statement per benchmark type — Constant,
+//! External, Sibling, Past — over the SSB cube. The statements below mirror
+//! those types; they are written in the concrete syntax and parsed, so the
+//! formulation-effort experiment measures exactly what a user would type.
+
+use assess_core::ast::AssessStatement;
+
+/// One evaluation intention.
+#[derive(Debug, Clone)]
+pub struct Intention {
+    /// The paper's name for the intention family.
+    pub name: &'static str,
+    pub statement: AssessStatement,
+}
+
+/// Statement text of the four intentions, in the paper's order.
+pub fn intention_texts() -> Vec<(&'static str, String)> {
+    vec![
+        (
+            "Constant",
+            "with SSB\n\
+             by customer, year\n\
+             assess revenue against 1300000\n\
+             using ratio(revenue, 1300000)\n\
+             labels {[0, 0.5): low, [0.5, 1.5]: par, (1.5, inf]: high}"
+                .to_string(),
+        ),
+        (
+            "External",
+            "with SSB\n\
+             for c_region = 'ASIA'\n\
+             by customer, year\n\
+             assess revenue against SSB_EXPECTED.expected_revenue\n\
+             using ratio(revenue, benchmark.expected_revenue)\n\
+             labels {[0, 0.9): below, [0.9, 1.1]: expected, (1.1, inf]: above}"
+                .to_string(),
+        ),
+        (
+            "Sibling",
+            "with SSB\n\
+             for c_region = 'ASIA'\n\
+             by part, c_region\n\
+             assess revenue against c_region = 'AMERICA'\n\
+             using percOfTotal(difference(revenue, benchmark.revenue))\n\
+             labels quartiles"
+                .to_string(),
+        ),
+        (
+            "Past",
+            "with SSB\n\
+             for month = '1998-06'\n\
+             by supplier, month\n\
+             assess revenue against past 6\n\
+             using ratio(revenue, benchmark.revenue)\n\
+             labels {[0, 0.9): worse, [0.9, 1.1]: fine, (1.1, inf]: better}"
+                .to_string(),
+        ),
+    ]
+}
+
+/// The four intentions, parsed.
+pub fn intentions() -> Vec<Intention> {
+    intention_texts()
+        .into_iter()
+        .map(|(name, text)| Intention {
+            name,
+            statement: assess_sql::parse(&text)
+                .unwrap_or_else(|e| panic!("canonical {name} statement must parse: {e}")),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use assess_core::ast::BenchmarkSpec;
+
+    #[test]
+    fn all_four_intentions_parse() {
+        let all = intentions();
+        assert_eq!(all.len(), 4);
+        assert!(matches!(all[0].statement.against, Some(BenchmarkSpec::Constant(_))));
+        assert!(matches!(all[1].statement.against, Some(BenchmarkSpec::External { .. })));
+        assert!(matches!(all[2].statement.against, Some(BenchmarkSpec::Sibling { .. })));
+        assert!(matches!(all[3].statement.against, Some(BenchmarkSpec::Past(6))));
+    }
+
+    #[test]
+    fn statements_round_trip() {
+        for (name, text) in intention_texts() {
+            let stmt = assess_sql::parse(&text).unwrap();
+            assert_eq!(stmt.to_string(), text, "{name} must render to its own source");
+        }
+    }
+}

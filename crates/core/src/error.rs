@@ -1,0 +1,79 @@
+//! Error type for assess statement resolution, planning and execution.
+
+use std::fmt;
+
+/// Errors raised while resolving, planning or executing an assess statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AssessError {
+    /// Underlying model error.
+    Model(olap_model::ModelError),
+    /// Underlying engine error.
+    Engine(olap_engine::EngineError),
+    /// The named cube is not registered.
+    UnknownCube(String),
+    /// The `using` clause references an unknown function.
+    UnknownFunction(String),
+    /// A function was called with the wrong number of arguments.
+    Arity { function: String, expected: String, got: usize },
+    /// The `labels` clause references an unknown named labeling.
+    UnknownLabeling(String),
+    /// A range-based labeling is ill-formed (overlaps, inverted bounds…).
+    InvalidLabeling(String),
+    /// The benchmark specification is inconsistent with the statement
+    /// (sibling without a slicing predicate, past on a non-temporal level…).
+    InvalidBenchmark(String),
+    /// `against past k` has too little history before the target slice.
+    InsufficientHistory { level: String, member: String, requested: u32, available: u32 },
+    /// The chosen execution strategy cannot run this statement (e.g. JOP on
+    /// a constant benchmark — Section 5.2).
+    InfeasibleStrategy { strategy: &'static str, reason: String },
+    /// Any other statement-level inconsistency.
+    Statement(String),
+}
+
+impl fmt::Display for AssessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssessError::Model(e) => write!(f, "model error: {e}"),
+            AssessError::Engine(e) => write!(f, "engine error: {e}"),
+            AssessError::UnknownCube(c) => write!(f, "unknown cube `{c}`"),
+            AssessError::UnknownFunction(name) => write!(f, "unknown function `{name}`"),
+            AssessError::Arity { function, expected, got } => {
+                write!(f, "function `{function}` expects {expected} arguments, got {got}")
+            }
+            AssessError::UnknownLabeling(name) => write!(f, "unknown labeling `{name}`"),
+            AssessError::InvalidLabeling(msg) => write!(f, "invalid labeling: {msg}"),
+            AssessError::InvalidBenchmark(msg) => write!(f, "invalid benchmark: {msg}"),
+            AssessError::InsufficientHistory { level, member, requested, available } => write!(
+                f,
+                "`against past {requested}` needs {requested} predecessors of `{member}` on level `{level}`, only {available} exist"
+            ),
+            AssessError::InfeasibleStrategy { strategy, reason } => {
+                write!(f, "strategy {strategy} is not feasible: {reason}")
+            }
+            AssessError::Statement(msg) => write!(f, "invalid assess statement: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AssessError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AssessError::Model(e) => Some(e),
+            AssessError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<olap_model::ModelError> for AssessError {
+    fn from(e: olap_model::ModelError) -> Self {
+        AssessError::Model(e)
+    }
+}
+
+impl From<olap_engine::EngineError> for AssessError {
+    fn from(e: olap_engine::EngineError) -> Self {
+        AssessError::Engine(e)
+    }
+}

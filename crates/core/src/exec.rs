@@ -1,0 +1,334 @@
+//! Plan execution with the per-stage timing breakdown of Figure 4.
+
+use std::time::{Duration, Instant};
+
+use olap_engine::Engine;
+use olap_model::DerivedCube;
+
+use crate::ast::AssessStatement;
+use crate::error::AssessError;
+use crate::logical::LogicalOp;
+use crate::memops;
+use crate::plan::{self, PhysicalPlan, Strategy};
+use crate::result::AssessedCube;
+use crate::semantics::ResolvedAssess;
+
+/// Wall-clock time spent in each execution stage — the categories of the
+/// paper's Figure 4 breakdown.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Getting the target cube `C` (engine time).
+    pub get_c: Duration,
+    /// Getting the benchmark `B` (engine time).
+    pub get_b: Duration,
+    /// Getting `C + B` at once (fused join/pivot pushed to the engine).
+    pub get_cb: Duration,
+    /// Pivot + regression transformations.
+    pub transform: Duration,
+    /// In-memory join of materialized cubes (NP only).
+    pub join: Duration,
+    /// The `using` comparison chain.
+    pub comparison: Duration,
+    /// Labeling.
+    pub label: Duration,
+}
+
+impl StageTimings {
+    /// Total execution time.
+    pub fn total(&self) -> Duration {
+        self.get_c
+            + self.get_b
+            + self.get_cb
+            + self.transform
+            + self.join
+            + self.comparison
+            + self.label
+    }
+
+    /// `(name, seconds)` pairs in the paper's category order.
+    pub fn as_rows(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("Get C", self.get_c.as_secs_f64()),
+            ("Get B", self.get_b.as_secs_f64()),
+            ("Get C+B", self.get_cb.as_secs_f64()),
+            ("Trans.", self.transform.as_secs_f64()),
+            ("Join", self.join.as_secs_f64()),
+            ("Comp.", self.comparison.as_secs_f64()),
+            ("Label", self.label.as_secs_f64()),
+        ]
+    }
+}
+
+/// Everything an execution reports besides the assessed cube.
+#[derive(Debug, Clone)]
+pub struct ExecutionReport {
+    pub strategy: Strategy,
+    pub timings: StageTimings,
+    /// Rendered logical plan (after rewrites).
+    pub plan: String,
+    /// Materialized views the engine used, if any.
+    pub used_views: Vec<String>,
+    /// Total rows scanned from fact tables / views.
+    pub rows_scanned: usize,
+}
+
+/// Executes assess statements against an [`Engine`].
+pub struct AssessRunner {
+    engine: Engine,
+}
+
+struct ExecState<'a> {
+    engine: &'a Engine,
+    timings: StageTimings,
+    used_views: Vec<String>,
+    rows_scanned: usize,
+    /// Fuse `get ⋈ get` / `get + pivot` prefixes into engine calls.
+    fuse: bool,
+}
+
+impl AssessRunner {
+    pub fn new(engine: Engine) -> Self {
+        AssessRunner { engine }
+    }
+
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Resolves a statement against the engine's catalog.
+    pub fn resolve(&self, statement: &AssessStatement) -> Result<ResolvedAssess, AssessError> {
+        ResolvedAssess::resolve(statement, self.engine.catalog().as_ref())
+    }
+
+    /// Resolves, plans and executes a statement under a strategy.
+    pub fn run(
+        &self,
+        statement: &AssessStatement,
+        strategy: Strategy,
+    ) -> Result<(AssessedCube, ExecutionReport), AssessError> {
+        let resolved = self.resolve(statement)?;
+        self.execute(&resolved, strategy)
+    }
+
+    /// Resolves a statement and executes it under the strategy the
+    /// cost-based chooser picks (the "just run it" entry point).
+    pub fn run_auto(
+        &self,
+        statement: &AssessStatement,
+    ) -> Result<(AssessedCube, ExecutionReport), AssessError> {
+        let resolved = self.resolve(statement)?;
+        let strategy = crate::cost::choose(&resolved, &self.engine)?;
+        self.execute(&resolved, strategy)
+    }
+
+    /// Plans and executes a resolved statement under a strategy.
+    pub fn execute(
+        &self,
+        resolved: &ResolvedAssess,
+        strategy: Strategy,
+    ) -> Result<(AssessedCube, ExecutionReport), AssessError> {
+        let physical = plan::plan(resolved, strategy)?;
+        self.execute_plan(resolved, &physical)
+    }
+
+    /// Executes an already-built physical plan.
+    pub fn execute_plan(
+        &self,
+        resolved: &ResolvedAssess,
+        physical: &PhysicalPlan,
+    ) -> Result<(AssessedCube, ExecutionReport), AssessError> {
+        let mut state = ExecState {
+            engine: &self.engine,
+            timings: StageTimings::default(),
+            used_views: Vec::new(),
+            rows_scanned: 0,
+            fuse: physical.strategy != Strategy::Naive,
+        };
+        let mut cube = eval(&physical.root, &mut state)?;
+        // `assess` (non-starred) returns only target cells with a benchmark
+        // match; `assess*` keeps the rest with nulls (Section 4.1).
+        if !resolved.starred {
+            let t = Instant::now();
+            cube = memops::drop_null_rows(&cube, &resolved.benchmark_column())?;
+            state.timings.join += t.elapsed();
+        }
+        let report = ExecutionReport {
+            strategy: physical.strategy,
+            timings: state.timings,
+            plan: physical.root.to_string(),
+            used_views: state.used_views,
+            rows_scanned: state.rows_scanned,
+        };
+        Ok((AssessedCube::new(cube, resolved), report))
+    }
+}
+
+fn absorb(state: &mut ExecState<'_>, outcome: olap_engine::GetOutcome) -> DerivedCube {
+    if let Some(v) = outcome.used_view {
+        if !state.used_views.contains(&v) {
+            state.used_views.push(v);
+        }
+    }
+    state.rows_scanned += outcome.rows_scanned;
+    outcome.cube
+}
+
+fn eval(op: &LogicalOp, state: &mut ExecState<'_>) -> Result<DerivedCube, AssessError> {
+    match op {
+        LogicalOp::Get { query, alias } => {
+            let t = Instant::now();
+            let outcome = state.engine.get(query)?;
+            let elapsed = t.elapsed();
+            if alias.as_deref() == Some("benchmark") {
+                state.timings.get_b += elapsed;
+            } else {
+                state.timings.get_c += elapsed;
+            }
+            Ok(absorb(state, outcome))
+        }
+        LogicalOp::NaturalJoin { left, right, kind, measure, rename } => {
+            if state.fuse {
+                if let (LogicalOp::Get { query: lq, .. }, LogicalOp::Get { query: rq, .. }) =
+                    (left.as_ref(), right.as_ref())
+                {
+                    let t = Instant::now();
+                    let outcome =
+                        state.engine.get_join(lq, rq, *kind, std::slice::from_ref(rename))?;
+                    state.timings.get_cb += t.elapsed();
+                    return Ok(absorb(state, outcome));
+                }
+            }
+            let l = eval(left, state)?;
+            let r = eval(right, state)?;
+            let t = Instant::now();
+            let joined = memops::natural_join(&l, &r, *kind, measure, rename)?;
+            state.timings.join += t.elapsed();
+            Ok(joined)
+        }
+        LogicalOp::RollupJoin {
+            left,
+            right,
+            kind,
+            hierarchy,
+            fine_level,
+            coarse_level,
+            measure,
+            rename,
+        } => {
+            if state.fuse {
+                if let (LogicalOp::Get { query: lq, .. }, LogicalOp::Get { query: rq, .. }) =
+                    (left.as_ref(), right.as_ref())
+                {
+                    let t = Instant::now();
+                    let outcome = state.engine.get_join_rollup(
+                        lq,
+                        rq,
+                        *hierarchy,
+                        *fine_level,
+                        *coarse_level,
+                        measure,
+                        rename,
+                        *kind,
+                    )?;
+                    state.timings.get_cb += t.elapsed();
+                    return Ok(absorb(state, outcome));
+                }
+            }
+            let l = eval(left, state)?;
+            let r = eval(right, state)?;
+            let component = l.group_by().component_of(*hierarchy).ok_or_else(|| {
+                AssessError::Statement("rolled level is not in the group-by set".into())
+            })?;
+            let t = Instant::now();
+            let joined = memops::rollup_join(
+                &l,
+                &r,
+                component,
+                *hierarchy,
+                *fine_level,
+                *coarse_level,
+                measure,
+                rename,
+                *kind,
+            )?;
+            state.timings.join += t.elapsed();
+            Ok(joined)
+        }
+        LogicalOp::SlicedJoin { left, right, kind, hierarchy, members, measure, names } => {
+            if state.fuse {
+                if let (LogicalOp::Get { query: lq, .. }, LogicalOp::Get { query: rq, .. }) =
+                    (left.as_ref(), right.as_ref())
+                {
+                    let t = Instant::now();
+                    let outcome = state.engine.get_join_sliced(
+                        lq, rq, *hierarchy, members, measure, names, *kind,
+                    )?;
+                    state.timings.get_cb += t.elapsed();
+                    return Ok(absorb(state, outcome));
+                }
+            }
+            let l = eval(left, state)?;
+            let r = eval(right, state)?;
+            let component = l.group_by().component_of(*hierarchy).ok_or_else(|| {
+                AssessError::Statement("sliced level is not in the group-by set".into())
+            })?;
+            let t = Instant::now();
+            let joined =
+                memops::sliced_join(&l, &r, component, members, measure, names, *kind)?;
+            state.timings.join += t.elapsed();
+            Ok(joined)
+        }
+        LogicalOp::Pivot { input, hierarchy, reference, neighbors, measure, names } => {
+            if state.fuse {
+                if let LogicalOp::Get { query, .. } = input.as_ref() {
+                    let t = Instant::now();
+                    let outcome = state.engine.get_pivot(
+                        query, *hierarchy, *reference, neighbors, measure, names,
+                    )?;
+                    state.timings.get_cb += t.elapsed();
+                    return Ok(absorb(state, outcome));
+                }
+            }
+            let cube = eval(input, state)?;
+            let component = cube.group_by().component_of(*hierarchy).ok_or_else(|| {
+                AssessError::Statement("pivot level is not in the group-by set".into())
+            })?;
+            // The NP cost model counts the in-memory pivot as transformation
+            // (Section 6.2: "the cost for the pivot operation is counted as
+            // transformation").
+            let t = Instant::now();
+            let pivoted =
+                memops::pivot(&cube, component, *reference, neighbors, measure, names)?;
+            state.timings.transform += t.elapsed();
+            Ok(pivoted)
+        }
+        LogicalOp::Transform { input, step } => {
+            let mut cube = eval(input, state)?;
+            let t = Instant::now();
+            memops::apply_transform(&mut cube, step)?;
+            state.timings.comparison += t.elapsed();
+            Ok(cube)
+        }
+        LogicalOp::Regression { input, history, output } => {
+            let mut cube = eval(input, state)?;
+            let t = Instant::now();
+            memops::apply_regression(&mut cube, history, output)?;
+            state.timings.transform += t.elapsed();
+            Ok(cube)
+        }
+        LogicalOp::ConstColumn { input, name, value } => {
+            let mut cube = eval(input, state)?;
+            let t = Instant::now();
+            memops::add_const_column(&mut cube, name, *value)?;
+            state.timings.get_b += t.elapsed();
+            Ok(cube)
+        }
+        LogicalOp::Label { input, labeling, input_column } => {
+            let mut cube = eval(input, state)?;
+            let t = Instant::now();
+            memops::apply_label(&mut cube, labeling, input_column)?;
+            state.timings.label += t.elapsed();
+            Ok(cube)
+        }
+    }
+}

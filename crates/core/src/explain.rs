@@ -1,0 +1,62 @@
+//! Human-readable explanation of how a statement will execute: the feasible
+//! strategies with their estimated costs, the chosen plan tree, and the SQL
+//! that the fused prefixes stand for.
+
+use crate::error::AssessError;
+use crate::exec::AssessRunner;
+use crate::plan::{self, Strategy};
+use crate::semantics::ResolvedAssess;
+use crate::{codegen, cost};
+
+/// Renders a full explanation of a resolved statement.
+pub fn explain(runner: &AssessRunner, resolved: &ResolvedAssess) -> Result<String, AssessError> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "statement:\n{}\n", resolved.statement);
+    let _ = writeln!(out, "benchmark type: {}", resolved.benchmark.kind());
+    let _ = writeln!(out, "benchmark column: {}", resolved.benchmark_column());
+    let _ = writeln!(
+        out,
+        "comparison chain: {} step(s), labeling {:?}\n",
+        resolved.transforms.len(),
+        match &resolved.labeling {
+            crate::labeling::ResolvedLabeling::Ranges(r) => format!("{} range(s)", r.len()),
+            crate::labeling::ResolvedLabeling::Quantiles { k, .. } => format!("{k} quantiles"),
+            crate::labeling::ResolvedLabeling::EquiWidth { k, .. } => format!("{k} equi-width bins"),
+            crate::labeling::ResolvedLabeling::ZScoreRound { clamp } =>
+                format!("rounded z-score (±{clamp})"),
+        }
+    );
+
+    let costs = cost::estimate_all(resolved, runner.engine())?;
+    let _ = writeln!(out, "strategies (cheapest first, cost in row-scan units):");
+    for c in &costs {
+        let _ = writeln!(
+            out,
+            "  {:<4} total {:>12.0}  (scan {:>12.0}, engine {:>10.0}, client {:>10.0})",
+            c.strategy, c.total, c.rows_scanned, c.engine_work, c.client_work
+        );
+    }
+    let chosen = cost::choose(resolved, runner.engine())?;
+    let physical = plan::plan(resolved, chosen)?;
+    let _ = writeln!(out, "\nchosen plan ({chosen}):\n{}", physical.root);
+
+    if let Ok(code) = codegen::generate(resolved, runner.engine().catalog()) {
+        let _ = writeln!(out, "\nequivalent SQL (least complex plan):\n{}", code.sql);
+    }
+    Ok(out)
+}
+
+/// Explains one specific strategy instead of the chosen one.
+pub fn explain_strategy(
+    resolved: &ResolvedAssess,
+    strategy: Strategy,
+) -> Result<String, AssessError> {
+    let physical = plan::plan(resolved, strategy)?;
+    Ok(format!("plan ({strategy}):\n{}", physical.root))
+}
+
+#[cfg(test)]
+mod tests {
+    // Exercised end-to-end in the crate integration tests (needs a catalog).
+}

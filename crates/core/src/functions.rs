@@ -1,0 +1,489 @@
+//! The comparison/transformation function library (Section 3.2).
+//!
+//! All comparison functions have signature `δ : R × R → R` and are either
+//! **cell** functions (per-cell arithmetic, the `⊟` transform) or
+//! **holistic** functions ("require a holistic scan of the entire cube and
+//! cannot produce the new value on a per-cell basis", the `⊡` transform).
+//!
+//! Null propagation follows the paper's Pandas prototype: a cell function
+//! over any null input yields null; holistic aggregates are computed over
+//! the valid values only, and degenerate aggregates (zero total, zero
+//! variance, empty range) yield null — exactly what `NaN` becomes in the
+//! Listing 2 implementations.
+
+use crate::ast::FuncExpr;
+use crate::error::AssessError;
+
+/// A library function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Function {
+    // Cell functions (⊟).
+    Difference,
+    AbsDifference,
+    NormDifference,
+    Ratio,
+    Percentage,
+    Identity,
+    // Holistic functions (⊡).
+    PercOfTotal,
+    MinMaxNorm,
+    ZScore,
+    Rank,
+    PercentRank,
+}
+
+impl Function {
+    /// Case-insensitive lookup by the names used in statements.
+    pub fn lookup(name: &str) -> Option<Function> {
+        match name.to_ascii_lowercase().as_str() {
+            "difference" => Some(Function::Difference),
+            "absdifference" => Some(Function::AbsDifference),
+            "normdifference" => Some(Function::NormDifference),
+            "ratio" => Some(Function::Ratio),
+            "percentage" => Some(Function::Percentage),
+            "identity" => Some(Function::Identity),
+            "percoftotal" => Some(Function::PercOfTotal),
+            "minmaxnorm" => Some(Function::MinMaxNorm),
+            "zscore" => Some(Function::ZScore),
+            "rank" => Some(Function::Rank),
+            "percentrank" => Some(Function::PercentRank),
+            _ => None,
+        }
+    }
+
+    /// Canonical statement-syntax name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Function::Difference => "difference",
+            Function::AbsDifference => "absDifference",
+            Function::NormDifference => "normDifference",
+            Function::Ratio => "ratio",
+            Function::Percentage => "percentage",
+            Function::Identity => "identity",
+            Function::PercOfTotal => "percOfTotal",
+            Function::MinMaxNorm => "minMaxNorm",
+            Function::ZScore => "zscore",
+            Function::Rank => "rank",
+            Function::PercentRank => "percentRank",
+        }
+    }
+
+    /// Whether the function needs the whole cube (`⊡` vs `⊟`).
+    pub fn is_holistic(self) -> bool {
+        matches!(
+            self,
+            Function::PercOfTotal
+                | Function::MinMaxNorm
+                | Function::ZScore
+                | Function::Rank
+                | Function::PercentRank
+        )
+    }
+
+    /// `(min, max)` accepted argument counts.
+    pub fn arity(self) -> (usize, usize) {
+        match self {
+            Function::Difference
+            | Function::AbsDifference
+            | Function::NormDifference
+            | Function::Ratio
+            | Function::Percentage => (2, 2),
+            Function::Identity
+            | Function::MinMaxNorm
+            | Function::ZScore
+            | Function::Rank
+            | Function::PercentRank => (1, 1),
+            // percOfTotal(a) sums a itself; percOfTotal(a, b) sums b
+            // (Example 4.3 divides diff by the total of quantity).
+            Function::PercOfTotal => (1, 2),
+        }
+    }
+
+    /// Evaluates a cell function on one row of inputs.
+    pub fn eval_cell(self, args: &[Option<f64>]) -> Option<f64> {
+        let mut vals = [0.0f64; 2];
+        for (slot, a) in vals.iter_mut().zip(args.iter()) {
+            *slot = (*a)?;
+        }
+        match self {
+            Function::Difference => Some(vals[0] - vals[1]),
+            Function::AbsDifference => Some((vals[0] - vals[1]).abs()),
+            Function::NormDifference => {
+                if vals[1] == 0.0 {
+                    None
+                } else {
+                    Some((vals[0] - vals[1]) / vals[1].abs())
+                }
+            }
+            Function::Ratio => {
+                if vals[1] == 0.0 {
+                    None
+                } else {
+                    Some(vals[0] / vals[1])
+                }
+            }
+            Function::Percentage => {
+                if vals[1] == 0.0 {
+                    None
+                } else {
+                    Some(100.0 * vals[0] / vals[1])
+                }
+            }
+            Function::Identity => args[0],
+            _ => unreachable!("eval_cell on holistic function {self:?}"),
+        }
+    }
+
+    /// Evaluates a holistic function over full input columns.
+    pub fn eval_holistic(self, args: &[&[Option<f64>]]) -> Vec<Option<f64>> {
+        let a = args[0];
+        match self {
+            Function::PercOfTotal => {
+                let basis = if args.len() == 2 { args[1] } else { a };
+                let total: f64 = basis.iter().flatten().sum();
+                if total == 0.0 {
+                    vec![None; a.len()]
+                } else {
+                    a.iter().map(|v| v.map(|x| x / total)).collect()
+                }
+            }
+            Function::MinMaxNorm => {
+                let valid: Vec<f64> = a.iter().flatten().copied().collect();
+                let (min, max) = match min_max(&valid) {
+                    Some(mm) => mm,
+                    None => return vec![None; a.len()],
+                };
+                if min == max {
+                    vec![None; a.len()]
+                } else {
+                    a.iter().map(|v| v.map(|x| (x - min) / (max - min))).collect()
+                }
+            }
+            Function::ZScore => {
+                let valid: Vec<f64> = a.iter().flatten().copied().collect();
+                if valid.is_empty() {
+                    return vec![None; a.len()];
+                }
+                let n = valid.len() as f64;
+                let mean = valid.iter().sum::<f64>() / n;
+                let var = valid.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+                let sd = var.sqrt();
+                if sd == 0.0 {
+                    vec![None; a.len()]
+                } else {
+                    a.iter().map(|v| v.map(|x| (x - mean) / sd)).collect()
+                }
+            }
+            Function::Rank | Function::PercentRank => {
+                let ranks = average_ranks(a);
+                match self {
+                    Function::Rank => ranks,
+                    Function::PercentRank => {
+                        let n = a.iter().flatten().count();
+                        if n < 2 {
+                            vec![None; a.len()]
+                        } else {
+                            ranks
+                                .into_iter()
+                                .map(|r| r.map(|r| (r - 1.0) / (n as f64 - 1.0)))
+                                .collect()
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            _ => unreachable!("eval_holistic on cell function {self:?}"),
+        }
+    }
+}
+
+fn min_max(values: &[f64]) -> Option<(f64, f64)> {
+    let mut it = values.iter();
+    let first = *it.next()?;
+    let mut min = first;
+    let mut max = first;
+    for &v in it {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    Some((min, max))
+}
+
+/// Ascending 1-based ranks with ties receiving their average rank (the
+/// Pandas `rank` default).
+fn average_ranks(values: &[Option<f64>]) -> Vec<Option<f64>> {
+    let mut order: Vec<usize> =
+        (0..values.len()).filter(|&i| values[i].is_some()).collect();
+    order.sort_by(|&a, &b| {
+        values[a].unwrap().partial_cmp(&values[b].unwrap()).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut ranks = vec![None; values.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j (0-based) share the average of ranks i+1..=j+1.
+        let avg = (i + 1 + j + 1) as f64 / 2.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = Some(avg);
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// A reference to a transform input: an existing cube column or a literal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColRef {
+    Column(String),
+    Literal(f64),
+    /// A descriptive property of a level, resolved against each cell's
+    /// coordinate at transform time.
+    Property { level: String, name: String },
+}
+
+/// One step of the compiled `using` chain: apply `function` to `inputs`,
+/// producing column `output` (a `⊟` or `⊡` application).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransformStep {
+    pub function: Function,
+    pub inputs: Vec<ColRef>,
+    pub output: String,
+}
+
+/// The conventional name of the final comparison column `m_Δ`.
+pub const DELTA_COLUMN: &str = "delta";
+/// Prefix of the benchmark measure column `m_B`.
+pub const BENCHMARK_PREFIX: &str = "benchmark.";
+
+/// Compiles a `using` expression into a post-order chain of transform steps
+/// whose last step writes [`DELTA_COLUMN`].
+///
+/// `default_total` is the assessed measure `m`: the paper's single-argument
+/// `percOfTotal(x)` divides by the total of `m` (Example 4.3 operates on
+/// `⟨diff, quantity⟩`), so a missing second argument resolves to it.
+pub fn compile_using(
+    expr: &FuncExpr,
+    default_total: &str,
+) -> Result<Vec<TransformStep>, AssessError> {
+    let mut steps = Vec::new();
+    let top = compile_expr(expr, default_total, &mut steps)?;
+    match top {
+        ColRef::Column(name) if steps.last().map(|s| s.output == name).unwrap_or(false) => {
+            steps.last_mut().expect("non-empty").output = DELTA_COLUMN.to_string();
+        }
+        other => {
+            // The whole expression is a bare measure/literal: copy it.
+            steps.push(TransformStep {
+                function: Function::Identity,
+                inputs: vec![other],
+                output: DELTA_COLUMN.to_string(),
+            });
+        }
+    }
+    Ok(steps)
+}
+
+fn compile_expr(
+    expr: &FuncExpr,
+    default_total: &str,
+    steps: &mut Vec<TransformStep>,
+) -> Result<ColRef, AssessError> {
+    match expr {
+        FuncExpr::Number(v) => Ok(ColRef::Literal(*v)),
+        FuncExpr::Measure(m) => Ok(ColRef::Column(m.clone())),
+        FuncExpr::BenchmarkMeasure(m) => Ok(ColRef::Column(format!("{BENCHMARK_PREFIX}{m}"))),
+        FuncExpr::Property { level, name } => {
+            Ok(ColRef::Property { level: level.clone(), name: name.clone() })
+        }
+        FuncExpr::Call { name, args } => {
+            let function = Function::lookup(name)
+                .ok_or_else(|| AssessError::UnknownFunction(name.clone()))?;
+            let (min, max) = function.arity();
+            if args.len() < min || args.len() > max {
+                return Err(AssessError::Arity {
+                    function: function.name().to_string(),
+                    expected: if min == max {
+                        min.to_string()
+                    } else {
+                        format!("{min}..{max}")
+                    },
+                    got: args.len(),
+                });
+            }
+            let mut inputs = Vec::with_capacity(args.len().max(min));
+            for a in args {
+                inputs.push(compile_expr(a, default_total, steps)?);
+            }
+            if function == Function::PercOfTotal && inputs.len() == 1 {
+                inputs.push(ColRef::Column(default_total.to_string()));
+            }
+            let output = format!("__t{}", steps.len());
+            steps.push(TransformStep { function, inputs, output: output.clone() });
+            Ok(ColRef::Column(output))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn some(v: &[f64]) -> Vec<Option<f64>> {
+        v.iter().map(|x| Some(*x)).collect()
+    }
+
+    #[test]
+    fn cell_functions_compute() {
+        assert_eq!(Function::Difference.eval_cell(&[Some(5.0), Some(2.0)]), Some(3.0));
+        assert_eq!(Function::AbsDifference.eval_cell(&[Some(2.0), Some(5.0)]), Some(3.0));
+        assert_eq!(Function::Ratio.eval_cell(&[Some(9.0), Some(3.0)]), Some(3.0));
+        assert_eq!(Function::Ratio.eval_cell(&[Some(9.0), Some(0.0)]), None);
+        assert_eq!(Function::Percentage.eval_cell(&[Some(1.0), Some(4.0)]), Some(25.0));
+        assert_eq!(Function::NormDifference.eval_cell(&[Some(6.0), Some(-4.0)]), Some(2.5));
+        assert_eq!(Function::Identity.eval_cell(&[Some(7.0)]), Some(7.0));
+    }
+
+    #[test]
+    fn cell_functions_propagate_nulls() {
+        assert_eq!(Function::Difference.eval_cell(&[None, Some(2.0)]), None);
+        assert_eq!(Function::Difference.eval_cell(&[Some(2.0), None]), None);
+        assert_eq!(Function::Identity.eval_cell(&[None]), None);
+    }
+
+    #[test]
+    fn perc_of_total_one_and_two_args() {
+        let a = some(&[1.0, 3.0]);
+        assert_eq!(Function::PercOfTotal.eval_holistic(&[&a]), vec![Some(0.25), Some(0.75)]);
+        let basis = some(&[10.0, 10.0]);
+        assert_eq!(
+            Function::PercOfTotal.eval_holistic(&[&a, &basis]),
+            vec![Some(0.05), Some(0.15)]
+        );
+        let zeros = some(&[0.0, 0.0]);
+        assert_eq!(Function::PercOfTotal.eval_holistic(&[&a, &zeros]), vec![None, None]);
+    }
+
+    #[test]
+    fn min_max_norm_maps_to_unit_interval() {
+        let a = some(&[2.0, 4.0, 6.0]);
+        assert_eq!(
+            Function::MinMaxNorm.eval_holistic(&[&a]),
+            vec![Some(0.0), Some(0.5), Some(1.0)]
+        );
+        let degenerate = some(&[5.0, 5.0]);
+        assert_eq!(Function::MinMaxNorm.eval_holistic(&[&degenerate]), vec![None, None]);
+        let with_null = vec![Some(0.0), None, Some(10.0)];
+        assert_eq!(
+            Function::MinMaxNorm.eval_holistic(&[&with_null]),
+            vec![Some(0.0), None, Some(1.0)]
+        );
+    }
+
+    #[test]
+    fn zscore_standardizes() {
+        let a = some(&[1.0, 2.0, 3.0]);
+        let z = Function::ZScore.eval_holistic(&[&a]);
+        assert!((z[1].unwrap()).abs() < 1e-12);
+        assert!((z[0].unwrap() + z[2].unwrap()).abs() < 1e-12);
+        let constant = some(&[4.0, 4.0]);
+        assert_eq!(Function::ZScore.eval_holistic(&[&constant]), vec![None, None]);
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        let a = some(&[10.0, 20.0, 10.0, 30.0]);
+        assert_eq!(
+            Function::Rank.eval_holistic(&[&a]),
+            vec![Some(1.5), Some(3.0), Some(1.5), Some(4.0)]
+        );
+        let pr = Function::PercentRank.eval_holistic(&[&a]);
+        assert_eq!(pr[3], Some(1.0));
+        assert!((pr[0].unwrap() - 0.5 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive_and_total() {
+        assert_eq!(Function::lookup("MinMaxNorm"), Some(Function::MinMaxNorm));
+        assert_eq!(Function::lookup("PERCOFTOTAL"), Some(Function::PercOfTotal));
+        assert_eq!(Function::lookup("nope"), None);
+        for f in [
+            Function::Difference,
+            Function::AbsDifference,
+            Function::NormDifference,
+            Function::Ratio,
+            Function::Percentage,
+            Function::Identity,
+            Function::PercOfTotal,
+            Function::MinMaxNorm,
+            Function::ZScore,
+            Function::Rank,
+            Function::PercentRank,
+        ] {
+            assert_eq!(Function::lookup(f.name()), Some(f), "{} must round-trip", f.name());
+        }
+    }
+
+    #[test]
+    fn compile_nested_using_chain() {
+        // minMaxNorm(difference(storeSales, 1000))
+        let expr = FuncExpr::call(
+            "minMaxNorm",
+            vec![FuncExpr::call(
+                "difference",
+                vec![FuncExpr::measure("storeSales"), FuncExpr::number(1000.0)],
+            )],
+        );
+        let steps = compile_using(&expr, "storeSales").unwrap();
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0].function, Function::Difference);
+        assert_eq!(
+            steps[0].inputs,
+            vec![ColRef::Column("storeSales".into()), ColRef::Literal(1000.0)]
+        );
+        assert_eq!(steps[1].function, Function::MinMaxNorm);
+        assert_eq!(steps[1].inputs, vec![ColRef::Column("__t0".into())]);
+        assert_eq!(steps[1].output, DELTA_COLUMN);
+    }
+
+    #[test]
+    fn compile_inserts_default_total_for_perc_of_total() {
+        let expr = FuncExpr::call(
+            "percOfTotal",
+            vec![FuncExpr::call(
+                "difference",
+                vec![FuncExpr::measure("quantity"), FuncExpr::benchmark("quantity")],
+            )],
+        );
+        let steps = compile_using(&expr, "quantity").unwrap();
+        assert_eq!(steps[1].inputs.len(), 2);
+        assert_eq!(steps[1].inputs[1], ColRef::Column("quantity".into()));
+        assert_eq!(steps[0].inputs[1], ColRef::Column("benchmark.quantity".into()));
+    }
+
+    #[test]
+    fn compile_bare_measure_is_identity() {
+        let steps = compile_using(&FuncExpr::measure("revenue"), "revenue").unwrap();
+        assert_eq!(steps.len(), 1);
+        assert_eq!(steps[0].function, Function::Identity);
+        assert_eq!(steps[0].output, DELTA_COLUMN);
+    }
+
+    #[test]
+    fn compile_rejects_unknown_and_bad_arity() {
+        let unknown = FuncExpr::call("frobnicate", vec![FuncExpr::number(1.0)]);
+        assert!(matches!(
+            compile_using(&unknown, "m"),
+            Err(AssessError::UnknownFunction(_))
+        ));
+        let bad = FuncExpr::call("difference", vec![FuncExpr::number(1.0)]);
+        assert!(matches!(compile_using(&bad, "m"), Err(AssessError::Arity { .. })));
+        let bad2 = FuncExpr::call(
+            "minMaxNorm",
+            vec![FuncExpr::number(1.0), FuncExpr::number(2.0)],
+        );
+        assert!(matches!(compile_using(&bad2, "m"), Err(AssessError::Arity { .. })));
+    }
+}

@@ -1,0 +1,363 @@
+//! Labeling functions (Section 3.3): explicit ranges and labelings based on
+//! the overall value distribution.
+
+use crate::ast::{Bound, LabelingSpec, RangeRule};
+use crate::error::AssessError;
+
+/// A labeling ready to apply to comparison values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResolvedLabeling {
+    /// Explicit ranges (Section 3.3.1), validated non-overlapping.
+    Ranges(Vec<RangeRule>),
+    /// Equi-depth split into `k` groups labeled by rank position
+    /// (Section 3.3.2): the highest comparison values get `labels[0]`.
+    Quantiles { k: usize, labels: Vec<String> },
+    /// Equi-width split of `[min, max]` into `k` bins; `labels[0]` is the
+    /// lowest bin.
+    EquiWidth { k: usize, labels: Vec<String> },
+    /// The "more simplistic scheme" of Section 3.3.2: label each cell by its
+    /// **rounded z-score**, clamped to `±clamp` (e.g. `z-2 … z+2`). Adapts
+    /// to the distribution without predefining ranges or a group count.
+    ZScoreRound { clamp: i32 },
+}
+
+/// Problems found while validating a range-based labeling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RangeIssue {
+    /// `lo > hi`, or `lo == hi` with an open endpoint.
+    Empty(usize),
+    /// Two rules both contain some value.
+    Overlap(usize, usize),
+    /// Uncovered gap between consecutive rules (cells falling there stay
+    /// unlabeled — the paper leaves completeness to the user).
+    Gap(usize, usize),
+}
+
+/// Validates a set of range rules: reports empty ranges, overlaps and gaps.
+pub fn validate_ranges(rules: &[RangeRule]) -> Vec<RangeIssue> {
+    let mut issues = Vec::new();
+    for (i, r) in rules.iter().enumerate() {
+        let empty = r.lo.value > r.hi.value
+            || (r.lo.value == r.hi.value && !(r.lo.inclusive && r.hi.inclusive));
+        if empty {
+            issues.push(RangeIssue::Empty(i));
+        }
+    }
+    let mut order: Vec<usize> = (0..rules.len()).collect();
+    order.sort_by(|&a, &b| {
+        rules[a]
+            .lo
+            .value
+            .partial_cmp(&rules[b].lo.value)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| rules[b].lo.inclusive.cmp(&rules[a].lo.inclusive))
+    });
+    for w in order.windows(2) {
+        let (a, b) = (&rules[w[0]], &rules[w[1]]);
+        // a precedes b by lower bound; overlap iff a's upper passes b's lower.
+        let overlap = a.hi.value > b.lo.value
+            || (a.hi.value == b.lo.value && a.hi.inclusive && b.lo.inclusive);
+        if overlap {
+            issues.push(RangeIssue::Overlap(w[0], w[1]));
+        } else {
+            let touching = a.hi.value == b.lo.value && (a.hi.inclusive || b.lo.inclusive);
+            if !touching {
+                issues.push(RangeIssue::Gap(w[0], w[1]));
+            }
+        }
+    }
+    issues
+}
+
+/// The named labelings of the library, as a `(name, constructor)` list.
+fn named(name: &str) -> Option<ResolvedLabeling> {
+    let top_labels = |k: usize| (1..=k).map(|i| format!("top-{i}")).collect::<Vec<_>>();
+    match name.to_ascii_lowercase().as_str() {
+        "quartiles" => Some(ResolvedLabeling::Quantiles { k: 4, labels: top_labels(4) }),
+        "quintiles" => Some(ResolvedLabeling::Quantiles { k: 5, labels: top_labels(5) }),
+        "terciles" => Some(ResolvedLabeling::Quantiles { k: 3, labels: top_labels(3) }),
+        "deciles" => Some(ResolvedLabeling::Quantiles { k: 10, labels: top_labels(10) }),
+        // Example 3.3: five equal-width star ratings over the min-max
+        // normalized comparison value.
+        "5stars" | "5star" => Some(ResolvedLabeling::EquiWidth {
+            k: 5,
+            labels: vec!["*".into(), "**".into(), "***".into(), "****".into(), "*****".into()],
+        }),
+        "zscore" | "zround" => Some(ResolvedLabeling::ZScoreRound { clamp: 2 }),
+        _ => None,
+    }
+}
+
+/// Resolves a labeling spec, validating range sets (empty ranges and
+/// overlaps are errors; gaps are permitted and leave cells unlabeled).
+pub fn resolve(spec: &LabelingSpec) -> Result<ResolvedLabeling, AssessError> {
+    match spec {
+        LabelingSpec::Named(name) => {
+            named(name).ok_or_else(|| AssessError::UnknownLabeling(name.clone()))
+        }
+        LabelingSpec::Ranges(rules) => {
+            if rules.is_empty() {
+                return Err(AssessError::InvalidLabeling("no ranges given".into()));
+            }
+            let issues = validate_ranges(rules);
+            for issue in &issues {
+                match issue {
+                    RangeIssue::Empty(i) => {
+                        return Err(AssessError::InvalidLabeling(format!(
+                            "range {} (`{}`) is empty",
+                            i, rules[*i]
+                        )))
+                    }
+                    RangeIssue::Overlap(i, j) => {
+                        return Err(AssessError::InvalidLabeling(format!(
+                            "ranges `{}` and `{}` overlap",
+                            rules[*i], rules[*j]
+                        )))
+                    }
+                    RangeIssue::Gap(_, _) => {}
+                }
+            }
+            Ok(ResolvedLabeling::Ranges(rules.clone()))
+        }
+    }
+}
+
+/// Applies a labeling to comparison values. Null values — and values no
+/// range covers — label as `None`.
+pub fn apply(labeling: &ResolvedLabeling, values: &[Option<f64>]) -> Vec<Option<String>> {
+    match labeling {
+        ResolvedLabeling::Ranges(rules) => values
+            .iter()
+            .map(|v| {
+                v.and_then(|x| {
+                    rules.iter().find(|r| r.contains(x)).map(|r| r.label.clone())
+                })
+            })
+            .collect(),
+        ResolvedLabeling::Quantiles { k, labels } => {
+            let mut order: Vec<usize> =
+                (0..values.len()).filter(|&i| values[i].is_some()).collect();
+            order.sort_by(|&a, &b| {
+                values[a]
+                    .unwrap()
+                    .partial_cmp(&values[b].unwrap())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let n = order.len();
+            let mut out = vec![None; values.len()];
+            for (pos, &idx) in order.iter().enumerate() {
+                // pos 0 is the smallest value → last group (`top-k`); the
+                // largest value always lands in `top-1`.
+                let group_from_bottom = if n <= 1 {
+                    k - 1
+                } else {
+                    (pos * *k / (n - 1)).min(k - 1)
+                };
+                let top_index = k - 1 - group_from_bottom;
+                out[idx] = Some(labels[top_index].clone());
+            }
+            out
+        }
+        ResolvedLabeling::ZScoreRound { clamp } => {
+            let valid: Vec<f64> = values.iter().flatten().copied().collect();
+            if valid.is_empty() {
+                return vec![None; values.len()];
+            }
+            let n = valid.len() as f64;
+            let mean = valid.iter().sum::<f64>() / n;
+            let sd =
+                (valid.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n).sqrt();
+            values
+                .iter()
+                .map(|v| {
+                    v.map(|x| {
+                        let z = if sd == 0.0 { 0.0 } else { (x - mean) / sd };
+                        let rounded = (z.round() as i32).clamp(-clamp, *clamp);
+                        if rounded >= 0 {
+                            format!("z+{rounded}")
+                        } else {
+                            format!("z{rounded}")
+                        }
+                    })
+                })
+                .collect()
+        }
+        ResolvedLabeling::EquiWidth { k, labels } => {
+            let valid: Vec<f64> = values.iter().flatten().copied().collect();
+            let (min, max) = match (valid.iter().cloned().reduce(f64::min), valid.iter().cloned().reduce(f64::max)) {
+                (Some(min), Some(max)) => (min, max),
+                _ => return vec![None; values.len()],
+            };
+            let width = (max - min) / *k as f64;
+            values
+                .iter()
+                .map(|v| {
+                    v.map(|x| {
+                        let bin = if width == 0.0 {
+                            0
+                        } else {
+                            (((x - min) / width) as usize).min(k - 1)
+                        };
+                        labels[bin].clone()
+                    })
+                })
+                .collect()
+        }
+    }
+}
+
+/// A convenience constructor for the `{[lo, hi): label, …}` style used by
+/// the examples and benches: `(lo, lo_inclusive, hi, hi_inclusive, label)`.
+pub fn ranges(rules: &[(f64, bool, f64, bool, &str)]) -> Vec<RangeRule> {
+    rules
+        .iter()
+        .map(|(lo, loi, hi, hii, label)| {
+            RangeRule::new(
+                Bound { value: *lo, inclusive: *loi },
+                Bound { value: *hi, inclusive: *hii },
+                *label,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::LabelingSpec;
+
+    fn good_bad_ok() -> Vec<RangeRule> {
+        ranges(&[
+            (f64::NEG_INFINITY, true, -0.2, false, "bad"),
+            (-0.2, true, 0.2, true, "ok"),
+            (0.2, false, f64::INFINITY, true, "good"),
+        ])
+    }
+
+    #[test]
+    fn range_labeling_covers_the_line() {
+        let labeling = resolve(&LabelingSpec::Ranges(good_bad_ok())).unwrap();
+        let out = apply(&labeling, &[Some(-1.0), Some(0.0), Some(0.2), Some(0.3), None]);
+        assert_eq!(
+            out,
+            vec![
+                Some("bad".to_string()),
+                Some("ok".to_string()),
+                Some("ok".to_string()),
+                Some("good".to_string()),
+                None
+            ]
+        );
+    }
+
+    #[test]
+    fn overlapping_ranges_are_rejected() {
+        let rules = ranges(&[(0.0, true, 1.0, true, "a"), (1.0, true, 2.0, true, "b")]);
+        assert!(matches!(
+            resolve(&LabelingSpec::Ranges(rules)),
+            Err(AssessError::InvalidLabeling(_))
+        ));
+    }
+
+    #[test]
+    fn touching_halfopen_ranges_are_fine() {
+        let rules = ranges(&[(0.0, true, 1.0, false, "a"), (1.0, true, 2.0, true, "b")]);
+        assert!(resolve(&LabelingSpec::Ranges(rules)).is_ok());
+    }
+
+    #[test]
+    fn gaps_are_allowed_but_leave_cells_unlabeled() {
+        let rules = ranges(&[(0.0, true, 1.0, true, "a"), (2.0, true, 3.0, true, "b")]);
+        let issues = validate_ranges(&rules);
+        assert!(issues.iter().any(|i| matches!(i, RangeIssue::Gap(_, _))));
+        let labeling = resolve(&LabelingSpec::Ranges(rules)).unwrap();
+        assert_eq!(apply(&labeling, &[Some(1.5)]), vec![None]);
+    }
+
+    #[test]
+    fn empty_ranges_are_rejected() {
+        let rules = ranges(&[(1.0, true, 0.0, true, "x")]);
+        assert!(matches!(
+            resolve(&LabelingSpec::Ranges(rules)),
+            Err(AssessError::InvalidLabeling(_))
+        ));
+        let point_open = ranges(&[(1.0, true, 1.0, false, "x")]);
+        assert_eq!(validate_ranges(&point_open), vec![RangeIssue::Empty(0)]);
+        // A closed point range is legal.
+        let point = ranges(&[(1.0, true, 1.0, true, "x")]);
+        assert!(validate_ranges(&point).is_empty());
+    }
+
+    #[test]
+    fn quartiles_label_top_group_first() {
+        let labeling = resolve(&LabelingSpec::Named("quartiles".into())).unwrap();
+        let values: Vec<Option<f64>> = (1..=8).map(|i| Some(i as f64)).collect();
+        let out = apply(&labeling, &values);
+        assert_eq!(out[7], Some("top-1".to_string()));
+        assert_eq!(out[6], Some("top-1".to_string()));
+        assert_eq!(out[0], Some("top-4".to_string()));
+        assert_eq!(out[1], Some("top-4".to_string()));
+        assert_eq!(out[3], Some("top-3".to_string()));
+    }
+
+    #[test]
+    fn quantiles_handle_nulls_and_small_n() {
+        let labeling = resolve(&LabelingSpec::Named("quartiles".into())).unwrap();
+        let out = apply(&labeling, &[Some(1.0), None, Some(2.0)]);
+        assert_eq!(out[1], None);
+        assert_eq!(out[2], Some("top-1".to_string()));
+        assert_eq!(out[0], Some("top-4".to_string()));
+    }
+
+    #[test]
+    fn five_stars_is_equi_width() {
+        let labeling = resolve(&LabelingSpec::Named("5stars".into())).unwrap();
+        let out = apply(&labeling, &[Some(0.0), Some(0.5), Some(1.0)]);
+        assert_eq!(out, vec![Some("*".to_string()), Some("***".to_string()), Some("*****".to_string())]);
+        // All-equal values land in the first bin rather than erroring.
+        let flat = apply(&labeling, &[Some(2.0), Some(2.0)]);
+        assert_eq!(flat, vec![Some("*".to_string()), Some("*".to_string())]);
+    }
+
+    #[test]
+    fn zscore_round_labels_by_standardized_distance() {
+        let labeling = resolve(&LabelingSpec::Named("zscore".into())).unwrap();
+        // Mean 0, values at ±1σ and a far outlier clamped to ±2.
+        let out = apply(
+            &labeling,
+            &[Some(-10.0), Some(-1.0), Some(0.0), Some(1.0), Some(10.0), None],
+        );
+        assert_eq!(out[2], Some("z+0".to_string()));
+        assert_eq!(out[0], Some("z-2".to_string())); // clamped
+        assert_eq!(out[4], Some("z+2".to_string()));
+        assert_eq!(out[5], None);
+        // Constant distribution: everything is z+0.
+        let flat = apply(&labeling, &[Some(3.0), Some(3.0)]);
+        assert_eq!(flat, vec![Some("z+0".to_string()), Some("z+0".to_string())]);
+    }
+
+    #[test]
+    fn unknown_named_labeling_errors() {
+        assert!(matches!(
+            resolve(&LabelingSpec::Named("septiles".into())),
+            Err(AssessError::UnknownLabeling(_))
+        ));
+    }
+
+    #[test]
+    fn equi_width_of_all_nulls_is_all_nulls() {
+        let labeling = resolve(&LabelingSpec::Named("5stars".into())).unwrap();
+        assert_eq!(apply(&labeling, &[None, None]), vec![None, None]);
+    }
+
+    #[test]
+    fn quantile_partition_is_total_on_valid_values() {
+        let labeling = resolve(&LabelingSpec::Named("deciles".into())).unwrap();
+        let values: Vec<Option<f64>> = (0..97).map(|i| Some((i * 7 % 97) as f64)).collect();
+        let out = apply(&labeling, &values);
+        assert!(out.iter().all(|l| l.is_some()));
+        // Every group is used.
+        let distinct: std::collections::HashSet<_> = out.iter().flatten().collect();
+        assert_eq!(distinct.len(), 10);
+    }
+}

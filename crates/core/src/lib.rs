@@ -1,0 +1,65 @@
+//! # assess-core
+//!
+//! The **assess operator** of *"Assess Queries for Interactive Analysis of
+//! Data Cubes"* (EDBT 2021) — the paper's primary contribution.
+//!
+//! An assess statement (Section 4.1)
+//!
+//! ```text
+//! with C0 [ for P ] by G
+//! assess|assess* m [ against <benchmark> ]
+//! [ using <function> ] labels λ
+//! ```
+//!
+//! judges each cell of a *target cube* (the result of the cube query
+//! `(C0, G, P, {m})`) against a *benchmark* — a constant, an external cube,
+//! a sibling slice, or a forecast from past slices — by running a
+//! composition of comparison/transformation functions and labeling the
+//! outcome.
+//!
+//! The crate is layered exactly as the paper is:
+//!
+//! * [`ast`] — the statement abstract syntax (Section 4.1);
+//! * [`functions`] — the comparison/transformation function library
+//!   (Section 3.2);
+//! * [`labeling`] — range-based and distribution-based labeling functions
+//!   (Section 3.3);
+//! * [`logical`] — the logical operators `get`, `⋈`, `⊟`, `⊡`, `⊞`
+//!   (Section 4.2);
+//! * [`semantics`] — name resolution and the mapping from statements to
+//!   logical plans (Section 4.3);
+//! * [`rewrite`] — the algebraic properties P1/P2/P3 (Section 5.1);
+//! * [`plan`] — the physical strategies NP, JOP and POP (Section 5.2);
+//! * [`memops`] — the client-side ("in main memory") implementations of
+//!   join/pivot/transform used by plans that do not push an operator to the
+//!   engine;
+//! * [`exec`] — plan execution with the per-stage timing breakdown of the
+//!   paper's Figure 4;
+//! * [`codegen`] — SQL + Python-equivalent code emission for the
+//!   formulation-effort experiment (Table 1);
+//! * [`cost`] — the cost-based strategy chooser (a future-work extension);
+//! * [`suggest`] — ranked completion of partial statements (a future-work
+//!   extension).
+
+pub mod ast;
+pub mod codegen;
+pub mod cost;
+pub mod error;
+pub mod exec;
+pub mod explain;
+pub mod functions;
+pub mod labeling;
+pub mod logical;
+pub mod memops;
+pub mod plan;
+pub mod result;
+pub mod rewrite;
+pub mod semantics;
+pub mod suggest;
+
+pub use ast::{AssessStatement, BenchmarkSpec, Bound, FuncExpr, LabelingSpec, PredicateSpec, RangeRule};
+pub use error::AssessError;
+pub use exec::{AssessRunner, StageTimings};
+pub use plan::Strategy;
+pub use result::AssessedCube;
+pub use semantics::{ResolvedAssess, SchemaProvider};

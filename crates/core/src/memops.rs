@@ -1,0 +1,543 @@
+//! In-memory (client-side) implementations of the logical operators.
+//!
+//! The paper's prototype does everything the DBMS is not asked to do in
+//! Python over Pandas DataFrames; these functions are that layer. They work
+//! on materialized [`DerivedCube`]s using per-row [`Coordinate`] hash keys —
+//! deliberately *not* the engine's packed keys, because the client does not
+//! see the engine's internal encodings. This cost difference is exactly what
+//! the NP-vs-JOP/POP experiments measure.
+
+use std::collections::HashMap;
+
+use olap_engine::JoinKind;
+use olap_model::{
+    Coordinate, CubeColumn, DerivedCube, LabelColumn, MemberId, NumericColumn,
+};
+use olap_timeseries::{Forecaster, Predictor};
+
+use crate::error::AssessError;
+use crate::functions::{ColRef, TransformStep};
+use crate::labeling::{self, ResolvedLabeling};
+
+/// Reads a numeric column as nullable values.
+fn column_values(cube: &DerivedCube, name: &str) -> Result<Vec<Option<f64>>, AssessError> {
+    let col = cube.require_numeric(name)?;
+    Ok((0..col.len()).map(|row| col.get(row)).collect())
+}
+
+/// Resolves a transform input to per-row values (literals broadcast;
+/// properties looked up on each cell's coordinate, rolling the group-by
+/// member up to the property's level when needed).
+fn input_values(cube: &DerivedCube, input: &ColRef) -> Result<Vec<Option<f64>>, AssessError> {
+    match input {
+        ColRef::Column(name) => column_values(cube, name),
+        ColRef::Literal(v) => Ok(vec![Some(*v); cube.len()]),
+        ColRef::Property { level, name } => {
+            let schema = cube.schema();
+            let (hi, li) = schema.locate_level(level)?;
+            let group_level = cube.group_by().slots()[hi].ok_or_else(|| {
+                AssessError::Statement(format!(
+                    "property `{name}` of level `{level}` needs its hierarchy in the by clause"
+                ))
+            })?;
+            if group_level > li {
+                return Err(AssessError::Statement(format!(
+                    "property `{name}` lives at level `{level}`, which is finer than the group-by level"
+                )));
+            }
+            let h = schema.hierarchy(hi).expect("located hierarchy exists");
+            let lvl = h.level(li).expect("located level exists");
+            if lvl.property(name).is_none() {
+                return Err(AssessError::Statement(format!(
+                    "level `{level}` has no property `{name}`"
+                )));
+            }
+            let rollmap = h.composed_map(group_level, li)?;
+            let component = cube.group_by().component_of(hi).expect("included hierarchy");
+            let col = &cube.coord_cols()[component];
+            Ok((0..cube.len())
+                .map(|row| {
+                    let member = rollmap[col[row].index()];
+                    lvl.property_of(name, member)
+                })
+                .collect())
+        }
+    }
+}
+
+/// Checks Definition 3.1 joinability: equal group-by sets.
+fn check_joinable(left: &DerivedCube, right: &DerivedCube) -> Result<(), AssessError> {
+    if left.group_by() != right.group_by() {
+        return Err(AssessError::Statement(
+            "cubes are not joinable: different group-by sets".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Keeps the rows of `cube` flagged in `keep`, preserving column order.
+pub fn filter_rows(cube: &DerivedCube, keep: &[bool]) -> DerivedCube {
+    let rows: Vec<usize> = (0..cube.len()).filter(|&r| keep[r]).collect();
+    let coord_cols: Vec<Vec<MemberId>> = cube
+        .coord_cols()
+        .iter()
+        .map(|col| rows.iter().map(|&r| col[r]).collect())
+        .collect();
+    let columns: Vec<CubeColumn> = cube
+        .columns()
+        .iter()
+        .map(|c| match c {
+            CubeColumn::Numeric(nc) => CubeColumn::Numeric(NumericColumn::nullable(
+                nc.name.clone(),
+                rows.iter().map(|&r| nc.get(r)).collect(),
+            )),
+            CubeColumn::Label(lc) => {
+                let mut out = LabelColumn::new(lc.name.clone());
+                for &r in &rows {
+                    out.push(lc.get(r));
+                }
+                CubeColumn::Label(out)
+            }
+        })
+        .collect();
+    DerivedCube::from_parts(cube.schema().clone(), cube.group_by().clone(), coord_cols, columns)
+        .expect("filtered columns stay consistent")
+}
+
+/// Drops the rows whose `column` is null (the `assess` inner semantics
+/// applied after the benchmark measure is computed).
+pub fn drop_null_rows(cube: &DerivedCube, column: &str) -> Result<DerivedCube, AssessError> {
+    let col = cube.require_numeric(column)?;
+    let keep: Vec<bool> = (0..cube.len()).map(|r| col.get(r).is_some()).collect();
+    Ok(filter_rows(cube, &keep))
+}
+
+/// Natural join `C ⋈ B`: appends `measure` of the matching `right` cell as
+/// a nullable column `rename`.
+pub fn natural_join(
+    left: &DerivedCube,
+    right: &DerivedCube,
+    kind: JoinKind,
+    measure: &str,
+    rename: &str,
+) -> Result<DerivedCube, AssessError> {
+    check_joinable(left, right)?;
+    let rcol = right.require_numeric(measure)?;
+    let index: HashMap<Coordinate, u32> = right.build_index();
+    let matches: Vec<Option<f64>> = (0..left.len())
+        .map(|row| index.get(&left.coordinate(row)).and_then(|&r| rcol.get(r as usize)))
+        .collect();
+    attach_and_filter(left, vec![(rename.to_string(), matches)], kind)
+}
+
+/// Partial join `C ⋈_{G\l} B`: for each slice member, appends its value of
+/// `measure` under the corresponding name.
+pub fn sliced_join(
+    left: &DerivedCube,
+    right: &DerivedCube,
+    component: usize,
+    members: &[MemberId],
+    measure: &str,
+    names: &[String],
+    kind: JoinKind,
+) -> Result<DerivedCube, AssessError> {
+    check_joinable(left, right)?;
+    if members.len() != names.len() {
+        return Err(AssessError::Statement(format!(
+            "{} slice members but {} column names",
+            members.len(),
+            names.len()
+        )));
+    }
+    let rcol = right.require_numeric(measure)?;
+    let index: HashMap<Coordinate, u32> = right.build_index();
+    let mut new_cols: Vec<(String, Vec<Option<f64>>)> =
+        names.iter().map(|n| (n.clone(), Vec::with_capacity(left.len()))).collect();
+    for row in 0..left.len() {
+        let coord = left.coordinate(row);
+        for (j, &member) in members.iter().enumerate() {
+            let key = coord.with_component(component, member);
+            new_cols[j].1.push(index.get(&key).and_then(|&r| rcol.get(r as usize)));
+        }
+    }
+    attach_and_filter(left, new_cols, kind)
+}
+
+/// Roll-up join (ancestor benchmarks): pairs each left cell with the right
+/// cell whose component `component` is the left member's ancestor at the
+/// right cube's coarser level, appending the ancestor's `measure` under
+/// `rename`.
+#[allow(clippy::too_many_arguments)]
+pub fn rollup_join(
+    left: &DerivedCube,
+    right: &DerivedCube,
+    component: usize,
+    hierarchy: usize,
+    fine_level: usize,
+    coarse_level: usize,
+    measure: &str,
+    rename: &str,
+    kind: JoinKind,
+) -> Result<DerivedCube, AssessError> {
+    // Not coordinate-equal joinable: the group-by sets differ exactly on the
+    // rolled hierarchy.
+    let rcol = right.require_numeric(measure)?;
+    let index: HashMap<Coordinate, u32> = right.build_index();
+    let h = left
+        .schema()
+        .hierarchy(hierarchy)
+        .ok_or_else(|| AssessError::Statement("roll-up hierarchy out of range".into()))?;
+    let rollmap = h.composed_map(fine_level, coarse_level)?;
+    let matches: Vec<Option<f64>> = (0..left.len())
+        .map(|row| {
+            let mut coord = left.coordinate(row);
+            let fine_member = coord.members()[component];
+            coord = coord.with_component(component, rollmap[fine_member.index()]);
+            index.get(&coord).and_then(|&r| rcol.get(r as usize))
+        })
+        .collect();
+    attach_and_filter(left, vec![(rename.to_string(), matches)], kind)
+}
+
+/// Pivot `⊞`: keeps the `reference` slice of coordinate component
+/// `component`, appending each neighbor slice's `measure` under `names`.
+pub fn pivot(
+    input: &DerivedCube,
+    component: usize,
+    reference: MemberId,
+    neighbors: &[MemberId],
+    measure: &str,
+    names: &[String],
+) -> Result<DerivedCube, AssessError> {
+    if neighbors.len() != names.len() {
+        return Err(AssessError::Statement(format!(
+            "{} neighbors but {} names",
+            neighbors.len(),
+            names.len()
+        )));
+    }
+    let mcol = input.require_numeric(measure)?;
+    let index: HashMap<Coordinate, u32> = input.build_index();
+    let keep: Vec<bool> = (0..input.len())
+        .map(|row| input.coord_cols()[component][row] == reference)
+        .collect();
+    let reference_rows = filter_rows(input, &keep);
+    let mut new_cols: Vec<(String, Vec<Option<f64>>)> =
+        names.iter().map(|n| (n.clone(), Vec::with_capacity(reference_rows.len()))).collect();
+    for row in 0..reference_rows.len() {
+        let coord = reference_rows.coordinate(row);
+        for (j, &nb) in neighbors.iter().enumerate() {
+            let key = coord.with_component(component, nb);
+            new_cols[j].1.push(index.get(&key).and_then(|&r| mcol.get(r as usize)));
+        }
+    }
+    attach_and_filter(&reference_rows, new_cols, JoinKind::LeftOuter)
+}
+
+/// Appends nullable columns to a copy of `left`; under [`JoinKind::Inner`],
+/// rows with no valid value in any of the new columns are dropped.
+fn attach_and_filter(
+    left: &DerivedCube,
+    new_cols: Vec<(String, Vec<Option<f64>>)>,
+    kind: JoinKind,
+) -> Result<DerivedCube, AssessError> {
+    let mut cube = left.clone();
+    let keep: Vec<bool> = (0..left.len())
+        .map(|row| new_cols.iter().any(|(_, vals)| vals[row].is_some()))
+        .collect();
+    for (name, vals) in new_cols {
+        cube.add_column(CubeColumn::Numeric(NumericColumn::nullable(name, vals)))?;
+    }
+    Ok(match kind {
+        JoinKind::LeftOuter => cube,
+        JoinKind::Inner => filter_rows(&cube, &keep),
+    })
+}
+
+/// Applies one `⊟`/`⊡` transform step, appending its output column.
+pub fn apply_transform(cube: &mut DerivedCube, step: &TransformStep) -> Result<(), AssessError> {
+    let inputs: Vec<Vec<Option<f64>>> = step
+        .inputs
+        .iter()
+        .map(|i| input_values(cube, i))
+        .collect::<Result<_, _>>()?;
+    let out: Vec<Option<f64>> = if step.function.is_holistic() {
+        let refs: Vec<&[Option<f64>]> = inputs.iter().map(Vec::as_slice).collect();
+        step.function.eval_holistic(&refs)
+    } else {
+        (0..cube.len())
+            .map(|row| {
+                let args: Vec<Option<f64>> = inputs.iter().map(|col| col[row]).collect();
+                step.function.eval_cell(&args)
+            })
+            .collect()
+    };
+    cube.add_column(CubeColumn::Numeric(NumericColumn::nullable(step.output.clone(), out)))?;
+    Ok(())
+}
+
+/// Applies the regression transform of past benchmarks: fits each row's
+/// chronological `history` columns and writes the one-step-ahead forecast.
+pub fn apply_regression(
+    cube: &mut DerivedCube,
+    history: &[String],
+    output: &str,
+) -> Result<(), AssessError> {
+    let cols: Vec<Vec<Option<f64>>> = history
+        .iter()
+        .map(|name| column_values(cube, name))
+        .collect::<Result<_, _>>()?;
+    let forecaster = Forecaster::new(Predictor::LinearRegression);
+    let out: Vec<Option<f64>> = (0..cube.len())
+        .map(|row| {
+            let series: Vec<Option<f64>> = cols.iter().map(|c| c[row]).collect();
+            forecaster.predict(&series)
+        })
+        .collect();
+    cube.add_column(CubeColumn::Numeric(NumericColumn::nullable(output.to_string(), out)))?;
+    Ok(())
+}
+
+/// Attaches a constant benchmark column.
+pub fn add_const_column(
+    cube: &mut DerivedCube,
+    name: &str,
+    value: f64,
+) -> Result<(), AssessError> {
+    let data = vec![value; cube.len()];
+    cube.add_column(CubeColumn::Numeric(NumericColumn::dense(name.to_string(), data)))?;
+    Ok(())
+}
+
+/// Applies the labeling function to `input_column`, appending the `label`
+/// column.
+pub fn apply_label(
+    cube: &mut DerivedCube,
+    labeling: &ResolvedLabeling,
+    input_column: &str,
+) -> Result<(), AssessError> {
+    let values = column_values(cube, input_column)?;
+    let labels = labeling::apply(labeling, &values);
+    let col = LabelColumn::from_labels("label", labels);
+    cube.add_column(CubeColumn::Label(col))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions::Function;
+    use olap_model::{AggOp, CubeSchema, GroupBySet, HierarchyBuilder, MeasureDef};
+    use std::sync::Arc;
+
+    /// Figure 1's cubes: fresh-fruit quantities in Italy and France.
+    fn schema() -> Arc<CubeSchema> {
+        let mut product = HierarchyBuilder::new("Product", ["product"]);
+        for p in ["Apple", "Pear", "Lemon"] {
+            product.add_member_chain(&[p]).unwrap();
+        }
+        let mut store = HierarchyBuilder::new("Store", ["country"]);
+        store.add_member_chain(&["Italy"]).unwrap();
+        store.add_member_chain(&["France"]).unwrap();
+        Arc::new(CubeSchema::new(
+            "SALES",
+            vec![product.build().unwrap(), store.build().unwrap()],
+            vec![MeasureDef::new("quantity", AggOp::Sum)],
+        ))
+    }
+
+    fn cube(schema: &Arc<CubeSchema>, country: u32, quantities: &[(u32, f64)]) -> DerivedCube {
+        let g = GroupBySet::from_level_names(schema, &["product", "country"]).unwrap();
+        DerivedCube::from_parts(
+            schema.clone(),
+            g,
+            vec![
+                quantities.iter().map(|(p, _)| MemberId(*p)).collect(),
+                vec![MemberId(country); quantities.len()],
+            ],
+            vec![CubeColumn::Numeric(NumericColumn::dense(
+                "quantity",
+                quantities.iter().map(|(_, q)| *q).collect(),
+            ))],
+        )
+        .unwrap()
+    }
+
+    fn figure_1() -> (DerivedCube, DerivedCube) {
+        let s = schema();
+        let italy = cube(&s, 0, &[(0, 100.0), (1, 90.0), (2, 30.0)]);
+        let france = cube(&s, 1, &[(0, 150.0), (1, 110.0), (2, 20.0)]);
+        (italy, france)
+    }
+
+    #[test]
+    fn figure_1_sliced_join_and_transforms() {
+        let (italy, france) = figure_1();
+        // D = C ⋈_product B (component 1 is the country).
+        let mut d = sliced_join(
+            &italy,
+            &france,
+            1,
+            &[MemberId(1)],
+            "quantity",
+            &["benchmark.quantity".to_string()],
+            JoinKind::Inner,
+        )
+        .unwrap();
+        assert_eq!(d.len(), 3);
+        // E = ⊟ difference → diff.
+        apply_transform(
+            &mut d,
+            &TransformStep {
+                function: Function::Difference,
+                inputs: vec![
+                    ColRef::Column("quantity".into()),
+                    ColRef::Column("benchmark.quantity".into()),
+                ],
+                output: "diff".into(),
+            },
+        )
+        .unwrap();
+        let diff = column_values(&d, "diff").unwrap();
+        assert_eq!(diff, vec![Some(-50.0), Some(-20.0), Some(10.0)]);
+        // F = ⊡ percOfTotal over ⟨diff, quantity⟩: totals 100+90+30 = 220.
+        apply_transform(
+            &mut d,
+            &TransformStep {
+                function: Function::PercOfTotal,
+                inputs: vec![ColRef::Column("diff".into()), ColRef::Column("quantity".into())],
+                output: "percOfTotal".into(),
+            },
+        )
+        .unwrap();
+        let pot = column_values(&d, "percOfTotal").unwrap();
+        assert!((pot[0].unwrap() - (-50.0 / 220.0)).abs() < 1e-12);
+        assert!((pot[2].unwrap() - (10.0 / 220.0)).abs() < 1e-12);
+        // G = range labeling: Figure 1 labels Apple bad, Pear/Lemon ok.
+        let labeling = ResolvedLabeling::Ranges(labeling::ranges(&[
+            (f64::NEG_INFINITY, true, -0.2, false, "bad"),
+            (-0.2, true, 0.2, true, "ok"),
+            (0.2, false, f64::INFINITY, true, "good"),
+        ]));
+        apply_label(&mut d, &labeling, "percOfTotal").unwrap();
+        let labels: Vec<Option<&str>> =
+            (0..3).map(|r| d.label_column("label").unwrap().get(r)).collect();
+        assert_eq!(labels, vec![Some("bad"), Some("ok"), Some("ok")]);
+    }
+
+    #[test]
+    fn pivot_matches_sliced_join_on_figure_1() {
+        let (italy, france) = figure_1();
+        // Build the union cube C′ (both slices) and pivot on Italy.
+        let s = italy.schema().clone();
+        let g = italy.group_by().clone();
+        let mut coord_cols = italy.coord_cols().to_vec();
+        for (c, col) in coord_cols.iter_mut().enumerate() {
+            col.extend(france.coord_cols()[c].iter().copied());
+        }
+        let mut q = italy.numeric_column("quantity").unwrap().data.clone();
+        q.extend(france.numeric_column("quantity").unwrap().data.iter().copied());
+        let all = DerivedCube::from_parts(
+            s,
+            g,
+            coord_cols,
+            vec![CubeColumn::Numeric(NumericColumn::dense("quantity", q))],
+        )
+        .unwrap();
+        let pivoted = pivot(
+            &all,
+            1,
+            MemberId(0),
+            &[MemberId(1)],
+            "quantity",
+            &["qtyFrance".to_string()],
+        )
+        .unwrap();
+        assert_eq!(pivoted.len(), 3);
+        assert_eq!(
+            column_values(&pivoted, "qtyFrance").unwrap(),
+            vec![Some(150.0), Some(110.0), Some(20.0)]
+        );
+    }
+
+    #[test]
+    fn natural_join_inner_and_outer() {
+        let s = schema();
+        let left = cube(&s, 0, &[(0, 1.0), (1, 2.0), (2, 3.0)]);
+        let right = cube(&s, 0, &[(0, 10.0), (2, 30.0)]);
+        let inner = natural_join(&left, &right, JoinKind::Inner, "quantity", "b").unwrap();
+        assert_eq!(inner.len(), 2);
+        let outer = natural_join(&left, &right, JoinKind::LeftOuter, "quantity", "b").unwrap();
+        assert_eq!(outer.len(), 3);
+        assert_eq!(column_values(&outer, "b").unwrap(), vec![Some(10.0), None, Some(30.0)]);
+    }
+
+    #[test]
+    fn join_rejects_different_group_bys() {
+        let s = schema();
+        let left = cube(&s, 0, &[(0, 1.0)]);
+        let g = GroupBySet::from_level_names(&s, &["product"]).unwrap();
+        let right = DerivedCube::from_parts(
+            s.clone(),
+            g,
+            vec![vec![MemberId(0)]],
+            vec![CubeColumn::Numeric(NumericColumn::dense("quantity", vec![1.0]))],
+        )
+        .unwrap();
+        assert!(natural_join(&left, &right, JoinKind::Inner, "quantity", "b").is_err());
+    }
+
+    #[test]
+    fn regression_forecasts_per_row() {
+        let s = schema();
+        let mut c = cube(&s, 0, &[(0, 30.0), (1, 7.0)]);
+        c.add_column(CubeColumn::Numeric(NumericColumn::dense("past0", vec![10.0, 7.0])))
+            .unwrap();
+        c.add_column(CubeColumn::Numeric(NumericColumn::dense("past1", vec![20.0, 7.0])))
+            .unwrap();
+        apply_regression(
+            &mut c,
+            &["past0".into(), "past1".into(), "quantity".into()],
+            "benchmark.quantity",
+        )
+        .unwrap();
+        let pred = column_values(&c, "benchmark.quantity").unwrap();
+        assert!((pred[0].unwrap() - 40.0).abs() < 1e-9); // 10,20,30 → 40
+        assert!((pred[1].unwrap() - 7.0).abs() < 1e-9); // flat series
+    }
+
+    #[test]
+    fn const_column_and_null_drop() {
+        let s = schema();
+        let mut c = cube(&s, 0, &[(0, 1.0), (1, 2.0)]);
+        add_const_column(&mut c, "benchmark.quantity", 5.0).unwrap();
+        assert_eq!(
+            column_values(&c, "benchmark.quantity").unwrap(),
+            vec![Some(5.0), Some(5.0)]
+        );
+        c.add_column(CubeColumn::Numeric(NumericColumn::nullable(
+            "maybe",
+            vec![Some(1.0), None],
+        )))
+        .unwrap();
+        let dropped = drop_null_rows(&c, "maybe").unwrap();
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(dropped.coordinate(0).members()[0], MemberId(0));
+    }
+
+    #[test]
+    fn transform_with_literal_broadcasts() {
+        let s = schema();
+        let mut c = cube(&s, 0, &[(0, 10.0), (1, 20.0)]);
+        apply_transform(
+            &mut c,
+            &TransformStep {
+                function: Function::Ratio,
+                inputs: vec![ColRef::Column("quantity".into()), ColRef::Literal(10.0)],
+                output: "delta".into(),
+            },
+        )
+        .unwrap();
+        assert_eq!(column_values(&c, "delta").unwrap(), vec![Some(1.0), Some(2.0)]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Physical strategies (Section 5.2): NP, JOP and POP.
+
+use crate::error::AssessError;
+use crate::logical::LogicalOp;
+use crate::rewrite;
+use crate::semantics::{ResolvedAssess, ResolvedBenchmark};
+
+/// An execution strategy for an assess statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// NP: only the `get` operations are pushed to the engine; join, pivot
+    /// and every transformation run in client memory.
+    Naive,
+    /// JOP: the top `get ⋈ get` is pushed to the engine too (requires the
+    /// plan to start with a join of two gets, possibly after P2).
+    JoinOptimized,
+    /// POP: the join is replaced by a pivot (P3), and the fused
+    /// `get + pivot` is pushed to the engine. Feasible only for sibling and
+    /// past benchmarks, which read several slices of a single cube.
+    PivotOptimized,
+}
+
+impl Strategy {
+    /// The acronym used by the paper's figures.
+    pub fn acronym(self) -> &'static str {
+        match self {
+            Strategy::Naive => "NP",
+            Strategy::JoinOptimized => "JOP",
+            Strategy::PivotOptimized => "POP",
+        }
+    }
+
+    /// All strategies, in the paper's order.
+    pub fn all() -> [Strategy; 3] {
+        [Strategy::Naive, Strategy::JoinOptimized, Strategy::PivotOptimized]
+    }
+
+    /// Whether this strategy can execute the given benchmark type
+    /// (Section 5.2's feasibility matrix: Constant — NP only; External —
+    /// NP/JOP; Sibling and Past — all three).
+    pub fn feasible_for(self, benchmark: &ResolvedBenchmark) -> bool {
+        match (self, benchmark) {
+            (Strategy::Naive, _) => true,
+            (Strategy::JoinOptimized, ResolvedBenchmark::Constant { .. }) => false,
+            (Strategy::JoinOptimized, _) => true,
+            (
+                Strategy::PivotOptimized,
+                ResolvedBenchmark::Sibling { .. } | ResolvedBenchmark::Past { .. },
+            ) => true,
+            (Strategy::PivotOptimized, _) => false,
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.acronym())
+    }
+}
+
+/// A physical plan: the (possibly rewritten) logical tree plus the strategy
+/// that decides which prefixes the executor pushes to the engine.
+#[derive(Debug, Clone)]
+pub struct PhysicalPlan {
+    pub strategy: Strategy,
+    pub root: LogicalOp,
+}
+
+/// Plans a resolved statement under a strategy, applying the Section 5.1
+/// rewrites the strategy requires.
+pub fn plan(resolved: &ResolvedAssess, strategy: Strategy) -> Result<PhysicalPlan, AssessError> {
+    if !strategy.feasible_for(&resolved.benchmark) {
+        return Err(AssessError::InfeasibleStrategy {
+            strategy: strategy.acronym(),
+            reason: format!(
+                "{} benchmarks have no {} form",
+                resolved.benchmark.kind(),
+                match strategy {
+                    Strategy::JoinOptimized => "join to push to the engine",
+                    Strategy::PivotOptimized => "multi-slice get to pivot",
+                    Strategy::Naive => unreachable!(),
+                }
+            ),
+        });
+    }
+    let naive = resolved.naive_plan();
+    let root = match (strategy, &resolved.benchmark) {
+        (Strategy::Naive, _) => naive,
+        // External/sibling/ancestor naive plans already start with get ⋈ get.
+        (Strategy::JoinOptimized, ResolvedBenchmark::External { .. })
+        | (Strategy::JoinOptimized, ResolvedBenchmark::Sibling { .. })
+        | (Strategy::JoinOptimized, ResolvedBenchmark::Ancestor { .. }) => naive,
+        // Past needs P2 to hoist pivot + regression above the join.
+        (Strategy::JoinOptimized, ResolvedBenchmark::Past { .. }) => {
+            rewrite::rewrite_once(&naive, &rewrite::push_join_through_transform).ok_or_else(
+                || AssessError::InfeasibleStrategy {
+                    strategy: "JOP",
+                    reason: "property P2 did not apply to the past plan".into(),
+                },
+            )?
+        }
+        (Strategy::PivotOptimized, ResolvedBenchmark::Sibling { .. }) => {
+            rewrite::rewrite_once(&naive, &rewrite::replace_join_with_pivot).ok_or_else(|| {
+                AssessError::InfeasibleStrategy {
+                    strategy: "POP",
+                    reason: "property P3 did not apply to the sibling plan".into(),
+                }
+            })?
+        }
+        (Strategy::PivotOptimized, ResolvedBenchmark::Past { .. }) => {
+            let after_p2 = rewrite::rewrite_once(&naive, &rewrite::push_join_through_transform)
+                .ok_or_else(|| AssessError::InfeasibleStrategy {
+                    strategy: "POP",
+                    reason: "property P2 did not apply to the past plan".into(),
+                })?;
+            rewrite::rewrite_once(&after_p2, &rewrite::replace_join_with_pivot).ok_or_else(
+                || AssessError::InfeasibleStrategy {
+                    strategy: "POP",
+                    reason: "property P3 did not apply after P2".into(),
+                },
+            )?
+        }
+        _ => unreachable!("infeasible combinations are rejected above"),
+    };
+    Ok(PhysicalPlan { strategy, root })
+}

@@ -1,0 +1,225 @@
+//! The result of an assess statement.
+//!
+//! Per Section 4.1, each result cell carries (i) its coordinate, (ii) the
+//! assessed measure value, (iii) the benchmark measure value, (iv) the
+//! comparison value, and (v) the label.
+
+use std::collections::BTreeMap;
+
+use olap_model::DerivedCube;
+use serde::Serialize;
+
+use crate::functions::DELTA_COLUMN;
+use crate::semantics::ResolvedAssess;
+
+/// One assessed cell, decoded for presentation.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AssessedCell {
+    /// Member names of the coordinate, in group-by order.
+    pub coordinate: Vec<String>,
+    /// The assessed measure value `m`.
+    pub value: Option<f64>,
+    /// The benchmark measure value `m_B`.
+    pub benchmark: Option<f64>,
+    /// The comparison value `m_Δ`.
+    pub comparison: Option<f64>,
+    /// The label `m_λ` (null for `assess*` cells without a match, or when a
+    /// range labeling does not cover the comparison value).
+    pub label: Option<String>,
+}
+
+/// The assessed cube: the target cube extended with the benchmark,
+/// comparison and label columns.
+#[derive(Debug, Clone)]
+pub struct AssessedCube {
+    cube: DerivedCube,
+    measure: String,
+    benchmark_column: String,
+}
+
+impl AssessedCube {
+    pub(crate) fn new(cube: DerivedCube, resolved: &ResolvedAssess) -> Self {
+        AssessedCube {
+            cube,
+            measure: resolved.measure.clone(),
+            benchmark_column: resolved.benchmark_column(),
+        }
+    }
+
+    /// The underlying derived cube (all columns, including intermediate
+    /// transform outputs).
+    pub fn cube(&self) -> &DerivedCube {
+        &self.cube
+    }
+
+    /// `|C|`: number of assessed cells.
+    pub fn len(&self) -> usize {
+        self.cube.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cube.is_empty()
+    }
+
+    /// The assessed measure name.
+    pub fn measure(&self) -> &str {
+        &self.measure
+    }
+
+    /// The benchmark column name (`benchmark.<m>`).
+    pub fn benchmark_column(&self) -> &str {
+        &self.benchmark_column
+    }
+
+    /// Decodes one cell.
+    pub fn cell(&self, row: usize) -> AssessedCell {
+        let coordinate = self
+            .cube
+            .coordinate(row)
+            .names(self.cube.schema(), self.cube.group_by())
+            .map(|names| names.into_iter().map(str::to_string).collect())
+            .unwrap_or_default();
+        AssessedCell {
+            coordinate,
+            value: self.cube.numeric_column(&self.measure).and_then(|c| c.get(row)),
+            benchmark: self.cube.numeric_column(&self.benchmark_column).and_then(|c| c.get(row)),
+            comparison: self.cube.numeric_column(DELTA_COLUMN).and_then(|c| c.get(row)),
+            label: self
+                .cube
+                .label_column("label")
+                .and_then(|c| c.get(row))
+                .map(str::to_string),
+        }
+    }
+
+    /// Decodes every cell.
+    pub fn cells(&self) -> Vec<AssessedCell> {
+        (0..self.len()).map(|row| self.cell(row)).collect()
+    }
+
+    /// Label frequencies (null cells counted under `"<unlabeled>"`).
+    pub fn label_histogram(&self) -> BTreeMap<String, usize> {
+        let mut hist = BTreeMap::new();
+        match self.cube.label_column("label") {
+            Some(col) => {
+                for row in 0..self.len() {
+                    let key = col.get(row).unwrap_or("<unlabeled>").to_string();
+                    *hist.entry(key).or_insert(0) += 1;
+                }
+            }
+            None => {
+                if !self.is_empty() {
+                    hist.insert("<unlabeled>".to_string(), self.len());
+                }
+            }
+        }
+        hist
+    }
+
+    /// Renders the result as a text table with the five Section 4.1 columns.
+    pub fn render(&self, max_rows: usize) -> String {
+        use std::fmt::Write as _;
+        let level_names: Vec<String> = self
+            .cube
+            .group_by()
+            .level_names(self.cube.schema())
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        let mut header = level_names;
+        header.extend([
+            self.measure.clone(),
+            self.benchmark_column.clone(),
+            DELTA_COLUMN.to_string(),
+            "label".to_string(),
+        ]);
+        let fmt_opt = |v: Option<f64>| match v {
+            Some(x) => format!("{x:.4}"),
+            None => "null".to_string(),
+        };
+        let rows: Vec<Vec<String>> = (0..self.len().min(max_rows))
+            .map(|row| {
+                let cell = self.cell(row);
+                let mut cols = cell.coordinate;
+                cols.push(fmt_opt(cell.value));
+                cols.push(fmt_opt(cell.benchmark));
+                cols.push(fmt_opt(cell.comparison));
+                cols.push(cell.label.unwrap_or_else(|| "null".to_string()));
+                cols
+            })
+            .collect();
+        let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+        for row in &rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "| {:<w$} ", c, w = widths[i]);
+            }
+            out.push_str("|\n");
+        };
+        render_row(&header, &mut out);
+        for w in &widths {
+            let _ = write!(out, "|{:-<w$}", "", w = w + 2);
+        }
+        out.push_str("|\n");
+        for row in &rows {
+            render_row(row, &mut out);
+        }
+        if self.len() > max_rows {
+            let _ = writeln!(out, "… {} more cells", self.len() - max_rows);
+        }
+        out
+    }
+}
+
+impl AssessedCube {
+    /// Serializes the result as CSV: coordinate levels, then the five
+    /// Section 4.1 columns. Fields are quoted when they contain commas or
+    /// quotes.
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        let mut header: Vec<String> = self
+            .cube
+            .group_by()
+            .level_names(self.cube.schema())
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        header.extend([
+            self.measure.clone(),
+            self.benchmark_column.clone(),
+            DELTA_COLUMN.to_string(),
+            "label".to_string(),
+        ]);
+        out.push_str(&header.iter().map(|h| field(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for cell in self.cells() {
+            let mut row: Vec<String> = cell.coordinate.iter().map(|c| field(c)).collect();
+            let num = |v: Option<f64>| v.map(|x| x.to_string()).unwrap_or_default();
+            row.push(num(cell.value));
+            row.push(num(cell.benchmark));
+            row.push(num(cell.comparison));
+            row.push(cell.label.map(|l| field(&l)).unwrap_or_default());
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes every cell as a JSON array (via [`AssessedCell`]'s
+    /// `Serialize` implementation).
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(&self.cells())
+    }
+}

@@ -1,0 +1,285 @@
+//! The algebraic properties of Section 5.1, as plan rewrites.
+//!
+//! * **P1** — transform commutativity: adjacent `⊟`/`⊡` applications swap
+//!   when neither consumes the other's output.
+//! * **P2** — pushing the join through the transformation: the NP past shape
+//!   `C ⋈_{G\l} (⊟regression(⊞ B))` becomes
+//!   `⊟regression(C ⋈_{G\l} B)` — the pivot disappears because the partial
+//!   join itself aligns the k slices, leaving a `Get ⋈ Get` prefix that JOP
+//!   can push to the engine.
+//! * **P3** — replacing the join with a pivot: `[q] ⋈_{G\l} [q′]`, where the
+//!   two gets differ only in their slice on level `l` of the same cube,
+//!   becomes `⊞([q_all])` with `q_all` selecting all slices at once — the
+//!   single-scan prefix POP pushes to the engine.
+
+use olap_model::{CubeQuery, Predicate, PredicateOp};
+
+use crate::functions::ColRef;
+use crate::logical::LogicalOp;
+use crate::semantics::ResolvedAssess;
+
+/// P1: commutes `Transform(Transform(x, inner), outer)` into
+/// `Transform(Transform(x, outer), inner)` when the two steps are
+/// independent (`n_g ∉ M′ and n_f ∉ M`). Returns `None` when the pattern
+/// does not apply or the steps depend on each other.
+pub fn commute_transforms(plan: &LogicalOp) -> Option<LogicalOp> {
+    let LogicalOp::Transform { input, step: outer } = plan else {
+        return None;
+    };
+    let LogicalOp::Transform { input: inner_input, step: inner } = input.as_ref() else {
+        return None;
+    };
+    let consumes = |inputs: &[ColRef], output: &str| {
+        inputs.iter().any(|i| matches!(i, ColRef::Column(c) if c == output))
+    };
+    if consumes(&outer.inputs, &inner.output) || consumes(&inner.inputs, &outer.output) {
+        return None;
+    }
+    Some(LogicalOp::Transform {
+        input: Box::new(LogicalOp::Transform {
+            input: inner_input.clone(),
+            step: outer.clone(),
+        }),
+        step: inner.clone(),
+    })
+}
+
+/// P2: pushes the partial join below the pivot + regression of a past plan.
+///
+/// Matches `SlicedJoin(left, Regression(Pivot(Get)), l, [ref], …)` and
+/// produces `Regression(SlicedJoin(left, Get, l, all-k-slices, …))`. The
+/// pivot is removed: the sliced join now attaches one column per past slice
+/// directly, and the regression runs over those columns on the joined cube.
+pub fn push_join_through_transform(plan: &LogicalOp) -> Option<LogicalOp> {
+    let LogicalOp::SlicedJoin { left, right, kind, hierarchy, measure: _, names, members } = plan
+    else {
+        return None;
+    };
+    let LogicalOp::Regression { input: reg_input, output, .. } = right.as_ref() else {
+        return None;
+    };
+    let LogicalOp::Pivot {
+        input: pivot_input,
+        hierarchy: ph,
+        reference,
+        neighbors,
+        measure: pivot_measure,
+        ..
+    } = reg_input.as_ref()
+    else {
+        return None;
+    };
+    if ph != hierarchy || members.as_slice() != [*reference] || names.len() != 1 {
+        return None;
+    }
+    let LogicalOp::Get { .. } = pivot_input.as_ref() else {
+        return None;
+    };
+    // The joined slices are the pivot's neighbors plus its reference,
+    // chronological (neighbors come first by construction).
+    let mut slices = neighbors.clone();
+    slices.push(*reference);
+    let slice_names = ResolvedAssess::past_column_names(slices.len());
+    Some(LogicalOp::Regression {
+        input: Box::new(LogicalOp::SlicedJoin {
+            left: left.clone(),
+            right: pivot_input.clone(),
+            kind: *kind,
+            hierarchy: *hierarchy,
+            members: slices,
+            measure: pivot_measure.clone(),
+            names: slice_names.clone(),
+        }),
+        history: slice_names,
+        output: output.clone(),
+    })
+}
+
+/// P3: replaces `Get ⋈_{G\l} Get` over two slices of the same cube with a
+/// pivot over one widened get.
+///
+/// Applies when the two queries target the same cube with the same group-by
+/// and identical predicates except the slice on the join's level; the
+/// widened get selects the target slice plus every benchmark slice, and the
+/// pivot keeps the target slice as reference.
+pub fn replace_join_with_pivot(plan: &LogicalOp) -> Option<LogicalOp> {
+    let LogicalOp::SlicedJoin { left, right, kind: _, hierarchy, members, measure, names } = plan
+    else {
+        return None;
+    };
+    let LogicalOp::Get { query: lq, .. } = left.as_ref() else {
+        return None;
+    };
+    let LogicalOp::Get { query: rq, .. } = right.as_ref() else {
+        return None;
+    };
+    if lq.cube != rq.cube || lq.group_by != rq.group_by {
+        return None;
+    }
+    // The target must slice the pivot level with equality; every other
+    // predicate must agree on both sides.
+    let slice_pred = lq.predicates.iter().find(|p| {
+        p.hierarchy == *hierarchy && matches!(p.op, PredicateOp::Eq(_))
+    })?;
+    let reference = match slice_pred.op {
+        PredicateOp::Eq(m) => m,
+        _ => unreachable!(),
+    };
+    let others_match = {
+        let rest = |q: &CubeQuery| {
+            let mut ps: Vec<&Predicate> =
+                q.predicates.iter().filter(|p| p.hierarchy != *hierarchy || p.level != slice_pred.level).collect();
+            ps.sort_by_key(|p| (p.hierarchy, p.level));
+            ps.into_iter().cloned().collect::<Vec<_>>()
+        };
+        rest(lq) == rest(rq)
+    };
+    if !others_match {
+        return None;
+    }
+    // Widen: slice level selects the reference plus all benchmark members.
+    let mut all_members = vec![reference];
+    all_members.extend(members.iter().copied());
+    let mut q_all = lq.clone();
+    for p in q_all.predicates.iter_mut() {
+        if p.hierarchy == *hierarchy && p.level == slice_pred.level {
+            // Past benchmarks are chronological: put the past members first
+            // so the IN list reads naturally, but the pivot's neighbor order
+            // is what actually matters.
+            p.op = PredicateOp::In(all_members.clone());
+        }
+    }
+    // The union of both sides' measures (the widened get must feed both the
+    // target's columns and the pivoted benchmark column).
+    for m in &rq.measures {
+        if !q_all.measures.contains(m) {
+            q_all.measures.push(m.clone());
+        }
+    }
+    Some(LogicalOp::Pivot {
+        input: Box::new(LogicalOp::Get { query: q_all, alias: None }),
+        hierarchy: *hierarchy,
+        reference,
+        neighbors: members.clone(),
+        measure: measure.clone(),
+        names: names.clone(),
+    })
+}
+
+/// Applies a rewrite to the first matching node, searching top-down.
+pub fn rewrite_once(
+    plan: &LogicalOp,
+    rule: &dyn Fn(&LogicalOp) -> Option<LogicalOp>,
+) -> Option<LogicalOp> {
+    if let Some(new) = rule(plan) {
+        return Some(new);
+    }
+    // Rebuild with the first child that rewrote.
+    macro_rules! descend {
+        ($input:expr, $build:expr) => {
+            rewrite_once($input, rule).map($build)
+        };
+    }
+    match plan {
+        LogicalOp::Get { .. } => None,
+        LogicalOp::NaturalJoin { left, right, kind, measure, rename } => {
+            if let Some(l) = rewrite_once(left, rule) {
+                return Some(LogicalOp::NaturalJoin {
+                    left: Box::new(l),
+                    right: right.clone(),
+                    kind: *kind,
+                    measure: measure.clone(),
+                    rename: rename.clone(),
+                });
+            }
+            descend!(right, |r| LogicalOp::NaturalJoin {
+                left: left.clone(),
+                right: Box::new(r),
+                kind: *kind,
+                measure: measure.clone(),
+                rename: rename.clone(),
+            })
+        }
+        LogicalOp::RollupJoin {
+            left,
+            right,
+            kind,
+            hierarchy,
+            fine_level,
+            coarse_level,
+            measure,
+            rename,
+        } => {
+            let rebuild = |l: Box<LogicalOp>, r: Box<LogicalOp>| LogicalOp::RollupJoin {
+                left: l,
+                right: r,
+                kind: *kind,
+                hierarchy: *hierarchy,
+                fine_level: *fine_level,
+                coarse_level: *coarse_level,
+                measure: measure.clone(),
+                rename: rename.clone(),
+            };
+            if let Some(l) = rewrite_once(left, rule) {
+                return Some(rebuild(Box::new(l), right.clone()));
+            }
+            descend!(right, |r| rebuild(left.clone(), Box::new(r)))
+        }
+        LogicalOp::SlicedJoin { left, right, kind, hierarchy, members, measure, names } => {
+            if let Some(l) = rewrite_once(left, rule) {
+                return Some(LogicalOp::SlicedJoin {
+                    left: Box::new(l),
+                    right: right.clone(),
+                    kind: *kind,
+                    hierarchy: *hierarchy,
+                    members: members.clone(),
+                    measure: measure.clone(),
+                    names: names.clone(),
+                });
+            }
+            descend!(right, |r| LogicalOp::SlicedJoin {
+                left: left.clone(),
+                right: Box::new(r),
+                kind: *kind,
+                hierarchy: *hierarchy,
+                members: members.clone(),
+                measure: measure.clone(),
+                names: names.clone(),
+            })
+        }
+        LogicalOp::Pivot { input, hierarchy, reference, neighbors, measure, names } => {
+            descend!(input, |i| LogicalOp::Pivot {
+                input: Box::new(i),
+                hierarchy: *hierarchy,
+                reference: *reference,
+                neighbors: neighbors.clone(),
+                measure: measure.clone(),
+                names: names.clone(),
+            })
+        }
+        LogicalOp::Transform { input, step } => {
+            descend!(input, |i| LogicalOp::Transform { input: Box::new(i), step: step.clone() })
+        }
+        LogicalOp::Regression { input, history, output } => {
+            descend!(input, |i| LogicalOp::Regression {
+                input: Box::new(i),
+                history: history.clone(),
+                output: output.clone(),
+            })
+        }
+        LogicalOp::ConstColumn { input, name, value } => {
+            descend!(input, |i| LogicalOp::ConstColumn {
+                input: Box::new(i),
+                name: name.clone(),
+                value: *value,
+            })
+        }
+        LogicalOp::Label { input, labeling, input_column } => {
+            descend!(input, |i| LogicalOp::Label {
+                input: Box::new(i),
+                labeling: labeling.clone(),
+                input_column: input_column.clone(),
+            })
+        }
+    }
+}

@@ -1,0 +1,523 @@
+//! Statement resolution and the canonical plans of Section 4.3.
+//!
+//! [`ResolvedAssess::resolve`] binds an [`AssessStatement`]'s names against
+//! the cube schemas (levels, members, measures, functions, labelings) and
+//! validates every clause; [`ResolvedAssess::naive_plan`] then builds the
+//! logical-operator tree the paper gives as the semantics of the statement —
+//! one shape per benchmark type.
+
+use std::sync::Arc;
+
+use olap_engine::JoinKind;
+use olap_model::{CubeQuery, CubeSchema, GroupBySet, MemberId, Predicate};
+
+use crate::ast::{AssessStatement, BenchmarkSpec, FuncExpr, PredicateSpec};
+use crate::error::AssessError;
+use crate::functions::{self, TransformStep, BENCHMARK_PREFIX, DELTA_COLUMN};
+use crate::labeling::{self, ResolvedLabeling};
+use crate::logical::LogicalOp;
+
+/// Resolves cube names to schemas. Implemented by the storage catalog.
+pub trait SchemaProvider {
+    fn schema_of(&self, cube: &str) -> Option<Arc<CubeSchema>>;
+}
+
+impl SchemaProvider for olap_storage::Catalog {
+    fn schema_of(&self, cube: &str) -> Option<Arc<CubeSchema>> {
+        self.binding(cube).ok().map(|b| b.schema().clone())
+    }
+}
+
+/// A fully resolved benchmark.
+#[derive(Debug, Clone)]
+pub enum ResolvedBenchmark {
+    /// Constant (or omitted ⇒ zero) benchmark.
+    Constant { value: f64 },
+    /// External cube's measure, joined naturally.
+    External { query: CubeQuery, measure: String },
+    /// Sibling slice `l_s = u_sib` of the target's own cube.
+    Sibling { query: CubeQuery, hierarchy: usize, level: usize, sibling: MemberId },
+    /// Forecast from the `k` preceding slices of the temporal level.
+    Past {
+        query: CubeQuery,
+        hierarchy: usize,
+        level: usize,
+        /// The target's own slice member `u`.
+        target_member: MemberId,
+        /// The `k` predecessors `u_1 … u_k`, chronological.
+        past: Vec<MemberId>,
+    },
+    /// Each cell judged against its own ancestor at a coarser level of the
+    /// same hierarchy (future-work extension: "milk against drinks").
+    Ancestor {
+        /// The benchmark query, grouped at the coarser level.
+        query: CubeQuery,
+        hierarchy: usize,
+        /// The target's (finer) level on that hierarchy.
+        fine_level: usize,
+        /// The ancestor (coarser) level.
+        coarse_level: usize,
+    },
+}
+
+impl ResolvedBenchmark {
+    /// Short name matching the paper's intention families.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ResolvedBenchmark::Constant { .. } => "Constant",
+            ResolvedBenchmark::External { .. } => "External",
+            ResolvedBenchmark::Sibling { .. } => "Sibling",
+            ResolvedBenchmark::Past { .. } => "Past",
+            ResolvedBenchmark::Ancestor { .. } => "Ancestor",
+        }
+    }
+}
+
+/// A resolved, validated assess statement, ready for planning.
+#[derive(Debug, Clone)]
+pub struct ResolvedAssess {
+    pub statement: AssessStatement,
+    pub schema: Arc<CubeSchema>,
+    pub measure: String,
+    pub starred: bool,
+    pub target_query: CubeQuery,
+    pub benchmark: ResolvedBenchmark,
+    /// The compiled `using` chain; its last step writes
+    /// [`crate::functions::DELTA_COLUMN`].
+    pub transforms: Vec<TransformStep>,
+    pub labeling: ResolvedLabeling,
+}
+
+impl ResolvedAssess {
+    /// Resolves and validates a statement against the provider's schemas.
+    pub fn resolve(
+        statement: &AssessStatement,
+        provider: &dyn SchemaProvider,
+    ) -> Result<ResolvedAssess, AssessError> {
+        let schema = provider
+            .schema_of(&statement.cube)
+            .ok_or_else(|| AssessError::UnknownCube(statement.cube.clone()))?;
+        if statement.by.is_empty() {
+            return Err(AssessError::Statement("the by clause is empty".into()));
+        }
+        let group_by = GroupBySet::from_level_names(&schema, &statement.by)?;
+        schema.require_measure(&statement.measure)?;
+        let predicates = resolve_predicates(&schema, &statement.for_preds)?;
+
+        // The benchmark's measure name decides the `benchmark.<x>` column.
+        let benchmark_measure = match &statement.against {
+            Some(BenchmarkSpec::External { measure, .. }) => measure.clone(),
+            _ => statement.measure.clone(),
+        };
+
+        // Target measures: the assessed measure plus any other target
+        // measure the using clause references (derived-measure support).
+        let mut target_measures = vec![statement.measure.clone()];
+        if let Some(expr) = &statement.using {
+            collect_measures(expr, &mut |m| {
+                if schema.measure_index(m).is_some() && !target_measures.iter().any(|x| x == m) {
+                    target_measures.push(m.to_string());
+                }
+            });
+            validate_benchmark_refs(expr, &benchmark_measure)?;
+        }
+        let target_query = CubeQuery::new(
+            statement.cube.clone(),
+            group_by.clone(),
+            predicates.clone(),
+            target_measures,
+        );
+        target_query.validate(&schema)?;
+
+        let benchmark = resolve_benchmark(statement, &schema, &group_by, &predicates, provider)?;
+
+        let using = statement.using.clone().unwrap_or_else(|| {
+            FuncExpr::call(
+                "difference",
+                vec![
+                    FuncExpr::measure(&statement.measure),
+                    FuncExpr::benchmark(&benchmark_measure),
+                ],
+            )
+        });
+        let transforms = functions::compile_using(&using, &statement.measure)?;
+        let labeling = labeling::resolve(&statement.labels)?;
+
+        Ok(ResolvedAssess {
+            statement: statement.clone(),
+            schema,
+            measure: statement.measure.clone(),
+            starred: statement.starred,
+            target_query,
+            benchmark,
+            transforms,
+            labeling,
+        })
+    }
+
+    /// The name of the benchmark measure column `m_B` in the result.
+    pub fn benchmark_column(&self) -> String {
+        let measure = match &self.benchmark {
+            ResolvedBenchmark::External { measure, .. } => measure.as_str(),
+            _ => self.measure.as_str(),
+        };
+        format!("{BENCHMARK_PREFIX}{measure}")
+    }
+
+    /// Join semantics implied by `assess` vs `assess*`.
+    pub fn join_kind(&self) -> JoinKind {
+        if self.starred {
+            JoinKind::LeftOuter
+        } else {
+            JoinKind::Inner
+        }
+    }
+
+    /// Names of the pivoted past columns, chronological, for a past
+    /// benchmark of `k` slices pivoted on its last slice: `past[0..k-1]`.
+    pub fn past_column_names(k: usize) -> Vec<String> {
+        (0..k).map(|i| format!("past{i}")).collect()
+    }
+
+    /// Builds the canonical Naive-Plan logical tree of Section 4.3.
+    pub fn naive_plan(&self) -> LogicalOp {
+        let target = LogicalOp::Get { query: self.target_query.clone(), alias: None };
+        let kind = self.join_kind();
+        let bcol = self.benchmark_column();
+        let assembled = match &self.benchmark {
+            ResolvedBenchmark::Constant { value } => LogicalOp::ConstColumn {
+                input: Box::new(target),
+                name: bcol,
+                value: *value,
+            },
+            ResolvedBenchmark::External { query, measure } => LogicalOp::NaturalJoin {
+                left: Box::new(target),
+                right: Box::new(LogicalOp::Get {
+                    query: query.clone(),
+                    alias: Some("benchmark".into()),
+                }),
+                kind,
+                measure: measure.clone(),
+                rename: bcol,
+            },
+            ResolvedBenchmark::Sibling { query, hierarchy, sibling, .. } => LogicalOp::SlicedJoin {
+                left: Box::new(target),
+                right: Box::new(LogicalOp::Get {
+                    query: query.clone(),
+                    alias: Some("benchmark".into()),
+                }),
+                kind,
+                hierarchy: *hierarchy,
+                members: vec![*sibling],
+                measure: self.measure.clone(),
+                names: vec![bcol],
+            },
+            ResolvedBenchmark::Ancestor { query, hierarchy, fine_level, coarse_level } => {
+                LogicalOp::RollupJoin {
+                    left: Box::new(target),
+                    right: Box::new(LogicalOp::Get {
+                        query: query.clone(),
+                        alias: Some("benchmark".into()),
+                    }),
+                    kind,
+                    hierarchy: *hierarchy,
+                    fine_level: *fine_level,
+                    coarse_level: *coarse_level,
+                    measure: self.measure.clone(),
+                    rename: bcol,
+                }
+            }
+            ResolvedBenchmark::Past { query, hierarchy, past, .. } => {
+                // ⊞ pivot the benchmark onto its most recent slice, ⊟ fit the
+                // regression, then partially join with the target.
+                let k = past.len();
+                let reference = past[k - 1];
+                let neighbors: Vec<MemberId> = past[..k - 1].to_vec();
+                let neighbor_names: Vec<String> =
+                    Self::past_column_names(k - 1);
+                let mut history = neighbor_names.clone();
+                history.push(self.measure.clone());
+                let pivoted = LogicalOp::Pivot {
+                    input: Box::new(LogicalOp::Get {
+                        query: query.clone(),
+                        alias: Some("benchmark".into()),
+                    }),
+                    hierarchy: *hierarchy,
+                    reference,
+                    neighbors,
+                    measure: self.measure.clone(),
+                    names: neighbor_names,
+                };
+                let predicted = LogicalOp::Regression {
+                    input: Box::new(pivoted),
+                    history,
+                    output: bcol.clone(),
+                };
+                LogicalOp::SlicedJoin {
+                    left: Box::new(target),
+                    right: Box::new(predicted),
+                    kind,
+                    hierarchy: *hierarchy,
+                    members: vec![reference],
+                    measure: bcol.clone(),
+                    names: vec![bcol],
+                }
+            }
+        };
+        let transformed = self
+            .transforms
+            .iter()
+            .fold(assembled, |input, step| LogicalOp::Transform {
+                input: Box::new(input),
+                step: step.clone(),
+            });
+        LogicalOp::Label {
+            input: Box::new(transformed),
+            labeling: self.labeling.clone(),
+            input_column: DELTA_COLUMN.to_string(),
+        }
+    }
+}
+
+fn resolve_predicates(
+    schema: &CubeSchema,
+    specs: &[PredicateSpec],
+) -> Result<Vec<Predicate>, AssessError> {
+    specs
+        .iter()
+        .map(|p| {
+            if p.members.len() == 1 {
+                Predicate::eq(schema, &p.level, &p.members[0])
+            } else {
+                Predicate::is_in(schema, &p.level, &p.members)
+            }
+            .map_err(AssessError::from)
+        })
+        .collect()
+}
+
+/// Walks a using expression, calling `f` on every target-measure reference.
+fn collect_measures(expr: &FuncExpr, f: &mut dyn FnMut(&str)) {
+    match expr {
+        FuncExpr::Measure(m) => f(m),
+        FuncExpr::Call { args, .. } => {
+            for a in args {
+                collect_measures(a, f);
+            }
+        }
+        FuncExpr::BenchmarkMeasure(_) | FuncExpr::Number(_) | FuncExpr::Property { .. } => {}
+    }
+}
+
+/// All `benchmark.x` references must name the actual benchmark measure.
+fn validate_benchmark_refs(expr: &FuncExpr, expected: &str) -> Result<(), AssessError> {
+    match expr {
+        FuncExpr::BenchmarkMeasure(m) if m != expected => Err(AssessError::Statement(format!(
+            "using references benchmark.{m}, but the benchmark measure is `{expected}`"
+        ))),
+        FuncExpr::Call { args, .. } => {
+            for a in args {
+                validate_benchmark_refs(a, expected)?;
+            }
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
+
+fn resolve_benchmark(
+    statement: &AssessStatement,
+    schema: &Arc<CubeSchema>,
+    group_by: &GroupBySet,
+    predicates: &[Predicate],
+    provider: &dyn SchemaProvider,
+) -> Result<ResolvedBenchmark, AssessError> {
+    match &statement.against {
+        None => Ok(ResolvedBenchmark::Constant { value: 0.0 }),
+        Some(BenchmarkSpec::Constant(v)) => Ok(ResolvedBenchmark::Constant { value: *v }),
+        Some(BenchmarkSpec::External { cube, measure }) => {
+            let ext_schema = provider
+                .schema_of(cube)
+                .ok_or_else(|| AssessError::UnknownCube(cube.clone()))?;
+            ext_schema
+                .require_measure(measure)
+                .map_err(|_| AssessError::InvalidBenchmark(format!(
+                    "cube `{cube}` has no measure `{measure}`"
+                )))?;
+            // Reconciliation: the same group-by and predicates must resolve
+            // against the external schema (H = H′, Section 3.1).
+            let ext_group_by = GroupBySet::from_level_names(&ext_schema, &statement.by)
+                .map_err(|e| AssessError::InvalidBenchmark(format!(
+                    "external cube `{cube}` is not reconciled with the target: {e}"
+                )))?;
+            if ext_group_by != *group_by {
+                return Err(AssessError::InvalidBenchmark(format!(
+                    "external cube `{cube}` places the group-by levels on different hierarchies"
+                )));
+            }
+            let ext_preds = resolve_predicates(&ext_schema, &statement.for_preds)
+                .map_err(|_| AssessError::InvalidBenchmark(format!(
+                    "the for-clause predicates cannot be applied to external cube `{cube}`"
+                )))?;
+            let query = CubeQuery::new(
+                cube.clone(),
+                ext_group_by,
+                ext_preds,
+                vec![measure.clone()],
+            );
+            Ok(ResolvedBenchmark::External { query, measure: measure.clone() })
+        }
+        Some(BenchmarkSpec::Sibling { level, member }) => {
+            let (hierarchy, li) = schema.locate_level(level)?;
+            if group_by.slots()[hierarchy] != Some(li) {
+                return Err(AssessError::InvalidBenchmark(format!(
+                    "sibling level `{level}` must appear in the by clause"
+                )));
+            }
+            let lvl = schema
+                .hierarchy(hierarchy)
+                .and_then(|h| h.level(li))
+                .expect("located level exists");
+            let sibling = lvl.require_member(member)?;
+            let pred_pos = predicates
+                .iter()
+                .position(|p| {
+                    p.hierarchy == hierarchy
+                        && p.level == li
+                        && matches!(p.op, olap_model::PredicateOp::Eq(_))
+                })
+                .ok_or_else(|| AssessError::InvalidBenchmark(format!(
+                    "a sibling benchmark needs a `for {level} = …` slice on the target"
+                )))?;
+            let target_member = match predicates[pred_pos].op {
+                olap_model::PredicateOp::Eq(m) => m,
+                _ => unreachable!(),
+            };
+            if target_member == sibling {
+                return Err(AssessError::InvalidBenchmark(format!(
+                    "the sibling member `{member}` is the target's own slice"
+                )));
+            }
+            let mut bench_preds = predicates.to_vec();
+            bench_preds[pred_pos] = Predicate {
+                hierarchy,
+                level: li,
+                op: olap_model::PredicateOp::Eq(sibling),
+            };
+            let query = CubeQuery::new(
+                statement.cube.clone(),
+                group_by.clone(),
+                bench_preds,
+                vec![statement.measure.clone()],
+            );
+            Ok(ResolvedBenchmark::Sibling { query, hierarchy, level: li, sibling })
+        }
+        Some(BenchmarkSpec::Past(k)) => {
+            let k = *k;
+            if k == 0 {
+                return Err(AssessError::InvalidBenchmark("`against past 0` is empty".into()));
+            }
+            // The temporal slice: the Eq predicate whose level is in the
+            // group-by set (preferring a hierarchy whose name mentions
+            // "date" when several qualify).
+            let mut candidates: Vec<usize> = predicates
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| {
+                    group_by.slots()[p.hierarchy] == Some(p.level)
+                        && matches!(p.op, olap_model::PredicateOp::Eq(_))
+                })
+                .map(|(i, _)| i)
+                .collect();
+            if candidates.len() > 1 {
+                candidates.retain(|&i| {
+                    schema
+                        .hierarchy(predicates[i].hierarchy)
+                        .map(|h| h.name().to_ascii_lowercase().contains("date"))
+                        .unwrap_or(false)
+                });
+            }
+            let pred_pos = match candidates.as_slice() {
+                [one] => *one,
+                [] => {
+                    return Err(AssessError::InvalidBenchmark(
+                        "a past benchmark needs a `for <temporal level> = …` slice whose level is in the by clause".into(),
+                    ))
+                }
+                _ => {
+                    return Err(AssessError::InvalidBenchmark(
+                        "ambiguous temporal slice: several group-by levels are sliced".into(),
+                    ))
+                }
+            };
+            let p = &predicates[pred_pos];
+            let (hierarchy, li) = (p.hierarchy, p.level);
+            let target_member = match p.op {
+                olap_model::PredicateOp::Eq(m) => m,
+                _ => unreachable!(),
+            };
+            let lvl = schema
+                .hierarchy(hierarchy)
+                .and_then(|h| h.level(li))
+                .expect("predicate level exists");
+            if target_member.0 < k {
+                return Err(AssessError::InsufficientHistory {
+                    level: lvl.name().to_string(),
+                    member: lvl.member_name(target_member).unwrap_or("?").to_string(),
+                    requested: k,
+                    available: target_member.0,
+                });
+            }
+            // Temporal levels are loaded chronologically, so predecessors
+            // are the k preceding member ids.
+            let past: Vec<MemberId> =
+                (target_member.0 - k..target_member.0).map(MemberId).collect();
+            let mut bench_preds = predicates.to_vec();
+            bench_preds[pred_pos] = Predicate {
+                hierarchy,
+                level: li,
+                op: olap_model::PredicateOp::In(past.clone()),
+            };
+            let query = CubeQuery::new(
+                statement.cube.clone(),
+                group_by.clone(),
+                bench_preds,
+                vec![statement.measure.clone()],
+            );
+            Ok(ResolvedBenchmark::Past { query, hierarchy, level: li, target_member, past })
+        }
+        Some(BenchmarkSpec::Ancestor { level }) => {
+            let (hierarchy, coarse_level) = schema.locate_level(level)?;
+            let fine_level = match group_by.slots()[hierarchy] {
+                Some(l) if l < coarse_level => l,
+                Some(_) => {
+                    return Err(AssessError::InvalidBenchmark(format!(
+                        "ancestor level `{level}` must be strictly coarser than the group-by level of its hierarchy"
+                    )))
+                }
+                None => {
+                    return Err(AssessError::InvalidBenchmark(format!(
+                        "an ancestor benchmark needs the hierarchy of `{level}` in the by clause"
+                    )))
+                }
+            };
+            // The benchmark aggregates the *whole* ancestor: predicates on
+            // this hierarchy finer than the ancestor level are dropped
+            // (keeping them would compare a slice to itself).
+            let bench_preds: Vec<Predicate> = predicates
+                .iter()
+                .filter(|p| !(p.hierarchy == hierarchy && p.level < coarse_level))
+                .cloned()
+                .collect();
+            let mut slots = group_by.slots().to_vec();
+            slots[hierarchy] = Some(coarse_level);
+            let query = CubeQuery::new(
+                statement.cube.clone(),
+                GroupBySet::from_slots(slots),
+                bench_preds,
+                vec![statement.measure.clone()],
+            );
+            Ok(ResolvedBenchmark::Ancestor { query, hierarchy, fine_level, coarse_level })
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Completion of partial assess statements — the paper's future-work item
+//! "devise strategies for effectively completing partial assess statements,
+//! for instance, ones where the against … clauses are not specified by the
+//! user. Interestingly, this could require different possibilities to be
+//! tested and ranked based on their expected interest for the user."
+//!
+//! Given a statement with no `against` clause, [`suggest_benchmarks`]
+//! enumerates candidate benchmarks of every type that is well-formed for the
+//! statement — sibling slices, past windows, ancestors, a calibrated
+//! constant — **executes** each candidate, and ranks them by an interest
+//! score combining coverage (how many target cells the benchmark can judge)
+//! and dispersion (how much the comparison values actually discriminate).
+
+use serde::Serialize;
+
+use crate::ast::{AssessStatement, BenchmarkSpec};
+use crate::error::AssessError;
+use crate::exec::AssessRunner;
+use crate::functions::DELTA_COLUMN;
+use crate::semantics::ResolvedAssess;
+
+/// Maximum sibling members tried per sliced level.
+const MAX_SIBLINGS: usize = 4;
+/// Past windows tried on temporal slices.
+const PAST_WINDOWS: [u32; 2] = [3, 6];
+
+/// One ranked completion.
+#[derive(Debug, Clone, Serialize)]
+pub struct Suggestion {
+    /// The proposed `against` clause, rendered in statement syntax.
+    pub against: String,
+    /// Interest score in `[0, 1]`: coverage × dispersion.
+    pub interest: f64,
+    /// Fraction of target cells the benchmark judged.
+    pub coverage: f64,
+    /// Dispersion of the comparison values (bounded coefficient of
+    /// variation).
+    pub dispersion: f64,
+    /// Result cardinality of the completed statement.
+    pub cells: usize,
+}
+
+/// Enumerates candidate benchmarks for a statement without an `against`
+/// clause.
+pub fn enumerate_candidates(
+    runner: &AssessRunner,
+    statement: &AssessStatement,
+) -> Result<Vec<BenchmarkSpec>, AssessError> {
+    // Resolve the bare statement once to validate names and get the schema.
+    let bare = ResolvedAssess::resolve(statement, runner.engine().catalog().as_ref())?;
+    let schema = &bare.schema;
+    let mut candidates = Vec::new();
+
+    for pred in &statement.for_preds {
+        if pred.members.len() != 1 {
+            continue;
+        }
+        let Ok((hi, li)) = schema.locate_level(&pred.level) else { continue };
+        if bare.target_query.group_by.slots()[hi] != Some(li) {
+            continue;
+        }
+        let level = schema.hierarchy(hi).and_then(|h| h.level(li)).expect("level exists");
+        let Some(target_member) = level.member_id(&pred.members[0]) else { continue };
+        // Sibling slices: nearby members of the sliced level.
+        let mut added = 0;
+        for (id, name) in level.members() {
+            if id != target_member && added < MAX_SIBLINGS {
+                candidates.push(BenchmarkSpec::Sibling {
+                    level: pred.level.clone(),
+                    member: name.to_string(),
+                });
+                added += 1;
+            }
+        }
+        // Past windows, when the slice has enough predecessors (temporal
+        // levels are chronologically ordered).
+        for k in PAST_WINDOWS {
+            if target_member.0 >= k {
+                candidates.push(BenchmarkSpec::Past(k));
+            }
+        }
+    }
+
+    // Ancestors: the next coarser level of every group-by hierarchy.
+    for (hi, li) in bare.target_query.group_by.included_hierarchies() {
+        if let Some(level) = schema.hierarchy(hi).and_then(|h| h.level(li + 1)) {
+            candidates.push(BenchmarkSpec::Ancestor { level: level.name().to_string() });
+        }
+    }
+
+    // A calibrated constant: the mean of the target measure.
+    let (target, _) = runner.execute(&bare, crate::plan::Strategy::Naive)?;
+    let values: Vec<f64> = target
+        .cells()
+        .iter()
+        .filter_map(|c| c.value)
+        .collect();
+    if !values.is_empty() {
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        // Round to two significant digits so the suggestion reads like a
+        // KPI, not like a leaked average.
+        let magnitude = 10f64.powf(mean.abs().log10().floor() - 1.0).max(f64::MIN_POSITIVE);
+        let rounded = (mean / magnitude).round() * magnitude;
+        if rounded.is_finite() && rounded != 0.0 {
+            candidates.push(BenchmarkSpec::Constant(rounded));
+        }
+    }
+    Ok(candidates)
+}
+
+/// Completes the statement with each candidate benchmark, executes it, and
+/// returns the `limit` most interesting completions (best first).
+pub fn suggest_benchmarks(
+    runner: &AssessRunner,
+    statement: &AssessStatement,
+    limit: usize,
+) -> Result<Vec<Suggestion>, AssessError> {
+    if statement.against.is_some() {
+        return Err(AssessError::Statement(
+            "the statement already has an against clause".into(),
+        ));
+    }
+    let candidates = enumerate_candidates(runner, statement)?;
+    let mut suggestions = Vec::new();
+    for candidate in candidates {
+        let mut completed = statement.clone();
+        completed.against = Some(candidate.clone());
+        // Keep the user's using/labels when present; the default difference
+        // comparison works for every candidate type.
+        let Ok(resolved) = runner.resolve(&completed) else { continue };
+        let strategy = crate::cost::choose(&resolved, runner.engine())
+            .unwrap_or(crate::plan::Strategy::Naive);
+        let Ok((result, _)) = runner.execute(&resolved, strategy) else { continue };
+        // Coverage: judged cells over all target cells (probe via assess*).
+        let mut starred = completed.clone();
+        starred.starred = true;
+        let total = match runner.resolve(&starred).and_then(|r| {
+            let s = crate::cost::choose(&r, runner.engine())
+                .unwrap_or(crate::plan::Strategy::Naive);
+            runner.execute(&r, s)
+        }) {
+            Ok((all, _)) => all.len().max(1),
+            Err(_) => result.len().max(1),
+        };
+        let coverage = result.len() as f64 / total as f64;
+        let dispersion = dispersion_of(result.cube().numeric_column(DELTA_COLUMN));
+        suggestions.push(Suggestion {
+            against: candidate.to_string(),
+            interest: coverage * dispersion,
+            coverage,
+            dispersion,
+            cells: result.len(),
+        });
+    }
+    suggestions.sort_by(|a, b| {
+        b.interest.partial_cmp(&a.interest).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    suggestions.truncate(limit);
+    Ok(suggestions)
+}
+
+/// Bounded coefficient of variation of the comparison values: 0 when they
+/// are all equal (the benchmark tells the user nothing), approaching 1 when
+/// they spread widely.
+fn dispersion_of(column: Option<&olap_model::NumericColumn>) -> f64 {
+    let Some(col) = column else { return 0.0 };
+    let values: Vec<f64> = col.valid_values().filter(|v| v.is_finite()).collect();
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    let cv = var.sqrt() / mean.abs().max(1e-12);
+    cv / (1.0 + cv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispersion_is_zero_for_constant_and_grows_with_spread() {
+        use olap_model::NumericColumn;
+        let flat = NumericColumn::dense("d", vec![2.0, 2.0, 2.0]);
+        assert_eq!(dispersion_of(Some(&flat)), 0.0);
+        let narrow = NumericColumn::dense("d", vec![1.0, 1.1, 0.9]);
+        let wide = NumericColumn::dense("d", vec![1.0, 10.0, 0.1]);
+        assert!(dispersion_of(Some(&wide)) > dispersion_of(Some(&narrow)));
+        assert!(dispersion_of(Some(&wide)) <= 1.0);
+        assert_eq!(dispersion_of(None), 0.0);
+        let single = NumericColumn::dense("d", vec![1.0]);
+        assert_eq!(dispersion_of(Some(&single)), 0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Robustness: randomly generated statements over a real dataset must never
+//! panic — every input either executes or fails with a typed
+//! [`assess_core::AssessError`].
+
+use assess_core::ast::{AssessStatement, BenchmarkSpec, FuncExpr, LabelingSpec};
+use assess_core::exec::AssessRunner;
+use assess_core::labeling::ranges;
+use assess_core::plan::Strategy as ExecStrategy;
+use olap_engine::Engine;
+use proptest::prelude::*;
+use ssb_data::{generate::generate, SsbConfig};
+
+/// Names drawn from valid and invalid pools alike, so resolution sees both.
+fn level_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("customer".to_string()),
+        Just("c_nation".to_string()),
+        Just("c_region".to_string()),
+        Just("supplier".to_string()),
+        Just("brand".to_string()),
+        Just("mfgr".to_string()),
+        Just("month".to_string()),
+        Just("year".to_string()),
+        Just("bogus_level".to_string()),
+    ]
+}
+
+fn member_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("ASIA".to_string()),
+        Just("AMERICA".to_string()),
+        Just("CHINA".to_string()),
+        Just("MFGR#1".to_string()),
+        Just("1997".to_string()),
+        Just("1997-06".to_string()),
+        Just("nope".to_string()),
+    ]
+}
+
+fn measure_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("revenue".to_string()),
+        Just("quantity".to_string()),
+        Just("profit".to_string()), // does not exist
+    ]
+}
+
+fn benchmark() -> impl Strategy<Value = BenchmarkSpec> {
+    prop_oneof![
+        (-1e6f64..1e6).prop_map(BenchmarkSpec::Constant),
+        (level_name(), member_name())
+            .prop_map(|(level, member)| BenchmarkSpec::Sibling { level, member }),
+        (0u32..10).prop_map(BenchmarkSpec::Past),
+        level_name().prop_map(|level| BenchmarkSpec::Ancestor { level }),
+        (Just("SSB_EXPECTED".to_string()), measure_name())
+            .prop_map(|(cube, measure)| BenchmarkSpec::External { cube, measure }),
+    ]
+}
+
+fn using() -> impl Strategy<Value = Option<FuncExpr>> {
+    proptest::option::of(prop_oneof![
+        (measure_name(), measure_name()).prop_map(|(a, b)| FuncExpr::call(
+            "ratio",
+            vec![FuncExpr::measure(a), FuncExpr::benchmark(b)]
+        )),
+        measure_name().prop_map(|a| FuncExpr::call(
+            "percOfTotal",
+            vec![FuncExpr::measure(a)]
+        )),
+        (level_name(), Just("population".to_string())).prop_map(|(l, p)| FuncExpr::call(
+            "ratio",
+            vec![FuncExpr::measure("revenue"), FuncExpr::property(l, p)]
+        )),
+    ])
+}
+
+fn statement() -> impl Strategy<Value = AssessStatement> {
+    (
+        proptest::collection::vec((level_name(), member_name()), 0..3),
+        proptest::collection::vec(level_name(), 1..3),
+        measure_name(),
+        any::<bool>(),
+        proptest::option::of(benchmark()),
+        using(),
+        prop_oneof![
+            Just(LabelingSpec::Named("quartiles".into())),
+            Just(LabelingSpec::Named("zscore".into())),
+            Just(LabelingSpec::Ranges(ranges(&[
+                (f64::NEG_INFINITY, true, 0.0, false, "low"),
+                (0.0, true, f64::INFINITY, true, "high"),
+            ]))),
+        ],
+    )
+        .prop_map(|(preds, by, measure, starred, against, using, labels)| {
+            let mut b = AssessStatement::on("SSB").by(by).assess(measure);
+            for (level, member) in preds {
+                b = b.slice(level, member);
+            }
+            if starred {
+                b = b.starred();
+            }
+            if let Some(a) = against {
+                b = b.against(a);
+            }
+            if let Some(u) = using {
+                b = b.using(u);
+            }
+            let mut stmt = b.build();
+            stmt.labels = labels;
+            stmt
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_statements_never_panic(stmt in statement()) {
+        // One shared tiny dataset per process (generation is the slow part).
+        use std::sync::OnceLock;
+        static RUNNER: OnceLock<AssessRunner> = OnceLock::new();
+        let runner = RUNNER.get_or_init(|| {
+            let ds = generate(SsbConfig::with_scale(0.001));
+            AssessRunner::new(Engine::new(ds.catalog.clone()))
+        });
+        for strategy in ExecStrategy::all() {
+            match runner.run(&stmt, strategy) {
+                Ok((result, report)) => {
+                    // Executions must be internally consistent.
+                    prop_assert_eq!(result.cells().len(), result.len());
+                    prop_assert!(report.timings.total().as_nanos() > 0);
+                }
+                Err(e) => {
+                    // Errors must render (no panics inside Display).
+                    let _ = e.to_string();
+                }
+            }
+        }
+    }
+}

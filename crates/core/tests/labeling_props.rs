@@ -1,0 +1,121 @@
+//! Property tests for the labeling functions and the holistic function
+//! library.
+
+use assess_core::ast::LabelingSpec;
+use assess_core::functions::Function;
+use assess_core::labeling::{self, ResolvedLabeling};
+use proptest::prelude::*;
+
+fn values() -> impl Strategy<Value = Vec<Option<f64>>> {
+    proptest::collection::vec(
+        proptest::option::weighted(0.9, -1e6f64..1e6),
+        1..120,
+    )
+}
+
+fn label_rank(label: &str) -> usize {
+    label.trim_start_matches("top-").parse().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Quantile labeling is total on valid values, null on nulls, and
+    /// monotone: a larger comparison value never gets a *worse* (higher)
+    /// top-k rank.
+    #[test]
+    fn quantile_labeling_is_total_and_monotone(vals in values()) {
+        let labeling = labeling::resolve(&LabelingSpec::Named("quartiles".into())).unwrap();
+        let out = labeling::apply(&labeling, &vals);
+        for (v, l) in vals.iter().zip(out.iter()) {
+            prop_assert_eq!(v.is_some(), l.is_some());
+        }
+        for (i, a) in vals.iter().enumerate() {
+            for (j, b) in vals.iter().enumerate() {
+                if let (Some(x), Some(y)) = (a, b) {
+                    if x > y {
+                        let rx = label_rank(out[i].as_deref().unwrap());
+                        let ry = label_rank(out[j].as_deref().unwrap());
+                        prop_assert!(
+                            rx <= ry,
+                            "value {x} ranked top-{rx} but smaller {y} ranked top-{ry}"
+                        );
+                    }
+                }
+            }
+            // Keep the quadratic check affordable.
+            if i > 40 { break; }
+        }
+    }
+
+    /// Range labelings agree with the ranges' own `contains`.
+    #[test]
+    fn range_labeling_matches_contains(vals in values()) {
+        let rules = labeling::ranges(&[
+            (f64::NEG_INFINITY, true, -1.0, false, "low"),
+            (-1.0, true, 1.0, true, "mid"),
+            (1.0, false, f64::INFINITY, true, "high"),
+        ]);
+        let labeling = labeling::resolve(&LabelingSpec::Ranges(rules.clone())).unwrap();
+        let out = labeling::apply(&labeling, &vals);
+        for (v, l) in vals.iter().zip(out.iter()) {
+            match v {
+                None => prop_assert_eq!(l.as_deref(), None),
+                Some(x) => {
+                    let expect = rules.iter().find(|r| r.contains(*x)).map(|r| r.label.as_str());
+                    prop_assert_eq!(l.as_deref(), expect);
+                }
+            }
+        }
+    }
+
+    /// percOfTotal over valid values sums to 1 whenever the basis total is
+    /// non-zero.
+    #[test]
+    fn perc_of_total_sums_to_one(vals in proptest::collection::vec(0.001f64..1e5, 1..100)) {
+        let wrapped: Vec<Option<f64>> = vals.iter().map(|v| Some(*v)).collect();
+        let out = Function::PercOfTotal.eval_holistic(&[&wrapped]);
+        let total: f64 = out.iter().flatten().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "fractions sum to {total}");
+    }
+
+    /// minMaxNorm maps valid values into [0, 1] with both endpoints hit.
+    #[test]
+    fn min_max_norm_is_a_unit_interval_map(vals in proptest::collection::vec(-1e6f64..1e6, 2..100)) {
+        prop_assume!(vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            > vals.iter().cloned().fold(f64::INFINITY, f64::min));
+        let wrapped: Vec<Option<f64>> = vals.iter().map(|v| Some(*v)).collect();
+        let out = Function::MinMaxNorm.eval_holistic(&[&wrapped]);
+        let normed: Vec<f64> = out.iter().flatten().copied().collect();
+        prop_assert!(normed.iter().all(|v| (-1e-12..=1.0 + 1e-12).contains(v)));
+        prop_assert!(normed.iter().any(|v| *v < 1e-9));
+        prop_assert!(normed.iter().any(|v| *v > 1.0 - 1e-9));
+    }
+
+    /// z-scores have mean ~0 and population variance ~1.
+    #[test]
+    fn zscore_standardizes_any_distribution(vals in proptest::collection::vec(-1e4f64..1e4, 3..100)) {
+        let spread = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assume!(spread > 1e-6);
+        let wrapped: Vec<Option<f64>> = vals.iter().map(|v| Some(*v)).collect();
+        let out = Function::ZScore.eval_holistic(&[&wrapped]);
+        let z: Vec<f64> = out.iter().flatten().copied().collect();
+        let n = z.len() as f64;
+        let mean = z.iter().sum::<f64>() / n;
+        let var = z.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        prop_assert!(mean.abs() < 1e-6, "mean {mean}");
+        prop_assert!((var - 1.0).abs() < 1e-6, "variance {var}");
+    }
+
+    /// The z-score-round labeling never emits labels outside the clamp.
+    #[test]
+    fn zscore_round_respects_the_clamp(vals in values()) {
+        let labeling = ResolvedLabeling::ZScoreRound { clamp: 2 };
+        let out = labeling::apply(&labeling, &vals);
+        for l in out.iter().flatten() {
+            let z: i32 = l.trim_start_matches('z').parse().unwrap();
+            prop_assert!((-2..=2).contains(&z), "{l}");
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! Hash aggregation: accumulators and group tables.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use olap_model::AggOp;
+
+/// A columnar view over a numeric table column, letting the scan loop read
+/// `f64` values without a per-row enum match on [`olap_storage::ColumnData`].
+#[derive(Debug, Clone, Copy)]
+pub enum NumView<'a> {
+    I64(&'a [i64]),
+    F64(&'a [f64]),
+}
+
+impl<'a> NumView<'a> {
+    /// Borrows a numeric view from a storage column.
+    pub fn from_column(col: &'a olap_storage::Column) -> Option<Self> {
+        if let Some(v) = col.as_i64() {
+            Some(NumView::I64(v))
+        } else {
+            col.as_f64().map(NumView::F64)
+        }
+    }
+
+    #[inline]
+    pub fn get(&self, row: usize) -> f64 {
+        match self {
+            NumView::I64(v) => v[row] as f64,
+            NumView::F64(v) => v[row],
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            NumView::I64(v) => v.len(),
+            NumView::F64(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A per-measure aggregation accumulator over dense group slots.
+#[derive(Debug, Clone)]
+pub enum Accumulator {
+    Sum(Vec<f64>),
+    Min(Vec<f64>),
+    Max(Vec<f64>),
+    Count(Vec<f64>),
+    Avg { sums: Vec<f64>, counts: Vec<f64> },
+}
+
+impl Accumulator {
+    pub fn new(op: AggOp) -> Self {
+        match op {
+            AggOp::Sum => Accumulator::Sum(Vec::new()),
+            AggOp::Min => Accumulator::Min(Vec::new()),
+            AggOp::Max => Accumulator::Max(Vec::new()),
+            AggOp::Count => Accumulator::Count(Vec::new()),
+            AggOp::Avg => Accumulator::Avg { sums: Vec::new(), counts: Vec::new() },
+        }
+    }
+
+    /// Grows to `n` group slots, initializing new slots to the identity.
+    pub fn grow_to(&mut self, n: usize) {
+        match self {
+            Accumulator::Sum(v) | Accumulator::Count(v) => v.resize(n, 0.0),
+            Accumulator::Min(v) => v.resize(n, f64::INFINITY),
+            Accumulator::Max(v) => v.resize(n, f64::NEG_INFINITY),
+            Accumulator::Avg { sums, counts } => {
+                sums.resize(n, 0.0);
+                counts.resize(n, 0.0);
+            }
+        }
+    }
+
+    /// Folds one value into group slot `idx`.
+    #[inline]
+    pub fn update(&mut self, idx: usize, value: f64) {
+        match self {
+            Accumulator::Sum(v) => v[idx] += value,
+            Accumulator::Min(v) => v[idx] = v[idx].min(value),
+            Accumulator::Max(v) => v[idx] = v[idx].max(value),
+            Accumulator::Count(v) => v[idx] += 1.0,
+            Accumulator::Avg { sums, counts } => {
+                sums[idx] += value;
+                counts[idx] += 1.0;
+            }
+        }
+    }
+
+    /// Merges another accumulator's slot `from` into this one's slot `into`
+    /// (for parallel partial aggregates).
+    pub fn merge_slot(&mut self, into: usize, other: &Accumulator, from: usize) {
+        match (self, other) {
+            (Accumulator::Sum(a), Accumulator::Sum(b))
+            | (Accumulator::Count(a), Accumulator::Count(b)) => a[into] += b[from],
+            (Accumulator::Min(a), Accumulator::Min(b)) => a[into] = a[into].min(b[from]),
+            (Accumulator::Max(a), Accumulator::Max(b)) => a[into] = a[into].max(b[from]),
+            (
+                Accumulator::Avg { sums: asums, counts: acounts },
+                Accumulator::Avg { sums: bsums, counts: bcounts },
+            ) => {
+                asums[into] += bsums[from];
+                acounts[into] += bcounts[from];
+            }
+            _ => unreachable!("merging accumulators of different operators"),
+        }
+    }
+
+    /// The current finalized value of slot `idx` (without consuming the
+    /// accumulator) — used by fused operators that probe partial results.
+    #[inline]
+    pub fn current(&self, idx: usize) -> f64 {
+        match self {
+            Accumulator::Sum(v)
+            | Accumulator::Min(v)
+            | Accumulator::Max(v)
+            | Accumulator::Count(v) => v[idx],
+            Accumulator::Avg { sums, counts } => {
+                if counts[idx] > 0.0 {
+                    sums[idx] / counts[idx]
+                } else {
+                    f64::NAN
+                }
+            }
+        }
+    }
+
+    /// Finalizes into per-group values.
+    pub fn finish(self) -> Vec<f64> {
+        match self {
+            Accumulator::Sum(v) | Accumulator::Min(v) | Accumulator::Max(v) | Accumulator::Count(v) => v,
+            Accumulator::Avg { sums, counts } => sums
+                .into_iter()
+                .zip(counts)
+                .map(|(s, c)| if c > 0.0 { s / c } else { f64::NAN })
+                .collect(),
+        }
+    }
+}
+
+/// A hash group table keyed by `K` (packed `u64` keys on the fast path,
+/// [`olap_model::Coordinate`] on the wide fallback path).
+#[derive(Debug)]
+pub struct GroupTable<K: Eq + Hash + Clone> {
+    map: HashMap<K, u32>,
+    keys: Vec<K>,
+    accs: Vec<Accumulator>,
+}
+
+impl<K: Eq + Hash + Clone> GroupTable<K> {
+    pub fn new(ops: &[AggOp]) -> Self {
+        GroupTable {
+            map: HashMap::new(),
+            keys: Vec::new(),
+            accs: ops.iter().map(|op| Accumulator::new(*op)).collect(),
+        }
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The group keys, in first-seen order.
+    pub fn keys(&self) -> &[K] {
+        &self.keys
+    }
+
+    /// The dense slot of `key`, creating it if new.
+    #[inline]
+    pub fn slot(&mut self, key: K) -> usize {
+        if let Some(&idx) = self.map.get(&key) {
+            return idx as usize;
+        }
+        let idx = self.keys.len();
+        self.map.insert(key.clone(), idx as u32);
+        self.keys.push(key);
+        for acc in &mut self.accs {
+            acc.grow_to(idx + 1);
+        }
+        idx
+    }
+
+    /// The dense slot of `key`, if present.
+    pub fn lookup(&self, key: &K) -> Option<usize> {
+        self.map.get(key).map(|i| *i as usize)
+    }
+
+    /// Folds one row of measure values into the group of `key`.
+    #[inline]
+    pub fn update(&mut self, key: K, values: &[f64]) {
+        let idx = self.slot(key);
+        for (acc, v) in self.accs.iter_mut().zip(values.iter()) {
+            acc.update(idx, *v);
+        }
+    }
+
+    /// Folds a single-measure row (the hot loop for one-measure queries).
+    #[inline]
+    pub fn update1(&mut self, key: K, value: f64) {
+        let idx = self.slot(key);
+        self.accs[0].update(idx, value);
+    }
+
+    /// The current finalized value of measure `measure_idx` in group slot
+    /// `slot` (fused operators probe before materialization).
+    #[inline]
+    pub fn value(&self, measure_idx: usize, slot: usize) -> f64 {
+        self.accs[measure_idx].current(slot)
+    }
+
+    /// Merges another group table (parallel partial aggregates).
+    pub fn merge(&mut self, other: GroupTable<K>) {
+        for (from, key) in other.keys.iter().enumerate() {
+            let into = self.slot(key.clone());
+            for (acc, oacc) in self.accs.iter_mut().zip(other.accs.iter()) {
+                acc.merge_slot(into, oacc, from);
+            }
+        }
+    }
+
+    /// Finalizes into `(keys, measure columns)`.
+    pub fn finish(self) -> (Vec<K>, Vec<Vec<f64>>) {
+        (self.keys, self.accs.into_iter().map(Accumulator::finish).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_and_avg_accumulate() {
+        let mut t: GroupTable<u64> = GroupTable::new(&[AggOp::Sum, AggOp::Avg]);
+        t.update(7, &[1.0, 10.0]);
+        t.update(7, &[2.0, 20.0]);
+        t.update(9, &[5.0, 5.0]);
+        assert_eq!(t.len(), 2);
+        let (keys, cols) = t.finish();
+        assert_eq!(keys, vec![7, 9]);
+        assert_eq!(cols[0], vec![3.0, 5.0]);
+        assert_eq!(cols[1], vec![15.0, 5.0]);
+    }
+
+    #[test]
+    fn min_max_count() {
+        let mut t: GroupTable<u64> = GroupTable::new(&[AggOp::Min, AggOp::Max, AggOp::Count]);
+        for v in [3.0, -1.0, 7.0] {
+            t.update(0, &[v, v, v]);
+        }
+        let (_, cols) = t.finish();
+        assert_eq!(cols[0], vec![-1.0]);
+        assert_eq!(cols[1], vec![7.0]);
+        assert_eq!(cols[2], vec![3.0]);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let ops = [AggOp::Sum, AggOp::Min];
+        let rows: Vec<(u64, [f64; 2])> =
+            (0..100).map(|i| ((i % 7) as u64, [i as f64, (100 - i) as f64])).collect();
+        let mut seq: GroupTable<u64> = GroupTable::new(&ops);
+        for (k, v) in &rows {
+            seq.update(*k, v);
+        }
+        let mut a: GroupTable<u64> = GroupTable::new(&ops);
+        let mut b: GroupTable<u64> = GroupTable::new(&ops);
+        for (i, (k, v)) in rows.iter().enumerate() {
+            if i % 2 == 0 {
+                a.update(*k, v);
+            } else {
+                b.update(*k, v);
+            }
+        }
+        a.merge(b);
+        let (mut ka, mut ca) = a.finish();
+        let (mut ks, mut cs) = seq.finish();
+        // Key order may differ; sort both sides consistently.
+        let mut perm_a: Vec<usize> = (0..ka.len()).collect();
+        perm_a.sort_by_key(|&i| ka[i]);
+        let mut perm_s: Vec<usize> = (0..ks.len()).collect();
+        perm_s.sort_by_key(|&i| ks[i]);
+        ka = perm_a.iter().map(|&i| ka[i]).collect();
+        ks = perm_s.iter().map(|&i| ks[i]).collect();
+        for col in ca.iter_mut() {
+            *col = perm_a.iter().map(|&i| col[i]).collect();
+        }
+        for col in cs.iter_mut() {
+            *col = perm_s.iter().map(|&i| col[i]).collect();
+        }
+        assert_eq!(ka, ks);
+        assert_eq!(ca, cs);
+    }
+
+    #[test]
+    fn avg_of_empty_group_is_nan() {
+        let mut acc = Accumulator::new(AggOp::Avg);
+        acc.grow_to(1);
+        let out = acc.finish();
+        assert!(out[0].is_nan());
+    }
+
+    #[test]
+    fn numview_reads_both_types() {
+        let ci = olap_storage::Column::i64("a", vec![1, 2]);
+        let cf = olap_storage::Column::f64("b", vec![0.5, 1.5]);
+        let cd = olap_storage::Column::from_strings("s", ["x"]);
+        assert_eq!(NumView::from_column(&ci).unwrap().get(1), 2.0);
+        assert_eq!(NumView::from_column(&cf).unwrap().get(0), 0.5);
+        assert!(NumView::from_column(&cd).is_none());
+    }
+
+    #[test]
+    fn wide_keys_work() {
+        use olap_model::{Coordinate, MemberId};
+        let mut t: GroupTable<Coordinate> = GroupTable::new(&[AggOp::Sum]);
+        let k = Coordinate::new(vec![MemberId(1), MemberId(2)]);
+        t.update1(k.clone(), 4.0);
+        t.update1(k.clone(), 6.0);
+        assert_eq!(t.lookup(&k), Some(0));
+        let (_, cols) = t.finish();
+        assert_eq!(cols[0], vec![10.0]);
+    }
+}

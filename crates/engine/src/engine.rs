@@ -1,0 +1,844 @@
+//! The engine proper: `get`, fused `get ⋈ get` (JOP) and fused
+//! `get + pivot` (POP) execution.
+
+use std::sync::Arc;
+
+use olap_model::{
+    AggOp, Coordinate, CubeColumn, CubeQuery, CubeSchema, DerivedCube, GroupBySet, MemberId,
+    NumericColumn,
+};
+use olap_storage::Catalog;
+
+use crate::aggregate::{GroupTable, NumView};
+use crate::error::EngineError;
+use crate::key::KeyLayout;
+use crate::predicate::CompiledFilter;
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Answer queries from materialized views when possible (the paper's
+    /// setup always has them; the ablation bench turns this off).
+    pub use_views: bool,
+    /// Use foreign-key hash indexes for selective point predicates on
+    /// finest levels (the paper's B-tree-indexed keys).
+    pub use_indexes: bool,
+    /// Maximum fraction of a level's domain a predicate may select and
+    /// still take the index path.
+    pub index_selectivity: f64,
+    /// Parallelize fact scans across threads.
+    pub parallel: bool,
+    /// Minimum row count before a scan is parallelized.
+    pub parallel_threshold: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            use_views: true,
+            use_indexes: true,
+            index_selectivity: 0.01,
+            parallel: false,
+            parallel_threshold: 1 << 20,
+        }
+    }
+}
+
+/// Join semantics: `assess` maps to an inner join, `assess*` to a
+/// left-outer join completed with nulls (Section 4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    Inner,
+    LeftOuter,
+}
+
+/// A `get` cost estimate (see [`Engine::estimate_get`]).
+#[derive(Debug, Clone, Copy)]
+pub struct GetEstimate {
+    /// Rows the access path will scan (view or fact table).
+    pub rows_scanned: usize,
+    /// Whether a materialized view answers the query.
+    pub from_view: bool,
+    /// Estimated fraction of scanned rows satisfying the predicates.
+    pub selectivity: f64,
+    /// Estimated result cardinality `|C|`.
+    pub cells: f64,
+}
+
+/// The result of a `get`, with access-path diagnostics.
+#[derive(Debug)]
+pub struct GetOutcome {
+    pub cube: DerivedCube,
+    /// Name of the materialized view answering the query, if one was used.
+    pub used_view: Option<String>,
+    /// Rows scanned from the fact table or the view.
+    pub rows_scanned: usize,
+}
+
+/// An executed get kept in the engine's internal packed representation, so
+/// fused operators can join/pivot without materializing coordinates.
+struct GetInternal {
+    schema: Arc<CubeSchema>,
+    group_by: GroupBySet,
+    layout: KeyLayout,
+    table: GroupTable<u64>,
+    measures: Vec<String>,
+    used_view: Option<String>,
+    rows_scanned: usize,
+}
+
+/// The physical execution engine over a [`Catalog`].
+pub struct Engine {
+    catalog: Arc<Catalog>,
+    config: EngineConfig,
+}
+
+impl Engine {
+    pub fn new(catalog: Arc<Catalog>) -> Self {
+        Engine { catalog, config: EngineConfig::default() }
+    }
+
+    pub fn with_config(catalog: Arc<Catalog>, config: EngineConfig) -> Self {
+        Engine { catalog, config }
+    }
+
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Executes a cube query (the `get` logical operator, Definition 2.6),
+    /// producing a sorted, materialized derived cube.
+    ///
+    /// Group-by sets whose packed key does not fit a machine word fall back
+    /// to a wide-key scan (`crate::wide`); fused join/pivot paths keep
+    /// requiring packed keys.
+    pub fn get(&self, q: &CubeQuery) -> Result<GetOutcome, EngineError> {
+        match self.run_get(q) {
+            Ok(internal) => Ok(materialize(internal)),
+            Err(EngineError::Unsupported(msg)) if msg.contains("wide keys") => {
+                crate::wide::get_wide(&self.catalog, q)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Executes two cube queries and **naturally joins** them inside the
+    /// engine (`C ⋈ B`, Listing 4) — the Join-Optimized Plan for external
+    /// benchmarks. Cells pair by coordinate equality (Definition 3.1 requires
+    /// equal group-by sets). Right-side measures are appended under
+    /// `right_renames`.
+    pub fn get_join(
+        &self,
+        left_q: &CubeQuery,
+        right_q: &CubeQuery,
+        kind: JoinKind,
+        right_renames: &[String],
+    ) -> Result<GetOutcome, EngineError> {
+        let left = self.run_get(left_q)?;
+        let right = self.run_get(right_q)?;
+        check_joinable(&left, &right)?;
+        if right_renames.len() != right.measures.len() {
+            return Err(EngineError::Unsupported(format!(
+                "{} renames for {} benchmark measures",
+                right_renames.len(),
+                right.measures.len()
+            )));
+        }
+        let right_index: std::collections::HashMap<u64, u32> = right
+            .table
+            .keys()
+            .iter()
+            .enumerate()
+            .map(|(slot, &key)| (key, slot as u32))
+            .collect();
+
+        let rows_scanned = left.rows_scanned + right.rows_scanned;
+        let (left_keys, left_cols) = left.table.finish();
+        let (_, right_cols) = right.table.finish();
+
+        let mut kept_rows: Vec<(usize, Option<u32>)> = Vec::with_capacity(left_keys.len());
+        for (row, &key) in left_keys.iter().enumerate() {
+            let matched = right_index.get(&key).copied();
+            match (kind, matched) {
+                (JoinKind::Inner, None) => {}
+                (_, m) => kept_rows.push((row, m)),
+            }
+        }
+
+        let mut coord_cols: Vec<Vec<MemberId>> =
+            (0..left.group_by.arity()).map(|_| Vec::with_capacity(kept_rows.len())).collect();
+        for (row, _) in &kept_rows {
+            for (c, col) in coord_cols.iter_mut().enumerate() {
+                col.push(left.layout.unpack_component(left_keys[*row], c));
+            }
+        }
+        let mut columns: Vec<CubeColumn> = Vec::new();
+        for (name, col) in left.measures.iter().zip(left_cols.iter()) {
+            let data: Vec<f64> = kept_rows.iter().map(|(row, _)| col[*row]).collect();
+            columns.push(CubeColumn::Numeric(NumericColumn::dense(name.clone(), data)));
+        }
+        for (name, col) in right_renames.iter().zip(right_cols.iter()) {
+            let data: Vec<Option<f64>> = kept_rows
+                .iter()
+                .map(|(_, m)| m.map(|slot| col[slot as usize]))
+                .collect();
+            columns.push(CubeColumn::Numeric(NumericColumn::nullable(name.clone(), data)));
+        }
+        let mut cube =
+            DerivedCube::from_parts(left.schema, left.group_by, coord_cols, columns)?;
+        cube.sort_by_coordinates();
+        Ok(GetOutcome { cube, used_view: left.used_view, rows_scanned })
+    }
+
+    /// Executes two cube queries and **roll-up joins** them inside the
+    /// engine: the right query groups the sliced `hierarchy` at a coarser
+    /// level than the left, and every left cell pairs with the right cell
+    /// holding its ancestor. The ancestor's `measure` is appended as
+    /// `rename` (the ancestor-benchmark extension).
+    #[allow(clippy::too_many_arguments)]
+    pub fn get_join_rollup(
+        &self,
+        left_q: &CubeQuery,
+        right_q: &CubeQuery,
+        hierarchy: usize,
+        fine_level: usize,
+        coarse_level: usize,
+        measure: &str,
+        rename: &str,
+        kind: JoinKind,
+    ) -> Result<GetOutcome, EngineError> {
+        let left = self.run_get(left_q)?;
+        let right = self.run_get(right_q)?;
+        let component = left.group_by.component_of(hierarchy).ok_or_else(|| {
+            EngineError::NotJoinable(format!(
+                "hierarchy #{hierarchy} rolled by the join is not in the group-by set"
+            ))
+        })?;
+        let right_component = right.group_by.component_of(hierarchy).ok_or_else(|| {
+            EngineError::NotJoinable("the benchmark dropped the rolled hierarchy".into())
+        })?;
+        if component != right_component {
+            return Err(EngineError::NotJoinable(
+                "the two cubes disagree on the rolled hierarchy's position".into(),
+            ));
+        }
+        let midx = right.measures.iter().position(|m| m == measure).ok_or_else(|| {
+            EngineError::NotJoinable(format!("measure `{measure}` not in the benchmark query"))
+        })?;
+        let rollmap = left
+            .schema
+            .hierarchy(hierarchy)
+            .ok_or_else(|| EngineError::Model(olap_model::ModelError::UnknownHierarchy(
+                format!("#{hierarchy}"),
+            )))?
+            .composed_map(fine_level, coarse_level)?;
+
+        let rows_scanned = left.rows_scanned + right.rows_scanned;
+        let right_layout = right.layout.clone();
+        let right_table = &right.table;
+        let (left_keys, left_cols) = left.table.finish();
+
+        let mut kept_rows: Vec<usize> = Vec::new();
+        let mut bench_col: Vec<Option<f64>> = Vec::new();
+        for (row, &key) in left_keys.iter().enumerate() {
+            // Re-pack the key in the right cube's layout, substituting the
+            // rolled member for the fine one.
+            let mut nb_key = 0u64;
+            for c in 0..left.group_by.arity() {
+                let member = left.layout.unpack_component(key, c);
+                let member =
+                    if c == component { rollmap[member.index()] } else { member };
+                right_layout.pack_component(&mut nb_key, c, member);
+            }
+            let v = right_table.lookup(&nb_key).map(|slot| right_table.value(midx, slot));
+            if kind == JoinKind::Inner && v.is_none() {
+                continue;
+            }
+            kept_rows.push(row);
+            bench_col.push(v);
+        }
+
+        let mut coord_cols: Vec<Vec<MemberId>> =
+            (0..left.group_by.arity()).map(|_| Vec::with_capacity(kept_rows.len())).collect();
+        for &row in &kept_rows {
+            for (c, col) in coord_cols.iter_mut().enumerate() {
+                col.push(left.layout.unpack_component(left_keys[row], c));
+            }
+        }
+        let mut columns: Vec<CubeColumn> = Vec::new();
+        for (name, col) in left.measures.iter().zip(left_cols.iter()) {
+            let data: Vec<f64> = kept_rows.iter().map(|&row| col[row]).collect();
+            columns.push(CubeColumn::Numeric(NumericColumn::dense(name.clone(), data)));
+        }
+        columns.push(CubeColumn::Numeric(NumericColumn::nullable(rename.to_string(), bench_col)));
+        let mut cube =
+            DerivedCube::from_parts(left.schema, left.group_by, coord_cols, columns)?;
+        cube.sort_by_coordinates();
+        Ok(GetOutcome { cube, used_view: left.used_view, rows_scanned })
+    }
+
+    /// Executes two cube queries and **partially joins** them inside the
+    /// engine: `C ⋈_{G\l} B` (Section 4.2), where the benchmark holds one or
+    /// more slices of level `l` (hierarchy `slice_hierarchy`). Every slice
+    /// member in `slice_members` contributes one nullable output column
+    /// (`column_names`, same order) holding that slice's value of `measure`
+    /// for the matching coordinate — exactly the paper's partial join, whose
+    /// output row concatenates the measures of **all** matching benchmark
+    /// cells. This is the Join-Optimized Plan for sibling (one slice) and
+    /// past (k slices) benchmarks.
+    ///
+    /// With [`JoinKind::Inner`], target cells with no matching benchmark
+    /// cell in any slice are dropped; with [`JoinKind::LeftOuter`] they are
+    /// kept with all-null slice columns.
+    #[allow(clippy::too_many_arguments)]
+    pub fn get_join_sliced(
+        &self,
+        left_q: &CubeQuery,
+        right_q: &CubeQuery,
+        slice_hierarchy: usize,
+        slice_members: &[MemberId],
+        measure: &str,
+        column_names: &[String],
+        kind: JoinKind,
+    ) -> Result<GetOutcome, EngineError> {
+        if slice_members.len() != column_names.len() {
+            return Err(EngineError::NotJoinable(format!(
+                "{} slice members but {} column names",
+                slice_members.len(),
+                column_names.len()
+            )));
+        }
+        if slice_members.is_empty() {
+            return Err(EngineError::NotJoinable("no benchmark slices".into()));
+        }
+        let left = self.run_get(left_q)?;
+        let right = self.run_get(right_q)?;
+        check_joinable(&left, &right)?;
+        let component = left.group_by.component_of(slice_hierarchy).ok_or_else(|| {
+            EngineError::NotJoinable(format!(
+                "hierarchy #{slice_hierarchy} sliced by the partial join is not in the group-by set"
+            ))
+        })?;
+        let midx = right.measures.iter().position(|m| m == measure).ok_or_else(|| {
+            EngineError::NotJoinable(format!("measure `{measure}` not in the benchmark query"))
+        })?;
+
+        let rows_scanned = left.rows_scanned + right.rows_scanned;
+        // Probe the benchmark side's group table directly — no separate
+        // join index needs to be built.
+        let right_table = &right.table;
+        let (left_keys, left_cols) = left.table.finish();
+
+        let mut kept_rows: Vec<usize> = Vec::new();
+        let mut slice_cols: Vec<Vec<Option<f64>>> = vec![Vec::new(); slice_members.len()];
+        for (row, &key) in left_keys.iter().enumerate() {
+            let base = left.layout.clear_component(key, component);
+            let mut any = false;
+            let mut values: Vec<Option<f64>> = Vec::with_capacity(slice_members.len());
+            for &member in slice_members {
+                let mut nb_key = base;
+                left.layout.pack_component(&mut nb_key, component, member);
+                let v = right_table.lookup(&nb_key).map(|slot| right_table.value(midx, slot));
+                any |= v.is_some();
+                values.push(v);
+            }
+            if kind == JoinKind::Inner && !any {
+                continue;
+            }
+            kept_rows.push(row);
+            for (col, v) in slice_cols.iter_mut().zip(values) {
+                col.push(v);
+            }
+        }
+
+        let mut coord_cols: Vec<Vec<MemberId>> =
+            (0..left.group_by.arity()).map(|_| Vec::with_capacity(kept_rows.len())).collect();
+        for &row in &kept_rows {
+            for (c, col) in coord_cols.iter_mut().enumerate() {
+                col.push(left.layout.unpack_component(left_keys[row], c));
+            }
+        }
+        let mut columns: Vec<CubeColumn> = Vec::new();
+        for (name, col) in left.measures.iter().zip(left_cols.iter()) {
+            let data: Vec<f64> = kept_rows.iter().map(|&row| col[row]).collect();
+            columns.push(CubeColumn::Numeric(NumericColumn::dense(name.clone(), data)));
+        }
+        for (name, col) in column_names.iter().zip(slice_cols) {
+            columns.push(CubeColumn::Numeric(NumericColumn::nullable(name.clone(), col)));
+        }
+        let mut cube =
+            DerivedCube::from_parts(left.schema, left.group_by, coord_cols, columns)?;
+        cube.sort_by_coordinates();
+        Ok(GetOutcome { cube, used_view: left.used_view, rows_scanned })
+    }
+
+    /// Executes one widened cube query and pivots it **inside the engine** —
+    /// the Pivot-Optimized Plan's `get + pivot` pushed to SQL (Listing 5).
+    ///
+    /// `q_all` must select, on `pivot_hierarchy`, both the `reference` slice
+    /// and every slice in `neighbors`. The result keeps only the reference
+    /// slice; for each neighbor `j` and the measure `measure`, a nullable
+    /// column `neighbor_names[j]` holds the neighbor cell's value
+    /// (null when the neighbor cell does not exist — cube sparsity).
+    #[allow(clippy::too_many_arguments)]
+    pub fn get_pivot(
+        &self,
+        q_all: &CubeQuery,
+        pivot_hierarchy: usize,
+        reference: MemberId,
+        neighbors: &[MemberId],
+        measure: &str,
+        neighbor_names: &[String],
+    ) -> Result<GetOutcome, EngineError> {
+        if neighbors.len() != neighbor_names.len() {
+            return Err(EngineError::InvalidPivot(format!(
+                "{} neighbor slices but {} names",
+                neighbors.len(),
+                neighbor_names.len()
+            )));
+        }
+        if neighbors.is_empty() {
+            return Err(EngineError::InvalidPivot("no neighbor slices".into()));
+        }
+        let internal = self.run_get(q_all)?;
+        let component = internal.group_by.component_of(pivot_hierarchy).ok_or_else(|| {
+            EngineError::InvalidPivot(format!(
+                "pivot hierarchy #{pivot_hierarchy} is not in the group-by set"
+            ))
+        })?;
+        let midx = internal.measures.iter().position(|m| m == measure).ok_or_else(|| {
+            EngineError::InvalidPivot(format!("measure `{measure}` not in the query"))
+        })?;
+
+        let layout = internal.layout;
+        let used_view = internal.used_view;
+        let rows_scanned = internal.rows_scanned;
+        // Probe the group table directly for neighbor slices — the pivot
+        // needs no additional index.
+        let table = &internal.table;
+        let mut out_rows: Vec<usize> = Vec::new();
+        let mut neighbor_cols: Vec<Vec<Option<f64>>> = vec![Vec::new(); neighbors.len()];
+        for (slot, &key) in table.keys().iter().enumerate() {
+            if layout.unpack_component(key, component) != reference {
+                continue;
+            }
+            out_rows.push(slot);
+            let base = layout.clear_component(key, component);
+            for (j, &nb) in neighbors.iter().enumerate() {
+                let mut nb_key = base;
+                layout.pack_component(&mut nb_key, component, nb);
+                neighbor_cols[j].push(table.lookup(&nb_key).map(|s| table.value(midx, s)));
+            }
+        }
+        let (keys, cols) = internal.table.finish();
+
+        let mut coord_cols: Vec<Vec<MemberId>> =
+            (0..internal.group_by.arity()).map(|_| Vec::with_capacity(out_rows.len())).collect();
+        for &slot in &out_rows {
+            for (c, col) in coord_cols.iter_mut().enumerate() {
+                col.push(layout.unpack_component(keys[slot], c));
+            }
+        }
+        let mut columns: Vec<CubeColumn> = Vec::new();
+        for (name, col) in internal.measures.iter().zip(cols.iter()) {
+            let data: Vec<f64> = out_rows.iter().map(|&s| col[s]).collect();
+            columns.push(CubeColumn::Numeric(NumericColumn::dense(name.clone(), data)));
+        }
+        for (name, col) in neighbor_names.iter().zip(neighbor_cols) {
+            columns.push(CubeColumn::Numeric(NumericColumn::nullable(name.clone(), col)));
+        }
+        let mut cube =
+            DerivedCube::from_parts(internal.schema, internal.group_by, coord_cols, columns)?;
+        cube.sort_by_coordinates();
+        Ok(GetOutcome { cube, used_view, rows_scanned })
+    }
+
+    /// Estimates the cost of a `get` without running it: the rows the chosen
+    /// access path will scan, the filter selectivity, and the expected
+    /// result cardinality. Used by the cost-based strategy chooser.
+    pub fn estimate_get(&self, q: &CubeQuery) -> Result<GetEstimate, EngineError> {
+        let binding = self.catalog.binding(&q.cube)?;
+        let schema = binding.schema().clone();
+        q.validate(&schema)?;
+        let ops: Vec<AggOp> = q
+            .measures
+            .iter()
+            .map(|m| schema.require_measure(m).map(|d| d.agg()))
+            .collect::<Result<_, _>>()?;
+        let pred_levels: Vec<(usize, usize)> =
+            q.predicates.iter().map(|p| (p.hierarchy, p.level)).collect();
+        let (rows, from_view) = if self.config.use_views
+            && ops.iter().all(|op| *op == AggOp::Sum)
+        {
+            match self.catalog.best_view(&q.group_by, &pred_levels, &q.measures) {
+                Some(view) => (view.len(), true),
+                None => (self.catalog.table(binding.fact_table())?.n_rows(), false),
+            }
+        } else {
+            (self.catalog.table(binding.fact_table())?.n_rows(), false)
+        };
+        let carrier: Vec<Option<usize>> = vec![Some(0); schema.hierarchies().len()];
+        let selectivity = CompiledFilter::compile(&schema, &q.predicates, &carrier)
+            .map(|f| f.estimated_selectivity())
+            .unwrap_or(1.0);
+        // Group-by slot capacity: the product of the level cardinalities of
+        // the included hierarchies, bounded by the qualifying rows.
+        let capacity: f64 = q
+            .group_by
+            .included_hierarchies()
+            .map(|(hi, li)| {
+                schema
+                    .hierarchy(hi)
+                    .and_then(|h| h.level(li))
+                    .map(|l| l.cardinality() as f64)
+                    .unwrap_or(1.0)
+            })
+            .product();
+        let qualifying = rows as f64 * selectivity;
+        let cells = qualifying.min(capacity * selectivity.min(1.0)).max(1.0);
+        Ok(GetEstimate { rows_scanned: rows, from_view, selectivity, cells })
+    }
+
+    /// Runs a get into the internal packed representation.
+    fn run_get(&self, q: &CubeQuery) -> Result<GetInternal, EngineError> {
+        let binding = self.catalog.binding(&q.cube)?;
+        let schema = binding.schema().clone();
+        q.validate(&schema)?;
+        let ops: Vec<AggOp> = q
+            .measures
+            .iter()
+            .map(|m| schema.require_measure(m).map(|d| d.agg()))
+            .collect::<Result<_, _>>()?;
+
+        let cardinalities: Vec<usize> = q
+            .group_by
+            .included_hierarchies()
+            .map(|(hi, li)| {
+                schema
+                    .hierarchy(hi)
+                    .and_then(|h| h.level(li))
+                    .map(|l| l.cardinality())
+                    .unwrap_or(0)
+            })
+            .collect();
+        let layout = KeyLayout::for_cardinalities(&cardinalities);
+        if !layout.fits_u64() {
+            return Err(EngineError::Unsupported(format!(
+                "group-by key needs {} bits; wide keys are not supported by the fused engine paths",
+                layout.total_bits()
+            )));
+        }
+
+        // Try the materialized-view path first.
+        if self.config.use_views && ops.iter().all(|op| *op == AggOp::Sum) {
+            let pred_levels: Vec<(usize, usize)> =
+                q.predicates.iter().map(|p| (p.hierarchy, p.level)).collect();
+            if let Some(view) = self.catalog.best_view(&q.group_by, &pred_levels, &q.measures) {
+                return self.get_from_view(q, &schema, &layout, &ops, &view);
+            }
+        }
+
+        self.get_from_fact(q, &schema, &layout, &ops, &binding)
+    }
+
+    fn get_from_view(
+        &self,
+        q: &CubeQuery,
+        schema: &Arc<CubeSchema>,
+        layout: &KeyLayout,
+        ops: &[AggOp],
+        view: &olap_storage::MaterializedAggregate,
+    ) -> Result<GetInternal, EngineError> {
+        let filter = CompiledFilter::compile(schema, &q.predicates, view.group_by().slots())?;
+        // Per included hierarchy of the query: the view coordinate column
+        // and the roll-up map from the view's level to the query's level.
+        let mut key_inputs: Vec<(&[MemberId], Vec<MemberId>)> = Vec::new();
+        for (hi, li) in q.group_by.included_hierarchies() {
+            let view_level = view.group_by().slots()[hi].ok_or_else(|| {
+                EngineError::Unsupported("view does not carry a required hierarchy".into())
+            })?;
+            let comp = view.group_by().component_of(hi).expect("component exists");
+            let h = schema.hierarchy(hi).expect("hierarchy in range");
+            key_inputs.push((&view.coord_cols()[comp], h.composed_map(view_level, li)?));
+        }
+        let mut mask_inputs: Vec<(&[MemberId], &[bool])> = Vec::new();
+        for m in filter.masks() {
+            let comp = view.group_by().component_of(m.hierarchy).ok_or_else(|| {
+                EngineError::Unsupported("view does not carry a predicated hierarchy".into())
+            })?;
+            mask_inputs.push((&view.coord_cols()[comp], &m.mask));
+        }
+        let measure_cols: Vec<&[f64]> = q
+            .measures
+            .iter()
+            .map(|m| {
+                view.measure(m).ok_or_else(|| {
+                    EngineError::Unsupported(format!("view lacks measure `{m}`"))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+
+        let n = view.len();
+        let mut table: GroupTable<u64> = GroupTable::new(ops);
+        let mut values = vec![0.0f64; measure_cols.len()];
+        'rows: for row in 0..n {
+            for (coords, mask) in &mask_inputs {
+                if !mask[coords[row].index()] {
+                    continue 'rows;
+                }
+            }
+            let mut key = 0u64;
+            for (comp, (coords, rollmap)) in key_inputs.iter().enumerate() {
+                layout.pack_component(&mut key, comp, rollmap[coords[row].index()]);
+            }
+            if values.len() == 1 {
+                table.update1(key, measure_cols[0][row]);
+            } else {
+                for (v, col) in values.iter_mut().zip(&measure_cols) {
+                    *v = col[row];
+                }
+                table.update(key, &values);
+            }
+        }
+        Ok(GetInternal {
+            schema: schema.clone(),
+            group_by: q.group_by.clone(),
+            layout: layout.clone(),
+            table,
+            measures: q.measures.clone(),
+            used_view: Some(view.name().to_string()),
+            rows_scanned: n,
+        })
+    }
+
+    fn get_from_fact(
+        &self,
+        q: &CubeQuery,
+        schema: &Arc<CubeSchema>,
+        layout: &KeyLayout,
+        ops: &[AggOp],
+        binding: &olap_storage::CubeBinding,
+    ) -> Result<GetInternal, EngineError> {
+        let fact = self.catalog.table(binding.fact_table())?;
+        let carrier: Vec<Option<usize>> = vec![Some(0); schema.hierarchies().len()];
+        let filter = CompiledFilter::compile(schema, &q.predicates, &carrier)?;
+
+        let mut mask_inputs: Vec<(&[i64], &[bool])> = Vec::new();
+        for m in filter.masks() {
+            let fk = fact.require_i64(binding.fk_column(m.hierarchy))?;
+            mask_inputs.push((fk, &m.mask));
+        }
+        let mut key_inputs: Vec<(&[i64], Vec<MemberId>)> = Vec::new();
+        for (hi, li) in q.group_by.included_hierarchies() {
+            let fk = fact.require_i64(binding.fk_column(hi))?;
+            let h = schema.hierarchy(hi).expect("hierarchy in range");
+            key_inputs.push((fk, h.composed_map(0, li)?));
+        }
+        let measure_views: Vec<NumView<'_>> = q
+            .measures
+            .iter()
+            .map(|m| {
+                let col_name = binding.measure_column_by_name(m).ok_or_else(|| {
+                    EngineError::Model(olap_model::ModelError::UnknownMeasure(m.clone()))
+                })?;
+                let col = fact.require_column(col_name)?;
+                NumView::from_column(col).ok_or(EngineError::Unsupported(format!(
+                    "measure column `{col_name}` is not numeric"
+                )))
+            })
+            .collect::<Result<_, _>>()?;
+
+        let n = fact.n_rows();
+        let scan_range = |lo: usize, hi: usize| -> GroupTable<u64> {
+            let mut table: GroupTable<u64> = GroupTable::new(ops);
+            let mut values = vec![0.0f64; measure_views.len()];
+            'rows: for row in lo..hi {
+                for (fks, mask) in &mask_inputs {
+                    if !mask[fks[row] as usize] {
+                        continue 'rows;
+                    }
+                }
+                let mut key = 0u64;
+                for (comp, (fks, rollmap)) in key_inputs.iter().enumerate() {
+                    layout.pack_component(&mut key, comp, rollmap[fks[row] as usize]);
+                }
+                if values.len() == 1 {
+                    table.update1(key, measure_views[0].get(row));
+                } else {
+                    for (v, mv) in values.iter_mut().zip(&measure_views) {
+                        *v = mv.get(row);
+                    }
+                    table.update(key, &values);
+                }
+            }
+            table
+        };
+
+        // Index fast path: a highly selective point predicate on a finest
+        // level (e.g. `store = 'SmartMart'`) fetches the matching rows from
+        // the foreign-key hash index — the paper's B-tree-indexed keys —
+        // instead of scanning the whole fact table.
+        if self.config.use_indexes {
+            if let Some(rows) = self.index_row_set(q, &fact, binding)? {
+                let mut table: GroupTable<u64> = GroupTable::new(ops);
+                let mut values = vec![0.0f64; measure_views.len()];
+                let rows_scanned = rows.len();
+                'rows: for &row in &rows {
+                    let row = row as usize;
+                    for (fks, mask) in &mask_inputs {
+                        if !mask[fks[row] as usize] {
+                            continue 'rows;
+                        }
+                    }
+                    let mut key = 0u64;
+                    for (comp, (fks, rollmap)) in key_inputs.iter().enumerate() {
+                        layout.pack_component(&mut key, comp, rollmap[fks[row] as usize]);
+                    }
+                    if values.len() == 1 {
+                        table.update1(key, measure_views[0].get(row));
+                    } else {
+                        for (v, mv) in values.iter_mut().zip(&measure_views) {
+                            *v = mv.get(row);
+                        }
+                        table.update(key, &values);
+                    }
+                }
+                return Ok(GetInternal {
+                    schema: schema.clone(),
+                    group_by: q.group_by.clone(),
+                    layout: layout.clone(),
+                    table,
+                    measures: q.measures.clone(),
+                    used_view: None,
+                    rows_scanned,
+                });
+            }
+        }
+
+        let table = if self.config.parallel && n >= self.config.parallel_threshold {
+            let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+            let chunk = n.div_ceil(threads);
+            let partials = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let lo = t * chunk;
+                        let hi = ((t + 1) * chunk).min(n);
+                        let scan = &scan_range;
+                        scope.spawn(move |_| scan(lo, hi))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("scan thread")).collect::<Vec<_>>()
+            })
+            .expect("crossbeam scope");
+            let mut iter = partials.into_iter();
+            let mut merged = iter.next().unwrap_or_else(|| GroupTable::new(ops));
+            for p in iter {
+                merged.merge(p);
+            }
+            merged
+        } else {
+            scan_range(0, n)
+        };
+
+        Ok(GetInternal {
+            schema: schema.clone(),
+            group_by: q.group_by.clone(),
+            layout: layout.clone(),
+            table,
+            measures: q.measures.clone(),
+            used_view: None,
+            rows_scanned: n,
+        })
+    }
+
+    /// The fact rows selected by an indexable point predicate, when one
+    /// exists and is selective enough to beat a scan: an `Eq` (or small
+    /// `In`) predicate at level 0 of some hierarchy, whose member set covers
+    /// at most [`EngineConfig::index_selectivity`] of the level's domain.
+    fn index_row_set(
+        &self,
+        q: &CubeQuery,
+        fact: &olap_storage::Table,
+        binding: &olap_storage::CubeBinding,
+    ) -> Result<Option<Vec<u32>>, EngineError> {
+        let schema = binding.schema();
+        let candidate = q.predicates.iter().find(|p| {
+            if p.level != 0 {
+                return false;
+            }
+            let domain = schema
+                .hierarchy(p.hierarchy)
+                .and_then(|h| h.level(0))
+                .map(|l| l.cardinality())
+                .unwrap_or(0);
+            if domain == 0 {
+                return false;
+            }
+            let members = p.members().len();
+            members <= 16
+                && (members as f64 / domain as f64) <= self.config.index_selectivity
+        });
+        let Some(pred) = candidate else {
+            return Ok(None);
+        };
+        let index = self
+            .catalog
+            .hash_index(fact.name(), binding.fk_column(pred.hierarchy))?;
+        let mut rows: Vec<u32> = Vec::new();
+        for member in pred.members() {
+            rows.extend_from_slice(index.lookup(member.0 as i64));
+        }
+        rows.sort_unstable();
+        Ok(Some(rows))
+    }
+}
+
+/// Joinability check (Definition 3.1): equal group-by sets, and reconciled
+/// member domains (identical key layouts).
+fn check_joinable(left: &GetInternal, right: &GetInternal) -> Result<(), EngineError> {
+    if left.group_by != right.group_by {
+        return Err(EngineError::NotJoinable(
+            "the target cube and the benchmark have different group-by sets".into(),
+        ));
+    }
+    if left.layout.total_bits() != right.layout.total_bits() {
+        return Err(EngineError::NotJoinable(
+            "the two cubes have unreconciled member domains".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Materializes the internal representation into a sorted derived cube.
+fn materialize(internal: GetInternal) -> GetOutcome {
+    let GetInternal { schema, group_by, layout, table, measures, used_view, rows_scanned } =
+        internal;
+    let (keys, cols) = table.finish();
+    let arity = group_by.arity();
+    let mut coord_cols: Vec<Vec<MemberId>> =
+        (0..arity).map(|_| Vec::with_capacity(keys.len())).collect();
+    for &key in &keys {
+        for (c, col) in coord_cols.iter_mut().enumerate() {
+            col.push(layout.unpack_component(key, c));
+        }
+    }
+    let columns: Vec<CubeColumn> = measures
+        .iter()
+        .zip(cols)
+        .map(|(name, data)| CubeColumn::Numeric(NumericColumn::dense(name.clone(), data)))
+        .collect();
+    let mut cube = DerivedCube::from_parts(schema, group_by, coord_cols, columns)
+        .expect("engine-produced columns are consistent");
+    cube.sort_by_coordinates();
+    GetOutcome { cube, used_view, rows_scanned }
+}
+
+/// Convenience used by tests and the assess runtime: the coordinate of a
+/// cube row as owned member ids.
+pub fn row_coordinate(cube: &DerivedCube, row: usize) -> Coordinate {
+    cube.coordinate(row)
+}

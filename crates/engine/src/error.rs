@@ -1,0 +1,54 @@
+//! Error type for query execution.
+
+use std::fmt;
+
+/// Errors raised while planning or executing physical operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Underlying storage error (missing tables, type mismatches…).
+    Storage(olap_storage::StorageError),
+    /// Underlying model error (unknown levels, arity mismatches…).
+    Model(olap_model::ModelError),
+    /// The two sides of a join are not joinable (Definition 3.1 requires
+    /// equal group-by sets).
+    NotJoinable(String),
+    /// A pivot was requested on a hierarchy not in the group-by set, or with
+    /// an empty slice list.
+    InvalidPivot(String),
+    /// An aggregation operator is not supported by the chosen access path.
+    Unsupported(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Storage(e) => write!(f, "storage error: {e}"),
+            EngineError::Model(e) => write!(f, "model error: {e}"),
+            EngineError::NotJoinable(msg) => write!(f, "cubes are not joinable: {msg}"),
+            EngineError::InvalidPivot(msg) => write!(f, "invalid pivot: {msg}"),
+            EngineError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Storage(e) => Some(e),
+            EngineError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<olap_storage::StorageError> for EngineError {
+    fn from(e: olap_storage::StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+impl From<olap_model::ModelError> for EngineError {
+    fn from(e: olap_model::ModelError) -> Self {
+        EngineError::Model(e)
+    }
+}

@@ -1,0 +1,182 @@
+//! Predicate compilation: selection predicates become dense membership
+//! bitmaps over the member domain the data actually carries.
+//!
+//! A predicate `type = 'Fresh Fruit'` must be evaluated against fact rows
+//! that only carry `product`-level foreign keys. Instead of joining the
+//! dimension table per row, the engine rolls every member of the carrier
+//! level up to the predicate level **once**, producing a boolean mask over
+//! the carrier domain; the scan then tests `mask[fk]`. This is the bitmap
+//! join-index strategy of columnar OLAP engines and stands in for the
+//! B-tree-indexed star joins of the paper's Oracle setup.
+
+use olap_model::{CubeSchema, Predicate};
+
+use crate::error::EngineError;
+
+/// One compiled mask: which members of the carrier level of a hierarchy
+/// satisfy all predicates on that hierarchy.
+#[derive(Debug, Clone)]
+pub struct HierarchyMask {
+    /// Hierarchy index within the schema.
+    pub hierarchy: usize,
+    /// Allowed members of the carrier level (indexed by member id).
+    pub mask: Vec<bool>,
+}
+
+/// The conjunction of all compiled predicate masks of a query.
+#[derive(Debug, Clone, Default)]
+pub struct CompiledFilter {
+    masks: Vec<HierarchyMask>,
+}
+
+impl CompiledFilter {
+    /// Compiles `predicates` against data that carries each hierarchy at
+    /// `carrier_levels[hierarchy]` (`Some(0)` for fact tables; the view's
+    /// group-by slot for materialized views; `None` when the hierarchy was
+    /// aggregated away, which makes any predicate on it uncompilable).
+    pub fn compile(
+        schema: &CubeSchema,
+        predicates: &[Predicate],
+        carrier_levels: &[Option<usize>],
+    ) -> Result<Self, EngineError> {
+        let mut masks: Vec<HierarchyMask> = Vec::new();
+        for pred in predicates {
+            let carrier = carrier_levels
+                .get(pred.hierarchy)
+                .copied()
+                .flatten()
+                .ok_or_else(|| {
+                    EngineError::Unsupported(format!(
+                        "predicate on hierarchy #{} cannot be evaluated: data does not carry it",
+                        pred.hierarchy
+                    ))
+                })?;
+            let h = schema
+                .hierarchy(pred.hierarchy)
+                .ok_or_else(|| EngineError::Model(olap_model::ModelError::UnknownHierarchy(
+                    format!("#{}", pred.hierarchy),
+                )))?;
+            if carrier > pred.level {
+                return Err(EngineError::Unsupported(format!(
+                    "predicate at level #{} of hierarchy `{}` is finer than the carried level #{}",
+                    pred.level,
+                    h.name(),
+                    carrier
+                )));
+            }
+            let rollmap = h.composed_map(carrier, pred.level)?;
+            let mask: Vec<bool> = rollmap.iter().map(|parent| pred.matches(*parent)).collect();
+            // AND with an existing mask on the same hierarchy, if any.
+            if let Some(existing) =
+                masks.iter_mut().find(|m| m.hierarchy == pred.hierarchy)
+            {
+                for (slot, allowed) in existing.mask.iter_mut().zip(mask.iter()) {
+                    *slot = *slot && *allowed;
+                }
+            } else {
+                masks.push(HierarchyMask { hierarchy: pred.hierarchy, mask });
+            }
+        }
+        Ok(CompiledFilter { masks })
+    }
+
+    /// The compiled per-hierarchy masks.
+    pub fn masks(&self) -> &[HierarchyMask] {
+        &self.masks
+    }
+
+    /// Whether the filter accepts everything (no predicates).
+    pub fn is_trivial(&self) -> bool {
+        self.masks.is_empty()
+    }
+
+    /// Selectivity estimate: the product of per-mask allowed fractions.
+    pub fn estimated_selectivity(&self) -> f64 {
+        self.masks
+            .iter()
+            .map(|m| {
+                let allowed = m.mask.iter().filter(|b| **b).count();
+                if m.mask.is_empty() {
+                    1.0
+                } else {
+                    allowed as f64 / m.mask.len() as f64
+                }
+            })
+            .product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olap_model::{AggOp, HierarchyBuilder, MeasureDef, Predicate};
+
+    fn schema() -> CubeSchema {
+        let mut product = HierarchyBuilder::new("Product", ["product", "type"]);
+        product.add_member_chain(&["Apple", "Fresh Fruit"]).unwrap();
+        product.add_member_chain(&["Pear", "Fresh Fruit"]).unwrap();
+        product.add_member_chain(&["Milk", "Dairy"]).unwrap();
+        let mut store = HierarchyBuilder::new("Store", ["store", "country"]);
+        store.add_member_chain(&["SmartMart", "Italy"]).unwrap();
+        store.add_member_chain(&["HyperChoice", "France"]).unwrap();
+        CubeSchema::new(
+            "SALES",
+            vec![product.build().unwrap(), store.build().unwrap()],
+            vec![MeasureDef::new("quantity", AggOp::Sum)],
+        )
+    }
+
+    #[test]
+    fn mask_rolls_carrier_to_predicate_level() {
+        let s = schema();
+        let p = Predicate::eq(&s, "type", "Fresh Fruit").unwrap();
+        let f = CompiledFilter::compile(&s, &[p], &[Some(0), Some(0)]).unwrap();
+        assert_eq!(f.masks().len(), 1);
+        assert_eq!(f.masks()[0].hierarchy, 0);
+        assert_eq!(f.masks()[0].mask, vec![true, true, false]);
+    }
+
+    #[test]
+    fn predicates_on_same_hierarchy_conjoin() {
+        let s = schema();
+        let p1 = Predicate::is_in(&s, "product", &["Apple", "Milk"]).unwrap();
+        let p2 = Predicate::eq(&s, "type", "Fresh Fruit").unwrap();
+        let f = CompiledFilter::compile(&s, &[p1, p2], &[Some(0), Some(0)]).unwrap();
+        assert_eq!(f.masks().len(), 1);
+        assert_eq!(f.masks()[0].mask, vec![true, false, false]);
+    }
+
+    #[test]
+    fn carrier_coarser_than_predicate_fails() {
+        let s = schema();
+        let p = Predicate::eq(&s, "product", "Apple").unwrap();
+        // Carrier is `type` (level 1): cannot evaluate a product-level predicate.
+        assert!(CompiledFilter::compile(&s, &[p], &[Some(1), Some(0)]).is_err());
+    }
+
+    #[test]
+    fn aggregated_away_hierarchy_fails() {
+        let s = schema();
+        let p = Predicate::eq(&s, "country", "Italy").unwrap();
+        assert!(CompiledFilter::compile(&s, &[p], &[Some(0), None]).is_err());
+    }
+
+    #[test]
+    fn trivial_filter_and_selectivity() {
+        let s = schema();
+        let f = CompiledFilter::compile(&s, &[], &[Some(0), Some(0)]).unwrap();
+        assert!(f.is_trivial());
+        assert_eq!(f.estimated_selectivity(), 1.0);
+        let p = Predicate::eq(&s, "country", "Italy").unwrap();
+        let f = CompiledFilter::compile(&s, &[p], &[Some(0), Some(0)]).unwrap();
+        assert!((f.estimated_selectivity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn carrier_at_predicate_level_is_direct() {
+        let s = schema();
+        let p = Predicate::eq(&s, "country", "France").unwrap();
+        let f = CompiledFilter::compile(&s, &[p], &[Some(0), Some(1)]).unwrap();
+        assert_eq!(f.masks()[0].mask, vec![false, true]);
+    }
+}

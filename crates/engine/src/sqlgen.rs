@@ -1,0 +1,205 @@
+//! SQL text generation.
+//!
+//! The paper measures "formulation effort" (Table 1) as the ASCII length of
+//! the SQL + Python code a user would have to write by hand to replicate an
+//! assess statement, and its plans are described by the SQL pushed to the
+//! DBMS (Listings 1, 4 and 5). This module renders that SQL from a cube
+//! query and its binding. The engine does not parse this text back — it is
+//! the *explanation* of what the fused physical paths compute, and the
+//! artifact whose length Table 1 counts.
+
+use olap_model::{CubeQuery, Predicate, PredicateOp};
+use olap_storage::CubeBinding;
+
+/// Renders the member of a predicate as a quoted SQL literal list.
+fn predicate_sql(binding: &CubeBinding, p: &Predicate) -> String {
+    let schema = binding.schema();
+    let level = schema.hierarchy(p.hierarchy).and_then(|h| h.level(p.level));
+    let col = binding.level_sql_column(p.hierarchy, p.level);
+    let name_of = |m: &olap_model::MemberId| {
+        level.and_then(|l| l.member_name(*m)).unwrap_or("?").to_string()
+    };
+    match &p.op {
+        PredicateOp::Eq(m) => format!("{col} = '{}'", name_of(m)),
+        PredicateOp::In(ms) => {
+            let list: Vec<String> = ms.iter().map(|m| format!("'{}'", name_of(m))).collect();
+            format!("{col} in ({})", list.join(", "))
+        }
+    }
+}
+
+/// The dimension hierarchies a query touches beyond the fact table's own
+/// foreign keys (group-by above level 0, or any predicate).
+fn dims_needed(q: &CubeQuery) -> Vec<usize> {
+    let mut dims: Vec<usize> = Vec::new();
+    for (hi, li) in q.group_by.included_hierarchies() {
+        if li > 0 && !dims.contains(&hi) {
+            dims.push(hi);
+        }
+    }
+    for p in &q.predicates {
+        if !dims.contains(&p.hierarchy) {
+            dims.push(p.hierarchy);
+        }
+    }
+    dims.sort_unstable();
+    dims
+}
+
+/// Group-by column list of a query, qualified against the binding.
+fn group_by_columns(binding: &CubeBinding, q: &CubeQuery) -> Vec<String> {
+    q.group_by
+        .included_hierarchies()
+        .map(|(hi, li)| {
+            if li == 0 {
+                format!("f.{}", binding.fk_column(hi))
+            } else {
+                format!("{}.{}", binding.dim(hi).table, binding.level_sql_column(hi, li))
+            }
+        })
+        .collect()
+}
+
+/// Renders the SQL of one cube query (Listing 1 style).
+pub fn select_sql(binding: &CubeBinding, q: &CubeQuery) -> String {
+    let schema = binding.schema();
+    let cols = group_by_columns(binding, q);
+    let aggs: Vec<String> = q
+        .measures
+        .iter()
+        .map(|m| {
+            let op = schema.measure_index(m).map(|i| schema.measures()[i].agg().name()).unwrap_or("sum");
+            let col = binding.measure_column_by_name(m).unwrap_or(m);
+            format!("{op}(f.{col}) as {m}")
+        })
+        .collect();
+    let mut sql = format!(
+        "select {}, {}\nfrom {} f",
+        cols.join(", "),
+        aggs.join(", "),
+        binding.fact_table()
+    );
+    for hi in dims_needed(q) {
+        let d = binding.dim(hi);
+        sql.push_str(&format!(
+            "\n  join {} on {}.{} = f.{}",
+            d.table,
+            d.table,
+            d.pk,
+            binding.fk_column(hi)
+        ));
+    }
+    if !q.predicates.is_empty() {
+        let preds: Vec<String> = q.predicates.iter().map(|p| predicate_sql(binding, p)).collect();
+        sql.push_str(&format!("\nwhere {}", preds.join(" and ")));
+    }
+    sql.push_str(&format!("\ngroup by {}", cols.join(", ")));
+    sql
+}
+
+/// Renders the join of two cube queries as nested subqueries (Listing 4).
+///
+/// `join_columns` are the group-by column aliases equated between the two
+/// sides (the partial-join levels); `right_renames[i]` is the output alias
+/// of the right side's `i`-th measure.
+pub fn join_sql(
+    binding: &CubeBinding,
+    left: &CubeQuery,
+    right: &CubeQuery,
+    join_columns: &[String],
+    right_renames: &[String],
+) -> String {
+    let left_aliases: Vec<String> = left
+        .group_by
+        .included_hierarchies()
+        .map(|(hi, li)| binding.level_sql_column(hi, li).to_string())
+        .collect();
+    let select_cols: Vec<String> =
+        left_aliases.iter().map(|c| format!("t1.{c}")).collect();
+    let left_measures: Vec<String> = left.measures.iter().map(|m| format!("t1.{m}")).collect();
+    let right_measures: Vec<String> = right
+        .measures
+        .iter()
+        .zip(right_renames.iter())
+        .map(|(m, r)| format!("t2.{m} as {r}"))
+        .collect();
+    let on: Vec<String> =
+        join_columns.iter().map(|c| format!("t1.{c} = t2.{c}")).collect();
+    format!(
+        "select {}, {}, {}\nfrom\n({}) t1,\n({}) t2\nwhere {}",
+        select_cols.join(", "),
+        left_measures.join(", "),
+        right_measures.join(", "),
+        indent(&aliased_select_sql(binding, left)),
+        indent(&aliased_select_sql(binding, right)),
+        on.join(" and ")
+    )
+}
+
+/// Renders a widened get plus a PIVOT clause (Listing 5).
+pub fn pivot_sql(
+    binding: &CubeBinding,
+    q_all: &CubeQuery,
+    pivot_hierarchy: usize,
+    pivot_level: usize,
+    reference: &str,
+    neighbors: &[(String, String)],
+    measure: &str,
+) -> String {
+    let schema = binding.schema();
+    let pivot_col = binding.level_sql_column(pivot_hierarchy, pivot_level);
+    let op = schema
+        .measure_index(measure)
+        .map(|i| schema.measures()[i].agg().name())
+        .unwrap_or("sum");
+    let mut in_list = vec![format!("'{reference}' as {measure}")];
+    in_list.extend(neighbors.iter().map(|(member, alias)| format!("'{member}' as {alias}")));
+    let not_null: Vec<String> = std::iter::once(measure.to_string())
+        .chain(neighbors.iter().map(|(_, alias)| alias.clone()))
+        .map(|c| format!("{c} is not null"))
+        .collect();
+    format!(
+        "select '{reference}' as {pivot_col}, *\nfrom\n({})\npivot (\n  {op}({measure}) for {pivot_col}\n  in ({})\n)\nwhere {}",
+        indent(&aliased_select_sql(binding, q_all)),
+        in_list.join(", "),
+        not_null.join(" and ")
+    )
+}
+
+/// A select whose group-by columns are re-aliased to bare level names, so
+/// outer queries can reference them uniformly.
+pub fn aliased_select_sql(binding: &CubeBinding, q: &CubeQuery) -> String {
+    let sql = select_sql(binding, q);
+    // Re-alias the projection: `f.fk`/`dim.col` → `col`.
+    let aliases: Vec<(String, String)> = q
+        .group_by
+        .included_hierarchies()
+        .map(|(hi, li)| {
+            let qualified = if li == 0 {
+                format!("f.{}", binding.fk_column(hi))
+            } else {
+                format!("{}.{}", binding.dim(hi).table, binding.level_sql_column(hi, li))
+            };
+            (qualified.clone(), format!("{qualified} as {}", binding.level_sql_column(hi, li)))
+        })
+        .collect();
+    let mut lines: Vec<String> = sql.lines().map(str::to_string).collect();
+    if let Some(first) = lines.first_mut() {
+        for (from, to) in &aliases {
+            if let Some(pos) = first.find(from.as_str()) {
+                first.replace_range(pos..pos + from.len(), to);
+            }
+        }
+    }
+    lines.join("\n")
+}
+
+fn indent(sql: &str) -> String {
+    sql.lines().map(|l| format!("  {l}")).collect::<Vec<_>>().join("\n")
+}
+
+/// Total ASCII character count of a piece of generated code — the
+/// formulation-effort metric of Table 1 (Jain et al.'s proxy).
+pub fn char_length(code: &str) -> usize {
+    code.chars().count()
+}

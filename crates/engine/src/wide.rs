@@ -1,0 +1,105 @@
+//! Wide-key fallback for `get`.
+//!
+//! The fused paths pack group-by keys into a `u64`; group-by sets whose
+//! combined bit width exceeds 64 (five-plus huge hierarchies at their finest
+//! levels) fall back to this module, which aggregates with boxed
+//! [`Coordinate`] keys. Only plain `get` takes this path — the fused
+//! join/pivot operators keep requiring packed keys, which every realistic
+//! assess group-by satisfies.
+
+use std::sync::Arc;
+
+use olap_model::{
+    AggOp, Coordinate, CubeColumn, CubeQuery, CubeSchema, DerivedCube, MemberId, NumericColumn,
+};
+
+use crate::aggregate::{GroupTable, NumView};
+use crate::engine::GetOutcome;
+use crate::error::EngineError;
+use crate::predicate::CompiledFilter;
+
+/// Executes a get with wide (boxed) keys, straight to a materialized cube.
+pub(crate) fn get_wide(
+    catalog: &olap_storage::Catalog,
+    q: &CubeQuery,
+) -> Result<GetOutcome, EngineError> {
+    let binding = catalog.binding(&q.cube)?;
+    let schema: Arc<CubeSchema> = binding.schema().clone();
+    q.validate(&schema)?;
+    let ops: Vec<AggOp> = q
+        .measures
+        .iter()
+        .map(|m| schema.require_measure(m).map(|d| d.agg()))
+        .collect::<Result<_, _>>()?;
+    let fact = catalog.table(binding.fact_table())?;
+    let carrier: Vec<Option<usize>> = vec![Some(0); schema.hierarchies().len()];
+    let filter = CompiledFilter::compile(&schema, &q.predicates, &carrier)?;
+
+    let mut mask_inputs: Vec<(&[i64], &[bool])> = Vec::new();
+    for m in filter.masks() {
+        let fk = fact.require_i64(binding.fk_column(m.hierarchy))?;
+        mask_inputs.push((fk, &m.mask));
+    }
+    let mut key_inputs: Vec<(&[i64], Vec<MemberId>)> = Vec::new();
+    for (hi, li) in q.group_by.included_hierarchies() {
+        let fk = fact.require_i64(binding.fk_column(hi))?;
+        let h = schema.hierarchy(hi).expect("hierarchy in range");
+        key_inputs.push((fk, h.composed_map(0, li)?));
+    }
+    let measure_views: Vec<NumView<'_>> = q
+        .measures
+        .iter()
+        .map(|m| {
+            let col_name = binding.measure_column_by_name(m).ok_or_else(|| {
+                EngineError::Model(olap_model::ModelError::UnknownMeasure(m.clone()))
+            })?;
+            let col = fact.require_column(col_name)?;
+            NumView::from_column(col).ok_or(EngineError::Unsupported(format!(
+                "measure column `{col_name}` is not numeric"
+            )))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let n = fact.n_rows();
+    let mut table: GroupTable<Coordinate> = GroupTable::new(&ops);
+    let mut values = vec![0.0f64; measure_views.len()];
+    let mut key_buf: Vec<MemberId> = vec![MemberId(0); key_inputs.len()];
+    'rows: for row in 0..n {
+        for (fks, mask) in &mask_inputs {
+            if !mask[fks[row] as usize] {
+                continue 'rows;
+            }
+        }
+        for (slot, (fks, rollmap)) in key_buf.iter_mut().zip(&key_inputs) {
+            *slot = rollmap[fks[row] as usize];
+        }
+        let key = Coordinate::new(key_buf.clone());
+        if values.len() == 1 {
+            table.update1(key, measure_views[0].get(row));
+        } else {
+            for (v, mv) in values.iter_mut().zip(&measure_views) {
+                *v = mv.get(row);
+            }
+            table.update(key, &values);
+        }
+    }
+
+    let (keys, cols) = table.finish();
+    let arity = q.group_by.arity();
+    let mut coord_cols: Vec<Vec<MemberId>> =
+        (0..arity).map(|_| Vec::with_capacity(keys.len())).collect();
+    for key in &keys {
+        for (c, col) in coord_cols.iter_mut().enumerate() {
+            col.push(key.members()[c]);
+        }
+    }
+    let columns: Vec<CubeColumn> = q
+        .measures
+        .iter()
+        .zip(cols.into_iter())
+        .map(|(name, data)| CubeColumn::Numeric(NumericColumn::dense(name.clone(), data)))
+        .collect();
+    let mut cube = DerivedCube::from_parts(schema, q.group_by.clone(), coord_cols, columns)?;
+    cube.sort_by_coordinates();
+    Ok(GetOutcome { cube, used_view: None, rows_scanned: n })
+}

@@ -1,0 +1,114 @@
+//! Property tests for the engine's low-level machinery: key packing,
+//! predicate compilation, and accumulator algebra.
+
+use olap_engine::KeyLayout;
+use olap_model::{AggOp, CubeSchema, HierarchyBuilder, MeasureDef, MemberId, Predicate};
+use proptest::prelude::*;
+
+/// Cardinalities plus a valid member per component.
+fn layout_case() -> impl Strategy<Value = (Vec<usize>, Vec<u32>)> {
+    proptest::collection::vec(1usize..100_000, 1..5).prop_flat_map(|cards| {
+        let members: Vec<BoxedStrategy<u32>> =
+            cards.iter().map(|&c| (0..c as u32).boxed()).collect();
+        (Just(cards), members)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Packing then unpacking any valid member tuple is the identity,
+    /// component-wise and wholesale.
+    #[test]
+    fn key_pack_unpack_identity((cards, members) in layout_case()) {
+        let layout = KeyLayout::for_cardinalities(&cards);
+        prop_assume!(layout.fits_u64());
+        let ids: Vec<MemberId> = members.iter().map(|&m| MemberId(m)).collect();
+        let key = layout.pack(&ids);
+        prop_assert_eq!(layout.unpack(key), ids.clone());
+        for (c, id) in ids.iter().enumerate() {
+            prop_assert_eq!(layout.unpack_component(key, c), *id);
+        }
+    }
+
+    /// Clearing a component then re-packing any member into it never
+    /// disturbs the other components.
+    #[test]
+    fn clear_and_repack_is_local((cards, members) in layout_case()) {
+        let layout = KeyLayout::for_cardinalities(&cards);
+        prop_assume!(layout.fits_u64());
+        let ids: Vec<MemberId> = members.iter().map(|&m| MemberId(m)).collect();
+        let key = layout.pack(&ids);
+        for c in 0..ids.len() {
+            let mut rekeyed = layout.clear_component(key, c);
+            layout.pack_component(&mut rekeyed, c, MemberId(0));
+            for (other, id) in ids.iter().enumerate() {
+                if other != c {
+                    prop_assert_eq!(layout.unpack_component(rekeyed, other), *id);
+                }
+            }
+            prop_assert_eq!(layout.unpack_component(rekeyed, c), MemberId(0));
+        }
+    }
+
+    /// Distinct member tuples always pack to distinct keys (injectivity).
+    #[test]
+    fn packing_is_injective(
+        (cards, a) in layout_case(),
+        perturb in proptest::collection::vec(any::<bool>(), 1..5),
+    ) {
+        let layout = KeyLayout::for_cardinalities(&cards);
+        prop_assume!(layout.fits_u64());
+        let ids_a: Vec<MemberId> = a.iter().map(|&m| MemberId(m)).collect();
+        // Derive a second tuple by flipping some components to other values.
+        let mut ids_b = ids_a.clone();
+        for (c, flip) in perturb.iter().enumerate().take(ids_b.len()) {
+            if *flip && cards[c] > 1 {
+                ids_b[c] = MemberId((ids_b[c].0 + 1) % cards[c] as u32);
+            }
+        }
+        if ids_a != ids_b {
+            prop_assert_ne!(layout.pack(&ids_a), layout.pack(&ids_b));
+        }
+    }
+
+    /// A compiled predicate mask agrees with rolling up and testing each
+    /// member individually.
+    #[test]
+    fn predicate_masks_agree_with_rollup(
+        parents in proptest::collection::vec(0u32..4, 1..40),
+        wanted in proptest::collection::vec(0u32..4, 1..3),
+    ) {
+        let mut b = HierarchyBuilder::new("H", ["leaf", "top"]);
+        for (leaf, &p) in parents.iter().enumerate() {
+            b.add_member_chain(&[format!("l{leaf}"), format!("t{p}")]).unwrap();
+        }
+        let h = b.build().unwrap();
+        let top_card = h.level(1).unwrap().cardinality() as u32;
+        let schema = CubeSchema::new(
+            "C",
+            vec![h],
+            vec![MeasureDef::new("m", AggOp::Sum)],
+        );
+        // Pick wanted members from the names that actually occur (parents
+        // are interned sparsely, so `t{k}` may not exist for every k).
+        let top = schema.hierarchy(0).unwrap().level(1).unwrap();
+        let names: Vec<String> = wanted
+            .iter()
+            .map(|w| top.member_name(MemberId(w % top_card)).unwrap().to_string())
+            .collect();
+        let pred = Predicate::is_in(&schema, "top", &names).unwrap();
+        let filter = olap_engine::predicate::CompiledFilter::compile(
+            &schema,
+            std::slice::from_ref(&pred),
+            &[Some(0)],
+        )
+        .unwrap();
+        let mask = &filter.masks()[0].mask;
+        let hier = schema.hierarchy(0).unwrap();
+        for leaf in 0..parents.len() {
+            let rolled = hier.roll_member(0, 1, MemberId(leaf as u32)).unwrap();
+            prop_assert_eq!(mask[leaf], pred.matches(rolled));
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for model construction and navigation.
+
+use std::fmt;
+
+/// Errors raised while building or navigating the multidimensional model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A level name was not found in a hierarchy or schema.
+    UnknownLevel(String),
+    /// A hierarchy name was not found in a schema.
+    UnknownHierarchy(String),
+    /// A measure name was not found in a schema.
+    UnknownMeasure(String),
+    /// A member name was not found in the domain of a level.
+    UnknownMember { level: String, member: String },
+    /// A part-of mapping is not functional: some member of the finer level
+    /// has zero or several parents at the coarser level.
+    NonFunctionalPartOf { from: String, to: String, member: String },
+    /// The requested roll-up goes against the roll-up order (e.g. from
+    /// `year` down to `month`).
+    InvalidRollup { from: String, to: String },
+    /// Two group-by sets are defined over different schemas/hierarchy counts.
+    IncompatibleGroupBy,
+    /// A coordinate has the wrong arity for the group-by set it is used with.
+    CoordinateArity { expected: usize, got: usize },
+    /// Mismatched column lengths while assembling a cube.
+    RaggedColumns { expected: usize, got: usize, column: String },
+    /// A column name was not found in a cube.
+    UnknownColumn(String),
+    /// A column already exists with this name.
+    DuplicateColumn(String),
+    /// Generic invariant violation with a human-readable description.
+    Invariant(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownLevel(l) => write!(f, "unknown level `{l}`"),
+            ModelError::UnknownHierarchy(h) => write!(f, "unknown hierarchy `{h}`"),
+            ModelError::UnknownMeasure(m) => write!(f, "unknown measure `{m}`"),
+            ModelError::UnknownMember { level, member } => {
+                write!(f, "member `{member}` not in the domain of level `{level}`")
+            }
+            ModelError::NonFunctionalPartOf { from, to, member } => write!(
+                f,
+                "part-of order from `{from}` to `{to}` is not functional for member `{member}`"
+            ),
+            ModelError::InvalidRollup { from, to } => {
+                write!(f, "cannot roll up from `{from}` to `{to}`: not coarser in the roll-up order")
+            }
+            ModelError::IncompatibleGroupBy => {
+                write!(f, "group-by sets are defined over different schemas")
+            }
+            ModelError::CoordinateArity { expected, got } => {
+                write!(f, "coordinate arity mismatch: expected {expected}, got {got}")
+            }
+            ModelError::RaggedColumns { expected, got, column } => write!(
+                f,
+                "column `{column}` has {got} rows but the cube has {expected}"
+            ),
+            ModelError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            ModelError::DuplicateColumn(c) => write!(f, "duplicate column `{c}`"),
+            ModelError::Invariant(msg) => write!(f, "model invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

@@ -1,0 +1,224 @@
+//! Categorical levels and their dictionary-encoded member domains.
+
+use std::collections::HashMap;
+
+use crate::error::ModelError;
+
+/// A dense identifier for a member within the domain of one [`Level`].
+///
+/// Member ids are indices into the level's dictionary; they are only
+/// meaningful relative to the level that issued them. Using a dense `u32`
+/// keeps coordinates compact and lets part-of orders be plain arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MemberId(pub u32);
+
+impl MemberId {
+    /// The id as a usable array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for MemberId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A categorical level coupled with its domain of members (Definition 2.1).
+///
+/// The domain is dictionary encoded: `members[id]` is the display name of the
+/// member with that [`MemberId`], and `lookup` inverts the mapping.
+///
+/// A level may also carry **descriptive properties** — one numeric value per
+/// member, such as the population of a country (the paper's future-work
+/// extension enabling per-capita assessments). Properties are dense vectors
+/// indexed by member id; `NaN` marks a member without a value.
+#[derive(Debug, Clone)]
+pub struct Level {
+    name: String,
+    members: Vec<String>,
+    lookup: HashMap<String, MemberId>,
+    properties: HashMap<String, Vec<f64>>,
+}
+
+impl Level {
+    /// Creates a level with an initially empty domain.
+    pub fn new(name: impl Into<String>) -> Self {
+        Level {
+            name: name.into(),
+            members: Vec::new(),
+            lookup: HashMap::new(),
+            properties: HashMap::new(),
+        }
+    }
+
+    /// Creates a level from a list of member names.
+    ///
+    /// Duplicate names map to the same id (first occurrence wins).
+    pub fn with_members<I, S>(name: impl Into<String>, members: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut level = Level::new(name);
+        for m in members {
+            level.intern(m.into());
+        }
+        level
+    }
+
+    /// The level name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The number of members in the domain.
+    pub fn cardinality(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Interns a member name, returning its id (existing id if already known).
+    pub fn intern(&mut self, member: impl Into<String>) -> MemberId {
+        let member = member.into();
+        if let Some(&id) = self.lookup.get(&member) {
+            return id;
+        }
+        let id = MemberId(self.members.len() as u32);
+        self.lookup.insert(member.clone(), id);
+        self.members.push(member);
+        id
+    }
+
+    /// Resolves a member name to its id.
+    pub fn member_id(&self, member: &str) -> Option<MemberId> {
+        self.lookup.get(member).copied()
+    }
+
+    /// Resolves a member name, producing a model error when absent.
+    pub fn require_member(&self, member: &str) -> Result<MemberId, ModelError> {
+        self.member_id(member).ok_or_else(|| ModelError::UnknownMember {
+            level: self.name.clone(),
+            member: member.to_string(),
+        })
+    }
+
+    /// The display name of a member id, if in range.
+    pub fn member_name(&self, id: MemberId) -> Option<&str> {
+        self.members.get(id.index()).map(String::as_str)
+    }
+
+    /// Attaches (or replaces) a descriptive property: one value per member,
+    /// in member-id order. Errors when the vector does not cover the domain.
+    pub fn set_property(
+        &mut self,
+        name: impl Into<String>,
+        values: Vec<f64>,
+    ) -> Result<(), ModelError> {
+        if values.len() != self.members.len() {
+            return Err(ModelError::Invariant(format!(
+                "property needs {} values for level `{}`, got {}",
+                self.members.len(),
+                self.name,
+                values.len()
+            )));
+        }
+        self.properties.insert(name.into(), values);
+        Ok(())
+    }
+
+    /// All values of a property, indexed by member id.
+    pub fn property(&self, name: &str) -> Option<&[f64]> {
+        self.properties.get(name).map(Vec::as_slice)
+    }
+
+    /// The property value of one member (`None` when absent or `NaN`).
+    pub fn property_of(&self, name: &str, member: MemberId) -> Option<f64> {
+        self.properties
+            .get(name)
+            .and_then(|v| v.get(member.index()))
+            .copied()
+            .filter(|v| !v.is_nan())
+    }
+
+    /// Names of the attached properties (sorted for determinism).
+    pub fn property_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.properties.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Iterates over `(id, name)` pairs in id order.
+    pub fn members(&self) -> impl Iterator<Item = (MemberId, &str)> {
+        self.members
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (MemberId(i as u32), name.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut level = Level::new("country");
+        let italy = level.intern("Italy");
+        let france = level.intern("France");
+        assert_ne!(italy, france);
+        assert_eq!(level.intern("Italy"), italy);
+        assert_eq!(level.cardinality(), 2);
+    }
+
+    #[test]
+    fn lookup_round_trips() {
+        let level = Level::with_members("country", ["Italy", "France", "Greece"]);
+        for (id, name) in level.members() {
+            assert_eq!(level.member_id(name), Some(id));
+            assert_eq!(level.member_name(id), Some(name));
+        }
+    }
+
+    #[test]
+    fn unknown_member_is_reported_with_context() {
+        let level = Level::with_members("country", ["Italy"]);
+        let err = level.require_member("Atlantis").unwrap_err();
+        assert_eq!(
+            err,
+            ModelError::UnknownMember { level: "country".into(), member: "Atlantis".into() }
+        );
+    }
+
+    #[test]
+    fn duplicate_members_collapse() {
+        let level = Level::with_members("gender", ["M", "F", "M"]);
+        assert_eq!(level.cardinality(), 2);
+    }
+
+    #[test]
+    fn member_name_out_of_range_is_none() {
+        let level = Level::with_members("x", ["a"]);
+        assert_eq!(level.member_name(MemberId(5)), None);
+    }
+
+    #[test]
+    fn properties_attach_per_member() {
+        let mut level = Level::with_members("country", ["Italy", "France"]);
+        level.set_property("population", vec![57.0, 58.0]).unwrap();
+        assert_eq!(level.property_of("population", MemberId(0)), Some(57.0));
+        assert_eq!(level.property("population"), Some(&[57.0, 58.0][..]));
+        assert_eq!(level.property_names(), vec!["population"]);
+        assert_eq!(level.property_of("gdp", MemberId(0)), None);
+        // NaN marks a missing value.
+        level.set_property("gdp", vec![1.0, f64::NAN]).unwrap();
+        assert_eq!(level.property_of("gdp", MemberId(1)), None);
+    }
+
+    #[test]
+    fn property_arity_is_checked() {
+        let mut level = Level::with_members("country", ["Italy", "France"]);
+        assert!(level.set_property("population", vec![57.0]).is_err());
+    }
+}

@@ -1,0 +1,216 @@
+//! Cube queries: group-by set, selection predicates, requested measures.
+
+use crate::error::ModelError;
+use crate::groupby::GroupBySet;
+use crate::level::MemberId;
+use crate::schema::CubeSchema;
+
+/// Comparison operator of a selection predicate. Each predicate is expressed
+/// over **one level** of one hierarchy (Definition 2.6); set membership is
+/// what sibling/past rewrites (P2/P3) produce when they widen a slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredicateOp {
+    /// `level = member`
+    Eq(MemberId),
+    /// `level ∈ {members…}` — kept in the user-specified order because past
+    /// benchmarks rely on the temporal order of the slices.
+    In(Vec<MemberId>),
+}
+
+/// A selection predicate over one level of one hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Predicate {
+    /// Hierarchy index within the schema.
+    pub hierarchy: usize,
+    /// Level index within the hierarchy.
+    pub level: usize,
+    pub op: PredicateOp,
+}
+
+impl Predicate {
+    /// `level = member` predicate from names.
+    pub fn eq(schema: &CubeSchema, level: &str, member: &str) -> Result<Self, ModelError> {
+        let (hierarchy, li) = schema.locate_level(level)?;
+        let m = schema
+            .hierarchy(hierarchy)
+            .and_then(|h| h.level(li))
+            .ok_or_else(|| ModelError::UnknownLevel(level.to_string()))?
+            .require_member(member)?;
+        Ok(Predicate { hierarchy, level: li, op: PredicateOp::Eq(m) })
+    }
+
+    /// `level ∈ {members…}` predicate from names (order preserved).
+    pub fn is_in<S: AsRef<str>>(
+        schema: &CubeSchema,
+        level: &str,
+        members: &[S],
+    ) -> Result<Self, ModelError> {
+        let (hierarchy, li) = schema.locate_level(level)?;
+        let lvl = schema
+            .hierarchy(hierarchy)
+            .and_then(|h| h.level(li))
+            .ok_or_else(|| ModelError::UnknownLevel(level.to_string()))?;
+        let ids = members
+            .iter()
+            .map(|m| lvl.require_member(m.as_ref()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Predicate { hierarchy, level: li, op: PredicateOp::In(ids) })
+    }
+
+    /// The member set selected by the predicate, in specification order.
+    pub fn members(&self) -> Vec<MemberId> {
+        match &self.op {
+            PredicateOp::Eq(m) => vec![*m],
+            PredicateOp::In(ms) => ms.clone(),
+        }
+    }
+
+    /// Whether a member of the predicate's level satisfies the predicate.
+    pub fn matches(&self, member: MemberId) -> bool {
+        match &self.op {
+            PredicateOp::Eq(m) => *m == member,
+            PredicateOp::In(ms) => ms.contains(&member),
+        }
+    }
+
+    /// Renders the predicate as `level = 'member'` / `level in (…)` text.
+    pub fn render(&self, schema: &CubeSchema) -> String {
+        let level = schema
+            .hierarchy(self.hierarchy)
+            .and_then(|h| h.level(self.level));
+        let level_name = level.map(|l| l.name()).unwrap_or("?");
+        let name_of = |m: &MemberId| {
+            level.and_then(|l| l.member_name(*m)).unwrap_or("?").to_string()
+        };
+        match &self.op {
+            PredicateOp::Eq(m) => format!("{} = '{}'", level_name, name_of(m)),
+            PredicateOp::In(ms) => {
+                let list: Vec<String> = ms.iter().map(|m| format!("'{}'", name_of(m))).collect();
+                format!("{} in ({})", level_name, list.join(", "))
+            }
+        }
+    }
+}
+
+/// A cube query `q = (C0, Gq, Pq, Mq)` (Definition 2.6).
+#[derive(Debug, Clone)]
+pub struct CubeQuery {
+    /// Name of the detailed cube the query runs over.
+    pub cube: String,
+    pub group_by: GroupBySet,
+    pub predicates: Vec<Predicate>,
+    /// Requested measure names (`Mq ⊆ M`).
+    pub measures: Vec<String>,
+}
+
+impl CubeQuery {
+    pub fn new(
+        cube: impl Into<String>,
+        group_by: GroupBySet,
+        predicates: Vec<Predicate>,
+        measures: Vec<String>,
+    ) -> Self {
+        CubeQuery { cube: cube.into(), group_by, predicates, measures }
+    }
+
+    /// Validates the query against a schema: measures exist, predicate
+    /// hierarchies/levels are in range.
+    pub fn validate(&self, schema: &CubeSchema) -> Result<(), ModelError> {
+        for m in &self.measures {
+            schema.require_measure(m)?;
+        }
+        for p in &self.predicates {
+            let h = schema
+                .hierarchy(p.hierarchy)
+                .ok_or_else(|| ModelError::UnknownHierarchy(format!("#{}", p.hierarchy)))?;
+            if h.level(p.level).is_none() {
+                return Err(ModelError::UnknownLevel(format!(
+                    "level #{} of hierarchy `{}`",
+                    p.level,
+                    h.name()
+                )));
+            }
+        }
+        if self.group_by.slots().len() != schema.hierarchies().len() {
+            return Err(ModelError::IncompatibleGroupBy);
+        }
+        Ok(())
+    }
+
+    /// The predicate (index) on a given hierarchy+level, if any.
+    pub fn predicate_on(&self, hierarchy: usize, level: usize) -> Option<&Predicate> {
+        self.predicates.iter().find(|p| p.hierarchy == hierarchy && p.level == level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::HierarchyBuilder;
+    use crate::schema::{AggOp, MeasureDef};
+
+    fn schema() -> CubeSchema {
+        let mut product = HierarchyBuilder::new("Product", ["product", "type"]);
+        product.add_member_chain(&["Apple", "Fresh Fruit"]).unwrap();
+        product.add_member_chain(&["Milk", "Dairy"]).unwrap();
+        let mut store = HierarchyBuilder::new("Store", ["store", "country"]);
+        store.add_member_chain(&["SmartMart", "Italy"]).unwrap();
+        store.add_member_chain(&["HyperChoice", "France"]).unwrap();
+        CubeSchema::new(
+            "SALES",
+            vec![product.build().unwrap(), store.build().unwrap()],
+            vec![MeasureDef::new("quantity", AggOp::Sum)],
+        )
+    }
+
+    #[test]
+    fn eq_predicate_resolves_names() {
+        let s = schema();
+        let p = Predicate::eq(&s, "country", "Italy").unwrap();
+        assert_eq!(p.hierarchy, 1);
+        assert_eq!(p.level, 1);
+        assert!(p.matches(MemberId(0)));
+        assert!(!p.matches(MemberId(1)));
+        assert_eq!(p.render(&s), "country = 'Italy'");
+    }
+
+    #[test]
+    fn in_predicate_preserves_order() {
+        let s = schema();
+        let p = Predicate::is_in(&s, "country", &["France", "Italy"]).unwrap();
+        assert_eq!(p.members(), vec![MemberId(1), MemberId(0)]);
+        assert_eq!(p.render(&s), "country in ('France', 'Italy')");
+    }
+
+    #[test]
+    fn unknown_member_errors() {
+        let s = schema();
+        assert!(Predicate::eq(&s, "country", "Spain").is_err());
+        assert!(Predicate::eq(&s, "planet", "Earth").is_err());
+    }
+
+    #[test]
+    fn query_validation() {
+        let s = schema();
+        let g = GroupBySet::from_level_names(&s, &["product", "country"]).unwrap();
+        let q = CubeQuery::new(
+            "SALES",
+            g.clone(),
+            vec![Predicate::eq(&s, "type", "Fresh Fruit").unwrap()],
+            vec!["quantity".into()],
+        );
+        assert!(q.validate(&s).is_ok());
+        let bad = CubeQuery::new("SALES", g, vec![], vec!["profit".into()]);
+        assert!(matches!(bad.validate(&s), Err(ModelError::UnknownMeasure(_))));
+    }
+
+    #[test]
+    fn predicate_on_finds_by_position() {
+        let s = schema();
+        let g = GroupBySet::from_level_names(&s, &["product"]).unwrap();
+        let p = Predicate::eq(&s, "country", "Italy").unwrap();
+        let q = CubeQuery::new("SALES", g, vec![p], vec!["quantity".into()]);
+        assert!(q.predicate_on(1, 1).is_some());
+        assert!(q.predicate_on(0, 0).is_none());
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests of the model laws: part-of functionality, roll-up
+//! transitivity, partition structure, and the `⪰_H` partial order.
+
+use olap_model::{
+    AggOp, Coordinate, CubeSchema, GroupBySet, Hierarchy, HierarchyBuilder, MeasureDef, MemberId,
+};
+use proptest::prelude::*;
+
+/// A random 3-level hierarchy described by parent links:
+/// `mid_of[leaf]` ∈ 0..n_mid, `top_of[mid]` ∈ 0..n_top.
+#[derive(Debug, Clone)]
+struct HierarchySpec {
+    mid_of: Vec<usize>,
+    top_of: Vec<usize>,
+}
+
+fn hierarchy_spec() -> impl Strategy<Value = HierarchySpec> {
+    (2usize..6, 2usize..5).prop_flat_map(|(n_mid, n_top)| {
+        (
+            proptest::collection::vec(0..n_mid, 1..30),
+            proptest::collection::vec(0..n_top, n_mid..=n_mid),
+        )
+            .prop_map(|(mid_of, top_of)| HierarchySpec { mid_of, top_of })
+    })
+}
+
+fn build(spec: &HierarchySpec) -> Hierarchy {
+    let mut b = HierarchyBuilder::new("H", ["leaf", "mid", "top"]);
+    for (leaf, &mid) in spec.mid_of.iter().enumerate() {
+        let top = spec.top_of[mid];
+        b.add_member_chain(&[format!("l{leaf}"), format!("m{mid}"), format!("t{top}")])
+            .unwrap();
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// rup is transitive: rolling 0→1 then 1→2 equals rolling 0→2.
+    #[test]
+    fn rollup_is_transitive(spec in hierarchy_spec()) {
+        let h = build(&spec);
+        for leaf in 0..h.level(0).unwrap().cardinality() {
+            let leaf = MemberId(leaf as u32);
+            let via_mid = {
+                let mid = h.roll_member(0, 1, leaf).unwrap();
+                h.roll_member(1, 2, mid).unwrap()
+            };
+            let direct = h.roll_member(0, 2, leaf).unwrap();
+            prop_assert_eq!(via_mid, direct);
+        }
+    }
+
+    /// The composed map equals member-by-member roll-up.
+    #[test]
+    fn composed_map_matches_rollup(spec in hierarchy_spec()) {
+        let h = build(&spec);
+        for (from, to) in [(0, 1), (0, 2), (1, 2), (0, 0), (2, 2)] {
+            let map = h.composed_map(from, to).unwrap();
+            for m in 0..h.level(from).unwrap().cardinality() {
+                let m = MemberId(m as u32);
+                prop_assert_eq!(map[m.index()], h.roll_member(from, to, m).unwrap());
+            }
+        }
+    }
+
+    /// `members_under` partitions each level: every member appears under
+    /// exactly one parent.
+    #[test]
+    fn members_under_partitions(spec in hierarchy_spec()) {
+        let h = build(&spec);
+        let mut seen = vec![0usize; h.level(0).unwrap().cardinality()];
+        for (top, _) in h.level(2).unwrap().members() {
+            for m in h.members_under(0, 2, top).unwrap() {
+                seen[m.index()] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    /// The `⪰_H` relation on group-by sets is a partial order: reflexive,
+    /// transitive, and antisymmetric up to equality.
+    #[test]
+    fn group_by_rollup_is_a_partial_order(
+        slots in proptest::collection::vec(
+            proptest::option::of(0usize..3),
+            3..=3,
+        ),
+        slots2 in proptest::collection::vec(
+            proptest::option::of(0usize..3),
+            3..=3,
+        ),
+        slots3 in proptest::collection::vec(
+            proptest::option::of(0usize..3),
+            3..=3,
+        ),
+    ) {
+        let a = GroupBySet::from_slots(slots);
+        let b = GroupBySet::from_slots(slots2);
+        let c = GroupBySet::from_slots(slots3);
+        prop_assert!(a.rolls_up_to(&a));
+        if a.rolls_up_to(&b) && b.rolls_up_to(&c) {
+            prop_assert!(a.rolls_up_to(&c));
+        }
+        if a.rolls_up_to(&b) && b.rolls_up_to(&a) {
+            prop_assert_eq!(&a, &b);
+        }
+    }
+
+    /// Coordinate roll-up commutes with the group-by order: rolling fine→mid
+    /// →coarse equals rolling fine→coarse directly.
+    #[test]
+    fn coordinate_rollup_composes(spec in hierarchy_spec()) {
+        let h = build(&spec);
+        let schema = CubeSchema::new(
+            "C",
+            vec![h],
+            vec![MeasureDef::new("m", AggOp::Sum)],
+        );
+        let fine = GroupBySet::from_level_names(&schema, &["leaf"]).unwrap();
+        let mid = GroupBySet::from_level_names(&schema, &["mid"]).unwrap();
+        let coarse = GroupBySet::from_level_names(&schema, &["top"]).unwrap();
+        for leaf in 0..schema.hierarchy(0).unwrap().level(0).unwrap().cardinality() {
+            let c = Coordinate::new(vec![MemberId(leaf as u32)]);
+            let via = c
+                .roll_up(&schema, &fine, &mid)
+                .unwrap()
+                .roll_up(&schema, &mid, &coarse)
+                .unwrap();
+            let direct = c.roll_up(&schema, &fine, &coarse).unwrap();
+            prop_assert_eq!(via, direct);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! The SSB calendar: 1992-01-01 through 1998-12-31.
+
+/// First year of the SSB date dimension.
+pub const FIRST_YEAR: i32 = 1992;
+/// Last year of the SSB date dimension (inclusive).
+pub const LAST_YEAR: i32 = 1998;
+
+/// Whether a Gregorian year is a leap year.
+pub fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Days in a month (1-based month).
+pub fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => panic!("month {month} out of range"),
+    }
+}
+
+/// A calendar date of the SSB range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Date {
+    pub year: i32,
+    pub month: u32,
+    pub day: u32,
+}
+
+impl Date {
+    /// `YYYY-MM-DD`.
+    pub fn iso(&self) -> String {
+        format!("{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+
+    /// `YYYY-MM`.
+    pub fn year_month(&self) -> String {
+        format!("{:04}-{:02}", self.year, self.month)
+    }
+}
+
+/// Every date of the SSB range in chronological order. The index of a date
+/// in this vector is its dense date key.
+pub fn all_dates() -> Vec<Date> {
+    let mut out = Vec::with_capacity(2557);
+    for year in FIRST_YEAR..=LAST_YEAR {
+        for month in 1..=12 {
+            for day in 1..=days_in_month(year, month) {
+                out.push(Date { year, month, day });
+            }
+        }
+    }
+    out
+}
+
+/// Every `YYYY-MM` month of the range, chronological.
+pub fn all_months() -> Vec<String> {
+    let mut out = Vec::with_capacity(84);
+    for year in FIRST_YEAR..=LAST_YEAR {
+        for month in 1..=12 {
+            out.push(format!("{year:04}-{month:02}"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leap_years_of_the_range() {
+        assert!(is_leap(1992));
+        assert!(is_leap(1996));
+        assert!(!is_leap(1993));
+        assert!(!is_leap(1900));
+        assert!(is_leap(2000));
+    }
+
+    #[test]
+    fn ssb_range_has_2557_days() {
+        // 7 years × 365 + 2 leap days (1992, 1996).
+        let dates = all_dates();
+        assert_eq!(dates.len(), 7 * 365 + 2);
+        assert_eq!(dates.first().unwrap().iso(), "1992-01-01");
+        assert_eq!(dates.last().unwrap().iso(), "1998-12-31");
+    }
+
+    #[test]
+    fn months_are_chronological() {
+        let months = all_months();
+        assert_eq!(months.len(), 84);
+        assert_eq!(months[0], "1992-01");
+        assert_eq!(months[83], "1998-12");
+        assert!(months.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn date_formats() {
+        let d = Date { year: 1997, month: 4, day: 15 };
+        assert_eq!(d.iso(), "1997-04-15");
+        assert_eq!(d.year_month(), "1997-04");
+    }
+
+    #[test]
+    fn february_lengths() {
+        assert_eq!(days_in_month(1992, 2), 29);
+        assert_eq!(days_in_month(1993, 2), 28);
+        assert_eq!(days_in_month(1998, 12), 31);
+    }
+}

@@ -1,0 +1,271 @@
+//! Dimension table + hierarchy generation.
+//!
+//! Every dimension is generated in primary-key order and its hierarchy's
+//! member chains are registered in the same order, so the dense level-0
+//! member id of each member **equals the primary key**. The fact generator
+//! relies on this to emit foreign keys that are directly usable as member
+//! ids by the engine (the classic surrogate-key star-schema layout).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use olap_model::{Hierarchy, HierarchyBuilder};
+use olap_storage::{Column, Table};
+
+use crate::calendar;
+use crate::names;
+
+/// The market segments of SSB customers.
+const SEGMENTS: &[&str] = &["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+
+/// Generates the `customer` dimension: `customer ⪰ city ⪰ nation ⪰ region`.
+pub fn gen_customers(n: usize, seed: u64) -> (Table, Hierarchy) {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xC057);
+    let mut builder =
+        HierarchyBuilder::new("Customer", ["customer", "c_city", "c_nation", "c_region"]);
+    let mut cities = Vec::with_capacity(n);
+    let mut nations = Vec::with_capacity(n);
+    let mut regions = Vec::with_capacity(n);
+    let mut segments = Vec::with_capacity(n);
+    for i in 0..n {
+        let (nation, region) = names::NATIONS[rng.gen_range(0..names::NATIONS.len())];
+        let city = names::city_name(nation, rng.gen_range(0..names::CITIES_PER_NATION));
+        builder
+            .add_member_chain(&[format!("Customer#{i:09}"), city.clone(), nation.into(), region.into()])
+            .expect("customer chain is functional");
+        cities.push(city);
+        nations.push(nation);
+        regions.push(region);
+        segments.push(SEGMENTS[rng.gen_range(0..SEGMENTS.len())]);
+    }
+    let mut hierarchy = builder.build().expect("customer hierarchy is functional");
+    attach_population(&mut hierarchy, 2);
+    let table = Table::new(
+        "customer",
+        vec![
+            Column::i64("ckey", (0..n as i64).collect()),
+            Column::from_strings("c_city", cities),
+            Column::from_strings("c_nation", nations),
+            Column::from_strings("c_region", regions),
+            Column::from_strings("c_mktsegment", segments),
+        ],
+    )
+    .expect("customer table is well-formed");
+    (table, hierarchy)
+}
+
+/// Attaches the `population` property to the nation level (index
+/// `nation_level`) of a hierarchy, using the SSB nation pool.
+fn attach_population(hierarchy: &mut Hierarchy, nation_level: usize) {
+    let level = hierarchy.level(nation_level).expect("nation level exists");
+    let values: Vec<f64> = level
+        .members()
+        .map(|(_, name)| {
+            names::NATIONS
+                .iter()
+                .position(|(n, _)| *n == name)
+                .map(|i| names::NATION_POPULATIONS[i])
+                .unwrap_or(f64::NAN)
+        })
+        .collect();
+    hierarchy
+        .level_mut(nation_level)
+        .expect("nation level exists")
+        .set_property("population", values)
+        .expect("population values cover the domain");
+}
+
+/// Generates the `supplier` dimension: `supplier ⪰ city ⪰ nation ⪰ region`.
+pub fn gen_suppliers(n: usize, seed: u64) -> (Table, Hierarchy) {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x50FF);
+    let mut builder =
+        HierarchyBuilder::new("Supplier", ["supplier", "s_city", "s_nation", "s_region"]);
+    let mut cities = Vec::with_capacity(n);
+    let mut nations = Vec::with_capacity(n);
+    let mut regions = Vec::with_capacity(n);
+    for i in 0..n {
+        let (nation, region) = names::NATIONS[rng.gen_range(0..names::NATIONS.len())];
+        let city = names::city_name(nation, rng.gen_range(0..names::CITIES_PER_NATION));
+        builder
+            .add_member_chain(&[format!("Supplier#{i:09}"), city.clone(), nation.into(), region.into()])
+            .expect("supplier chain is functional");
+        cities.push(city);
+        nations.push(nation);
+        regions.push(region);
+    }
+    let mut hierarchy = builder.build().expect("supplier hierarchy is functional");
+    attach_population(&mut hierarchy, 2);
+    let table = Table::new(
+        "supplier",
+        vec![
+            Column::i64("skey", (0..n as i64).collect()),
+            Column::from_strings("s_city", cities),
+            Column::from_strings("s_nation", nations),
+            Column::from_strings("s_region", regions),
+        ],
+    )
+    .expect("supplier table is well-formed");
+    (table, hierarchy)
+}
+
+/// Generates the `part` dimension: `part ⪰ brand ⪰ category ⪰ mfgr`.
+pub fn gen_parts(n: usize, seed: u64) -> (Table, Hierarchy) {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xBA27);
+    let mut builder = HierarchyBuilder::new("Part", ["part", "brand", "category", "mfgr"]);
+    let mut brands = Vec::with_capacity(n);
+    let mut categories = Vec::with_capacity(n);
+    let mut mfgrs = Vec::with_capacity(n);
+    for i in 0..n {
+        let m = rng.gen_range(0..names::N_MFGRS);
+        let c = rng.gen_range(0..names::CATEGORIES_PER_MFGR);
+        let b = rng.gen_range(0..names::BRANDS_PER_CATEGORY);
+        let mfgr = names::mfgr_name(m);
+        let category = names::category_name(m, c);
+        let brand = names::brand_name(m, c, b);
+        builder
+            .add_member_chain(&[
+                format!("Part#{i:09}"),
+                brand.clone(),
+                category.clone(),
+                mfgr.clone(),
+            ])
+            .expect("part chain is functional");
+        brands.push(brand);
+        categories.push(category);
+        mfgrs.push(mfgr);
+    }
+    let table = Table::new(
+        "part",
+        vec![
+            Column::i64("pkey", (0..n as i64).collect()),
+            Column::from_strings("brand", brands),
+            Column::from_strings("category", categories),
+            Column::from_strings("mfgr", mfgrs),
+        ],
+    )
+    .expect("part table is well-formed");
+    (table, builder.build().expect("part hierarchy is functional"))
+}
+
+/// Generates the fixed `date` dimension: `date ⪰ month ⪰ year` over
+/// 1992-01-01…1998-12-31 (2557 days).
+pub fn gen_dates() -> (Table, Hierarchy) {
+    let dates = calendar::all_dates();
+    let mut builder = HierarchyBuilder::new("Date", ["date", "month", "year"]);
+    let mut isos = Vec::with_capacity(dates.len());
+    let mut months = Vec::with_capacity(dates.len());
+    let mut years = Vec::with_capacity(dates.len());
+    for d in &dates {
+        let iso = d.iso();
+        let month = d.year_month();
+        let year = format!("{:04}", d.year);
+        builder
+            .add_member_chain(&[iso.clone(), month.clone(), year.clone()])
+            .expect("date chain is functional");
+        isos.push(iso);
+        months.push(month);
+        years.push(year);
+    }
+    let table = Table::new(
+        "dates",
+        vec![
+            Column::i64("dkey", (0..dates.len() as i64).collect()),
+            Column::from_strings("date", isos),
+            Column::from_strings("month", months),
+            Column::from_strings("year", years),
+        ],
+    )
+    .expect("date table is well-formed");
+    (table, builder.build().expect("date hierarchy is functional"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn customer_pk_equals_member_id() {
+        let (table, h) = gen_customers(50, 42);
+        assert_eq!(table.n_rows(), 50);
+        assert_eq!(h.level(0).unwrap().cardinality(), 50);
+        for i in 0..50usize {
+            let name = h.level(0).unwrap().member_name(olap_model::MemberId(i as u32)).unwrap();
+            assert_eq!(name, format!("Customer#{i:09}"));
+        }
+    }
+
+    #[test]
+    fn customer_rollup_is_consistent_with_table() {
+        let (table, h) = gen_customers(100, 7);
+        let nations = table.column("c_nation").unwrap();
+        let regions = table.column("c_region").unwrap();
+        for i in 0..100 {
+            let nation_member = h.roll_member(0, 2, olap_model::MemberId(i as u32)).unwrap();
+            let nation = h.level(2).unwrap().member_name(nation_member).unwrap();
+            assert_eq!(nation, nations.string_at(i).unwrap());
+            let region_member = h.roll_member(0, 3, olap_model::MemberId(i as u32)).unwrap();
+            let region = h.level(3).unwrap().member_name(region_member).unwrap();
+            assert_eq!(region, regions.string_at(i).unwrap());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (t1, _) = gen_suppliers(30, 99);
+        let (t2, _) = gen_suppliers(30, 99);
+        for col in ["s_city", "s_nation", "s_region"] {
+            for row in 0..30 {
+                assert_eq!(
+                    t1.column(col).unwrap().string_at(row),
+                    t2.column(col).unwrap().string_at(row)
+                );
+            }
+        }
+        let (t3, _) = gen_suppliers(30, 100);
+        let differs = (0..30).any(|row| {
+            t1.column("s_nation").unwrap().string_at(row)
+                != t3.column("s_nation").unwrap().string_at(row)
+        });
+        assert!(differs, "different seeds must give different data");
+    }
+
+    #[test]
+    fn part_hierarchy_is_four_levels_with_ssb_shapes() {
+        let (_, h) = gen_parts(500, 1);
+        assert_eq!(h.depth(), 4);
+        assert!(h.level(3).unwrap().cardinality() <= names::N_MFGRS);
+        // Every brand name starts with its category name.
+        let map = h.composed_map(1, 2).unwrap();
+        for (brand_id, brand) in h.level(1).unwrap().members() {
+            let category = h.level(2).unwrap().member_name(map[brand_id.index()]).unwrap();
+            assert!(
+                brand.starts_with(category),
+                "brand {brand} should roll up into its prefix category, got {category}"
+            );
+        }
+    }
+
+    #[test]
+    fn nation_population_property_is_attached() {
+        let (_, h) = gen_customers(200, 3);
+        let nation = h.level(2).unwrap();
+        assert!(!nation.property_names().is_empty());
+        for (id, name) in nation.members() {
+            let pop = nation.property_of("population", id);
+            assert!(pop.is_some(), "nation {name} must have a population");
+            assert!(pop.unwrap() > 1.0);
+        }
+    }
+
+    #[test]
+    fn dates_dimension_is_fixed() {
+        let (table, h) = gen_dates();
+        assert_eq!(table.n_rows(), 2557);
+        assert_eq!(h.level(1).unwrap().cardinality(), 84);
+        assert_eq!(h.level(2).unwrap().cardinality(), 7);
+        // 1997-04-15 rolls into 1997-04 and 1997.
+        let d = h.level(0).unwrap().member_id("1997-04-15").unwrap();
+        let m = h.roll_member(0, 1, d).unwrap();
+        assert_eq!(h.level(1).unwrap().member_name(m), Some("1997-04"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Value pools of the SSB specification.
+
+/// The 25 TPC-H/SSB nations with their regions.
+pub const NATIONS: &[(&str, &str)] = &[
+    ("ALGERIA", "AFRICA"),
+    ("ARGENTINA", "AMERICA"),
+    ("BRAZIL", "AMERICA"),
+    ("CANADA", "AMERICA"),
+    ("EGYPT", "MIDDLE EAST"),
+    ("ETHIOPIA", "AFRICA"),
+    ("FRANCE", "EUROPE"),
+    ("GERMANY", "EUROPE"),
+    ("INDIA", "ASIA"),
+    ("INDONESIA", "ASIA"),
+    ("IRAN", "MIDDLE EAST"),
+    ("IRAQ", "MIDDLE EAST"),
+    ("JAPAN", "ASIA"),
+    ("JORDAN", "MIDDLE EAST"),
+    ("KENYA", "AFRICA"),
+    ("MOROCCO", "AFRICA"),
+    ("MOZAMBIQUE", "AFRICA"),
+    ("PERU", "AMERICA"),
+    ("CHINA", "ASIA"),
+    ("ROMANIA", "EUROPE"),
+    ("SAUDI ARABIA", "MIDDLE EAST"),
+    ("VIETNAM", "ASIA"),
+    ("RUSSIA", "EUROPE"),
+    ("UNITED KINGDOM", "EUROPE"),
+    ("UNITED STATES", "AMERICA"),
+];
+
+/// Mid-1990s populations (millions) for the 25 nations, in [`NATIONS`]
+/// order — the descriptive property enabling per-capita assessments.
+pub const NATION_POPULATIONS: &[f64] = &[
+    28.1,  // ALGERIA
+    34.8,  // ARGENTINA
+    161.0, // BRAZIL
+    29.3,  // CANADA
+    61.9,  // EGYPT
+    57.0,  // ETHIOPIA
+    58.1,  // FRANCE
+    81.6,  // GERMANY
+    932.0, // INDIA
+    194.0, // INDONESIA
+    60.0,  // IRAN
+    20.4,  // IRAQ
+    125.0, // JAPAN
+    4.2,   // JORDAN
+    27.4,  // KENYA
+    26.4,  // MOROCCO
+    16.0,  // MOZAMBIQUE
+    23.9,  // PERU
+    1205.0,// CHINA
+    22.7,  // ROMANIA
+    18.5,  // SAUDI ARABIA
+    72.0,  // VIETNAM
+    148.0, // RUSSIA
+    58.0,  // UNITED KINGDOM
+    266.0, // UNITED STATES
+];
+
+/// The five SSB regions.
+pub const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// Cities per nation (SSB derives 10 city variants from each nation name).
+pub const CITIES_PER_NATION: usize = 10;
+
+/// Part manufacturers `MFGR#1..MFGR#5`.
+pub const N_MFGRS: usize = 5;
+
+/// Categories per manufacturer (`MFGR#11..MFGR#55`).
+pub const CATEGORIES_PER_MFGR: usize = 5;
+
+/// Brands per category (`MFGR#1101..MFGR#1140`).
+pub const BRANDS_PER_CATEGORY: usize = 40;
+
+/// The SSB city name of nation `nation` and suffix `i` (0..10), e.g.
+/// `"UNITED KI4"` — the first 9 characters of the nation padded, plus digit.
+pub fn city_name(nation: &str, i: usize) -> String {
+    let mut base: String = nation.chars().take(9).collect();
+    while base.len() < 9 {
+        base.push(' ');
+    }
+    format!("{base}{i}")
+}
+
+/// Manufacturer name for index `m` (0-based): `MFGR#1..MFGR#5`.
+pub fn mfgr_name(m: usize) -> String {
+    format!("MFGR#{}", m + 1)
+}
+
+/// Category name for manufacturer `m` and category `c` (0-based):
+/// `MFGR#11..MFGR#55`.
+pub fn category_name(m: usize, c: usize) -> String {
+    format!("MFGR#{}{}", m + 1, c + 1)
+}
+
+/// Brand name for manufacturer `m`, category `c` and brand `b` (0-based):
+/// `MFGR#1101..`.
+pub fn brand_name(m: usize, c: usize, b: usize) -> String {
+    format!("MFGR#{}{}{:02}", m + 1, c + 1, b + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nations_cover_the_five_regions() {
+        assert_eq!(NATIONS.len(), 25);
+        for region in REGIONS {
+            assert_eq!(
+                NATIONS.iter().filter(|(_, r)| r == region).count(),
+                5,
+                "region {region} must have exactly 5 nations"
+            );
+        }
+    }
+
+    #[test]
+    fn city_names_are_nine_chars_plus_digit() {
+        assert_eq!(city_name("UNITED KINGDOM", 4), "UNITED KI4");
+        assert_eq!(city_name("PERU", 0), "PERU     0");
+        assert_eq!(city_name("PERU", 0).len(), 10);
+    }
+
+    #[test]
+    fn populations_cover_all_nations() {
+        assert_eq!(NATION_POPULATIONS.len(), NATIONS.len());
+        assert!(NATION_POPULATIONS.iter().all(|p| *p > 0.0));
+    }
+
+    #[test]
+    fn part_rollup_names() {
+        assert_eq!(mfgr_name(0), "MFGR#1");
+        assert_eq!(category_name(0, 0), "MFGR#11");
+        assert_eq!(category_name(4, 4), "MFGR#55");
+        assert_eq!(brand_name(0, 0, 0), "MFGR#1101");
+        assert_eq!(brand_name(4, 4, 39), "MFGR#5540");
+    }
+}

@@ -1,0 +1,190 @@
+//! A thread-safe catalog of tables, cube bindings, indexes and views.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::binding::CubeBinding;
+use crate::error::StorageError;
+use crate::index::HashIndex;
+use crate::mview::MaterializedAggregate;
+use crate::table::Table;
+
+#[derive(Default)]
+struct CatalogInner {
+    tables: HashMap<String, Arc<Table>>,
+    bindings: HashMap<String, Arc<CubeBinding>>,
+    indexes: HashMap<(String, String), Arc<HashIndex>>,
+    views: Vec<Arc<MaterializedAggregate>>,
+}
+
+/// The database catalog. All accessors hand out `Arc`s so query execution
+/// never holds the lock.
+#[derive(Default)]
+pub struct Catalog {
+    inner: RwLock<CatalogInner>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers (or replaces) a table.
+    pub fn register_table(&self, table: Table) -> Arc<Table> {
+        let table = Arc::new(table);
+        self.inner.write().tables.insert(table.name().to_string(), table.clone());
+        table
+    }
+
+    /// Fetches a table by name.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>, StorageError> {
+        self.inner
+            .read()
+            .tables
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// Registers a cube binding under the cube's name.
+    pub fn register_binding(&self, name: impl Into<String>, binding: CubeBinding) -> Arc<CubeBinding> {
+        let binding = Arc::new(binding);
+        self.inner.write().bindings.insert(name.into(), binding.clone());
+        binding
+    }
+
+    /// Fetches a cube binding by cube name.
+    pub fn binding(&self, name: &str) -> Result<Arc<CubeBinding>, StorageError> {
+        self.inner
+            .read()
+            .bindings
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::UnknownBinding(name.to_string()))
+    }
+
+    /// Builds (or reuses) a hash index on `table.column`.
+    pub fn hash_index(&self, table: &str, column: &str) -> Result<Arc<HashIndex>, StorageError> {
+        let key = (table.to_string(), column.to_string());
+        if let Some(idx) = self.inner.read().indexes.get(&key) {
+            return Ok(idx.clone());
+        }
+        let t = self.table(table)?;
+        let idx = Arc::new(HashIndex::build(&t, column)?);
+        self.inner.write().indexes.insert(key, idx.clone());
+        Ok(idx)
+    }
+
+    /// Registers a materialized aggregate view.
+    pub fn register_view(&self, view: MaterializedAggregate) -> Arc<MaterializedAggregate> {
+        let view = Arc::new(view);
+        self.inner.write().views.push(view.clone());
+        view
+    }
+
+    /// Removes all materialized views (used by the view-matching ablation).
+    pub fn clear_views(&self) {
+        self.inner.write().views.clear();
+    }
+
+    /// Finds the smallest registered view answering a query with the given
+    /// group-by, predicate levels and measures; `None` when the fact table
+    /// must be scanned.
+    pub fn best_view(
+        &self,
+        group_by: &olap_model::GroupBySet,
+        predicate_levels: &[(usize, usize)],
+        measures: &[String],
+    ) -> Option<Arc<MaterializedAggregate>> {
+        self.inner
+            .read()
+            .views
+            .iter()
+            .filter(|v| v.matches(group_by, predicate_levels, measures))
+            .min_by_key(|v| v.len())
+            .cloned()
+    }
+
+    /// Names of all registered tables (sorted, for stable diagnostics).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.read().tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Total approximate footprint of all tables, in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.inner.read().tables.values().map(|t| t.byte_size()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use olap_model::{GroupBySet, MemberId};
+
+    #[test]
+    fn table_registration_and_lookup() {
+        let cat = Catalog::new();
+        assert!(matches!(cat.table("t"), Err(StorageError::UnknownTable(_))));
+        cat.register_table(Table::new("t", vec![Column::i64("k", vec![1])]).unwrap());
+        assert_eq!(cat.table("t").unwrap().n_rows(), 1);
+        assert_eq!(cat.table_names(), vec!["t"]);
+    }
+
+    #[test]
+    fn hash_index_is_cached() {
+        let cat = Catalog::new();
+        cat.register_table(Table::new("t", vec![Column::i64("k", vec![1, 1, 2])]).unwrap());
+        let a = cat.hash_index("t", "k").unwrap();
+        let b = cat.hash_index("t", "k").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.lookup(1), &[0, 1]);
+    }
+
+    #[test]
+    fn best_view_picks_smallest_match() {
+        let cat = Catalog::new();
+        let g_fine = GroupBySet::from_slots(vec![Some(0)]);
+        let g_query = GroupBySet::from_slots(vec![Some(1)]);
+        let mk = |name: &str, rows: usize, slots: Vec<Option<usize>>| {
+            MaterializedAggregate::new(
+                name,
+                GroupBySet::from_slots(slots),
+                vec![vec![MemberId(0); rows]],
+                vec!["m".into()],
+                vec![vec![1.0; rows]],
+            )
+            .unwrap()
+        };
+        cat.register_view(mk("big", 100, vec![Some(0)]));
+        cat.register_view(mk("small", 10, vec![Some(0)]));
+        let best = cat.best_view(&g_query, &[], &["m".to_string()]).unwrap();
+        assert_eq!(best.name(), "small");
+        assert!(cat.best_view(&g_fine, &[], &["other".to_string()]).is_none());
+        cat.clear_views();
+        assert!(cat.best_view(&g_query, &[], &["m".to_string()]).is_none());
+    }
+
+    #[test]
+    fn concurrent_readers() {
+        let cat = Arc::new(Catalog::new());
+        cat.register_table(Table::new("t", vec![Column::i64("k", (0..1000).collect())]).unwrap());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cat = cat.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        assert_eq!(cat.table("t").unwrap().n_rows(), 1000);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

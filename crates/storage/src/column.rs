@@ -1,0 +1,174 @@
+//! Typed columnar storage.
+
+use std::sync::Arc;
+
+use crate::dictionary::Dictionary;
+
+/// The physical data of one column.
+///
+/// * `I64` — integer measures and surrogate/foreign keys;
+/// * `F64` — floating-point measures;
+/// * `Dict` — dictionary-encoded strings (dimension attributes).
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    I64(Vec<i64>),
+    F64(Vec<f64>),
+    Dict { codes: Vec<u32>, dict: Arc<Dictionary> },
+}
+
+impl ColumnData {
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::I64(v) => v.len(),
+            ColumnData::F64(v) => v.len(),
+            ColumnData::Dict { codes, .. } => codes.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Human-readable type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            ColumnData::I64(_) => "i64",
+            ColumnData::F64(_) => "f64",
+            ColumnData::Dict { .. } => "dict",
+        }
+    }
+
+    /// Approximate heap footprint in bytes (used by the catalog to report
+    /// storage statistics in the experiment harness).
+    pub fn byte_size(&self) -> usize {
+        match self {
+            ColumnData::I64(v) => v.len() * 8,
+            ColumnData::F64(v) => v.len() * 8,
+            ColumnData::Dict { codes, dict } => {
+                codes.len() * 4 + dict.values().iter().map(|s| s.len() + 24).sum::<usize>()
+            }
+        }
+    }
+}
+
+/// A named column.
+#[derive(Debug, Clone)]
+pub struct Column {
+    pub name: String,
+    pub data: ColumnData,
+}
+
+impl Column {
+    pub fn i64(name: impl Into<String>, data: Vec<i64>) -> Self {
+        Column { name: name.into(), data: ColumnData::I64(data) }
+    }
+
+    pub fn f64(name: impl Into<String>, data: Vec<f64>) -> Self {
+        Column { name: name.into(), data: ColumnData::F64(data) }
+    }
+
+    pub fn dict(name: impl Into<String>, codes: Vec<u32>, dict: Arc<Dictionary>) -> Self {
+        Column { name: name.into(), data: ColumnData::Dict { codes, dict } }
+    }
+
+    /// Builds a dictionary-encoded column from raw strings.
+    pub fn from_strings<I, S>(name: impl Into<String>, values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut dict = Dictionary::new();
+        let codes = values.into_iter().map(|v| dict.intern(v.as_ref())).collect();
+        Column { name: name.into(), data: ColumnData::Dict { codes, dict: Arc::new(dict) } }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The `i64` values, if this is an integer column.
+    pub fn as_i64(&self) -> Option<&[i64]> {
+        match &self.data {
+            ColumnData::I64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The `f64` values, if this is a float column.
+    pub fn as_f64(&self) -> Option<&[f64]> {
+        match &self.data {
+            ColumnData::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The dictionary codes, if this is an encoded string column.
+    pub fn as_dict(&self) -> Option<(&[u32], &Arc<Dictionary>)> {
+        match &self.data {
+            ColumnData::Dict { codes, dict } => Some((codes, dict)),
+            _ => None,
+        }
+    }
+
+    /// The value at `row` as `f64`, coercing integers (measures may be
+    /// stored either way); `None` for dictionary columns.
+    pub fn numeric_at(&self, row: usize) -> Option<f64> {
+        match &self.data {
+            ColumnData::I64(v) => v.get(row).map(|x| *x as f64),
+            ColumnData::F64(v) => v.get(row).copied(),
+            ColumnData::Dict { .. } => None,
+        }
+    }
+
+    /// The whole column coerced to `f64` (integer or float columns only).
+    pub fn to_f64_vec(&self) -> Option<Vec<f64>> {
+        match &self.data {
+            ColumnData::I64(v) => Some(v.iter().map(|x| *x as f64).collect()),
+            ColumnData::F64(v) => Some(v.clone()),
+            ColumnData::Dict { .. } => None,
+        }
+    }
+
+    /// The string at `row`, if this is a dictionary column.
+    pub fn string_at(&self, row: usize) -> Option<&str> {
+        match &self.data {
+            ColumnData::Dict { codes, dict } => codes.get(row).and_then(|c| dict.value(*c)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_accessors() {
+        let c = Column::i64("k", vec![1, 2, 3]);
+        assert_eq!(c.as_i64(), Some(&[1i64, 2, 3][..]));
+        assert!(c.as_f64().is_none());
+        assert_eq!(c.numeric_at(1), Some(2.0));
+        assert_eq!(c.to_f64_vec(), Some(vec![1.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn string_columns_dictionary_encode() {
+        let c = Column::from_strings("region", ["ASIA", "EUROPE", "ASIA"]);
+        let (codes, dict) = c.as_dict().unwrap();
+        assert_eq!(codes, &[0, 1, 0]);
+        assert_eq!(dict.len(), 2);
+        assert_eq!(c.string_at(2), Some("ASIA"));
+        assert_eq!(c.numeric_at(0), None);
+    }
+
+    #[test]
+    fn byte_size_is_sane() {
+        let c = Column::f64("m", vec![0.0; 100]);
+        assert_eq!(c.data.byte_size(), 800);
+        assert_eq!(c.data.type_name(), "f64");
+    }
+}

@@ -1,0 +1,100 @@
+//! String dictionaries shared by dictionary-encoded columns.
+
+use std::collections::HashMap;
+
+/// An append-only string dictionary: each distinct string gets a dense
+/// `u32` code. Dimension attribute columns store codes instead of strings,
+/// which makes group-by keys fixed-width and predicate evaluation a code
+/// comparison — the same trick production column stores use.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    values: Vec<String>,
+    lookup: HashMap<String, u32>,
+}
+
+impl Dictionary {
+    pub fn new() -> Self {
+        Dictionary::default()
+    }
+
+    /// Builds a dictionary from a list of values (duplicates collapse).
+    pub fn from_values<I, S>(values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut d = Dictionary::new();
+        for v in values {
+            d.intern(v.into());
+        }
+        d
+    }
+
+    /// Interns a string, returning its code.
+    pub fn intern(&mut self, value: impl Into<String>) -> u32 {
+        let value = value.into();
+        if let Some(&code) = self.lookup.get(&value) {
+            return code;
+        }
+        let code = self.values.len() as u32;
+        self.lookup.insert(value.clone(), code);
+        self.values.push(value);
+        code
+    }
+
+    /// The code of a string, if present.
+    pub fn code(&self, value: &str) -> Option<u32> {
+        self.lookup.get(value).copied()
+    }
+
+    /// The string for a code, if in range.
+    pub fn value(&self, code: u32) -> Option<&str> {
+        self.values.get(code as usize).map(String::as_str)
+    }
+
+    /// Number of distinct values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// All values in code order.
+    pub fn values(&self) -> &[String] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_round_trips() {
+        let mut d = Dictionary::new();
+        let a = d.intern("ASIA");
+        let b = d.intern("EUROPE");
+        assert_ne!(a, b);
+        assert_eq!(d.intern("ASIA"), a);
+        assert_eq!(d.code("EUROPE"), Some(b));
+        assert_eq!(d.value(a), Some("ASIA"));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn from_values_collapses_duplicates() {
+        let d = Dictionary::from_values(["x", "y", "x", "z"]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.values(), &["x", "y", "z"]);
+    }
+
+    #[test]
+    fn missing_lookups_are_none() {
+        let d = Dictionary::new();
+        assert_eq!(d.code("nope"), None);
+        assert_eq!(d.value(0), None);
+        assert!(d.is_empty());
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for the storage layer.
+
+use std::fmt;
+
+/// Errors raised by tables, indexes, views and the catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A table name was not found in the catalog.
+    UnknownTable(String),
+    /// A column name was not found in a table.
+    UnknownColumn { table: String, column: String },
+    /// A column already exists with this name.
+    DuplicateColumn { table: String, column: String },
+    /// Column has a different type than the operation expects.
+    TypeMismatch { column: String, expected: &'static str, got: &'static str },
+    /// Mismatched column lengths while assembling a table.
+    RaggedColumns { table: String, expected: usize, got: usize, column: String },
+    /// A cube binding name was not found in the catalog.
+    UnknownBinding(String),
+    /// A binding refers to schema elements that do not line up with the table.
+    InvalidBinding(String),
+    /// Persistence format corruption.
+    Corrupt(String),
+    /// Underlying model error.
+    Model(olap_model::ModelError),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            StorageError::UnknownColumn { table, column } => {
+                write!(f, "unknown column `{column}` in table `{table}`")
+            }
+            StorageError::DuplicateColumn { table, column } => {
+                write!(f, "duplicate column `{column}` in table `{table}`")
+            }
+            StorageError::TypeMismatch { column, expected, got } => {
+                write!(f, "column `{column}` is {got}, expected {expected}")
+            }
+            StorageError::RaggedColumns { table, expected, got, column } => write!(
+                f,
+                "column `{column}` of table `{table}` has {got} rows, expected {expected}"
+            ),
+            StorageError::UnknownBinding(b) => write!(f, "unknown cube binding `{b}`"),
+            StorageError::InvalidBinding(msg) => write!(f, "invalid cube binding: {msg}"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt storage data: {msg}"),
+            StorageError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<olap_model::ModelError> for StorageError {
+    fn from(e: olap_model::ModelError) -> Self {
+        StorageError::Model(e)
+    }
+}

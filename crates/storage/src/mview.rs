@@ -1,0 +1,228 @@
+//! Materialized aggregate views and roll-up view matching.
+//!
+//! The paper's experimental setup creates materialized views "to improve
+//! performances". A [`MaterializedAggregate`] stores a pre-aggregated cube
+//! at some group-by set; the matching rule decides when a cube query can be
+//! answered from the view by further roll-up instead of scanning the fact
+//! table.
+
+use olap_model::{GroupBySet, MemberId};
+
+use crate::error::StorageError;
+
+/// A pre-aggregated view: coordinates at `group_by`, one summed column per
+/// measure. Only distributive (sum) measures are materialized, so rolling
+/// the view further up is always sound.
+#[derive(Debug, Clone)]
+pub struct MaterializedAggregate {
+    name: String,
+    group_by: GroupBySet,
+    coord_cols: Vec<Vec<MemberId>>,
+    measure_names: Vec<String>,
+    measure_cols: Vec<Vec<f64>>,
+}
+
+impl MaterializedAggregate {
+    /// Assembles a view, verifying shapes line up.
+    pub fn new(
+        name: impl Into<String>,
+        group_by: GroupBySet,
+        coord_cols: Vec<Vec<MemberId>>,
+        measure_names: Vec<String>,
+        measure_cols: Vec<Vec<f64>>,
+    ) -> Result<Self, StorageError> {
+        let name = name.into();
+        if coord_cols.len() != group_by.arity() {
+            return Err(StorageError::InvalidBinding(format!(
+                "view `{name}` has {} coordinate columns for a group-by of arity {}",
+                coord_cols.len(),
+                group_by.arity()
+            )));
+        }
+        if measure_names.len() != measure_cols.len() {
+            return Err(StorageError::InvalidBinding(format!(
+                "view `{name}` names {} measures but stores {}",
+                measure_names.len(),
+                measure_cols.len()
+            )));
+        }
+        let n = coord_cols.first().map(Vec::len).unwrap_or_else(|| {
+            measure_cols.first().map(Vec::len).unwrap_or(0)
+        });
+        for c in &coord_cols {
+            if c.len() != n {
+                return Err(StorageError::RaggedColumns {
+                    table: name,
+                    expected: n,
+                    got: c.len(),
+                    column: "<coordinate>".into(),
+                });
+            }
+        }
+        for (mname, c) in measure_names.iter().zip(&measure_cols) {
+            if c.len() != n {
+                return Err(StorageError::RaggedColumns {
+                    table: name,
+                    expected: n,
+                    got: c.len(),
+                    column: mname.clone(),
+                });
+            }
+        }
+        Ok(MaterializedAggregate { name, group_by, coord_cols, measure_names, measure_cols })
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn group_by(&self) -> &GroupBySet {
+        &self.group_by
+    }
+
+    pub fn len(&self) -> usize {
+        self.coord_cols.first().map(Vec::len).unwrap_or_else(|| {
+            self.measure_cols.first().map(Vec::len).unwrap_or(0)
+        })
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn coord_cols(&self) -> &[Vec<MemberId>] {
+        &self.coord_cols
+    }
+
+    pub fn measure_names(&self) -> &[String] {
+        &self.measure_names
+    }
+
+    /// The summed values of a measure, if materialized.
+    pub fn measure(&self, name: &str) -> Option<&[f64]> {
+        self.measure_names
+            .iter()
+            .position(|m| m == name)
+            .map(|i| self.measure_cols[i].as_slice())
+    }
+
+    /// View matching: can a query with group-by `g`, predicates on the given
+    /// `(hierarchy, level)` pairs, and the given measures be answered from
+    /// this view?
+    ///
+    /// Requirements:
+    /// 1. the view is at least as fine as the query (`view ⪰_H g`), so every
+    ///    view coordinate rolls up to exactly one query coordinate;
+    /// 2. every predicate level is reachable from the view's level on that
+    ///    hierarchy (the view retains the hierarchy at a level at least as
+    ///    fine as the predicate's, so the predicate can still be evaluated);
+    /// 3. every requested measure is materialized.
+    pub fn matches(
+        &self,
+        g: &GroupBySet,
+        predicate_levels: &[(usize, usize)],
+        measures: &[String],
+    ) -> bool {
+        if !self.group_by.rolls_up_to(g) {
+            return false;
+        }
+        for &(hi, li) in predicate_levels {
+            match self.group_by.slots().get(hi).copied().flatten() {
+                Some(view_level) if view_level <= li => {}
+                _ => return false,
+            }
+        }
+        measures.iter().all(|m| self.measure_names.iter().any(|v| v == m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gb(slots: Vec<Option<usize>>) -> GroupBySet {
+        GroupBySet::from_slots(slots)
+    }
+
+    fn view() -> MaterializedAggregate {
+        // View at ⟨month (level 1 of h0), product (level 0 of h1)⟩.
+        MaterializedAggregate::new(
+            "mv_month_product",
+            gb(vec![Some(1), Some(0)]),
+            vec![vec![MemberId(0), MemberId(0)], vec![MemberId(0), MemberId(1)]],
+            vec!["quantity".into()],
+            vec![vec![10.0, 20.0]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_coarser_query() {
+        let v = view();
+        // Query at ⟨year (level 2), category (level 2)⟩ with no predicates.
+        assert!(v.matches(&gb(vec![Some(2), Some(2)]), &[], &["quantity".to_string()]));
+        // Same group-by works too.
+        assert!(v.matches(&gb(vec![Some(1), Some(0)]), &[], &["quantity".to_string()]));
+    }
+
+    #[test]
+    fn rejects_finer_query() {
+        let v = view();
+        // Query wants date (level 0) but view only has month (level 1).
+        assert!(!v.matches(&gb(vec![Some(0), Some(0)]), &[], &["quantity".to_string()]));
+    }
+
+    #[test]
+    fn predicate_level_must_be_reachable() {
+        let v = view();
+        let g = gb(vec![Some(2), None]);
+        // Predicate on (h0, level 1) — view has h0 at level 1: ok.
+        assert!(v.matches(&g, &[(0, 1)], &["quantity".to_string()]));
+        // Predicate on (h0, level 0) — finer than the view: not answerable.
+        assert!(!v.matches(&g, &[(0, 0)], &["quantity".to_string()]));
+        // Predicate on a hierarchy the view aggregated away entirely.
+        let v2 = MaterializedAggregate::new(
+            "mv_h0_only",
+            gb(vec![Some(1), None]),
+            vec![vec![MemberId(0)]],
+            vec!["quantity".into()],
+            vec![vec![10.0]],
+        )
+        .unwrap();
+        assert!(!v2.matches(&gb(vec![Some(2), None]), &[(1, 1)], &["quantity".to_string()]));
+    }
+
+    #[test]
+    fn missing_measure_rejected() {
+        let v = view();
+        assert!(!v.matches(&gb(vec![Some(2), Some(2)]), &[], &["storeSales".to_string()]));
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert!(MaterializedAggregate::new(
+            "bad",
+            gb(vec![Some(0)]),
+            vec![],
+            vec!["m".into()],
+            vec![vec![1.0]],
+        )
+        .is_err());
+        assert!(MaterializedAggregate::new(
+            "bad",
+            gb(vec![Some(0)]),
+            vec![vec![MemberId(0)]],
+            vec!["m".into()],
+            vec![vec![1.0, 2.0]],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn measure_access() {
+        let v = view();
+        assert_eq!(v.measure("quantity"), Some(&[10.0, 20.0][..]));
+        assert_eq!(v.measure("nope"), None);
+        assert_eq!(v.len(), 2);
+    }
+}

@@ -1,0 +1,249 @@
+//! Compact binary persistence for tables.
+//!
+//! Generated benchmark data is expensive to rebuild at the largest scale
+//! factor, so the experiment harness caches tables on disk. The format is a
+//! simple length-prefixed columnar layout:
+//!
+//! ```text
+//! magic "OLAPTBL1" | table name | n_columns |
+//!   per column: name | type tag | payload
+//! ```
+//!
+//! Strings are `u32`-length-prefixed UTF-8; numeric payloads are row counts
+//! followed by little-endian values; dictionary payloads are the code vector
+//! followed by the dictionary strings.
+
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::column::{Column, ColumnData};
+use crate::dictionary::Dictionary;
+use crate::error::StorageError;
+use crate::table::Table;
+
+const MAGIC: &[u8; 8] = b"OLAPTBL1";
+
+const TAG_I64: u8 = 1;
+const TAG_F64: u8 = 2;
+const TAG_DICT: u8 = 3;
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, StorageError> {
+    if buf.remaining() < 4 {
+        return Err(StorageError::Corrupt("truncated string length".into()));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(StorageError::Corrupt("truncated string payload".into()));
+    }
+    let bytes = buf.copy_to_bytes(len);
+    String::from_utf8(bytes.to_vec()).map_err(|_| StorageError::Corrupt("invalid UTF-8".into()))
+}
+
+/// Serializes a table to its binary representation.
+pub fn write_table(table: &Table) -> Bytes {
+    let mut buf = BytesMut::with_capacity(table.byte_size() + 1024);
+    buf.put_slice(MAGIC);
+    put_str(&mut buf, table.name());
+    buf.put_u32_le(table.columns().len() as u32);
+    for col in table.columns() {
+        put_str(&mut buf, &col.name);
+        match &col.data {
+            ColumnData::I64(v) => {
+                buf.put_u8(TAG_I64);
+                buf.put_u64_le(v.len() as u64);
+                for x in v {
+                    buf.put_i64_le(*x);
+                }
+            }
+            ColumnData::F64(v) => {
+                buf.put_u8(TAG_F64);
+                buf.put_u64_le(v.len() as u64);
+                for x in v {
+                    buf.put_f64_le(*x);
+                }
+            }
+            ColumnData::Dict { codes, dict } => {
+                buf.put_u8(TAG_DICT);
+                buf.put_u64_le(codes.len() as u64);
+                for c in codes {
+                    buf.put_u32_le(*c);
+                }
+                buf.put_u32_le(dict.len() as u32);
+                for value in dict.values() {
+                    put_str(&mut buf, value);
+                }
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes a table from its binary representation.
+pub fn read_table(mut buf: Bytes) -> Result<Table, StorageError> {
+    if buf.remaining() < MAGIC.len() || &buf.copy_to_bytes(MAGIC.len())[..] != MAGIC {
+        return Err(StorageError::Corrupt("bad magic".into()));
+    }
+    let name = get_str(&mut buf)?;
+    if buf.remaining() < 4 {
+        return Err(StorageError::Corrupt("truncated column count".into()));
+    }
+    let n_cols = buf.get_u32_le() as usize;
+    let mut columns = Vec::with_capacity(n_cols);
+    for _ in 0..n_cols {
+        let col_name = get_str(&mut buf)?;
+        if buf.remaining() < 1 {
+            return Err(StorageError::Corrupt("truncated column tag".into()));
+        }
+        let tag = buf.get_u8();
+        let data = match tag {
+            TAG_I64 => {
+                let n = read_len(&mut buf)?;
+                ensure(&buf, n * 8)?;
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push(buf.get_i64_le());
+                }
+                ColumnData::I64(v)
+            }
+            TAG_F64 => {
+                let n = read_len(&mut buf)?;
+                ensure(&buf, n * 8)?;
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push(buf.get_f64_le());
+                }
+                ColumnData::F64(v)
+            }
+            TAG_DICT => {
+                let n = read_len(&mut buf)?;
+                ensure(&buf, n * 4)?;
+                let mut codes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    codes.push(buf.get_u32_le());
+                }
+                if buf.remaining() < 4 {
+                    return Err(StorageError::Corrupt("truncated dictionary size".into()));
+                }
+                let dict_len = buf.get_u32_le() as usize;
+                let mut dict = Dictionary::new();
+                for _ in 0..dict_len {
+                    dict.intern(get_str(&mut buf)?);
+                }
+                if let Some(&bad) = codes.iter().find(|&&c| c as usize >= dict.len()) {
+                    return Err(StorageError::Corrupt(format!(
+                        "dictionary code {bad} out of range in column `{col_name}`"
+                    )));
+                }
+                ColumnData::Dict { codes, dict: Arc::new(dict) }
+            }
+            other => return Err(StorageError::Corrupt(format!("unknown column tag {other}"))),
+        };
+        columns.push(Column { name: col_name, data });
+    }
+    Table::new(name, columns)
+}
+
+fn read_len(buf: &mut Bytes) -> Result<usize, StorageError> {
+    if buf.remaining() < 8 {
+        return Err(StorageError::Corrupt("truncated length".into()));
+    }
+    Ok(buf.get_u64_le() as usize)
+}
+
+fn ensure(buf: &Bytes, bytes: usize) -> Result<(), StorageError> {
+    if buf.remaining() < bytes {
+        Err(StorageError::Corrupt("truncated payload".into()))
+    } else {
+        Ok(())
+    }
+}
+
+/// Writes a table to a file.
+pub fn save_table(table: &Table, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, write_table(table))
+}
+
+/// Reads a table from a file.
+pub fn load_table(path: &std::path::Path) -> Result<Table, StorageError> {
+    let data = std::fs::read(path)
+        .map_err(|e| StorageError::Corrupt(format!("cannot read {}: {e}", path.display())))?;
+    read_table(Bytes::from(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(table: &Table) -> Table {
+        read_table(write_table(table)).unwrap()
+    }
+
+    #[test]
+    fn mixed_table_round_trips() {
+        let t = Table::new(
+            "lineorder",
+            vec![
+                Column::i64("custkey", vec![3, 1, 4, 1, 5]),
+                Column::f64("revenue", vec![0.5, -1.25, 3.0, f64::MAX, 0.0]),
+                Column::from_strings("priority", ["HIGH", "LOW", "HIGH", "MEDIUM", "LOW"]),
+            ],
+        )
+        .unwrap();
+        let back = round_trip(&t);
+        assert_eq!(back.name(), "lineorder");
+        assert_eq!(back.require_i64("custkey").unwrap(), &[3, 1, 4, 1, 5]);
+        assert_eq!(back.column("revenue").unwrap().as_f64().unwrap()[3], f64::MAX);
+        assert_eq!(back.column("priority").unwrap().string_at(3), Some("MEDIUM"));
+    }
+
+    #[test]
+    fn empty_table_round_trips() {
+        let t = Table::new("empty", vec![]).unwrap();
+        assert_eq!(round_trip(&t).n_rows(), 0);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_table(Bytes::from_static(b"NOTATBL0xxxxx")).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let t = Table::new("t", vec![Column::i64("k", vec![1, 2, 3])]).unwrap();
+        let full = write_table(&t);
+        for cut in [4, 10, full.len() - 3] {
+            let sliced = full.slice(0..cut);
+            assert!(read_table(sliced).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn unicode_strings_survive() {
+        let t = Table::new(
+            "t",
+            vec![Column::from_strings("city", ["Łódź", "北京", "São Paulo"])],
+        )
+        .unwrap();
+        let back = round_trip(&t);
+        assert_eq!(back.column("city").unwrap().string_at(1), Some("北京"));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("assess_olap_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.olap");
+        let t = Table::new("t", vec![Column::i64("k", (0..100).collect())]).unwrap();
+        save_table(&t, &path).unwrap();
+        let back = load_table(&path).unwrap();
+        assert_eq!(back.require_i64("k").unwrap().len(), 100);
+        std::fs::remove_file(&path).ok();
+    }
+}

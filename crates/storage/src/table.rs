@@ -1,0 +1,173 @@
+//! Named, schema-checked columnar tables.
+
+use crate::column::{Column, ColumnData};
+use crate::error::StorageError;
+
+/// A columnar table of a star schema (fact or dimension).
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    columns: Vec<Column>,
+    n_rows: usize,
+}
+
+impl Table {
+    /// Assembles a table, verifying all columns have equal length and
+    /// distinct names.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Result<Self, StorageError> {
+        let name = name.into();
+        let n_rows = columns.first().map(Column::len).unwrap_or(0);
+        let mut seen = std::collections::HashSet::new();
+        for c in &columns {
+            if c.len() != n_rows {
+                return Err(StorageError::RaggedColumns {
+                    table: name,
+                    expected: n_rows,
+                    got: c.len(),
+                    column: c.name.clone(),
+                });
+            }
+            if !seen.insert(c.name.clone()) {
+                return Err(StorageError::DuplicateColumn { table: name, column: c.name.clone() });
+            }
+        }
+        Ok(Table { name, columns, n_rows })
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Looks up a column by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Looks up a column by name, erroring when absent.
+    pub fn require_column(&self, name: &str) -> Result<&Column, StorageError> {
+        self.column(name).ok_or_else(|| StorageError::UnknownColumn {
+            table: self.name.clone(),
+            column: name.to_string(),
+        })
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Requires an `i64` column (keys).
+    pub fn require_i64(&self, name: &str) -> Result<&[i64], StorageError> {
+        let c = self.require_column(name)?;
+        c.as_i64().ok_or(StorageError::TypeMismatch {
+            column: name.to_string(),
+            expected: "i64",
+            got: c.data.type_name(),
+        })
+    }
+
+    /// Requires a numeric (`i64` or `f64`) column as `f64` values.
+    pub fn require_numeric(&self, name: &str) -> Result<Vec<f64>, StorageError> {
+        let c = self.require_column(name)?;
+        c.to_f64_vec().ok_or(StorageError::TypeMismatch {
+            column: name.to_string(),
+            expected: "numeric",
+            got: c.data.type_name(),
+        })
+    }
+
+    /// Approximate heap footprint of the table in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.columns.iter().map(|c| c.data.byte_size()).sum()
+    }
+
+    /// Total cell count (rows × columns) — cardinality statistics for the
+    /// experiment reports.
+    pub fn cell_count(&self) -> usize {
+        self.n_rows * self.columns.len()
+    }
+
+    /// Renders a `CREATE TABLE`-ish description (used by the SQL generator
+    /// for the formulation-effort experiment).
+    pub fn describe(&self) -> String {
+        let cols: Vec<String> = self
+            .columns
+            .iter()
+            .map(|c| {
+                let ty = match c.data {
+                    ColumnData::I64(_) => "integer",
+                    ColumnData::F64(_) => "number",
+                    ColumnData::Dict { .. } => "varchar",
+                };
+                format!("{} {}", c.name, ty)
+            })
+            .collect();
+        format!("create table {} ({})", self.name, cols.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn customers() -> Table {
+        Table::new(
+            "customer",
+            vec![
+                Column::i64("ckey", vec![0, 1, 2]),
+                Column::from_strings("nation", ["ITALY", "FRANCE", "ITALY"]),
+                Column::f64("balance", vec![10.5, -3.0, 0.0]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn new_validates_shape() {
+        let bad = Table::new(
+            "t",
+            vec![Column::i64("a", vec![1, 2]), Column::i64("b", vec![1])],
+        );
+        assert!(matches!(bad, Err(StorageError::RaggedColumns { .. })));
+        let dup = Table::new("t", vec![Column::i64("a", vec![1]), Column::f64("a", vec![1.0])]);
+        assert!(matches!(dup, Err(StorageError::DuplicateColumn { .. })));
+    }
+
+    #[test]
+    fn lookups_and_typed_access() {
+        let t = customers();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.require_i64("ckey").unwrap(), &[0, 1, 2]);
+        assert_eq!(t.require_numeric("balance").unwrap(), vec![10.5, -3.0, 0.0]);
+        assert!(matches!(
+            t.require_i64("nation"),
+            Err(StorageError::TypeMismatch { expected: "i64", .. })
+        ));
+        assert!(matches!(t.require_column("ghost"), Err(StorageError::UnknownColumn { .. })));
+        assert_eq!(t.column_index("balance"), Some(2));
+    }
+
+    #[test]
+    fn describe_renders_types() {
+        let t = customers();
+        assert_eq!(
+            t.describe(),
+            "create table customer (ckey integer, nation varchar, balance number)"
+        );
+    }
+
+    #[test]
+    fn empty_table_is_fine() {
+        let t = Table::new("empty", vec![]).unwrap();
+        assert_eq!(t.n_rows(), 0);
+        assert_eq!(t.cell_count(), 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Forecasting strategies over per-cell histories.
+
+use crate::regression::LinearFit;
+
+/// The prediction strategy applied to each cell's history of `k` past
+/// time slices. The paper's semantics (Section 4.3) name `regression`; the
+/// alternatives are simpler baselines for the ablation benches and for
+/// degenerate histories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Predictor {
+    /// OLS simple linear regression extrapolated one step ahead — what the
+    /// paper's prototype does with Scikit-learn.
+    LinearRegression,
+    /// Arithmetic mean of the valid history values.
+    Mean,
+    /// The most recent valid value (naive / random-walk forecast).
+    LastValue,
+}
+
+/// Applies a [`Predictor`] to per-cell histories.
+#[derive(Debug, Clone, Copy)]
+pub struct Forecaster {
+    predictor: Predictor,
+}
+
+impl Forecaster {
+    pub fn new(predictor: Predictor) -> Self {
+        Forecaster { predictor }
+    }
+
+    pub fn predictor(&self) -> Predictor {
+        self.predictor
+    }
+
+    /// Predicts the next value after `history` (oldest first). `None` when
+    /// the history holds no valid observation at all.
+    pub fn predict(&self, history: &[Option<f64>]) -> Option<f64> {
+        match self.predictor {
+            Predictor::LinearRegression => {
+                LinearFit::fit(history).map(|fit| fit.forecast_next(history.len()))
+            }
+            Predictor::Mean => {
+                let valid: Vec<f64> = history.iter().filter_map(|v| *v).collect();
+                if valid.is_empty() {
+                    None
+                } else {
+                    Some(valid.iter().sum::<f64>() / valid.len() as f64)
+                }
+            }
+            Predictor::LastValue => history.iter().rev().find_map(|v| *v),
+        }
+    }
+
+    /// Predicts for a batch of cell histories, all sharing time positions:
+    /// `histories[cell][t]`. This is the bulk entry point the H-transform
+    /// runtime calls once per benchmark cube.
+    pub fn predict_batch(&self, histories: &[Vec<Option<f64>>]) -> Vec<Option<f64>> {
+        histories.iter().map(|h| self.predict(h)).collect()
+    }
+}
+
+impl Default for Forecaster {
+    fn default() -> Self {
+        Forecaster::new(Predictor::LinearRegression)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regression_extrapolates_trend() {
+        let f = Forecaster::new(Predictor::LinearRegression);
+        let pred = f.predict(&[Some(10.0), Some(20.0), Some(30.0), Some(40.0)]).unwrap();
+        assert!((pred - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_ignores_trend() {
+        let f = Forecaster::new(Predictor::Mean);
+        let pred = f.predict(&[Some(10.0), Some(20.0), Some(30.0)]).unwrap();
+        assert!((pred - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn last_value_takes_latest_valid() {
+        let f = Forecaster::new(Predictor::LastValue);
+        assert_eq!(f.predict(&[Some(1.0), Some(2.0), None]), Some(2.0));
+        assert_eq!(f.predict(&[None, Some(7.0)]), Some(7.0));
+    }
+
+    #[test]
+    fn empty_history_predicts_nothing() {
+        for p in [Predictor::LinearRegression, Predictor::Mean, Predictor::LastValue] {
+            let f = Forecaster::new(p);
+            assert_eq!(f.predict(&[]), None);
+            assert_eq!(f.predict(&[None, None]), None);
+        }
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let f = Forecaster::default();
+        let histories =
+            vec![vec![Some(1.0), Some(2.0)], vec![None, None], vec![Some(5.0), None, Some(9.0)]];
+        let batch = f.predict_batch(&histories);
+        for (h, b) in histories.iter().zip(batch.iter()) {
+            assert_eq!(f.predict(h), *b);
+        }
+    }
+
+    #[test]
+    fn default_is_linear_regression() {
+        assert_eq!(Forecaster::default().predictor(), Predictor::LinearRegression);
+    }
+}

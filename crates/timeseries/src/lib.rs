@@ -1,0 +1,15 @@
+//! # olap-timeseries
+//!
+//! Time-series prediction for **past benchmarks** (Sections 3.1 and 4.3 of
+//! the paper): the benchmark cube's measure values "are replaced with the
+//! predicted ones", where prediction is a `regression` function over the
+//! `k` preceding time slices. The paper's prototype used Scikit-learn
+//! linear regression; this crate provides the equivalent ordinary
+//! least-squares fit plus two simpler predictors used in the ablation
+//! benches.
+
+pub mod forecast;
+pub mod regression;
+
+pub use forecast::{Forecaster, Predictor};
+pub use regression::LinearFit;

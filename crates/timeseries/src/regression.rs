@@ -1,0 +1,168 @@
+//! Ordinary least-squares simple linear regression.
+
+/// The result of fitting `y = intercept + slope * t` over points
+/// `(0, y0), (1, y1), …, (n-1, y_{n-1})`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    pub intercept: f64,
+    pub slope: f64,
+    /// Number of points the fit was computed from.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Fits a line through equally spaced observations, missing values
+    /// (`None`) excluded from the fit but keeping their time position —
+    /// exactly what sparse time slices require.
+    ///
+    /// Returns `None` when fewer than one valid point exists. With a single
+    /// valid point the fit is the constant line through it.
+    pub fn fit(values: &[Option<f64>]) -> Option<LinearFit> {
+        let points: Vec<(f64, f64)> = values
+            .iter()
+            .enumerate()
+            .filter_map(|(t, v)| v.map(|y| (t as f64, y)))
+            .collect();
+        match points.len() {
+            0 => None,
+            1 => Some(LinearFit { intercept: points[0].1, slope: 0.0, n: 1 }),
+            n => {
+                let nf = n as f64;
+                let sum_t: f64 = points.iter().map(|(t, _)| t).sum();
+                let sum_y: f64 = points.iter().map(|(_, y)| y).sum();
+                let mean_t = sum_t / nf;
+                let mean_y = sum_y / nf;
+                let mut sxx = 0.0;
+                let mut sxy = 0.0;
+                for (t, y) in &points {
+                    sxx += (t - mean_t) * (t - mean_t);
+                    sxy += (t - mean_t) * (y - mean_y);
+                }
+                // All valid points share a time position only if the caller
+                // passed duplicates; with distinct positions sxx > 0.
+                let slope = if sxx > 0.0 { sxy / sxx } else { 0.0 };
+                Some(LinearFit { intercept: mean_y - slope * mean_t, slope, n })
+            }
+        }
+    }
+
+    /// Fits over dense values (no missing observations).
+    pub fn fit_dense(values: &[f64]) -> Option<LinearFit> {
+        let wrapped: Vec<Option<f64>> = values.iter().map(|v| Some(*v)).collect();
+        LinearFit::fit(&wrapped)
+    }
+
+    /// The predicted value at time position `t`.
+    pub fn predict(&self, t: f64) -> f64 {
+        self.intercept + self.slope * t
+    }
+
+    /// The one-step-ahead forecast for a history of length `history_len`
+    /// (i.e. the value at position `history_len`).
+    pub fn forecast_next(&self, history_len: usize) -> f64 {
+        self.predict(history_len as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let fit = LinearFit::fit_dense(&[1.0, 3.0, 5.0, 7.0]).unwrap();
+        assert_close(fit.intercept, 1.0);
+        assert_close(fit.slope, 2.0);
+        assert_close(fit.forecast_next(4), 9.0);
+    }
+
+    #[test]
+    fn constant_series_has_zero_slope() {
+        let fit = LinearFit::fit_dense(&[5.0, 5.0, 5.0]).unwrap();
+        assert_close(fit.slope, 0.0);
+        assert_close(fit.forecast_next(3), 5.0);
+    }
+
+    #[test]
+    fn single_point_is_constant() {
+        let fit = LinearFit::fit(&[None, Some(4.0), None]).unwrap();
+        assert_eq!(fit.n, 1);
+        assert_close(fit.forecast_next(3), 4.0);
+    }
+
+    #[test]
+    fn empty_series_has_no_fit() {
+        assert!(LinearFit::fit(&[]).is_none());
+        assert!(LinearFit::fit(&[None, None]).is_none());
+    }
+
+    #[test]
+    fn missing_values_keep_time_positions() {
+        // Points at t=0 and t=2 on the line y = 1 + 2t.
+        let fit = LinearFit::fit(&[Some(1.0), None, Some(5.0)]).unwrap();
+        assert_close(fit.slope, 2.0);
+        assert_close(fit.forecast_next(3), 7.0);
+    }
+
+    #[test]
+    fn least_squares_on_noisy_points() {
+        // y = 2 + x with symmetric noise ±1 at x=1,2: fit must pass between.
+        let fit = LinearFit::fit_dense(&[2.0, 4.0, 3.0, 5.0]).unwrap();
+        let pred = fit.forecast_next(4);
+        assert!(pred > 4.5 && pred < 6.5, "forecast {pred} out of plausible band");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Fitting points that lie exactly on a line recovers the line.
+        #[test]
+        fn recovers_exact_lines(
+            intercept in -1e6f64..1e6,
+            slope in -1e3f64..1e3,
+            n in 2usize..50,
+        ) {
+            let values: Vec<f64> = (0..n).map(|t| intercept + slope * t as f64).collect();
+            let fit = LinearFit::fit_dense(&values).unwrap();
+            let scale = intercept.abs().max(slope.abs()).max(1.0);
+            prop_assert!((fit.intercept - intercept).abs() < 1e-6 * scale);
+            prop_assert!((fit.slope - slope).abs() < 1e-6 * scale);
+        }
+
+        /// The forecast is translation-equivariant: shifting every value by c
+        /// shifts the forecast by c.
+        #[test]
+        fn translation_equivariance(
+            values in proptest::collection::vec(-1e6f64..1e6, 2..30),
+            shift in -1e6f64..1e6,
+        ) {
+            let base = LinearFit::fit_dense(&values).unwrap().forecast_next(values.len());
+            let shifted: Vec<f64> = values.iter().map(|v| v + shift).collect();
+            let moved = LinearFit::fit_dense(&shifted).unwrap().forecast_next(values.len());
+            let scale = base.abs().max(1.0).max(shift.abs());
+            prop_assert!((moved - (base + shift)).abs() < 1e-6 * scale);
+        }
+
+        /// The fit minimizes squared error at least as well as the mean line.
+        #[test]
+        fn beats_constant_mean(values in proptest::collection::vec(-1e4f64..1e4, 2..30)) {
+            let fit = LinearFit::fit_dense(&values).unwrap();
+            let mean = values.iter().sum::<f64>() / values.len() as f64;
+            let sse_fit: f64 = values
+                .iter()
+                .enumerate()
+                .map(|(t, y)| (y - fit.predict(t as f64)).powi(2))
+                .sum();
+            let sse_mean: f64 = values.iter().map(|y| (y - mean).powi(2)).sum();
+            prop_assert!(sse_fit <= sse_mean + 1e-6 * sse_mean.max(1.0));
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Extensions walkthrough: the three future-work features of the paper's
+//! Section 8, working together —
+//!
+//! 1. **descriptive properties**: per-capita revenue via the `population`
+//!    property of the nation level;
+//! 2. **ancestor benchmarks**: each nation judged against its region;
+//! 3. **cost-based strategy choice** and **statement completion**.
+//!
+//! ```text
+//! cargo run --release --example per_capita
+//! ```
+
+use assess_olap::assess::ast::AssessStatement;
+use assess_olap::assess::exec::AssessRunner;
+use assess_olap::assess::{cost, suggest};
+use assess_olap::engine::Engine;
+use assess_olap::ssb::{generate::generate, views, SsbConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = generate(SsbConfig::with_scale(0.02));
+    views::register_default_views(&dataset.catalog, &dataset.schema)?;
+    let runner = AssessRunner::new(Engine::new(dataset.catalog.clone()));
+
+    // 1. Per-capita revenue per nation, judged against a per-capita KPI.
+    let per_capita = assess_olap::sql::parse(
+        "with SSB\n\
+         by c_nation\n\
+         assess revenue against 300000\n\
+         using ratio(ratio(revenue, property(c_nation, 'population')), 300000)\n\
+         labels {[0, 0.5): under, [0.5, 2]: around, (2, inf]: over}",
+    )?;
+    println!("{per_capita}\n");
+    let resolved = runner.resolve(&per_capita)?;
+    let strategy = cost::choose(&resolved, runner.engine())?;
+    println!("cost-based chooser picked: {strategy}");
+    let (result, _) = runner.execute(&resolved, strategy)?;
+    println!("{}", result.render(10));
+    println!("labels: {:?}\n", result.label_histogram());
+
+    // 2. Ancestor benchmark: each nation's share of its region.
+    let ancestor = assess_olap::sql::parse(
+        "with SSB\n\
+         by c_nation\n\
+         assess revenue against ancestor c_region\n\
+         using percentage(revenue, benchmark.revenue)\n\
+         labels {[0, 10): minor, [10, 30]: typical, (30, 100]: dominant}",
+    )?;
+    println!("{ancestor}\n");
+    let resolved = runner.resolve(&ancestor)?;
+    let strategy = cost::choose(&resolved, runner.engine())?;
+    let (result, report) = runner.execute(&resolved, strategy)?;
+    println!("{}", result.render(8));
+    println!(
+        "{} nations, {strategy} in {:.2} ms — labels {:?}\n",
+        result.len(),
+        report.timings.total().as_secs_f64() * 1e3,
+        result.label_histogram()
+    );
+
+    // 3. Statement completion: leave `against` out and let the system rank
+    //    candidate benchmarks by interest.
+    let partial = AssessStatement::on("SSB")
+        .slice("year", "1997")
+        .by(["c_nation", "year"])
+        .assess("revenue")
+        .labels_named("quartiles")
+        .build();
+    println!("partial statement:\n{partial}\n\nsuggested completions:");
+    for s in suggest::suggest_benchmarks(&runner, &partial, 5)? {
+        println!(
+            "  against {:<24} interest {:.3} (coverage {:.2}, dispersion {:.2}, {} cells)",
+            s.against, s.interest, s.coverage, s.dispersion, s.cells
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! # assess-olap
+//!
+//! Umbrella crate for the Rust reproduction of *"Assess Queries for
+//! Interactive Analysis of Data Cubes"* (EDBT 2021). Re-exports every
+//! sub-crate of the workspace under one roof:
+//!
+//! * [`model`] — the multidimensional model (hierarchies, cubes, queries);
+//! * [`storage`] — the columnar star-schema storage substrate;
+//! * [`engine`] — the physical execution engine (the "DBMS" of the paper);
+//! * [`timeseries`] — regression forecasting for past benchmarks;
+//! * [`ssb`] — the Star Schema Benchmark data generator;
+//! * [`assess`] — the assess operator itself (AST, semantics, plans);
+//! * [`sql`] — the parser for the SQL-like assess syntax.
+//!
+//! See the `examples/` directory for end-to-end walkthroughs, and
+//! `EXPERIMENTS.md` for the reproduction of the paper's evaluation.
+//!
+//! # Example
+//!
+//! Generate a small Star Schema Benchmark dataset, write an assess statement
+//! in the paper's syntax, and execute it under the strategy the cost-based
+//! chooser picks:
+//!
+//! ```
+//! use assess_olap::assess::exec::AssessRunner;
+//! use assess_olap::engine::Engine;
+//! use assess_olap::ssb::{generate::generate, SsbConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let dataset = generate(SsbConfig::with_scale(0.001));
+//! let runner = AssessRunner::new(Engine::new(dataset.catalog.clone()));
+//!
+//! let statement = assess_olap::sql::parse(
+//!     "with SSB by year, mfgr \
+//!      assess revenue against 4500000 \
+//!      using ratio(revenue, 4500000) \
+//!      labels {[0, 0.9): bad, [0.9, 1.1]: acceptable, (1.1, inf]: good}",
+//! )?;
+//!
+//! let (result, report) = runner.run_auto(&statement)?;
+//! assert_eq!(result.len(), 35); // 7 years × 5 manufacturers
+//! for cell in result.cells() {
+//!     assert!(cell.label.is_some());
+//! }
+//! println!("{} cells in {:?}", result.len(), report.timings.total());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use assess_core as assess;
+pub use assess_sql as sql;
+pub use olap_engine as engine;
+pub use olap_model as model;
+pub use olap_storage as storage;
+pub use olap_timeseries as timeseries;
+pub use ssb_data as ssb;

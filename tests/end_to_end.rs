@@ -1,0 +1,177 @@
+//! Workspace-level end-to-end tests: parse the canonical statements from
+//! text, execute them on generated SSB data under every feasible strategy,
+//! and check the paper's invariants on the results.
+
+use assess_olap::assess::exec::AssessRunner;
+use assess_olap::assess::plan::Strategy;
+use assess_olap::engine::Engine;
+use assess_olap::ssb::{generate::generate, views, SsbConfig};
+
+fn runner(sf: f64) -> AssessRunner {
+    let ds = generate(SsbConfig::with_scale(sf));
+    views::register_default_views(&ds.catalog, &ds.schema).unwrap();
+    AssessRunner::new(Engine::new(ds.catalog.clone()))
+}
+
+const CANONICAL: &[(&str, &str)] = &[
+    (
+        "Constant",
+        "with SSB by customer, year assess revenue against 1300000 \
+         using ratio(revenue, 1300000) \
+         labels {[0, 0.5): low, [0.5, 1.5]: par, (1.5, inf]: high}",
+    ),
+    (
+        "External",
+        "with SSB for c_region = 'ASIA' by customer, year \
+         assess revenue against SSB_EXPECTED.expected_revenue \
+         using ratio(revenue, benchmark.expected_revenue) \
+         labels {[0, 0.9): below, [0.9, 1.1]: expected, (1.1, inf]: above}",
+    ),
+    (
+        "Sibling",
+        "with SSB for c_region = 'ASIA' by part, c_region \
+         assess revenue against c_region = 'AMERICA' \
+         using percOfTotal(difference(revenue, benchmark.revenue)) \
+         labels quartiles",
+    ),
+    (
+        "Past",
+        "with SSB for month = '1998-06' by supplier, month \
+         assess revenue against past 6 \
+         using ratio(revenue, benchmark.revenue) \
+         labels {[0, 0.9): worse, [0.9, 1.1]: fine, (1.1, inf]: better}",
+    ),
+];
+
+#[test]
+fn canonical_intentions_execute_and_strategies_agree() {
+    let runner = runner(0.004);
+    for (name, text) in CANONICAL {
+        let stmt = assess_olap::sql::parse(text).unwrap();
+        let resolved = runner.resolve(&stmt).unwrap();
+        let mut reference: Option<Vec<assess_core::result::AssessedCell>> = None;
+        for strategy in Strategy::all() {
+            if !strategy.feasible_for(&resolved.benchmark) {
+                continue;
+            }
+            let (result, report) = runner.execute(&resolved, strategy).unwrap();
+            assert!(!result.is_empty(), "{name}/{strategy} returned nothing");
+            assert!(report.timings.total().as_nanos() > 0);
+            match &reference {
+                None => reference = Some(result.cells()),
+                Some(cells) => assert_eq!(
+                    cells,
+                    &result.cells(),
+                    "{name}: {strategy} disagrees with the first feasible strategy"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_result_cell_has_the_five_components() {
+    let runner = runner(0.002);
+    let stmt = assess_olap::sql::parse(CANONICAL[1].1).unwrap();
+    let (result, _) = runner.run(&stmt, Strategy::JoinOptimized).unwrap();
+    for cell in result.cells() {
+        assert_eq!(cell.coordinate.len(), 2);
+        assert!(cell.value.is_some());
+        // Inner semantics: benchmark, comparison and label must be present.
+        assert!(cell.benchmark.is_some());
+        assert!(cell.comparison.is_some());
+        assert!(cell.label.is_some());
+        let (v, b, d) = (cell.value.unwrap(), cell.benchmark.unwrap(), cell.comparison.unwrap());
+        assert!((d - v / b).abs() < 1e-9 * d.abs().max(1.0), "delta must be the ratio");
+    }
+}
+
+#[test]
+fn starred_supersets_plain_assess() {
+    let runner = runner(0.002);
+    let plain = assess_olap::sql::parse(CANONICAL[1].1).unwrap();
+    let mut starred = plain.clone();
+    starred.starred = true;
+    let (inner, _) = runner.run(&plain, Strategy::Naive).unwrap();
+    let (outer, _) = runner.run(&starred, Strategy::Naive).unwrap();
+    assert!(outer.len() >= inner.len());
+    let matched = outer.cells().iter().filter(|c| c.benchmark.is_some()).count();
+    assert_eq!(matched, inner.len());
+}
+
+#[test]
+fn labels_partition_matched_cells() {
+    let runner = runner(0.002);
+    for (_, text) in CANONICAL {
+        let stmt = assess_olap::sql::parse(text).unwrap();
+        let (result, _) = runner.run(&stmt, Strategy::Naive).unwrap();
+        for cell in result.cells() {
+            // Inner semantics + total labelings ⇒ every cell labeled,
+            // except comparison values outside a partial range set (the
+            // canonical statements use total ranges).
+            if cell.comparison.is_some() {
+                assert!(
+                    cell.label.is_some(),
+                    "cell {:?} has a comparison but no label",
+                    cell.coordinate
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn umbrella_crate_reexports_compose() {
+    // The umbrella crate is the documented entry point: model, storage,
+    // engine, ssb, assess and sql must all be reachable through it.
+    let ds = assess_olap::ssb::generate::generate(assess_olap::ssb::SsbConfig::with_scale(0.001));
+    let engine = assess_olap::engine::Engine::new(ds.catalog.clone());
+    let runner = assess_olap::assess::exec::AssessRunner::new(engine);
+    let stmt = assess_olap::sql::parse(
+        "with SSB by year assess revenue labels quartiles",
+    )
+    .unwrap();
+    let (result, _) = runner.run(&stmt, assess_olap::assess::plan::Strategy::Naive).unwrap();
+    assert_eq!(result.len(), 7); // one cell per year
+    let group_by = assess_olap::model::GroupBySet::from_level_names(&ds.schema, &["year"]).unwrap();
+    assert_eq!(group_by.arity(), 1);
+}
+
+#[test]
+fn extension_statements_parse_and_execute_on_ssb() {
+    let runner = runner(0.002);
+    // Ancestor benchmark parsed from text: each nation vs. its region.
+    let ancestor = assess_olap::sql::parse(
+        "with SSB by c_nation assess revenue against ancestor c_region \
+         using percentage(revenue, benchmark.revenue) \
+         labels {[0, 20): minor, [20, 100]: major}",
+    )
+    .unwrap();
+    let (result, _) = runner.run(&ancestor, Strategy::JoinOptimized).unwrap();
+    assert!(result.len() <= 25);
+    for cell in result.cells() {
+        let share = cell.comparison.unwrap();
+        assert!((0.0..=100.0).contains(&share), "{share} not a percentage");
+    }
+    // Per-nation shares within one region sum to ~100%.
+    // (CHINA, INDIA, INDONESIA, JAPAN, VIETNAM are ASIA.)
+    let asia: f64 = result
+        .cells()
+        .iter()
+        .filter(|c| ["CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM"].contains(&c.coordinate[0].as_str()))
+        .map(|c| c.comparison.unwrap())
+        .sum();
+    assert!((asia - 100.0).abs() < 1e-6, "ASIA shares sum to {asia}");
+
+    // Property reference parsed from text: per-capita revenue.
+    let per_capita = assess_olap::sql::parse(
+        "with SSB by c_nation assess revenue \
+         using ratio(revenue, property(c_nation, 'population')) \
+         labels quartiles",
+    )
+    .unwrap();
+    let (result, _) = runner.run(&per_capita, Strategy::Naive).unwrap();
+    for cell in result.cells() {
+        assert!(cell.comparison.unwrap() > 0.0);
+    }
+}
