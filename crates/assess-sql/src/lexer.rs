@@ -192,7 +192,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 tokens.push(Token::Ident(input[start..i].to_string()));
             }
             other => {
-                return Err(LexError { offset: i, message: format!("unexpected character `{other}`") })
+                return Err(LexError {
+                    offset: i,
+                    message: format!("unexpected character `{other}`"),
+                })
             }
         }
     }

@@ -236,18 +236,14 @@ impl Parser {
 
     fn func_expr(&mut self) -> Result<FuncExpr, ParseError> {
         match self.peek() {
-            Some(Token::Number(_)) | Some(Token::Minus) => {
-                Ok(FuncExpr::Number(self.number(true)?))
-            }
+            Some(Token::Number(_)) | Some(Token::Minus) => Ok(FuncExpr::Number(self.number(true)?)),
             Some(Token::Ident(_)) => {
                 let name = self.ident("a function or measure name")?;
                 if name.eq_ignore_ascii_case("benchmark") && self.eat(&Token::Dot) {
                     let measure = self.ident("a measure name")?;
                     return Ok(FuncExpr::BenchmarkMeasure(measure));
                 }
-                if name.eq_ignore_ascii_case("property")
-                    && self.peek() == Some(&Token::LParen)
-                {
+                if name.eq_ignore_ascii_case("property") && self.peek() == Some(&Token::LParen) {
                     self.pos += 1;
                     let level = self.ident("a level name")?;
                     self.expect(Token::Comma)?;
@@ -448,10 +444,7 @@ mod tests {
 
     #[test]
     fn quoted_labels_allow_stars() {
-        let stmt = parse(
-            "with S by l assess m labels {[0, 0.5]: '*', (0.5, 1]: '*****'}",
-        )
-        .unwrap();
+        let stmt = parse("with S by l assess m labels {[0, 0.5]: '*', (0.5, 1]: '*****'}").unwrap();
         match &stmt.labels {
             LabelingSpec::Ranges(rules) => assert_eq!(rules[1].label, "*****"),
             other => panic!("unexpected labels {other:?}"),
@@ -480,10 +473,7 @@ mod tests {
              labels quartiles",
         )
         .unwrap();
-        assert_eq!(
-            stmt.against,
-            Some(BenchmarkSpec::Ancestor { level: "c_region".into() })
-        );
+        assert_eq!(stmt.against, Some(BenchmarkSpec::Ancestor { level: "c_region".into() }));
         match &stmt.using {
             Some(FuncExpr::Call { args, .. }) => {
                 assert_eq!(

@@ -12,8 +12,17 @@ fn ident() -> impl Strategy<Value = String> {
     "[a-zA-Z_][a-zA-Z0-9_]{0,10}".prop_filter("not a keyword", |s| {
         !matches!(
             s.to_ascii_lowercase().as_str(),
-            "with" | "for" | "by" | "assess" | "against" | "using" | "labels" | "in" | "past"
-                | "inf" | "benchmark"
+            "with"
+                | "for"
+                | "by"
+                | "assess"
+                | "against"
+                | "using"
+                | "labels"
+                | "in"
+                | "past"
+                | "inf"
+                | "benchmark"
         )
     })
 }
@@ -50,14 +59,7 @@ fn func_expr(depth: u32) -> BoxedStrategy<FuncExpr> {
 }
 
 fn bound() -> impl Strategy<Value = Bound> {
-    (
-        prop_oneof![
-            number(),
-            Just(f64::INFINITY),
-            Just(f64::NEG_INFINITY),
-        ],
-        any::<bool>(),
-    )
+    (prop_oneof![number(), Just(f64::INFINITY), Just(f64::NEG_INFINITY),], any::<bool>())
         .prop_map(|(value, inclusive)| Bound { value, inclusive })
 }
 

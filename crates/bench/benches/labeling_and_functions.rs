@@ -71,9 +71,8 @@ fn bench_functions(c: &mut Criterion) {
 
 fn bench_regression(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(11);
-    let histories: Vec<Vec<Option<f64>>> = (0..N / 10)
-        .map(|_| (0..6).map(|_| Some(rng.gen_range(0.0..100.0))).collect())
-        .collect();
+    let histories: Vec<Vec<Option<f64>>> =
+        (0..N / 10).map(|_| (0..6).map(|_| Some(rng.gen_range(0.0..100.0))).collect()).collect();
     let forecaster = olap_timeseries::Forecaster::default();
     c.bench_function("regression_forecast_10k_cells_k6", |b| {
         b.iter(|| forecaster.predict_batch(&histories).len())

@@ -27,9 +27,8 @@ fn bench_view_matching(c: &mut Criterion) {
         vec!["revenue".into()],
     );
     let mut group = c.benchmark_group("get_customer_year");
-    group.bench_function("materialized_view", |b| {
-        b.iter(|| with_views.get(&q).unwrap().cube.len())
-    });
+    group
+        .bench_function("materialized_view", |b| b.iter(|| with_views.get(&q).unwrap().cube.len()));
     group.bench_function("fact_scan", |b| b.iter(|| without.get(&q).unwrap().cube.len()));
     group.finish();
 }
@@ -105,6 +104,7 @@ fn bench_slice_alignment(c: &mut Criterion) {
                 "revenue",
                 &names,
                 JoinKind::Inner,
+                assess_core::memops::OpGuard::none(),
             )
             .unwrap()
             .len()
@@ -129,11 +129,7 @@ fn bench_slice_alignment(c: &mut Criterion) {
     });
     group.bench_function("fused_pivot", |b| {
         b.iter(|| {
-            engine
-                .get_pivot(&q_all, 0, asia, &[america], "revenue", &names)
-                .unwrap()
-                .cube
-                .len()
+            engine.get_pivot(&q_all, 0, asia, &[america], "revenue", &names).unwrap().cube.len()
         })
     });
     group.finish();

@@ -12,14 +12,11 @@ fn bench_parse(c: &mut Criterion) {
     }
     group.finish();
     let all: String = texts.iter().map(|(_, t)| t.as_str()).collect::<Vec<_>>().join("\n");
-    c.bench_function("tokenize_all_four", |b| {
-        b.iter(|| assess_sql::tokenize(&all).unwrap().len())
-    });
+    c.bench_function("tokenize_all_four", |b| b.iter(|| assess_sql::tokenize(&all).unwrap().len()));
 }
 
 fn bench_render(c: &mut Criterion) {
-    let statements: Vec<_> =
-        workloads::intentions().into_iter().map(|i| i.statement).collect();
+    let statements: Vec<_> = workloads::intentions().into_iter().map(|i| i.statement).collect();
     c.bench_function("render_all_four", |b| {
         b.iter(|| statements.iter().map(|s| s.to_string().len()).sum::<usize>())
     });

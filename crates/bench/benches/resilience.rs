@@ -1,0 +1,84 @@
+//! Resilience overhead: what the resource governor costs when nothing
+//! trips, and what an injected mid-flight fault costs when the fallback
+//! ladder has to retry on a cheaper strategy. Measured on the Sibling and
+//! Past intentions — the two whose full POP→JOP→NP ladder exists.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use assess_bench::{setup, workloads, ExperimentEnv};
+use assess_core::exec::AssessRunner;
+use assess_core::ExecutionPolicy;
+use criterion::{criterion_group, criterion_main, Criterion};
+use olap_engine::{Engine, EngineConfig, FaultInjector, FaultSite};
+
+const SF: f64 = 0.01;
+
+fn ladder_intentions() -> Vec<workloads::Intention> {
+    workloads::intentions()
+        .into_iter()
+        .filter(|i| i.name == "sibling" || i.name == "past")
+        .collect()
+}
+
+fn engine_of(env: &ExperimentEnv) -> Engine {
+    Engine::with_config(Arc::clone(&env.dataset.catalog), EngineConfig::default())
+}
+
+/// Idle-governor overhead: identical runs with and without (generous)
+/// limits. The difference is the price of the cooperative checks and the
+/// atomic row/cell accounting.
+fn bench_governor_overhead(c: &mut Criterion) {
+    let env = setup(SF, true);
+    let governed = AssessRunner::new(engine_of(&env)).with_policy(
+        ExecutionPolicy::new()
+            .with_deadline(Duration::from_secs(3600))
+            .with_max_rows_scanned(u64::MAX / 2)
+            .with_max_output_cells(u64::MAX / 2),
+    );
+    for intention in ladder_intentions() {
+        let mut group = c.benchmark_group(format!("governor_{}", intention.name));
+        group.bench_function("ungoverned", |b| {
+            b.iter(|| env.runner.run_auto(&intention.statement).unwrap().0.len())
+        });
+        group.bench_function("governed", |b| {
+            b.iter(|| governed.run_auto(&intention.statement).unwrap().0.len())
+        });
+        group.finish();
+    }
+}
+
+/// Fallback overhead: a targeted fault kills the chosen strategy's first
+/// access, forcing the ladder down one rung; compare against the clean
+/// first-try run. The gap is the wasted attempt plus the cheaper retry.
+fn bench_fallback_overhead(c: &mut Criterion) {
+    let env = setup(SF, true);
+    for intention in ladder_intentions() {
+        let mut group = c.benchmark_group(format!("fallback_{}", intention.name));
+        group.bench_function("first_try", |b| {
+            b.iter(|| env.runner.run_auto(&intention.statement).unwrap().1.attempts.len())
+        });
+        group.bench_function("after_injected_fault", |b| {
+            b.iter(|| {
+                // The injector is stateful (per-site ordinals), so each
+                // iteration gets a fresh one failing the first access of
+                // every engine path the chosen strategy might take.
+                let injector = Arc::new(
+                    FaultInjector::targeted()
+                        .fail_nth(FaultSite::Scan, 0)
+                        .fail_nth(FaultSite::IndexProbe, 0)
+                        .fail_nth(FaultSite::ViewMatch, 0),
+                );
+                let runner = AssessRunner::new(engine_of(&env).with_fault_injector(injector));
+                let (cube, report) =
+                    runner.run_auto(&intention.statement).expect("ladder recovers");
+                assert!(report.attempts.len() >= 2);
+                cube.len()
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_governor_overhead, bench_fallback_overhead);
+criterion_main!(benches);

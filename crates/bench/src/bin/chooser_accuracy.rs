@@ -8,8 +8,8 @@
 //! ```
 
 use assess_bench::{report, scales, setup, workloads};
-use assess_core::plan::Strategy;
 use assess_core::cost;
+use assess_core::plan::Strategy;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -40,8 +40,7 @@ fn main() {
                 }
                 let mut best = f64::INFINITY;
                 for _ in 0..reps.max(1) {
-                    let (_, report) =
-                        env.runner.execute(&resolved, strategy).expect("executes");
+                    let (_, report) = env.runner.execute(&resolved, strategy).expect("executes");
                     best = best.min(report.timings.total().as_secs_f64());
                 }
                 measured.push((strategy, best));
@@ -51,11 +50,8 @@ fn main() {
                 .copied()
                 .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
                 .expect("at least NP is feasible");
-            let chosen_t = measured
-                .iter()
-                .find(|(s, _)| *s == chosen)
-                .map(|(_, t)| *t)
-                .unwrap_or(f64::NAN);
+            let chosen_t =
+                measured.iter().find(|(s, _)| *s == chosen).map(|(_, t)| *t).unwrap_or(f64::NAN);
             rows.push(ChooserRow {
                 intention: intention.name.to_string(),
                 sf: scale.sf,

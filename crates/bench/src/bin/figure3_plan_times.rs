@@ -24,9 +24,7 @@ fn main() {
                 .map(|scale| {
                     rows.iter()
                         .find(|r| {
-                            r.intention == intention
-                                && r.strategy == strategy
-                                && r.sf == scale.sf
+                            r.intention == intention && r.strategy == strategy && r.sf == scale.sf
                         })
                         .map(|r| r.seconds)
                 })
@@ -76,9 +74,7 @@ fn main() {
             let time = |strategy: &str| {
                 rows.iter()
                     .find(|r| {
-                        r.intention == intention
-                            && r.strategy == strategy
-                            && r.sf == largest.sf
+                        r.intention == intention && r.strategy == strategy && r.sf == largest.sf
                     })
                     .map(|r| r.seconds)
             };

@@ -30,9 +30,7 @@ fn main() {
                 let v = rows
                     .iter()
                     .find(|r| r.strategy == strategy && r.sf == scale.sf)
-                    .and_then(|r| {
-                        r.breakdown.iter().find(|(k, _)| k == category).map(|(_, v)| *v)
-                    });
+                    .and_then(|r| r.breakdown.iter().find(|(k, _)| k == category).map(|(_, v)| *v));
                 row.push(match v {
                     Some(s) => report::fmt_secs(s),
                     None => "—".to_string(),
@@ -47,9 +45,7 @@ fn main() {
     // the transformation (regression) dominates.
     if let Some(largest) = scale_specs.last() {
         for strategy in ["NP", "JOP", "POP"] {
-            if let Some(r) =
-                rows.iter().find(|r| r.strategy == strategy && r.sf == largest.sf)
-            {
+            if let Some(r) = rows.iter().find(|r| r.strategy == strategy && r.sf == largest.sf) {
                 let get = |k: &str| {
                     r.breakdown.iter().find(|(c, _)| c == k).map(|(_, v)| *v).unwrap_or(0.0)
                 };

@@ -30,12 +30,7 @@ fn main() {
             intention.statement.to_string().chars().count(),
         ));
     }
-    for (label, pick) in [
-        ("SQL:", 1usize),
-        ("Python:", 2),
-        ("Total:", 3),
-        ("assess:", 4),
-    ] {
+    for (label, pick) in [("SQL:", 1usize), ("Python:", 2), ("Total:", 3), ("assess:", 4)] {
         let mut row = vec![label.to_string()];
         for r in &t1_rows {
             let v = match pick {
@@ -79,16 +74,11 @@ fn main() {
     for intention in ["Constant", "External", "Sibling", "Past"] {
         let mut row = vec![intention.to_string()];
         for scale in &scale_specs {
-            let cell: Vec<_> = rows
-                .iter()
-                .filter(|r| r.intention == intention && r.sf == scale.sf)
-                .collect();
+            let cell: Vec<_> =
+                rows.iter().filter(|r| r.intention == intention && r.sf == scale.sf).collect();
             let best = cell.iter().map(|r| r.seconds).fold(f64::INFINITY, f64::min);
-            let np = cell
-                .iter()
-                .find(|r| r.strategy == "NP")
-                .map(|r| r.seconds)
-                .unwrap_or(f64::NAN);
+            let np =
+                cell.iter().find(|r| r.strategy == "NP").map(|r| r.seconds).unwrap_or(f64::NAN);
             row.push(format!("{} ({})", report::fmt_secs(best), report::fmt_secs(np)));
         }
         t3.push(row);
@@ -136,12 +126,8 @@ fn main() {
             for scale in &scale_specs {
                 let v = rows
                     .iter()
-                    .find(|r| {
-                        r.intention == "Past" && r.strategy == strategy && r.sf == scale.sf
-                    })
-                    .and_then(|r| {
-                        r.breakdown.iter().find(|(k, _)| k == category).map(|(_, v)| *v)
-                    });
+                    .find(|r| r.intention == "Past" && r.strategy == strategy && r.sf == scale.sf)
+                    .and_then(|r| r.breakdown.iter().find(|(k, _)| k == category).map(|(_, v)| *v));
                 row.push(match v {
                     Some(s) => report::fmt_secs(s),
                     None => "—".to_string(),

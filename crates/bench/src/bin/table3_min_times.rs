@@ -18,19 +18,11 @@ fn main() {
     for intention in ["Constant", "External", "Sibling", "Past"] {
         let mut row = vec![intention.to_string()];
         for scale in &scale_specs {
-            let cell: Vec<&runs::PlanTiming> = rows
-                .iter()
-                .filter(|r| r.intention == intention && r.sf == scale.sf)
-                .collect();
-            let best = cell
-                .iter()
-                .map(|r| r.seconds)
-                .fold(f64::INFINITY, f64::min);
-            let np = cell
-                .iter()
-                .find(|r| r.strategy == "NP")
-                .map(|r| r.seconds)
-                .unwrap_or(f64::NAN);
+            let cell: Vec<&runs::PlanTiming> =
+                rows.iter().filter(|r| r.intention == intention && r.sf == scale.sf).collect();
+            let best = cell.iter().map(|r| r.seconds).fold(f64::INFINITY, f64::min);
+            let np =
+                cell.iter().find(|r| r.strategy == "NP").map(|r| r.seconds).unwrap_or(f64::NAN);
             row.push(format!("{} ({})", report::fmt_secs(best), report::fmt_secs(np)));
         }
         table.push(row);
@@ -53,8 +45,7 @@ fn main() {
                 .fold(f64::INFINITY, f64::min);
             best.push(b);
         }
-        let ratios: Vec<String> =
-            best.windows(2).map(|w| format!("{:.1}", w[1] / w[0])).collect();
+        let ratios: Vec<String> = best.windows(2).map(|w| format!("{:.1}", w[1] / w[0])).collect();
         println!("  {intention}: {}", ratios.join(", "));
     }
 

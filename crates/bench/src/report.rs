@@ -75,10 +75,8 @@ mod tests {
 
     #[test]
     fn table_rendering_aligns_columns() {
-        let table = render_table(&[
-            vec!["a".into(), "long header".into()],
-            vec!["xx".into(), "1".into()],
-        ]);
+        let table =
+            render_table(&[vec!["a".into(), "long header".into()], vec!["xx".into(), "1".into()]]);
         let lines: Vec<&str> = table.lines().collect();
         assert_eq!(lines.len(), 3);
         assert_eq!(lines[0].len(), lines[2].len());
@@ -130,10 +128,9 @@ pub fn ascii_log_chart(
         .filter(|v| *v > 0.0)
         .collect();
     let mut out = format!("{title} (log scale)\n");
-    let (Some(min), Some(max)) = (
-        values.iter().copied().reduce(f64::min),
-        values.iter().copied().reduce(f64::max),
-    ) else {
+    let (Some(min), Some(max)) =
+        (values.iter().copied().reduce(f64::min), values.iter().copied().reduce(f64::max))
+    else {
         out.push_str("  (no data)\n");
         return out;
     };

@@ -77,8 +77,8 @@ pub fn run_matrix(
                     rows_scanned = report.rows_scanned;
                     samples.push(report.timings);
                 }
-                let seconds =
-                    samples.iter().map(|t| t.total().as_secs_f64()).sum::<f64>() / samples.len() as f64;
+                let seconds = samples.iter().map(|t| t.total().as_secs_f64()).sum::<f64>()
+                    / samples.len() as f64;
                 eprintln!(
                     "[run] {} {} at {}: {:.3}s ({} cells)",
                     intention.name,

@@ -30,7 +30,10 @@ impl PredicateSpec {
         level: impl Into<String>,
         members: impl IntoIterator<Item = S>,
     ) -> Self {
-        PredicateSpec { level: level.into(), members: members.into_iter().map(Into::into).collect() }
+        PredicateSpec {
+            level: level.into(),
+            members: members.into_iter().map(Into::into).collect(),
+        }
     }
 }
 
@@ -56,7 +59,10 @@ pub enum BenchmarkSpec {
 /// measures, the benchmark's measures (`benchmark.m`) and literals.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FuncExpr {
-    Call { name: String, args: Vec<FuncExpr> },
+    Call {
+        name: String,
+        args: Vec<FuncExpr>,
+    },
     /// A measure of the target cube.
     Measure(String),
     /// `benchmark.m` — the benchmark's measure for the matched cell.
@@ -64,7 +70,10 @@ pub enum FuncExpr {
     /// `property(country, 'population')` — a descriptive property of a
     /// level, looked up on each cell's coordinate (future-work extension
     /// enabling per-capita comparisons).
-    Property { level: String, name: String },
+    Property {
+        level: String,
+        name: String,
+    },
     Number(f64),
 }
 
@@ -496,9 +505,6 @@ mod tests {
             .assess("storeSales")
             .labels_named("quartiles")
             .build();
-        assert_eq!(
-            stmt.to_string(),
-            "with SALES\nby month\nassess storeSales\nlabels quartiles"
-        );
+        assert_eq!(stmt.to_string(), "with SALES\nby month\nassess storeSales\nlabels quartiles");
     }
 }

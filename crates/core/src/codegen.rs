@@ -45,14 +45,15 @@ impl GeneratedCode {
 /// Generates the SQL + Python equivalent of a resolved statement, following
 /// its least complex feasible plan (POP where feasible, then JOP, then NP —
 /// the plan the paper's prototype generates code for).
-pub fn generate(resolved: &ResolvedAssess, catalog: &Catalog) -> Result<GeneratedCode, AssessError> {
+pub fn generate(
+    resolved: &ResolvedAssess,
+    catalog: &Catalog,
+) -> Result<GeneratedCode, AssessError> {
     let binding = catalog
         .binding(&resolved.target_query.cube)
         .map_err(|_| AssessError::UnknownCube(resolved.target_query.cube.clone()))?;
     let sql = match &resolved.benchmark {
-        ResolvedBenchmark::Constant { .. } => {
-            sqlgen::select_sql(&binding, &resolved.target_query)
-        }
+        ResolvedBenchmark::Constant { .. } => sqlgen::select_sql(&binding, &resolved.target_query),
         ResolvedBenchmark::External { query, measure } => {
             let ext_binding = catalog
                 .binding(&query.cube)
@@ -64,11 +65,9 @@ pub fn generate(resolved: &ResolvedAssess, catalog: &Catalog) -> Result<Generate
                 .into_iter()
                 .map(str::to_string)
                 .collect();
-            let select_cols: Vec<String> =
-                levels.iter().map(|l| format!("t1.{l}")).collect();
+            let select_cols: Vec<String> = levels.iter().map(|l| format!("t1.{l}")).collect();
             let on: Vec<String> = levels.iter().map(|l| format!("t1.{l} = t2.{l}")).collect();
-            format!
-            (
+            format!(
                 "select {}, t1.{}, t2.{} as bc_{}\nfrom\n({}) t1,\n({}) t2\nwhere {}",
                 select_cols.join(", "),
                 resolved.measure,
@@ -101,9 +100,8 @@ pub fn generate(resolved: &ResolvedAssess, catalog: &Catalog) -> Result<Generate
         ResolvedBenchmark::Sibling { .. } | ResolvedBenchmark::Past { .. } => {
             // The least complex plan is POP: one widened get plus a pivot.
             let physical = plan::plan(resolved, Strategy::PivotOptimized)?;
-            let pivot = find_pivot(&physical.root).ok_or_else(|| {
-                AssessError::Statement("POP plan lacks a pivot node".into())
-            })?;
+            let pivot = find_pivot(&physical.root)
+                .ok_or_else(|| AssessError::Statement("POP plan lacks a pivot node".into()))?;
             let (q_all, hierarchy, reference, neighbors, names, measure) = pivot;
             let level = q_all
                 .predicates
@@ -120,12 +118,7 @@ pub fn generate(resolved: &ResolvedAssess, catalog: &Catalog) -> Result<Generate
             let neighbor_aliases: Vec<(String, String)> = neighbors
                 .iter()
                 .zip(names.iter())
-                .map(|(m, n)| {
-                    (
-                        lvl.member_name(*m).unwrap_or("?").to_string(),
-                        n.replace('.', "_"),
-                    )
-                })
+                .map(|(m, n)| (lvl.member_name(*m).unwrap_or("?").to_string(), n.replace('.', "_")))
                 .collect();
             sqlgen::pivot_sql(
                 &binding,
@@ -227,8 +220,7 @@ fn generate_python(resolved: &ResolvedAssess) -> String {
         .into_iter()
         .map(str::to_string)
         .collect();
-    let coord_list =
-        coord_cols.iter().map(|c| format!("'{c}'")).collect::<Vec<_>>().join(", ");
+    let coord_list = coord_cols.iter().map(|c| format!("'{c}'")).collect::<Vec<_>>().join(", ");
     let mut script = format!(
         "#!/usr/bin/env python3\n\
          # Auto-generated assessment script. Edit the connection settings\n\
@@ -273,11 +265,7 @@ fn generate_python(resolved: &ResolvedAssess) -> String {
     }
     match &resolved.benchmark {
         ResolvedBenchmark::Constant { value } => {
-            script.push_str(&format!(
-                "df['{}'] = {}\n",
-                resolved.benchmark_column(),
-                value
-            ));
+            script.push_str(&format!("df['{}'] = {}\n", resolved.benchmark_column(), value));
         }
         ResolvedBenchmark::External { .. }
         | ResolvedBenchmark::Sibling { .. }
@@ -356,10 +344,7 @@ fn generate_python(resolved: &ResolvedAssess) -> String {
         }
     }
     if !resolved.starred {
-        script.push_str(&format!(
-            "df = df.dropna(subset=['{}'])\n",
-            resolved.benchmark_column()
-        ));
+        script.push_str(&format!("df = df.dropna(subset=['{}'])\n", resolved.benchmark_column()));
     }
     script.push_str(
         "\ndf = df.sort_values(coords).reset_index(drop=True)\n\

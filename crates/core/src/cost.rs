@@ -70,9 +70,9 @@ pub fn choose(
     engine: &olap_engine::Engine,
 ) -> Result<Strategy, AssessError> {
     let costs = estimate_all(resolved, engine)?;
-    let best = costs.first().ok_or_else(|| {
-        AssessError::Statement("no feasible strategy for this statement".into())
-    })?;
+    let best = costs
+        .first()
+        .ok_or_else(|| AssessError::Statement("no feasible strategy for this statement".into()))?;
     Ok(match best.strategy.as_str() {
         "NP" => Strategy::Naive,
         "JOP" => Strategy::JoinOptimized,
@@ -173,8 +173,7 @@ mod tests {
     fn unit_factors_are_ordered_sanely() {
         // Client-side joins must dominate engine joins, and transfer must be
         // more than free, or the model could never reproduce Section 6.
-        let (memory, engine, transfer) =
-            (MEMORY_JOIN_FACTOR, ENGINE_JOIN_FACTOR, TRANSFER_FACTOR);
+        let (memory, engine, transfer) = (MEMORY_JOIN_FACTOR, ENGINE_JOIN_FACTOR, TRANSFER_FACTOR);
         assert!(memory > engine);
         assert!(transfer > 1.0);
     }

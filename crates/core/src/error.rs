@@ -4,6 +4,7 @@ use std::fmt;
 
 /// Errors raised while resolving, planning or executing an assess statement.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum AssessError {
     /// Underlying model error.
     Model(olap_model::ModelError),
@@ -27,6 +28,13 @@ pub enum AssessError {
     /// The chosen execution strategy cannot run this statement (e.g. JOP on
     /// a constant benchmark — Section 5.2).
     InfeasibleStrategy { strategy: &'static str, reason: String },
+    /// A resource budget of the execution's
+    /// [`ExecutionPolicy`](crate::policy::ExecutionPolicy) was exhausted.
+    /// `limit`/`used` are in the resource's own unit (milliseconds for wall
+    /// clock, counts otherwise).
+    BudgetExceeded { resource: olap_engine::ResourceKind, limit: u64, used: u64 },
+    /// Execution was cancelled cooperatively.
+    Cancelled,
     /// Any other statement-level inconsistency.
     Statement(String),
 }
@@ -51,6 +59,10 @@ impl fmt::Display for AssessError {
             AssessError::InfeasibleStrategy { strategy, reason } => {
                 write!(f, "strategy {strategy} is not feasible: {reason}")
             }
+            AssessError::BudgetExceeded { resource, limit, used } => {
+                write!(f, "budget exceeded: {used} {resource} used, limit is {limit}")
+            }
+            AssessError::Cancelled => write!(f, "execution cancelled"),
             AssessError::Statement(msg) => write!(f, "invalid assess statement: {msg}"),
         }
     }
@@ -74,6 +86,15 @@ impl From<olap_model::ModelError> for AssessError {
 
 impl From<olap_engine::EngineError> for AssessError {
     fn from(e: olap_engine::EngineError) -> Self {
-        AssessError::Engine(e)
+        // Governance outcomes surface as first-class assess errors so the
+        // fallback ladder and callers can match on them without digging
+        // through the engine layer.
+        match e {
+            olap_engine::EngineError::BudgetExceeded { resource, limit, used } => {
+                AssessError::BudgetExceeded { resource, limit, used }
+            }
+            olap_engine::EngineError::Cancelled => AssessError::Cancelled,
+            other => AssessError::Engine(other),
+        }
     }
 }

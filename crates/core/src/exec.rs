@@ -1,15 +1,20 @@
-//! Plan execution with the per-stage timing breakdown of Figure 4.
+//! Plan execution with the per-stage timing breakdown of Figure 4, plus
+//! the resilience machinery: every execution runs under the runner's
+//! [`ExecutionPolicy`], and [`AssessRunner::run_auto`] degrades through a
+//! strategy-fallback ladder (POP → JOP → NP) when an attempt fails.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use olap_engine::Engine;
+use olap_engine::{Engine, ResourceGovernor};
 use olap_model::DerivedCube;
 
 use crate::ast::AssessStatement;
 use crate::error::AssessError;
 use crate::logical::LogicalOp;
-use crate::memops;
+use crate::memops::{self, OpGuard};
 use crate::plan::{self, PhysicalPlan, Strategy};
+use crate::policy::ExecutionPolicy;
 use crate::result::AssessedCube;
 use crate::semantics::ResolvedAssess;
 
@@ -59,6 +64,16 @@ impl StageTimings {
     }
 }
 
+/// One attempt of the strategy-fallback ladder: which strategy ran, for
+/// how long, and (when it failed) why.
+#[derive(Debug, Clone)]
+pub struct AttemptRecord {
+    pub strategy: Strategy,
+    pub elapsed: Duration,
+    /// `None` for the successful attempt, the failure otherwise.
+    pub error: Option<AssessError>,
+}
+
 /// Everything an execution reports besides the assessed cube.
 #[derive(Debug, Clone)]
 pub struct ExecutionReport {
@@ -70,15 +85,22 @@ pub struct ExecutionReport {
     pub used_views: Vec<String>,
     /// Total rows scanned from fact tables / views.
     pub rows_scanned: usize,
+    /// The full fallback chain that led to this result, in attempt order.
+    /// The last record is the attempt that produced the cube; earlier ones
+    /// are failed attempts the ladder recovered from.
+    pub attempts: Vec<AttemptRecord>,
 }
 
 /// Executes assess statements against an [`Engine`].
 pub struct AssessRunner {
     engine: Engine,
+    policy: ExecutionPolicy,
 }
 
 struct ExecState<'a> {
     engine: &'a Engine,
+    /// Governor of the attempt's engine, for client-side (memops) work.
+    governor: Option<Arc<ResourceGovernor>>,
     timings: StageTimings,
     used_views: Vec<String>,
     rows_scanned: usize,
@@ -86,13 +108,45 @@ struct ExecState<'a> {
     fuse: bool,
 }
 
+impl ExecState<'_> {
+    /// Cooperative cancellation / deadline check at operator boundaries.
+    fn check(&self) -> Result<(), AssessError> {
+        match &self.governor {
+            Some(g) => g.check().map_err(AssessError::from),
+            None => Ok(()),
+        }
+    }
+
+    /// Guard handed to client-side operators for in-loop checks.
+    fn guard(&self) -> OpGuard<'_> {
+        match &self.governor {
+            Some(g) => OpGuard::governed(g),
+            None => OpGuard::none(),
+        }
+    }
+}
+
+/// The degradation ladder of Section 5.2, most- to least-pushed-down.
+/// `run_auto` walks it downward from the cost-chosen strategy.
+const LADDER: [Strategy; 3] = [Strategy::PivotOptimized, Strategy::JoinOptimized, Strategy::Naive];
+
 impl AssessRunner {
     pub fn new(engine: Engine) -> Self {
-        AssessRunner { engine }
+        AssessRunner { engine, policy: ExecutionPolicy::default() }
+    }
+
+    /// Replaces the runner's execution policy (resource limits, fallback).
+    pub fn with_policy(mut self, policy: ExecutionPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     pub fn engine(&self) -> &Engine {
         &self.engine
+    }
+
+    pub fn policy(&self) -> &ExecutionPolicy {
+        &self.policy
     }
 
     /// Resolves a statement against the engine's catalog.
@@ -112,55 +166,127 @@ impl AssessRunner {
 
     /// Resolves a statement and executes it under the strategy the
     /// cost-based chooser picks (the "just run it" entry point).
+    ///
+    /// If the chosen attempt fails and the policy allows fallback, the
+    /// runner retries each cheaper feasible strategy down the POP → JOP →
+    /// NP ladder. All attempts share one absolute deadline; the ladder
+    /// stops early on cancellation or deadline expiry (retrying cannot
+    /// help there). The successful report carries the whole attempt chain.
     pub fn run_auto(
         &self,
         statement: &AssessStatement,
     ) -> Result<(AssessedCube, ExecutionReport), AssessError> {
         let resolved = self.resolve(statement)?;
-        let strategy = crate::cost::choose(&resolved, &self.engine)?;
-        self.execute(&resolved, strategy)
+        let chosen = crate::cost::choose(&resolved, &self.engine)?;
+        let deadline_at = self.policy.deadline_at();
+        let mut order = vec![chosen];
+        if self.policy.fallback {
+            let from = LADDER.iter().position(|&s| s == chosen).map_or(0, |i| i + 1);
+            order.extend(
+                LADDER[from..].iter().copied().filter(|s| s.feasible_for(&resolved.benchmark)),
+            );
+        }
+        let mut attempts: Vec<AttemptRecord> = Vec::new();
+        let mut last_err: Option<AssessError> = None;
+        for strategy in order {
+            let t = Instant::now();
+            match self.attempt(&resolved, strategy, deadline_at) {
+                Ok((cube, mut report)) => {
+                    attempts.push(AttemptRecord { strategy, elapsed: t.elapsed(), error: None });
+                    report.attempts = attempts;
+                    return Ok((cube, report));
+                }
+                Err(err) => {
+                    let fatal = matches!(err, AssessError::Cancelled)
+                        || deadline_at.is_some_and(|at| Instant::now() >= at);
+                    attempts.push(AttemptRecord {
+                        strategy,
+                        elapsed: t.elapsed(),
+                        error: Some(err.clone()),
+                    });
+                    last_err = Some(err);
+                    if fatal {
+                        break;
+                    }
+                }
+            }
+        }
+        Err(last_err.expect("ladder ran at least one attempt"))
     }
 
-    /// Plans and executes a resolved statement under a strategy.
+    /// Plans and executes a resolved statement under a strategy (a single
+    /// attempt — no fallback — but still under the policy's limits).
     pub fn execute(
         &self,
         resolved: &ResolvedAssess,
         strategy: Strategy,
     ) -> Result<(AssessedCube, ExecutionReport), AssessError> {
-        let physical = plan::plan(resolved, strategy)?;
-        self.execute_plan(resolved, &physical)
+        let t = Instant::now();
+        let (cube, mut report) = self.attempt(resolved, strategy, self.policy.deadline_at())?;
+        report.attempts.push(AttemptRecord { strategy, elapsed: t.elapsed(), error: None });
+        Ok((cube, report))
     }
 
-    /// Executes an already-built physical plan.
+    /// One governed attempt: plans, compiles the policy into a fresh
+    /// per-attempt governor sharing the ladder's absolute deadline, and
+    /// executes on an engine clone carrying that governor.
+    fn attempt(
+        &self,
+        resolved: &ResolvedAssess,
+        strategy: Strategy,
+        deadline_at: Option<Instant>,
+    ) -> Result<(AssessedCube, ExecutionReport), AssessError> {
+        let physical = plan::plan(resolved, strategy)?;
+        if self.policy.is_unlimited() {
+            return execute_plan_on(&self.engine, resolved, &physical);
+        }
+        let governor = self.policy.governor(deadline_at);
+        let engine = self.engine.clone().with_governor(governor);
+        execute_plan_on(&engine, resolved, &physical)
+    }
+
+    /// Executes an already-built physical plan on the runner's engine.
     pub fn execute_plan(
         &self,
         resolved: &ResolvedAssess,
         physical: &PhysicalPlan,
     ) -> Result<(AssessedCube, ExecutionReport), AssessError> {
-        let mut state = ExecState {
-            engine: &self.engine,
-            timings: StageTimings::default(),
-            used_views: Vec::new(),
-            rows_scanned: 0,
-            fuse: physical.strategy != Strategy::Naive,
-        };
-        let mut cube = eval(&physical.root, &mut state)?;
-        // `assess` (non-starred) returns only target cells with a benchmark
-        // match; `assess*` keeps the rest with nulls (Section 4.1).
-        if !resolved.starred {
-            let t = Instant::now();
-            cube = memops::drop_null_rows(&cube, &resolved.benchmark_column())?;
-            state.timings.join += t.elapsed();
-        }
-        let report = ExecutionReport {
-            strategy: physical.strategy,
-            timings: state.timings,
-            plan: physical.root.to_string(),
-            used_views: state.used_views,
-            rows_scanned: state.rows_scanned,
-        };
-        Ok((AssessedCube::new(cube, resolved), report))
+        execute_plan_on(&self.engine, resolved, physical)
     }
+}
+
+/// Executes a physical plan on `engine`, picking up whatever governor the
+/// engine carries for client-side (memops) work too.
+fn execute_plan_on(
+    engine: &Engine,
+    resolved: &ResolvedAssess,
+    physical: &PhysicalPlan,
+) -> Result<(AssessedCube, ExecutionReport), AssessError> {
+    let mut state = ExecState {
+        engine,
+        governor: engine.governor().cloned(),
+        timings: StageTimings::default(),
+        used_views: Vec::new(),
+        rows_scanned: 0,
+        fuse: physical.strategy != Strategy::Naive,
+    };
+    let mut cube = eval(&physical.root, &mut state)?;
+    // `assess` (non-starred) returns only target cells with a benchmark
+    // match; `assess*` keeps the rest with nulls (Section 4.1).
+    if !resolved.starred {
+        let t = Instant::now();
+        cube = memops::drop_null_rows(&cube, &resolved.benchmark_column(), state.guard())?;
+        state.timings.join += t.elapsed();
+    }
+    let report = ExecutionReport {
+        strategy: physical.strategy,
+        timings: state.timings,
+        plan: physical.root.to_string(),
+        used_views: state.used_views,
+        rows_scanned: state.rows_scanned,
+        attempts: Vec::new(),
+    };
+    Ok((AssessedCube::new(cube, resolved), report))
 }
 
 fn absorb(state: &mut ExecState<'_>, outcome: olap_engine::GetOutcome) -> DerivedCube {
@@ -174,6 +300,10 @@ fn absorb(state: &mut ExecState<'_>, outcome: olap_engine::GetOutcome) -> Derive
 }
 
 fn eval(op: &LogicalOp, state: &mut ExecState<'_>) -> Result<DerivedCube, AssessError> {
+    // Cooperative cancellation: every operator boundary re-checks the
+    // governor, so a cancel or deadline expiry surfaces between operators
+    // even when each individual operator is fast.
+    state.check()?;
     match op {
         LogicalOp::Get { query, alias } => {
             let t = Instant::now();
@@ -201,7 +331,7 @@ fn eval(op: &LogicalOp, state: &mut ExecState<'_>) -> Result<DerivedCube, Assess
             let l = eval(left, state)?;
             let r = eval(right, state)?;
             let t = Instant::now();
-            let joined = memops::natural_join(&l, &r, *kind, measure, rename)?;
+            let joined = memops::natural_join(&l, &r, *kind, measure, rename, state.guard())?;
             state.timings.join += t.elapsed();
             Ok(joined)
         }
@@ -250,6 +380,7 @@ fn eval(op: &LogicalOp, state: &mut ExecState<'_>) -> Result<DerivedCube, Assess
                 measure,
                 rename,
                 *kind,
+                state.guard(),
             )?;
             state.timings.join += t.elapsed();
             Ok(joined)
@@ -260,9 +391,9 @@ fn eval(op: &LogicalOp, state: &mut ExecState<'_>) -> Result<DerivedCube, Assess
                     (left.as_ref(), right.as_ref())
                 {
                     let t = Instant::now();
-                    let outcome = state.engine.get_join_sliced(
-                        lq, rq, *hierarchy, members, measure, names, *kind,
-                    )?;
+                    let outcome = state
+                        .engine
+                        .get_join_sliced(lq, rq, *hierarchy, members, measure, names, *kind)?;
                     state.timings.get_cb += t.elapsed();
                     return Ok(absorb(state, outcome));
                 }
@@ -273,8 +404,16 @@ fn eval(op: &LogicalOp, state: &mut ExecState<'_>) -> Result<DerivedCube, Assess
                 AssessError::Statement("sliced level is not in the group-by set".into())
             })?;
             let t = Instant::now();
-            let joined =
-                memops::sliced_join(&l, &r, component, members, measure, names, *kind)?;
+            let joined = memops::sliced_join(
+                &l,
+                &r,
+                component,
+                members,
+                measure,
+                names,
+                *kind,
+                state.guard(),
+            )?;
             state.timings.join += t.elapsed();
             Ok(joined)
         }
@@ -282,9 +421,9 @@ fn eval(op: &LogicalOp, state: &mut ExecState<'_>) -> Result<DerivedCube, Assess
             if state.fuse {
                 if let LogicalOp::Get { query, .. } = input.as_ref() {
                     let t = Instant::now();
-                    let outcome = state.engine.get_pivot(
-                        query, *hierarchy, *reference, neighbors, measure, names,
-                    )?;
+                    let outcome = state
+                        .engine
+                        .get_pivot(query, *hierarchy, *reference, neighbors, measure, names)?;
                     state.timings.get_cb += t.elapsed();
                     return Ok(absorb(state, outcome));
                 }
@@ -297,8 +436,15 @@ fn eval(op: &LogicalOp, state: &mut ExecState<'_>) -> Result<DerivedCube, Assess
             // (Section 6.2: "the cost for the pivot operation is counted as
             // transformation").
             let t = Instant::now();
-            let pivoted =
-                memops::pivot(&cube, component, *reference, neighbors, measure, names)?;
+            let pivoted = memops::pivot(
+                &cube,
+                component,
+                *reference,
+                neighbors,
+                measure,
+                names,
+                state.guard(),
+            )?;
             state.timings.transform += t.elapsed();
             Ok(pivoted)
         }

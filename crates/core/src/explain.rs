@@ -22,7 +22,8 @@ pub fn explain(runner: &AssessRunner, resolved: &ResolvedAssess) -> Result<Strin
         match &resolved.labeling {
             crate::labeling::ResolvedLabeling::Ranges(r) => format!("{} range(s)", r.len()),
             crate::labeling::ResolvedLabeling::Quantiles { k, .. } => format!("{k} quantiles"),
-            crate::labeling::ResolvedLabeling::EquiWidth { k, .. } => format!("{k} equi-width bins"),
+            crate::labeling::ResolvedLabeling::EquiWidth { k, .. } =>
+                format!("{k} equi-width bins"),
             crate::labeling::ResolvedLabeling::ZScoreRound { clamp } =>
                 format!("rounded z-score (±{clamp})"),
         }

@@ -212,10 +212,10 @@ fn min_max(values: &[f64]) -> Option<(f64, f64)> {
 /// Ascending 1-based ranks with ties receiving their average rank (the
 /// Pandas `rank` default).
 fn average_ranks(values: &[Option<f64>]) -> Vec<Option<f64>> {
-    let mut order: Vec<usize> =
-        (0..values.len()).filter(|&i| values[i].is_some()).collect();
+    let mut order: Vec<usize> = (0..values.len()).filter(|&i| values[i].is_some()).collect();
     order.sort_by(|&a, &b| {
-        values[a].unwrap().partial_cmp(&values[b].unwrap()).unwrap_or(std::cmp::Ordering::Equal)
+        // All indices hold Some; Option's ordering compares the values.
+        values[a].partial_cmp(&values[b]).unwrap_or(std::cmp::Ordering::Equal)
     });
     let mut ranks = vec![None; values.len()];
     let mut i = 0;
@@ -241,7 +241,10 @@ pub enum ColRef {
     Literal(f64),
     /// A descriptive property of a level, resolved against each cell's
     /// coordinate at transform time.
-    Property { level: String, name: String },
+    Property {
+        level: String,
+        name: String,
+    },
 }
 
 /// One step of the compiled `using` chain: apply `function` to `inputs`,
@@ -299,17 +302,13 @@ fn compile_expr(
             Ok(ColRef::Property { level: level.clone(), name: name.clone() })
         }
         FuncExpr::Call { name, args } => {
-            let function = Function::lookup(name)
-                .ok_or_else(|| AssessError::UnknownFunction(name.clone()))?;
+            let function =
+                Function::lookup(name).ok_or_else(|| AssessError::UnknownFunction(name.clone()))?;
             let (min, max) = function.arity();
             if args.len() < min || args.len() > max {
                 return Err(AssessError::Arity {
                     function: function.name().to_string(),
-                    expected: if min == max {
-                        min.to_string()
-                    } else {
-                        format!("{min}..{max}")
-                    },
+                    expected: if min == max { min.to_string() } else { format!("{min}..{max}") },
                     got: args.len(),
                 });
             }
@@ -474,16 +473,10 @@ mod tests {
     #[test]
     fn compile_rejects_unknown_and_bad_arity() {
         let unknown = FuncExpr::call("frobnicate", vec![FuncExpr::number(1.0)]);
-        assert!(matches!(
-            compile_using(&unknown, "m"),
-            Err(AssessError::UnknownFunction(_))
-        ));
+        assert!(matches!(compile_using(&unknown, "m"), Err(AssessError::UnknownFunction(_))));
         let bad = FuncExpr::call("difference", vec![FuncExpr::number(1.0)]);
         assert!(matches!(compile_using(&bad, "m"), Err(AssessError::Arity { .. })));
-        let bad2 = FuncExpr::call(
-            "minMaxNorm",
-            vec![FuncExpr::number(1.0), FuncExpr::number(2.0)],
-        );
+        let bad2 = FuncExpr::call("minMaxNorm", vec![FuncExpr::number(1.0), FuncExpr::number(2.0)]);
         assert!(matches!(compile_using(&bad2, "m"), Err(AssessError::Arity { .. })));
     }
 }

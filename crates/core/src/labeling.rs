@@ -128,31 +128,22 @@ pub fn apply(labeling: &ResolvedLabeling, values: &[Option<f64>]) -> Vec<Option<
     match labeling {
         ResolvedLabeling::Ranges(rules) => values
             .iter()
-            .map(|v| {
-                v.and_then(|x| {
-                    rules.iter().find(|r| r.contains(x)).map(|r| r.label.clone())
-                })
-            })
+            .map(|v| v.and_then(|x| rules.iter().find(|r| r.contains(x)).map(|r| r.label.clone())))
             .collect(),
         ResolvedLabeling::Quantiles { k, labels } => {
             let mut order: Vec<usize> =
                 (0..values.len()).filter(|&i| values[i].is_some()).collect();
             order.sort_by(|&a, &b| {
-                values[a]
-                    .unwrap()
-                    .partial_cmp(&values[b].unwrap())
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                // All indices hold Some; Option's ordering compares them.
+                values[a].partial_cmp(&values[b]).unwrap_or(std::cmp::Ordering::Equal)
             });
             let n = order.len();
             let mut out = vec![None; values.len()];
             for (pos, &idx) in order.iter().enumerate() {
                 // pos 0 is the smallest value → last group (`top-k`); the
                 // largest value always lands in `top-1`.
-                let group_from_bottom = if n <= 1 {
-                    k - 1
-                } else {
-                    (pos * *k / (n - 1)).min(k - 1)
-                };
+                let group_from_bottom =
+                    if n <= 1 { k - 1 } else { (pos * *k / (n - 1)).min(k - 1) };
                 let top_index = k - 1 - group_from_bottom;
                 out[idx] = Some(labels[top_index].clone());
             }
@@ -165,8 +156,7 @@ pub fn apply(labeling: &ResolvedLabeling, values: &[Option<f64>]) -> Vec<Option<
             }
             let n = valid.len() as f64;
             let mean = valid.iter().sum::<f64>() / n;
-            let sd =
-                (valid.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n).sqrt();
+            let sd = (valid.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n).sqrt();
             values
                 .iter()
                 .map(|v| {
@@ -184,7 +174,10 @@ pub fn apply(labeling: &ResolvedLabeling, values: &[Option<f64>]) -> Vec<Option<
         }
         ResolvedLabeling::EquiWidth { k, labels } => {
             let valid: Vec<f64> = values.iter().flatten().copied().collect();
-            let (min, max) = match (valid.iter().cloned().reduce(f64::min), valid.iter().cloned().reduce(f64::max)) {
+            let (min, max) = match (
+                valid.iter().cloned().reduce(f64::min),
+                valid.iter().cloned().reduce(f64::max),
+            ) {
                 (Some(min), Some(max)) => (min, max),
                 _ => return vec![None; values.len()],
             };
@@ -313,7 +306,10 @@ mod tests {
     fn five_stars_is_equi_width() {
         let labeling = resolve(&LabelingSpec::Named("5stars".into())).unwrap();
         let out = apply(&labeling, &[Some(0.0), Some(0.5), Some(1.0)]);
-        assert_eq!(out, vec![Some("*".to_string()), Some("***".to_string()), Some("*****".to_string())]);
+        assert_eq!(
+            out,
+            vec![Some("*".to_string()), Some("***".to_string()), Some("*****".to_string())]
+        );
         // All-equal values land in the first bin rather than erroring.
         let flat = apply(&labeling, &[Some(2.0), Some(2.0)]);
         assert_eq!(flat, vec![Some("*".to_string()), Some("*".to_string())]);
@@ -323,10 +319,8 @@ mod tests {
     fn zscore_round_labels_by_standardized_distance() {
         let labeling = resolve(&LabelingSpec::Named("zscore".into())).unwrap();
         // Mean 0, values at ±1σ and a far outlier clamped to ±2.
-        let out = apply(
-            &labeling,
-            &[Some(-10.0), Some(-1.0), Some(0.0), Some(1.0), Some(10.0), None],
-        );
+        let out =
+            apply(&labeling, &[Some(-10.0), Some(-1.0), Some(0.0), Some(1.0), Some(10.0), None]);
         assert_eq!(out[2], Some("z+0".to_string()));
         assert_eq!(out[0], Some("z-2".to_string())); // clamped
         assert_eq!(out[4], Some("z+2".to_string()));

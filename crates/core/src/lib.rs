@@ -1,3 +1,7 @@
+// Robustness gate: production code in this crate must handle its
+// errors — `unwrap` is reserved for tests (CI runs clippy with -D warnings).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 //! # assess-core
 //!
 //! The **assess operator** of *"Assess Queries for Interactive Analysis of
@@ -34,7 +38,10 @@
 //!   join/pivot/transform used by plans that do not push an operator to the
 //!   engine;
 //! * [`exec`] — plan execution with the per-stage timing breakdown of the
-//!   paper's Figure 4;
+//!   paper's Figure 4, plus the strategy-fallback ladder of
+//!   [`exec::AssessRunner::run_auto`];
+//! * [`policy`] — resource limits (wall clock, rows scanned, output cells)
+//!   compiled into an engine-level governor per execution;
 //! * [`codegen`] — SQL + Python-equivalent code emission for the
 //!   formulation-effort experiment (Table 1);
 //! * [`cost`] — the cost-based strategy chooser (a future-work extension);
@@ -52,14 +59,18 @@ pub mod labeling;
 pub mod logical;
 pub mod memops;
 pub mod plan;
+pub mod policy;
 pub mod result;
 pub mod rewrite;
 pub mod semantics;
 pub mod suggest;
 
-pub use ast::{AssessStatement, BenchmarkSpec, Bound, FuncExpr, LabelingSpec, PredicateSpec, RangeRule};
+pub use ast::{
+    AssessStatement, BenchmarkSpec, Bound, FuncExpr, LabelingSpec, PredicateSpec, RangeRule,
+};
 pub use error::AssessError;
-pub use exec::{AssessRunner, StageTimings};
+pub use exec::{AssessRunner, AttemptRecord, ExecutionReport, StageTimings};
 pub use plan::Strategy;
+pub use policy::ExecutionPolicy;
 pub use result::AssessedCube;
 pub use semantics::{ResolvedAssess, SchemaProvider};

@@ -127,10 +127,18 @@ impl LogicalOp {
                 format!("⋈ roll-up ({kind:?}) appending {rename}")
             }
             LogicalOp::SlicedJoin { kind, members, names, .. } => {
-                format!("⋈ partial ({kind:?}) over {} slice(s) → {}", members.len(), names.join(", "))
+                format!(
+                    "⋈ partial ({kind:?}) over {} slice(s) → {}",
+                    members.len(),
+                    names.join(", ")
+                )
             }
             LogicalOp::Pivot { neighbors, names, .. } => {
-                format!("⊞ pivot keeping reference, {} neighbor(s) → {}", neighbors.len(), names.join(", "))
+                format!(
+                    "⊞ pivot keeping reference, {} neighbor(s) → {}",
+                    neighbors.len(),
+                    names.join(", ")
+                )
             }
             LogicalOp::Transform { step, .. } => {
                 let symbol = if step.function.is_holistic() { "⊡" } else { "⊟" };
@@ -196,10 +204,7 @@ mod tests {
                 }),
                 step: TransformStep {
                     function: Function::Difference,
-                    inputs: vec![
-                        ColRef::Column("m".into()),
-                        ColRef::Column("benchmark.m".into()),
-                    ],
+                    inputs: vec![ColRef::Column("m".into()), ColRef::Column("benchmark.m".into())],
                     output: "delta".into(),
                 },
             }),

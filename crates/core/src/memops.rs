@@ -9,15 +9,55 @@
 
 use std::collections::HashMap;
 
-use olap_engine::JoinKind;
-use olap_model::{
-    Coordinate, CubeColumn, DerivedCube, LabelColumn, MemberId, NumericColumn,
-};
+use olap_engine::governor::CHECK_INTERVAL;
+use olap_engine::{JoinKind, ResourceGovernor};
+use olap_model::{Coordinate, CubeColumn, DerivedCube, LabelColumn, MemberId, NumericColumn};
 use olap_timeseries::{Forecaster, Predictor};
 
 use crate::error::AssessError;
 use crate::functions::{ColRef, TransformStep};
 use crate::labeling::{self, ResolvedLabeling};
+
+/// Cooperative resource guard for the client-side operators.
+///
+/// The heavy memops take a guard so that a governed execution keeps its
+/// deadline/cancellation checks and output-cell accounting even in the
+/// stages that never call the engine (the paper's "in main memory" layer).
+/// [`OpGuard::none`] makes every check a no-op for standalone use.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpGuard<'a> {
+    governor: Option<&'a ResourceGovernor>,
+}
+
+impl<'a> OpGuard<'a> {
+    /// A guard that never trips — for ungoverned (standalone) use.
+    pub fn none() -> Self {
+        OpGuard { governor: None }
+    }
+
+    /// A guard enforcing `governor`'s deadline, cancellation and
+    /// output-cell budget.
+    pub fn governed(governor: &'a ResourceGovernor) -> Self {
+        OpGuard { governor: Some(governor) }
+    }
+
+    /// Cooperative check inside row loops, cheap enough to call per row:
+    /// it only consults the governor every [`CHECK_INTERVAL`] rows.
+    fn tick(&self, row: usize) -> Result<(), AssessError> {
+        match self.governor {
+            Some(g) if row.is_multiple_of(CHECK_INTERVAL) => g.check().map_err(AssessError::from),
+            _ => Ok(()),
+        }
+    }
+
+    /// Charges materialized result cells against the output budget.
+    fn charge_cells(&self, cells: usize) -> Result<(), AssessError> {
+        match self.governor {
+            Some(g) => g.charge_output_cells(cells as u64).map_err(AssessError::from),
+            None => Ok(()),
+        }
+    }
+}
 
 /// Reads a numeric column as nullable values.
 fn column_values(cube: &DerivedCube, name: &str) -> Result<Vec<Option<f64>>, AssessError> {
@@ -78,11 +118,8 @@ fn check_joinable(left: &DerivedCube, right: &DerivedCube) -> Result<(), AssessE
 /// Keeps the rows of `cube` flagged in `keep`, preserving column order.
 pub fn filter_rows(cube: &DerivedCube, keep: &[bool]) -> DerivedCube {
     let rows: Vec<usize> = (0..cube.len()).filter(|&r| keep[r]).collect();
-    let coord_cols: Vec<Vec<MemberId>> = cube
-        .coord_cols()
-        .iter()
-        .map(|col| rows.iter().map(|&r| col[r]).collect())
-        .collect();
+    let coord_cols: Vec<Vec<MemberId>> =
+        cube.coord_cols().iter().map(|col| rows.iter().map(|&r| col[r]).collect()).collect();
     let columns: Vec<CubeColumn> = cube
         .columns()
         .iter()
@@ -106,7 +143,12 @@ pub fn filter_rows(cube: &DerivedCube, keep: &[bool]) -> DerivedCube {
 
 /// Drops the rows whose `column` is null (the `assess` inner semantics
 /// applied after the benchmark measure is computed).
-pub fn drop_null_rows(cube: &DerivedCube, column: &str) -> Result<DerivedCube, AssessError> {
+pub fn drop_null_rows(
+    cube: &DerivedCube,
+    column: &str,
+    guard: OpGuard<'_>,
+) -> Result<DerivedCube, AssessError> {
+    guard.tick(0)?;
     let col = cube.require_numeric(column)?;
     let keep: Vec<bool> = (0..cube.len()).map(|r| col.get(r).is_some()).collect();
     Ok(filter_rows(cube, &keep))
@@ -120,18 +162,24 @@ pub fn natural_join(
     kind: JoinKind,
     measure: &str,
     rename: &str,
+    guard: OpGuard<'_>,
 ) -> Result<DerivedCube, AssessError> {
     check_joinable(left, right)?;
     let rcol = right.require_numeric(measure)?;
     let index: HashMap<Coordinate, u32> = right.build_index();
-    let matches: Vec<Option<f64>> = (0..left.len())
-        .map(|row| index.get(&left.coordinate(row)).and_then(|&r| rcol.get(r as usize)))
-        .collect();
-    attach_and_filter(left, vec![(rename.to_string(), matches)], kind)
+    let mut matches: Vec<Option<f64>> = Vec::with_capacity(left.len());
+    for row in 0..left.len() {
+        guard.tick(row)?;
+        matches.push(index.get(&left.coordinate(row)).and_then(|&r| rcol.get(r as usize)));
+    }
+    let out = attach_and_filter(left, vec![(rename.to_string(), matches)], kind)?;
+    guard.charge_cells(out.len())?;
+    Ok(out)
 }
 
 /// Partial join `C ⋈_{G\l} B`: for each slice member, appends its value of
 /// `measure` under the corresponding name.
+#[allow(clippy::too_many_arguments)]
 pub fn sliced_join(
     left: &DerivedCube,
     right: &DerivedCube,
@@ -140,6 +188,7 @@ pub fn sliced_join(
     measure: &str,
     names: &[String],
     kind: JoinKind,
+    guard: OpGuard<'_>,
 ) -> Result<DerivedCube, AssessError> {
     check_joinable(left, right)?;
     if members.len() != names.len() {
@@ -154,13 +203,16 @@ pub fn sliced_join(
     let mut new_cols: Vec<(String, Vec<Option<f64>>)> =
         names.iter().map(|n| (n.clone(), Vec::with_capacity(left.len()))).collect();
     for row in 0..left.len() {
+        guard.tick(row)?;
         let coord = left.coordinate(row);
         for (j, &member) in members.iter().enumerate() {
             let key = coord.with_component(component, member);
             new_cols[j].1.push(index.get(&key).and_then(|&r| rcol.get(r as usize)));
         }
     }
-    attach_and_filter(left, new_cols, kind)
+    let out = attach_and_filter(left, new_cols, kind)?;
+    guard.charge_cells(out.len())?;
+    Ok(out)
 }
 
 /// Roll-up join (ancestor benchmarks): pairs each left cell with the right
@@ -178,6 +230,7 @@ pub fn rollup_join(
     measure: &str,
     rename: &str,
     kind: JoinKind,
+    guard: OpGuard<'_>,
 ) -> Result<DerivedCube, AssessError> {
     // Not coordinate-equal joinable: the group-by sets differ exactly on the
     // rolled hierarchy.
@@ -188,15 +241,17 @@ pub fn rollup_join(
         .hierarchy(hierarchy)
         .ok_or_else(|| AssessError::Statement("roll-up hierarchy out of range".into()))?;
     let rollmap = h.composed_map(fine_level, coarse_level)?;
-    let matches: Vec<Option<f64>> = (0..left.len())
-        .map(|row| {
-            let mut coord = left.coordinate(row);
-            let fine_member = coord.members()[component];
-            coord = coord.with_component(component, rollmap[fine_member.index()]);
-            index.get(&coord).and_then(|&r| rcol.get(r as usize))
-        })
-        .collect();
-    attach_and_filter(left, vec![(rename.to_string(), matches)], kind)
+    let mut matches: Vec<Option<f64>> = Vec::with_capacity(left.len());
+    for row in 0..left.len() {
+        guard.tick(row)?;
+        let mut coord = left.coordinate(row);
+        let fine_member = coord.members()[component];
+        coord = coord.with_component(component, rollmap[fine_member.index()]);
+        matches.push(index.get(&coord).and_then(|&r| rcol.get(r as usize)));
+    }
+    let out = attach_and_filter(left, vec![(rename.to_string(), matches)], kind)?;
+    guard.charge_cells(out.len())?;
+    Ok(out)
 }
 
 /// Pivot `⊞`: keeps the `reference` slice of coordinate component
@@ -208,6 +263,7 @@ pub fn pivot(
     neighbors: &[MemberId],
     measure: &str,
     names: &[String],
+    guard: OpGuard<'_>,
 ) -> Result<DerivedCube, AssessError> {
     if neighbors.len() != names.len() {
         return Err(AssessError::Statement(format!(
@@ -218,20 +274,22 @@ pub fn pivot(
     }
     let mcol = input.require_numeric(measure)?;
     let index: HashMap<Coordinate, u32> = input.build_index();
-    let keep: Vec<bool> = (0..input.len())
-        .map(|row| input.coord_cols()[component][row] == reference)
-        .collect();
+    let keep: Vec<bool> =
+        (0..input.len()).map(|row| input.coord_cols()[component][row] == reference).collect();
     let reference_rows = filter_rows(input, &keep);
     let mut new_cols: Vec<(String, Vec<Option<f64>>)> =
         names.iter().map(|n| (n.clone(), Vec::with_capacity(reference_rows.len()))).collect();
     for row in 0..reference_rows.len() {
+        guard.tick(row)?;
         let coord = reference_rows.coordinate(row);
         for (j, &nb) in neighbors.iter().enumerate() {
             let key = coord.with_component(component, nb);
             new_cols[j].1.push(index.get(&key).and_then(|&r| mcol.get(r as usize)));
         }
     }
-    attach_and_filter(&reference_rows, new_cols, JoinKind::LeftOuter)
+    let out = attach_and_filter(&reference_rows, new_cols, JoinKind::LeftOuter)?;
+    guard.charge_cells(out.len())?;
+    Ok(out)
 }
 
 /// Appends nullable columns to a copy of `left`; under [`JoinKind::Inner`],
@@ -242,9 +300,8 @@ fn attach_and_filter(
     kind: JoinKind,
 ) -> Result<DerivedCube, AssessError> {
     let mut cube = left.clone();
-    let keep: Vec<bool> = (0..left.len())
-        .map(|row| new_cols.iter().any(|(_, vals)| vals[row].is_some()))
-        .collect();
+    let keep: Vec<bool> =
+        (0..left.len()).map(|row| new_cols.iter().any(|(_, vals)| vals[row].is_some())).collect();
     for (name, vals) in new_cols {
         cube.add_column(CubeColumn::Numeric(NumericColumn::nullable(name, vals)))?;
     }
@@ -256,11 +313,8 @@ fn attach_and_filter(
 
 /// Applies one `⊟`/`⊡` transform step, appending its output column.
 pub fn apply_transform(cube: &mut DerivedCube, step: &TransformStep) -> Result<(), AssessError> {
-    let inputs: Vec<Vec<Option<f64>>> = step
-        .inputs
-        .iter()
-        .map(|i| input_values(cube, i))
-        .collect::<Result<_, _>>()?;
+    let inputs: Vec<Vec<Option<f64>>> =
+        step.inputs.iter().map(|i| input_values(cube, i)).collect::<Result<_, _>>()?;
     let out: Vec<Option<f64>> = if step.function.is_holistic() {
         let refs: Vec<&[Option<f64>]> = inputs.iter().map(Vec::as_slice).collect();
         step.function.eval_holistic(&refs)
@@ -283,10 +337,8 @@ pub fn apply_regression(
     history: &[String],
     output: &str,
 ) -> Result<(), AssessError> {
-    let cols: Vec<Vec<Option<f64>>> = history
-        .iter()
-        .map(|name| column_values(cube, name))
-        .collect::<Result<_, _>>()?;
+    let cols: Vec<Vec<Option<f64>>> =
+        history.iter().map(|name| column_values(cube, name)).collect::<Result<_, _>>()?;
     let forecaster = Forecaster::new(Predictor::LinearRegression);
     let out: Vec<Option<f64>> = (0..cube.len())
         .map(|row| {
@@ -299,11 +351,7 @@ pub fn apply_regression(
 }
 
 /// Attaches a constant benchmark column.
-pub fn add_const_column(
-    cube: &mut DerivedCube,
-    name: &str,
-    value: f64,
-) -> Result<(), AssessError> {
+pub fn add_const_column(cube: &mut DerivedCube, name: &str, value: f64) -> Result<(), AssessError> {
     let data = vec![value; cube.len()];
     cube.add_column(CubeColumn::Numeric(NumericColumn::dense(name.to_string(), data)))?;
     Ok(())
@@ -382,6 +430,7 @@ mod tests {
             "quantity",
             &["benchmark.quantity".to_string()],
             JoinKind::Inner,
+            OpGuard::none(),
         )
         .unwrap();
         assert_eq!(d.len(), 3);
@@ -451,6 +500,7 @@ mod tests {
             &[MemberId(1)],
             "quantity",
             &["qtyFrance".to_string()],
+            OpGuard::none(),
         )
         .unwrap();
         assert_eq!(pivoted.len(), 3);
@@ -465,9 +515,12 @@ mod tests {
         let s = schema();
         let left = cube(&s, 0, &[(0, 1.0), (1, 2.0), (2, 3.0)]);
         let right = cube(&s, 0, &[(0, 10.0), (2, 30.0)]);
-        let inner = natural_join(&left, &right, JoinKind::Inner, "quantity", "b").unwrap();
+        let inner =
+            natural_join(&left, &right, JoinKind::Inner, "quantity", "b", OpGuard::none()).unwrap();
         assert_eq!(inner.len(), 2);
-        let outer = natural_join(&left, &right, JoinKind::LeftOuter, "quantity", "b").unwrap();
+        let outer =
+            natural_join(&left, &right, JoinKind::LeftOuter, "quantity", "b", OpGuard::none())
+                .unwrap();
         assert_eq!(outer.len(), 3);
         assert_eq!(column_values(&outer, "b").unwrap(), vec![Some(10.0), None, Some(30.0)]);
     }
@@ -484,17 +537,17 @@ mod tests {
             vec![CubeColumn::Numeric(NumericColumn::dense("quantity", vec![1.0]))],
         )
         .unwrap();
-        assert!(natural_join(&left, &right, JoinKind::Inner, "quantity", "b").is_err());
+        assert!(
+            natural_join(&left, &right, JoinKind::Inner, "quantity", "b", OpGuard::none()).is_err()
+        );
     }
 
     #[test]
     fn regression_forecasts_per_row() {
         let s = schema();
         let mut c = cube(&s, 0, &[(0, 30.0), (1, 7.0)]);
-        c.add_column(CubeColumn::Numeric(NumericColumn::dense("past0", vec![10.0, 7.0])))
-            .unwrap();
-        c.add_column(CubeColumn::Numeric(NumericColumn::dense("past1", vec![20.0, 7.0])))
-            .unwrap();
+        c.add_column(CubeColumn::Numeric(NumericColumn::dense("past0", vec![10.0, 7.0]))).unwrap();
+        c.add_column(CubeColumn::Numeric(NumericColumn::dense("past1", vec![20.0, 7.0]))).unwrap();
         apply_regression(
             &mut c,
             &["past0".into(), "past1".into(), "quantity".into()],
@@ -511,16 +564,10 @@ mod tests {
         let s = schema();
         let mut c = cube(&s, 0, &[(0, 1.0), (1, 2.0)]);
         add_const_column(&mut c, "benchmark.quantity", 5.0).unwrap();
-        assert_eq!(
-            column_values(&c, "benchmark.quantity").unwrap(),
-            vec![Some(5.0), Some(5.0)]
-        );
-        c.add_column(CubeColumn::Numeric(NumericColumn::nullable(
-            "maybe",
-            vec![Some(1.0), None],
-        )))
-        .unwrap();
-        let dropped = drop_null_rows(&c, "maybe").unwrap();
+        assert_eq!(column_values(&c, "benchmark.quantity").unwrap(), vec![Some(5.0), Some(5.0)]);
+        c.add_column(CubeColumn::Numeric(NumericColumn::nullable("maybe", vec![Some(1.0), None])))
+            .unwrap();
+        let dropped = drop_null_rows(&c, "maybe", OpGuard::none()).unwrap();
         assert_eq!(dropped.len(), 1);
         assert_eq!(dropped.coordinate(0).members()[0], MemberId(0));
     }

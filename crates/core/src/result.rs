@@ -84,11 +84,7 @@ impl AssessedCube {
             value: self.cube.numeric_column(&self.measure).and_then(|c| c.get(row)),
             benchmark: self.cube.numeric_column(&self.benchmark_column).and_then(|c| c.get(row)),
             comparison: self.cube.numeric_column(DELTA_COLUMN).and_then(|c| c.get(row)),
-            label: self
-                .cube
-                .label_column("label")
-                .and_then(|c| c.get(row))
-                .map(str::to_string),
+            label: self.cube.label_column("label").and_then(|c| c.get(row)).map(str::to_string),
         }
     }
 

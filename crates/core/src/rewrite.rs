@@ -36,10 +36,7 @@ pub fn commute_transforms(plan: &LogicalOp) -> Option<LogicalOp> {
         return None;
     }
     Some(LogicalOp::Transform {
-        input: Box::new(LogicalOp::Transform {
-            input: inner_input.clone(),
-            step: outer.clone(),
-        }),
+        input: Box::new(LogicalOp::Transform { input: inner_input.clone(), step: outer.clone() }),
         step: inner.clone(),
     })
 }
@@ -118,17 +115,21 @@ pub fn replace_join_with_pivot(plan: &LogicalOp) -> Option<LogicalOp> {
     }
     // The target must slice the pivot level with equality; every other
     // predicate must agree on both sides.
-    let slice_pred = lq.predicates.iter().find(|p| {
-        p.hierarchy == *hierarchy && matches!(p.op, PredicateOp::Eq(_))
-    })?;
+    let slice_pred = lq
+        .predicates
+        .iter()
+        .find(|p| p.hierarchy == *hierarchy && matches!(p.op, PredicateOp::Eq(_)))?;
     let reference = match slice_pred.op {
         PredicateOp::Eq(m) => m,
         _ => unreachable!(),
     };
     let others_match = {
         let rest = |q: &CubeQuery| {
-            let mut ps: Vec<&Predicate> =
-                q.predicates.iter().filter(|p| p.hierarchy != *hierarchy || p.level != slice_pred.level).collect();
+            let mut ps: Vec<&Predicate> = q
+                .predicates
+                .iter()
+                .filter(|p| p.hierarchy != *hierarchy || p.level != slice_pred.level)
+                .collect();
             ps.sort_by_key(|p| (p.hierarchy, p.level));
             ps.into_iter().cloned().collect::<Vec<_>>()
         };

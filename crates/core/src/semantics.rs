@@ -185,11 +185,9 @@ impl ResolvedAssess {
         let kind = self.join_kind();
         let bcol = self.benchmark_column();
         let assembled = match &self.benchmark {
-            ResolvedBenchmark::Constant { value } => LogicalOp::ConstColumn {
-                input: Box::new(target),
-                name: bcol,
-                value: *value,
-            },
+            ResolvedBenchmark::Constant { value } => {
+                LogicalOp::ConstColumn { input: Box::new(target), name: bcol, value: *value }
+            }
             ResolvedBenchmark::External { query, measure } => LogicalOp::NaturalJoin {
                 left: Box::new(target),
                 right: Box::new(LogicalOp::Get {
@@ -233,8 +231,7 @@ impl ResolvedAssess {
                 let k = past.len();
                 let reference = past[k - 1];
                 let neighbors: Vec<MemberId> = past[..k - 1].to_vec();
-                let neighbor_names: Vec<String> =
-                    Self::past_column_names(k - 1);
+                let neighbor_names: Vec<String> = Self::past_column_names(k - 1);
                 let mut history = neighbor_names.clone();
                 history.push(self.measure.clone());
                 let pivoted = LogicalOp::Pivot {
@@ -264,13 +261,9 @@ impl ResolvedAssess {
                 }
             }
         };
-        let transformed = self
-            .transforms
-            .iter()
-            .fold(assembled, |input, step| LogicalOp::Transform {
-                input: Box::new(input),
-                step: step.clone(),
-            });
+        let transformed = self.transforms.iter().fold(assembled, |input, step| {
+            LogicalOp::Transform { input: Box::new(input), step: step.clone() }
+        });
         LogicalOp::Label {
             input: Box::new(transformed),
             labeling: self.labeling.clone(),
@@ -336,35 +329,32 @@ fn resolve_benchmark(
         None => Ok(ResolvedBenchmark::Constant { value: 0.0 }),
         Some(BenchmarkSpec::Constant(v)) => Ok(ResolvedBenchmark::Constant { value: *v }),
         Some(BenchmarkSpec::External { cube, measure }) => {
-            let ext_schema = provider
-                .schema_of(cube)
-                .ok_or_else(|| AssessError::UnknownCube(cube.clone()))?;
-            ext_schema
-                .require_measure(measure)
-                .map_err(|_| AssessError::InvalidBenchmark(format!(
-                    "cube `{cube}` has no measure `{measure}`"
-                )))?;
+            let ext_schema =
+                provider.schema_of(cube).ok_or_else(|| AssessError::UnknownCube(cube.clone()))?;
+            ext_schema.require_measure(measure).map_err(|_| {
+                AssessError::InvalidBenchmark(format!("cube `{cube}` has no measure `{measure}`"))
+            })?;
             // Reconciliation: the same group-by and predicates must resolve
             // against the external schema (H = H′, Section 3.1).
-            let ext_group_by = GroupBySet::from_level_names(&ext_schema, &statement.by)
-                .map_err(|e| AssessError::InvalidBenchmark(format!(
-                    "external cube `{cube}` is not reconciled with the target: {e}"
-                )))?;
+            let ext_group_by =
+                GroupBySet::from_level_names(&ext_schema, &statement.by).map_err(|e| {
+                    AssessError::InvalidBenchmark(format!(
+                        "external cube `{cube}` is not reconciled with the target: {e}"
+                    ))
+                })?;
             if ext_group_by != *group_by {
                 return Err(AssessError::InvalidBenchmark(format!(
                     "external cube `{cube}` places the group-by levels on different hierarchies"
                 )));
             }
-            let ext_preds = resolve_predicates(&ext_schema, &statement.for_preds)
-                .map_err(|_| AssessError::InvalidBenchmark(format!(
-                    "the for-clause predicates cannot be applied to external cube `{cube}`"
-                )))?;
-            let query = CubeQuery::new(
-                cube.clone(),
-                ext_group_by,
-                ext_preds,
-                vec![measure.clone()],
-            );
+            let ext_preds =
+                resolve_predicates(&ext_schema, &statement.for_preds).map_err(|_| {
+                    AssessError::InvalidBenchmark(format!(
+                        "the for-clause predicates cannot be applied to external cube `{cube}`"
+                    ))
+                })?;
+            let query =
+                CubeQuery::new(cube.clone(), ext_group_by, ext_preds, vec![measure.clone()]);
             Ok(ResolvedBenchmark::External { query, measure: measure.clone() })
         }
         Some(BenchmarkSpec::Sibling { level, member }) => {
@@ -386,9 +376,11 @@ fn resolve_benchmark(
                         && p.level == li
                         && matches!(p.op, olap_model::PredicateOp::Eq(_))
                 })
-                .ok_or_else(|| AssessError::InvalidBenchmark(format!(
-                    "a sibling benchmark needs a `for {level} = …` slice on the target"
-                )))?;
+                .ok_or_else(|| {
+                    AssessError::InvalidBenchmark(format!(
+                        "a sibling benchmark needs a `for {level} = …` slice on the target"
+                    ))
+                })?;
             let target_member = match predicates[pred_pos].op {
                 olap_model::PredicateOp::Eq(m) => m,
                 _ => unreachable!(),
@@ -399,11 +391,8 @@ fn resolve_benchmark(
                 )));
             }
             let mut bench_preds = predicates.to_vec();
-            bench_preds[pred_pos] = Predicate {
-                hierarchy,
-                level: li,
-                op: olap_model::PredicateOp::Eq(sibling),
-            };
+            bench_preds[pred_pos] =
+                Predicate { hierarchy, level: li, op: olap_model::PredicateOp::Eq(sibling) };
             let query = CubeQuery::new(
                 statement.cube.clone(),
                 group_by.clone(),
@@ -473,11 +462,8 @@ fn resolve_benchmark(
             let past: Vec<MemberId> =
                 (target_member.0 - k..target_member.0).map(MemberId).collect();
             let mut bench_preds = predicates.to_vec();
-            bench_preds[pred_pos] = Predicate {
-                hierarchy,
-                level: li,
-                op: olap_model::PredicateOp::In(past.clone()),
-            };
+            bench_preds[pred_pos] =
+                Predicate { hierarchy, level: li, op: olap_model::PredicateOp::In(past.clone()) };
             let query = CubeQuery::new(
                 statement.cube.clone(),
                 group_by.clone(),

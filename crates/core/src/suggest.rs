@@ -90,11 +90,7 @@ pub fn enumerate_candidates(
 
     // A calibrated constant: the mean of the target measure.
     let (target, _) = runner.execute(&bare, crate::plan::Strategy::Naive)?;
-    let values: Vec<f64> = target
-        .cells()
-        .iter()
-        .filter_map(|c| c.value)
-        .collect();
+    let values: Vec<f64> = target.cells().iter().filter_map(|c| c.value).collect();
     if !values.is_empty() {
         let mean = values.iter().sum::<f64>() / values.len() as f64;
         // Round to two significant digits so the suggestion reads like a
@@ -116,9 +112,7 @@ pub fn suggest_benchmarks(
     limit: usize,
 ) -> Result<Vec<Suggestion>, AssessError> {
     if statement.against.is_some() {
-        return Err(AssessError::Statement(
-            "the statement already has an against clause".into(),
-        ));
+        return Err(AssessError::Statement("the statement already has an against clause".into()));
     }
     let candidates = enumerate_candidates(runner, statement)?;
     let mut suggestions = Vec::new();
@@ -128,15 +122,15 @@ pub fn suggest_benchmarks(
         // Keep the user's using/labels when present; the default difference
         // comparison works for every candidate type.
         let Ok(resolved) = runner.resolve(&completed) else { continue };
-        let strategy = crate::cost::choose(&resolved, runner.engine())
-            .unwrap_or(crate::plan::Strategy::Naive);
+        let strategy =
+            crate::cost::choose(&resolved, runner.engine()).unwrap_or(crate::plan::Strategy::Naive);
         let Ok((result, _)) = runner.execute(&resolved, strategy) else { continue };
         // Coverage: judged cells over all target cells (probe via assess*).
         let mut starred = completed.clone();
         starred.starred = true;
         let total = match runner.resolve(&starred).and_then(|r| {
-            let s = crate::cost::choose(&r, runner.engine())
-                .unwrap_or(crate::plan::Strategy::Naive);
+            let s =
+                crate::cost::choose(&r, runner.engine()).unwrap_or(crate::plan::Strategy::Naive);
             runner.execute(&r, s)
         }) {
             Ok((all, _)) => all.len().max(1),
@@ -152,9 +146,8 @@ pub fn suggest_benchmarks(
             cells: result.len(),
         });
     }
-    suggestions.sort_by(|a, b| {
-        b.interest.partial_cmp(&a.interest).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    suggestions
+        .sort_by(|a, b| b.interest.partial_cmp(&a.interest).unwrap_or(std::cmp::Ordering::Equal));
     suggestions.truncate(limit);
     Ok(suggestions)
 }

@@ -70,7 +70,11 @@ fn fixture() -> AssessRunner {
                 pk: "skey".into(),
                 level_columns: vec!["skey".into(), "country".into()],
             },
-            DimInfo { table: "dates".into(), pk: "mkey".into(), level_columns: vec!["month".into()] },
+            DimInfo {
+                table: "dates".into(),
+                pk: "mkey".into(),
+                level_columns: vec!["month".into()],
+            },
         ],
     )
     .unwrap();
@@ -194,11 +198,8 @@ fn starred_sibling_keeps_unmatched_cells_with_nulls() {
     for strategy in [Strategy::Naive, Strategy::JoinOptimized, Strategy::PivotOptimized] {
         let (result, _) = runner.run(&stmt, strategy).unwrap();
         assert_eq!(result.len(), 3, "{strategy} must keep Milk");
-        let milk = result
-            .cells()
-            .into_iter()
-            .find(|c| c.coordinate[0] == "Milk")
-            .expect("Milk present");
+        let milk =
+            result.cells().into_iter().find(|c| c.coordinate[0] == "Milk").expect("Milk present");
         assert_eq!(milk.benchmark, None);
         assert_eq!(milk.comparison, None);
         assert_eq!(milk.label, None);
@@ -250,7 +251,7 @@ fn past_strategies_are_equivalent_on_dense_history() {
     assert_eq!(np.cells(), jop.cells());
     assert_eq!(np.cells(), pop.cells());
     assert_eq!(np.len(), 2); // Italy and France both exist in m5
-    // POP fuses everything into a single scan.
+                             // POP fuses everything into a single scan.
     assert!(pop_report.rows_scanned < 2 * 20);
 }
 
@@ -284,10 +285,7 @@ fn insufficient_history_is_reported() {
         .labels_named("quartiles")
         .build();
     let err = runner.run(&stmt, Strategy::Naive).unwrap_err();
-    assert!(matches!(
-        err,
-        AssessError::InsufficientHistory { requested: 5, available: 2, .. }
-    ));
+    assert!(matches!(err, AssessError::InsufficientHistory { requested: 5, available: 2, .. }));
 }
 
 #[test]
@@ -329,11 +327,17 @@ fn statement_validation_errors() {
         Err(AssessError::InvalidBenchmark(_))
     ));
     // Unknown bits and pieces.
-    let unknown_cube =
-        AssessStatement::on("NOPE").by(["country"]).assess("quantity").labels_named("quartiles").build();
+    let unknown_cube = AssessStatement::on("NOPE")
+        .by(["country"])
+        .assess("quantity")
+        .labels_named("quartiles")
+        .build();
     assert!(matches!(runner.run(&unknown_cube, Strategy::Naive), Err(AssessError::UnknownCube(_))));
-    let unknown_measure =
-        AssessStatement::on("SALES").by(["country"]).assess("profit").labels_named("quartiles").build();
+    let unknown_measure = AssessStatement::on("SALES")
+        .by(["country"])
+        .assess("profit")
+        .labels_named("quartiles")
+        .build();
     assert!(matches!(runner.run(&unknown_measure, Strategy::Naive), Err(AssessError::Model(_))));
     let unknown_function = AssessStatement::on("SALES")
         .by(["country"])
@@ -450,8 +454,7 @@ fn codegen_emits_sql_and_python() {
         ]))
         .build();
     let resolved = runner.resolve(&stmt).unwrap();
-    let code =
-        assess_core::codegen::generate(&resolved, runner.engine().catalog()).unwrap();
+    let code = assess_core::codegen::generate(&resolved, runner.engine().catalog()).unwrap();
     assert!(code.sql.contains("pivot ("));
     assert!(code.python.contains("def percoftotal"));
     assert!(code.python.contains("pd.cut"));
@@ -557,10 +560,7 @@ fn ancestor_validation_errors() {
         .against_ancestor("type")
         .labels_named("quartiles")
         .build();
-    assert!(matches!(
-        runner.run(&same, Strategy::Naive),
-        Err(AssessError::InvalidBenchmark(_))
-    ));
+    assert!(matches!(runner.run(&same, Strategy::Naive), Err(AssessError::InvalidBenchmark(_))));
     // Hierarchy of the ancestor not in the by clause at all.
     let absent = AssessStatement::on("SALES")
         .by(["country"])
@@ -568,10 +568,7 @@ fn ancestor_validation_errors() {
         .against_ancestor("type")
         .labels_named("quartiles")
         .build();
-    assert!(matches!(
-        runner.run(&absent, Strategy::Naive),
-        Err(AssessError::InvalidBenchmark(_))
-    ));
+    assert!(matches!(runner.run(&absent, Strategy::Naive), Err(AssessError::InvalidBenchmark(_))));
 }
 
 #[test]
@@ -629,10 +626,7 @@ fn cost_based_chooser_picks_the_papers_winners() {
         .labels_named("quartiles")
         .build();
     let resolved = runner.resolve(&past).unwrap();
-    assert_eq!(
-        assess_core::cost::choose(&resolved, engine).unwrap(),
-        Strategy::PivotOptimized
-    );
+    assert_eq!(assess_core::cost::choose(&resolved, engine).unwrap(), Strategy::PivotOptimized);
 }
 
 #[test]
@@ -646,15 +640,11 @@ fn suggestions_complete_a_partial_statement() {
         .assess("quantity")
         .labels_named("quartiles")
         .build();
-    let suggestions =
-        assess_core::suggest::suggest_benchmarks(&runner, &partial, 10).unwrap();
+    let suggestions = assess_core::suggest::suggest_benchmarks(&runner, &partial, 10).unwrap();
     assert!(!suggestions.is_empty());
     let rendered: Vec<&str> = suggestions.iter().map(|s| s.against.as_str()).collect();
     assert!(rendered.contains(&"country = 'France'"), "siblings proposed: {rendered:?}");
-    assert!(
-        rendered.iter().any(|r| r.starts_with("ancestor")),
-        "ancestors proposed: {rendered:?}"
-    );
+    assert!(rendered.iter().any(|r| r.starts_with("ancestor")), "ancestors proposed: {rendered:?}");
     // Scores are sorted descending and bounded.
     for w in suggestions.windows(2) {
         assert!(w[0].interest >= w[1].interest);
@@ -674,8 +664,7 @@ fn suggestions_include_past_windows_on_temporal_slices() {
         .assess("quantity")
         .labels_named("quartiles")
         .build();
-    let suggestions =
-        assess_core::suggest::suggest_benchmarks(&runner, &partial, 20).unwrap();
+    let suggestions = assess_core::suggest::suggest_benchmarks(&runner, &partial, 20).unwrap();
     let rendered: Vec<&str> = suggestions.iter().map(|s| s.against.as_str()).collect();
     assert!(rendered.contains(&"past 3"), "{rendered:?}");
     // m5 has only 5 predecessors, so past 6 must NOT be proposed.
@@ -757,10 +746,7 @@ fn property_references_enable_per_capita_assessment() {
         .assess("quantity")
         .using(FuncExpr::call(
             "ratio",
-            vec![
-                FuncExpr::measure("quantity"),
-                FuncExpr::property("country", "population"),
-            ],
+            vec![FuncExpr::measure("quantity"), FuncExpr::property("country", "population")],
         ))
         .labels_ranges(labeling::ranges(&[
             (0.0, true, 1.5, false, "light"),
@@ -785,10 +771,7 @@ fn property_rolls_up_from_finer_group_by_levels() {
         .assess("quantity")
         .using(FuncExpr::call(
             "ratio",
-            vec![
-                FuncExpr::measure("quantity"),
-                FuncExpr::property("country", "population"),
-            ],
+            vec![FuncExpr::measure("quantity"), FuncExpr::property("country", "population")],
         ))
         .labels_named("quartiles")
         .build();
@@ -819,10 +802,7 @@ fn unknown_property_is_a_clear_error() {
         .assess("quantity")
         .using(FuncExpr::call(
             "ratio",
-            vec![
-                FuncExpr::measure("quantity"),
-                FuncExpr::property("country", "population"),
-            ],
+            vec![FuncExpr::measure("quantity"), FuncExpr::property("country", "population")],
         ))
         .labels_named("quartiles")
         .build();
@@ -842,13 +822,7 @@ fn derived_measures_combine_multiple_target_measures() {
             "difference",
             vec![FuncExpr::measure("quantity"), FuncExpr::measure("quantity")],
         ))
-        .labels_ranges(labeling::ranges(&[(
-            f64::NEG_INFINITY,
-            true,
-            f64::INFINITY,
-            true,
-            "all",
-        )]))
+        .labels_ranges(labeling::ranges(&[(f64::NEG_INFINITY, true, f64::INFINITY, true, "all")]))
         .build();
     let (result, _) = runner.run(&stmt, Strategy::Naive).unwrap();
     for cell in result.cells() {

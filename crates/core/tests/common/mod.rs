@@ -1,0 +1,112 @@
+//! Shared fixture for the core integration tests: the small SALES cube of
+//! `assess_tests`, exposed as a catalog so each test can build an engine
+//! with its own governor / fault injector.
+
+use std::sync::Arc;
+
+use olap_model::{AggOp, CubeSchema, HierarchyBuilder, MeasureDef};
+use olap_storage::{binding::DimInfo, Catalog, Column, CubeBinding, Table};
+
+/// Months m0..m5; stores S1 (Italy) / S2 (France); products Apple/Pear
+/// (Fresh Fruit) and Milk (Dairy). Quantities are arranged so every
+/// benchmark type has a hand-checkable outcome.
+pub fn catalog() -> Arc<Catalog> {
+    let mut product = HierarchyBuilder::new("Product", ["product", "type"]);
+    product.add_member_chain(&["Apple", "Fresh Fruit"]).unwrap();
+    product.add_member_chain(&["Pear", "Fresh Fruit"]).unwrap();
+    product.add_member_chain(&["Milk", "Dairy"]).unwrap();
+    let mut store = HierarchyBuilder::new("Store", ["store", "country"]);
+    store.add_member_chain(&["S1", "Italy"]).unwrap();
+    store.add_member_chain(&["S2", "France"]).unwrap();
+    let mut date = HierarchyBuilder::new("Date", ["month"]);
+    for i in 0..6 {
+        date.add_member_chain(&[format!("m{i}")]).unwrap();
+    }
+    let schema = Arc::new(CubeSchema::new(
+        "SALES",
+        vec![product.build().unwrap(), store.build().unwrap(), date.build().unwrap()],
+        vec![MeasureDef::new("quantity", AggOp::Sum)],
+    ));
+
+    let mut rows: Vec<(i64, i64, i64, f64)> = Vec::new();
+    for i in 0..6i64 {
+        rows.push((0, 0, i, 10.0 * (i as f64 + 1.0)));
+        rows.push((1, 0, i, 7.0));
+        rows.push((0, 1, i, 20.0 + i as f64));
+    }
+    rows.push((2, 0, 5, 4.0));
+    rows.push((1, 1, 0, 3.0));
+
+    let fact = Table::new(
+        "sales",
+        vec![
+            Column::i64("pkey", rows.iter().map(|r| r.0).collect()),
+            Column::i64("skey", rows.iter().map(|r| r.1).collect()),
+            Column::i64("mkey", rows.iter().map(|r| r.2).collect()),
+            Column::f64("quantity", rows.iter().map(|r| r.3).collect()),
+        ],
+    )
+    .unwrap();
+    let binding = CubeBinding::new(
+        schema,
+        &fact,
+        vec!["pkey".into(), "skey".into(), "mkey".into()],
+        vec!["quantity".into()],
+        vec![
+            DimInfo {
+                table: "product".into(),
+                pk: "pkey".into(),
+                level_columns: vec!["pkey".into(), "type".into()],
+            },
+            DimInfo {
+                table: "store".into(),
+                pk: "skey".into(),
+                level_columns: vec!["skey".into(), "country".into()],
+            },
+            DimInfo {
+                table: "dates".into(),
+                pk: "mkey".into(),
+                level_columns: vec!["month".into()],
+            },
+        ],
+    )
+    .unwrap();
+    let cat = Arc::new(Catalog::new());
+    cat.register_table(fact);
+    cat.register_binding("SALES", binding);
+    cat
+}
+
+/// Registers a second, deliberately *unreconciled* cube `BUDGET`: a single
+/// `Region` hierarchy whose only level is `region`, so any statement
+/// grouping SALES by `country`/`product` cannot drill across to it.
+#[allow(dead_code)] // not every test binary drills across
+pub fn register_unreconciled_budget(cat: &Arc<Catalog>) {
+    let mut region = HierarchyBuilder::new("Region", ["region"]);
+    region.add_member_chain(&["South"]).unwrap();
+    region.add_member_chain(&["North"]).unwrap();
+    let schema = Arc::new(CubeSchema::new(
+        "BUDGET",
+        vec![region.build().unwrap()],
+        vec![MeasureDef::new("amount", AggOp::Sum)],
+    ));
+    let fact = Table::new(
+        "budget",
+        vec![Column::i64("rkey", vec![0, 1]), Column::f64("amount", vec![100.0, 200.0])],
+    )
+    .unwrap();
+    let binding = CubeBinding::new(
+        schema,
+        &fact,
+        vec!["rkey".into()],
+        vec!["amount".into()],
+        vec![DimInfo {
+            table: "region".into(),
+            pk: "rkey".into(),
+            level_columns: vec!["rkey".into()],
+        }],
+    )
+    .unwrap();
+    cat.register_table(fact);
+    cat.register_binding("BUDGET", binding);
+}

@@ -63,10 +63,7 @@ fn using() -> impl Strategy<Value = Option<FuncExpr>> {
             "ratio",
             vec![FuncExpr::measure(a), FuncExpr::benchmark(b)]
         )),
-        measure_name().prop_map(|a| FuncExpr::call(
-            "percOfTotal",
-            vec![FuncExpr::measure(a)]
-        )),
+        measure_name().prop_map(|a| FuncExpr::call("percOfTotal", vec![FuncExpr::measure(a)])),
         (level_name(), Just("population".to_string())).prop_map(|(l, p)| FuncExpr::call(
             "ratio",
             vec![FuncExpr::measure("revenue"), FuncExpr::property(l, p)]

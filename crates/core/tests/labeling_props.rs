@@ -7,10 +7,7 @@ use assess_core::labeling::{self, ResolvedLabeling};
 use proptest::prelude::*;
 
 fn values() -> impl Strategy<Value = Vec<Option<f64>>> {
-    proptest::collection::vec(
-        proptest::option::weighted(0.9, -1e6f64..1e6),
-        1..120,
-    )
+    proptest::collection::vec(proptest::option::weighted(0.9, -1e6f64..1e6), 1..120)
 }
 
 fn label_rank(label: &str) -> usize {

@@ -64,7 +64,11 @@ fn runner() -> AssessRunner {
                 pk: "skey".into(),
                 level_columns: vec!["country".into()],
             },
-            DimInfo { table: "dates".into(), pk: "mkey".into(), level_columns: vec!["month".into()] },
+            DimInfo {
+                table: "dates".into(),
+                pk: "mkey".into(),
+                level_columns: vec!["month".into()],
+            },
         ],
     )
     .unwrap();
@@ -120,7 +124,10 @@ fn p1_commutes_independent_transforms() {
         output: "b".into(),
     };
     let plan = LogicalOp::Transform {
-        input: Box::new(LogicalOp::Transform { input: Box::new(base.clone()), step: inner.clone() }),
+        input: Box::new(LogicalOp::Transform {
+            input: Box::new(base.clone()),
+            step: inner.clone(),
+        }),
         step: outer.clone(),
     };
     let commuted = rewrite::commute_transforms(&plan).expect("independent steps commute");
@@ -216,8 +223,7 @@ fn p3_after_p2_gives_the_single_scan_past_plan() {
     let resolved = runner.resolve(&past_statement()).unwrap();
     let naive = resolved.naive_plan();
     let after_p2 = rewrite::rewrite_once(&naive, &rewrite::push_join_through_transform).unwrap();
-    let after_p3 =
-        rewrite::rewrite_once(&after_p2, &rewrite::replace_join_with_pivot).unwrap();
+    let after_p3 = rewrite::rewrite_once(&after_p2, &rewrite::replace_join_with_pivot).unwrap();
     assert_eq!(after_p3.get_count(), 1);
     let text = after_p3.to_string();
     assert!(text.contains("⊞ pivot"));

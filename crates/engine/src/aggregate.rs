@@ -133,7 +133,10 @@ impl Accumulator {
     /// Finalizes into per-group values.
     pub fn finish(self) -> Vec<f64> {
         match self {
-            Accumulator::Sum(v) | Accumulator::Min(v) | Accumulator::Max(v) | Accumulator::Count(v) => v,
+            Accumulator::Sum(v)
+            | Accumulator::Min(v)
+            | Accumulator::Max(v)
+            | Accumulator::Count(v) => v,
             Accumulator::Avg { sums, counts } => sums
                 .into_iter()
                 .zip(counts)

@@ -11,6 +11,8 @@ use olap_storage::Catalog;
 
 use crate::aggregate::{GroupTable, NumView};
 use crate::error::EngineError;
+use crate::fault::{FaultInjector, FaultSite};
+use crate::governor::{ResourceGovernor, CHECK_INTERVAL};
 use crate::key::KeyLayout;
 use crate::predicate::CompiledFilter;
 
@@ -88,18 +90,41 @@ struct GetInternal {
 }
 
 /// The physical execution engine over a [`Catalog`].
+///
+/// Cloning is cheap (the catalog is shared); the assess runtime clones the
+/// engine per execution attempt to attach a fresh [`ResourceGovernor`].
+#[derive(Clone)]
 pub struct Engine {
     catalog: Arc<Catalog>,
     config: EngineConfig,
+    /// Resource limits this engine's executions run under; `None` = no
+    /// limits and no cooperative cancellation.
+    governor: Option<Arc<ResourceGovernor>>,
+    /// Deterministic fault injection for resilience tests; `None` (the
+    /// default) injects nothing.
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl Engine {
     pub fn new(catalog: Arc<Catalog>) -> Self {
-        Engine { catalog, config: EngineConfig::default() }
+        Engine::with_config(catalog, EngineConfig::default())
     }
 
     pub fn with_config(catalog: Arc<Catalog>, config: EngineConfig) -> Self {
-        Engine { catalog, config }
+        Engine { catalog, config, governor: None, faults: None }
+    }
+
+    /// Attaches a resource governor; all subsequent queries check it at
+    /// operator boundaries and periodically inside scans.
+    pub fn with_governor(mut self, governor: Arc<ResourceGovernor>) -> Self {
+        self.governor = Some(governor);
+        self
+    }
+
+    /// Attaches a fault injector (resilience tests only).
+    pub fn with_fault_injector(mut self, faults: Arc<FaultInjector>) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     pub fn catalog(&self) -> &Arc<Catalog> {
@@ -110,6 +135,47 @@ impl Engine {
         &self.config
     }
 
+    pub fn governor(&self) -> Option<&Arc<ResourceGovernor>> {
+        self.governor.as_ref()
+    }
+
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.faults.as_ref()
+    }
+
+    /// Fault-injection trigger point (no-op without an injector).
+    fn fault(&self, site: FaultSite) -> Result<(), EngineError> {
+        match &self.faults {
+            Some(f) => f.check(site),
+            None => Ok(()),
+        }
+    }
+
+    /// Cooperative deadline/cancellation checkpoint.
+    fn gov_check(&self) -> Result<(), EngineError> {
+        match &self.governor {
+            Some(g) => g.check(),
+            None => Ok(()),
+        }
+    }
+
+    /// Charges scanned rows against the budget (pre-charged, so over-budget
+    /// scans fail before doing the work).
+    fn gov_charge_rows(&self, n: usize) -> Result<(), EngineError> {
+        match &self.governor {
+            Some(g) => g.charge_rows_scanned(n as u64),
+            None => Ok(()),
+        }
+    }
+
+    /// Charges materialized result cells against the budget.
+    fn gov_charge_cells(&self, n: usize) -> Result<(), EngineError> {
+        match &self.governor {
+            Some(g) => g.charge_output_cells(n as u64),
+            None => Ok(()),
+        }
+    }
+
     /// Executes a cube query (the `get` logical operator, Definition 2.6),
     /// producing a sorted, materialized derived cube.
     ///
@@ -117,13 +183,15 @@ impl Engine {
     /// to a wide-key scan (`crate::wide`); fused join/pivot paths keep
     /// requiring packed keys.
     pub fn get(&self, q: &CubeQuery) -> Result<GetOutcome, EngineError> {
-        match self.run_get(q) {
-            Ok(internal) => Ok(materialize(internal)),
+        let outcome = match self.run_get(q) {
+            Ok(internal) => materialize(internal),
             Err(EngineError::Unsupported(msg)) if msg.contains("wide keys") => {
-                crate::wide::get_wide(&self.catalog, q)
+                crate::wide::get_wide(&self.catalog, q)?
             }
-            Err(e) => Err(e),
-        }
+            Err(e) => return Err(e),
+        };
+        self.gov_charge_cells(outcome.cube.len())?;
+        Ok(outcome)
     }
 
     /// Executes two cube queries and **naturally joins** them inside the
@@ -148,13 +216,8 @@ impl Engine {
                 right.measures.len()
             )));
         }
-        let right_index: std::collections::HashMap<u64, u32> = right
-            .table
-            .keys()
-            .iter()
-            .enumerate()
-            .map(|(slot, &key)| (key, slot as u32))
-            .collect();
+        let right_index: std::collections::HashMap<u64, u32> =
+            right.table.keys().iter().enumerate().map(|(slot, &key)| (key, slot as u32)).collect();
 
         let rows_scanned = left.rows_scanned + right.rows_scanned;
         let (left_keys, left_cols) = left.table.finish();
@@ -182,15 +245,13 @@ impl Engine {
             columns.push(CubeColumn::Numeric(NumericColumn::dense(name.clone(), data)));
         }
         for (name, col) in right_renames.iter().zip(right_cols.iter()) {
-            let data: Vec<Option<f64>> = kept_rows
-                .iter()
-                .map(|(_, m)| m.map(|slot| col[slot as usize]))
-                .collect();
+            let data: Vec<Option<f64>> =
+                kept_rows.iter().map(|(_, m)| m.map(|slot| col[slot as usize])).collect();
             columns.push(CubeColumn::Numeric(NumericColumn::nullable(name.clone(), data)));
         }
-        let mut cube =
-            DerivedCube::from_parts(left.schema, left.group_by, coord_cols, columns)?;
+        let mut cube = DerivedCube::from_parts(left.schema, left.group_by, coord_cols, columns)?;
         cube.sort_by_coordinates();
+        self.gov_charge_cells(cube.len())?;
         Ok(GetOutcome { cube, used_view: left.used_view, rows_scanned })
     }
 
@@ -232,9 +293,11 @@ impl Engine {
         let rollmap = left
             .schema
             .hierarchy(hierarchy)
-            .ok_or_else(|| EngineError::Model(olap_model::ModelError::UnknownHierarchy(
-                format!("#{hierarchy}"),
-            )))?
+            .ok_or_else(|| {
+                EngineError::Model(olap_model::ModelError::UnknownHierarchy(format!(
+                    "#{hierarchy}"
+                )))
+            })?
             .composed_map(fine_level, coarse_level)?;
 
         let rows_scanned = left.rows_scanned + right.rows_scanned;
@@ -250,8 +313,7 @@ impl Engine {
             let mut nb_key = 0u64;
             for c in 0..left.group_by.arity() {
                 let member = left.layout.unpack_component(key, c);
-                let member =
-                    if c == component { rollmap[member.index()] } else { member };
+                let member = if c == component { rollmap[member.index()] } else { member };
                 right_layout.pack_component(&mut nb_key, c, member);
             }
             let v = right_table.lookup(&nb_key).map(|slot| right_table.value(midx, slot));
@@ -275,9 +337,9 @@ impl Engine {
             columns.push(CubeColumn::Numeric(NumericColumn::dense(name.clone(), data)));
         }
         columns.push(CubeColumn::Numeric(NumericColumn::nullable(rename.to_string(), bench_col)));
-        let mut cube =
-            DerivedCube::from_parts(left.schema, left.group_by, coord_cols, columns)?;
+        let mut cube = DerivedCube::from_parts(left.schema, left.group_by, coord_cols, columns)?;
         cube.sort_by_coordinates();
+        self.gov_charge_cells(cube.len())?;
         Ok(GetOutcome { cube, used_view: left.used_view, rows_scanned })
     }
 
@@ -370,9 +432,9 @@ impl Engine {
         for (name, col) in column_names.iter().zip(slice_cols) {
             columns.push(CubeColumn::Numeric(NumericColumn::nullable(name.clone(), col)));
         }
-        let mut cube =
-            DerivedCube::from_parts(left.schema, left.group_by, coord_cols, columns)?;
+        let mut cube = DerivedCube::from_parts(left.schema, left.group_by, coord_cols, columns)?;
         cube.sort_by_coordinates();
+        self.gov_charge_cells(cube.len())?;
         Ok(GetOutcome { cube, used_view: left.used_view, rows_scanned })
     }
 
@@ -454,6 +516,7 @@ impl Engine {
         let mut cube =
             DerivedCube::from_parts(internal.schema, internal.group_by, coord_cols, columns)?;
         cube.sort_by_coordinates();
+        self.gov_charge_cells(cube.len())?;
         Ok(GetOutcome { cube, used_view, rows_scanned })
     }
 
@@ -471,9 +534,7 @@ impl Engine {
             .collect::<Result<_, _>>()?;
         let pred_levels: Vec<(usize, usize)> =
             q.predicates.iter().map(|p| (p.hierarchy, p.level)).collect();
-        let (rows, from_view) = if self.config.use_views
-            && ops.iter().all(|op| *op == AggOp::Sum)
-        {
+        let (rows, from_view) = if self.config.use_views && ops.iter().all(|op| *op == AggOp::Sum) {
             match self.catalog.best_view(&q.group_by, &pred_levels, &q.measures) {
                 Some(view) => (view.len(), true),
                 None => (self.catalog.table(binding.fact_table())?.n_rows(), false),
@@ -505,6 +566,7 @@ impl Engine {
 
     /// Runs a get into the internal packed representation.
     fn run_get(&self, q: &CubeQuery) -> Result<GetInternal, EngineError> {
+        self.gov_check()?;
         let binding = self.catalog.binding(&q.cube)?;
         let schema = binding.schema().clone();
         q.validate(&schema)?;
@@ -518,11 +580,7 @@ impl Engine {
             .group_by
             .included_hierarchies()
             .map(|(hi, li)| {
-                schema
-                    .hierarchy(hi)
-                    .and_then(|h| h.level(li))
-                    .map(|l| l.cardinality())
-                    .unwrap_or(0)
+                schema.hierarchy(hi).and_then(|h| h.level(li)).map(|l| l.cardinality()).unwrap_or(0)
             })
             .collect();
         let layout = KeyLayout::for_cardinalities(&cardinalities);
@@ -538,6 +596,7 @@ impl Engine {
             let pred_levels: Vec<(usize, usize)> =
                 q.predicates.iter().map(|p| (p.hierarchy, p.level)).collect();
             if let Some(view) = self.catalog.best_view(&q.group_by, &pred_levels, &q.measures) {
+                self.fault(FaultSite::ViewMatch)?;
                 return self.get_from_view(q, &schema, &layout, &ops, &view);
             }
         }
@@ -553,6 +612,7 @@ impl Engine {
         ops: &[AggOp],
         view: &olap_storage::MaterializedAggregate,
     ) -> Result<GetInternal, EngineError> {
+        self.fault(FaultSite::DictLookup)?;
         let filter = CompiledFilter::compile(schema, &q.predicates, view.group_by().slots())?;
         // Per included hierarchy of the query: the view coordinate column
         // and the roll-up map from the view's level to the query's level.
@@ -576,16 +636,19 @@ impl Engine {
             .measures
             .iter()
             .map(|m| {
-                view.measure(m).ok_or_else(|| {
-                    EngineError::Unsupported(format!("view lacks measure `{m}`"))
-                })
+                view.measure(m)
+                    .ok_or_else(|| EngineError::Unsupported(format!("view lacks measure `{m}`")))
             })
             .collect::<Result<_, _>>()?;
 
         let n = view.len();
+        self.gov_charge_rows(n)?;
         let mut table: GroupTable<u64> = GroupTable::new(ops);
         let mut values = vec![0.0f64; measure_cols.len()];
         'rows: for row in 0..n {
+            if row.is_multiple_of(CHECK_INTERVAL) {
+                self.gov_check()?;
+            }
             for (coords, mask) in &mask_inputs {
                 if !mask[coords[row].index()] {
                     continue 'rows;
@@ -624,6 +687,7 @@ impl Engine {
         binding: &olap_storage::CubeBinding,
     ) -> Result<GetInternal, EngineError> {
         let fact = self.catalog.table(binding.fact_table())?;
+        self.fault(FaultSite::DictLookup)?;
         let carrier: Vec<Option<usize>> = vec![Some(0); schema.hierarchies().len()];
         let filter = CompiledFilter::compile(schema, &q.predicates, &carrier)?;
 
@@ -653,10 +717,13 @@ impl Engine {
             .collect::<Result<_, _>>()?;
 
         let n = fact.n_rows();
-        let scan_range = |lo: usize, hi: usize| -> GroupTable<u64> {
+        let scan_range = |lo: usize, hi: usize| -> Result<GroupTable<u64>, EngineError> {
             let mut table: GroupTable<u64> = GroupTable::new(ops);
             let mut values = vec![0.0f64; measure_views.len()];
             'rows: for row in lo..hi {
+                if (row - lo).is_multiple_of(CHECK_INTERVAL) {
+                    self.gov_check()?;
+                }
                 for (fks, mask) in &mask_inputs {
                     if !mask[fks[row] as usize] {
                         continue 'rows;
@@ -675,7 +742,7 @@ impl Engine {
                     table.update(key, &values);
                 }
             }
-            table
+            Ok(table)
         };
 
         // Index fast path: a highly selective point predicate on a finest
@@ -684,10 +751,14 @@ impl Engine {
         // instead of scanning the whole fact table.
         if self.config.use_indexes {
             if let Some(rows) = self.index_row_set(q, &fact, binding)? {
+                self.gov_charge_rows(rows.len())?;
                 let mut table: GroupTable<u64> = GroupTable::new(ops);
                 let mut values = vec![0.0f64; measure_views.len()];
                 let rows_scanned = rows.len();
-                'rows: for &row in &rows {
+                'rows: for (i, &row) in rows.iter().enumerate() {
+                    if i.is_multiple_of(CHECK_INTERVAL) {
+                        self.gov_check()?;
+                    }
                     let row = row as usize;
                     for (fks, mask) in &mask_inputs {
                         if !mask[fks[row] as usize] {
@@ -719,21 +790,25 @@ impl Engine {
             }
         }
 
+        self.fault(FaultSite::Scan)?;
+        self.gov_charge_rows(n)?;
         let table = if self.config.parallel && n >= self.config.parallel_threshold {
             let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
             let chunk = n.div_ceil(threads);
-            let partials = crossbeam::thread::scope(|scope| {
+            let partials = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..threads)
                     .map(|t| {
                         let lo = t * chunk;
                         let hi = ((t + 1) * chunk).min(n);
                         let scan = &scan_range;
-                        scope.spawn(move |_| scan(lo, hi))
+                        scope.spawn(move || scan(lo, hi))
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("scan thread")).collect::<Vec<_>>()
-            })
-            .expect("crossbeam scope");
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("scan thread"))
+                    .collect::<Result<Vec<_>, EngineError>>()
+            })?;
             let mut iter = partials.into_iter();
             let mut merged = iter.next().unwrap_or_else(|| GroupTable::new(ops));
             for p in iter {
@@ -741,7 +816,7 @@ impl Engine {
             }
             merged
         } else {
-            scan_range(0, n)
+            scan_range(0, n)?
         };
 
         Ok(GetInternal {
@@ -779,15 +854,13 @@ impl Engine {
                 return false;
             }
             let members = p.members().len();
-            members <= 16
-                && (members as f64 / domain as f64) <= self.config.index_selectivity
+            members <= 16 && (members as f64 / domain as f64) <= self.config.index_selectivity
         });
         let Some(pred) = candidate else {
             return Ok(None);
         };
-        let index = self
-            .catalog
-            .hash_index(fact.name(), binding.fk_column(pred.hierarchy))?;
+        self.fault(FaultSite::IndexProbe)?;
+        let index = self.catalog.hash_index(fact.name(), binding.fk_column(pred.hierarchy))?;
         let mut rows: Vec<u32> = Vec::new();
         for member in pred.members() {
             rows.extend_from_slice(index.lookup(member.0 as i64));

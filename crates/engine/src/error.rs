@@ -2,8 +2,12 @@
 
 use std::fmt;
 
+use crate::fault::FaultSite;
+use crate::governor::ResourceKind;
+
 /// Errors raised while planning or executing physical operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum EngineError {
     /// Underlying storage error (missing tables, type mismatches…).
     Storage(olap_storage::StorageError),
@@ -17,6 +21,18 @@ pub enum EngineError {
     InvalidPivot(String),
     /// An aggregation operator is not supported by the chosen access path.
     Unsupported(String),
+    /// A resource budget of the governing [`ResourceGovernor`] was
+    /// exhausted. `limit`/`used` are in the resource's own unit
+    /// (milliseconds for wall clock, counts otherwise).
+    ///
+    /// [`ResourceGovernor`]: crate::governor::ResourceGovernor
+    BudgetExceeded { resource: ResourceKind, limit: u64, used: u64 },
+    /// Execution was cancelled cooperatively via
+    /// [`ResourceGovernor::cancel`](crate::governor::ResourceGovernor::cancel).
+    Cancelled,
+    /// A deterministic test fault injected by a
+    /// [`FaultInjector`](crate::fault::FaultInjector).
+    FaultInjected { site: FaultSite, ordinal: u64 },
 }
 
 impl fmt::Display for EngineError {
@@ -27,6 +43,13 @@ impl fmt::Display for EngineError {
             EngineError::NotJoinable(msg) => write!(f, "cubes are not joinable: {msg}"),
             EngineError::InvalidPivot(msg) => write!(f, "invalid pivot: {msg}"),
             EngineError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+            EngineError::BudgetExceeded { resource, limit, used } => {
+                write!(f, "budget exceeded: {used} {resource} used, limit is {limit}")
+            }
+            EngineError::Cancelled => write!(f, "execution cancelled"),
+            EngineError::FaultInjected { site, ordinal } => {
+                write!(f, "injected fault at {site} #{ordinal}")
+            }
         }
     }
 }

@@ -1,3 +1,7 @@
+// Robustness gate: production code in this crate must handle its
+// errors — `unwrap` is reserved for tests (CI runs clippy with -D warnings).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 //! # olap-engine
 //!
 //! The physical execution engine — the "DBMS" of the paper's experiments.
@@ -24,6 +28,8 @@
 pub mod aggregate;
 pub mod engine;
 pub mod error;
+pub mod fault;
+pub mod governor;
 pub mod key;
 pub mod predicate;
 pub mod sqlgen;
@@ -31,4 +37,6 @@ pub(crate) mod wide;
 
 pub use engine::{Engine, EngineConfig, GetEstimate, GetOutcome, JoinKind};
 pub use error::EngineError;
+pub use fault::{FaultInjector, FaultSite};
+pub use governor::{ResourceGovernor, ResourceKind};
 pub use key::KeyLayout;

@@ -41,21 +41,19 @@ impl CompiledFilter {
     ) -> Result<Self, EngineError> {
         let mut masks: Vec<HierarchyMask> = Vec::new();
         for pred in predicates {
-            let carrier = carrier_levels
-                .get(pred.hierarchy)
-                .copied()
-                .flatten()
-                .ok_or_else(|| {
+            let carrier =
+                carrier_levels.get(pred.hierarchy).copied().flatten().ok_or_else(|| {
                     EngineError::Unsupported(format!(
                         "predicate on hierarchy #{} cannot be evaluated: data does not carry it",
                         pred.hierarchy
                     ))
                 })?;
-            let h = schema
-                .hierarchy(pred.hierarchy)
-                .ok_or_else(|| EngineError::Model(olap_model::ModelError::UnknownHierarchy(
-                    format!("#{}", pred.hierarchy),
-                )))?;
+            let h = schema.hierarchy(pred.hierarchy).ok_or_else(|| {
+                EngineError::Model(olap_model::ModelError::UnknownHierarchy(format!(
+                    "#{}",
+                    pred.hierarchy
+                )))
+            })?;
             if carrier > pred.level {
                 return Err(EngineError::Unsupported(format!(
                     "predicate at level #{} of hierarchy `{}` is finer than the carried level #{}",
@@ -67,9 +65,7 @@ impl CompiledFilter {
             let rollmap = h.composed_map(carrier, pred.level)?;
             let mask: Vec<bool> = rollmap.iter().map(|parent| pred.matches(*parent)).collect();
             // AND with an existing mask on the same hierarchy, if any.
-            if let Some(existing) =
-                masks.iter_mut().find(|m| m.hierarchy == pred.hierarchy)
-            {
+            if let Some(existing) = masks.iter_mut().find(|m| m.hierarchy == pred.hierarchy) {
                 for (slot, allowed) in existing.mask.iter_mut().zip(mask.iter()) {
                     *slot = *slot && *allowed;
                 }

@@ -16,9 +16,8 @@ fn predicate_sql(binding: &CubeBinding, p: &Predicate) -> String {
     let schema = binding.schema();
     let level = schema.hierarchy(p.hierarchy).and_then(|h| h.level(p.level));
     let col = binding.level_sql_column(p.hierarchy, p.level);
-    let name_of = |m: &olap_model::MemberId| {
-        level.and_then(|l| l.member_name(*m)).unwrap_or("?").to_string()
-    };
+    let name_of =
+        |m: &olap_model::MemberId| level.and_then(|l| l.member_name(*m)).unwrap_or("?").to_string();
     match &p.op {
         PredicateOp::Eq(m) => format!("{col} = '{}'", name_of(m)),
         PredicateOp::In(ms) => {
@@ -68,17 +67,14 @@ pub fn select_sql(binding: &CubeBinding, q: &CubeQuery) -> String {
         .measures
         .iter()
         .map(|m| {
-            let op = schema.measure_index(m).map(|i| schema.measures()[i].agg().name()).unwrap_or("sum");
+            let op =
+                schema.measure_index(m).map(|i| schema.measures()[i].agg().name()).unwrap_or("sum");
             let col = binding.measure_column_by_name(m).unwrap_or(m);
             format!("{op}(f.{col}) as {m}")
         })
         .collect();
-    let mut sql = format!(
-        "select {}, {}\nfrom {} f",
-        cols.join(", "),
-        aggs.join(", "),
-        binding.fact_table()
-    );
+    let mut sql =
+        format!("select {}, {}\nfrom {} f", cols.join(", "), aggs.join(", "), binding.fact_table());
     for hi in dims_needed(q) {
         let d = binding.dim(hi);
         sql.push_str(&format!(
@@ -114,8 +110,7 @@ pub fn join_sql(
         .included_hierarchies()
         .map(|(hi, li)| binding.level_sql_column(hi, li).to_string())
         .collect();
-    let select_cols: Vec<String> =
-        left_aliases.iter().map(|c| format!("t1.{c}")).collect();
+    let select_cols: Vec<String> = left_aliases.iter().map(|c| format!("t1.{c}")).collect();
     let left_measures: Vec<String> = left.measures.iter().map(|m| format!("t1.{m}")).collect();
     let right_measures: Vec<String> = right
         .measures
@@ -123,8 +118,7 @@ pub fn join_sql(
         .zip(right_renames.iter())
         .map(|(m, r)| format!("t2.{m} as {r}"))
         .collect();
-    let on: Vec<String> =
-        join_columns.iter().map(|c| format!("t1.{c} = t2.{c}")).collect();
+    let on: Vec<String> = join_columns.iter().map(|c| format!("t1.{c} = t2.{c}")).collect();
     format!(
         "select {}, {}, {}\nfrom\n({}) t1,\n({}) t2\nwhere {}",
         select_cols.join(", "),
@@ -148,10 +142,8 @@ pub fn pivot_sql(
 ) -> String {
     let schema = binding.schema();
     let pivot_col = binding.level_sql_column(pivot_hierarchy, pivot_level);
-    let op = schema
-        .measure_index(measure)
-        .map(|i| schema.measures()[i].agg().name())
-        .unwrap_or("sum");
+    let op =
+        schema.measure_index(measure).map(|i| schema.measures()[i].agg().name()).unwrap_or("sum");
     let mut in_list = vec![format!("'{reference}' as {measure}")];
     in_list.extend(neighbors.iter().map(|(member, alias)| format!("'{member}' as {alias}")));
     let not_null: Vec<String> = std::iter::once(measure.to_string())

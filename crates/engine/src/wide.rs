@@ -96,7 +96,7 @@ pub(crate) fn get_wide(
     let columns: Vec<CubeColumn> = q
         .measures
         .iter()
-        .zip(cols.into_iter())
+        .zip(cols)
         .map(|(name, data)| CubeColumn::Numeric(NumericColumn::dense(name.clone(), data)))
         .collect();
     let mut cube = DerivedCube::from_parts(schema, q.group_by.clone(), coord_cols, columns)?;

@@ -145,10 +145,7 @@ fn get_with_complete_aggregation_on_other_hierarchies() {
     let rows = rows_of(&out.cube, "quantity");
     assert_eq!(
         rows,
-        vec![
-            (vec!["Italy".to_string()], Some(65.0)),
-            (vec!["France".to_string()], Some(36.0)),
-        ]
+        vec![(vec!["Italy".to_string()], Some(65.0)), (vec!["France".to_string()], Some(36.0)),]
     );
 }
 
@@ -161,10 +158,7 @@ fn max_aggregation_operator() {
     let rows = rows_of(&out.cube, "maxq");
     assert_eq!(
         rows,
-        vec![
-            (vec!["Italy".to_string()], Some(20.0)),
-            (vec!["France".to_string()], Some(15.0)),
-        ]
+        vec![(vec!["Italy".to_string()], Some(20.0)), (vec!["France".to_string()], Some(15.0)),]
     );
 }
 
@@ -225,10 +219,8 @@ fn view_path_matches_fact_path() {
     assert_eq!(via_view.used_view.as_deref(), Some("mv_product_country"));
     assert!(via_view.rows_scanned < FACT.len());
 
-    let no_views = Engine::with_config(
-        catalog,
-        EngineConfig { use_views: false, ..EngineConfig::default() },
-    );
+    let no_views =
+        Engine::with_config(catalog, EngineConfig { use_views: false, ..EngineConfig::default() });
     let via_fact = no_views.get(&q).unwrap();
     assert_eq!(via_fact.used_view, None);
     assert_eq!(rows_of(&via_view.cube, "quantity"), rows_of(&via_fact.cube, "quantity"));
@@ -310,7 +302,15 @@ fn left_outer_join_completes_with_nulls() {
     );
     let france = schema.hierarchy(1).unwrap().level(1).unwrap().member_id("France").unwrap();
     let inner = engine
-        .get_join_sliced(&left, &right, 1, &[france], "quantity", &["b".to_string()], JoinKind::Inner)
+        .get_join_sliced(
+            &left,
+            &right,
+            1,
+            &[france],
+            "quantity",
+            &["b".to_string()],
+            JoinKind::Inner,
+        )
         .unwrap();
     let outer = engine
         .get_join_sliced(
@@ -325,10 +325,8 @@ fn left_outer_join_completes_with_nulls() {
         .unwrap();
     assert_eq!(inner.cube.len(), 3);
     assert_eq!(outer.cube.len(), 4);
-    let milk_row = rows_of(&outer.cube, "b")
-        .into_iter()
-        .find(|(names, _)| names[0] == "Milk")
-        .unwrap();
+    let milk_row =
+        rows_of(&outer.cube, "b").into_iter().find(|(names, _)| names[0] == "Milk").unwrap();
     assert_eq!(milk_row.1, None);
 }
 
@@ -480,17 +478,13 @@ fn pivot_rejects_bad_configurations() {
     let country = schema.hierarchy(1).unwrap().level(1).unwrap();
     let italy = country.member_id("Italy").unwrap();
     // Pivot hierarchy not in group-by.
-    assert!(engine
-        .get_pivot(&q, 1, italy, &[italy], "quantity", &["b".to_string()])
-        .is_err());
+    assert!(engine.get_pivot(&q, 1, italy, &[italy], "quantity", &["b".to_string()]).is_err());
     // Empty neighbor list.
     let g2 = GroupBySet::from_level_names(&schema, &["product", "country"]).unwrap();
     let q2 = CubeQuery::new("SALES", g2, vec![], vec!["quantity".into()]);
     assert!(engine.get_pivot(&q2, 1, italy, &[], "quantity", &[]).is_err());
     // Unknown measure.
-    assert!(engine
-        .get_pivot(&q2, 1, italy, &[italy], "ghost", &["b".to_string()])
-        .is_err());
+    assert!(engine.get_pivot(&q2, 1, italy, &[italy], "ghost", &["b".to_string()]).is_err());
 }
 
 #[test]
@@ -616,9 +610,8 @@ fn estimate_get_predicts_access_path_and_size() {
     assert!(est.cells >= 1.0 && est.cells <= FACT.len() as f64);
 
     // With a matching view, the estimate switches to the view's size.
-    let base = engine
-        .get(&CubeQuery::new("SALES", g.clone(), vec![], vec!["quantity".into()]))
-        .unwrap();
+    let base =
+        engine.get(&CubeQuery::new("SALES", g.clone(), vec![], vec!["quantity".into()])).unwrap();
     catalog.register_view(
         MaterializedAggregate::new(
             "mv",
@@ -655,11 +648,8 @@ fn wide_group_by_keys_fall_back_to_boxed_scan() {
             level_columns: vec![format!("l{h}")],
         });
     }
-    let schema = Arc::new(CubeSchema::new(
-        "WIDE",
-        hierarchies,
-        vec![MeasureDef::new("m", AggOp::Sum)],
-    ));
+    let schema =
+        Arc::new(CubeSchema::new("WIDE", hierarchies, vec![MeasureDef::new("m", AggOp::Sum)]));
     // A handful of facts, two of them sharing every coordinate.
     let rows: Vec<[i64; 5]> =
         vec![[1, 2, 3, 4, 5], [1, 2, 3, 4, 5], [6, 7, 8, 9, 10], [8191, 0, 8191, 0, 8191]];
@@ -668,8 +658,7 @@ fn wide_group_by_keys_fall_back_to_boxed_scan() {
         .collect();
     columns.push(Column::f64("m", vec![1.0, 2.0, 4.0, 8.0]));
     let fact = Table::new("wide_fact", columns).unwrap();
-    let binding =
-        CubeBinding::new(schema.clone(), &fact, fk_cols, vec!["m".into()], dims).unwrap();
+    let binding = CubeBinding::new(schema.clone(), &fact, fk_cols, vec!["m".into()], dims).unwrap();
     let catalog = Arc::new(Catalog::new());
     catalog.register_table(fact);
     catalog.register_binding("WIDE", binding);

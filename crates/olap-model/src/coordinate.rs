@@ -55,7 +55,10 @@ impl Coordinate {
         group_by: &GroupBySet,
     ) -> Result<Vec<&'a str>, ModelError> {
         if self.arity() != group_by.arity() {
-            return Err(ModelError::CoordinateArity { expected: group_by.arity(), got: self.arity() });
+            return Err(ModelError::CoordinateArity {
+                expected: group_by.arity(),
+                got: self.arity(),
+            });
         }
         group_by
             .included_hierarchies()
@@ -89,8 +92,11 @@ impl Coordinate {
         }
         let mut out = Vec::with_capacity(coarse.arity());
         for (hi, coarse_li) in coarse.included_hierarchies() {
-            let fine_li = fine.slots()[hi]
-                .ok_or_else(|| ModelError::Invariant("coarse group-by includes a hierarchy absent from the fine one".into()))?;
+            let fine_li = fine.slots()[hi].ok_or_else(|| {
+                ModelError::Invariant(
+                    "coarse group-by includes a hierarchy absent from the fine one".into(),
+                )
+            })?;
             let component = fine
                 .component_of(hi)
                 .ok_or_else(|| ModelError::Invariant("component lookup failed".into()))?;
@@ -114,13 +120,8 @@ impl Coordinate {
     /// Projection of the coordinate on the components *other than* `idx`
     /// (`γ|G\l` in the pivot/partial-join definitions).
     pub fn without_component(&self, idx: usize) -> Coordinate {
-        let members = self
-            .0
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i != idx)
-            .map(|(_, m)| *m)
-            .collect();
+        let members =
+            self.0.iter().enumerate().filter(|(i, _)| *i != idx).map(|(_, m)| *m).collect();
         Coordinate(members)
     }
 }

@@ -72,11 +72,7 @@ impl NumericColumn {
 
     /// Iterator over the valid values only.
     pub fn valid_values(&self) -> impl Iterator<Item = f64> + '_ {
-        self.data
-            .iter()
-            .zip(self.validity.iter())
-            .filter(|(_, v)| **v)
-            .map(|(x, _)| *x)
+        self.data.iter().zip(self.validity.iter()).filter(|(_, v)| **v).map(|(x, _)| *x)
     }
 }
 
@@ -92,7 +88,12 @@ pub struct LabelColumn {
 
 impl LabelColumn {
     pub fn new(name: impl Into<String>) -> Self {
-        LabelColumn { name: name.into(), codes: Vec::new(), dict: Vec::new(), lookup: HashMap::new() }
+        LabelColumn {
+            name: name.into(),
+            codes: Vec::new(),
+            dict: Vec::new(),
+            lookup: HashMap::new(),
+        }
     }
 
     /// Builds from nullable label strings.
@@ -233,9 +234,10 @@ impl DerivedCube {
                 got: coord_cols.len(),
             });
         }
-        let n = coord_cols.first().map(|c| c.len()).unwrap_or_else(|| {
-            columns.first().map(|c| c.len()).unwrap_or(0)
-        });
+        let n = coord_cols
+            .first()
+            .map(|c| c.len())
+            .unwrap_or_else(|| columns.first().map(|c| c.len()).unwrap_or(0));
         for c in &coord_cols {
             if c.len() != n {
                 return Err(ModelError::RaggedColumns {
@@ -273,9 +275,10 @@ impl DerivedCube {
 
     /// `|C|`: the number of coordinates (cells) of the cube.
     pub fn len(&self) -> usize {
-        self.coord_cols.first().map(|c| c.len()).unwrap_or_else(|| {
-            self.columns.first().map(|c| c.len()).unwrap_or(0)
-        })
+        self.coord_cols
+            .first()
+            .map(|c| c.len())
+            .unwrap_or_else(|| self.columns.first().map(|c| c.len()).unwrap_or(0))
     }
 
     pub fn is_empty(&self) -> bool {
@@ -380,9 +383,8 @@ impl DerivedCube {
             }
             std::cmp::Ordering::Equal
         });
-        let apply_u32 = |col: &Vec<MemberId>| -> Vec<MemberId> {
-            perm.iter().map(|&i| col[i]).collect()
-        };
+        let apply_u32 =
+            |col: &Vec<MemberId>| -> Vec<MemberId> { perm.iter().map(|&i| col[i]).collect() };
         self.coord_cols = self.coord_cols.iter().map(apply_u32).collect();
         self.columns = self
             .columns
@@ -488,10 +490,7 @@ mod tests {
             schema.clone(),
             g,
             vec![vec![MemberId(0), MemberId(1), MemberId(2)], vec![italy; 3]],
-            vec![CubeColumn::Numeric(NumericColumn::dense(
-                "quantity",
-                vec![100.0, 90.0, 30.0],
-            ))],
+            vec![CubeColumn::Numeric(NumericColumn::dense("quantity", vec![100.0, 90.0, 30.0]))],
         )
         .unwrap()
     }
@@ -516,10 +515,7 @@ mod tests {
         assert_eq!(cube.len(), 3);
         let cell = cube.cells().next().unwrap();
         assert_eq!(cell.numeric("quantity"), Some(100.0));
-        assert_eq!(
-            cell.coordinate().names(&s, cube.group_by()).unwrap(),
-            vec!["Apple", "Italy"]
-        );
+        assert_eq!(cell.coordinate().names(&s, cube.group_by()).unwrap(), vec!["Apple", "Italy"]);
     }
 
     #[test]

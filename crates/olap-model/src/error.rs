@@ -4,6 +4,7 @@ use std::fmt;
 
 /// Errors raised while building or navigating the multidimensional model.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ModelError {
     /// A level name was not found in a hierarchy or schema.
     UnknownLevel(String),
@@ -47,7 +48,10 @@ impl fmt::Display for ModelError {
                 "part-of order from `{from}` to `{to}` is not functional for member `{member}`"
             ),
             ModelError::InvalidRollup { from, to } => {
-                write!(f, "cannot roll up from `{from}` to `{to}`: not coarser in the roll-up order")
+                write!(
+                    f,
+                    "cannot roll up from `{from}` to `{to}`: not coarser in the roll-up order"
+                )
             }
             ModelError::IncompatibleGroupBy => {
                 write!(f, "group-by sets are defined over different schemas")
@@ -55,10 +59,9 @@ impl fmt::Display for ModelError {
             ModelError::CoordinateArity { expected, got } => {
                 write!(f, "coordinate arity mismatch: expected {expected}, got {got}")
             }
-            ModelError::RaggedColumns { expected, got, column } => write!(
-                f,
-                "column `{column}` has {got} rows but the cube has {expected}"
-            ),
+            ModelError::RaggedColumns { expected, got, column } => {
+                write!(f, "column `{column}` has {got} rows but the cube has {expected}")
+            }
             ModelError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
             ModelError::DuplicateColumn(c) => write!(f, "duplicate column `{c}`"),
             ModelError::Invariant(msg) => write!(f, "model invariant violated: {msg}"),

@@ -105,9 +105,7 @@ impl GroupBySet {
     /// Renders the group-by set as level names for diagnostics/SQL.
     pub fn level_names<'a>(&self, schema: &'a CubeSchema) -> Vec<&'a str> {
         self.included_hierarchies()
-            .filter_map(|(hi, li)| {
-                schema.hierarchy(hi).and_then(|h| h.level(li)).map(|l| l.name())
-            })
+            .filter_map(|(hi, li)| schema.hierarchy(hi).and_then(|h| h.level(li)).map(|l| l.name()))
             .collect()
     }
 }

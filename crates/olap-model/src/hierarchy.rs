@@ -63,19 +63,34 @@ impl Hierarchy {
 
     /// Rolls a member of level `from` up to level `to` along the part-of
     /// chain (`rup` in the paper). `from == to` is the identity.
-    pub fn roll_member(&self, from: usize, to: usize, member: MemberId) -> Result<MemberId, ModelError> {
+    pub fn roll_member(
+        &self,
+        from: usize,
+        to: usize,
+        member: MemberId,
+    ) -> Result<MemberId, ModelError> {
         if !self.rolls_up(from, to) {
             return Err(ModelError::InvalidRollup {
-                from: self.levels.get(from).map(|l| l.name().to_string()).unwrap_or_else(|| format!("level {from}")),
-                to: self.levels.get(to).map(|l| l.name().to_string()).unwrap_or_else(|| format!("level {to}")),
+                from: self
+                    .levels
+                    .get(from)
+                    .map(|l| l.name().to_string())
+                    .unwrap_or_else(|| format!("level {from}")),
+                to: self
+                    .levels
+                    .get(to)
+                    .map(|l| l.name().to_string())
+                    .unwrap_or_else(|| format!("level {to}")),
             });
         }
         let mut m = member;
         for step in from..to {
-            m = *self.part_of[step].get(m.index()).ok_or_else(|| ModelError::Invariant(format!(
-                "member {} out of range for part-of step {} of hierarchy `{}`",
-                m, step, self.name
-            )))?;
+            m = *self.part_of[step].get(m.index()).ok_or_else(|| {
+                ModelError::Invariant(format!(
+                    "member {} out of range for part-of step {} of hierarchy `{}`",
+                    m, step, self.name
+                ))
+            })?;
         }
         Ok(m)
     }
@@ -87,8 +102,16 @@ impl Hierarchy {
     pub fn composed_map(&self, from: usize, to: usize) -> Result<Vec<MemberId>, ModelError> {
         if !self.rolls_up(from, to) {
             return Err(ModelError::InvalidRollup {
-                from: self.levels.get(from).map(|l| l.name().to_string()).unwrap_or_else(|| format!("level {from}")),
-                to: self.levels.get(to).map(|l| l.name().to_string()).unwrap_or_else(|| format!("level {to}")),
+                from: self
+                    .levels
+                    .get(from)
+                    .map(|l| l.name().to_string())
+                    .unwrap_or_else(|| format!("level {from}")),
+                to: self
+                    .levels
+                    .get(to)
+                    .map(|l| l.name().to_string())
+                    .unwrap_or_else(|| format!("level {to}")),
             });
         }
         let n = self.levels[from].cardinality();
@@ -194,8 +217,7 @@ impl HierarchyBuilder {
         for (step, links) in self.part_of.into_iter().enumerate() {
             let expected = self.levels[step].cardinality();
             if links.len() != expected {
-                let member = self
-                    .levels[step]
+                let member = self.levels[step]
                     .member_name(MemberId(links.len() as u32))
                     .unwrap_or("<unknown>")
                     .to_string();

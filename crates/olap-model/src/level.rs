@@ -151,10 +151,7 @@ impl Level {
 
     /// Iterates over `(id, name)` pairs in id order.
     pub fn members(&self) -> impl Iterator<Item = (MemberId, &str)> {
-        self.members
-            .iter()
-            .enumerate()
-            .map(|(i, name)| (MemberId(i as u32), name.as_str()))
+        self.members.iter().enumerate().map(|(i, name)| (MemberId(i as u32), name.as_str()))
     }
 }
 

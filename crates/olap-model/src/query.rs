@@ -75,13 +75,10 @@ impl Predicate {
 
     /// Renders the predicate as `level = 'member'` / `level in (…)` text.
     pub fn render(&self, schema: &CubeSchema) -> String {
-        let level = schema
-            .hierarchy(self.hierarchy)
-            .and_then(|h| h.level(self.level));
+        let level = schema.hierarchy(self.hierarchy).and_then(|h| h.level(self.level));
         let level_name = level.map(|l| l.name()).unwrap_or("?");
-        let name_of = |m: &MemberId| {
-            level.and_then(|l| l.member_name(*m)).unwrap_or("?").to_string()
-        };
+        let name_of =
+            |m: &MemberId| level.and_then(|l| l.member_name(*m)).unwrap_or("?").to_string();
         match &self.op {
             PredicateOp::Eq(m) => format!("{} = '{}'", level_name, name_of(m)),
             PredicateOp::In(ms) => {

@@ -28,8 +28,7 @@ fn build(spec: &HierarchySpec) -> Hierarchy {
     let mut b = HierarchyBuilder::new("H", ["leaf", "mid", "top"]);
     for (leaf, &mid) in spec.mid_of.iter().enumerate() {
         let top = spec.top_of[mid];
-        b.add_member_chain(&[format!("l{leaf}"), format!("m{mid}"), format!("t{top}")])
-            .unwrap();
+        b.add_member_chain(&[format!("l{leaf}"), format!("m{mid}"), format!("t{top}")]).unwrap();
     }
     b.build().unwrap()
 }

@@ -1,0 +1,222 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! crate supplies a compatible subset of the criterion 0.5 API:
+//! [`Criterion`], `benchmark_group` / `bench_function` / `iter`,
+//! [`black_box`], and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — warm up briefly, then time batches
+//! until a fixed measurement budget is spent, reporting the median batch
+//! mean. There is no statistical analysis, HTML report, or baseline
+//! comparison; numbers print to stdout in a `name  time/iter` table, which
+//! is enough to compare strategies within one run. Passing `--test` (as
+//! `cargo test --benches` does) runs every benchmark body once and skips
+//! timing.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (stable `std::hint::black_box`).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Harness entry point, handed to every `criterion_group!` target.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    /// `--test` mode: run each body once, skip timing.
+    test_mode: bool,
+    /// Substring filter from the command line, like criterion's.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let test_mode = args.iter().any(|a| a == "--test");
+        let filter =
+            args.iter().skip(1).find(|a| !a.starts_with('-') && !a.ends_with("bench")).cloned();
+        Criterion {
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_millis(800),
+            test_mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        if let Some(f) = &self.filter {
+            if !name.contains(f.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            test_mode: self.test_mode,
+            result: None,
+        };
+        routine(&mut bencher);
+        match bencher.result {
+            Some(per_iter) => println!("{name:<50} {:>12}/iter", fmt_duration(per_iter)),
+            None => println!("{name:<50} {:>12}", if self.test_mode { "ok" } else { "-" }),
+        }
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        self.criterion.bench_function(full, routine);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.criterion.measurement = time;
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Times one routine.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    test_mode: bool,
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up: discover a batch size that lasts ≥ ~1ms so timer
+        // resolution does not dominate tiny routines.
+        let mut batch = 1u64;
+        let warm_end = Instant::now() + self.warm_up;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                if Instant::now() >= warm_end {
+                    break;
+                }
+            } else {
+                batch = batch.saturating_mul(2);
+            }
+            if Instant::now() >= warm_end {
+                break;
+            }
+        }
+        // Measurement: batch means until the budget is spent.
+        let mut means: Vec<Duration> = Vec::new();
+        let measure_end = Instant::now() + self.measurement;
+        while Instant::now() < measure_end || means.is_empty() {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            means.push(t.elapsed() / batch as u32);
+        }
+        means.sort();
+        self.result = Some(means[means.len() / 2]);
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group: `criterion_group!(benches, fn_a, fn_b);`
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`: `criterion_main!(benches);`
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(5),
+            test_mode: false,
+            filter: None,
+        };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(3u64).pow(7));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_compose_names() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(2),
+            test_mode: true,
+            filter: None,
+        };
+        let mut group = c.benchmark_group("g");
+        group.bench_function("inner", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

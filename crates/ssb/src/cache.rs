@@ -31,10 +31,8 @@ pub fn save(root: &Path, dataset: &SsbDataset) -> std::io::Result<PathBuf> {
     let dir = entry_dir(root, &dataset.config);
     std::fs::create_dir_all(&dir)?;
     for name in TABLES {
-        let table = dataset
-            .catalog
-            .table(name)
-            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        let table =
+            dataset.catalog.table(name).map_err(|e| std::io::Error::other(e.to_string()))?;
         persist::save_table(&table, &dir.join(format!("{name}.olap")))?;
     }
     Ok(dir)

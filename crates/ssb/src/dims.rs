@@ -31,7 +31,12 @@ pub fn gen_customers(n: usize, seed: u64) -> (Table, Hierarchy) {
         let (nation, region) = names::NATIONS[rng.gen_range(0..names::NATIONS.len())];
         let city = names::city_name(nation, rng.gen_range(0..names::CITIES_PER_NATION));
         builder
-            .add_member_chain(&[format!("Customer#{i:09}"), city.clone(), nation.into(), region.into()])
+            .add_member_chain(&[
+                format!("Customer#{i:09}"),
+                city.clone(),
+                nation.into(),
+                region.into(),
+            ])
             .expect("customer chain is functional");
         cities.push(city);
         nations.push(nation);
@@ -87,7 +92,12 @@ pub fn gen_suppliers(n: usize, seed: u64) -> (Table, Hierarchy) {
         let (nation, region) = names::NATIONS[rng.gen_range(0..names::NATIONS.len())];
         let city = names::city_name(nation, rng.gen_range(0..names::CITIES_PER_NATION));
         builder
-            .add_member_chain(&[format!("Supplier#{i:09}"), city.clone(), nation.into(), region.into()])
+            .add_member_chain(&[
+                format!("Supplier#{i:09}"),
+                city.clone(),
+                nation.into(),
+                region.into(),
+            ])
             .expect("supplier chain is functional");
         cities.push(city);
         nations.push(nation);

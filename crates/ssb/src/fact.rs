@@ -47,18 +47,28 @@ pub fn gen_lineorder(n: usize, domains: FactDomains, seed: u64, parallel: bool) 
             let extendedprice = base_price * quantity;
             let revenue = extendedprice * (100.0 - discount) / 100.0;
             let supplycost = base_price * 0.6 * (0.9 + 0.2 * rng.gen::<f64>());
-            out.push(ckey, skey, pkey, dkey, quantity, discount, extendedprice, revenue, supplycost);
+            out.push(
+                ckey,
+                skey,
+                pkey,
+                dkey,
+                quantity,
+                discount,
+                extendedprice,
+                revenue,
+                supplycost,
+            );
         }
         out
     };
 
     let chunks: Vec<FactChunk> = if parallel && n_chunks > 1 {
         let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for t in 0..threads {
                 let gen_chunk = &gen_chunk;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut mine = Vec::new();
                     let mut c = t;
                     while c < n_chunks {
@@ -73,7 +83,6 @@ pub fn gen_lineorder(n: usize, domains: FactDomains, seed: u64, parallel: bool) 
             all.sort_by_key(|(c, _)| *c);
             all.into_iter().map(|(_, chunk)| chunk).collect()
         })
-        .expect("crossbeam scope")
     } else {
         (0..n_chunks).map(gen_chunk).collect()
     };

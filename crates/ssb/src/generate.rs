@@ -122,12 +122,22 @@ pub fn generate_with_tables(
         DimInfo {
             table: "customer".into(),
             pk: "ckey".into(),
-            level_columns: vec!["ckey".into(), "c_city".into(), "c_nation".into(), "c_region".into()],
+            level_columns: vec![
+                "ckey".into(),
+                "c_city".into(),
+                "c_nation".into(),
+                "c_region".into(),
+            ],
         },
         DimInfo {
             table: "supplier".into(),
             pk: "skey".into(),
-            level_columns: vec!["skey".into(), "s_city".into(), "s_nation".into(), "s_region".into()],
+            level_columns: vec![
+                "skey".into(),
+                "s_city".into(),
+                "s_nation".into(),
+                "s_region".into(),
+            ],
         },
         DimInfo {
             table: "part".into(),

@@ -32,31 +32,31 @@ pub const NATIONS: &[(&str, &str)] = &[
 /// Mid-1990s populations (millions) for the 25 nations, in [`NATIONS`]
 /// order — the descriptive property enabling per-capita assessments.
 pub const NATION_POPULATIONS: &[f64] = &[
-    28.1,  // ALGERIA
-    34.8,  // ARGENTINA
-    161.0, // BRAZIL
-    29.3,  // CANADA
-    61.9,  // EGYPT
-    57.0,  // ETHIOPIA
-    58.1,  // FRANCE
-    81.6,  // GERMANY
-    932.0, // INDIA
-    194.0, // INDONESIA
-    60.0,  // IRAN
-    20.4,  // IRAQ
-    125.0, // JAPAN
-    4.2,   // JORDAN
-    27.4,  // KENYA
-    26.4,  // MOROCCO
-    16.0,  // MOZAMBIQUE
-    23.9,  // PERU
-    1205.0,// CHINA
-    22.7,  // ROMANIA
-    18.5,  // SAUDI ARABIA
-    72.0,  // VIETNAM
-    148.0, // RUSSIA
-    58.0,  // UNITED KINGDOM
-    266.0, // UNITED STATES
+    28.1,   // ALGERIA
+    34.8,   // ARGENTINA
+    161.0,  // BRAZIL
+    29.3,   // CANADA
+    61.9,   // EGYPT
+    57.0,   // ETHIOPIA
+    58.1,   // FRANCE
+    81.6,   // GERMANY
+    932.0,  // INDIA
+    194.0,  // INDONESIA
+    60.0,   // IRAN
+    20.4,   // IRAQ
+    125.0,  // JAPAN
+    4.2,    // JORDAN
+    27.4,   // KENYA
+    26.4,   // MOROCCO
+    16.0,   // MOZAMBIQUE
+    23.9,   // PERU
+    1205.0, // CHINA
+    22.7,   // ROMANIA
+    18.5,   // SAUDI ARABIA
+    72.0,   // VIETNAM
+    148.0,  // RUSSIA
+    58.0,   // UNITED KINGDOM
+    266.0,  // UNITED STATES
 ];
 
 /// The five SSB regions.

@@ -42,7 +42,8 @@ pub fn register_default_views(
     for (name, levels) in specs {
         let group_by = GroupBySet::from_level_names(schema, levels)?;
         let measures: Vec<String> = VIEW_MEASURES.iter().map(|m| m.to_string()).collect();
-        let out = engine.get(&CubeQuery::new(SSB_CUBE, group_by.clone(), vec![], measures.clone()))?;
+        let out =
+            engine.get(&CubeQuery::new(SSB_CUBE, group_by.clone(), vec![], measures.clone()))?;
         let measure_cols: Vec<Vec<f64>> = measures
             .iter()
             .map(|m| out.cube.numeric_column(m).expect("measure present").data.clone())

@@ -77,10 +77,7 @@ impl CubeBinding {
         }
         for (h, fk) in schema.hierarchies().iter().zip(&fk_columns) {
             let keys = fact.require_i64(fk)?;
-            let domain = h
-                .level(0)
-                .map(|l| l.cardinality() as i64)
-                .unwrap_or(0);
+            let domain = h.level(0).map(|l| l.cardinality() as i64).unwrap_or(0);
             if let Some(&bad) = keys.iter().find(|&&k| k < 0 || k >= domain) {
                 return Err(StorageError::InvalidBinding(format!(
                     "foreign key `{fk}` holds value {bad} outside the domain of level `{}` (0..{domain})",
@@ -130,9 +127,7 @@ impl CubeBinding {
 
     /// Fact measure column by measure name.
     pub fn measure_column_by_name(&self, measure: &str) -> Option<&str> {
-        self.schema
-            .measure_index(measure)
-            .map(|mi| self.measure_columns[mi].as_str())
+        self.schema.measure_index(measure).map(|mi| self.measure_columns[mi].as_str())
     }
 
     /// Dimension descriptor of hierarchy `hi`.
@@ -215,8 +210,9 @@ mod tests {
 
     #[test]
     fn arity_mismatches_rejected() {
-        assert!(CubeBinding::new(schema(), &fact(), vec![], vec!["quantity".into()], dims())
-            .is_err());
+        assert!(
+            CubeBinding::new(schema(), &fact(), vec![], vec!["quantity".into()], dims()).is_err()
+        );
         assert!(CubeBinding::new(schema(), &fact(), vec!["pkey".into()], vec![], dims()).is_err());
         let short_dims = vec![DimInfo {
             table: "product".into(),

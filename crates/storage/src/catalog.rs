@@ -1,9 +1,7 @@
 //! A thread-safe catalog of tables, cube bindings, indexes and views.
 
 use std::collections::HashMap;
-use std::sync::Arc;
-
-use parking_lot::RwLock;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::binding::CubeBinding;
 use crate::error::StorageError;
@@ -31,17 +29,29 @@ impl Catalog {
         Catalog::default()
     }
 
+    /// Read access. A poisoned lock is recovered rather than propagated:
+    /// the catalog only holds `Arc`s and plain maps, so a writer that
+    /// panicked mid-insert leaves at worst a missing entry, never a torn
+    /// one.
+    fn read(&self) -> RwLockReadGuard<'_, CatalogInner> {
+        self.inner.read().unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Write access, with the same poison-recovery policy as [`Self::read`].
+    fn write(&self) -> RwLockWriteGuard<'_, CatalogInner> {
+        self.inner.write().unwrap_or_else(|poison| poison.into_inner())
+    }
+
     /// Registers (or replaces) a table.
     pub fn register_table(&self, table: Table) -> Arc<Table> {
         let table = Arc::new(table);
-        self.inner.write().tables.insert(table.name().to_string(), table.clone());
+        self.write().tables.insert(table.name().to_string(), table.clone());
         table
     }
 
     /// Fetches a table by name.
     pub fn table(&self, name: &str) -> Result<Arc<Table>, StorageError> {
-        self.inner
-            .read()
+        self.read()
             .tables
             .get(name)
             .cloned()
@@ -49,16 +59,19 @@ impl Catalog {
     }
 
     /// Registers a cube binding under the cube's name.
-    pub fn register_binding(&self, name: impl Into<String>, binding: CubeBinding) -> Arc<CubeBinding> {
+    pub fn register_binding(
+        &self,
+        name: impl Into<String>,
+        binding: CubeBinding,
+    ) -> Arc<CubeBinding> {
         let binding = Arc::new(binding);
-        self.inner.write().bindings.insert(name.into(), binding.clone());
+        self.write().bindings.insert(name.into(), binding.clone());
         binding
     }
 
     /// Fetches a cube binding by cube name.
     pub fn binding(&self, name: &str) -> Result<Arc<CubeBinding>, StorageError> {
-        self.inner
-            .read()
+        self.read()
             .bindings
             .get(name)
             .cloned()
@@ -68,25 +81,25 @@ impl Catalog {
     /// Builds (or reuses) a hash index on `table.column`.
     pub fn hash_index(&self, table: &str, column: &str) -> Result<Arc<HashIndex>, StorageError> {
         let key = (table.to_string(), column.to_string());
-        if let Some(idx) = self.inner.read().indexes.get(&key) {
+        if let Some(idx) = self.read().indexes.get(&key) {
             return Ok(idx.clone());
         }
         let t = self.table(table)?;
         let idx = Arc::new(HashIndex::build(&t, column)?);
-        self.inner.write().indexes.insert(key, idx.clone());
+        self.write().indexes.insert(key, idx.clone());
         Ok(idx)
     }
 
     /// Registers a materialized aggregate view.
     pub fn register_view(&self, view: MaterializedAggregate) -> Arc<MaterializedAggregate> {
         let view = Arc::new(view);
-        self.inner.write().views.push(view.clone());
+        self.write().views.push(view.clone());
         view
     }
 
     /// Removes all materialized views (used by the view-matching ablation).
     pub fn clear_views(&self) {
-        self.inner.write().views.clear();
+        self.write().views.clear();
     }
 
     /// Finds the smallest registered view answering a query with the given
@@ -98,8 +111,7 @@ impl Catalog {
         predicate_levels: &[(usize, usize)],
         measures: &[String],
     ) -> Option<Arc<MaterializedAggregate>> {
-        self.inner
-            .read()
+        self.read()
             .views
             .iter()
             .filter(|v| v.matches(group_by, predicate_levels, measures))
@@ -109,14 +121,14 @@ impl Catalog {
 
     /// Names of all registered tables (sorted, for stable diagnostics).
     pub fn table_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.inner.read().tables.keys().cloned().collect();
+        let mut names: Vec<String> = self.read().tables.keys().cloned().collect();
         names.sort();
         names
     }
 
     /// Total approximate footprint of all tables, in bytes.
     pub fn total_bytes(&self) -> usize {
-        self.inner.read().tables.values().map(|t| t.byte_size()).sum()
+        self.read().tables.values().map(|t| t.byte_size()).sum()
     }
 }
 

@@ -4,6 +4,7 @@ use std::fmt;
 
 /// Errors raised by tables, indexes, views and the catalog.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum StorageError {
     /// A table name was not found in the catalog.
     UnknownTable(String),

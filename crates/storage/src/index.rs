@@ -110,8 +110,7 @@ mod tests {
 
     #[test]
     fn building_over_wrong_type_fails() {
-        let t =
-            Table::new("t", vec![Column::from_strings("s", ["a", "b"])]).unwrap();
+        let t = Table::new("t", vec![Column::from_strings("s", ["a", "b"])]).unwrap();
         assert!(BTreeIndex::build(&t, "s").is_err());
         assert!(HashIndex::build(&t, "s").is_err());
     }

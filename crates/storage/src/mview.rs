@@ -46,9 +46,10 @@ impl MaterializedAggregate {
                 measure_cols.len()
             )));
         }
-        let n = coord_cols.first().map(Vec::len).unwrap_or_else(|| {
-            measure_cols.first().map(Vec::len).unwrap_or(0)
-        });
+        let n = coord_cols
+            .first()
+            .map(Vec::len)
+            .unwrap_or_else(|| measure_cols.first().map(Vec::len).unwrap_or(0));
         for c in &coord_cols {
             if c.len() != n {
                 return Err(StorageError::RaggedColumns {
@@ -81,9 +82,10 @@ impl MaterializedAggregate {
     }
 
     pub fn len(&self) -> usize {
-        self.coord_cols.first().map(Vec::len).unwrap_or_else(|| {
-            self.measure_cols.first().map(Vec::len).unwrap_or(0)
-        })
+        self.coord_cols
+            .first()
+            .map(Vec::len)
+            .unwrap_or_else(|| self.measure_cols.first().map(Vec::len).unwrap_or(0))
     }
 
     pub fn is_empty(&self) -> bool {
@@ -100,10 +102,7 @@ impl MaterializedAggregate {
 
     /// The summed values of a measure, if materialized.
     pub fn measure(&self, name: &str) -> Option<&[f64]> {
-        self.measure_names
-            .iter()
-            .position(|m| m == name)
-            .map(|i| self.measure_cols[i].as_slice())
+        self.measure_names.iter().position(|m| m == name).map(|i| self.measure_cols[i].as_slice())
     }
 
     /// View matching: can a query with group-by `g`, predicates on the given

@@ -15,8 +15,6 @@
 
 use std::sync::Arc;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
 use crate::column::{Column, ColumnData};
 use crate::dictionary::Dictionary;
 use crate::error::StorageError;
@@ -28,112 +26,143 @@ const TAG_I64: u8 = 1;
 const TAG_F64: u8 = 2;
 const TAG_DICT: u8 = 3;
 
-fn put_str(buf: &mut BytesMut, s: &str) {
-    buf.put_u32_le(s.len() as u32);
-    buf.put_slice(s.as_bytes());
+/// A bounds-checked little-endian reader over a byte slice.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
 }
 
-fn get_str(buf: &mut Bytes) -> Result<String, StorageError> {
-    if buf.remaining() < 4 {
-        return Err(StorageError::Corrupt("truncated string length".into()));
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
     }
-    let len = buf.get_u32_le() as usize;
-    if buf.remaining() < len {
-        return Err(StorageError::Corrupt("truncated string payload".into()));
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
     }
-    let bytes = buf.copy_to_bytes(len);
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], StorageError> {
+        if self.remaining() < n {
+            return Err(StorageError::Corrupt(format!("truncated {what}")));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn get_u8(&mut self, what: &str) -> Result<u8, StorageError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn get_u32_le(&mut self, what: &str) -> Result<u32, StorageError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn get_u64_le(&mut self, what: &str) -> Result<u64, StorageError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn get_i64_le(&mut self, what: &str) -> Result<i64, StorageError> {
+        Ok(i64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn get_f64_le(&mut self, what: &str) -> Result<f64, StorageError> {
+        Ok(f64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn get_str(r: &mut Reader<'_>) -> Result<String, StorageError> {
+    let len = r.get_u32_le("string length")? as usize;
+    let bytes = r.take(len, "string payload")?;
     String::from_utf8(bytes.to_vec()).map_err(|_| StorageError::Corrupt("invalid UTF-8".into()))
 }
 
 /// Serializes a table to its binary representation.
-pub fn write_table(table: &Table) -> Bytes {
-    let mut buf = BytesMut::with_capacity(table.byte_size() + 1024);
-    buf.put_slice(MAGIC);
+pub fn write_table(table: &Table) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(table.byte_size() + 1024);
+    buf.extend_from_slice(MAGIC);
     put_str(&mut buf, table.name());
-    buf.put_u32_le(table.columns().len() as u32);
+    buf.extend_from_slice(&(table.columns().len() as u32).to_le_bytes());
     for col in table.columns() {
         put_str(&mut buf, &col.name);
         match &col.data {
             ColumnData::I64(v) => {
-                buf.put_u8(TAG_I64);
-                buf.put_u64_le(v.len() as u64);
+                buf.push(TAG_I64);
+                buf.extend_from_slice(&(v.len() as u64).to_le_bytes());
                 for x in v {
-                    buf.put_i64_le(*x);
+                    buf.extend_from_slice(&x.to_le_bytes());
                 }
             }
             ColumnData::F64(v) => {
-                buf.put_u8(TAG_F64);
-                buf.put_u64_le(v.len() as u64);
+                buf.push(TAG_F64);
+                buf.extend_from_slice(&(v.len() as u64).to_le_bytes());
                 for x in v {
-                    buf.put_f64_le(*x);
+                    buf.extend_from_slice(&x.to_le_bytes());
                 }
             }
             ColumnData::Dict { codes, dict } => {
-                buf.put_u8(TAG_DICT);
-                buf.put_u64_le(codes.len() as u64);
+                buf.push(TAG_DICT);
+                buf.extend_from_slice(&(codes.len() as u64).to_le_bytes());
                 for c in codes {
-                    buf.put_u32_le(*c);
+                    buf.extend_from_slice(&c.to_le_bytes());
                 }
-                buf.put_u32_le(dict.len() as u32);
+                buf.extend_from_slice(&(dict.len() as u32).to_le_bytes());
                 for value in dict.values() {
                     put_str(&mut buf, value);
                 }
             }
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Deserializes a table from its binary representation.
-pub fn read_table(mut buf: Bytes) -> Result<Table, StorageError> {
-    if buf.remaining() < MAGIC.len() || &buf.copy_to_bytes(MAGIC.len())[..] != MAGIC {
+pub fn read_table(buf: impl AsRef<[u8]>) -> Result<Table, StorageError> {
+    let mut r = Reader::new(buf.as_ref());
+    if r.take(MAGIC.len(), "magic").ok() != Some(&MAGIC[..]) {
         return Err(StorageError::Corrupt("bad magic".into()));
     }
-    let name = get_str(&mut buf)?;
-    if buf.remaining() < 4 {
-        return Err(StorageError::Corrupt("truncated column count".into()));
-    }
-    let n_cols = buf.get_u32_le() as usize;
+    let name = get_str(&mut r)?;
+    let n_cols = r.get_u32_le("column count")? as usize;
     let mut columns = Vec::with_capacity(n_cols);
     for _ in 0..n_cols {
-        let col_name = get_str(&mut buf)?;
-        if buf.remaining() < 1 {
-            return Err(StorageError::Corrupt("truncated column tag".into()));
-        }
-        let tag = buf.get_u8();
+        let col_name = get_str(&mut r)?;
+        let tag = r.get_u8("column tag")?;
         let data = match tag {
             TAG_I64 => {
-                let n = read_len(&mut buf)?;
-                ensure(&buf, n * 8)?;
+                let n = read_len(&mut r)?;
+                ensure(&r, n * 8)?;
                 let mut v = Vec::with_capacity(n);
                 for _ in 0..n {
-                    v.push(buf.get_i64_le());
+                    v.push(r.get_i64_le("i64 payload")?);
                 }
                 ColumnData::I64(v)
             }
             TAG_F64 => {
-                let n = read_len(&mut buf)?;
-                ensure(&buf, n * 8)?;
+                let n = read_len(&mut r)?;
+                ensure(&r, n * 8)?;
                 let mut v = Vec::with_capacity(n);
                 for _ in 0..n {
-                    v.push(buf.get_f64_le());
+                    v.push(r.get_f64_le("f64 payload")?);
                 }
                 ColumnData::F64(v)
             }
             TAG_DICT => {
-                let n = read_len(&mut buf)?;
-                ensure(&buf, n * 4)?;
+                let n = read_len(&mut r)?;
+                ensure(&r, n * 4)?;
                 let mut codes = Vec::with_capacity(n);
                 for _ in 0..n {
-                    codes.push(buf.get_u32_le());
+                    codes.push(r.get_u32_le("code payload")?);
                 }
-                if buf.remaining() < 4 {
-                    return Err(StorageError::Corrupt("truncated dictionary size".into()));
-                }
-                let dict_len = buf.get_u32_le() as usize;
+                let dict_len = r.get_u32_le("dictionary size")? as usize;
                 let mut dict = Dictionary::new();
                 for _ in 0..dict_len {
-                    dict.intern(get_str(&mut buf)?);
+                    dict.intern(get_str(&mut r)?);
                 }
                 if let Some(&bad) = codes.iter().find(|&&c| c as usize >= dict.len()) {
                     return Err(StorageError::Corrupt(format!(
@@ -149,15 +178,12 @@ pub fn read_table(mut buf: Bytes) -> Result<Table, StorageError> {
     Table::new(name, columns)
 }
 
-fn read_len(buf: &mut Bytes) -> Result<usize, StorageError> {
-    if buf.remaining() < 8 {
-        return Err(StorageError::Corrupt("truncated length".into()));
-    }
-    Ok(buf.get_u64_le() as usize)
+fn read_len(r: &mut Reader<'_>) -> Result<usize, StorageError> {
+    Ok(r.get_u64_le("length")? as usize)
 }
 
-fn ensure(buf: &Bytes, bytes: usize) -> Result<(), StorageError> {
-    if buf.remaining() < bytes {
+fn ensure(r: &Reader<'_>, bytes: usize) -> Result<(), StorageError> {
+    if r.remaining() < bytes {
         Err(StorageError::Corrupt("truncated payload".into()))
     } else {
         Ok(())
@@ -173,7 +199,7 @@ pub fn save_table(table: &Table, path: &std::path::Path) -> std::io::Result<()> 
 pub fn load_table(path: &std::path::Path) -> Result<Table, StorageError> {
     let data = std::fs::read(path)
         .map_err(|e| StorageError::Corrupt(format!("cannot read {}: {e}", path.display())))?;
-    read_table(Bytes::from(data))
+    read_table(data)
 }
 
 #[cfg(test)]
@@ -210,7 +236,7 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        let err = read_table(Bytes::from_static(b"NOTATBL0xxxxx")).unwrap_err();
+        let err = read_table(b"NOTATBL0xxxxx").unwrap_err();
         assert!(matches!(err, StorageError::Corrupt(_)));
     }
 
@@ -219,18 +245,14 @@ mod tests {
         let t = Table::new("t", vec![Column::i64("k", vec![1, 2, 3])]).unwrap();
         let full = write_table(&t);
         for cut in [4, 10, full.len() - 3] {
-            let sliced = full.slice(0..cut);
-            assert!(read_table(sliced).is_err(), "cut at {cut} should fail");
+            assert!(read_table(&full[..cut]).is_err(), "cut at {cut} should fail");
         }
     }
 
     #[test]
     fn unicode_strings_survive() {
-        let t = Table::new(
-            "t",
-            vec![Column::from_strings("city", ["Łódź", "北京", "São Paulo"])],
-        )
-        .unwrap();
+        let t = Table::new("t", vec![Column::from_strings("city", ["Łódź", "北京", "São Paulo"])])
+            .unwrap();
         let back = round_trip(&t);
         assert_eq!(back.column("city").unwrap().string_at(1), Some("北京"));
     }

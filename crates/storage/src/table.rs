@@ -132,10 +132,7 @@ mod tests {
 
     #[test]
     fn new_validates_shape() {
-        let bad = Table::new(
-            "t",
-            vec![Column::i64("a", vec![1, 2]), Column::i64("b", vec![1])],
-        );
+        let bad = Table::new("t", vec![Column::i64("a", vec![1, 2]), Column::i64("b", vec![1])]);
         assert!(matches!(bad, Err(StorageError::RaggedColumns { .. })));
         let dup = Table::new("t", vec![Column::i64("a", vec![1]), Column::f64("a", vec![1.0])]);
         assert!(matches!(dup, Err(StorageError::DuplicateColumn { .. })));

@@ -83,7 +83,7 @@ proptest! {
     fn truncated_payloads_never_panic(t in table(), cut_frac in 0.0f64..1.0) {
         let bytes = persist::write_table(&t);
         let cut = ((bytes.len() as f64) * cut_frac) as usize;
-        let _ = persist::read_table(bytes.slice(0..cut));
+        let _ = persist::read_table(&bytes[..cut]);
     }
 
     /// View matching is sound: whenever `matches` accepts, the view's

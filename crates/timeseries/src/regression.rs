@@ -18,11 +18,8 @@ impl LinearFit {
     /// Returns `None` when fewer than one valid point exists. With a single
     /// valid point the fit is the constant line through it.
     pub fn fit(values: &[Option<f64>]) -> Option<LinearFit> {
-        let points: Vec<(f64, f64)> = values
-            .iter()
-            .enumerate()
-            .filter_map(|(t, v)| v.map(|y| (t as f64, y)))
-            .collect();
+        let points: Vec<(f64, f64)> =
+            values.iter().enumerate().filter_map(|(t, v)| v.map(|y| (t as f64, y))).collect();
         match points.len() {
             0 => None,
             1 => Some(LinearFit { intercept: points[0].1, slope: 0.0, n: 1 }),

@@ -117,8 +117,8 @@ fn run(runner: &AssessRunner, title: &str, text: &str) -> Result<(), Box<dyn std
     let statement = assess_olap::sql::parse(text)?;
     println!("{statement}\n");
     let resolved = runner.resolve(&statement)?;
-    let strategy = assess_olap::assess::cost::choose(&resolved, runner.engine())
-        .unwrap_or(Strategy::Naive);
+    let strategy =
+        assess_olap::assess::cost::choose(&resolved, runner.engine()).unwrap_or(Strategy::Naive);
     let (result, _) = runner.execute(&resolved, strategy)?;
     println!("{}", result.render(12));
     Ok(())

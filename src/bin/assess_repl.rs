@@ -22,7 +22,7 @@ use std::io::{BufRead, Write};
 use assess_olap::assess::ast::AssessStatement;
 use assess_olap::assess::exec::AssessRunner;
 use assess_olap::assess::plan::Strategy;
-use assess_olap::assess::{cost, explain, plan, suggest};
+use assess_olap::assess::{explain, plan, suggest};
 use assess_olap::engine::Engine;
 use assess_olap::ssb::{generate::generate, views, SsbConfig};
 
@@ -75,8 +75,14 @@ fn main() {
         }
         let trimmed = line.trim();
         if buffer.is_empty() && trimmed.starts_with('.') {
-            match handle_command(trimmed, &runner, &mut chooser, &last_statement, &last_plan, &dataset)
-            {
+            match handle_command(
+                trimmed,
+                &runner,
+                &mut chooser,
+                &last_statement,
+                &last_plan,
+                &dataset,
+            ) {
                 Flow::Continue => continue,
                 Flow::Quit => break,
             }
@@ -171,8 +177,7 @@ fn handle_command(
                 let levels: Vec<&str> = h.levels().iter().map(|l| l.name()).collect();
                 println!("{}: {}", h.name(), levels.join(" ⪰ "));
             }
-            let measures: Vec<&str> =
-                dataset.schema.measures().iter().map(|m| m.name()).collect();
+            let measures: Vec<&str> = dataset.schema.measures().iter().map(|m| m.name()).collect();
             println!("measures: {}", measures.join(", "));
         }
         other => eprintln!("unknown command {other:?} — try .help"),
@@ -193,34 +198,51 @@ fn run_statement(
             return;
         }
     };
-    let strategy = match chooser {
-        Chooser::Fixed(s) => *s,
-        Chooser::Auto => match cost::choose(&resolved, runner.engine()) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("{e}");
-                return;
-            }
-        },
-    };
-    let physical = match plan::plan(&resolved, strategy) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("{e}");
-            return;
+    // Auto mode goes through the runner's fallback ladder, so a strategy
+    // that dies mid-flight degrades to a cheaper one instead of erroring.
+    let outcome = match chooser {
+        Chooser::Auto => runner.run_auto(statement),
+        Chooser::Fixed(s) => {
+            let physical = match plan::plan(&resolved, *s) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return;
+                }
+            };
+            *last_plan = Some(format!("strategy {s}\n{}", physical.root));
+            runner.execute_plan(&resolved, &physical)
         }
     };
-    *last_plan = Some(format!("strategy {strategy}\n{}", physical.root));
-    match runner.execute_plan(&resolved, &physical) {
+    match outcome {
         Ok((result, report)) => {
+            if matches!(chooser, Chooser::Auto) {
+                *last_plan = Some(format!("strategy {}\n{}", report.strategy, report.plan));
+            }
             println!("{}", result.render(20));
             println!(
                 "{} cells · {} · {:.2} ms · labels {:?}",
                 result.len(),
-                strategy,
+                report.strategy,
                 report.timings.total().as_secs_f64() * 1e3,
                 result.label_histogram()
             );
+            if report.attempts.len() > 1 {
+                for a in &report.attempts {
+                    match &a.error {
+                        Some(e) => println!(
+                            "  attempt {} failed after {:.2} ms: {e}",
+                            a.strategy,
+                            a.elapsed.as_secs_f64() * 1e3
+                        ),
+                        None => println!(
+                            "  attempt {} succeeded in {:.2} ms",
+                            a.strategy,
+                            a.elapsed.as_secs_f64() * 1e3
+                        ),
+                    }
+                }
+            }
         }
         Err(e) => eprintln!("{e}"),
     }

@@ -127,10 +127,7 @@ fn umbrella_crate_reexports_compose() {
     let ds = assess_olap::ssb::generate::generate(assess_olap::ssb::SsbConfig::with_scale(0.001));
     let engine = assess_olap::engine::Engine::new(ds.catalog.clone());
     let runner = assess_olap::assess::exec::AssessRunner::new(engine);
-    let stmt = assess_olap::sql::parse(
-        "with SSB by year assess revenue labels quartiles",
-    )
-    .unwrap();
+    let stmt = assess_olap::sql::parse("with SSB by year assess revenue labels quartiles").unwrap();
     let (result, _) = runner.run(&stmt, assess_olap::assess::plan::Strategy::Naive).unwrap();
     assert_eq!(result.len(), 7); // one cell per year
     let group_by = assess_olap::model::GroupBySet::from_level_names(&ds.schema, &["year"]).unwrap();
@@ -158,7 +155,9 @@ fn extension_statements_parse_and_execute_on_ssb() {
     let asia: f64 = result
         .cells()
         .iter()
-        .filter(|c| ["CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM"].contains(&c.coordinate[0].as_str()))
+        .filter(|c| {
+            ["CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM"].contains(&c.coordinate[0].as_str())
+        })
         .map(|c| c.comparison.unwrap())
         .sum();
     assert!((asia - 100.0).abs() < 1e-6, "ASIA shares sum to {asia}");

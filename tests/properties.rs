@@ -26,12 +26,8 @@ const N_PRODUCTS: i64 = 6;
 const N_STORES: i64 = 4;
 
 fn mini_cube() -> impl Strategy<Value = MiniCube> {
-    proptest::collection::vec(
-        (0..N_PRODUCTS, 0..N_STORES, -100i32..100),
-        1..200,
-    )
-    .prop_map(|rows| MiniCube {
-        rows: rows.into_iter().map(|(p, s, q)| (p, s, q as f64)).collect(),
+    proptest::collection::vec((0..N_PRODUCTS, 0..N_STORES, -100i32..100), 1..200).prop_map(|rows| {
+        MiniCube { rows: rows.into_iter().map(|(p, s, q)| (p, s, q as f64)).collect() }
     })
 }
 
@@ -125,9 +121,7 @@ fn engine_result(
 ) -> HashMap<Vec<String>, f64> {
     let engine = Engine::new(catalog.clone());
     let g = GroupBySet::from_level_names(schema, levels).unwrap();
-    let preds = pred
-        .map(|(l, m)| vec![Predicate::eq(schema, l, m).unwrap()])
-        .unwrap_or_default();
+    let preds = pred.map(|(l, m)| vec![Predicate::eq(schema, l, m).unwrap()]).unwrap_or_default();
     let q = CubeQuery::new("MINI", g, preds, vec!["quantity".into()]);
     let cube = engine.get(&q).unwrap().cube;
     let col = cube.numeric_column("quantity").unwrap();
@@ -263,6 +257,7 @@ proptest! {
         let component = l.group_by().component_of(1).unwrap();
         let mem = assess_olap::assess::memops::sliced_join(
             &l, &r, component, &[france], "quantity", &names, JoinKind::Inner,
+            assess_olap::assess::memops::OpGuard::none(),
         )
         .unwrap();
         prop_assert_eq!(fused.len(), mem.len());
