@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use assess_core::diag::Span;
+
 /// A lexical token.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Token {
@@ -63,61 +65,79 @@ impl fmt::Display for LexError {
 
 impl std::error::Error for LexError {}
 
-/// Tokenizes a statement.
+/// A token plus the byte span of its source text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedToken {
+    pub token: Token,
+    pub span: Span,
+}
+
+/// Tokenizes a statement (tokens only; see [`tokenize_spanned`] for spans).
 pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    Ok(tokenize_spanned(input)?.into_iter().map(|t| t.token).collect())
+}
+
+/// Tokenizes a statement, tagging every token with the byte span
+/// `[start, end)` of the source text it came from.
+pub fn tokenize_spanned(input: &str) -> Result<Vec<SpannedToken>, LexError> {
     let bytes = input.as_bytes();
-    let mut tokens = Vec::new();
+    let mut tokens: Vec<SpannedToken> = Vec::new();
+    let push = |tokens: &mut Vec<SpannedToken>, token, start: usize, end: usize| {
+        tokens.push(SpannedToken { token, span: Span::new(start, end) });
+    };
     let mut i = 0;
     while i < bytes.len() {
-        let c = bytes[i] as char;
+        // `i` always sits on a char boundary: every branch below advances by
+        // whole chars, so decoding here cannot fail mid-sequence.
+        let c = input[i..].chars().next().expect("offset on char boundary");
         match c {
-            c if c.is_whitespace() => i += 1,
+            c if c.is_whitespace() => i += c.len_utf8(),
             '(' => {
-                tokens.push(Token::LParen);
+                push(&mut tokens, Token::LParen, i, i + 1);
                 i += 1;
             }
             ')' => {
-                tokens.push(Token::RParen);
+                push(&mut tokens, Token::RParen, i, i + 1);
                 i += 1;
             }
             '{' => {
-                tokens.push(Token::LBrace);
+                push(&mut tokens, Token::LBrace, i, i + 1);
                 i += 1;
             }
             '}' => {
-                tokens.push(Token::RBrace);
+                push(&mut tokens, Token::RBrace, i, i + 1);
                 i += 1;
             }
             '[' => {
-                tokens.push(Token::LBracket);
+                push(&mut tokens, Token::LBracket, i, i + 1);
                 i += 1;
             }
             ']' => {
-                tokens.push(Token::RBracket);
+                push(&mut tokens, Token::RBracket, i, i + 1);
                 i += 1;
             }
             ',' => {
-                tokens.push(Token::Comma);
+                push(&mut tokens, Token::Comma, i, i + 1);
                 i += 1;
             }
             ':' => {
-                tokens.push(Token::Colon);
+                push(&mut tokens, Token::Colon, i, i + 1);
                 i += 1;
             }
             '.' if i + 1 >= bytes.len() || !(bytes[i + 1] as char).is_ascii_digit() => {
-                tokens.push(Token::Dot);
+                push(&mut tokens, Token::Dot, i, i + 1);
                 i += 1;
             }
             '=' => {
-                tokens.push(Token::Eq);
+                push(&mut tokens, Token::Eq, i, i + 1);
                 i += 1;
             }
             '*' => {
-                tokens.push(Token::Star);
+                push(&mut tokens, Token::Star, i, i + 1);
                 i += 1;
             }
             '-' => {
-                tokens.push(Token::Minus);
+                push(&mut tokens, Token::Minus, i, i + 1);
                 i += 1;
             }
             '\'' => {
@@ -146,7 +166,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                     s.push(ch);
                     i += ch.len_utf8();
                 }
-                tokens.push(Token::Str(s));
+                push(&mut tokens, Token::Str(s), start, i);
             }
             c if c.is_ascii_digit() || c == '.' => {
                 let start = i;
@@ -177,19 +197,21 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                     offset: start,
                     message: format!("malformed number `{text}`"),
                 })?;
-                tokens.push(Token::Number(v));
+                push(&mut tokens, Token::Number(v), start, i);
             }
             c if c.is_alphabetic() || c == '_' => {
                 let start = i;
+                // Identifiers may hold non-ASCII letters; walk char-wise so
+                // the final slice always lands on a char boundary.
                 while i < bytes.len() {
-                    let d = bytes[i] as char;
+                    let d = input[i..].chars().next().expect("offset on char boundary");
                     if d.is_alphanumeric() || d == '_' || d == '#' {
-                        i += 1;
+                        i += d.len_utf8();
                     } else {
                         break;
                     }
                 }
-                tokens.push(Token::Ident(input[start..i].to_string()));
+                push(&mut tokens, Token::Ident(input[start..i].to_string()), start, i);
             }
             other => {
                 return Err(LexError {
@@ -297,6 +319,20 @@ mod tests {
         assert_eq!(err.offset, 5);
         let err = tokenize("x @ y").unwrap_err();
         assert!(err.message.contains('@'));
+    }
+
+    #[test]
+    fn spans_slice_back_to_their_source_text() {
+        let src = "with SALES assess* 'O''Brien' 1.5";
+        let toks = tokenize_spanned(src).unwrap();
+        for t in &toks {
+            assert!(t.span.start < t.span.end, "empty span for {:?}", t.token);
+            assert!(t.span.end <= src.len(), "span out of bounds for {:?}", t.token);
+        }
+        assert_eq!(&src[toks[1].span.start..toks[1].span.end], "SALES");
+        assert_eq!(&src[toks[3].span.start..toks[3].span.end], "*");
+        assert_eq!(&src[toks[4].span.start..toks[4].span.end], "'O''Brien'");
+        assert_eq!(&src[toks[5].span.start..toks[5].span.end], "1.5");
     }
 
     #[test]

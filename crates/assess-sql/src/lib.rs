@@ -19,5 +19,5 @@
 pub mod lexer;
 pub mod parser;
 
-pub use lexer::{tokenize, LexError, Token};
-pub use parser::{parse, ParseError};
+pub use lexer::{tokenize, tokenize_spanned, LexError, SpannedToken, Token};
+pub use parser::{parse, parse_spanned, ParseError, SpannedStatement};

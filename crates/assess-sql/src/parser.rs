@@ -1,17 +1,26 @@
 //! Recursive-descent parser for assess statements.
+//!
+//! [`parse`] yields the bare AST; [`parse_spanned`] additionally returns a
+//! [`StatementSpans`] shadow tree mapping every clause back to its byte
+//! range in the source, which the static analyzer uses for caret
+//! diagnostics.
 
 use std::fmt;
 
 use assess_core::ast::{
-    AssessStatement, BenchmarkSpec, Bound, FuncExpr, LabelingSpec, PredicateSpec, RangeRule,
+    AssessStatement, BenchmarkSpec, Bound, FuncExpr, FuncSpans, LabelingSpec, PredicateSpans,
+    PredicateSpec, RangeRule, StatementSpans,
 };
+use assess_core::diag::Span;
 
-use crate::lexer::{tokenize, LexError, Token};
+use crate::lexer::{tokenize_spanned, LexError, SpannedToken, Token};
 
-/// A parse error with the offending position (token index) and message.
+/// A parse error with the offending position (token index), its byte span
+/// in the source, and a message.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
     pub position: usize,
+    pub span: Span,
     pub message: String,
 }
 
@@ -25,51 +34,85 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { position: 0, message: e.to_string() }
+        // The offset is always a char boundary; an empty span still points
+        // the caret at the right column.
+        ParseError { position: 0, span: Span::new(e.offset, e.offset), message: e.to_string() }
     }
+}
+
+/// A parsed statement plus the byte spans of its clauses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedStatement {
+    pub statement: AssessStatement,
+    pub spans: StatementSpans,
 }
 
 /// Parses a complete assess statement.
 pub fn parse(input: &str) -> Result<AssessStatement, ParseError> {
-    let tokens = tokenize(input)?;
-    let mut p = Parser { tokens, pos: 0 };
-    let stmt = p.statement()?;
+    Ok(parse_spanned(input)?.statement)
+}
+
+/// Parses a complete assess statement, also returning the span shadow tree.
+pub fn parse_spanned(input: &str) -> Result<SpannedStatement, ParseError> {
+    let tokens = tokenize_spanned(input)?;
+    let mut p = Parser { tokens, pos: 0, src_len: input.len() };
+    let (statement, spans) = p.statement()?;
     if p.pos != p.tokens.len() {
-        return Err(p.err(format!("trailing input starting with `{}`", p.tokens[p.pos])));
+        let t = p.token_text(p.pos);
+        return Err(p.err(format!("trailing input starting with `{t}`")));
     }
-    Ok(stmt)
+    Ok(SpannedStatement { statement, spans })
 }
 
 struct Parser {
-    tokens: Vec<Token>,
+    tokens: Vec<SpannedToken>,
     pos: usize,
+    src_len: usize,
 }
 
 impl Parser {
+    /// The span of the token at `idx`, or an end-of-input point span.
+    fn span_at(&self, idx: usize) -> Span {
+        match self.tokens.get(idx) {
+            Some(t) => t.span,
+            None => Span::new(self.src_len, self.src_len),
+        }
+    }
+
+    fn token_text(&self, idx: usize) -> String {
+        match self.tokens.get(idx) {
+            Some(t) => t.token.to_string(),
+            None => "end of input".to_string(),
+        }
+    }
+
+    fn err_at(&self, idx: usize, message: impl Into<String>) -> ParseError {
+        ParseError { position: idx, span: self.span_at(idx), message: message.into() }
+    }
+
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { position: self.pos, message: message.into() }
+        self.err_at(self.pos, message)
     }
 
     fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos)
+        self.tokens.get(self.pos).map(|t| &t.token)
     }
 
     fn next(&mut self) -> Option<Token> {
-        let t = self.tokens.get(self.pos).cloned();
+        let t = self.tokens.get(self.pos).map(|t| t.token.clone());
         if t.is_some() {
             self.pos += 1;
         }
         t
     }
 
-    /// Consumes a keyword (case-insensitive identifier).
-    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+    /// Consumes a keyword (case-insensitive identifier), returning its span.
+    fn keyword(&mut self, kw: &str) -> Result<Span, ParseError> {
         match self.next() {
-            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
-            Some(t) => Err(ParseError {
-                position: self.pos - 1,
-                message: format!("expected keyword `{kw}`, found `{t}`"),
-            }),
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(self.span_at(self.pos - 1)),
+            Some(t) => {
+                Err(self.err_at(self.pos - 1, format!("expected keyword `{kw}`, found `{t}`")))
+            }
             None => Err(self.err(format!("expected keyword `{kw}`, found end of input"))),
         }
     }
@@ -79,75 +122,76 @@ impl Parser {
         matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
     }
 
-    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+    fn ident(&mut self, what: &str) -> Result<(String, Span), ParseError> {
         match self.next() {
-            Some(Token::Ident(s)) => Ok(s),
-            Some(t) => Err(ParseError {
-                position: self.pos - 1,
-                message: format!("expected {what}, found `{t}`"),
-            }),
+            Some(Token::Ident(s)) => Ok((s, self.span_at(self.pos - 1))),
+            Some(t) => Err(self.err_at(self.pos - 1, format!("expected {what}, found `{t}`"))),
             None => Err(self.err(format!("expected {what}, found end of input"))),
         }
     }
 
-    fn string(&mut self, what: &str) -> Result<String, ParseError> {
+    fn string(&mut self, what: &str) -> Result<(String, Span), ParseError> {
         match self.next() {
-            Some(Token::Str(s)) => Ok(s),
-            Some(t) => Err(ParseError {
-                position: self.pos - 1,
-                message: format!("expected {what} (a quoted string), found `{t}`"),
-            }),
+            Some(Token::Str(s)) => Ok((s, self.span_at(self.pos - 1))),
+            Some(t) => Err(self
+                .err_at(self.pos - 1, format!("expected {what} (a quoted string), found `{t}`"))),
             None => Err(self.err(format!("expected {what}, found end of input"))),
         }
     }
 
-    fn expect(&mut self, token: Token) -> Result<(), ParseError> {
+    fn expect(&mut self, token: Token) -> Result<Span, ParseError> {
         match self.next() {
-            Some(t) if t == token => Ok(()),
-            Some(t) => Err(ParseError {
-                position: self.pos - 1,
-                message: format!("expected `{token}`, found `{t}`"),
-            }),
+            Some(t) if t == token => Ok(self.span_at(self.pos - 1)),
+            Some(t) => Err(self.err_at(self.pos - 1, format!("expected `{token}`, found `{t}`"))),
             None => Err(self.err(format!("expected `{token}`, found end of input"))),
         }
     }
 
     fn eat(&mut self, token: &Token) -> bool {
+        self.eat_span(token).is_some()
+    }
+
+    /// Like [`Parser::eat`], but returns the consumed token's span.
+    fn eat_span(&mut self, token: &Token) -> Option<Span> {
         if self.peek() == Some(token) {
             self.pos += 1;
-            true
+            Some(self.span_at(self.pos - 1))
         } else {
-            false
+            None
         }
     }
 
     /// A (possibly negated) numeric value; `inf`/`-inf` allowed when
-    /// `allow_inf`.
-    fn number(&mut self, allow_inf: bool) -> Result<f64, ParseError> {
-        let negative = self.eat(&Token::Minus);
+    /// `allow_inf`. The span covers the sign and the literal.
+    fn number(&mut self, allow_inf: bool) -> Result<(f64, Span), ParseError> {
+        let minus_span = self.eat_span(&Token::Minus);
         let v = match self.next() {
             Some(Token::Number(v)) => v,
             Some(Token::Ident(s)) if allow_inf && s.eq_ignore_ascii_case("inf") => f64::INFINITY,
             Some(t) => {
-                return Err(ParseError {
-                    position: self.pos - 1,
-                    message: format!("expected a number, found `{t}`"),
-                })
+                return Err(self.err_at(self.pos - 1, format!("expected a number, found `{t}`")))
             }
             None => return Err(self.err("expected a number, found end of input")),
         };
-        Ok(if negative { -v } else { v })
+        let mut span = self.span_at(self.pos - 1);
+        if let Some(m) = minus_span {
+            span = m.join(span);
+        }
+        Ok((if minus_span.is_some() { -v } else { v }, span))
     }
 
-    fn statement(&mut self) -> Result<AssessStatement, ParseError> {
-        self.keyword("with")?;
-        let cube = self.ident("a cube name")?;
+    fn statement(&mut self) -> Result<(AssessStatement, StatementSpans), ParseError> {
+        let with_span = self.keyword("with")?;
+        let (cube, cube_span) = self.ident("a cube name")?;
 
         let mut for_preds = Vec::new();
+        let mut for_pred_spans = Vec::new();
         if self.at_keyword("for") {
             self.pos += 1;
             loop {
-                for_preds.push(self.predicate()?);
+                let (pred, spans) = self.predicate()?;
+                for_preds.push(pred);
+                for_pred_spans.push(spans);
                 if !self.eat(&Token::Comma) {
                     break;
                 }
@@ -155,78 +199,132 @@ impl Parser {
         }
 
         self.keyword("by")?;
-        let mut by = vec![self.ident("a group-by level")?];
+        let mut by = Vec::new();
+        let mut by_spans = Vec::new();
+        let (first, first_span) = self.ident("a group-by level")?;
+        by.push(first);
+        by_spans.push(first_span);
         while self.eat(&Token::Comma) {
-            by.push(self.ident("a group-by level")?);
+            let (level, span) = self.ident("a group-by level")?;
+            by.push(level);
+            by_spans.push(span);
         }
 
         self.keyword("assess")?;
         let starred = self.eat(&Token::Star);
-        let measure = self.ident("a measure name")?;
+        let (measure, measure_span) = self.ident("a measure name")?;
 
         let mut against = None;
+        let mut against_span = None;
         if self.at_keyword("against") {
             self.pos += 1;
-            against = Some(self.benchmark()?);
+            let (benchmark, span) = self.benchmark()?;
+            against = Some(benchmark);
+            against_span = Some(span);
         }
 
         let mut using = None;
+        let mut using_spans = None;
         if self.at_keyword("using") {
             self.pos += 1;
-            using = Some(self.func_expr()?);
+            let (expr, spans) = self.func_expr()?;
+            using = Some(expr);
+            using_spans = Some(spans);
         }
 
         self.keyword("labels")?;
-        let labels = self.labeling()?;
+        let (labels, labels_span, label_rules) = self.labeling()?;
 
-        Ok(AssessStatement { cube, for_preds, by, measure, starred, against, using, labels })
+        let statement =
+            AssessStatement { cube, for_preds, by, measure, starred, against, using, labels };
+        let spans = StatementSpans {
+            span: with_span.join(labels_span),
+            cube: cube_span,
+            for_preds: for_pred_spans,
+            by: by_spans,
+            measure: measure_span,
+            against: against_span,
+            using: using_spans,
+            labels: labels_span,
+            label_rules,
+        };
+        Ok((statement, spans))
     }
 
-    fn predicate(&mut self) -> Result<PredicateSpec, ParseError> {
-        let level = self.ident("a level name")?;
+    fn predicate(&mut self) -> Result<(PredicateSpec, PredicateSpans), ParseError> {
+        let (level, level_span) = self.ident("a level name")?;
         if self.at_keyword("in") {
             self.pos += 1;
             self.expect(Token::LParen)?;
-            let mut members = vec![self.string("a member")?];
+            let mut members = Vec::new();
+            let mut member_spans = Vec::new();
+            let (first, first_span) = self.string("a member")?;
+            members.push(first);
+            member_spans.push(first_span);
             while self.eat(&Token::Comma) {
-                members.push(self.string("a member")?);
+                let (member, span) = self.string("a member")?;
+                members.push(member);
+                member_spans.push(span);
             }
-            self.expect(Token::RParen)?;
-            Ok(PredicateSpec { level, members })
+            let close = self.expect(Token::RParen)?;
+            let spans = PredicateSpans {
+                span: level_span.join(close),
+                level: level_span,
+                members: member_spans,
+            };
+            Ok((PredicateSpec { level, members }, spans))
         } else {
             self.expect(Token::Eq)?;
-            let member = self.string("a member")?;
-            Ok(PredicateSpec::eq(level, member))
+            let (member, member_span) = self.string("a member")?;
+            let spans = PredicateSpans {
+                span: level_span.join(member_span),
+                level: level_span,
+                members: vec![member_span],
+            };
+            Ok((PredicateSpec::eq(level, member), spans))
         }
     }
 
-    fn benchmark(&mut self) -> Result<BenchmarkSpec, ParseError> {
+    fn benchmark(&mut self) -> Result<(BenchmarkSpec, Span), ParseError> {
         match self.peek() {
             Some(Token::Number(_)) | Some(Token::Minus) => {
-                Ok(BenchmarkSpec::Constant(self.number(false)?))
+                let (v, span) = self.number(false)?;
+                Ok((BenchmarkSpec::Constant(v), span))
             }
             Some(Token::Ident(s)) if s.eq_ignore_ascii_case("past") => {
+                let kw_span = self.span_at(self.pos);
                 self.pos += 1;
-                let k = self.number(false)?;
+                let (k, k_span) = self.number(false)?;
                 if k < 1.0 || k.fract() != 0.0 {
-                    return Err(self.err(format!("`against past {k}` needs a positive integer")));
+                    return Err(ParseError {
+                        position: self.pos,
+                        span: k_span,
+                        message: format!("`against past {k}` needs a positive integer"),
+                    });
                 }
-                Ok(BenchmarkSpec::Past(k as u32))
+                Ok((BenchmarkSpec::Past(k as u32), kw_span.join(k_span)))
             }
             Some(Token::Ident(s)) if s.eq_ignore_ascii_case("ancestor") => {
+                let kw_span = self.span_at(self.pos);
                 self.pos += 1;
-                let level = self.ident("an ancestor level name")?;
-                Ok(BenchmarkSpec::Ancestor { level })
+                let (level, level_span) = self.ident("an ancestor level name")?;
+                Ok((BenchmarkSpec::Ancestor { level }, kw_span.join(level_span)))
             }
             Some(Token::Ident(_)) => {
-                let name = self.ident("a level or cube name")?;
+                let (name, name_span) = self.ident("a level or cube name")?;
                 if self.eat(&Token::Dot) {
-                    let measure = self.ident("a measure name")?;
-                    Ok(BenchmarkSpec::External { cube: name, measure })
+                    let (measure, measure_span) = self.ident("a measure name")?;
+                    Ok((
+                        BenchmarkSpec::External { cube: name, measure },
+                        name_span.join(measure_span),
+                    ))
                 } else {
                     self.expect(Token::Eq)?;
-                    let member = self.string("a member")?;
-                    Ok(BenchmarkSpec::Sibling { level: name, member })
+                    let (member, member_span) = self.string("a member")?;
+                    Ok((
+                        BenchmarkSpec::Sibling { level: name, member },
+                        name_span.join(member_span),
+                    ))
                 }
             }
             Some(t) => Err(self.err(format!("expected a benchmark specification, found `{t}`"))),
@@ -234,32 +332,49 @@ impl Parser {
         }
     }
 
-    fn func_expr(&mut self) -> Result<FuncExpr, ParseError> {
+    fn func_expr(&mut self) -> Result<(FuncExpr, FuncSpans), ParseError> {
         match self.peek() {
-            Some(Token::Number(_)) | Some(Token::Minus) => Ok(FuncExpr::Number(self.number(true)?)),
+            Some(Token::Number(_)) | Some(Token::Minus) => {
+                let (v, span) = self.number(true)?;
+                Ok((FuncExpr::Number(v), FuncSpans::leaf(span)))
+            }
             Some(Token::Ident(_)) => {
-                let name = self.ident("a function or measure name")?;
+                let (name, name_span) = self.ident("a function or measure name")?;
                 if name.eq_ignore_ascii_case("benchmark") && self.eat(&Token::Dot) {
-                    let measure = self.ident("a measure name")?;
-                    return Ok(FuncExpr::BenchmarkMeasure(measure));
+                    let (measure, measure_span) = self.ident("a measure name")?;
+                    return Ok((
+                        FuncExpr::BenchmarkMeasure(measure),
+                        FuncSpans::leaf(name_span.join(measure_span)),
+                    ));
                 }
                 if name.eq_ignore_ascii_case("property") && self.peek() == Some(&Token::LParen) {
                     self.pos += 1;
-                    let level = self.ident("a level name")?;
+                    let (level, _) = self.ident("a level name")?;
                     self.expect(Token::Comma)?;
-                    let prop = self.string("a property name")?;
-                    self.expect(Token::RParen)?;
-                    return Ok(FuncExpr::Property { level, name: prop });
+                    let (prop, _) = self.string("a property name")?;
+                    let close = self.expect(Token::RParen)?;
+                    return Ok((
+                        FuncExpr::Property { level, name: prop },
+                        FuncSpans::leaf(name_span.join(close)),
+                    ));
                 }
                 if self.eat(&Token::LParen) {
-                    let mut args = vec![self.func_expr()?];
+                    let mut args = Vec::new();
+                    let mut arg_spans = Vec::new();
+                    let (first, first_spans) = self.func_expr()?;
+                    args.push(first);
+                    arg_spans.push(first_spans);
                     while self.eat(&Token::Comma) {
-                        args.push(self.func_expr()?);
+                        let (arg, spans) = self.func_expr()?;
+                        args.push(arg);
+                        arg_spans.push(spans);
                     }
-                    self.expect(Token::RParen)?;
-                    Ok(FuncExpr::Call { name, args })
+                    let close = self.expect(Token::RParen)?;
+                    let spans =
+                        FuncSpans { span: name_span.join(close), name: name_span, args: arg_spans };
+                    Ok((FuncExpr::Call { name, args }, spans))
                 } else {
-                    Ok(FuncExpr::Measure(name))
+                    Ok((FuncExpr::Measure(name), FuncSpans::leaf(name_span)))
                 }
             }
             Some(t) => Err(self.err(format!("expected an expression, found `{t}`"))),
@@ -267,30 +382,37 @@ impl Parser {
         }
     }
 
-    fn labeling(&mut self) -> Result<LabelingSpec, ParseError> {
-        if self.eat(&Token::LBrace) {
-            let mut rules = vec![self.range_rule()?];
+    fn labeling(&mut self) -> Result<(LabelingSpec, Span, Vec<Span>), ParseError> {
+        if let Some(open) = self.eat_span(&Token::LBrace) {
+            let mut rules = Vec::new();
+            let mut rule_spans = Vec::new();
+            let (first, first_span) = self.range_rule()?;
+            rules.push(first);
+            rule_spans.push(first_span);
             while self.eat(&Token::Comma) {
-                rules.push(self.range_rule()?);
+                let (rule, span) = self.range_rule()?;
+                rules.push(rule);
+                rule_spans.push(span);
             }
-            self.expect(Token::RBrace)?;
-            Ok(LabelingSpec::Ranges(rules))
+            let close = self.expect(Token::RBrace)?;
+            Ok((LabelingSpec::Ranges(rules), open.join(close), rule_spans))
         } else {
-            Ok(LabelingSpec::Named(self.ident("a labeling name")?))
+            let (name, span) = self.ident("a labeling name")?;
+            Ok((LabelingSpec::Named(name), span, Vec::new()))
         }
     }
 
-    fn range_rule(&mut self) -> Result<RangeRule, ParseError> {
-        let lo_inclusive = if self.eat(&Token::LBracket) {
-            true
-        } else if self.eat(&Token::LParen) {
-            false
+    fn range_rule(&mut self) -> Result<(RangeRule, Span), ParseError> {
+        let (lo_inclusive, open_span) = if let Some(s) = self.eat_span(&Token::LBracket) {
+            (true, s)
+        } else if let Some(s) = self.eat_span(&Token::LParen) {
+            (false, s)
         } else {
             return Err(self.err("expected `[` or `(` to open a range"));
         };
-        let lo = self.number(true)?;
+        let (lo, _) = self.number(true)?;
         self.expect(Token::Comma)?;
-        let hi = self.number(true)?;
+        let (hi, _) = self.number(true)?;
         let hi_inclusive = if self.eat(&Token::RBracket) {
             true
         } else if self.eat(&Token::RParen) {
@@ -303,18 +425,17 @@ impl Parser {
             Some(Token::Ident(s)) => s,
             Some(Token::Str(s)) => s,
             Some(t) => {
-                return Err(ParseError {
-                    position: self.pos - 1,
-                    message: format!("expected a label, found `{t}`"),
-                })
+                return Err(self.err_at(self.pos - 1, format!("expected a label, found `{t}`")))
             }
             None => return Err(self.err("expected a label, found end of input")),
         };
-        Ok(RangeRule {
+        let label_span = self.span_at(self.pos - 1);
+        let rule = RangeRule {
             lo: Bound { value: lo, inclusive: lo_inclusive },
             hi: Bound { value: hi, inclusive: hi_inclusive },
             label,
-        })
+        };
+        Ok((rule, open_span.join(label_span)))
     }
 }
 
@@ -463,6 +584,49 @@ mod tests {
         assert!(err.message.contains("trailing"));
         let err = parse("with SALES by month assess m against past 0 labels q").unwrap_err();
         assert!(err.message.contains("positive integer"));
+    }
+
+    #[test]
+    fn errors_carry_source_spans() {
+        let src = "with SALES by month assess m labels quartiles extra";
+        let err = parse(src).unwrap_err();
+        assert_eq!(&src[err.span.start..err.span.end], "extra");
+
+        let src = "with SALES by month assess m against past 0 labels q";
+        let err = parse(src).unwrap_err();
+        assert_eq!(&src[err.span.start..err.span.end], "0");
+
+        // End-of-input errors point just past the source.
+        let src = "with SALES by month assess";
+        let err = parse(src).unwrap_err();
+        assert_eq!(err.span.start, src.len());
+    }
+
+    #[test]
+    fn spans_cover_every_clause() {
+        let src = "with SALES for type = 'Fresh Fruit' by product, country \
+                   assess quantity against country = 'France' \
+                   using percOfTotal(difference(quantity, benchmark.quantity)) \
+                   labels {[-inf, -0.2): bad, [-0.2, inf]: ok}";
+        let spanned = parse_spanned(src).unwrap();
+        let s = &spanned.spans;
+        let slice = |span: Span| &src[span.start..span.end];
+        assert_eq!(slice(s.cube), "SALES");
+        assert_eq!(slice(s.for_preds[0].level), "type");
+        assert_eq!(slice(s.for_preds[0].members[0]), "'Fresh Fruit'");
+        assert_eq!(slice(s.by[0]), "product");
+        assert_eq!(slice(s.by[1]), "country");
+        assert_eq!(slice(s.measure), "quantity");
+        assert_eq!(slice(s.against.unwrap()), "country = 'France'");
+        let using = s.using.as_ref().unwrap();
+        assert_eq!(slice(using.name), "percOfTotal");
+        assert_eq!(slice(using.args[0].name), "difference");
+        assert_eq!(slice(using.args[0].args[1].span), "benchmark.quantity");
+        assert_eq!(slice(s.labels), "{[-inf, -0.2): bad, [-0.2, inf]: ok}");
+        assert_eq!(slice(s.label_rules[0]), "[-inf, -0.2): bad");
+        assert_eq!(s.span, Span::new(0, src.len()));
+        // Re-parsing the bare statement still round-trips.
+        assert_eq!(parse(&spanned.statement.to_string()).unwrap(), spanned.statement);
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! Property tests for the span side-table: every span the lexer or parser
+//! reports must lie within the input and cover the token it claims to.
+
+use assess_core::ast::{
+    AssessStatement, BenchmarkSpec, Bound, FuncExpr, LabelingSpec, PredicateSpec, RangeRule,
+};
+use assess_core::diag::Span;
+use assess_sql::{parse_spanned, tokenize_spanned};
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-zA-Z_][a-zA-Z0-9_]{0,10}".prop_filter("not a keyword", |s| {
+        !matches!(
+            s.to_ascii_lowercase().as_str(),
+            "with"
+                | "for"
+                | "by"
+                | "assess"
+                | "against"
+                | "using"
+                | "labels"
+                | "in"
+                | "past"
+                | "inf"
+                | "benchmark"
+                | "ancestor"
+                | "property"
+        )
+    })
+}
+
+fn member() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 '#-]{1,12}"
+}
+
+fn number() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        (-1_000_000i64..1_000_000).prop_map(|v| v as f64),
+        (-1_000_000i64..1_000_000).prop_map(|v| v as f64 / 100.0),
+    ]
+}
+
+fn func_expr(depth: u32) -> BoxedStrategy<FuncExpr> {
+    let leaf = prop_oneof![
+        ident().prop_map(FuncExpr::Measure),
+        ident().prop_map(FuncExpr::BenchmarkMeasure),
+        number().prop_map(FuncExpr::Number),
+        (ident(), member()).prop_map(|(level, name)| FuncExpr::Property { level, name }),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        prop_oneof![
+            leaf,
+            (ident(), proptest::collection::vec(func_expr(depth - 1), 1..3))
+                .prop_map(|(name, args)| FuncExpr::Call { name, args }),
+        ]
+        .boxed()
+    }
+}
+
+fn bound() -> impl Strategy<Value = Bound> {
+    (prop_oneof![number(), Just(f64::INFINITY), Just(f64::NEG_INFINITY)], any::<bool>())
+        .prop_map(|(value, inclusive)| Bound { value, inclusive })
+}
+
+fn labeling() -> impl Strategy<Value = LabelingSpec> {
+    prop_oneof![
+        ident().prop_map(LabelingSpec::Named),
+        proptest::collection::vec(
+            (bound(), bound(), ident()).prop_map(|(lo, hi, label)| RangeRule { lo, hi, label }),
+            1..4
+        )
+        .prop_map(LabelingSpec::Ranges),
+    ]
+}
+
+fn benchmark() -> impl Strategy<Value = BenchmarkSpec> {
+    prop_oneof![
+        number().prop_map(BenchmarkSpec::Constant),
+        (ident(), ident()).prop_map(|(cube, measure)| BenchmarkSpec::External { cube, measure }),
+        (ident(), member()).prop_map(|(level, member)| BenchmarkSpec::Sibling { level, member }),
+        (1u32..20).prop_map(BenchmarkSpec::Past),
+        ident().prop_map(|level| BenchmarkSpec::Ancestor { level }),
+    ]
+}
+
+fn statement() -> impl Strategy<Value = AssessStatement> {
+    (
+        ident(),
+        proptest::collection::vec(
+            (ident(), proptest::collection::vec(member(), 1..4))
+                .prop_map(|(level, members)| PredicateSpec { level, members }),
+            0..3,
+        ),
+        proptest::collection::vec(ident(), 1..4),
+        ident(),
+        any::<bool>(),
+        proptest::option::of(benchmark()),
+        proptest::option::of(func_expr(2)),
+        labeling(),
+    )
+        .prop_map(|(cube, for_preds, by, measure, starred, against, using, labels)| {
+            AssessStatement { cube, for_preds, by, measure, starred, against, using, labels }
+        })
+}
+
+fn assert_in_bounds(span: Span, len: usize, what: &str) {
+    assert!(span.start <= span.end, "{what}: inverted span {span}");
+    assert!(span.end <= len, "{what}: span {span} beyond input length {len}");
+}
+
+/// Walks every span of a `FuncSpans` tree.
+fn all_func_spans(spans: &assess_core::ast::FuncSpans, out: &mut Vec<Span>) {
+    out.push(spans.span);
+    out.push(spans.name);
+    for arg in &spans.args {
+        all_func_spans(arg, out);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every clause span of a parsed statement lies inside the source and
+    /// the identifier-valued ones slice back to exactly their text.
+    #[test]
+    fn parser_spans_cover_their_tokens(stmt in statement()) {
+        let src = stmt.to_string();
+        let spanned = parse_spanned(&src)
+            .unwrap_or_else(|e| panic!("rendered statement failed to parse:\n{src}\n{e}"));
+        prop_assert_eq!(&spanned.statement, &stmt);
+        let spans = &spanned.spans;
+
+        let mut every: Vec<Span> = vec![spans.span, spans.cube, spans.measure, spans.labels];
+        every.extend(spans.by.iter().copied());
+        every.extend(spans.label_rules.iter().copied());
+        if let Some(s) = spans.against {
+            every.push(s);
+        }
+        for p in &spans.for_preds {
+            every.push(p.span);
+            every.push(p.level);
+            every.extend(p.members.iter().copied());
+        }
+        if let Some(u) = &spans.using {
+            all_func_spans(u, &mut every);
+        }
+        for span in every {
+            assert_in_bounds(span, src.len(), "statement clause");
+        }
+
+        // Identifier clauses must slice back to their exact text.
+        prop_assert_eq!(&src[spans.cube.start..spans.cube.end], stmt.cube.as_str());
+        prop_assert_eq!(&src[spans.measure.start..spans.measure.end], stmt.measure.as_str());
+        for (i, level) in stmt.by.iter().enumerate() {
+            let s = spans.by[i];
+            prop_assert_eq!(&src[s.start..s.end], level.as_str());
+        }
+        // The whole-statement span covers every other span.
+        prop_assert_eq!(spans.span.start, 0);
+        prop_assert_eq!(spans.span.end, src.len());
+    }
+
+    /// Lexer tokens tile the input: in-bounds, ordered, non-overlapping.
+    #[test]
+    fn lexer_spans_are_ordered_and_in_bounds(stmt in statement()) {
+        let src = stmt.to_string();
+        let tokens = tokenize_spanned(&src).unwrap();
+        let mut previous_end = 0usize;
+        for t in &tokens {
+            assert_in_bounds(t.span, src.len(), "token");
+            prop_assert!(t.span.start >= previous_end, "overlapping tokens in {src}");
+            prop_assert!(t.span.start < t.span.end, "empty token span in {src}");
+            previous_end = t.span.end;
+        }
+    }
+
+    /// Arbitrary garbage never panics the lexer or parser, and error spans
+    /// stay inside the input (so carets always render).
+    #[test]
+    fn garbage_input_errors_carry_in_bounds_spans(src in "[ -~é日]{0,80}") {
+        if let Err(e) = tokenize_spanned(&src) {
+            let _ = e.to_string();
+        }
+        if let Err(e) = parse_spanned(&src) {
+            assert_in_bounds(e.span, src.len(), "parse error");
+            // Rendering the error as a diagnostic must not panic either
+            // (multi-byte inputs exercise the char-boundary clamping).
+            let d = assess_core::diag::Diagnostic::new(
+                assess_core::diag::DiagCode::E001,
+                e.span,
+                e.message.clone(),
+            );
+            let _ = assess_core::diag::render(&d, Some(&src));
+        }
+    }
+}

@@ -13,6 +13,8 @@
 
 use std::fmt;
 
+use crate::diag::Span;
+
 /// One `for` clause predicate: `level = 'member'` or `level in ('a', 'b')`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PredicateSpec {
@@ -275,6 +277,99 @@ impl AssessStatementBuilder {
 
     pub fn build(self) -> AssessStatement {
         self.statement
+    }
+}
+
+/// Byte spans for one `for` predicate: the whole predicate, its level
+/// identifier, and each member string literal.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PredicateSpans {
+    pub span: Span,
+    pub level: Span,
+    pub members: Vec<Span>,
+}
+
+impl PredicateSpans {
+    /// All-dummy spans shaped like `pred` (for statements built in code).
+    pub fn dummy_for(pred: &PredicateSpec) -> Self {
+        PredicateSpans {
+            span: Span::dummy(),
+            level: Span::dummy(),
+            members: vec![Span::dummy(); pred.members.len()],
+        }
+    }
+}
+
+/// Byte spans for a `using` expression, mirroring the [`FuncExpr`] tree.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FuncSpans {
+    /// The whole expression.
+    pub span: Span,
+    /// The function-name identifier of a `Call`; dummy for leaf nodes.
+    pub name: Span,
+    /// One entry per `Call` argument; empty for leaf nodes.
+    pub args: Vec<FuncSpans>,
+}
+
+impl FuncSpans {
+    pub fn leaf(span: Span) -> Self {
+        FuncSpans { span, name: Span::dummy(), args: Vec::new() }
+    }
+
+    /// All-dummy spans shaped like `expr`.
+    pub fn dummy_for(expr: &FuncExpr) -> Self {
+        match expr {
+            FuncExpr::Call { args, .. } => FuncSpans {
+                span: Span::dummy(),
+                name: Span::dummy(),
+                args: args.iter().map(FuncSpans::dummy_for).collect(),
+            },
+            _ => FuncSpans::leaf(Span::dummy()),
+        }
+    }
+}
+
+/// Byte spans for one parsed [`AssessStatement`] — a *shadow tree* kept
+/// separate from the AST so structural equality (and with it the
+/// render→parse round-trip property) is untouched by source locations.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatementSpans {
+    /// The whole statement.
+    pub span: Span,
+    /// The cube identifier after `with`.
+    pub cube: Span,
+    pub for_preds: Vec<PredicateSpans>,
+    /// One span per `by` level identifier.
+    pub by: Vec<Span>,
+    /// The measure identifier after `assess`.
+    pub measure: Span,
+    /// The whole benchmark expression after `against`.
+    pub against: Option<Span>,
+    pub using: Option<FuncSpans>,
+    /// The `labels` clause argument (name or the whole `{…}` block).
+    pub labels: Span,
+    /// One span per inline range rule (empty for named labelings).
+    pub label_rules: Vec<Span>,
+}
+
+impl StatementSpans {
+    /// All-dummy spans shaped like `statement`, so statements built with
+    /// the fluent API can flow through span-aware passes.
+    pub fn dummy_for(statement: &AssessStatement) -> Self {
+        StatementSpans {
+            span: Span::dummy(),
+            cube: Span::dummy(),
+            for_preds: statement.for_preds.iter().map(PredicateSpans::dummy_for).collect(),
+            by: vec![Span::dummy(); statement.by.len()],
+            measure: Span::dummy(),
+            against: statement.against.as_ref().map(|_| Span::dummy()),
+            using: statement.using.as_ref().map(FuncSpans::dummy_for),
+            labels: Span::dummy(),
+            label_rules: match &statement.labels {
+                LabelingSpec::Ranges(rules) => vec![Span::dummy(); rules.len()],
+                LabelingSpec::Named(_) => Vec::new(),
+            },
+        }
     }
 }
 

@@ -9,7 +9,9 @@ use std::time::{Duration, Instant};
 use olap_engine::{Engine, ResourceGovernor};
 use olap_model::DerivedCube;
 
-use crate::ast::AssessStatement;
+use crate::analyze::Analyzer;
+use crate::ast::{AssessStatement, StatementSpans};
+use crate::diag::Diagnostic;
 use crate::error::AssessError;
 use crate::logical::LogicalOp;
 use crate::memops::{self, OpGuard};
@@ -152,6 +154,49 @@ impl AssessRunner {
     /// Resolves a statement against the engine's catalog.
     pub fn resolve(&self, statement: &AssessStatement) -> Result<ResolvedAssess, AssessError> {
         ResolvedAssess::resolve(statement, self.engine.catalog().as_ref())
+    }
+
+    /// Runs the static analyzer (with engine-backed cost lints) over a
+    /// statement; diagnostics carry dummy spans.
+    pub fn check(&self, statement: &AssessStatement) -> Vec<Diagnostic> {
+        self.check_spanned(statement, None)
+    }
+
+    /// Like [`check`](Self::check), but anchors diagnostics to the source
+    /// spans produced by `assess_sql::parse_spanned`.
+    pub fn check_spanned(
+        &self,
+        statement: &AssessStatement,
+        spans: Option<&StatementSpans>,
+    ) -> Vec<Diagnostic> {
+        Analyzer::new(self.engine.catalog().as_ref())
+            .with_engine(&self.engine)
+            .check(statement, spans)
+    }
+
+    /// Analyzer-gated execution: runs [`check_spanned`](Self::check_spanned)
+    /// first and refuses to plan when it reports errors. On success the
+    /// third element carries any warnings; on failure every diagnostic is
+    /// returned (an execution error after a clean check is mapped through
+    /// [`Diagnostic::from_error`]).
+    pub fn run_checked(
+        &self,
+        statement: &AssessStatement,
+        spans: Option<&StatementSpans>,
+    ) -> Result<(AssessedCube, ExecutionReport, Vec<Diagnostic>), Vec<Diagnostic>> {
+        let diagnostics = self.check_spanned(statement, spans);
+        if diagnostics.iter().any(|d| d.is_error()) {
+            return Err(diagnostics);
+        }
+        match self.run_auto(statement) {
+            Ok((cube, report)) => Ok((cube, report, diagnostics)),
+            Err(e) => {
+                let span = spans.map(|s| s.span).unwrap_or_default();
+                let mut all = diagnostics;
+                all.push(Diagnostic::from_error(&e, span));
+                Err(all)
+            }
+        }
     }
 
     /// Resolves, plans and executes a statement under a strategy.

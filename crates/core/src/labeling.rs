@@ -21,16 +21,18 @@ pub enum ResolvedLabeling {
     ZScoreRound { clamp: i32 },
 }
 
-/// Problems found while validating a range-based labeling.
+/// Problems found while validating a range-based labeling. Each variant
+/// carries the indices of the offending rules (in statement order) so
+/// diagnostics can point at the exact range.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RangeIssue {
     /// `lo > hi`, or `lo == hi` with an open endpoint.
-    Empty(usize),
+    Empty { rule: usize },
     /// Two rules both contain some value.
-    Overlap(usize, usize),
+    Overlap { first: usize, second: usize },
     /// Uncovered gap between consecutive rules (cells falling there stay
     /// unlabeled — the paper leaves completeness to the user).
-    Gap(usize, usize),
+    Gap { before: usize, after: usize },
 }
 
 /// Validates a set of range rules: reports empty ranges, overlaps and gaps.
@@ -40,7 +42,7 @@ pub fn validate_ranges(rules: &[RangeRule]) -> Vec<RangeIssue> {
         let empty = r.lo.value > r.hi.value
             || (r.lo.value == r.hi.value && !(r.lo.inclusive && r.hi.inclusive));
         if empty {
-            issues.push(RangeIssue::Empty(i));
+            issues.push(RangeIssue::Empty { rule: i });
         }
     }
     let mut order: Vec<usize> = (0..rules.len()).collect();
@@ -58,15 +60,25 @@ pub fn validate_ranges(rules: &[RangeRule]) -> Vec<RangeIssue> {
         let overlap = a.hi.value > b.lo.value
             || (a.hi.value == b.lo.value && a.hi.inclusive && b.lo.inclusive);
         if overlap {
-            issues.push(RangeIssue::Overlap(w[0], w[1]));
+            issues.push(RangeIssue::Overlap { first: w[0], second: w[1] });
         } else {
             let touching = a.hi.value == b.lo.value && (a.hi.inclusive || b.lo.inclusive);
             if !touching {
-                issues.push(RangeIssue::Gap(w[0], w[1]));
+                issues.push(RangeIssue::Gap { before: w[0], after: w[1] });
             }
         }
     }
     issues
+}
+
+/// The names the labeling library knows (for suggestions in diagnostics).
+pub fn known_labelings() -> &'static [&'static str] {
+    &["quartiles", "quintiles", "terciles", "deciles", "5stars", "5star", "zscore", "zround"]
+}
+
+/// Looks up a named labeling of the library.
+pub fn lookup_named(name: &str) -> Option<ResolvedLabeling> {
+    named(name)
 }
 
 /// The named labelings of the library, as a `(name, constructor)` list.
@@ -99,23 +111,27 @@ pub fn resolve(spec: &LabelingSpec) -> Result<ResolvedLabeling, AssessError> {
             if rules.is_empty() {
                 return Err(AssessError::InvalidLabeling("no ranges given".into()));
             }
-            let issues = validate_ranges(rules);
-            for issue in &issues {
-                match issue {
-                    RangeIssue::Empty(i) => {
-                        return Err(AssessError::InvalidLabeling(format!(
-                            "range {} (`{}`) is empty",
-                            i, rules[*i]
-                        )))
+            // Collect *every* hard issue (empties and overlaps; gaps are
+            // allowed) instead of bailing at the first one, so the error
+            // message — and the diagnostics built from these issues — name
+            // all offending rules at once.
+            let problems: Vec<String> = validate_ranges(rules)
+                .iter()
+                .filter_map(|issue| match issue {
+                    RangeIssue::Empty { rule } => {
+                        rules.get(*rule).map(|r| format!("range {rule} (`{r}`) is empty"))
                     }
-                    RangeIssue::Overlap(i, j) => {
-                        return Err(AssessError::InvalidLabeling(format!(
-                            "ranges `{}` and `{}` overlap",
-                            rules[*i], rules[*j]
-                        )))
+                    RangeIssue::Overlap { first, second } => {
+                        match (rules.get(*first), rules.get(*second)) {
+                            (Some(a), Some(b)) => Some(format!("ranges `{a}` and `{b}` overlap")),
+                            _ => None,
+                        }
                     }
-                    RangeIssue::Gap(_, _) => {}
-                }
+                    RangeIssue::Gap { .. } => None,
+                })
+                .collect();
+            if !problems.is_empty() {
+                return Err(AssessError::InvalidLabeling(problems.join("; ")));
             }
             Ok(ResolvedLabeling::Ranges(rules.clone()))
         }
@@ -262,7 +278,7 @@ mod tests {
     fn gaps_are_allowed_but_leave_cells_unlabeled() {
         let rules = ranges(&[(0.0, true, 1.0, true, "a"), (2.0, true, 3.0, true, "b")]);
         let issues = validate_ranges(&rules);
-        assert!(issues.iter().any(|i| matches!(i, RangeIssue::Gap(_, _))));
+        assert!(issues.iter().any(|i| matches!(i, RangeIssue::Gap { .. })));
         let labeling = resolve(&LabelingSpec::Ranges(rules)).unwrap();
         assert_eq!(apply(&labeling, &[Some(1.5)]), vec![None]);
     }
@@ -275,10 +291,31 @@ mod tests {
             Err(AssessError::InvalidLabeling(_))
         ));
         let point_open = ranges(&[(1.0, true, 1.0, false, "x")]);
-        assert_eq!(validate_ranges(&point_open), vec![RangeIssue::Empty(0)]);
+        assert_eq!(validate_ranges(&point_open), vec![RangeIssue::Empty { rule: 0 }]);
         // A closed point range is legal.
         let point = ranges(&[(1.0, true, 1.0, true, "x")]);
         assert!(validate_ranges(&point).is_empty());
+    }
+
+    #[test]
+    fn resolve_reports_all_issues_at_once() {
+        let rules = ranges(&[
+            (1.0, true, 0.0, true, "inverted"),
+            (0.0, true, 2.0, true, "a"),
+            (1.5, true, 3.0, true, "b"),
+        ]);
+        let err = resolve(&LabelingSpec::Ranges(rules)).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("is empty"), "missing empty-range report: {msg}");
+        assert!(msg.contains("overlap"), "missing overlap report: {msg}");
+    }
+
+    #[test]
+    fn named_lookup_is_public_and_total_over_known_names() {
+        for name in known_labelings() {
+            assert!(lookup_named(name).is_some(), "known labeling `{name}` must resolve");
+        }
+        assert!(lookup_named("septiles").is_none());
     }
 
     #[test]

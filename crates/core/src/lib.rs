@@ -23,7 +23,12 @@
 //!
 //! The crate is layered exactly as the paper is:
 //!
-//! * [`ast`] — the statement abstract syntax (Section 4.1);
+//! * [`ast`] — the statement abstract syntax (Section 4.1) plus the
+//!   byte-span shadow tree the parser emits alongside it;
+//! * [`diag`] — coded diagnostics ([`diag::Diagnostic`]), the collect-all
+//!   [`diag::Sink`], the caret renderer and the JSON form;
+//! * [`analyze`] — the collect-mode static analyzer behind `assess-check`,
+//!   `\check` and pre-execution validation;
 //! * [`functions`] — the comparison/transformation function library
 //!   (Section 3.2);
 //! * [`labeling`] — range-based and distribution-based labeling functions
@@ -48,9 +53,11 @@
 //! * [`suggest`] — ranked completion of partial statements (a future-work
 //!   extension).
 
+pub mod analyze;
 pub mod ast;
 pub mod codegen;
 pub mod cost;
+pub mod diag;
 pub mod error;
 pub mod exec;
 pub mod explain;
@@ -65,9 +72,12 @@ pub mod rewrite;
 pub mod semantics;
 pub mod suggest;
 
+pub use analyze::Analyzer;
 pub use ast::{
-    AssessStatement, BenchmarkSpec, Bound, FuncExpr, LabelingSpec, PredicateSpec, RangeRule,
+    AssessStatement, BenchmarkSpec, Bound, FuncExpr, FuncSpans, LabelingSpec, PredicateSpans,
+    PredicateSpec, RangeRule, StatementSpans,
 };
+pub use diag::{DiagCode, Diagnostic, Severity, Sink, Span};
 pub use error::AssessError;
 pub use exec::{AssessRunner, AttemptRecord, ExecutionReport, StageTimings};
 pub use plan::Strategy;

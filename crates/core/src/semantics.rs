@@ -318,6 +318,45 @@ fn validate_benchmark_refs(expr: &FuncExpr, expected: &str) -> Result<(), Assess
     }
 }
 
+/// Finds the temporal slice of a past benchmark: the index of the `Eq`
+/// predicate whose level is in the group-by set (preferring a hierarchy
+/// whose name mentions "date" when several qualify). Shared between
+/// [`ResolvedAssess::resolve`] and the static analyzer so both report the
+/// same errors.
+pub(crate) fn find_temporal_slice(
+    schema: &CubeSchema,
+    group_by: &GroupBySet,
+    predicates: &[Predicate],
+) -> Result<usize, AssessError> {
+    let mut candidates: Vec<usize> = predicates
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| {
+            group_by.slots().get(p.hierarchy).copied() == Some(Some(p.level))
+                && matches!(p.op, olap_model::PredicateOp::Eq(_))
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if candidates.len() > 1 {
+        candidates.retain(|&i| {
+            predicates
+                .get(i)
+                .and_then(|p| schema.hierarchy(p.hierarchy))
+                .map(|h| h.name().to_ascii_lowercase().contains("date"))
+                .unwrap_or(false)
+        });
+    }
+    match candidates.as_slice() {
+        [one] => Ok(*one),
+        [] => Err(AssessError::InvalidBenchmark(
+            "a past benchmark needs a `for <temporal level> = …` slice whose level is in the by clause".into(),
+        )),
+        _ => Err(AssessError::InvalidBenchmark(
+            "ambiguous temporal slice: several group-by levels are sliced".into(),
+        )),
+    }
+}
+
 fn resolve_benchmark(
     statement: &AssessStatement,
     schema: &Arc<CubeSchema>,
@@ -406,39 +445,7 @@ fn resolve_benchmark(
             if k == 0 {
                 return Err(AssessError::InvalidBenchmark("`against past 0` is empty".into()));
             }
-            // The temporal slice: the Eq predicate whose level is in the
-            // group-by set (preferring a hierarchy whose name mentions
-            // "date" when several qualify).
-            let mut candidates: Vec<usize> = predicates
-                .iter()
-                .enumerate()
-                .filter(|(_, p)| {
-                    group_by.slots()[p.hierarchy] == Some(p.level)
-                        && matches!(p.op, olap_model::PredicateOp::Eq(_))
-                })
-                .map(|(i, _)| i)
-                .collect();
-            if candidates.len() > 1 {
-                candidates.retain(|&i| {
-                    schema
-                        .hierarchy(predicates[i].hierarchy)
-                        .map(|h| h.name().to_ascii_lowercase().contains("date"))
-                        .unwrap_or(false)
-                });
-            }
-            let pred_pos = match candidates.as_slice() {
-                [one] => *one,
-                [] => {
-                    return Err(AssessError::InvalidBenchmark(
-                        "a past benchmark needs a `for <temporal level> = …` slice whose level is in the by clause".into(),
-                    ))
-                }
-                _ => {
-                    return Err(AssessError::InvalidBenchmark(
-                        "ambiguous temporal slice: several group-by levels are sliced".into(),
-                    ))
-                }
-            };
+            let pred_pos = find_temporal_slice(schema, group_by, predicates)?;
             let p = &predicates[pred_pos];
             let (hierarchy, li) = (p.hierarchy, p.level);
             let target_member = match p.op {

@@ -108,18 +108,23 @@ fn statement() -> impl Strategy<Value = AssessStatement> {
         })
 }
 
+/// One shared tiny dataset per process (generation is the slow part).
+fn shared_runner() -> &'static AssessRunner {
+    use std::sync::OnceLock;
+    static RUNNER: OnceLock<AssessRunner> = OnceLock::new();
+    RUNNER.get_or_init(|| {
+        let ds = generate(SsbConfig::with_scale(0.001));
+        ssb_data::views::register_default_views(&ds.catalog, &ds.schema).unwrap();
+        AssessRunner::new(Engine::new(ds.catalog.clone()))
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
     fn random_statements_never_panic(stmt in statement()) {
-        // One shared tiny dataset per process (generation is the slow part).
-        use std::sync::OnceLock;
-        static RUNNER: OnceLock<AssessRunner> = OnceLock::new();
-        let runner = RUNNER.get_or_init(|| {
-            let ds = generate(SsbConfig::with_scale(0.001));
-            AssessRunner::new(Engine::new(ds.catalog.clone()))
-        });
+        let runner = shared_runner();
         for strategy in ExecStrategy::all() {
             match runner.run(&stmt, strategy) {
                 Ok((result, report)) => {
@@ -132,6 +137,44 @@ proptest! {
                     let _ = e.to_string();
                 }
             }
+        }
+    }
+
+    /// The analyzer never panics: every random statement either checks clean
+    /// or yields diagnostics whose spans lie inside the rendered source.
+    #[test]
+    fn random_statements_check_cleanly_or_diagnose(stmt in statement()) {
+        let runner = shared_runner();
+        let src = stmt.to_string();
+        // The parser may reject renderable-but-invalid statements (e.g.
+        // `against past 0`); that rejection must carry an in-bounds span.
+        let spanned = match assess_sql::parse_spanned(&src) {
+            Ok(s) => s,
+            Err(e) => {
+                prop_assert!(e.span.start <= e.span.end && e.span.end <= src.len(),
+                    "parse error span {} out of bounds for {src:?}", e.span);
+                return Ok(());
+            }
+        };
+        prop_assert_eq!(&spanned.statement, &stmt);
+
+        let diags = runner.check_spanned(&spanned.statement, Some(&spanned.spans));
+        for d in &diags {
+            prop_assert!(d.span.start <= d.span.end, "inverted span in {d:?}");
+            prop_assert!(
+                d.span.end <= src.len(),
+                "span {} beyond source length {} in {d:?}", d.span, src.len()
+            );
+        }
+        // Rendering the report must not panic (carets, notes, suggestions).
+        let _ = assess_core::diag::render_all(&diags, Some(&src));
+
+        // The analyzer may warn about statements that still resolve, but it
+        // must never pass a statement that resolution would reject.
+        if !diags.iter().any(|d| d.is_error()) {
+            runner.resolve(&stmt).unwrap_or_else(|e| {
+                panic!("analyzer passed a statement resolve rejects:\n{src}\n{e}")
+            });
         }
     }
 }

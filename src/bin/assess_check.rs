@@ -1,0 +1,263 @@
+//! `assess-check` — batch linter for `.assess` statement files.
+//!
+//! ```text
+//! cargo run --release --bin assess-check -- [options] <file.assess>…
+//!
+//! options:
+//!   --format text|json   output format (default text)
+//!   --scale S            SSB scale factor for the checking catalog (default 0.001)
+//!   --deny-warnings      exit non-zero on warnings, not just errors
+//! ```
+//!
+//! Each file holds one or more statements separated by `;`. `--` starts a
+//! line comment (outside strings). Every statement is parsed and run
+//! through the static analyzer against a generated SSB catalog, so unknown
+//! levels, measures, members and infeasible benchmarks are all caught
+//! without executing anything. Exit code: 0 when clean, 1 when any error
+//! (or, with `--deny-warnings`, any warning) was reported, 2 on usage or
+//! I/O problems.
+
+use std::process::ExitCode;
+
+use assess_olap::assess::diag::{self, DiagCode, Diagnostic};
+use assess_olap::assess::exec::AssessRunner;
+use assess_olap::engine::Engine;
+use assess_olap::serde::Value;
+use assess_olap::ssb::{generate::generate, views, SsbConfig};
+
+enum Format {
+    Text,
+    Json,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut format = Format::Text;
+    let mut scale = 0.001;
+    let mut deny_warnings = false;
+    let mut files: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" => {
+                match args.get(i + 1).map(String::as_str) {
+                    Some("text") => format = Format::Text,
+                    Some("json") => format = Format::Json,
+                    other => return usage(&format!("--format expects text|json, got {other:?}")),
+                }
+                i += 2;
+            }
+            "--scale" => {
+                match args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) {
+                    Some(s) if s > 0.0 => scale = s,
+                    _ => return usage("--scale expects a positive number"),
+                }
+                i += 2;
+            }
+            "--deny-warnings" => {
+                deny_warnings = true;
+                i += 1;
+            }
+            "--help" | "-h" => return usage(""),
+            flag if flag.starts_with("--") => return usage(&format!("unknown flag `{flag}`")),
+            _ => {
+                files.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    if files.is_empty() {
+        return usage("no input files");
+    }
+
+    eprintln!("assess-check: generating SSB catalog at SF={scale} …");
+    let dataset = generate(SsbConfig::with_scale(scale));
+    if let Err(e) = views::register_default_views(&dataset.catalog, &dataset.schema) {
+        eprintln!("assess-check: cannot materialize default views: {e}");
+        return ExitCode::from(2);
+    }
+    let runner = AssessRunner::new(Engine::new(dataset.catalog.clone()));
+
+    let mut total_errors = 0usize;
+    let mut total_warnings = 0usize;
+    let mut io_failure = false;
+    let mut json_files: Vec<Value> = Vec::new();
+
+    for file in &files {
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("assess-check: cannot read `{file}`: {e}");
+                io_failure = true;
+                continue;
+            }
+        };
+        let diagnostics = check_source(&runner, &source);
+        total_errors += diagnostics.iter().filter(|d| d.is_error()).count();
+        total_warnings += diagnostics.iter().filter(|d| !d.is_error()).count();
+        match format {
+            Format::Text => {
+                if !diagnostics.is_empty() {
+                    println!("== {file}");
+                    println!("{}", diag::render_all(&diagnostics, Some(&source)));
+                }
+            }
+            Format::Json => {
+                let rendered: Vec<Value> =
+                    diagnostics.iter().map(|d| d.to_json(Some(&source))).collect();
+                json_files.push(Value::Object(vec![
+                    ("file".to_string(), Value::String(file.clone())),
+                    ("diagnostics".to_string(), Value::Array(rendered)),
+                ]));
+            }
+        }
+    }
+
+    match format {
+        Format::Text => {
+            println!(
+                "checked {} file{}: {}",
+                files.len(),
+                if files.len() == 1 { "" } else { "s" },
+                diag::summary_line(total_errors, total_warnings)
+            );
+        }
+        Format::Json => {
+            let report = Value::Object(vec![
+                ("files".to_string(), Value::Array(json_files)),
+                ("errors".to_string(), Value::Number(total_errors as f64)),
+                ("warnings".to_string(), Value::Number(total_warnings as f64)),
+            ]);
+            match assess_olap::serde_json::to_string_pretty(&report) {
+                Ok(text) => println!("{text}"),
+                Err(e) => {
+                    eprintln!("assess-check: cannot serialize report: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+
+    if io_failure {
+        ExitCode::from(2)
+    } else if total_errors > 0 || (deny_warnings && total_warnings > 0) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    if !problem.is_empty() {
+        eprintln!("assess-check: {problem}");
+    }
+    eprintln!(
+        "usage: assess-check [--format text|json] [--scale S] [--deny-warnings] <file.assess>…"
+    );
+    ExitCode::from(2)
+}
+
+/// Checks every statement in a file; diagnostic spans are shifted to
+/// whole-file offsets so carets and line numbers point into the file.
+fn check_source(runner: &AssessRunner, source: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (offset, text) in split_statements(source) {
+        match assess_olap::sql::parse_spanned(&text) {
+            Ok(spanned) => {
+                let mut diagnostics =
+                    runner.check_spanned(&spanned.statement, Some(&spanned.spans));
+                for d in &mut diagnostics {
+                    d.span = d.span.offset(offset);
+                }
+                out.extend(diagnostics);
+            }
+            Err(e) => {
+                out.push(Diagnostic::new(DiagCode::E001, e.span.offset(offset), e.message));
+            }
+        }
+    }
+    out
+}
+
+/// Splits a file into `(byte offset, statement text)` pairs on `;`,
+/// ignoring semicolons inside `'…'` strings (with `''` escapes). `--`
+/// line comments (outside strings) are blanked with spaces, so offsets in
+/// the returned text still line up with the original file byte-for-byte.
+fn split_statements(source: &str) -> Vec<(usize, String)> {
+    let mut clean: Vec<u8> = source.as_bytes().to_vec();
+    let mut in_string = false;
+    let mut i = 0;
+    while i < clean.len() {
+        match clean[i] {
+            b'\'' => in_string = !in_string,
+            b'-' if !in_string && clean.get(i + 1) == Some(&b'-') => {
+                while i < clean.len() && clean[i] != b'\n' {
+                    clean[i] = b' ';
+                    i += 1;
+                }
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let clean = String::from_utf8(clean).unwrap_or_else(|_| source.to_string());
+
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let bytes = clean.as_bytes();
+    let mut in_string = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'\'' => in_string = !in_string,
+            b';' if !in_string => {
+                push_statement(&clean, start, i, &mut out);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    push_statement(&clean, start, clean.len(), &mut out);
+    out
+}
+
+fn push_statement(source: &str, start: usize, end: usize, out: &mut Vec<(usize, String)>) {
+    let piece = source.get(start..end).unwrap_or("");
+    let trimmed = piece.trim_start();
+    let offset = start + (piece.len() - trimmed.len());
+    let trimmed = trimmed.trim_end();
+    if !trimmed.is_empty() {
+        out.push((offset, trimmed.to_string()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::split_statements;
+
+    #[test]
+    fn splits_on_semicolons_outside_strings() {
+        let src = "with A by x assess m labels q;\nwith B by y assess m labels {[0,1]: 'a;b'};";
+        let parts = split_statements(src);
+        assert_eq!(parts.len(), 2);
+        assert!(parts[0].1.starts_with("with A"));
+        assert!(parts[1].1.contains("'a;b'"));
+        assert_eq!(parts[1].0, src.find("with B").unwrap());
+    }
+
+    #[test]
+    fn blanks_comments_but_keeps_offsets() {
+        let src = "-- header comment\nwith A by x assess m labels q;";
+        let parts = split_statements(src);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].0, src.find("with A").unwrap());
+    }
+
+    #[test]
+    fn quoted_double_dash_is_not_a_comment() {
+        let src = "with A for l = '--x' by x assess m labels q;";
+        let parts = split_statements(src);
+        assert_eq!(parts.len(), 1);
+        assert!(parts[0].1.contains("'--x'"));
+    }
+}

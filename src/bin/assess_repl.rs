@@ -14,12 +14,14 @@
 //! ```
 //!
 //! Dot-commands: `.help`, `.strategy auto|np|jop|pop`, `.plan` (show the
-//! last plan), `.suggest` (complete the last partial statement), `.schema`,
-//! `.quit`.
+//! last plan), `.check` (re-run the analyzer on the last statement),
+//! `.suggest` (complete the last partial statement), `.schema`, `.quit`.
+//! `\check` is accepted as an alias for `.check`.
 
 use std::io::{BufRead, Write};
 
-use assess_olap::assess::ast::AssessStatement;
+use assess_olap::assess::ast::{AssessStatement, StatementSpans};
+use assess_olap::assess::diag::{self, DiagCode, Diagnostic};
 use assess_olap::assess::exec::AssessRunner;
 use assess_olap::assess::plan::Strategy;
 use assess_olap::assess::{explain, plan, suggest};
@@ -58,6 +60,7 @@ fn main() {
     let mut chooser = Chooser::Auto;
     let mut buffer = String::new();
     let mut last_statement: Option<AssessStatement> = None;
+    let mut last_source: Option<(String, StatementSpans)> = None;
     let mut last_plan: Option<String> = None;
 
     loop {
@@ -74,12 +77,13 @@ fn main() {
             }
         }
         let trimmed = line.trim();
-        if buffer.is_empty() && trimmed.starts_with('.') {
+        if buffer.is_empty() && (trimmed.starts_with('.') || trimmed.starts_with('\\')) {
             match handle_command(
                 trimmed,
                 &runner,
                 &mut chooser,
                 &last_statement,
+                &last_source,
                 &last_plan,
                 &dataset,
             ) {
@@ -93,12 +97,23 @@ fn main() {
         }
         let text = buffer.trim().trim_end_matches(';').to_string();
         buffer.clear();
-        match assess_olap::sql::parse(&text) {
-            Ok(statement) => {
-                last_statement = Some(statement.clone());
-                run_statement(&runner, &statement, &chooser, &mut last_plan);
+        match assess_olap::sql::parse_spanned(&text) {
+            Ok(spanned) => {
+                last_statement = Some(spanned.statement.clone());
+                last_source = Some((text.clone(), spanned.spans.clone()));
+                let diagnostics = runner.check_spanned(&spanned.statement, Some(&spanned.spans));
+                if !diagnostics.is_empty() {
+                    eprintln!("{}", diag::render_all(&diagnostics, Some(&text)));
+                }
+                if diagnostics.iter().any(|d| d.is_error()) {
+                    continue; // refuse to plan a statement with errors
+                }
+                run_statement(&runner, &spanned.statement, &chooser, &mut last_plan);
             }
-            Err(e) => eprintln!("parse error: {e}"),
+            Err(e) => {
+                let d = Diagnostic::new(DiagCode::E001, e.span, e.message.clone());
+                eprintln!("{}", diag::render(&d, Some(&text)));
+            }
         }
     }
 }
@@ -113,6 +128,7 @@ fn handle_command(
     runner: &AssessRunner,
     chooser: &mut Chooser,
     last_statement: &Option<AssessStatement>,
+    last_source: &Option<(String, StatementSpans)>,
     last_plan: &Option<String>,
     dataset: &assess_olap::ssb::SsbDataset,
 ) -> Flow {
@@ -122,12 +138,28 @@ fn handle_command(
             println!(
                 ".strategy auto|np|jop|pop  choose the execution strategy\n\
                  .plan                      show the last executed plan\n\
+                 .check                     re-run the static analyzer on the last statement\n\
                  .explain                   explain strategies/costs/SQL of the last statement\n\
                  .suggest                   complete the last statement without an against clause\n\
                  .schema                    list hierarchies and measures\n\
                  .quit                      leave"
             );
         }
+        [".check"] | ["\\check"] => match last_statement {
+            Some(statement) => {
+                let (source, spans) = match last_source {
+                    Some((src, spans)) => (Some(src.as_str()), Some(spans)),
+                    None => (None, None),
+                };
+                let diagnostics = runner.check_spanned(statement, spans);
+                if diagnostics.is_empty() {
+                    println!("no diagnostics");
+                } else {
+                    println!("{}", diag::render_all(&diagnostics, source));
+                }
+            }
+            None => println!("no statement entered yet"),
+        },
         [".strategy", which] => {
             *chooser = match *which {
                 "auto" => Chooser::Auto,

@@ -54,3 +54,7 @@ pub use olap_model as model;
 pub use olap_storage as storage;
 pub use olap_timeseries as timeseries;
 pub use ssb_data as ssb;
+
+// Serialization facade used by the binaries (machine-readable diagnostics).
+pub use serde;
+pub use serde_json;
