@@ -1,0 +1,182 @@
+//! Concurrent-client throughput of the serving layer (a §8 extension):
+//! how many assess runs per second does `assess-serve` sustain as the
+//! client count grows, cold (every run executes) versus warm (every run is
+//! a shared-result-cache hit)?
+//!
+//! ```text
+//! cargo run -p assess-bench --release --bin serve_throughput \
+//!     [-- --scale 0.01 --reps 5 --workers 8]
+//! ```
+//!
+//! Each client plays the four canonical intentions `reps` times over its
+//! own TCP session. The cold mode disables the result cache per request;
+//! the warm mode pre-warms the cache once and then measures pure hits.
+//! Results go to `target/experiments/BENCH_serve.json`.
+
+use std::time::Instant;
+
+use assess_bench::report;
+use assess_bench::workloads;
+use assess_serve::{serve, LineClient, ServerConfig, ServerHandle};
+use olap_engine::Engine;
+use serde::{Serialize, Value};
+use ssb_data::{generate::generate, views, SsbConfig};
+
+#[derive(Serialize)]
+struct ThroughputRow {
+    clients: usize,
+    mode: String,
+    runs: usize,
+    total_secs: f64,
+    runs_per_sec: f64,
+    mean_ms: f64,
+    cache_hits: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 0.01;
+    let mut reps = 5usize;
+    let mut workers = 8usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                scale = args.get(i + 1).and_then(|s| s.parse().ok()).expect("--scale S");
+                i += 2;
+            }
+            "--reps" => {
+                reps = args.get(i + 1).and_then(|s| s.parse().ok()).expect("--reps N");
+                i += 2;
+            }
+            "--workers" => {
+                workers = args.get(i + 1).and_then(|s| s.parse().ok()).expect("--workers N");
+                i += 2;
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    eprintln!("[setup] generating SSB at SF={scale} …");
+    let dataset = generate(SsbConfig::with_scale(scale));
+    views::register_default_views(&dataset.catalog, &dataset.schema).expect("views build");
+
+    let config = ServerConfig {
+        workers,
+        max_sessions: 64,
+        max_queued: 256,
+        cache_capacity: 128,
+        ..ServerConfig::default()
+    };
+    let handle = serve(Engine::new(dataset.catalog.clone()), config).expect("server boots");
+    eprintln!("[setup] serving on {} with {workers} workers", handle.addr());
+
+    let statements: Vec<String> =
+        workloads::intention_texts().into_iter().map(|(_, text)| text).collect();
+
+    let mut rows: Vec<ThroughputRow> = Vec::new();
+    for &clients in &[1usize, 4, 16] {
+        for mode in ["cold", "warm"] {
+            rows.push(measure(&handle, &statements, clients, reps, mode));
+        }
+    }
+
+    let mut table = vec![vec![
+        "clients".to_string(),
+        "mode".to_string(),
+        "runs".to_string(),
+        "runs/s".to_string(),
+        "mean ms".to_string(),
+    ]];
+    for r in &rows {
+        table.push(vec![
+            r.clients.to_string(),
+            r.mode.clone(),
+            r.runs.to_string(),
+            format!("{:.1}", r.runs_per_sec),
+            format!("{:.2}", r.mean_ms),
+        ]);
+    }
+    println!("assess-serve throughput (SF={scale}, {workers} workers, {reps} reps/client)\n");
+    println!("{}", report::render_table(&table));
+    let path = report::write_json("BENCH_serve", &rows).expect("write report");
+    println!("report: {}", path.display());
+
+    handle.shutdown();
+}
+
+/// One measurement cell: `clients` concurrent sessions each running the
+/// whole statement batch `reps` times in `mode`.
+fn measure(
+    handle: &ServerHandle,
+    statements: &[String],
+    clients: usize,
+    reps: usize,
+    mode: &str,
+) -> ThroughputRow {
+    // A clean slate per cell: warm modes re-warm below, cold modes bypass
+    // the cache per request anyway.
+    handle.invalidate_cache();
+    let hits_before = handle.cache_stats().hits;
+    let use_cache = mode == "warm";
+    if use_cache {
+        let mut warmer = LineClient::connect(handle.addr()).expect("warmer connects");
+        for statement in statements {
+            let response = warmer.run(statement).expect("warmup run");
+            assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true), "{response:?}");
+        }
+    }
+
+    let t0 = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = handle.addr();
+            let statements = statements.to_vec();
+            std::thread::spawn(move || {
+                let mut client = LineClient::connect(addr).expect("client connects");
+                let mut runs = 0usize;
+                for rep in 0..reps {
+                    for offset in 0..statements.len() {
+                        let statement = &statements[(c + rep + offset) % statements.len()];
+                        let mut fields = vec![
+                            ("op", Value::String("run".into())),
+                            ("statement", Value::String(statement.clone())),
+                            ("limit", Value::Number(1.0)),
+                        ];
+                        if !use_cache {
+                            fields.push(("cache", Value::Bool(false)));
+                        }
+                        let response = client.request(fields).expect("run completes");
+                        assert_eq!(
+                            response.get("ok").and_then(Value::as_bool),
+                            Some(true),
+                            "run failed: {response:?}"
+                        );
+                        if use_cache {
+                            assert_eq!(
+                                response.get("cached").and_then(Value::as_bool),
+                                Some(true),
+                                "warm run missed the cache: {response:?}"
+                            );
+                        }
+                        runs += 1;
+                    }
+                }
+                runs
+            })
+        })
+        .collect();
+    let runs: usize = threads.into_iter().map(|t| t.join().expect("client thread")).sum();
+    let total_secs = t0.elapsed().as_secs_f64();
+    let cache_hits = handle.cache_stats().hits - hits_before;
+    eprintln!("[measure] {clients:>2} clients {mode:<4}: {runs} runs in {:.2}s", total_secs);
+    ThroughputRow {
+        clients,
+        mode: mode.to_string(),
+        runs,
+        total_secs,
+        runs_per_sec: runs as f64 / total_secs.max(1e-9),
+        mean_ms: total_secs * 1000.0 * clients as f64 / runs.max(1) as f64,
+        cache_hits,
+    }
+}

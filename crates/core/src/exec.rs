@@ -282,7 +282,7 @@ impl AssessRunner {
         deadline_at: Option<Instant>,
     ) -> Result<(AssessedCube, ExecutionReport), AssessError> {
         let physical = plan::plan(resolved, strategy)?;
-        if self.policy.is_unlimited() {
+        if !self.policy.needs_governor() {
             return execute_plan_on(&self.engine, resolved, &physical);
         }
         let governor = self.policy.governor(deadline_at);
@@ -299,6 +299,22 @@ impl AssessRunner {
         execute_plan_on(&self.engine, resolved, physical)
     }
 }
+
+// Send/Sync audit: the serving layer (`assess-serve`) shares one runner and
+// engine across its worker threads and passes results between them, so these
+// types must stay thread-safe. A field losing `Send`/`Sync` (an `Rc`, a
+// `RefCell`, a raw pointer) fails compilation here, not at the first
+// cross-thread use site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<AssessRunner>();
+    assert_send_sync::<Engine>();
+    assert_send_sync::<ExecutionPolicy>();
+    assert_send_sync::<ResourceGovernor>();
+    assert_send_sync::<AssessedCube>();
+    assert_send_sync::<ExecutionReport>();
+    assert_send_sync::<AssessError>();
+};
 
 /// Executes a physical plan on `engine`, picking up whatever governor the
 /// engine carries for client-side (memops) work too.

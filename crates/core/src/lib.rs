@@ -47,6 +47,9 @@
 //!   [`exec::AssessRunner::run_auto`];
 //! * [`policy`] — resource limits (wall clock, rows scanned, output cells)
 //!   compiled into an engine-level governor per execution;
+//! * [`stmt`] — source-level statement utilities (comment-aware splitting,
+//!   termination detection, cache-key normalization) shared by the batch
+//!   linter, the REPL and the `assess-serve` network service;
 //! * [`codegen`] — SQL + Python-equivalent code emission for the
 //!   formulation-effort experiment (Table 1);
 //! * [`cost`] — the cost-based strategy chooser (a future-work extension);
@@ -70,6 +73,7 @@ pub mod policy;
 pub mod result;
 pub mod rewrite;
 pub mod semantics;
+pub mod stmt;
 pub mod suggest;
 
 pub use analyze::Analyzer;

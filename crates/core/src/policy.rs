@@ -14,7 +14,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use olap_engine::ResourceGovernor;
+use olap_engine::{CancelToken, ResourceGovernor};
 
 /// Resource limits and fallback behavior for one runner.
 ///
@@ -31,6 +31,11 @@ pub struct ExecutionPolicy {
     /// Whether `run_auto` retries cheaper strategies after a failed
     /// attempt (POP → JOP → NP).
     pub fallback: bool,
+    /// Statement-scoped cancellation handle shared by every attempt of one
+    /// fallback ladder. A serving layer holds a clone and cancels it when
+    /// the client asks (or disconnects); `None` means only the policy's own
+    /// limits can stop the execution.
+    pub cancel_token: Option<CancelToken>,
 }
 
 impl Default for ExecutionPolicy {
@@ -40,6 +45,7 @@ impl Default for ExecutionPolicy {
             max_rows_scanned: None,
             max_output_cells: None,
             fallback: true,
+            cancel_token: None,
         }
     }
 }
@@ -74,6 +80,15 @@ impl ExecutionPolicy {
         self
     }
 
+    /// Attaches a statement-scoped cancellation token. Cancelling it aborts
+    /// the in-flight attempt *and* every fallback retry at the next
+    /// cooperative checkpoint, surfacing as
+    /// [`AssessError::Cancelled`](crate::AssessError::Cancelled).
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel_token = Some(token);
+        self
+    }
+
     /// The absolute deadline instant for a ladder starting now, if any.
     pub(crate) fn deadline_at(&self) -> Option<Instant> {
         self.deadline.map(|d| Instant::now().checked_add(d).unwrap_or_else(Instant::now))
@@ -93,15 +108,25 @@ impl ExecutionPolicy {
         if let Some(max) = self.max_output_cells {
             g = g.with_max_output_cells(max);
         }
+        if let Some(token) = &self.cancel_token {
+            g = g.with_cancel_token(token.clone());
+        }
         Arc::new(g)
     }
 
-    /// Whether the policy imposes any limit at all (used to skip governor
-    /// plumbing entirely on the default path).
+    /// Whether the policy imposes any resource limit at all (a cancel token
+    /// is not a limit — see [`needs_governor`](Self::needs_governor)).
     pub fn is_unlimited(&self) -> bool {
         self.deadline.is_none()
             && self.max_rows_scanned.is_none()
             && self.max_output_cells.is_none()
+    }
+
+    /// Whether an execution must carry a governor: any limit is set, or a
+    /// cancel token must be observable at checkpoints. The runner skips
+    /// governor plumbing entirely when this is false.
+    pub(crate) fn needs_governor(&self) -> bool {
+        !self.is_unlimited() || self.cancel_token.is_some()
     }
 }
 

@@ -14,9 +14,38 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::error::EngineError;
+
+/// A shareable cancellation handle that outlives any single governor.
+///
+/// A [`ResourceGovernor`] is created fresh per execution attempt (its row
+/// and cell budgets reset per attempt), but a caller that wants to abort a
+/// statement — a serving layer reacting to a client `cancel` request or a
+/// dropped connection — holds one token for the whole statement and attaches
+/// it to every attempt's governor. Cancelling the token makes every
+/// governor check fail with [`EngineError::Cancelled`] from that point on,
+/// no matter how many fallback attempts the runner still tries.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cooperative cancellation of every execution holding this
+    /// token (idempotent; cannot be undone).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
 
 /// The resource whose budget was exhausted (see
 /// [`EngineError::BudgetExceeded`]).
@@ -52,6 +81,9 @@ pub struct ResourceGovernor {
     max_rows: Option<u64>,
     max_cells: Option<u64>,
     cancelled: AtomicBool,
+    /// Statement-scoped cancellation shared across fallback attempts; the
+    /// per-governor flag above is attempt-scoped.
+    token: Option<CancelToken>,
     rows: AtomicU64,
     cells: AtomicU64,
 }
@@ -73,9 +105,19 @@ impl ResourceGovernor {
             max_rows: None,
             max_cells: None,
             cancelled: AtomicBool::new(false),
+            token: None,
             rows: AtomicU64::new(0),
             cells: AtomicU64::new(0),
         }
+    }
+
+    /// Attaches a statement-scoped [`CancelToken`]: cancelling the token has
+    /// the same effect as [`cancel`](ResourceGovernor::cancel), but the
+    /// token can be shared across the successive governors of one fallback
+    /// ladder (and held by another thread).
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.token = Some(token);
+        self
     }
 
     /// Sets an **absolute** deadline. Fallback attempts sharing one ladder
@@ -112,6 +154,7 @@ impl ResourceGovernor {
 
     pub fn is_cancelled(&self) -> bool {
         self.cancelled.load(Ordering::Relaxed)
+            || self.token.as_ref().is_some_and(CancelToken::is_cancelled)
     }
 
     /// Whether the wall-clock deadline has passed. Unlike [`check`] this
@@ -241,5 +284,20 @@ mod tests {
         g.check().unwrap();
         g.cancel();
         assert!(matches!(g.check().unwrap_err(), EngineError::Cancelled));
+    }
+
+    #[test]
+    fn cancel_token_spans_successive_governors() {
+        let token = CancelToken::new();
+        let g1 = ResourceGovernor::unlimited().with_cancel_token(token.clone());
+        g1.check().unwrap();
+        token.cancel();
+        assert!(matches!(g1.check().unwrap_err(), EngineError::Cancelled));
+        // A fresh governor (next fallback attempt) sees the same token.
+        let g2 = ResourceGovernor::unlimited().with_cancel_token(token.clone());
+        assert!(g2.is_cancelled());
+        assert!(matches!(g2.check().unwrap_err(), EngineError::Cancelled));
+        // A token-less governor is unaffected.
+        ResourceGovernor::unlimited().check().unwrap();
     }
 }

@@ -38,5 +38,5 @@ pub(crate) mod wide;
 pub use engine::{Engine, EngineConfig, GetEstimate, GetOutcome, JoinKind};
 pub use error::EngineError;
 pub use fault::{FaultInjector, FaultSite};
-pub use governor::{ResourceGovernor, ResourceKind};
+pub use governor::{CancelToken, ResourceGovernor, ResourceKind};
 pub use key::KeyLayout;

@@ -1,0 +1,195 @@
+//! Layer 3: admission control.
+//!
+//! `run` requests pass through a counting semaphore before they may enter
+//! the executor queue: at most `limit` runs may be outstanding (queued or
+//! executing) across all sessions, and anything beyond that is rejected
+//! immediately with `queue_full` instead of building an unbounded backlog.
+//! A [`Permit`] is held for the run's whole life — from admission in the
+//! reader thread, through the queue, until the executor finishes — and
+//! releases its slot on drop, so error paths cannot leak capacity.
+//!
+//! This module also derives each run's *effective* policy
+//! ([`derive_policy`]): the session's preferences clamped by the server's
+//! ceiling, with the run's [`CancelToken`] attached so client `cancel`
+//! requests and dropped connections reach every governor of the fallback
+//! ladder.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use assess_core::ExecutionPolicy;
+use olap_engine::CancelToken;
+
+/// Why a run was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// `limit` runs are already outstanding.
+    QueueFull,
+}
+
+/// Counter snapshot for the `stats` op.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionStats {
+    pub outstanding: u64,
+    pub limit: usize,
+    pub admitted: u64,
+    pub rejected: u64,
+}
+
+/// The admission semaphore. Cheap to share (`Arc`); all state is atomic
+/// or behind a short-lived lock.
+pub struct Admission {
+    limit: usize,
+    outstanding: Mutex<u64>,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// An admitted run's slot; dropping it frees the slot.
+pub struct Permit {
+    admission: Arc<Admission>,
+}
+
+impl std::fmt::Debug for Permit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Permit").finish_non_exhaustive()
+    }
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut outstanding =
+            self.admission.outstanding.lock().unwrap_or_else(|poison| poison.into_inner());
+        *outstanding = outstanding.saturating_sub(1);
+    }
+}
+
+impl Admission {
+    /// `limit` is the maximum number of outstanding runs, server-wide.
+    pub fn new(limit: usize) -> Arc<Self> {
+        Arc::new(Admission {
+            limit,
+            outstanding: Mutex::new(0),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        })
+    }
+
+    /// Non-blocking admission: a slot or an immediate rejection. The
+    /// server answers `queue_full` rather than making the client wait —
+    /// an interactive client can retry, a batch client can back off.
+    pub fn try_admit(self: &Arc<Self>) -> Result<Permit, AdmissionError> {
+        let mut outstanding = self.outstanding.lock().unwrap_or_else(|poison| poison.into_inner());
+        if *outstanding >= self.limit as u64 {
+            drop(outstanding);
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(AdmissionError::QueueFull);
+        }
+        *outstanding += 1;
+        drop(outstanding);
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        Ok(Permit { admission: self.clone() })
+    }
+
+    pub fn stats(&self) -> AdmissionStats {
+        AdmissionStats {
+            outstanding: *self.outstanding.lock().unwrap_or_else(|poison| poison.into_inner()),
+            limit: self.limit,
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The effective policy of one run: the session's preferences clamped by
+/// the server's ceiling (the minimum wins wherever both set a limit), the
+/// session's fallback preference gated by the server's, and the run's
+/// cancel token attached.
+pub fn derive_policy(
+    ceiling: &ExecutionPolicy,
+    session: &ExecutionPolicy,
+    token: CancelToken,
+) -> ExecutionPolicy {
+    fn min_opt<T: Ord + Copy>(a: Option<T>, b: Option<T>) -> Option<T> {
+        match (a, b) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+    ExecutionPolicy {
+        deadline: min_opt::<Duration>(ceiling.deadline, session.deadline),
+        max_rows_scanned: min_opt(ceiling.max_rows_scanned, session.max_rows_scanned),
+        max_output_cells: min_opt(ceiling.max_output_cells, session.max_output_cells),
+        fallback: ceiling.fallback && session.fallback,
+        cancel_token: Some(token),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_up_to_the_limit() {
+        let admission = Admission::new(2);
+        let a = admission.try_admit().unwrap();
+        let _b = admission.try_admit().unwrap();
+        assert_eq!(admission.try_admit().unwrap_err(), AdmissionError::QueueFull);
+        assert_eq!(admission.stats().outstanding, 2);
+        drop(a);
+        assert!(admission.try_admit().is_ok());
+        let stats = admission.stats();
+        assert_eq!(stats.admitted, 3);
+        assert_eq!(stats.rejected, 1);
+    }
+
+    #[test]
+    fn permits_release_across_threads() {
+        let admission = Admission::new(4);
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let admission = admission.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        if let Ok(permit) = admission.try_admit() {
+                            std::hint::black_box(&permit);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(admission.stats().outstanding, 0, "every permit was released");
+    }
+
+    #[test]
+    fn derive_policy_clamps_to_ceiling() {
+        let ceiling = ExecutionPolicy::new()
+            .with_deadline(Duration::from_millis(500))
+            .with_max_rows_scanned(1_000);
+        let session = ExecutionPolicy::new()
+            .with_deadline(Duration::from_millis(200))
+            .with_max_rows_scanned(5_000)
+            .with_max_output_cells(10);
+        let token = CancelToken::new();
+        let effective = derive_policy(&ceiling, &session, token.clone());
+        assert_eq!(effective.deadline, Some(Duration::from_millis(200)), "session tighter");
+        assert_eq!(effective.max_rows_scanned, Some(1_000), "ceiling tighter");
+        assert_eq!(effective.max_output_cells, Some(10), "only the session set it");
+        assert!(effective.fallback);
+        token.cancel();
+        assert!(effective.cancel_token.as_ref().unwrap().is_cancelled(), "token is attached");
+    }
+
+    #[test]
+    fn derive_policy_gates_fallback() {
+        let no_fallback = ExecutionPolicy::new().without_fallback();
+        let default = ExecutionPolicy::default();
+        assert!(!derive_policy(&no_fallback, &default, CancelToken::new()).fallback);
+        assert!(!derive_policy(&default, &no_fallback, CancelToken::new()).fallback);
+        assert!(derive_policy(&default, &default, CancelToken::new()).fallback);
+    }
+}

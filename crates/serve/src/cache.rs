@@ -1,0 +1,288 @@
+//! Layer 4: the shared result cache.
+//!
+//! An LRU map from *cache key* to a finished execution, shared by every
+//! session. The key is the [`normalized`](assess_core::stmt::normalize)
+//! statement text joined with a [`policy_fingerprint`]: two requests whose
+//! statements differ only in whitespace, comments or keyword case — and
+//! whose effective limits match — share one entry.
+//!
+//! Entries are validated against the catalog's seqlock-style mutation
+//! counter ([`Catalog::version`](olap_storage::Catalog::version)): each
+//! entry records the (even) version it was computed under, a lookup under
+//! any other version removes the entry, and an insert is refused when a
+//! mutation was in flight (odd version) or the version moved during the
+//! run. [`ResultCache::invalidate_all`] additionally supports explicit
+//! wholesale invalidation (the protocol's `invalidate_cache` op).
+//!
+//! The cache is generic over the stored value so the LRU/counter protocol
+//! is testable without building real assessed cubes; the server stores
+//! [`server::CachedResult`](crate::server::CachedResult).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use assess_core::ExecutionPolicy;
+use assess_core::Strategy;
+
+/// Joins the normalized statement and the policy fingerprint into one
+/// cache key. `\u{1}` cannot appear in either part (normalization collapses
+/// control characters in source text into token separators; fingerprints
+/// are ASCII), so the pairing is unambiguous.
+pub fn cache_key(normalized_statement: &str, fingerprint: &str) -> String {
+    format!("{fingerprint}\u{1}{normalized_statement}")
+}
+
+/// A stable text encoding of everything about a policy (and a pinned
+/// strategy, if any) that selects a different execution. The cancel token
+/// is deliberately excluded — it is per-request plumbing, not semantics.
+pub fn policy_fingerprint(policy: &ExecutionPolicy, strategy: Option<Strategy>) -> String {
+    let opt = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |x| x.to_string());
+    format!(
+        "d={};r={};c={};fb={};s={}",
+        policy.deadline.map_or_else(|| "-".to_string(), |d| d.as_millis().to_string()),
+        opt(policy.max_rows_scanned),
+        opt(policy.max_output_cells),
+        u8::from(policy.fallback),
+        strategy.map_or("auto", |s| s.acronym()),
+    )
+}
+
+/// Counter snapshot for the `stats` op and the test suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub invalidations: u64,
+    pub len: usize,
+    pub capacity: usize,
+}
+
+struct Entry<T> {
+    value: Arc<T>,
+    /// The (even) catalog version the value was computed under.
+    version: u64,
+    /// LRU clock reading of the last hit (or the insert).
+    last_used: u64,
+}
+
+struct Inner<T> {
+    entries: HashMap<String, Entry<T>>,
+    /// Monotonic LRU clock; bumped on every hit and insert.
+    tick: u64,
+}
+
+/// A thread-safe LRU result cache. Capacity 0 disables caching entirely
+/// (every lookup is a miss, inserts are dropped).
+pub struct ResultCache<T> {
+    capacity: usize,
+    inner: Mutex<Inner<T>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl<T> ResultCache<T> {
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            inner: Mutex::new(Inner { entries: HashMap::new(), tick: 0 }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// The cache only holds plain data behind `Arc`s, so a panicking
+    /// holder cannot leave a torn state; recover from poisoning.
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Looks up a key under the caller's current catalog version. An entry
+    /// computed under a different version is stale: it is removed, counted
+    /// as an invalidation, and reported as a miss.
+    pub fn lookup(&self, key: &str, catalog_version: u64) -> Option<Arc<T>> {
+        let mut inner = self.lock();
+        match inner.entries.get(key) {
+            Some(entry) if entry.version == catalog_version => {
+                inner.tick += 1;
+                let tick = inner.tick;
+                let entry = inner.entries.get_mut(key).expect("present above");
+                entry.last_used = tick;
+                let value = entry.value.clone();
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            Some(_) => {
+                inner.entries.remove(key);
+                drop(inner);
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a value computed under `catalog_version`. Refused (silently)
+    /// when the version is odd — a catalog mutation was in flight while the
+    /// result was computed, so the result may mix old and new contents.
+    /// At capacity, the least-recently-used entry is evicted.
+    pub fn insert(&self, key: String, value: T, catalog_version: u64) {
+        if self.capacity == 0 || !catalog_version.is_multiple_of(2) {
+            return;
+        }
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.entries.contains_key(&key) && inner.entries.len() >= self.capacity {
+            // O(len) scan; serving caches are small (tens to hundreds of
+            // entries), so a linked-list LRU would be complexity for free.
+            if let Some(oldest) =
+                inner.entries.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+            {
+                inner.entries.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.entries.insert(
+            key,
+            Entry { value: Arc::new(value), version: catalog_version, last_used: tick },
+        );
+    }
+
+    /// Drops every entry (explicit invalidation); returns how many were
+    /// dropped.
+    pub fn invalidate_all(&self) -> usize {
+        let mut inner = self.lock();
+        let dropped = inner.entries.len();
+        inner.entries.clear();
+        drop(inner);
+        self.invalidations.fetch_add(dropped as u64, Ordering::Relaxed);
+        dropped
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            len: self.lock().entries.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let cache: ResultCache<String> = ResultCache::new(4);
+        assert!(cache.lookup("k", 0).is_none());
+        cache.insert("k".into(), "v".into(), 0);
+        assert_eq!(cache.lookup("k", 0).as_deref(), Some(&"v".to_string()));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (1, 1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let cache: ResultCache<u32> = ResultCache::new(2);
+        cache.insert("a".into(), 1, 0);
+        cache.insert("b".into(), 2, 0);
+        // Touch `a` so `b` is the LRU victim.
+        assert!(cache.lookup("a", 0).is_some());
+        cache.insert("c".into(), 3, 0);
+        assert!(cache.lookup("a", 0).is_some());
+        assert!(cache.lookup("b", 0).is_none());
+        assert!(cache.lookup("c", 0).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let cache: ResultCache<u32> = ResultCache::new(2);
+        cache.insert("a".into(), 1, 0);
+        cache.insert("b".into(), 2, 0);
+        cache.insert("a".into(), 10, 0);
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.lookup("a", 0).as_deref(), Some(&10));
+        assert_eq!(cache.lookup("b", 0).as_deref(), Some(&2));
+    }
+
+    #[test]
+    fn version_change_invalidates() {
+        let cache: ResultCache<u32> = ResultCache::new(4);
+        cache.insert("k".into(), 7, 2);
+        assert!(cache.lookup("k", 2).is_some());
+        // Catalog moved on: the entry is stale and gets dropped.
+        assert!(cache.lookup("k", 4).is_none());
+        assert_eq!(cache.stats().invalidations, 1);
+        // Dropped for real, not just hidden.
+        assert!(cache.lookup("k", 2).is_none());
+    }
+
+    #[test]
+    fn odd_version_is_not_cached() {
+        let cache: ResultCache<u32> = ResultCache::new(4);
+        cache.insert("k".into(), 7, 3);
+        assert!(cache.lookup("k", 3).is_none());
+        assert_eq!(cache.stats().len, 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache: ResultCache<u32> = ResultCache::new(0);
+        cache.insert("k".into(), 7, 0);
+        assert!(cache.lookup("k", 0).is_none());
+    }
+
+    #[test]
+    fn invalidate_all_empties_and_counts() {
+        let cache: ResultCache<u32> = ResultCache::new(4);
+        cache.insert("a".into(), 1, 0);
+        cache.insert("b".into(), 2, 0);
+        assert_eq!(cache.invalidate_all(), 2);
+        assert_eq!(cache.stats().len, 0);
+        assert_eq!(cache.stats().invalidations, 2);
+        assert!(cache.lookup("a", 0).is_none());
+    }
+
+    #[test]
+    fn fingerprint_separates_policies_and_strategies() {
+        let base = ExecutionPolicy::default();
+        let limited = ExecutionPolicy::new()
+            .with_deadline(Duration::from_millis(250))
+            .with_max_rows_scanned(1000);
+        let a = policy_fingerprint(&base, None);
+        let b = policy_fingerprint(&limited, None);
+        let c = policy_fingerprint(&base, Some(Strategy::Naive));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, policy_fingerprint(&ExecutionPolicy::default(), None));
+        // The cancel token is plumbing, not semantics.
+        let with_token =
+            ExecutionPolicy::default().with_cancel_token(olap_engine::CancelToken::new());
+        assert_eq!(a, policy_fingerprint(&with_token, None));
+    }
+
+    #[test]
+    fn cache_key_pairs_unambiguously() {
+        let k1 = cache_key("with s by x assess m", "d=-;r=-;c=-;fb=1;s=auto");
+        let k2 = cache_key("with s by x assess m", "d=5;r=-;c=-;fb=1;s=auto");
+        assert_ne!(k1, k2);
+    }
+}

@@ -1,0 +1,165 @@
+//! A small blocking line client for the protocol, used by the test
+//! suite, the CI smoke session and the throughput benchmark.
+//!
+//! The client pairs responses to requests by id: responses can arrive out
+//! of order (a quick `stats` answered by the reader thread can overtake a
+//! long `run` answered by an executor), so [`LineClient::wait_for`]
+//! buffers whatever arrives for other ids until asked for it.
+
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use serde::Value;
+
+use crate::protocol::{self, get_u64, n, obj, s};
+
+/// A connected client session.
+pub struct LineClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+    session_id: u64,
+    /// Responses read while waiting for a different id.
+    pending: Vec<Value>,
+}
+
+impl LineClient {
+    /// Connects and consumes the server's hello line.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<LineClient> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        let mut client =
+            LineClient { writer, reader, next_id: 1, session_id: 0, pending: Vec::new() };
+        let hello = client.read_response()?;
+        if hello.get("error").is_some() {
+            let message = hello
+                .get("error")
+                .and_then(|e| e.get("message"))
+                .and_then(Value::as_str)
+                .unwrap_or("connection refused")
+                .to_string();
+            return Err(std::io::Error::new(std::io::ErrorKind::ConnectionRefused, message));
+        }
+        client.session_id = get_u64(&hello, "session").unwrap_or(0);
+        Ok(client)
+    }
+
+    /// The server-assigned session id from the hello line.
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// Sends a raw line (appending `\n` if missing) without waiting.
+    pub fn send_raw(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        if !line.ends_with('\n') {
+            self.writer.write_all(b"\n")?;
+        }
+        self.writer.flush()
+    }
+
+    /// Reads the next response line, whatever it answers.
+    pub fn read_response(&mut self) -> std::io::Result<Value> {
+        let mut line = String::new();
+        let read = self.reader.read_line(&mut line)?;
+        if read == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        serde_json::from_str(line.trim()).map_err(std::io::Error::from)
+    }
+
+    /// Sends `fields` (plus a fresh `id`) and returns the assigned id
+    /// without waiting for the response.
+    pub fn send(&mut self, mut fields: Vec<(&str, Value)>) -> std::io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        fields.insert(0, ("id", n(id)));
+        let line = protocol::to_line(&obj(fields));
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        Ok(id)
+    }
+
+    /// Blocks until the response for `id` arrives, buffering others.
+    pub fn wait_for(&mut self, id: u64) -> std::io::Result<Value> {
+        if let Some(pos) = self.pending.iter().position(|v| get_u64(v, "id") == Some(id)) {
+            return Ok(self.pending.remove(pos));
+        }
+        loop {
+            let response = self.read_response()?;
+            if get_u64(&response, "id") == Some(id) {
+                return Ok(response);
+            }
+            self.pending.push(response);
+        }
+    }
+
+    /// Sends a request and waits for its response.
+    pub fn request(&mut self, fields: Vec<(&str, Value)>) -> std::io::Result<Value> {
+        let id = self.send(fields)?;
+        self.wait_for(id)
+    }
+
+    // ------------------------------------------------------- conveniences
+
+    pub fn ping(&mut self) -> std::io::Result<Value> {
+        self.request(vec![("op", s("ping"))])
+    }
+
+    pub fn check(&mut self, statement: &str) -> std::io::Result<Value> {
+        self.request(vec![("op", s("check")), ("statement", s(statement))])
+    }
+
+    pub fn explain(&mut self, statement: &str) -> std::io::Result<Value> {
+        self.request(vec![("op", s("explain")), ("statement", s(statement))])
+    }
+
+    pub fn run(&mut self, statement: &str) -> std::io::Result<Value> {
+        self.request(vec![("op", s("run")), ("statement", s(statement))])
+    }
+
+    /// Runs with the full result as CSV (the byte-comparison format).
+    pub fn run_csv(&mut self, statement: &str) -> std::io::Result<Value> {
+        self.request(vec![("op", s("run")), ("statement", s(statement)), ("format", s("csv"))])
+    }
+
+    /// Starts a run without waiting; pair with [`Self::wait_for`] and
+    /// [`Self::cancel`].
+    pub fn start_run(&mut self, statement: &str) -> std::io::Result<u64> {
+        self.send(vec![("op", s("run")), ("statement", s(statement))])
+    }
+
+    pub fn cancel(&mut self, target: u64) -> std::io::Result<Value> {
+        self.request(vec![("op", s("cancel")), ("target", n(target))])
+    }
+
+    pub fn stats(&mut self) -> std::io::Result<Value> {
+        self.request(vec![("op", s("stats"))])
+    }
+
+    pub fn history(&mut self) -> std::io::Result<Value> {
+        self.request(vec![("op", s("history"))])
+    }
+
+    pub fn set_policy(
+        &mut self,
+        deadline_ms: Option<u64>,
+        max_rows_scanned: Option<u64>,
+        max_output_cells: Option<u64>,
+    ) -> std::io::Result<Value> {
+        let mut fields = vec![("op", s("set_policy"))];
+        if let Some(ms) = deadline_ms {
+            fields.push(("deadline_ms", n(ms)));
+        }
+        if let Some(rows) = max_rows_scanned {
+            fields.push(("max_rows_scanned", n(rows)));
+        }
+        if let Some(cells) = max_output_cells {
+            fields.push(("max_output_cells", n(cells)));
+        }
+        self.request(fields)
+    }
+}

@@ -1,0 +1,46 @@
+// Robustness gate: production code in this crate must handle its
+// errors — `unwrap` is reserved for tests (CI runs clippy with -D warnings).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+//! # assess-serve
+//!
+//! A concurrent query service for assess statements: many interactive
+//! clients share one [`Engine`](olap_engine::Engine) over a plain TCP
+//! protocol (one JSON document per line, both directions). The crate is
+//! std-only — `std::net` sockets, `std::thread` workers, no async runtime —
+//! and is layered bottom-up:
+//!
+//! * [`protocol`] — the wire format: requests (`check`, `run`, `explain`,
+//!   `stats`, `history`, `set_policy`, `cancel`, `ping`) parsed from JSON
+//!   lines, responses built back into JSON lines, diagnostics rendered via
+//!   `assess_core::diag`;
+//! * [`session`] — per-connection state: session id, default
+//!   [`ExecutionPolicy`](assess_core::ExecutionPolicy), statement history,
+//!   the in-flight run registry used for cancellation, and idle-eviction
+//!   bookkeeping;
+//! * [`admission`] — a semaphore-bounded admission gate for `run` requests
+//!   plus the derivation of each run's effective policy from the server's
+//!   ceiling and the session's preferences;
+//! * [`cache`] — the shared LRU result cache, keyed on the normalized
+//!   statement text ([`assess_core::stmt::normalize`]) plus a policy
+//!   fingerprint, validated against the catalog's mutation counter
+//!   ([`olap_storage::Catalog::version`]) so any catalog change invalidates
+//!   stale entries;
+//! * [`server`] — the TCP listener, per-connection reader threads, the
+//!   fixed executor pool that drives the engine, and graceful shutdown;
+//! * [`client`] — a small blocking line client used by the test suite, the
+//!   CI smoke job and the throughput benchmark.
+
+pub mod admission;
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod session;
+
+pub use admission::{derive_policy, Admission, AdmissionError};
+pub use cache::{cache_key, policy_fingerprint, CacheStats, ResultCache};
+pub use client::LineClient;
+pub use protocol::{parse_request, Op, ProtoError, Request, RunFormat, RunOptions};
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use session::{HistoryEntry, Session, SessionRegistry};

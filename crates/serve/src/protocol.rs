@@ -1,0 +1,374 @@
+//! Layer 1: the wire protocol.
+//!
+//! Both directions carry one JSON document per `\n`-terminated line. A
+//! request is an object with an `"op"` field naming the operation, an
+//! optional numeric `"id"` echoed back in the response (required for
+//! `run`, whose id doubles as the cancellation target), and op-specific
+//! fields. A response is an object with the echoed `"id"`, an `"ok"`
+//! boolean, and either result fields or an `"error"` object
+//! (`{"code", "message"}`), optionally alongside `"diagnostics"` rendered
+//! with [`Diagnostic::to_json`].
+//!
+//! This module is pure data — parsing and building [`Value`] trees, no
+//! I/O — so every shape is unit-testable without a socket.
+
+use assess_core::diag::Diagnostic;
+use assess_core::plan::Strategy;
+use serde::Value;
+
+/// Version stamped into the server's hello line; bump on breaking changes.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// How a `run` response carries the assessed cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunFormat {
+    /// A JSON array of cell objects, truncated to the row limit.
+    Cells,
+    /// The full result as one CSV string (no truncation) — the format the
+    /// concurrency tests compare byte-for-byte against serial execution.
+    Csv,
+}
+
+/// Parsed fields of a `run` request.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    pub statement: String,
+    /// Pin one strategy (no fallback ladder) instead of `run_auto`.
+    pub strategy: Option<Strategy>,
+    pub format: RunFormat,
+    /// Row cap for [`RunFormat::Cells`] responses; `None` = server default.
+    pub limit: Option<usize>,
+    /// Whether the shared result cache may serve / store this run.
+    pub cache: bool,
+}
+
+/// One protocol operation.
+#[derive(Debug, Clone)]
+pub enum Op {
+    Ping,
+    Check {
+        statement: String,
+    },
+    Run(RunOptions),
+    Explain {
+        statement: String,
+    },
+    Stats,
+    History,
+    SetPolicy {
+        deadline_ms: Option<u64>,
+        max_rows_scanned: Option<u64>,
+        max_output_cells: Option<u64>,
+    },
+    Cancel {
+        target: u64,
+    },
+    InvalidateCache,
+}
+
+impl Op {
+    /// Stable op name, used for per-op counters and error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Ping => "ping",
+            Op::Check { .. } => "check",
+            Op::Run(_) => "run",
+            Op::Explain { .. } => "explain",
+            Op::Stats => "stats",
+            Op::History => "history",
+            Op::SetPolicy { .. } => "set_policy",
+            Op::Cancel { .. } => "cancel",
+            Op::InvalidateCache => "invalidate_cache",
+        }
+    }
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub id: Option<u64>,
+    pub op: Op,
+}
+
+/// A request the server must reject, with the machine-readable code the
+/// error response carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    pub code: &'static str,
+    pub message: String,
+}
+
+impl ProtoError {
+    fn new(code: &'static str, message: impl Into<String>) -> Self {
+        ProtoError { code, message: message.into() }
+    }
+}
+
+// ---------------------------------------------------------------- helpers
+
+/// Builds an object [`Value`] from `(key, value)` pairs.
+pub fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// A string [`Value`].
+pub fn s(text: impl Into<String>) -> Value {
+    Value::String(text.into())
+}
+
+/// A numeric [`Value`] from an unsigned integer. Ids and counters stay
+/// well under 2^53, so the f64 carrier is exact.
+pub fn n(value: u64) -> Value {
+    Value::Number(value as f64)
+}
+
+/// Reads an optional non-negative integer field.
+pub fn get_u64(value: &Value, key: &str) -> Option<u64> {
+    let x = value.get(key)?.as_f64()?;
+    (x >= 0.0 && x.fract() == 0.0 && x <= 9.0e15).then_some(x as u64)
+}
+
+/// Reads an optional string field.
+pub fn get_str<'a>(value: &'a Value, key: &str) -> Option<&'a str> {
+    value.get(key)?.as_str()
+}
+
+/// Reads an optional boolean field.
+pub fn get_bool(value: &Value, key: &str) -> Option<bool> {
+    value.get(key)?.as_bool()
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// Parses one request line. Errors carry the code the error response
+/// reports (`bad_request` for malformed JSON or field problems,
+/// `unknown_op` for an unrecognized operation).
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    let value: Value = serde_json::from_str(line.trim())
+        .map_err(|e| ProtoError::new("bad_request", format!("invalid JSON: {e}")))?;
+    if !matches!(value, Value::Object(_)) {
+        return Err(ProtoError::new("bad_request", "request must be a JSON object"));
+    }
+    let id = get_u64(&value, "id");
+    if value.get("id").is_some() && id.is_none() {
+        return Err(ProtoError::new("bad_request", "`id` must be a non-negative integer"));
+    }
+    let op_name = get_str(&value, "op")
+        .ok_or_else(|| ProtoError::new("bad_request", "missing string field `op`"))?;
+    let statement = |value: &Value| -> Result<String, ProtoError> {
+        get_str(value, "statement")
+            .map(str::to_string)
+            .ok_or_else(|| ProtoError::new("bad_request", "missing string field `statement`"))
+    };
+    let op = match op_name {
+        "ping" => Op::Ping,
+        "check" => Op::Check { statement: statement(&value)? },
+        "explain" => Op::Explain { statement: statement(&value)? },
+        "stats" => Op::Stats,
+        "history" => Op::History,
+        "invalidate_cache" => Op::InvalidateCache,
+        "set_policy" => Op::SetPolicy {
+            deadline_ms: get_u64(&value, "deadline_ms"),
+            max_rows_scanned: get_u64(&value, "max_rows_scanned"),
+            max_output_cells: get_u64(&value, "max_output_cells"),
+        },
+        "cancel" => Op::Cancel {
+            target: get_u64(&value, "target")
+                .ok_or_else(|| ProtoError::new("bad_request", "`cancel` needs integer `target`"))?,
+        },
+        "run" => {
+            if id.is_none() {
+                // The id is the cancellation handle, so a run without one
+                // would be unabortable; require it up front.
+                return Err(ProtoError::new("bad_request", "`run` requires an `id`"));
+            }
+            let strategy = match get_str(&value, "strategy") {
+                None => None,
+                Some(text) => Some(parse_strategy(text)?),
+            };
+            let format = match get_str(&value, "format") {
+                None | Some("cells") => RunFormat::Cells,
+                Some("csv") => RunFormat::Csv,
+                Some(other) => {
+                    return Err(ProtoError::new(
+                        "bad_request",
+                        format!("`format` must be cells|csv, got `{other}`"),
+                    ))
+                }
+            };
+            Op::Run(RunOptions {
+                statement: statement(&value)?,
+                strategy,
+                format,
+                limit: get_u64(&value, "limit").map(|x| x as usize),
+                cache: get_bool(&value, "cache").unwrap_or(true),
+            })
+        }
+        other => return Err(ProtoError::new("unknown_op", format!("unknown op `{other}`"))),
+    };
+    Ok(Request { id, op })
+}
+
+fn parse_strategy(text: &str) -> Result<Strategy, ProtoError> {
+    match text.to_ascii_lowercase().as_str() {
+        "np" | "naive" => Ok(Strategy::Naive),
+        "jop" => Ok(Strategy::JoinOptimized),
+        "pop" => Ok(Strategy::PivotOptimized),
+        other => Err(ProtoError::new(
+            "bad_request",
+            format!("`strategy` must be np|jop|pop, got `{other}`"),
+        )),
+    }
+}
+
+// --------------------------------------------------------------- building
+
+fn id_field(id: Option<u64>) -> Value {
+    match id {
+        Some(id) => n(id),
+        None => Value::Null,
+    }
+}
+
+/// A success response: `{"id", "ok": true, …fields}`.
+pub fn ok_response(id: Option<u64>, fields: Vec<(&str, Value)>) -> Value {
+    let mut all = vec![("id", id_field(id)), ("ok", Value::Bool(true))];
+    all.extend(fields);
+    obj(all)
+}
+
+/// An error response: `{"id", "ok": false, "error": {"code", "message"}}`.
+pub fn error_response(id: Option<u64>, code: &str, message: &str) -> Value {
+    obj(vec![
+        ("id", id_field(id)),
+        ("ok", Value::Bool(false)),
+        ("error", obj(vec![("code", s(code)), ("message", s(message))])),
+    ])
+}
+
+/// Like [`error_response`], with diagnostics attached.
+pub fn error_with_diagnostics(
+    id: Option<u64>,
+    code: &str,
+    message: &str,
+    diagnostics: &[Diagnostic],
+    source: Option<&str>,
+) -> Value {
+    let mut value = error_response(id, code, message);
+    if let Value::Object(fields) = &mut value {
+        fields.push(("diagnostics".to_string(), diagnostics_json(diagnostics, source)));
+    }
+    value
+}
+
+/// Renders diagnostics as a JSON array via [`Diagnostic::to_json`].
+pub fn diagnostics_json(diagnostics: &[Diagnostic], source: Option<&str>) -> Value {
+    Value::Array(diagnostics.iter().map(|d| d.to_json(source)).collect())
+}
+
+/// Serializes one response as a single line (no interior newlines: the
+/// compact writer never emits them, and strings escape `\n`).
+pub fn to_line(value: &Value) -> String {
+    let mut line = serde_json::to_string(value).unwrap_or_else(|_| {
+        // The shim's compact writer is total over `Value`; keep a valid
+        // JSON fallback anyway so a client never reads a broken line.
+        r#"{"ok":false,"error":{"code":"internal","message":"serialization failed"}}"#.to_string()
+    });
+    line.push('\n');
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_op() {
+        assert!(matches!(parse_request(r#"{"op":"ping"}"#).unwrap().op, Op::Ping));
+        assert!(matches!(parse_request(r#"{"op":"stats","id":3}"#).unwrap().op, Op::Stats));
+        assert!(matches!(parse_request(r#"{"op":"history"}"#).unwrap().op, Op::History));
+        assert!(matches!(
+            parse_request(r#"{"op":"invalidate_cache"}"#).unwrap().op,
+            Op::InvalidateCache
+        ));
+        let check = parse_request(r#"{"op":"check","statement":"with s by x assess m"}"#).unwrap();
+        assert!(matches!(check.op, Op::Check { .. }));
+        let cancel = parse_request(r#"{"op":"cancel","target":7}"#).unwrap();
+        assert!(matches!(cancel.op, Op::Cancel { target: 7 }));
+        let policy = parse_request(r#"{"op":"set_policy","deadline_ms":100}"#).unwrap();
+        match policy.op {
+            Op::SetPolicy { deadline_ms, max_rows_scanned, max_output_cells } => {
+                assert_eq!(deadline_ms, Some(100));
+                assert_eq!(max_rows_scanned, None);
+                assert_eq!(max_output_cells, None);
+            }
+            other => panic!("wrong op: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_run_options() {
+        let req = parse_request(
+            r#"{"op":"run","id":5,"statement":"s","strategy":"POP","format":"csv","cache":false}"#,
+        )
+        .unwrap();
+        assert_eq!(req.id, Some(5));
+        match req.op {
+            Op::Run(opts) => {
+                assert_eq!(opts.statement, "s");
+                assert_eq!(opts.strategy, Some(Strategy::PivotOptimized));
+                assert_eq!(opts.format, RunFormat::Csv);
+                assert!(!opts.cache);
+                assert_eq!(opts.limit, None);
+            }
+            other => panic!("wrong op: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_requires_an_id() {
+        let err = parse_request(r#"{"op":"run","statement":"s"}"#).unwrap_err();
+        assert_eq!(err.code, "bad_request");
+        assert!(err.message.contains("id"));
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert_eq!(parse_request("not json").unwrap_err().code, "bad_request");
+        assert_eq!(parse_request("[1,2]").unwrap_err().code, "bad_request");
+        assert_eq!(parse_request(r#"{"id":1}"#).unwrap_err().code, "bad_request");
+        assert_eq!(parse_request(r#"{"op":"warp"}"#).unwrap_err().code, "unknown_op");
+        assert_eq!(parse_request(r#"{"op":"ping","id":-1}"#).unwrap_err().code, "bad_request");
+        assert_eq!(parse_request(r#"{"op":"ping","id":1.5}"#).unwrap_err().code, "bad_request");
+        assert_eq!(
+            parse_request(r#"{"op":"run","id":1,"statement":"s","strategy":"zzz"}"#)
+                .unwrap_err()
+                .code,
+            "bad_request"
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"run","id":1,"statement":"s","format":"xml"}"#)
+                .unwrap_err()
+                .code,
+            "bad_request"
+        );
+    }
+
+    #[test]
+    fn responses_round_trip_as_lines() {
+        let ok = ok_response(Some(9), vec![("pong", Value::Bool(true))]);
+        let line = to_line(&ok);
+        assert!(line.ends_with('\n'));
+        assert_eq!(line.matches('\n').count(), 1);
+        let back: Value = serde_json::from_str(line.trim()).unwrap();
+        assert_eq!(get_u64(&back, "id"), Some(9));
+        assert_eq!(get_bool(&back, "ok"), Some(true));
+        assert_eq!(get_bool(&back, "pong"), Some(true));
+
+        let err = error_response(None, "queue_full", "too many pending runs");
+        let back: Value = serde_json::from_str(to_line(&err).trim()).unwrap();
+        assert_eq!(get_bool(&back, "ok"), Some(false));
+        let error = back.get("error").unwrap();
+        assert_eq!(get_str(error, "code"), Some("queue_full"));
+    }
+}

@@ -1,0 +1,784 @@
+//! The TCP server: listener, per-connection readers, the fixed executor
+//! pool, and graceful shutdown.
+//!
+//! Threading model:
+//!
+//! * one **acceptor** thread polls the (non-blocking) listener and spawns
+//!   a reader thread per accepted connection — connections are bounded by
+//!   [`ServerConfig::max_sessions`], so the spawn-per-connection readers
+//!   are bounded too;
+//! * each **reader** thread parses request lines and answers quick ops
+//!   (`ping`, `check`, `explain`, `stats`, `history`, `set_policy`,
+//!   `cancel`, `invalidate_cache`) inline. `run` requests pass admission
+//!   control and are enqueued for the executor pool, so the reader stays
+//!   responsive during long runs — that is what makes `cancel` (and
+//!   EOF-triggered cancellation on a dropped connection) work;
+//! * a **fixed pool** of [`ServerConfig::workers`] executor threads pops
+//!   run jobs off the shared queue and drives the engine. Responses go
+//!   back through the connection's shared writer, one line at a time, so
+//!   executor responses interleave safely with the reader's own.
+//!
+//! Shutdown sets a flag; the acceptor stops within one poll interval,
+//! readers notice at their next read timeout, and executors drain the
+//! remaining queue before exiting.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{BufRead, BufReader, ErrorKind, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use assess_core::diag::{DiagCode, Diagnostic};
+use assess_core::exec::AssessRunner;
+use assess_core::{explain, stmt, AssessError, AssessedCube, ExecutionPolicy, Strategy};
+use olap_engine::{CancelToken, Engine};
+use serde::Value;
+
+use crate::admission::{self, Admission, AdmissionError, Permit};
+use crate::cache::{cache_key, policy_fingerprint, CacheStats, ResultCache};
+use crate::protocol::{self, n, s, Op, RunFormat, RunOptions};
+use crate::session::{HistoryEntry, Session, SessionRegistry};
+
+/// How often blocked reads and the acceptor wake up to check the
+/// shutdown flag and the idle clock.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Server tunables. The default is sized for tests and small deployments;
+/// production raises `workers`/`max_sessions` and sets a `ceiling`.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Executor pool size (concurrent statement executions).
+    pub workers: usize,
+    /// Hard cap on open connections.
+    pub max_sessions: usize,
+    /// Run requests that may wait in the queue beyond the executing ones;
+    /// more than `workers + max_queued` outstanding runs get `queue_full`.
+    pub max_queued: usize,
+    /// Idle connections are evicted after this long with nothing in
+    /// flight.
+    pub idle_timeout: Duration,
+    /// Result-cache entries (0 disables the cache).
+    pub cache_capacity: usize,
+    /// Default row cap for `run` responses in `cells` format.
+    pub default_row_limit: usize,
+    /// Server-wide resource ceiling; every run's effective policy is the
+    /// session's preferences clamped by this.
+    pub ceiling: ExecutionPolicy,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            max_sessions: 64,
+            max_queued: 32,
+            idle_timeout: Duration::from_secs(300),
+            cache_capacity: 128,
+            default_row_limit: 50,
+            ceiling: ExecutionPolicy::default(),
+        }
+    }
+}
+
+/// A finished execution as stored in the shared result cache.
+pub struct CachedResult {
+    pub cube: AssessedCube,
+    pub strategy: Strategy,
+    pub plan: String,
+    pub rows_scanned: usize,
+    pub attempts: usize,
+    /// Wall-clock of the original (cold) execution.
+    pub elapsed_ms: u64,
+}
+
+type SharedWriter = Arc<Mutex<TcpStream>>;
+
+/// One admitted `run`, queued for the executor pool. Dropping the job
+/// releases its admission permit.
+struct Job {
+    session: Arc<Session>,
+    request_id: u64,
+    opts: RunOptions,
+    token: CancelToken,
+    writer: SharedWriter,
+    _permit: Permit,
+}
+
+#[derive(Default)]
+struct RunCounters {
+    executed: AtomicU64,
+    cache_hits: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+}
+
+struct Shared {
+    engine: Engine,
+    /// Policy-free runner for `check` and `explain` (no execution).
+    runner: AssessRunner,
+    config: ServerConfig,
+    sessions: SessionRegistry,
+    admission: Arc<Admission>,
+    cache: ResultCache<CachedResult>,
+    ops: Mutex<BTreeMap<&'static str, u64>>,
+    runs: RunCounters,
+    started: Instant,
+    shutdown: AtomicBool,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    running: AtomicU64,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+fn ms(elapsed: Duration) -> u64 {
+    elapsed.as_millis().min(u128::from(u64::MAX)) as u64
+}
+
+impl Shared {
+    fn count_op(&self, name: &'static str) {
+        *lock(&self.ops).entry(name).or_insert(0) += 1;
+    }
+
+    /// Pops the next run job; `None` once shut down **and** drained.
+    fn pop_job(&self) -> Option<Job> {
+        let mut queue = lock(&self.queue);
+        loop {
+            if let Some(job) = queue.pop_front() {
+                return Some(job);
+            }
+            if self.shutdown.load(Ordering::Relaxed) {
+                return None;
+            }
+            queue = self
+                .queue_cv
+                .wait_timeout(queue, POLL_INTERVAL)
+                .unwrap_or_else(|poison| poison.into_inner())
+                .0;
+        }
+    }
+}
+
+/// Starts the server and returns a handle carrying the bound address.
+/// The engine (and through it the catalog) is shared by every worker.
+pub fn serve(engine: Engine, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let shared = Arc::new(Shared {
+        runner: AssessRunner::new(engine.clone()),
+        engine,
+        sessions: SessionRegistry::new(config.max_sessions),
+        admission: Admission::new(config.workers + config.max_queued),
+        cache: ResultCache::new(config.cache_capacity),
+        ops: Mutex::new(BTreeMap::new()),
+        runs: RunCounters::default(),
+        started: Instant::now(),
+        shutdown: AtomicBool::new(false),
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        running: AtomicU64::new(0),
+        conn_threads: Mutex::new(Vec::new()),
+        config,
+    });
+    let executors = (0..shared.config.workers.max(1))
+        .map(|_| {
+            let shared = shared.clone();
+            std::thread::spawn(move || executor_loop(shared))
+        })
+        .collect();
+    let acceptor = {
+        let shared = shared.clone();
+        std::thread::spawn(move || accept_loop(shared, listener))
+    };
+    Ok(ServerHandle { addr, shared, acceptor: Some(acceptor), executors })
+}
+
+/// A running server. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    executors: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Result-cache counters (also available to clients via `stats`).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Explicit wholesale cache invalidation, for callers that mutate the
+    /// catalog out-of-band; returns the number of entries dropped.
+    pub fn invalidate_cache(&self) -> usize {
+        self.shared.cache.invalidate_all()
+    }
+
+    /// Graceful shutdown: stop accepting, let readers notice within one
+    /// poll interval, drain the run queue, join everything.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.queue_cv.notify_all();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for handle in self.executors.drain(..) {
+            let _ = handle.join();
+        }
+        let readers = std::mem::take(&mut *lock(&self.shared.conn_threads));
+        for handle in readers {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+// ---------------------------------------------------------------- acceptor
+
+fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn_shared = shared.clone();
+                let handle = std::thread::spawn(move || handle_connection(conn_shared, stream));
+                let mut threads = lock(&shared.conn_threads);
+                // Reap finished readers so the vec tracks live ones only.
+                let mut live = Vec::with_capacity(threads.len() + 1);
+                for t in threads.drain(..) {
+                    if t.is_finished() {
+                        let _ = t.join();
+                    } else {
+                        live.push(t);
+                    }
+                }
+                live.push(handle);
+                *threads = live;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+// ------------------------------------------------------------- connections
+
+fn write_line(writer: &SharedWriter, response: &Value) {
+    let line = protocol::to_line(response);
+    let mut stream = lock(writer);
+    // A dead peer is detected by the reader (EOF); ignore write errors.
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.flush();
+}
+
+fn handle_connection(shared: Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let session = match shared.sessions.open(shared.config.ceiling.clone()) {
+        Some(session) => session,
+        None => {
+            let mut stream = stream;
+            let refusal =
+                protocol::error_response(None, "server_full", "session limit reached, retry later");
+            let _ = stream.write_all(protocol::to_line(&refusal).as_bytes());
+            return;
+        }
+    };
+    let writer: SharedWriter = match stream.try_clone() {
+        Ok(clone) => Arc::new(Mutex::new(clone)),
+        Err(_) => {
+            shared.sessions.close(session.id());
+            return;
+        }
+    };
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    write_line(
+        &writer,
+        &protocol::ok_response(
+            None,
+            vec![
+                ("hello", Value::Bool(true)),
+                ("session", n(session.id())),
+                ("protocol", n(protocol::PROTOCOL_VERSION)),
+            ],
+        ),
+    );
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                // EOF; a final unterminated line still gets processed.
+                if !line.trim().is_empty() {
+                    session.touch();
+                    handle_line(&shared, &session, &writer, &std::mem::take(&mut line));
+                }
+                break;
+            }
+            Ok(_) => {
+                session.touch();
+                let text = std::mem::take(&mut line);
+                if !text.trim().is_empty() {
+                    handle_line(&shared, &session, &writer, &text);
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) =>
+            {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
+                if session.in_flight() == 0 && session.idle_for() >= shared.config.idle_timeout {
+                    write_line(
+                        &writer,
+                        &protocol::error_response(None, "idle_timeout", "session evicted"),
+                    );
+                    shared.sessions.note_idle_eviction();
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    // Dropped (or evicted) connection: cancel whatever is still in
+    // flight — the tokens reach every governor of the runs' ladders.
+    shared.sessions.close(session.id());
+}
+
+fn handle_line(shared: &Arc<Shared>, session: &Arc<Session>, writer: &SharedWriter, text: &str) {
+    let request = match protocol::parse_request(text) {
+        Ok(request) => request,
+        Err(e) => {
+            shared.count_op("invalid");
+            write_line(writer, &protocol::error_response(None, e.code, &e.message));
+            return;
+        }
+    };
+    shared.count_op(request.op.name());
+    let id = request.id;
+    let response = match request.op {
+        Op::Ping => protocol::ok_response(id, vec![("pong", Value::Bool(true))]),
+        Op::Check { statement } => check_response(shared, id, &statement),
+        Op::Explain { statement } => explain_response(shared, id, &statement),
+        Op::Stats => stats_response(shared, id),
+        Op::History => history_response(session, id),
+        Op::SetPolicy { deadline_ms, max_rows_scanned, max_output_cells } => {
+            let policy = ExecutionPolicy {
+                deadline: deadline_ms.map(Duration::from_millis),
+                max_rows_scanned,
+                max_output_cells,
+                fallback: true,
+                cancel_token: None,
+            };
+            session.set_policy(policy.clone());
+            protocol::ok_response(id, vec![("policy", policy_json(&policy))])
+        }
+        Op::Cancel { target } => {
+            let cancelled = session.cancel_run(target);
+            protocol::ok_response(id, vec![("cancelled", Value::Bool(cancelled))])
+        }
+        Op::InvalidateCache => {
+            let dropped = shared.cache.invalidate_all();
+            protocol::ok_response(id, vec![("invalidated", n(dropped as u64))])
+        }
+        Op::Run(opts) => {
+            enqueue_run(shared, session, writer, id, opts);
+            return; // the executor writes the response
+        }
+    };
+    write_line(writer, &response);
+}
+
+fn enqueue_run(
+    shared: &Arc<Shared>,
+    session: &Arc<Session>,
+    writer: &SharedWriter,
+    id: Option<u64>,
+    opts: RunOptions,
+) {
+    let Some(request_id) = id else {
+        // The protocol layer already rejects id-less runs; belt and braces.
+        write_line(
+            writer,
+            &protocol::error_response(None, "bad_request", "`run` requires an `id`"),
+        );
+        return;
+    };
+    let token = CancelToken::new();
+    if !session.register_run(request_id, token.clone()) {
+        write_line(
+            writer,
+            &protocol::error_response(
+                id,
+                "duplicate_id",
+                "a run with this id is already in flight",
+            ),
+        );
+        return;
+    }
+    let permit = match shared.admission.try_admit() {
+        Ok(permit) => permit,
+        Err(AdmissionError::QueueFull) => {
+            session.finish_run(request_id);
+            write_line(
+                writer,
+                &protocol::error_response(id, "queue_full", "too many runs in flight, retry later"),
+            );
+            return;
+        }
+    };
+    let job = Job {
+        session: session.clone(),
+        request_id,
+        opts,
+        token,
+        writer: writer.clone(),
+        _permit: permit,
+    };
+    lock(&shared.queue).push_back(job);
+    shared.queue_cv.notify_one();
+}
+
+// --------------------------------------------------------------- executors
+
+fn executor_loop(shared: Arc<Shared>) {
+    while let Some(job) = shared.pop_job() {
+        shared.running.fetch_add(1, Ordering::Relaxed);
+        let response = execute_run(&shared, &job);
+        job.session.finish_run(job.request_id);
+        let writer = job.writer.clone();
+        // Release the admission permit *before* the response goes out: a
+        // client that has seen this run finish must be able to admit a new
+        // one immediately.
+        drop(job);
+        write_line(&writer, &response);
+        shared.running.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn execute_run(shared: &Shared, job: &Job) -> Value {
+    let id = Some(job.request_id);
+    let opts = &job.opts;
+    let t0 = Instant::now();
+    let record = |outcome: &str, elapsed_ms: u64, cells: usize| {
+        job.session.record(HistoryEntry {
+            statement: opts.statement.clone(),
+            outcome: outcome.to_string(),
+            elapsed_ms,
+            cells,
+        });
+    };
+
+    if job.token.is_cancelled() {
+        shared.runs.cancelled.fetch_add(1, Ordering::Relaxed);
+        record("cancelled", 0, 0);
+        return protocol::error_response(id, "cancelled", "cancelled while queued");
+    }
+
+    // Blank out `--` comments before parsing; the stripping is length
+    // preserving, so spans still index into the client's original text.
+    let spanned = match assess_sql::parse_spanned(&stmt::strip_comments(&opts.statement)) {
+        Ok(spanned) => spanned,
+        Err(e) => {
+            shared.runs.failed.fetch_add(1, Ordering::Relaxed);
+            record("parse_error", ms(t0.elapsed()), 0);
+            let diag = Diagnostic::new(DiagCode::E001, e.span, e.message.clone());
+            return protocol::error_with_diagnostics(
+                id,
+                "parse_error",
+                &e.to_string(),
+                &[diag],
+                Some(&opts.statement),
+            );
+        }
+    };
+    let diagnostics = shared.runner.check_spanned(&spanned.statement, Some(&spanned.spans));
+    if diagnostics.iter().any(Diagnostic::is_error) {
+        shared.runs.failed.fetch_add(1, Ordering::Relaxed);
+        record("check_failed", ms(t0.elapsed()), 0);
+        return protocol::error_with_diagnostics(
+            id,
+            "check_failed",
+            "static analysis reported errors",
+            &diagnostics,
+            Some(&opts.statement),
+        );
+    }
+    let warnings = diagnostics; // errors returned above; only warnings left
+
+    let policy =
+        admission::derive_policy(&shared.config.ceiling, &job.session.policy(), job.token.clone());
+    let key =
+        cache_key(&stmt::normalize(&opts.statement), &policy_fingerprint(&policy, opts.strategy));
+    let catalog = shared.engine.catalog().clone();
+    let version_before = catalog.version();
+
+    if opts.cache {
+        if let Some(hit) = shared.cache.lookup(&key, version_before) {
+            shared.runs.cache_hits.fetch_add(1, Ordering::Relaxed);
+            let elapsed_ms = ms(t0.elapsed());
+            record("cached", elapsed_ms, hit.cube.len());
+            return run_response(id, &hit, true, elapsed_ms, &warnings, opts, shared);
+        }
+    }
+
+    let runner = AssessRunner::new(shared.engine.clone()).with_policy(policy);
+    let outcome = match opts.strategy {
+        Some(strategy) => runner.run(&spanned.statement, strategy),
+        None => runner.run_auto(&spanned.statement),
+    };
+    match outcome {
+        Ok((cube, report)) => {
+            let elapsed_ms = ms(t0.elapsed());
+            shared.runs.executed.fetch_add(1, Ordering::Relaxed);
+            record("ok", elapsed_ms, cube.len());
+            let result = CachedResult {
+                cube,
+                strategy: report.strategy,
+                plan: report.plan,
+                rows_scanned: report.rows_scanned,
+                attempts: report.attempts.len(),
+                elapsed_ms,
+            };
+            let response = run_response(id, &result, false, elapsed_ms, &warnings, opts, shared);
+            // Only cache results the catalog provably did not shift under:
+            // same even version before and after the run.
+            if opts.cache && catalog.version() == version_before {
+                shared.cache.insert(key, result, version_before);
+            }
+            response
+        }
+        Err(e) => {
+            let elapsed_ms = ms(t0.elapsed());
+            let code = match &e {
+                AssessError::Cancelled => {
+                    shared.runs.cancelled.fetch_add(1, Ordering::Relaxed);
+                    "cancelled"
+                }
+                AssessError::BudgetExceeded { .. } => {
+                    shared.runs.failed.fetch_add(1, Ordering::Relaxed);
+                    "budget_exceeded"
+                }
+                _ => {
+                    shared.runs.failed.fetch_add(1, Ordering::Relaxed);
+                    "execution_error"
+                }
+            };
+            record(code, elapsed_ms, 0);
+            let diag = Diagnostic::from_error(&e, spanned.spans.span);
+            protocol::error_with_diagnostics(
+                id,
+                code,
+                &e.to_string(),
+                &[diag],
+                Some(&opts.statement),
+            )
+        }
+    }
+}
+
+// --------------------------------------------------------------- responses
+
+fn run_response(
+    id: Option<u64>,
+    result: &CachedResult,
+    cached: bool,
+    elapsed_ms: u64,
+    warnings: &[Diagnostic],
+    opts: &RunOptions,
+    shared: &Shared,
+) -> Value {
+    let labels = Value::Object(
+        result
+            .cube
+            .label_histogram()
+            .into_iter()
+            .map(|(label, count)| (label, n(count as u64)))
+            .collect(),
+    );
+    let mut fields = vec![
+        ("cached", Value::Bool(cached)),
+        ("strategy", s(result.strategy.acronym())),
+        ("cells", n(result.cube.len() as u64)),
+        ("rows_scanned", n(result.rows_scanned as u64)),
+        ("attempts", n(result.attempts as u64)),
+        ("elapsed_ms", n(elapsed_ms)),
+        ("labels", labels),
+    ];
+    match opts.format {
+        RunFormat::Csv => fields.push(("csv", s(result.cube.to_csv()))),
+        RunFormat::Cells => {
+            let limit = opts.limit.unwrap_or(shared.config.default_row_limit);
+            let rows: Vec<Value> =
+                result.cube.cells().iter().take(limit).map(serde::Serialize::to_value).collect();
+            fields.push(("rows", Value::Array(rows)));
+            fields.push(("truncated", Value::Bool(result.cube.len() > limit)));
+        }
+    }
+    if !warnings.is_empty() {
+        fields.push(("diagnostics", protocol::diagnostics_json(warnings, Some(&opts.statement))));
+    }
+    protocol::ok_response(id, fields)
+}
+
+fn check_response(shared: &Shared, id: Option<u64>, statement: &str) -> Value {
+    match assess_sql::parse_spanned(&stmt::strip_comments(statement)) {
+        Err(e) => {
+            let diag = Diagnostic::new(DiagCode::E001, e.span, e.message.clone());
+            protocol::error_with_diagnostics(
+                id,
+                "parse_error",
+                &e.to_string(),
+                &[diag],
+                Some(statement),
+            )
+        }
+        Ok(spanned) => {
+            let diagnostics = shared.runner.check_spanned(&spanned.statement, Some(&spanned.spans));
+            let errors = diagnostics.iter().filter(|d| d.is_error()).count();
+            protocol::ok_response(
+                id,
+                vec![
+                    ("clean", Value::Bool(diagnostics.is_empty())),
+                    ("errors", n(errors as u64)),
+                    ("warnings", n((diagnostics.len() - errors) as u64)),
+                    ("diagnostics", protocol::diagnostics_json(&diagnostics, Some(statement))),
+                ],
+            )
+        }
+    }
+}
+
+fn explain_response(shared: &Shared, id: Option<u64>, statement: &str) -> Value {
+    let spanned = match assess_sql::parse_spanned(&stmt::strip_comments(statement)) {
+        Ok(spanned) => spanned,
+        Err(e) => {
+            let diag = Diagnostic::new(DiagCode::E001, e.span, e.message.clone());
+            return protocol::error_with_diagnostics(
+                id,
+                "parse_error",
+                &e.to_string(),
+                &[diag],
+                Some(statement),
+            );
+        }
+    };
+    let explained = shared
+        .runner
+        .resolve(&spanned.statement)
+        .and_then(|resolved| explain::explain(&shared.runner, &resolved));
+    match explained {
+        Ok(text) => protocol::ok_response(id, vec![("explain", s(text))]),
+        Err(e) => protocol::error_response(id, "explain_error", &e.to_string()),
+    }
+}
+
+fn history_response(session: &Session, id: Option<u64>) -> Value {
+    let entries: Vec<Value> = session
+        .history()
+        .into_iter()
+        .map(|entry| {
+            protocol::obj(vec![
+                ("statement", s(entry.statement)),
+                ("outcome", s(entry.outcome)),
+                ("elapsed_ms", n(entry.elapsed_ms)),
+                ("cells", n(entry.cells as u64)),
+            ])
+        })
+        .collect();
+    protocol::ok_response(id, vec![("history", Value::Array(entries))])
+}
+
+fn policy_json(policy: &ExecutionPolicy) -> Value {
+    let opt = |v: Option<u64>| v.map_or(Value::Null, n);
+    protocol::obj(vec![
+        ("deadline_ms", opt(policy.deadline.map(ms))),
+        ("max_rows_scanned", opt(policy.max_rows_scanned)),
+        ("max_output_cells", opt(policy.max_output_cells)),
+        ("fallback", Value::Bool(policy.fallback)),
+    ])
+}
+
+fn stats_response(shared: &Shared, id: Option<u64>) -> Value {
+    let sessions = shared.sessions.stats();
+    let cache = shared.cache.stats();
+    let adm = shared.admission.stats();
+    let ops = Value::Object(
+        lock(&shared.ops).iter().map(|(name, count)| (name.to_string(), n(*count))).collect(),
+    );
+    protocol::ok_response(
+        id,
+        vec![
+            ("uptime_ms", n(ms(shared.started.elapsed()))),
+            (
+                "sessions",
+                protocol::obj(vec![
+                    ("active", n(sessions.active as u64)),
+                    ("opened", n(sessions.opened)),
+                    ("idle_evicted", n(sessions.idle_evicted)),
+                ]),
+            ),
+            (
+                "cache",
+                protocol::obj(vec![
+                    ("hits", n(cache.hits)),
+                    ("misses", n(cache.misses)),
+                    ("evictions", n(cache.evictions)),
+                    ("invalidations", n(cache.invalidations)),
+                    ("len", n(cache.len as u64)),
+                    ("capacity", n(cache.capacity as u64)),
+                ]),
+            ),
+            (
+                "admission",
+                protocol::obj(vec![
+                    ("outstanding", n(adm.outstanding)),
+                    ("limit", n(adm.limit as u64)),
+                    ("admitted", n(adm.admitted)),
+                    ("rejected", n(adm.rejected)),
+                ]),
+            ),
+            (
+                "executor",
+                protocol::obj(vec![
+                    ("workers", n(shared.config.workers as u64)),
+                    ("queued", n(lock(&shared.queue).len() as u64)),
+                    ("running", n(shared.running.load(Ordering::Relaxed))),
+                ]),
+            ),
+            (
+                "runs",
+                protocol::obj(vec![
+                    ("executed", n(shared.runs.executed.load(Ordering::Relaxed))),
+                    ("cache_hits", n(shared.runs.cache_hits.load(Ordering::Relaxed))),
+                    ("failed", n(shared.runs.failed.load(Ordering::Relaxed))),
+                    ("cancelled", n(shared.runs.cancelled.load(Ordering::Relaxed))),
+                ]),
+            ),
+            ("ops", ops),
+        ],
+    )
+}

@@ -1,0 +1,471 @@
+//! End-to-end tests over a real TCP connection: boot a server on an
+//! ephemeral port, talk the line protocol with [`LineClient`], and check
+//! the acceptance criteria of the serving layer — concurrent sessions get
+//! serial-identical answers, warm-cache repeats skip execution, client
+//! `cancel` reaches in-flight runs, and overload is refused crisply.
+
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use assess_core::exec::AssessRunner;
+use olap_engine::Engine;
+use olap_storage::{Catalog, Table};
+use serde::Value;
+use ssb_data::SsbConfig;
+
+use assess_serve::{serve, LineClient, ServerConfig, ServerHandle};
+
+/// The canonical intention statements (one per benchmark type) against the
+/// shared SSB test dataset.
+const CONSTANT: &str = "with SSB by customer, year assess revenue against 1300000 \
+     using ratio(revenue, 1300000) \
+     labels {[0, 0.5): low, [0.5, 1.5]: par, (1.5, inf]: high}";
+const EXTERNAL: &str = "with SSB by customer, year assess revenue \
+     against SSB_EXPECTED.expected_revenue \
+     using ratio(revenue, benchmark.expected_revenue) \
+     labels {[0, 0.5): low, [0.5, 1.5]: par, (1.5, inf]: high}";
+const SIBLING: &str = "with SSB for c_region = 'ASIA' by part, c_region assess revenue \
+     against c_region = 'AMERICA' \
+     using percOfTotal(difference(revenue, benchmark.revenue)) \
+     labels quartiles";
+const PAST: &str = "with SSB for month = '1998-06' by supplier, month assess revenue \
+     against past 6 \
+     using ratio(revenue, benchmark.revenue) \
+     labels {[0, 0.9): worse, [0.9, 1.1]: flat, (1.1, inf]: better}";
+
+const BATCH: [&str; 4] = [CONSTANT, EXTERNAL, SIBLING, PAST];
+
+/// One SSB catalog (SF 0.01, with the default views) shared by every test
+/// in this binary; generating it once keeps the suite fast and exercises
+/// many servers over one truly shared dataset.
+fn ssb_catalog() -> Arc<Catalog> {
+    static CATALOG: OnceLock<Arc<Catalog>> = OnceLock::new();
+    CATALOG
+        .get_or_init(|| {
+            let dataset = ssb_data::generate::generate(SsbConfig::with_scale(0.01));
+            ssb_data::views::register_default_views(&dataset.catalog, &dataset.schema)
+                .expect("default views build");
+            dataset.catalog
+        })
+        .clone()
+}
+
+fn boot(config: ServerConfig) -> ServerHandle {
+    serve(Engine::new(ssb_catalog()), config).expect("server boots on an ephemeral port")
+}
+
+fn connect(handle: &ServerHandle) -> LineClient {
+    LineClient::connect(handle.addr()).expect("client connects")
+}
+
+fn assert_ok(response: &Value) {
+    assert_eq!(
+        response.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "expected ok response, got: {response:?}"
+    );
+}
+
+fn error_code(response: &Value) -> Option<&str> {
+    response.get("error").and_then(|e| e.get("code")).and_then(Value::as_str)
+}
+
+fn stat_u64(stats: &Value, path: &[&str]) -> u64 {
+    let mut v = stats;
+    for key in path {
+        v = v.get(key).unwrap_or_else(|| panic!("stats missing {path:?}: {stats:?}"));
+    }
+    v.as_f64().unwrap_or_else(|| panic!("stats {path:?} not a number")) as u64
+}
+
+// ----------------------------------------------------------- basic session
+
+#[test]
+fn session_basics_ping_check_explain_history() {
+    let handle = boot(ServerConfig::default());
+    let mut client = connect(&handle);
+    assert!(client.session_id() > 0);
+
+    assert_ok(&client.ping().unwrap());
+
+    let check = client.check(CONSTANT).unwrap();
+    assert_ok(&check);
+    assert_eq!(check.get("errors").and_then(Value::as_f64), Some(0.0));
+
+    // Comments are part of the statement language; the server strips them.
+    let commented = format!("-- intention: constant benchmark\n{CONSTANT}");
+    assert_ok(&client.check(&commented).unwrap());
+
+    let bad = client.check("with NO_SUCH_CUBE by x assess y using ratio(y, 1) labels quartiles");
+    let bad = bad.unwrap();
+    assert_ok(&bad); // check itself succeeds; the diagnostics carry the errors
+    assert!(bad.get("errors").and_then(Value::as_f64).unwrap_or(0.0) >= 1.0);
+
+    let explain = client.explain(SIBLING).unwrap();
+    assert_ok(&explain);
+    let text = explain.get("explain").and_then(Value::as_str).unwrap_or("");
+    assert!(text.contains("statement"), "explain output looks wrong: {text}");
+
+    let run = client.run(CONSTANT).unwrap();
+    assert_ok(&run);
+    assert_eq!(run.get("cached").and_then(Value::as_bool), Some(false));
+    assert!(run.get("rows").and_then(Value::as_array).is_some());
+
+    let history = client.history().unwrap();
+    assert_ok(&history);
+    let entries = history.get("history").and_then(Value::as_array).unwrap();
+    assert_eq!(entries.len(), 1, "only run statements enter history");
+    assert_eq!(entries[0].get("outcome").and_then(Value::as_str), Some("ok"));
+
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_and_unknown_requests_are_refused() {
+    let handle = boot(ServerConfig::default());
+    let mut client = connect(&handle);
+
+    client.send_raw("this is not json").unwrap();
+    let response = client.read_response().unwrap();
+    assert_eq!(error_code(&response), Some("bad_request"));
+
+    client.send_raw("{\"id\": 1, \"op\": \"frobnicate\"}").unwrap();
+    let response = client.read_response().unwrap();
+    assert_eq!(error_code(&response), Some("unknown_op"));
+
+    // `run` without an id has no cancel handle and is refused.
+    client.send_raw(&format!("{{\"op\": \"run\", \"statement\": \"{CONSTANT}\"}}")).unwrap();
+    let response = client.read_response().unwrap();
+    assert_eq!(error_code(&response), Some("bad_request"));
+
+    let parse = client.run("with SSB by assess").unwrap();
+    assert_eq!(error_code(&parse), Some("parse_error"));
+    assert!(parse.get("diagnostics").and_then(Value::as_array).is_some());
+
+    handle.shutdown();
+}
+
+// ------------------------------------------------- concurrency acceptance
+
+/// ≥16 concurrent sessions over one shared engine produce byte-identical
+/// CSV to a serial [`AssessRunner`] on the same catalog. Half the clients
+/// bypass the result cache so cold concurrent executions are exercised
+/// alongside cache hits.
+#[test]
+fn sixteen_concurrent_sessions_match_serial_execution() {
+    let catalog = ssb_catalog();
+    let runner = AssessRunner::new(Engine::new(catalog));
+    let serial: Vec<String> = BATCH
+        .iter()
+        .map(|text| {
+            let statement = assess_sql::parse(text).expect("batch statement parses");
+            runner.run_auto(&statement).expect("batch statement runs").0.to_csv()
+        })
+        .collect();
+
+    let handle = boot(ServerConfig { workers: 8, ..ServerConfig::default() });
+    let addr = handle.addr();
+
+    const CLIENTS: usize = 16;
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut client = LineClient::connect(addr).expect("client connects");
+                let mut out = Vec::new();
+                for offset in 0..BATCH.len() {
+                    let idx = (i + offset) % BATCH.len();
+                    let mut fields = vec![
+                        ("op", Value::String("run".into())),
+                        ("statement", Value::String(BATCH[idx].into())),
+                        ("format", Value::String("csv".into())),
+                    ];
+                    // Odd clients skip the cache: genuine concurrent runs.
+                    if i % 2 == 1 {
+                        fields.push(("cache", Value::Bool(false)));
+                    }
+                    let response = client.request(fields).expect("run completes");
+                    let csv = response
+                        .get("csv")
+                        .and_then(Value::as_str)
+                        .unwrap_or_else(|| panic!("no csv in {response:?}"))
+                        .to_string();
+                    out.push((idx, csv));
+                }
+                out
+            })
+        })
+        .collect();
+
+    for h in handles {
+        for (idx, csv) in h.join().expect("client thread panicked") {
+            assert_eq!(
+                csv, serial[idx],
+                "statement {idx} differed between a concurrent session and serial execution"
+            );
+        }
+    }
+    handle.shutdown();
+}
+
+// ------------------------------------------------------------- warm cache
+
+#[test]
+fn warm_cache_repeats_skip_execution() {
+    let handle = boot(ServerConfig::default());
+    let mut client = connect(&handle);
+
+    let cold = client.run_csv(SIBLING).unwrap();
+    assert_ok(&cold);
+    assert_eq!(cold.get("cached").and_then(Value::as_bool), Some(false));
+
+    let warm = client.run_csv(SIBLING).unwrap();
+    assert_ok(&warm);
+    assert_eq!(warm.get("cached").and_then(Value::as_bool), Some(true));
+    assert_eq!(warm.get("csv"), cold.get("csv"), "cache returned different bytes");
+
+    // Cosmetic rewrites (case, whitespace, comments) share the entry.
+    let rewritten = format!("-- same intention\n{}", SIBLING.replace("assess", "ASSESS"));
+    let also_warm = client.run_csv(&rewritten).unwrap();
+    assert_eq!(also_warm.get("cached").and_then(Value::as_bool), Some(true));
+
+    // A different pinned strategy is a different cache key.
+    let pinned = client
+        .request(vec![
+            ("op", Value::String("run".into())),
+            ("statement", Value::String(SIBLING.into())),
+            ("strategy", Value::String("np".into())),
+        ])
+        .unwrap();
+    assert_ok(&pinned);
+    assert_eq!(pinned.get("cached").and_then(Value::as_bool), Some(false));
+    assert_eq!(pinned.get("strategy").and_then(Value::as_str), Some("NP"));
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stat_u64(&stats, &["runs", "executed"]), 2, "cold + pinned only");
+    assert_eq!(stat_u64(&stats, &["runs", "cache_hits"]), 2);
+    assert!(stat_u64(&stats, &["cache", "hits"]) >= 2);
+
+    // Explicit wholesale invalidation brings the next run back to cold.
+    assert_ok(&client.request(vec![("op", Value::String("invalidate_cache".into()))]).unwrap());
+    let recold = client.run_csv(SIBLING).unwrap();
+    assert_eq!(recold.get("cached").and_then(Value::as_bool), Some(false));
+
+    handle.shutdown();
+}
+
+/// A catalog mutation between two identical runs invalidates the entry:
+/// the second run re-executes instead of serving a stale cube. Uses its
+/// own tiny dataset so the shared catalog's version stays untouched.
+#[test]
+fn catalog_mutation_invalidates_cached_results() {
+    let dataset = ssb_data::generate::generate(SsbConfig::with_scale(0.001));
+    let catalog = dataset.catalog.clone();
+    let handle =
+        serve(Engine::new(catalog.clone()), ServerConfig::default()).expect("server boots");
+    let mut client = connect(&handle);
+
+    let cold = client.run_csv(CONSTANT).unwrap();
+    assert_ok(&cold);
+    assert_eq!(cold.get("cached").and_then(Value::as_bool), Some(false));
+
+    // Any catalog write bumps the seqlock version.
+    catalog.register_table(Table::new("e2e_mutation_marker", vec![]).expect("empty table"));
+
+    let after = client.run_csv(CONSTANT).unwrap();
+    assert_ok(&after);
+    assert_eq!(
+        after.get("cached").and_then(Value::as_bool),
+        Some(false),
+        "stale entry served after a catalog mutation"
+    );
+    assert!(handle.cache_stats().invalidations >= 1);
+
+    handle.shutdown();
+}
+
+// ------------------------------------------------------------ cancellation
+
+/// With one worker, a queued run can be cancelled deterministically, and a
+/// client-driven cancel of the executing run aborts it through the
+/// resource governor's cooperative checks.
+#[test]
+fn cancel_aborts_queued_and_in_flight_runs() {
+    let config = ServerConfig { workers: 1, cache_capacity: 0, ..ServerConfig::default() };
+    let handle = boot(config);
+    let mut client = connect(&handle);
+
+    // Run A occupies the single worker; B is deterministically queued.
+    let a = client.start_run(SIBLING).unwrap();
+    let b = client.start_run(PAST).unwrap();
+
+    let cancel_b = client.cancel(b).unwrap();
+    assert_ok(&cancel_b);
+    assert_eq!(cancel_b.get("cancelled").and_then(Value::as_bool), Some(true));
+    let b_response = client.wait_for(b).unwrap();
+    assert_eq!(error_code(&b_response), Some("cancelled"), "queued run was not cancelled");
+
+    // A is either still executing (token aborts it mid-run through the
+    // governor) or already finished; both responses are legal.
+    let cancel_a = client.cancel(a).unwrap();
+    assert_ok(&cancel_a);
+    let a_response = client.wait_for(a).unwrap();
+    assert!(
+        a_response.get("ok").and_then(Value::as_bool) == Some(true)
+            || error_code(&a_response) == Some("cancelled"),
+        "unexpected response for run A: {a_response:?}"
+    );
+
+    let stats = client.stats().unwrap();
+    assert!(stat_u64(&stats, &["runs", "cancelled"]) >= 1);
+
+    // Cancelling an unknown id reports `cancelled: false`, not an error.
+    let noop = client.cancel(9999).unwrap();
+    assert_ok(&noop);
+    assert_eq!(noop.get("cancelled").and_then(Value::as_bool), Some(false));
+
+    handle.shutdown();
+}
+
+/// The governor path is e2e-deterministic with a starved row budget: the
+/// session policy propagates into every attempt of the fallback ladder and
+/// the run fails with `budget_exceeded`.
+#[test]
+fn session_policy_propagates_to_the_governor() {
+    let handle = boot(ServerConfig { cache_capacity: 0, ..ServerConfig::default() });
+    let mut client = connect(&handle);
+
+    let set = client.set_policy(None, Some(100), None).unwrap();
+    assert_ok(&set);
+    assert_eq!(
+        set.get("policy").and_then(|p| p.get("max_rows_scanned")).and_then(Value::as_f64),
+        Some(100.0)
+    );
+
+    let starved = client.run(CONSTANT).unwrap();
+    assert_eq!(error_code(&starved), Some("budget_exceeded"));
+
+    // Lifting the limit heals the session.
+    let lifted = client.set_policy(None, None, None).unwrap();
+    assert_ok(&lifted);
+    let ok = client.run(CONSTANT).unwrap();
+    assert_ok(&ok);
+
+    handle.shutdown();
+}
+
+// ---------------------------------------------------------------- overload
+
+#[test]
+fn overload_is_refused_with_queue_full_and_server_full() {
+    // workers=1, max_queued=0: one outstanding run, the next is refused.
+    let config =
+        ServerConfig { workers: 1, max_queued: 0, cache_capacity: 0, ..ServerConfig::default() };
+    let handle = boot(config);
+    let mut client = connect(&handle);
+
+    let a = client.start_run(SIBLING).unwrap();
+    let b = client.start_run(CONSTANT).unwrap();
+    let b_response = client.wait_for(b).unwrap();
+    assert_eq!(error_code(&b_response), Some("queue_full"));
+    assert_ok(&client.wait_for(a).unwrap());
+    // The slot freed by A is usable again.
+    assert_ok(&client.run(CONSTANT).unwrap());
+    handle.shutdown();
+
+    // max_sessions=1: the second connection is told the server is full.
+    let handle = boot(ServerConfig { max_sessions: 1, ..ServerConfig::default() });
+    let _first = connect(&handle);
+    let refused = LineClient::connect(handle.addr());
+    assert!(refused.is_err(), "second session should be refused");
+    handle.shutdown();
+}
+
+#[test]
+fn duplicate_in_flight_ids_are_rejected() {
+    let config = ServerConfig { workers: 1, cache_capacity: 0, ..ServerConfig::default() };
+    let handle = boot(config);
+    let mut client = connect(&handle);
+
+    let line = format!("{{\"id\": 7, \"op\": \"run\", \"statement\": {SIBLING:?}}}");
+    client.send_raw(&line).unwrap();
+    client.send_raw(&line).unwrap();
+
+    // Two responses for id 7 arrive: the duplicate refusal (from the
+    // reader, immediately) and the real result (from the executor).
+    let first = client.read_response().unwrap();
+    let second = client.read_response().unwrap();
+    let codes = [error_code(&first), error_code(&second)];
+    assert!(
+        codes.contains(&Some("duplicate_id")),
+        "expected one duplicate_id refusal, got {first:?} / {second:?}"
+    );
+    assert!(
+        first.get("ok").and_then(Value::as_bool) == Some(true)
+            || second.get("ok").and_then(Value::as_bool) == Some(true),
+        "expected the original run to succeed"
+    );
+
+    handle.shutdown();
+}
+
+// ------------------------------------------------------------ idle eviction
+
+#[test]
+fn idle_sessions_are_evicted() {
+    let config =
+        ServerConfig { idle_timeout: Duration::from_millis(150), ..ServerConfig::default() };
+    let handle = boot(config);
+    let mut idle = connect(&handle);
+    assert_ok(&idle.ping().unwrap());
+
+    // The reader polls every 100ms; this read blocks until the eviction
+    // notice (or, at worst, the EOF that follows it) arrives.
+    let evicted = match idle.read_response() {
+        Ok(notice) => error_code(&notice) == Some("idle_timeout"),
+        Err(_) => true, // EOF without the notice still proves the eviction
+    };
+    assert!(evicted, "idle session was not evicted");
+
+    let mut probe = connect(&handle);
+    let stats = probe.stats().unwrap();
+    assert!(stat_u64(&stats, &["sessions", "idle_evicted"]) >= 1);
+    assert_eq!(stat_u64(&stats, &["sessions", "active"]), 1, "only the probe remains");
+
+    handle.shutdown();
+}
+
+// -------------------------------------------------------- pinned strategies
+
+#[test]
+fn pinned_strategies_and_infeasible_pins() {
+    let handle = boot(ServerConfig { cache_capacity: 0, ..ServerConfig::default() });
+    let mut client = connect(&handle);
+
+    let run = |client: &mut LineClient, statement: &str, strategy: &str| {
+        client
+            .request(vec![
+                ("op", Value::String("run".into())),
+                ("statement", Value::String(statement.into())),
+                ("strategy", Value::String(strategy.into())),
+            ])
+            .unwrap()
+    };
+
+    let np = run(&mut client, CONSTANT, "np");
+    assert_ok(&np);
+    assert_eq!(np.get("strategy").and_then(Value::as_str), Some("NP"));
+
+    // A sibling benchmark has a real join to push: JOP is feasible.
+    let jop = run(&mut client, SIBLING, "jop");
+    assert_ok(&jop);
+    assert_eq!(jop.get("strategy").and_then(Value::as_str), Some("JOP"));
+
+    // A constant benchmark has no join and no pivot: pinning JOP or POP is
+    // an execution error, not a silent fallback.
+    for infeasible in ["jop", "pop"] {
+        let refused = run(&mut client, CONSTANT, infeasible);
+        assert_eq!(error_code(&refused), Some("execution_error"));
+    }
+
+    handle.shutdown();
+}

@@ -15,26 +15,49 @@ use crate::generate::{generate, SsbConfig, SsbDataset};
 /// The cached table files of one dataset.
 const TABLES: &[&str] = &["customer", "supplier", "part", "dates", "lineorder", "expected"];
 
+/// On-disk layout version of a cache entry. Bump this whenever the
+/// generator's output or the persisted table format changes shape: entries
+/// written under a different version are treated as cache misses and
+/// regenerated instead of being misread as current-format data.
+const FORMAT_VERSION: u32 = 1;
+
+/// Name of the marker file recording [`FORMAT_VERSION`] inside an entry.
+const FORMAT_FILE: &str = "FORMAT";
+
+/// Whether the entry directory carries the current format version. A
+/// missing or unreadable marker (entries written before versioning, torn
+/// writes) counts as stale.
+fn format_matches(dir: &Path) -> bool {
+    std::fs::read_to_string(dir.join(FORMAT_FILE))
+        .ok()
+        .and_then(|s| s.trim().parse::<u32>().ok())
+        .is_some_and(|v| v == FORMAT_VERSION)
+}
+
 /// Directory of the cache entry for a configuration.
 fn entry_dir(root: &Path, config: &SsbConfig) -> PathBuf {
     root.join(format!("ssb_sf{}_seed{}", config.scale, config.seed))
 }
 
-/// Whether a complete cache entry exists.
+/// Whether a complete, current-format cache entry exists.
 pub fn is_cached(root: &Path, config: &SsbConfig) -> bool {
     let dir = entry_dir(root, config);
-    TABLES.iter().all(|t| dir.join(format!("{t}.olap")).is_file())
+    format_matches(&dir) && TABLES.iter().all(|t| dir.join(format!("{t}.olap")).is_file())
 }
 
 /// Saves a generated dataset's tables under `root`.
 pub fn save(root: &Path, dataset: &SsbDataset) -> std::io::Result<PathBuf> {
     let dir = entry_dir(root, &dataset.config);
     std::fs::create_dir_all(&dir)?;
+    // Drop the old marker first: a crash mid-save leaves a marker-less
+    // (= stale, regenerated) entry rather than a current-looking torn one.
+    std::fs::remove_file(dir.join(FORMAT_FILE)).ok();
     for name in TABLES {
         let table =
             dataset.catalog.table(name).map_err(|e| std::io::Error::other(e.to_string()))?;
         persist::save_table(&table, &dir.join(format!("{name}.olap")))?;
     }
+    std::fs::write(dir.join(FORMAT_FILE), format!("{FORMAT_VERSION}\n"))?;
     Ok(dir)
 }
 
@@ -113,6 +136,25 @@ mod tests {
         generate_cached(&root, a);
         assert!(is_cached(&root, &a));
         assert!(!is_cached(&root, &b));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn stale_format_version_regenerates() {
+        let root = tmp_root("format");
+        let config = SsbConfig::with_scale(0.001);
+        generate_cached(&root, config);
+        let marker = entry_dir(&root, &config).join(FORMAT_FILE);
+        // An entry written by an older (or newer) layout is a miss…
+        std::fs::write(&marker, "0\n").unwrap();
+        assert!(!is_cached(&root, &config));
+        let (_, hit) = generate_cached(&root, config);
+        assert!(!hit);
+        // …and regeneration rewrites the current marker.
+        assert!(is_cached(&root, &config));
+        // An unreadable marker is also a miss, not an error.
+        std::fs::write(&marker, "not a number").unwrap();
+        assert!(!is_cached(&root, &config));
         std::fs::remove_dir_all(&root).ok();
     }
 

@@ -1,6 +1,7 @@
 //! A thread-safe catalog of tables, cube bindings, indexes and views.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::binding::CubeBinding;
@@ -17,11 +18,42 @@ struct CatalogInner {
     views: Vec<Arc<MaterializedAggregate>>,
 }
 
+/// Write guard that completes the seqlock protocol: the second version bump
+/// on drop marks the mutation finished (back to an even value).
+struct VersionedWriteGuard<'a> {
+    guard: RwLockWriteGuard<'a, CatalogInner>,
+    version: &'a AtomicU64,
+}
+
+impl std::ops::Deref for VersionedWriteGuard<'_> {
+    type Target = CatalogInner;
+    fn deref(&self) -> &CatalogInner {
+        &self.guard
+    }
+}
+
+impl std::ops::DerefMut for VersionedWriteGuard<'_> {
+    fn deref_mut(&mut self) -> &mut CatalogInner {
+        &mut self.guard
+    }
+}
+
+impl Drop for VersionedWriteGuard<'_> {
+    fn drop(&mut self) {
+        self.version.fetch_add(1, Ordering::Release);
+    }
+}
+
 /// The database catalog. All accessors hand out `Arc`s so query execution
 /// never holds the lock.
 #[derive(Default)]
 pub struct Catalog {
     inner: RwLock<CatalogInner>,
+    /// Monotonic mutation counter. Every registration/removal bumps it, so
+    /// caches keyed on query results (e.g. `assess-serve`'s shared result
+    /// cache) can detect that the catalog changed under them and invalidate
+    /// without subscribing to individual mutations.
+    version: AtomicU64,
 }
 
 impl Catalog {
@@ -38,8 +70,23 @@ impl Catalog {
     }
 
     /// Write access, with the same poison-recovery policy as [`Self::read`].
-    fn write(&self) -> RwLockWriteGuard<'_, CatalogInner> {
-        self.inner.write().unwrap_or_else(|poison| poison.into_inner())
+    /// Every writer is a mutation; the returned guard bumps the version on
+    /// acquisition and again on release (seqlock style), so the version is
+    /// odd exactly while a mutation is in flight and any work overlapping a
+    /// mutation observes two different version readings.
+    fn write(&self) -> VersionedWriteGuard<'_> {
+        let guard = self.inner.write().unwrap_or_else(|poison| poison.into_inner());
+        self.version.fetch_add(1, Ordering::Release);
+        VersionedWriteGuard { guard, version: &self.version }
+    }
+
+    /// The current mutation-counter value. Two equal **even** readings
+    /// bracketing a computation guarantee the catalog's contents did not
+    /// change while it ran; any registration (table, binding, index, view)
+    /// or removal changes the value, and an odd value means a mutation is
+    /// in flight right now. Result caches key entries on this.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
     }
 
     /// Registers (or replaces) a table.
@@ -179,6 +226,23 @@ mod tests {
         assert!(cat.best_view(&g_fine, &[], &["other".to_string()]).is_none());
         cat.clear_views();
         assert!(cat.best_view(&g_query, &[], &["m".to_string()]).is_none());
+    }
+
+    #[test]
+    fn version_counts_mutations_and_settles_even() {
+        let cat = Catalog::new();
+        let v0 = cat.version();
+        assert_eq!(v0 % 2, 0);
+        cat.register_table(Table::new("t", vec![Column::i64("k", vec![1])]).unwrap());
+        let v1 = cat.version();
+        assert!(v1 > v0);
+        assert_eq!(v1 % 2, 0, "no mutation in flight → even version");
+        // Reads do not bump the version.
+        cat.table("t").unwrap();
+        cat.table_names();
+        assert_eq!(cat.version(), v1);
+        cat.clear_views();
+        assert!(cat.version() > v1);
     }
 
     #[test]

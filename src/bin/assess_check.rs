@@ -159,9 +159,11 @@ fn usage(problem: &str) -> ExitCode {
 
 /// Checks every statement in a file; diagnostic spans are shifted to
 /// whole-file offsets so carets and line numbers point into the file.
+/// Splitting is the shared comment-aware scanner of `assess_core::stmt`,
+/// the same one the REPL and `assess-serve` use.
 fn check_source(runner: &AssessRunner, source: &str) -> Vec<Diagnostic> {
     let mut out = Vec::new();
-    for (offset, text) in split_statements(source) {
+    for (offset, text) in assess_olap::assess::stmt::split_statements(source) {
         match assess_olap::sql::parse_spanned(&text) {
             Ok(spanned) => {
                 let mut diagnostics =
@@ -177,87 +179,4 @@ fn check_source(runner: &AssessRunner, source: &str) -> Vec<Diagnostic> {
         }
     }
     out
-}
-
-/// Splits a file into `(byte offset, statement text)` pairs on `;`,
-/// ignoring semicolons inside `'…'` strings (with `''` escapes). `--`
-/// line comments (outside strings) are blanked with spaces, so offsets in
-/// the returned text still line up with the original file byte-for-byte.
-fn split_statements(source: &str) -> Vec<(usize, String)> {
-    let mut clean: Vec<u8> = source.as_bytes().to_vec();
-    let mut in_string = false;
-    let mut i = 0;
-    while i < clean.len() {
-        match clean[i] {
-            b'\'' => in_string = !in_string,
-            b'-' if !in_string && clean.get(i + 1) == Some(&b'-') => {
-                while i < clean.len() && clean[i] != b'\n' {
-                    clean[i] = b' ';
-                    i += 1;
-                }
-                continue;
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    let clean = String::from_utf8(clean).unwrap_or_else(|_| source.to_string());
-
-    let mut out = Vec::new();
-    let mut start = 0usize;
-    let bytes = clean.as_bytes();
-    let mut in_string = false;
-    for (i, &b) in bytes.iter().enumerate() {
-        match b {
-            b'\'' => in_string = !in_string,
-            b';' if !in_string => {
-                push_statement(&clean, start, i, &mut out);
-                start = i + 1;
-            }
-            _ => {}
-        }
-    }
-    push_statement(&clean, start, clean.len(), &mut out);
-    out
-}
-
-fn push_statement(source: &str, start: usize, end: usize, out: &mut Vec<(usize, String)>) {
-    let piece = source.get(start..end).unwrap_or("");
-    let trimmed = piece.trim_start();
-    let offset = start + (piece.len() - trimmed.len());
-    let trimmed = trimmed.trim_end();
-    if !trimmed.is_empty() {
-        out.push((offset, trimmed.to_string()));
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::split_statements;
-
-    #[test]
-    fn splits_on_semicolons_outside_strings() {
-        let src = "with A by x assess m labels q;\nwith B by y assess m labels {[0,1]: 'a;b'};";
-        let parts = split_statements(src);
-        assert_eq!(parts.len(), 2);
-        assert!(parts[0].1.starts_with("with A"));
-        assert!(parts[1].1.contains("'a;b'"));
-        assert_eq!(parts[1].0, src.find("with B").unwrap());
-    }
-
-    #[test]
-    fn blanks_comments_but_keeps_offsets() {
-        let src = "-- header comment\nwith A by x assess m labels q;";
-        let parts = split_statements(src);
-        assert_eq!(parts.len(), 1);
-        assert_eq!(parts[0].0, src.find("with A").unwrap());
-    }
-
-    #[test]
-    fn quoted_double_dash_is_not_a_comment() {
-        let src = "with A for l = '--x' by x assess m labels q;";
-        let parts = split_statements(src);
-        assert_eq!(parts.len(), 1);
-        assert!(parts[0].1.contains("'--x'"));
-    }
 }

@@ -92,27 +92,32 @@ fn main() {
             }
         }
         buffer.push_str(&line);
-        if !buffer.trim_end().ends_with(';') {
+        // Comment-aware termination: a `;` inside a string or after `--`
+        // does not end the statement (shared scanner with assess-check).
+        if !assess_olap::assess::stmt::is_terminated(&buffer) {
             continue;
         }
-        let text = buffer.trim().trim_end_matches(';').to_string();
+        let statements = assess_olap::assess::stmt::split_statements(&buffer);
         buffer.clear();
-        match assess_olap::sql::parse_spanned(&text) {
-            Ok(spanned) => {
-                last_statement = Some(spanned.statement.clone());
-                last_source = Some((text.clone(), spanned.spans.clone()));
-                let diagnostics = runner.check_spanned(&spanned.statement, Some(&spanned.spans));
-                if !diagnostics.is_empty() {
-                    eprintln!("{}", diag::render_all(&diagnostics, Some(&text)));
+        for (_, text) in statements {
+            match assess_olap::sql::parse_spanned(&text) {
+                Ok(spanned) => {
+                    last_statement = Some(spanned.statement.clone());
+                    last_source = Some((text.clone(), spanned.spans.clone()));
+                    let diagnostics =
+                        runner.check_spanned(&spanned.statement, Some(&spanned.spans));
+                    if !diagnostics.is_empty() {
+                        eprintln!("{}", diag::render_all(&diagnostics, Some(&text)));
+                    }
+                    if diagnostics.iter().any(|d| d.is_error()) {
+                        continue; // refuse to plan a statement with errors
+                    }
+                    run_statement(&runner, &spanned.statement, &chooser, &mut last_plan);
                 }
-                if diagnostics.iter().any(|d| d.is_error()) {
-                    continue; // refuse to plan a statement with errors
+                Err(e) => {
+                    let d = Diagnostic::new(DiagCode::E001, e.span, e.message.clone());
+                    eprintln!("{}", diag::render(&d, Some(&text)));
                 }
-                run_statement(&runner, &spanned.statement, &chooser, &mut last_plan);
-            }
-            Err(e) => {
-                let d = Diagnostic::new(DiagCode::E001, e.span, e.message.clone());
-                eprintln!("{}", diag::render(&d, Some(&text)));
             }
         }
     }

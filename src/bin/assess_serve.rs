@@ -1,0 +1,252 @@
+//! `assess-serve` — the concurrent assess query service over TCP.
+//!
+//! ```text
+//! cargo run --release --bin assess-serve -- [options]
+//!
+//! options:
+//!   --addr HOST:PORT     bind address (default 127.0.0.1:7878; port 0 = ephemeral)
+//!   --scale S            SSB scale factor for the served catalog (default 0.01)
+//!   --workers N          executor threads (default 4)
+//!   --max-sessions N     connection cap (default 64)
+//!   --max-queued N       queued runs beyond the executing ones (default 32)
+//!   --cache N            result-cache entries, 0 disables (default 128)
+//!   --idle-timeout SECS  evict idle sessions after this long (default 300)
+//!   --max-rows N         server-wide row-scan ceiling per run (default none)
+//!   --deadline-ms MS     server-wide per-run deadline (default none)
+//!   --self-check         boot on an ephemeral port, run a scripted client
+//!                        session against it, print a report, and exit
+//! ```
+//!
+//! The protocol is newline-delimited JSON; see the `Serving` section of the
+//! README for request and response shapes. `--self-check` is the CI smoke
+//! mode: it exercises check → run → cached run → stats → cancel end to end
+//! and exits non-zero if any response deviates.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use assess_olap::engine::Engine;
+use assess_olap::serde::Value;
+use assess_olap::serve::{serve, LineClient, ServerConfig};
+use assess_olap::ssb::{generate::generate, views, SsbConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ServerConfig { addr: "127.0.0.1:7878".to_string(), ..ServerConfig::default() };
+    let mut scale = 0.01;
+    let mut self_check = false;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |name: &str| -> Option<String> {
+            let v = args.get(i + 1).cloned();
+            if v.is_none() {
+                eprintln!("assess-serve: {name} expects a value");
+            }
+            v
+        };
+        match flag {
+            "--addr" => match value("--addr") {
+                Some(v) => {
+                    config.addr = v;
+                    i += 2;
+                }
+                None => return ExitCode::from(2),
+            },
+            "--scale" => match value("--scale").and_then(|v| v.parse::<f64>().ok()) {
+                Some(s) if s > 0.0 => {
+                    scale = s;
+                    i += 2;
+                }
+                _ => return usage("--scale expects a positive number"),
+            },
+            "--workers" => match value("--workers").and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => {
+                    config.workers = n;
+                    i += 2;
+                }
+                _ => return usage("--workers expects a positive integer"),
+            },
+            "--max-sessions" => match value("--max-sessions").and_then(|v| v.parse::<usize>().ok())
+            {
+                Some(n) if n > 0 => {
+                    config.max_sessions = n;
+                    i += 2;
+                }
+                _ => return usage("--max-sessions expects a positive integer"),
+            },
+            "--max-queued" => match value("--max-queued").and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => {
+                    config.max_queued = n;
+                    i += 2;
+                }
+                _ => return usage("--max-queued expects an integer"),
+            },
+            "--cache" => match value("--cache").and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => {
+                    config.cache_capacity = n;
+                    i += 2;
+                }
+                _ => return usage("--cache expects an integer"),
+            },
+            "--idle-timeout" => match value("--idle-timeout").and_then(|v| v.parse::<u64>().ok()) {
+                Some(secs) if secs > 0 => {
+                    config.idle_timeout = Duration::from_secs(secs);
+                    i += 2;
+                }
+                _ => return usage("--idle-timeout expects a positive number of seconds"),
+            },
+            "--max-rows" => match value("--max-rows").and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n > 0 => {
+                    config.ceiling.max_rows_scanned = Some(n);
+                    i += 2;
+                }
+                _ => return usage("--max-rows expects a positive integer"),
+            },
+            "--deadline-ms" => match value("--deadline-ms").and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n > 0 => {
+                    config.ceiling.deadline = Some(Duration::from_millis(n));
+                    i += 2;
+                }
+                _ => return usage("--deadline-ms expects a positive integer"),
+            },
+            "--self-check" => {
+                self_check = true;
+                i += 1;
+            }
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    if self_check {
+        config.addr = "127.0.0.1:0".to_string();
+    }
+
+    eprintln!("assess-serve: generating SSB catalog at SF={scale} …");
+    let dataset = generate(SsbConfig::with_scale(scale));
+    if let Err(e) = views::register_default_views(&dataset.catalog, &dataset.schema) {
+        eprintln!("assess-serve: cannot materialize default views: {e}");
+        return ExitCode::from(2);
+    }
+    let engine = Engine::new(dataset.catalog.clone());
+
+    let handle = match serve(engine, config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("assess-serve: cannot bind: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!("assess-serve: listening on {}", handle.addr());
+
+    if self_check {
+        let outcome = run_self_check(&handle);
+        handle.shutdown();
+        return match outcome {
+            Ok(steps) => {
+                println!("self-check: {steps} steps passed");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("self-check FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // Serve until the process is killed; the acceptor and executors live on
+    // their own threads, so the main thread just parks.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    if !problem.is_empty() {
+        eprintln!("assess-serve: {problem}");
+    }
+    eprintln!(
+        "usage: assess-serve [--addr HOST:PORT] [--scale S] [--workers N] \
+         [--max-sessions N] [--max-queued N] [--cache N] [--idle-timeout SECS] \
+         [--max-rows N] [--deadline-ms MS] [--self-check]"
+    );
+    ExitCode::from(2)
+}
+
+// ----------------------------------------------------------- self-check
+
+const STATEMENT: &str = "with SSB by customer, year assess revenue against 1300000 \
+     using ratio(revenue, 1300000) \
+     labels {[0, 0.5): low, [0.5, 1.5]: par, (1.5, inf]: high}";
+
+fn field_bool(v: &Value, key: &str) -> Option<bool> {
+    v.get(key).and_then(Value::as_bool)
+}
+
+fn expect(cond: bool, step: &str, response: &Value) -> Result<(), String> {
+    if cond {
+        eprintln!("self-check: {step} ok");
+        Ok(())
+    } else {
+        Err(format!("{step}: unexpected response {response:?}"))
+    }
+}
+
+/// The scripted session: check → run (cold) → run (cached) → stats →
+/// cancel. Returns the number of verified steps.
+fn run_self_check(handle: &assess_olap::serve::ServerHandle) -> Result<u32, String> {
+    let mut client = LineClient::connect(handle.addr()).map_err(|e| format!("connect: {e}"))?;
+
+    let check = client.check(STATEMENT).map_err(|e| format!("check: {e}"))?;
+    expect(
+        field_bool(&check, "ok") == Some(true) && field_bool(&check, "clean") == Some(true),
+        "check",
+        &check,
+    )?;
+
+    let cold = client.run(STATEMENT).map_err(|e| format!("run: {e}"))?;
+    expect(
+        field_bool(&cold, "ok") == Some(true) && field_bool(&cold, "cached") == Some(false),
+        "cold run",
+        &cold,
+    )?;
+
+    let warm = client.run(STATEMENT).map_err(|e| format!("cached run: {e}"))?;
+    expect(
+        field_bool(&warm, "ok") == Some(true) && field_bool(&warm, "cached") == Some(true),
+        "cached run",
+        &warm,
+    )?;
+
+    let stats = client.stats().map_err(|e| format!("stats: {e}"))?;
+    let executed =
+        stats.get("runs").and_then(|r| r.get("executed")).and_then(Value::as_f64).unwrap_or(-1.0);
+    let cache_hits =
+        stats.get("runs").and_then(|r| r.get("cache_hits")).and_then(Value::as_f64).unwrap_or(-1.0);
+    expect(
+        field_bool(&stats, "ok") == Some(true) && executed == 1.0 && cache_hits == 1.0,
+        "stats",
+        &stats,
+    )?;
+
+    // Start a run and cancel it. Depending on timing the run is aborted
+    // while queued/executing or has already finished; the protocol answers
+    // both cases coherently and that is what the step verifies.
+    let id = client.start_run(STATEMENT).map_err(|e| format!("start run: {e}"))?;
+    let cancel = client.cancel(id).map_err(|e| format!("cancel: {e}"))?;
+    expect(field_bool(&cancel, "ok") == Some(true), "cancel", &cancel)?;
+    let outcome = client.wait_for(id).map_err(|e| format!("cancelled run: {e}"))?;
+    let code = outcome
+        .get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Value::as_str)
+        .unwrap_or_default();
+    expect(
+        field_bool(&outcome, "ok") == Some(true) || code == "cancelled",
+        "cancelled run outcome",
+        &outcome,
+    )?;
+
+    Ok(5)
+}

@@ -10,7 +10,9 @@
 //! * [`timeseries`] — regression forecasting for past benchmarks;
 //! * [`ssb`] — the Star Schema Benchmark data generator;
 //! * [`assess`] — the assess operator itself (AST, semantics, plans);
-//! * [`sql`] — the parser for the SQL-like assess syntax.
+//! * [`sql`] — the parser for the SQL-like assess syntax;
+//! * [`serve`] — the concurrent query service (sessions, admission
+//!   control, shared result cache) and its line protocol.
 //!
 //! See the `examples/` directory for end-to-end walkthroughs, and
 //! `EXPERIMENTS.md` for the reproduction of the paper's evaluation.
@@ -48,6 +50,7 @@
 //! ```
 
 pub use assess_core as assess;
+pub use assess_serve as serve;
 pub use assess_sql as sql;
 pub use olap_engine as engine;
 pub use olap_model as model;
