@@ -37,13 +37,13 @@ fn bench_parallel_scan(c: &mut Criterion) {
     let ds = generate(SsbConfig::with_scale(SF));
     let seq = Engine::with_config(
         Arc::clone(&ds.catalog),
-        EngineConfig { use_views: false, parallel: false, ..EngineConfig::default() },
+        EngineConfig { use_views: false, max_threads: 1, ..EngineConfig::default() },
     );
     let par = Engine::with_config(
         Arc::clone(&ds.catalog),
         EngineConfig {
             use_views: false,
-            parallel: true,
+            morsel_rows: 1 << 13,
             parallel_threshold: 1,
             ..EngineConfig::default()
         },

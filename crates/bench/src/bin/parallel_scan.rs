@@ -1,0 +1,171 @@
+//! Scaling of the morsel-driven parallel scan pipeline: wall-clock time of
+//! the four canonical intentions under NP/JOP/POP as the engine's thread
+//! cap grows 1 → 2 → 4 → 8, all strategies drawing from one persistent
+//! worker pool (the way `assess-serve` runs them).
+//!
+//! ```text
+//! cargo run -p assess-bench --release --bin parallel_scan \
+//!     [-- --scale 0.01 --reps 5 --smoke]
+//! ```
+//!
+//! Views are disabled so every `get` is a full fact scan — the statements
+//! are Get-dominated and the scan pipeline is what's measured. Results go
+//! to `target/experiments/BENCH_engine.json`; the run fails if the
+//! Get-dominated NP statements do not reach a 2× mean speedup at four
+//! threads (skipped under `--smoke` or when the host has too few cores).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use assess_bench::{report, workloads};
+use assess_core::exec::AssessRunner;
+use assess_core::plan::Strategy;
+use assess_core::AssessError;
+use olap_engine::{Engine, EngineConfig, WorkerPool};
+use serde::Serialize;
+use ssb_data::SsbConfig;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const MORSEL_ROWS: usize = 1 << 13;
+
+#[derive(Serialize)]
+struct ScanRow {
+    intention: String,
+    strategy: String,
+    threads: usize,
+    secs: f64,
+    speedup_vs_serial: f64,
+    max_parallelism: usize,
+    morsels: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut scale = if smoke { 0.001 } else { 0.01 };
+    let mut reps = if smoke { 1usize } else { 5 };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" if i + 1 < args.len() => {
+                scale = args[i + 1].parse().expect("--scale S");
+                i += 2;
+            }
+            "--reps" if i + 1 < args.len() => {
+                reps = args[i + 1].parse().expect("--reps N");
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+
+    eprintln!("[setup] generating SSB at SF={scale} …");
+    let cache_root = std::path::PathBuf::from("target/ssb_cache");
+    let (dataset, cache_hit) =
+        ssb_data::cache::generate_cached(&cache_root, SsbConfig::with_scale(scale));
+    if cache_hit {
+        eprintln!("[setup] reused cached tables for SF={scale}");
+    }
+    // One long-lived pool for the whole experiment, sized for the widest
+    // cap: helpers + the calling thread give DOP 8.
+    let pool = Arc::new(WorkerPool::new(THREADS[THREADS.len() - 1] - 1));
+
+    let runner_at = |threads: usize| {
+        let config = EngineConfig {
+            use_views: false,
+            morsel_rows: MORSEL_ROWS,
+            max_threads: threads,
+            parallel_threshold: 1,
+            ..EngineConfig::default()
+        };
+        let engine = Engine::with_config(Arc::clone(&dataset.catalog), config)
+            .with_worker_pool(pool.clone());
+        AssessRunner::new(engine)
+    };
+
+    let mut rows: Vec<ScanRow> = Vec::new();
+    for intention in workloads::intentions() {
+        for strategy in [Strategy::Naive, Strategy::JoinOptimized, Strategy::PivotOptimized] {
+            let mut serial_secs = f64::NAN;
+            for &threads in &THREADS {
+                let runner = runner_at(threads);
+                // Warm-up run; it also tells us whether the combination is
+                // feasible and how parallel the scans actually went.
+                let report = match runner.run(&intention.statement, strategy) {
+                    Ok((_, report)) => report,
+                    Err(AssessError::InfeasibleStrategy { .. }) => break,
+                    Err(e) => panic!("{}/{strategy}@{threads}: {e}", intention.name),
+                };
+                let mut best = f64::INFINITY;
+                for _ in 0..reps {
+                    let t0 = Instant::now();
+                    runner.run(&intention.statement, strategy).expect("measured run");
+                    best = best.min(t0.elapsed().as_secs_f64());
+                }
+                if threads == 1 {
+                    serial_secs = best;
+                }
+                eprintln!(
+                    "[measure] {:<8} {strategy} {threads}t: {} (dop {}, {} morsels)",
+                    intention.name,
+                    report::fmt_secs(best),
+                    report.parallelism.max_parallelism(),
+                    report.parallelism.total_morsels(),
+                );
+                rows.push(ScanRow {
+                    intention: intention.name.to_string(),
+                    strategy: strategy.to_string(),
+                    threads,
+                    secs: best,
+                    speedup_vs_serial: serial_secs / best,
+                    max_parallelism: report.parallelism.max_parallelism(),
+                    morsels: report.parallelism.total_morsels(),
+                });
+            }
+        }
+    }
+
+    let mut table = vec![vec![
+        "intention".to_string(),
+        "strategy".to_string(),
+        "threads".to_string(),
+        "secs".to_string(),
+        "speedup".to_string(),
+        "morsels".to_string(),
+    ]];
+    for r in &rows {
+        table.push(vec![
+            r.intention.clone(),
+            r.strategy.clone(),
+            r.threads.to_string(),
+            report::fmt_secs(r.secs),
+            format!("{:.2}x", r.speedup_vs_serial),
+            r.morsels.to_string(),
+        ]);
+    }
+    println!("parallel scan scaling (SF={scale}, {reps} reps, morsels of {MORSEL_ROWS} rows)\n");
+    println!("{}", report::render_table(&table));
+    let path = report::write_json("BENCH_engine", &rows).expect("write report");
+    println!("report: {}", path.display());
+
+    // Gate: the Get-dominated statements (NP pushes only `get`s; with views
+    // off each is a full fact scan) must scale. Mean speedup across the
+    // four intentions at 4 threads ≥ 2×, on hosts that can actually grant
+    // four threads.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let at4: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.strategy == Strategy::Naive.to_string() && r.threads == 4)
+        .map(|r| r.speedup_vs_serial)
+        .collect();
+    let mean = at4.iter().sum::<f64>() / at4.len().max(1) as f64;
+    println!("NP mean speedup at 4 threads: {mean:.2}x over {} statement(s)", at4.len());
+    if smoke {
+        println!("smoke mode: speedup gate skipped");
+    } else if cores < 4 {
+        println!("only {cores} core(s) available: speedup gate skipped");
+    } else {
+        assert!(mean >= 2.0, "Get-dominated statements must reach 2x at 4 threads, got {mean:.2}x");
+        println!("speedup gate passed");
+    }
+}

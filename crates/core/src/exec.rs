@@ -66,6 +66,48 @@ impl StageTimings {
     }
 }
 
+/// Scan parallelism actually achieved by one stage's engine calls (the
+/// engine reports per `get`; fused calls report the max of their sides).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParStat {
+    /// Largest number of threads that concurrently worked any one scan of
+    /// this stage (0 = the stage never ran an engine scan).
+    pub parallelism: usize,
+    /// Total morsels the stage's scans were split into.
+    pub morsels: usize,
+}
+
+impl ParStat {
+    fn absorb(&mut self, parallelism: usize, morsels: usize) {
+        self.parallelism = self.parallelism.max(parallelism);
+        self.morsels += morsels;
+    }
+}
+
+/// Per-stage scan parallelism, mirroring the engine-time categories of
+/// [`StageTimings`] (client-side stages never scan, so they have no entry).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageParallelism {
+    /// Scans while getting the target cube `C`.
+    pub get_c: ParStat,
+    /// Scans while getting the benchmark `B`.
+    pub get_b: ParStat,
+    /// Scans of fused `C + B` engine calls.
+    pub get_cb: ParStat,
+}
+
+impl StageParallelism {
+    /// The largest degree of parallelism any scan of the execution reached.
+    pub fn max_parallelism(&self) -> usize {
+        self.get_c.parallelism.max(self.get_b.parallelism).max(self.get_cb.parallelism)
+    }
+
+    /// Total morsels claimed across all scans of the execution.
+    pub fn total_morsels(&self) -> usize {
+        self.get_c.morsels + self.get_b.morsels + self.get_cb.morsels
+    }
+}
+
 /// One attempt of the strategy-fallback ladder: which strategy ran, for
 /// how long, and (when it failed) why.
 #[derive(Debug, Clone)]
@@ -87,6 +129,8 @@ pub struct ExecutionReport {
     pub used_views: Vec<String>,
     /// Total rows scanned from fact tables / views.
     pub rows_scanned: usize,
+    /// Degree of parallelism and morsel counts per engine stage.
+    pub parallelism: StageParallelism,
     /// The full fallback chain that led to this result, in attempt order.
     /// The last record is the attempt that produced the cube; earlier ones
     /// are failed attempts the ladder recovered from.
@@ -106,6 +150,7 @@ struct ExecState<'a> {
     timings: StageTimings,
     used_views: Vec<String>,
     rows_scanned: usize,
+    parallelism: StageParallelism,
     /// Fuse `get ⋈ get` / `get + pivot` prefixes into engine calls.
     fuse: bool,
 }
@@ -282,11 +327,17 @@ impl AssessRunner {
         deadline_at: Option<Instant>,
     ) -> Result<(AssessedCube, ExecutionReport), AssessError> {
         let physical = plan::plan(resolved, strategy)?;
-        if !self.policy.needs_governor() {
+        let needs_governor = self.policy.needs_governor();
+        if !needs_governor && self.policy.max_threads.is_none() {
             return execute_plan_on(&self.engine, resolved, &physical);
         }
-        let governor = self.policy.governor(deadline_at);
-        let engine = self.engine.clone().with_governor(governor);
+        let mut engine = self.engine.clone();
+        if needs_governor {
+            engine = engine.with_governor(self.policy.governor(deadline_at));
+        }
+        if let Some(n) = self.policy.max_threads {
+            engine = engine.with_thread_cap(n);
+        }
         execute_plan_on(&engine, resolved, &physical)
     }
 
@@ -329,6 +380,7 @@ fn execute_plan_on(
         timings: StageTimings::default(),
         used_views: Vec::new(),
         rows_scanned: 0,
+        parallelism: StageParallelism::default(),
         fuse: physical.strategy != Strategy::Naive,
     };
     let mut cube = eval(&physical.root, &mut state)?;
@@ -345,18 +397,37 @@ fn execute_plan_on(
         plan: physical.root.to_string(),
         used_views: state.used_views,
         rows_scanned: state.rows_scanned,
+        parallelism: state.parallelism,
         attempts: Vec::new(),
     };
     Ok((AssessedCube::new(cube, resolved), report))
 }
 
-fn absorb(state: &mut ExecState<'_>, outcome: olap_engine::GetOutcome) -> DerivedCube {
+/// Which engine-time stage an absorbed outcome belongs to.
+#[derive(Clone, Copy)]
+enum ScanStage {
+    GetC,
+    GetB,
+    GetCb,
+}
+
+fn absorb(
+    state: &mut ExecState<'_>,
+    outcome: olap_engine::GetOutcome,
+    stage: ScanStage,
+) -> DerivedCube {
     if let Some(v) = outcome.used_view {
         if !state.used_views.contains(&v) {
             state.used_views.push(v);
         }
     }
     state.rows_scanned += outcome.rows_scanned;
+    let slot = match stage {
+        ScanStage::GetC => &mut state.parallelism.get_c,
+        ScanStage::GetB => &mut state.parallelism.get_b,
+        ScanStage::GetCb => &mut state.parallelism.get_cb,
+    };
+    slot.absorb(outcome.parallelism, outcome.morsels);
     outcome.cube
 }
 
@@ -370,12 +441,14 @@ fn eval(op: &LogicalOp, state: &mut ExecState<'_>) -> Result<DerivedCube, Assess
             let t = Instant::now();
             let outcome = state.engine.get(query)?;
             let elapsed = t.elapsed();
-            if alias.as_deref() == Some("benchmark") {
+            let stage = if alias.as_deref() == Some("benchmark") {
                 state.timings.get_b += elapsed;
+                ScanStage::GetB
             } else {
                 state.timings.get_c += elapsed;
-            }
-            Ok(absorb(state, outcome))
+                ScanStage::GetC
+            };
+            Ok(absorb(state, outcome, stage))
         }
         LogicalOp::NaturalJoin { left, right, kind, measure, rename } => {
             if state.fuse {
@@ -386,7 +459,7 @@ fn eval(op: &LogicalOp, state: &mut ExecState<'_>) -> Result<DerivedCube, Assess
                     let outcome =
                         state.engine.get_join(lq, rq, *kind, std::slice::from_ref(rename))?;
                     state.timings.get_cb += t.elapsed();
-                    return Ok(absorb(state, outcome));
+                    return Ok(absorb(state, outcome, ScanStage::GetCb));
                 }
             }
             let l = eval(left, state)?;
@@ -422,7 +495,7 @@ fn eval(op: &LogicalOp, state: &mut ExecState<'_>) -> Result<DerivedCube, Assess
                         *kind,
                     )?;
                     state.timings.get_cb += t.elapsed();
-                    return Ok(absorb(state, outcome));
+                    return Ok(absorb(state, outcome, ScanStage::GetCb));
                 }
             }
             let l = eval(left, state)?;
@@ -456,7 +529,7 @@ fn eval(op: &LogicalOp, state: &mut ExecState<'_>) -> Result<DerivedCube, Assess
                         .engine
                         .get_join_sliced(lq, rq, *hierarchy, members, measure, names, *kind)?;
                     state.timings.get_cb += t.elapsed();
-                    return Ok(absorb(state, outcome));
+                    return Ok(absorb(state, outcome, ScanStage::GetCb));
                 }
             }
             let l = eval(left, state)?;
@@ -486,7 +559,7 @@ fn eval(op: &LogicalOp, state: &mut ExecState<'_>) -> Result<DerivedCube, Assess
                         .engine
                         .get_pivot(query, *hierarchy, *reference, neighbors, measure, names)?;
                     state.timings.get_cb += t.elapsed();
-                    return Ok(absorb(state, outcome));
+                    return Ok(absorb(state, outcome, ScanStage::GetCb));
                 }
             }
             let cube = eval(input, state)?;

@@ -42,6 +42,16 @@ pub fn explain(runner: &AssessRunner, resolved: &ResolvedAssess) -> Result<Strin
     let physical = plan::plan(resolved, chosen)?;
     let _ = writeln!(out, "\nchosen plan ({chosen}):\n{}", physical.root);
 
+    // Scan parallelism: the ceiling the engine (and any policy clamp)
+    // grants; small inputs still run serially under it.
+    let engine_cap = runner.engine().parallelism_cap();
+    let dop = runner.policy().max_threads.map_or(engine_cap, |n| n.min(engine_cap));
+    let _ = writeln!(
+        out,
+        "\nscan parallelism: up to {dop} thread(s), morsels of {} rows",
+        runner.engine().config().morsel_rows
+    );
+
     if let Ok(code) = codegen::generate(resolved, runner.engine().catalog()) {
         let _ = writeln!(out, "\nequivalent SQL (least complex plan):\n{}", code.sql);
     }

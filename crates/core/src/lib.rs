@@ -83,7 +83,9 @@ pub use ast::{
 };
 pub use diag::{DiagCode, Diagnostic, Severity, Sink, Span};
 pub use error::AssessError;
-pub use exec::{AssessRunner, AttemptRecord, ExecutionReport, StageTimings};
+pub use exec::{
+    AssessRunner, AttemptRecord, ExecutionReport, ParStat, StageParallelism, StageTimings,
+};
 pub use plan::Strategy;
 pub use policy::ExecutionPolicy;
 pub use result::AssessedCube;

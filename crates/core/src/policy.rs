@@ -36,6 +36,11 @@ pub struct ExecutionPolicy {
     /// the client asks (or disconnects); `None` means only the policy's own
     /// limits can stop the execution.
     pub cancel_token: Option<CancelToken>,
+    /// Cap on threads a single scan may use (`None` = engine default). The
+    /// runner applies it as a *tightening* clamp on the engine's
+    /// configuration — it can lower the degree of parallelism, never raise
+    /// it above a serving ceiling.
+    pub max_threads: Option<usize>,
 }
 
 impl Default for ExecutionPolicy {
@@ -46,6 +51,7 @@ impl Default for ExecutionPolicy {
             max_output_cells: None,
             fallback: true,
             cancel_token: None,
+            max_threads: None,
         }
     }
 }
@@ -77,6 +83,13 @@ impl ExecutionPolicy {
     /// either succeeds or its error is returned as-is.
     pub fn without_fallback(mut self) -> Self {
         self.fallback = false;
+        self
+    }
+
+    /// Caps the threads a single scan of this execution may use (values
+    /// below 1 are treated as 1; parallelism is a limit, not a guarantee).
+    pub fn with_max_threads(mut self, n: usize) -> Self {
+        self.max_threads = Some(n.max(1));
         self
     }
 

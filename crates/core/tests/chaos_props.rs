@@ -10,7 +10,7 @@ use assess_core::ast::AssessStatement;
 use assess_core::exec::AssessRunner;
 use assess_core::plan::Strategy;
 use assess_core::{AssessError, ExecutionPolicy};
-use olap_engine::{Engine, EngineError, FaultInjector, FaultSite, ResourceKind};
+use olap_engine::{Engine, EngineConfig, EngineError, FaultInjector, FaultSite, ResourceKind};
 use olap_storage::Catalog;
 use proptest::prelude::*;
 
@@ -63,6 +63,23 @@ fn intentions() -> Vec<(&'static str, AssessStatement)> {
 
 fn runner_with(cat: &Arc<Catalog>, faults: Option<Arc<FaultInjector>>) -> AssessRunner {
     let mut engine = Engine::new(cat.clone());
+    if let Some(f) = faults {
+        engine = engine.with_fault_injector(f);
+    }
+    AssessRunner::new(engine)
+}
+
+/// Like [`runner_with`] but with every scan forced onto the worker pool:
+/// tiny morsels, no parallel threshold, up to eight threads.
+fn parallel_runner_with(cat: &Arc<Catalog>, faults: Option<Arc<FaultInjector>>) -> AssessRunner {
+    let config = EngineConfig {
+        morsel_rows: 3,
+        max_threads: 8,
+        parallel_threshold: 1,
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::with_config(cat.clone(), config)
+        .with_worker_pool(Arc::new(olap_engine::WorkerPool::new(7)));
     if let Some(f) = faults {
         engine = engine.with_fault_injector(f);
     }
@@ -129,6 +146,58 @@ proptest! {
                 (a, b) => prop_assert!(
                     false,
                     "{} is nondeterministic under seed {}: {:?} vs {:?}",
+                    name,
+                    seed,
+                    a.is_ok(),
+                    b.is_ok()
+                ),
+            }
+        }
+    }
+
+    /// Worker-task faults cross the pool boundary exactly like serial ones:
+    /// a chaos run on the eight-thread engine either matches the fault-free
+    /// serial result cell-for-cell or fails with the same typed
+    /// injected-fault error a serial engine would surface — never a panic
+    /// escaping the pool, never a foreign variant. And the outcome is a
+    /// pure function of the seed, morsel scheduling notwithstanding.
+    #[test]
+    fn parallel_chaos_is_sound_and_deterministic(seed in any::<u64>()) {
+        let cat = catalog();
+        let rate = 0.02 + (seed % 32) as f64 / 32.0 * 0.7;
+        for (name, stmt) in intentions() {
+            let baseline = runner_with(&cat, None)
+                .run_auto(&stmt)
+                .unwrap_or_else(|e| panic!("fault-free {name} run failed: {e}"));
+            let chaos = || {
+                parallel_runner_with(&cat, Some(Arc::new(FaultInjector::with_rate(seed, rate))))
+                    .run_auto(&stmt)
+            };
+            match chaos() {
+                Ok((result, report)) => {
+                    prop_assert_eq!(
+                        result.cells(),
+                        baseline.0.cells(),
+                        "{} diverged in parallel under seed {}",
+                        name,
+                        seed
+                    );
+                    prop_assert!(report.attempts.last().unwrap().error.is_none());
+                }
+                Err(err) => prop_assert!(
+                    is_clean_fault(&err),
+                    "{} surfaced a non-fault error across the pool: {:?}",
+                    name,
+                    err
+                ),
+            }
+            // Same seed, fresh pool, fresh injector: same outcome.
+            match (chaos(), chaos()) {
+                (Ok((ra, _)), Ok((rb, _))) => prop_assert_eq!(ra.cells(), rb.cells()),
+                (Err(ea), Err(eb)) => prop_assert_eq!(format!("{ea}"), format!("{eb}")),
+                (a, b) => prop_assert!(
+                    false,
+                    "{} parallel chaos is nondeterministic under seed {}: {:?} vs {:?}",
                     name,
                     seed,
                     a.is_ok(),

@@ -1,47 +1,14 @@
-//! Hash aggregation: accumulators and group tables.
+//! Hash aggregation: accumulators, group tables, and the chunk
+//! aggregation kernel of the morsel-driven scan pipeline.
 
 use std::collections::HashMap;
 use std::hash::Hash;
 
-use olap_model::AggOp;
+use olap_model::{AggOp, MemberId};
+use olap_storage::NumericSlice;
 
-/// A columnar view over a numeric table column, letting the scan loop read
-/// `f64` values without a per-row enum match on [`olap_storage::ColumnData`].
-#[derive(Debug, Clone, Copy)]
-pub enum NumView<'a> {
-    I64(&'a [i64]),
-    F64(&'a [f64]),
-}
-
-impl<'a> NumView<'a> {
-    /// Borrows a numeric view from a storage column.
-    pub fn from_column(col: &'a olap_storage::Column) -> Option<Self> {
-        if let Some(v) = col.as_i64() {
-            Some(NumView::I64(v))
-        } else {
-            col.as_f64().map(NumView::F64)
-        }
-    }
-
-    #[inline]
-    pub fn get(&self, row: usize) -> f64 {
-        match self {
-            NumView::I64(v) => v[row] as f64,
-            NumView::F64(v) => v[row],
-        }
-    }
-
-    pub fn len(&self) -> usize {
-        match self {
-            NumView::I64(v) => v.len(),
-            NumView::F64(v) => v.len(),
-        }
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-}
+use crate::key::KeyLayout;
+use crate::predicate::IdColumn;
 
 /// A per-measure aggregation accumulator over dense group slots.
 #[derive(Debug, Clone)]
@@ -237,6 +204,52 @@ impl<K: Eq + Hash + Clone> GroupTable<K> {
     }
 }
 
+/// The aggregation kernel of the morsel pipeline: folds the rows of one
+/// chunk into `out`, packing each row's group key with `layout`.
+///
+/// * `len` — rows in the chunk; every column slice must have that length;
+/// * `selection` — chunk-local ids of the rows to fold (the predicate
+///   kernel's output), or `None` to fold every row;
+/// * `keys` — per group-by component: the id column and the roll-up map
+///   from the carried level to the queried level;
+/// * `measures` — one numeric slice per measure, in accumulator order.
+pub fn accumulate_chunk(
+    out: &mut GroupTable<u64>,
+    layout: &KeyLayout,
+    len: usize,
+    selection: Option<&[u32]>,
+    keys: &[(IdColumn<'_>, &[MemberId])],
+    measures: &[NumericSlice<'_>],
+) {
+    let mut values = vec![0.0f64; measures.len()];
+    let mut fold = |row: usize| {
+        let mut key = 0u64;
+        for (comp, (col, rollmap)) in keys.iter().enumerate() {
+            layout.pack_component(&mut key, comp, rollmap[col.id(row)]);
+        }
+        if measures.len() == 1 {
+            out.update1(key, measures[0].get(row));
+        } else {
+            for (v, m) in values.iter_mut().zip(measures) {
+                *v = m.get(row);
+            }
+            out.update(key, &values);
+        }
+    };
+    match selection {
+        Some(sel) => {
+            for &row in sel {
+                fold(row as usize);
+            }
+        }
+        None => {
+            for row in 0..len {
+                fold(row);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -313,13 +326,36 @@ mod tests {
     }
 
     #[test]
-    fn numview_reads_both_types() {
-        let ci = olap_storage::Column::i64("a", vec![1, 2]);
-        let cf = olap_storage::Column::f64("b", vec![0.5, 1.5]);
-        let cd = olap_storage::Column::from_strings("s", ["x"]);
-        assert_eq!(NumView::from_column(&ci).unwrap().get(1), 2.0);
-        assert_eq!(NumView::from_column(&cf).unwrap().get(0), 0.5);
-        assert!(NumView::from_column(&cd).is_none());
+    fn chunk_kernel_matches_row_at_a_time_updates() {
+        // Two hierarchies of 3 and 2 members, rolled to themselves.
+        let layout = KeyLayout::for_cardinalities(&[3, 2]);
+        let fk_a: Vec<i64> = vec![0, 1, 2, 0, 1, 2];
+        let fk_b: Vec<i64> = vec![0, 0, 1, 1, 0, 1];
+        let roll_a: Vec<MemberId> = (0..3).map(MemberId).collect();
+        let roll_b: Vec<MemberId> = (0..2).map(MemberId).collect();
+        let m1: Vec<i64> = vec![1, 2, 3, 4, 5, 6];
+        let m2: Vec<f64> = vec![0.5; 6];
+        let keys =
+            [(IdColumn::Fks(&fk_a), roll_a.as_slice()), (IdColumn::Fks(&fk_b), roll_b.as_slice())];
+        let measures = [NumericSlice::I64(&m1), NumericSlice::F64(&m2)];
+        let ops = [AggOp::Sum, AggOp::Count];
+
+        let mut expected: GroupTable<u64> = GroupTable::new(&ops);
+        for row in [1usize, 3, 4] {
+            let mut key = 0u64;
+            layout.pack_component(&mut key, 0, roll_a[fk_a[row] as usize]);
+            layout.pack_component(&mut key, 1, roll_b[fk_b[row] as usize]);
+            expected.update(key, &[m1[row] as f64, m2[row]]);
+        }
+        let mut out: GroupTable<u64> = GroupTable::new(&ops);
+        accumulate_chunk(&mut out, &layout, 6, Some(&[1, 3, 4]), &keys, &measures);
+        assert_eq!(out.finish(), expected.finish());
+
+        // No selection folds every row; single-measure path hits update1.
+        let mut all: GroupTable<u64> = GroupTable::new(&[AggOp::Sum]);
+        accumulate_chunk(&mut all, &layout, 6, None, &keys, &measures[..1]);
+        let (_, cols) = all.finish();
+        assert_eq!(cols[0].iter().sum::<f64>(), 21.0);
     }
 
     #[test]

@@ -7,14 +7,15 @@ use olap_model::{
     AggOp, Coordinate, CubeColumn, CubeQuery, CubeSchema, DerivedCube, GroupBySet, MemberId,
     NumericColumn,
 };
-use olap_storage::Catalog;
+use olap_storage::{Catalog, MaterializedAggregate, NumericSlice, Table};
 
-use crate::aggregate::{GroupTable, NumView};
+use crate::aggregate::{accumulate_chunk, GroupTable};
 use crate::error::EngineError;
 use crate::fault::{FaultInjector, FaultSite};
 use crate::governor::{ResourceGovernor, CHECK_INTERVAL};
 use crate::key::KeyLayout;
-use crate::predicate::CompiledFilter;
+use crate::pool::{run_morsels, MorselScan, ScanRun, WorkerPool};
+use crate::predicate::{select_into, CompiledFilter, IdColumn};
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
@@ -28,9 +29,15 @@ pub struct EngineConfig {
     /// Maximum fraction of a level's domain a predicate may select and
     /// still take the index path.
     pub index_selectivity: f64,
-    /// Parallelize fact scans across threads.
-    pub parallel: bool,
-    /// Minimum row count before a scan is parallelized.
+    /// Rows per morsel — the unit of parallel work distribution *and* of
+    /// the deterministic partial-aggregate merge. The default matches the
+    /// governor's [`CHECK_INTERVAL`], preserving the serial engine's
+    /// budget-check cadence.
+    pub morsel_rows: usize,
+    /// Cap on threads per scan; `0` = auto (attached pool size + 1, or the
+    /// hardware). Clamped further by `ASSESS_MAX_THREADS` at query time.
+    pub max_threads: usize,
+    /// Minimum row count before a scan uses more than one thread.
     pub parallel_threshold: usize,
 }
 
@@ -40,10 +47,21 @@ impl Default for EngineConfig {
             use_views: true,
             use_indexes: true,
             index_selectivity: 0.01,
-            parallel: false,
-            parallel_threshold: 1 << 20,
+            morsel_rows: CHECK_INTERVAL,
+            max_threads: 0,
+            parallel_threshold: 1 << 16,
         }
     }
+}
+
+/// The `ASSESS_MAX_THREADS` environment clamp on per-scan parallelism
+/// (read fresh per query so tests can flip it); unset/invalid = no clamp.
+fn env_thread_cap() -> usize {
+    std::env::var("ASSESS_MAX_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(usize::MAX)
 }
 
 /// Join semantics: `assess` maps to an inner join, `assess*` to a
@@ -75,6 +93,11 @@ pub struct GetOutcome {
     pub used_view: Option<String>,
     /// Rows scanned from the fact table or the view.
     pub rows_scanned: usize,
+    /// Threads that actually worked the scan (1 = serial; fused operators
+    /// report the maximum of their two sides).
+    pub parallelism: usize,
+    /// Morsels the scan was split into (fused operators report the sum).
+    pub morsels: usize,
 }
 
 /// An executed get kept in the engine's internal packed representation, so
@@ -87,6 +110,120 @@ struct GetInternal {
     measures: Vec<String>,
     used_view: Option<String>,
     rows_scanned: usize,
+    parallelism: usize,
+    morsels: usize,
+}
+
+/// Which storage object a morsel-driven scan reads.
+enum ScanSource {
+    Fact(Arc<Table>),
+    View(Arc<MaterializedAggregate>),
+}
+
+/// The shared, immutable context of one morsel-driven scan: the source,
+/// compiled predicate masks, roll-up maps and resolved column indexes.
+/// Column *existence and types* are validated when the context is built;
+/// workers resolve chunk-local slices per morsel and run the select +
+/// accumulate kernels.
+struct ScanCtx {
+    source: ScanSource,
+    /// Per predicate: the id column (fact: fk column index; view: coordinate
+    /// component) and the allowed-member mask over its domain.
+    masks: Vec<(usize, Arc<[bool]>)>,
+    /// Per group-by component: the id column (as above) and the roll-up map
+    /// from the carried level to the queried level.
+    keys: Vec<(usize, Vec<MemberId>)>,
+    /// Measure columns (fact: table column index; view: measure index).
+    measures: Vec<usize>,
+    layout: KeyLayout,
+    ops: Vec<AggOp>,
+}
+
+impl ScanCtx {
+    /// Runs the kernels over one chunk's resolved inputs.
+    fn run_kernels(
+        &self,
+        sel: &mut Vec<u32>,
+        out: &mut GroupTable<u64>,
+        len: usize,
+        masks: &[(IdColumn<'_>, &[bool])],
+        keys: &[(IdColumn<'_>, &[MemberId])],
+        measures: &[NumericSlice<'_>],
+    ) {
+        let selection = if masks.is_empty() {
+            None
+        } else {
+            select_into(sel, len, masks);
+            Some(sel.as_slice())
+        };
+        accumulate_chunk(out, &self.layout, len, selection, keys, measures);
+    }
+}
+
+impl MorselScan for ScanCtx {
+    fn n_rows(&self) -> usize {
+        match &self.source {
+            ScanSource::Fact(t) => t.n_rows(),
+            ScanSource::View(v) => v.len(),
+        }
+    }
+
+    fn new_table(&self) -> GroupTable<u64> {
+        GroupTable::new(&self.ops)
+    }
+
+    fn process(
+        &self,
+        lo: usize,
+        hi: usize,
+        sel: &mut Vec<u32>,
+        out: &mut GroupTable<u64>,
+    ) -> Result<(), EngineError> {
+        let len = hi - lo;
+        match &self.source {
+            ScanSource::Fact(t) => {
+                let chunk = t.chunk(lo, len);
+                let fks = |idx: usize| chunk.i64_at(idx).expect("validated fk column");
+                let masks: Vec<(IdColumn<'_>, &[bool])> =
+                    self.masks.iter().map(|(idx, m)| (IdColumn::Fks(fks(*idx)), &**m)).collect();
+                let keys: Vec<(IdColumn<'_>, &[MemberId])> = self
+                    .keys
+                    .iter()
+                    .map(|(idx, roll)| (IdColumn::Fks(fks(*idx)), roll.as_slice()))
+                    .collect();
+                let measures: Vec<NumericSlice<'_>> = self
+                    .measures
+                    .iter()
+                    .map(|idx| chunk.numeric_at(*idx).expect("validated measure column"))
+                    .collect();
+                self.run_kernels(sel, out, len, &masks, &keys, &measures);
+            }
+            ScanSource::View(v) => {
+                let coords = |comp: usize| &v.coord_cols()[comp][lo..hi];
+                let masks: Vec<(IdColumn<'_>, &[bool])> = self
+                    .masks
+                    .iter()
+                    .map(|(comp, m)| (IdColumn::Coords(coords(*comp)), &**m))
+                    .collect();
+                let keys: Vec<(IdColumn<'_>, &[MemberId])> = self
+                    .keys
+                    .iter()
+                    .map(|(comp, roll)| (IdColumn::Coords(coords(*comp)), roll.as_slice()))
+                    .collect();
+                let measures: Vec<NumericSlice<'_>> = self
+                    .measures
+                    .iter()
+                    .map(|idx| {
+                        NumericSlice::F64(
+                            &v.measure_at(*idx).expect("validated view measure")[lo..hi],
+                        )
+                    })
+                    .collect();
+                self.run_kernels(sel, out, len, &masks, &keys, &measures);
+            }
+        }
+        Ok(())
+    }
 }
 
 /// The physical execution engine over a [`Catalog`].
@@ -103,6 +240,9 @@ pub struct Engine {
     /// Deterministic fault injection for resilience tests; `None` (the
     /// default) injects nothing.
     faults: Option<Arc<FaultInjector>>,
+    /// Worker pool for parallel scans; `None` falls back to the
+    /// process-wide [`WorkerPool::global`] when a scan wants helpers.
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl Engine {
@@ -111,11 +251,11 @@ impl Engine {
     }
 
     pub fn with_config(catalog: Arc<Catalog>, config: EngineConfig) -> Self {
-        Engine { catalog, config, governor: None, faults: None }
+        Engine { catalog, config, governor: None, faults: None, pool: None }
     }
 
     /// Attaches a resource governor; all subsequent queries check it at
-    /// operator boundaries and periodically inside scans.
+    /// operator boundaries and once per claimed morsel inside scans.
     pub fn with_governor(mut self, governor: Arc<ResourceGovernor>) -> Self {
         self.governor = Some(governor);
         self
@@ -125,6 +265,44 @@ impl Engine {
     pub fn with_fault_injector(mut self, faults: Arc<FaultInjector>) -> Self {
         self.faults = Some(faults);
         self
+    }
+
+    /// Attaches a shared worker pool for parallel scans (the serve layer
+    /// builds one per process so concurrent queries share the cores).
+    pub fn with_worker_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Tightens the per-scan thread cap: the effective cap becomes the
+    /// minimum of the current configuration and `n` (`0` is ignored).
+    /// Used by the assess runtime to apply `ExecutionPolicy::max_threads`.
+    pub fn with_thread_cap(mut self, n: usize) -> Self {
+        if n > 0 {
+            self.config.max_threads =
+                if self.config.max_threads == 0 { n } else { self.config.max_threads.min(n) };
+        }
+        self
+    }
+
+    /// The degree-of-parallelism ceiling scans run under: the configured
+    /// cap (or the pool/hardware when auto), clamped by the
+    /// `ASSESS_MAX_THREADS` environment override. Data-size gating
+    /// ([`EngineConfig::parallel_threshold`]) applies on top per scan.
+    pub fn parallelism_cap(&self) -> usize {
+        let cap = if self.config.max_threads == 0 {
+            match &self.pool {
+                Some(p) => p.threads() + 1,
+                None => std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+            }
+        } else {
+            self.config.max_threads
+        };
+        cap.min(env_thread_cap()).max(1)
+    }
+
+    pub fn worker_pool(&self) -> Option<&Arc<WorkerPool>> {
+        self.pool.as_ref()
     }
 
     pub fn catalog(&self) -> &Arc<Catalog> {
@@ -176,6 +354,30 @@ impl Engine {
         }
     }
 
+    /// Drives a morsel scan: resolves the effective degree of parallelism
+    /// (size gating, config/env caps), picks the pool, and hands off to
+    /// [`run_morsels`]. Small inputs run serially on the caller's thread
+    /// through the same code path, so results are byte-identical at every
+    /// thread count.
+    fn run_scan(&self, ctx: ScanCtx) -> Result<ScanRun, EngineError> {
+        let n_rows = MorselScan::n_rows(&ctx);
+        let morsel_rows = self.config.morsel_rows.max(1);
+        let dop = if n_rows < self.config.parallel_threshold { 1 } else { self.parallelism_cap() };
+        let ctx = Arc::new(ctx);
+        if dop <= 1 {
+            return run_morsels(
+                None,
+                1,
+                morsel_rows,
+                ctx,
+                self.governor.clone(),
+                self.faults.clone(),
+            );
+        }
+        let pool = self.pool.clone().unwrap_or_else(WorkerPool::global);
+        run_morsels(Some(&pool), dop, morsel_rows, ctx, self.governor.clone(), self.faults.clone())
+    }
+
     /// Executes a cube query (the `get` logical operator, Definition 2.6),
     /// producing a sorted, materialized derived cube.
     ///
@@ -186,7 +388,7 @@ impl Engine {
         let outcome = match self.run_get(q) {
             Ok(internal) => materialize(internal),
             Err(EngineError::Unsupported(msg)) if msg.contains("wide keys") => {
-                crate::wide::get_wide(&self.catalog, q)?
+                crate::wide::get_wide(&self.catalog, q, self.config.morsel_rows)?
             }
             Err(e) => return Err(e),
         };
@@ -220,6 +422,8 @@ impl Engine {
             right.table.keys().iter().enumerate().map(|(slot, &key)| (key, slot as u32)).collect();
 
         let rows_scanned = left.rows_scanned + right.rows_scanned;
+        let parallelism = left.parallelism.max(right.parallelism);
+        let morsels = left.morsels + right.morsels;
         let (left_keys, left_cols) = left.table.finish();
         let (_, right_cols) = right.table.finish();
 
@@ -252,7 +456,7 @@ impl Engine {
         let mut cube = DerivedCube::from_parts(left.schema, left.group_by, coord_cols, columns)?;
         cube.sort_by_coordinates();
         self.gov_charge_cells(cube.len())?;
-        Ok(GetOutcome { cube, used_view: left.used_view, rows_scanned })
+        Ok(GetOutcome { cube, used_view: left.used_view, rows_scanned, parallelism, morsels })
     }
 
     /// Executes two cube queries and **roll-up joins** them inside the
@@ -301,6 +505,8 @@ impl Engine {
             .composed_map(fine_level, coarse_level)?;
 
         let rows_scanned = left.rows_scanned + right.rows_scanned;
+        let parallelism = left.parallelism.max(right.parallelism);
+        let morsels = left.morsels + right.morsels;
         let right_layout = right.layout.clone();
         let right_table = &right.table;
         let (left_keys, left_cols) = left.table.finish();
@@ -340,7 +546,7 @@ impl Engine {
         let mut cube = DerivedCube::from_parts(left.schema, left.group_by, coord_cols, columns)?;
         cube.sort_by_coordinates();
         self.gov_charge_cells(cube.len())?;
-        Ok(GetOutcome { cube, used_view: left.used_view, rows_scanned })
+        Ok(GetOutcome { cube, used_view: left.used_view, rows_scanned, parallelism, morsels })
     }
 
     /// Executes two cube queries and **partially joins** them inside the
@@ -390,6 +596,8 @@ impl Engine {
         })?;
 
         let rows_scanned = left.rows_scanned + right.rows_scanned;
+        let parallelism = left.parallelism.max(right.parallelism);
+        let morsels = left.morsels + right.morsels;
         // Probe the benchmark side's group table directly — no separate
         // join index needs to be built.
         let right_table = &right.table;
@@ -435,7 +643,7 @@ impl Engine {
         let mut cube = DerivedCube::from_parts(left.schema, left.group_by, coord_cols, columns)?;
         cube.sort_by_coordinates();
         self.gov_charge_cells(cube.len())?;
-        Ok(GetOutcome { cube, used_view: left.used_view, rows_scanned })
+        Ok(GetOutcome { cube, used_view: left.used_view, rows_scanned, parallelism, morsels })
     }
 
     /// Executes one widened cube query and pivots it **inside the engine** —
@@ -479,6 +687,8 @@ impl Engine {
         let layout = internal.layout;
         let used_view = internal.used_view;
         let rows_scanned = internal.rows_scanned;
+        let parallelism = internal.parallelism;
+        let morsels = internal.morsels;
         // Probe the group table directly for neighbor slices — the pivot
         // needs no additional index.
         let table = &internal.table;
@@ -517,7 +727,7 @@ impl Engine {
             DerivedCube::from_parts(internal.schema, internal.group_by, coord_cols, columns)?;
         cube.sort_by_coordinates();
         self.gov_charge_cells(cube.len())?;
-        Ok(GetOutcome { cube, used_view, rows_scanned })
+        Ok(GetOutcome { cube, used_view, rows_scanned, parallelism, morsels })
     }
 
     /// Estimates the cost of a `get` without running it: the rows the chosen
@@ -610,71 +820,58 @@ impl Engine {
         schema: &Arc<CubeSchema>,
         layout: &KeyLayout,
         ops: &[AggOp],
-        view: &olap_storage::MaterializedAggregate,
+        view: &Arc<MaterializedAggregate>,
     ) -> Result<GetInternal, EngineError> {
         self.fault(FaultSite::DictLookup)?;
         let filter = CompiledFilter::compile(schema, &q.predicates, view.group_by().slots())?;
-        // Per included hierarchy of the query: the view coordinate column
+        // Per included hierarchy of the query: the view coordinate component
         // and the roll-up map from the view's level to the query's level.
-        let mut key_inputs: Vec<(&[MemberId], Vec<MemberId>)> = Vec::new();
+        let mut keys: Vec<(usize, Vec<MemberId>)> = Vec::new();
         for (hi, li) in q.group_by.included_hierarchies() {
             let view_level = view.group_by().slots()[hi].ok_or_else(|| {
                 EngineError::Unsupported("view does not carry a required hierarchy".into())
             })?;
             let comp = view.group_by().component_of(hi).expect("component exists");
             let h = schema.hierarchy(hi).expect("hierarchy in range");
-            key_inputs.push((&view.coord_cols()[comp], h.composed_map(view_level, li)?));
+            keys.push((comp, h.composed_map(view_level, li)?));
         }
-        let mut mask_inputs: Vec<(&[MemberId], &[bool])> = Vec::new();
+        let mut masks: Vec<(usize, Arc<[bool]>)> = Vec::new();
         for m in filter.masks() {
             let comp = view.group_by().component_of(m.hierarchy).ok_or_else(|| {
                 EngineError::Unsupported("view does not carry a predicated hierarchy".into())
             })?;
-            mask_inputs.push((&view.coord_cols()[comp], &m.mask));
+            masks.push((comp, m.mask.clone()));
         }
-        let measure_cols: Vec<&[f64]> = q
-            .measures
-            .iter()
-            .map(|m| {
-                view.measure(m)
-                    .ok_or_else(|| EngineError::Unsupported(format!("view lacks measure `{m}`")))
-            })
-            .collect::<Result<_, _>>()?;
+        let measures: Vec<usize> =
+            q.measures
+                .iter()
+                .map(|m| {
+                    view.measure_names().iter().position(|v| v == m).ok_or_else(|| {
+                        EngineError::Unsupported(format!("view lacks measure `{m}`"))
+                    })
+                })
+                .collect::<Result<_, _>>()?;
 
         let n = view.len();
         self.gov_charge_rows(n)?;
-        let mut table: GroupTable<u64> = GroupTable::new(ops);
-        let mut values = vec![0.0f64; measure_cols.len()];
-        'rows: for row in 0..n {
-            if row.is_multiple_of(CHECK_INTERVAL) {
-                self.gov_check()?;
-            }
-            for (coords, mask) in &mask_inputs {
-                if !mask[coords[row].index()] {
-                    continue 'rows;
-                }
-            }
-            let mut key = 0u64;
-            for (comp, (coords, rollmap)) in key_inputs.iter().enumerate() {
-                layout.pack_component(&mut key, comp, rollmap[coords[row].index()]);
-            }
-            if values.len() == 1 {
-                table.update1(key, measure_cols[0][row]);
-            } else {
-                for (v, col) in values.iter_mut().zip(&measure_cols) {
-                    *v = col[row];
-                }
-                table.update(key, &values);
-            }
-        }
+        let run = self.run_scan(ScanCtx {
+            source: ScanSource::View(view.clone()),
+            masks,
+            keys,
+            measures,
+            layout: layout.clone(),
+            ops: ops.to_vec(),
+        })?;
         Ok(GetInternal {
             schema: schema.clone(),
             group_by: q.group_by.clone(),
             layout: layout.clone(),
-            table,
+            table: run.table,
             measures: q.measures.clone(),
             used_view: Some(view.name().to_string()),
             rows_scanned: n,
+            parallelism: run.parallelism,
+            morsels: run.morsels,
         })
     }
 
@@ -691,69 +888,58 @@ impl Engine {
         let carrier: Vec<Option<usize>> = vec![Some(0); schema.hierarchies().len()];
         let filter = CompiledFilter::compile(schema, &q.predicates, &carrier)?;
 
-        let mut mask_inputs: Vec<(&[i64], &[bool])> = Vec::new();
+        // Resolve and type-check every column up front (borrowing — the
+        // old `require_numeric` copied each measure column per query), so
+        // workers can index into chunks infallibly.
+        let mut masks: Vec<(usize, Arc<[bool]>)> = Vec::new();
         for m in filter.masks() {
-            let fk = fact.require_i64(binding.fk_column(m.hierarchy))?;
-            mask_inputs.push((fk, &m.mask));
+            let name = binding.fk_column(m.hierarchy);
+            fact.require_i64(name)?;
+            let idx = fact.column_index(name).expect("require_i64 checked existence");
+            masks.push((idx, m.mask.clone()));
         }
-        let mut key_inputs: Vec<(&[i64], Vec<MemberId>)> = Vec::new();
+        let mut keys: Vec<(usize, Vec<MemberId>)> = Vec::new();
         for (hi, li) in q.group_by.included_hierarchies() {
-            let fk = fact.require_i64(binding.fk_column(hi))?;
+            let name = binding.fk_column(hi);
+            fact.require_i64(name)?;
+            let idx = fact.column_index(name).expect("require_i64 checked existence");
             let h = schema.hierarchy(hi).expect("hierarchy in range");
-            key_inputs.push((fk, h.composed_map(0, li)?));
+            keys.push((idx, h.composed_map(0, li)?));
         }
-        let measure_views: Vec<NumView<'_>> = q
-            .measures
-            .iter()
-            .map(|m| {
-                let col_name = binding.measure_column_by_name(m).ok_or_else(|| {
-                    EngineError::Model(olap_model::ModelError::UnknownMeasure(m.clone()))
-                })?;
-                let col = fact.require_column(col_name)?;
-                NumView::from_column(col).ok_or(EngineError::Unsupported(format!(
-                    "measure column `{col_name}` is not numeric"
-                )))
-            })
-            .collect::<Result<_, _>>()?;
-
-        let n = fact.n_rows();
-        let scan_range = |lo: usize, hi: usize| -> Result<GroupTable<u64>, EngineError> {
-            let mut table: GroupTable<u64> = GroupTable::new(ops);
-            let mut values = vec![0.0f64; measure_views.len()];
-            'rows: for row in lo..hi {
-                if (row - lo).is_multiple_of(CHECK_INTERVAL) {
-                    self.gov_check()?;
-                }
-                for (fks, mask) in &mask_inputs {
-                    if !mask[fks[row] as usize] {
-                        continue 'rows;
-                    }
-                }
-                let mut key = 0u64;
-                for (comp, (fks, rollmap)) in key_inputs.iter().enumerate() {
-                    layout.pack_component(&mut key, comp, rollmap[fks[row] as usize]);
-                }
-                if values.len() == 1 {
-                    table.update1(key, measure_views[0].get(row));
-                } else {
-                    for (v, mv) in values.iter_mut().zip(&measure_views) {
-                        *v = mv.get(row);
-                    }
-                    table.update(key, &values);
-                }
-            }
-            Ok(table)
-        };
+        let mut measures: Vec<usize> = Vec::new();
+        for m in &q.measures {
+            let col_name = binding.measure_column_by_name(m).ok_or_else(|| {
+                EngineError::Model(olap_model::ModelError::UnknownMeasure(m.clone()))
+            })?;
+            fact.numeric_slice(col_name).map_err(|_| {
+                EngineError::Unsupported(format!("measure column `{col_name}` is not numeric"))
+            })?;
+            measures.push(fact.column_index(col_name).expect("numeric_slice checked existence"));
+        }
 
         // Index fast path: a highly selective point predicate on a finest
         // level (e.g. `store = 'SmartMart'`) fetches the matching rows from
         // the foreign-key hash index — the paper's B-tree-indexed keys —
-        // instead of scanning the whole fact table.
+        // instead of scanning the whole fact table. The row set is sparse,
+        // so this path stays serial and row-at-a-time.
         if self.config.use_indexes {
             if let Some(rows) = self.index_row_set(q, &fact, binding)? {
                 self.gov_charge_rows(rows.len())?;
+                let cols = fact.columns();
+                let mask_inputs: Vec<(&[i64], &[bool])> = masks
+                    .iter()
+                    .map(|(idx, m)| (cols[*idx].as_i64().expect("validated"), &**m))
+                    .collect();
+                let key_inputs: Vec<(&[i64], &[MemberId])> = keys
+                    .iter()
+                    .map(|(idx, roll)| (cols[*idx].as_i64().expect("validated"), roll.as_slice()))
+                    .collect();
+                let measure_slices: Vec<NumericSlice<'_>> = measures
+                    .iter()
+                    .map(|idx| NumericSlice::from_column(&cols[*idx]).expect("validated"))
+                    .collect();
                 let mut table: GroupTable<u64> = GroupTable::new(ops);
-                let mut values = vec![0.0f64; measure_views.len()];
+                let mut values = vec![0.0f64; measure_slices.len()];
                 let rows_scanned = rows.len();
                 'rows: for (i, &row) in rows.iter().enumerate() {
                     if i.is_multiple_of(CHECK_INTERVAL) {
@@ -770,9 +956,9 @@ impl Engine {
                         layout.pack_component(&mut key, comp, rollmap[fks[row] as usize]);
                     }
                     if values.len() == 1 {
-                        table.update1(key, measure_views[0].get(row));
+                        table.update1(key, measure_slices[0].get(row));
                     } else {
-                        for (v, mv) in values.iter_mut().zip(&measure_views) {
+                        for (v, mv) in values.iter_mut().zip(&measure_slices) {
                             *v = mv.get(row);
                         }
                         table.update(key, &values);
@@ -786,47 +972,33 @@ impl Engine {
                     measures: q.measures.clone(),
                     used_view: None,
                     rows_scanned,
+                    parallelism: 1,
+                    morsels: 0,
                 });
             }
         }
 
         self.fault(FaultSite::Scan)?;
+        let n = fact.n_rows();
         self.gov_charge_rows(n)?;
-        let table = if self.config.parallel && n >= self.config.parallel_threshold {
-            let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
-            let chunk = n.div_ceil(threads);
-            let partials = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|t| {
-                        let lo = t * chunk;
-                        let hi = ((t + 1) * chunk).min(n);
-                        let scan = &scan_range;
-                        scope.spawn(move || scan(lo, hi))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("scan thread"))
-                    .collect::<Result<Vec<_>, EngineError>>()
-            })?;
-            let mut iter = partials.into_iter();
-            let mut merged = iter.next().unwrap_or_else(|| GroupTable::new(ops));
-            for p in iter {
-                merged.merge(p);
-            }
-            merged
-        } else {
-            scan_range(0, n)?
-        };
-
+        let run = self.run_scan(ScanCtx {
+            source: ScanSource::Fact(fact.clone()),
+            masks,
+            keys,
+            measures,
+            layout: layout.clone(),
+            ops: ops.to_vec(),
+        })?;
         Ok(GetInternal {
             schema: schema.clone(),
             group_by: q.group_by.clone(),
             layout: layout.clone(),
-            table,
+            table: run.table,
             measures: q.measures.clone(),
             used_view: None,
             rows_scanned: n,
+            parallelism: run.parallelism,
+            morsels: run.morsels,
         })
     }
 
@@ -888,8 +1060,17 @@ fn check_joinable(left: &GetInternal, right: &GetInternal) -> Result<(), EngineE
 
 /// Materializes the internal representation into a sorted derived cube.
 fn materialize(internal: GetInternal) -> GetOutcome {
-    let GetInternal { schema, group_by, layout, table, measures, used_view, rows_scanned } =
-        internal;
+    let GetInternal {
+        schema,
+        group_by,
+        layout,
+        table,
+        measures,
+        used_view,
+        rows_scanned,
+        parallelism,
+        morsels,
+    } = internal;
     let (keys, cols) = table.finish();
     let arity = group_by.arity();
     let mut coord_cols: Vec<Vec<MemberId>> =
@@ -907,7 +1088,7 @@ fn materialize(internal: GetInternal) -> GetOutcome {
     let mut cube = DerivedCube::from_parts(schema, group_by, coord_cols, columns)
         .expect("engine-produced columns are consistent");
     cube.sort_by_coordinates();
-    GetOutcome { cube, used_view, rows_scanned }
+    GetOutcome { cube, used_view, rows_scanned, parallelism, morsels }
 }
 
 /// Convenience used by tests and the assess runtime: the coordinate of a

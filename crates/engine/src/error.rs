@@ -33,6 +33,9 @@ pub enum EngineError {
     /// A deterministic test fault injected by a
     /// [`FaultInjector`](crate::fault::FaultInjector).
     FaultInjected { site: FaultSite, ordinal: u64 },
+    /// A parallel scan worker panicked; the panic was contained at the
+    /// pool boundary and the scan failed cleanly.
+    WorkerPanicked,
 }
 
 impl fmt::Display for EngineError {
@@ -50,6 +53,7 @@ impl fmt::Display for EngineError {
             EngineError::FaultInjected { site, ordinal } => {
                 write!(f, "injected fault at {site} #{ordinal}")
             }
+            EngineError::WorkerPanicked => write!(f, "a parallel scan worker panicked"),
         }
     }
 }

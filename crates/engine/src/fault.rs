@@ -34,11 +34,20 @@ pub enum FaultSite {
     ViewMatch,
     /// Dictionary/member resolution while compiling predicates.
     DictLookup,
+    /// One claimed morsel of a (possibly parallel) scan. Checked with the
+    /// morsel index as the ordinal so the schedule does not depend on
+    /// thread interleaving.
+    Morsel,
 }
 
 impl FaultSite {
-    pub const ALL: [FaultSite; 4] =
-        [FaultSite::Scan, FaultSite::IndexProbe, FaultSite::ViewMatch, FaultSite::DictLookup];
+    pub const ALL: [FaultSite; 5] = [
+        FaultSite::Scan,
+        FaultSite::IndexProbe,
+        FaultSite::ViewMatch,
+        FaultSite::DictLookup,
+        FaultSite::Morsel,
+    ];
 
     fn index(self) -> usize {
         match self {
@@ -46,13 +55,14 @@ impl FaultSite {
             FaultSite::IndexProbe => 1,
             FaultSite::ViewMatch => 2,
             FaultSite::DictLookup => 3,
+            FaultSite::Morsel => 4,
         }
     }
 
     fn salt(self) -> u64 {
         // Arbitrary distinct constants so sites draw independent schedules
         // from one seed.
-        [0x5CA4_0001, 0x1DE8_0002, 0x71E3_0003, 0xD1C7_0004][self.index()]
+        [0x5CA4_0001, 0x1DE8_0002, 0x71E3_0003, 0xD1C7_0004, 0x3A8F_0005][self.index()]
     }
 }
 
@@ -63,6 +73,7 @@ impl fmt::Display for FaultSite {
             FaultSite::IndexProbe => write!(f, "index probe"),
             FaultSite::ViewMatch => write!(f, "view match"),
             FaultSite::DictLookup => write!(f, "dictionary lookup"),
+            FaultSite::Morsel => write!(f, "morsel"),
         }
     }
 }
@@ -84,7 +95,7 @@ pub struct FaultInjector {
     /// Targeted faults: `(site, ordinal)` pairs that always fail.
     targeted: Vec<(FaultSite, u64)>,
     /// Per-site invocation counters (ordinals are 0-based).
-    counters: [AtomicU64; 4],
+    counters: [AtomicU64; 5],
     trips: AtomicU64,
 }
 
@@ -119,6 +130,22 @@ impl FaultInjector {
     /// run. Deterministically decides whether this invocation fails.
     pub fn check(&self, site: FaultSite) -> Result<(), EngineError> {
         let ordinal = self.counters[site.index()].fetch_add(1, Ordering::Relaxed);
+        self.decide(site, ordinal)
+    }
+
+    /// Trigger point with an explicitly supplied ordinal, for sites whose
+    /// invocations have a natural index of their own. The parallel scan
+    /// driver numbers [`FaultSite::Morsel`] checks by morsel index, so the
+    /// fault schedule is a function of the data layout — identical however
+    /// many threads interleave their claims. The shared invocation counter
+    /// still advances (for [`Self::invocations`]) but does not pick the
+    /// ordinal.
+    pub fn check_at(&self, site: FaultSite, ordinal: u64) -> Result<(), EngineError> {
+        self.counters[site.index()].fetch_add(1, Ordering::Relaxed);
+        self.decide(site, ordinal)
+    }
+
+    fn decide(&self, site: FaultSite, ordinal: u64) -> Result<(), EngineError> {
         let scheduled = splitmix64(self.seed ^ site.salt() ^ ordinal) < self.threshold;
         let targeted = self.targeted.iter().any(|&(s, n)| s == site && n == ordinal);
         if scheduled || targeted {
@@ -174,6 +201,19 @@ mod tests {
         assert_ne!(schedule(7), schedule(8), "different seeds should differ");
         let fired = schedule(7).iter().filter(|&&b| b).count();
         assert!(fired > 5 && fired < 40, "rate 0.3 fired {fired}/64 times");
+    }
+
+    #[test]
+    fn explicit_ordinals_ignore_arrival_order() {
+        let f = FaultInjector::targeted().fail_nth(FaultSite::Morsel, 2);
+        // Morsels checked out of order (as parallel claims may complete):
+        // only the morsel with the targeted index fails, however late it
+        // arrives and whatever was checked before it.
+        f.check_at(FaultSite::Morsel, 5).unwrap();
+        f.check_at(FaultSite::Morsel, 0).unwrap();
+        assert!(f.check_at(FaultSite::Morsel, 2).is_err());
+        assert_eq!(f.invocations(FaultSite::Morsel), 3);
+        assert_eq!(f.trip_count(), 1);
     }
 
     #[test]

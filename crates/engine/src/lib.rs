@@ -24,6 +24,11 @@
 //!   (the Join-Optimized Plan, Listing 4);
 //! * [`Engine::get_pivot`] — one widened cube query pivoted inside the
 //!   engine (the Pivot-Optimized Plan, Listing 5).
+//!
+//! All three run their scans through the morsel-driven pipeline
+//! ([`pool`]): tables are split into fixed-size chunks, a shared
+//! [`WorkerPool`] executes them, and partial aggregates merge in morsel
+//! order so results are byte-identical at every thread count.
 
 pub mod aggregate;
 pub mod engine;
@@ -31,6 +36,7 @@ pub mod error;
 pub mod fault;
 pub mod governor;
 pub mod key;
+pub mod pool;
 pub mod predicate;
 pub mod sqlgen;
 pub(crate) mod wide;
@@ -40,3 +46,4 @@ pub use error::EngineError;
 pub use fault::{FaultInjector, FaultSite};
 pub use governor::{CancelToken, ResourceGovernor, ResourceKind};
 pub use key::KeyLayout;
+pub use pool::{PoolStats, WorkerPool};

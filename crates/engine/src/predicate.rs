@@ -9,18 +9,23 @@
 //! join-index strategy of columnar OLAP engines and stands in for the
 //! B-tree-indexed star joins of the paper's Oracle setup.
 
-use olap_model::{CubeSchema, Predicate};
+use std::sync::Arc;
+
+use olap_model::{CubeSchema, MemberId, Predicate};
 
 use crate::error::EngineError;
 
 /// One compiled mask: which members of the carrier level of a hierarchy
 /// satisfy all predicates on that hierarchy.
+///
+/// The mask is shared (`Arc`) so a parallel scan context can hold it
+/// without copying the domain bitmap per worker.
 #[derive(Debug, Clone)]
 pub struct HierarchyMask {
     /// Hierarchy index within the schema.
     pub hierarchy: usize,
     /// Allowed members of the carrier level (indexed by member id).
-    pub mask: Vec<bool>,
+    pub mask: Arc<[bool]>,
 }
 
 /// The conjunction of all compiled predicate masks of a query.
@@ -39,7 +44,9 @@ impl CompiledFilter {
         predicates: &[Predicate],
         carrier_levels: &[Option<usize>],
     ) -> Result<Self, EngineError> {
-        let mut masks: Vec<HierarchyMask> = Vec::new();
+        // Build with plain vectors (same-hierarchy predicates AND into an
+        // existing mask), then freeze into shared slices.
+        let mut building: Vec<(usize, Vec<bool>)> = Vec::new();
         for pred in predicates {
             let carrier =
                 carrier_levels.get(pred.hierarchy).copied().flatten().ok_or_else(|| {
@@ -65,14 +72,18 @@ impl CompiledFilter {
             let rollmap = h.composed_map(carrier, pred.level)?;
             let mask: Vec<bool> = rollmap.iter().map(|parent| pred.matches(*parent)).collect();
             // AND with an existing mask on the same hierarchy, if any.
-            if let Some(existing) = masks.iter_mut().find(|m| m.hierarchy == pred.hierarchy) {
-                for (slot, allowed) in existing.mask.iter_mut().zip(mask.iter()) {
+            if let Some((_, existing)) = building.iter_mut().find(|(h, _)| *h == pred.hierarchy) {
+                for (slot, allowed) in existing.iter_mut().zip(mask.iter()) {
                     *slot = *slot && *allowed;
                 }
             } else {
-                masks.push(HierarchyMask { hierarchy: pred.hierarchy, mask });
+                building.push((pred.hierarchy, mask));
             }
         }
+        let masks = building
+            .into_iter()
+            .map(|(hierarchy, mask)| HierarchyMask { hierarchy, mask: mask.into() })
+            .collect();
         Ok(CompiledFilter { masks })
     }
 
@@ -99,6 +110,56 @@ impl CompiledFilter {
                 }
             })
             .product()
+    }
+}
+
+/// A column of mask-domain ids: fact rows carry finest-level foreign keys,
+/// view rows carry coordinates at the view's own level. One selection and
+/// one aggregation kernel serve both by abstracting the id read.
+#[derive(Debug, Clone, Copy)]
+pub enum IdColumn<'a> {
+    /// Foreign keys of a fact-table chunk (member ids stored as `i64`).
+    Fks(&'a [i64]),
+    /// Coordinates of a materialized-view chunk.
+    Coords(&'a [MemberId]),
+}
+
+impl IdColumn<'_> {
+    /// The domain id at chunk-local `row`.
+    #[inline]
+    pub fn id(&self, row: usize) -> usize {
+        match self {
+            IdColumn::Fks(v) => v[row] as usize,
+            IdColumn::Coords(v) => v[row].index(),
+        }
+    }
+
+    /// Rows in the chunk.
+    pub fn len(&self) -> usize {
+        match self {
+            IdColumn::Fks(v) => v.len(),
+            IdColumn::Coords(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The predicate kernel: evaluates the conjunction of `masks` over the
+/// `len` rows of a chunk, filling `sel` with the chunk-local ids of the
+/// rows that pass. `sel` is cleared first so callers can reuse one buffer
+/// across morsels.
+pub fn select_into(sel: &mut Vec<u32>, len: usize, masks: &[(IdColumn<'_>, &[bool])]) {
+    sel.clear();
+    'rows: for row in 0..len {
+        for (col, mask) in masks {
+            if !mask[col.id(row)] {
+                continue 'rows;
+            }
+        }
+        sel.push(row as u32);
     }
 }
 
@@ -129,7 +190,7 @@ mod tests {
         let f = CompiledFilter::compile(&s, &[p], &[Some(0), Some(0)]).unwrap();
         assert_eq!(f.masks().len(), 1);
         assert_eq!(f.masks()[0].hierarchy, 0);
-        assert_eq!(f.masks()[0].mask, vec![true, true, false]);
+        assert_eq!(&*f.masks()[0].mask, [true, true, false]);
     }
 
     #[test]
@@ -139,7 +200,7 @@ mod tests {
         let p2 = Predicate::eq(&s, "type", "Fresh Fruit").unwrap();
         let f = CompiledFilter::compile(&s, &[p1, p2], &[Some(0), Some(0)]).unwrap();
         assert_eq!(f.masks().len(), 1);
-        assert_eq!(f.masks()[0].mask, vec![true, false, false]);
+        assert_eq!(&*f.masks()[0].mask, [true, false, false]);
     }
 
     #[test]
@@ -173,6 +234,32 @@ mod tests {
         let s = schema();
         let p = Predicate::eq(&s, "country", "France").unwrap();
         let f = CompiledFilter::compile(&s, &[p], &[Some(0), Some(1)]).unwrap();
-        assert_eq!(f.masks()[0].mask, vec![false, true]);
+        assert_eq!(&*f.masks()[0].mask, [false, true]);
+    }
+
+    #[test]
+    fn select_kernel_matches_per_row_evaluation() {
+        use olap_model::MemberId;
+        let fks: Vec<i64> = vec![0, 1, 2, 0, 2, 1];
+        let coords: Vec<MemberId> = fks.iter().map(|&k| MemberId(k as u32)).collect();
+        let product_mask = [true, false, true]; // members 0 and 2 pass
+        let mut sel = Vec::new();
+        select_into(&mut sel, fks.len(), &[(IdColumn::Fks(&fks), &product_mask)]);
+        assert_eq!(sel, vec![0, 2, 3, 4]);
+        // The view-side id column selects identically.
+        let mut sel_view = Vec::new();
+        select_into(&mut sel_view, coords.len(), &[(IdColumn::Coords(&coords), &product_mask)]);
+        assert_eq!(sel_view, sel);
+        // Conjunction of two masks.
+        let second = [false, true, true];
+        select_into(
+            &mut sel,
+            fks.len(),
+            &[(IdColumn::Fks(&fks), &product_mask), (IdColumn::Fks(&fks), &second)],
+        );
+        assert_eq!(sel, vec![2, 4]);
+        // No masks → everything passes; buffer reuse clears stale content.
+        select_into(&mut sel, 3, &[]);
+        assert_eq!(sel, vec![0, 1, 2]);
     }
 }

@@ -5,23 +5,28 @@
 //! levels) fall back to this module, which aggregates with boxed
 //! [`Coordinate`] keys. Only plain `get` takes this path — the fused
 //! join/pivot operators keep requiring packed keys, which every realistic
-//! assess group-by satisfies.
+//! assess group-by satisfies. The scan is chunked through the same
+//! [`DataChunk`](olap_storage::DataChunk)/[`select_into`] machinery as the
+//! packed paths but stays serial: boxed keys allocate per row, so the scan
+//! is allocator-bound and does not profit from helpers.
 
 use std::sync::Arc;
 
 use olap_model::{
     AggOp, Coordinate, CubeColumn, CubeQuery, CubeSchema, DerivedCube, MemberId, NumericColumn,
 };
+use olap_storage::NumericSlice;
 
-use crate::aggregate::{GroupTable, NumView};
+use crate::aggregate::GroupTable;
 use crate::engine::GetOutcome;
 use crate::error::EngineError;
-use crate::predicate::CompiledFilter;
+use crate::predicate::{select_into, CompiledFilter, IdColumn};
 
 /// Executes a get with wide (boxed) keys, straight to a materialized cube.
 pub(crate) fn get_wide(
     catalog: &olap_storage::Catalog,
     q: &CubeQuery,
+    morsel_rows: usize,
 ) -> Result<GetOutcome, EngineError> {
     let binding = catalog.binding(&q.cube)?;
     let schema: Arc<CubeSchema> = binding.schema().clone();
@@ -35,52 +40,71 @@ pub(crate) fn get_wide(
     let carrier: Vec<Option<usize>> = vec![Some(0); schema.hierarchies().len()];
     let filter = CompiledFilter::compile(&schema, &q.predicates, &carrier)?;
 
-    let mut mask_inputs: Vec<(&[i64], &[bool])> = Vec::new();
+    let mut mask_cols: Vec<(usize, &[bool])> = Vec::new();
     for m in filter.masks() {
-        let fk = fact.require_i64(binding.fk_column(m.hierarchy))?;
-        mask_inputs.push((fk, &m.mask));
+        let name = binding.fk_column(m.hierarchy);
+        fact.require_i64(name)?;
+        let idx = fact.column_index(name).expect("require_i64 checked existence");
+        mask_cols.push((idx, &m.mask));
     }
-    let mut key_inputs: Vec<(&[i64], Vec<MemberId>)> = Vec::new();
+    let mut key_cols: Vec<(usize, Vec<MemberId>)> = Vec::new();
     for (hi, li) in q.group_by.included_hierarchies() {
-        let fk = fact.require_i64(binding.fk_column(hi))?;
+        let name = binding.fk_column(hi);
+        fact.require_i64(name)?;
+        let idx = fact.column_index(name).expect("require_i64 checked existence");
         let h = schema.hierarchy(hi).expect("hierarchy in range");
-        key_inputs.push((fk, h.composed_map(0, li)?));
+        key_cols.push((idx, h.composed_map(0, li)?));
     }
-    let measure_views: Vec<NumView<'_>> = q
-        .measures
-        .iter()
-        .map(|m| {
-            let col_name = binding.measure_column_by_name(m).ok_or_else(|| {
-                EngineError::Model(olap_model::ModelError::UnknownMeasure(m.clone()))
-            })?;
-            let col = fact.require_column(col_name)?;
-            NumView::from_column(col).ok_or(EngineError::Unsupported(format!(
-                "measure column `{col_name}` is not numeric"
-            )))
-        })
-        .collect::<Result<_, _>>()?;
+    let mut measure_cols: Vec<usize> = Vec::new();
+    for m in &q.measures {
+        let col_name = binding
+            .measure_column_by_name(m)
+            .ok_or_else(|| EngineError::Model(olap_model::ModelError::UnknownMeasure(m.clone())))?;
+        fact.numeric_slice(col_name).map_err(|_| {
+            EngineError::Unsupported(format!("measure column `{col_name}` is not numeric"))
+        })?;
+        measure_cols.push(fact.column_index(col_name).expect("numeric_slice checked existence"));
+    }
 
     let n = fact.n_rows();
     let mut table: GroupTable<Coordinate> = GroupTable::new(&ops);
-    let mut values = vec![0.0f64; measure_views.len()];
-    let mut key_buf: Vec<MemberId> = vec![MemberId(0); key_inputs.len()];
-    'rows: for row in 0..n {
-        for (fks, mask) in &mask_inputs {
-            if !mask[fks[row] as usize] {
-                continue 'rows;
+    let mut values = vec![0.0f64; measure_cols.len()];
+    let mut key_buf: Vec<MemberId> = vec![MemberId(0); key_cols.len()];
+    let mut sel: Vec<u32> = Vec::new();
+    let mut morsels = 0usize;
+    for chunk in fact.morsels(morsel_rows) {
+        morsels += 1;
+        let masks: Vec<(IdColumn<'_>, &[bool])> = mask_cols
+            .iter()
+            .map(|(idx, m)| (IdColumn::Fks(chunk.i64_at(*idx).expect("validated fk column")), *m))
+            .collect();
+        let keys: Vec<(IdColumn<'_>, &[MemberId])> = key_cols
+            .iter()
+            .map(|(idx, roll)| {
+                (IdColumn::Fks(chunk.i64_at(*idx).expect("validated fk column")), roll.as_slice())
+            })
+            .collect();
+        let measures: Vec<NumericSlice<'_>> = measure_cols
+            .iter()
+            .map(|idx| chunk.numeric_at(*idx).expect("validated measure column"))
+            .collect();
+        // With no masks `select_into` passes every row; the extra selection
+        // vector is noise next to the per-row key allocation below.
+        select_into(&mut sel, chunk.len(), &masks);
+        for &local in &sel {
+            let row = local as usize;
+            for (slot, (col, rollmap)) in key_buf.iter_mut().zip(&keys) {
+                *slot = rollmap[col.id(row)];
             }
-        }
-        for (slot, (fks, rollmap)) in key_buf.iter_mut().zip(&key_inputs) {
-            *slot = rollmap[fks[row] as usize];
-        }
-        let key = Coordinate::new(key_buf.clone());
-        if values.len() == 1 {
-            table.update1(key, measure_views[0].get(row));
-        } else {
-            for (v, mv) in values.iter_mut().zip(&measure_views) {
-                *v = mv.get(row);
+            let key = Coordinate::new(key_buf.clone());
+            if values.len() == 1 {
+                table.update1(key, measures[0].get(row));
+            } else {
+                for (v, mv) in values.iter_mut().zip(&measures) {
+                    *v = mv.get(row);
+                }
+                table.update(key, &values);
             }
-            table.update(key, &values);
         }
     }
 
@@ -101,5 +125,5 @@ pub(crate) fn get_wide(
         .collect();
     let mut cube = DerivedCube::from_parts(schema, q.group_by.clone(), coord_cols, columns)?;
     cube.sort_by_coordinates();
-    Ok(GetOutcome { cube, used_view: None, rows_scanned: n })
+    Ok(GetOutcome { cube, used_view: None, rows_scanned: n, parallelism: 1, morsels })
 }

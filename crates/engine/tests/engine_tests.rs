@@ -177,15 +177,23 @@ fn sparsity_cells_without_facts_are_absent() {
 fn parallel_scan_equals_sequential() {
     let (catalog, schema) = build_catalog();
     let seq = Engine::new(catalog.clone());
+    let pool = std::sync::Arc::new(olap_engine::WorkerPool::new(3));
     let par = Engine::with_config(
         catalog,
-        EngineConfig { parallel: true, parallel_threshold: 1, ..EngineConfig::default() },
-    );
+        EngineConfig {
+            morsel_rows: 2,
+            max_threads: 4,
+            parallel_threshold: 1,
+            ..EngineConfig::default()
+        },
+    )
+    .with_worker_pool(pool);
     let g = GroupBySet::from_level_names(&schema, &["product", "country"]).unwrap();
     let q = CubeQuery::new("SALES", g, vec![], vec!["quantity".into()]);
     let a = seq.get(&q).unwrap();
     let b = par.get(&q).unwrap();
     assert_eq!(rows_of(&a.cube, "quantity"), rows_of(&b.cube, "quantity"));
+    assert!(b.morsels > 1, "tiny morsels should split the scan");
 }
 
 #[test]

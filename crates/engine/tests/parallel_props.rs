@@ -1,0 +1,356 @@
+//! Equivalence suite for the morsel-driven parallel pipeline: for every
+//! strategy, benchmark type and thread count, a parallel run must produce a
+//! result **byte-identical** to the serial one — same CSV text, same error
+//! variants under resource budgets and injected faults. The fixture is
+//! deliberately larger than one morsel (tiny `morsel_rows`) so the pool
+//! actually splits every scan.
+
+use std::sync::Arc;
+
+use assess_core::ast::AssessStatement;
+use assess_core::exec::AssessRunner;
+use assess_core::plan::Strategy;
+use assess_core::{AssessError, ExecutionPolicy};
+use olap_engine::{Engine, EngineConfig, EngineError, FaultInjector, ResourceKind, WorkerPool};
+use olap_model::{AggOp, CubeSchema, HierarchyBuilder, MeasureDef};
+use olap_storage::{binding::DimInfo, Catalog, Column, CubeBinding, Table};
+use proptest::prelude::*;
+
+/// Morsel size used throughout: small enough that even this fixture spans
+/// dozens of morsels.
+const MORSEL: usize = 7;
+
+/// The SALES cube of the core tests (products Apple/Pear/Milk, stores
+/// S1=Italy / S2=France, months m0..m5) padded with `extra` LCG-generated
+/// rows so scans span many morsels.
+fn catalog(seed: u64, extra: usize) -> Arc<Catalog> {
+    let mut product = HierarchyBuilder::new("Product", ["product", "type"]);
+    product.add_member_chain(&["Apple", "Fresh Fruit"]).unwrap();
+    product.add_member_chain(&["Pear", "Fresh Fruit"]).unwrap();
+    product.add_member_chain(&["Milk", "Dairy"]).unwrap();
+    let mut store = HierarchyBuilder::new("Store", ["store", "country"]);
+    store.add_member_chain(&["S1", "Italy"]).unwrap();
+    store.add_member_chain(&["S2", "France"]).unwrap();
+    let mut date = HierarchyBuilder::new("Date", ["month"]);
+    for i in 0..6 {
+        date.add_member_chain(&[format!("m{i}")]).unwrap();
+    }
+    let schema = Arc::new(CubeSchema::new(
+        "SALES",
+        vec![product.build().unwrap(), store.build().unwrap(), date.build().unwrap()],
+        vec![MeasureDef::new("quantity", AggOp::Sum)],
+    ));
+
+    let mut rows: Vec<(i64, i64, i64, f64)> = Vec::new();
+    for i in 0..6i64 {
+        rows.push((0, 0, i, 10.0 * (i as f64 + 1.0)));
+        rows.push((1, 0, i, 7.0));
+        rows.push((0, 1, i, 20.0 + i as f64));
+    }
+    rows.push((2, 0, 5, 4.0));
+    rows.push((1, 1, 0, 3.0));
+    // Deterministic padding: a different fact table per proptest case.
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    for _ in 0..extra {
+        let p = (next() % 3) as i64;
+        let s = (next() % 2) as i64;
+        let m = (next() % 6) as i64;
+        let q = (next() % 500) as f64 / 4.0;
+        rows.push((p, s, m, q));
+    }
+
+    let fact = Table::new(
+        "sales",
+        vec![
+            Column::i64("pkey", rows.iter().map(|r| r.0).collect()),
+            Column::i64("skey", rows.iter().map(|r| r.1).collect()),
+            Column::i64("mkey", rows.iter().map(|r| r.2).collect()),
+            Column::f64("quantity", rows.iter().map(|r| r.3).collect()),
+        ],
+    )
+    .unwrap();
+    let binding = CubeBinding::new(
+        schema,
+        &fact,
+        vec!["pkey".into(), "skey".into(), "mkey".into()],
+        vec!["quantity".into()],
+        vec![
+            DimInfo {
+                table: "product".into(),
+                pk: "pkey".into(),
+                level_columns: vec!["pkey".into(), "type".into()],
+            },
+            DimInfo {
+                table: "store".into(),
+                pk: "skey".into(),
+                level_columns: vec!["skey".into(), "country".into()],
+            },
+            DimInfo {
+                table: "dates".into(),
+                pk: "mkey".into(),
+                level_columns: vec!["month".into()],
+            },
+        ],
+    )
+    .unwrap();
+    let cat = Arc::new(Catalog::new());
+    cat.register_table(fact);
+    cat.register_binding("SALES", binding);
+    cat
+}
+
+/// One statement per benchmark type of Section 4.1.
+fn intentions() -> Vec<(&'static str, AssessStatement)> {
+    vec![
+        (
+            "constant",
+            AssessStatement::on("SALES")
+                .by(["country"])
+                .assess("quantity")
+                .against_constant(200.0)
+                .labels_named("quartiles")
+                .build(),
+        ),
+        (
+            "external",
+            AssessStatement::on("SALES")
+                .by(["country"])
+                .assess("quantity")
+                .against_external("SALES", "quantity")
+                .labels_named("quartiles")
+                .build(),
+        ),
+        (
+            "sibling",
+            AssessStatement::on("SALES")
+                .slice("country", "Italy")
+                .by(["product", "country"])
+                .assess("quantity")
+                .against_sibling("country", "France")
+                .labels_named("quartiles")
+                .build(),
+        ),
+        (
+            "past",
+            AssessStatement::on("SALES")
+                .slice("month", "m5")
+                .by(["month", "country"])
+                .assess("quantity")
+                .against_past(3)
+                .labels_named("quartiles")
+                .build(),
+        ),
+    ]
+}
+
+/// An engine whose every scan is eligible for parallelism (threshold 1,
+/// tiny morsels), capped at `threads` and drawing from `pool`.
+fn engine_with(cat: &Arc<Catalog>, pool: &Arc<WorkerPool>, threads: usize) -> Engine {
+    let config = EngineConfig {
+        morsel_rows: MORSEL,
+        max_threads: threads,
+        parallel_threshold: 1,
+        ..EngineConfig::default()
+    };
+    Engine::with_config(cat.clone(), config).with_worker_pool(pool.clone())
+}
+
+fn runner_with(cat: &Arc<Catalog>, pool: &Arc<WorkerPool>, threads: usize) -> AssessRunner {
+    AssessRunner::new(engine_with(cat, pool, threads))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Tentpole invariant: for every benchmark type and feasible strategy,
+    /// the assessed cube renders to the *same bytes* at 1, 2 and 8 threads.
+    #[test]
+    fn parallel_runs_are_byte_identical(seed in any::<u64>(), extra in 64usize..512) {
+        let cat = catalog(seed, extra);
+        let pool = Arc::new(WorkerPool::new(7));
+        for (name, stmt) in intentions() {
+            for strategy in
+                [Strategy::Naive, Strategy::JoinOptimized, Strategy::PivotOptimized]
+            {
+                let serial = match runner_with(&cat, &pool, 1).run(&stmt, strategy) {
+                    Ok((cube, _)) => cube.to_csv(),
+                    Err(AssessError::InfeasibleStrategy { .. }) => continue,
+                    Err(e) => return Err(TestCaseError::fail(
+                        format!("{name}/{strategy}: serial run failed: {e}"),
+                    )),
+                };
+                for threads in [2, 8] {
+                    let (cube, report) = runner_with(&cat, &pool, threads)
+                        .run(&stmt, strategy)
+                        .unwrap_or_else(|e| panic!("{name}/{strategy}@{threads}: {e}"));
+                    prop_assert_eq!(
+                        &serial,
+                        &cube.to_csv(),
+                        "{}/{} diverged at {} threads (seed {})",
+                        name, strategy, threads, seed
+                    );
+                    prop_assert!(
+                        report.parallelism.total_morsels() > 1,
+                        "{}/{} did not split into morsels", name, strategy
+                    );
+                }
+            }
+        }
+    }
+
+    /// A rows-scanned budget trips identically — same error variant, same
+    /// limit — no matter how many threads the scan fans out over, and a
+    /// generous budget changes nothing about the bytes.
+    #[test]
+    fn governor_budget_is_thread_count_invariant(
+        seed in any::<u64>(),
+        budget in 1u64..200,
+    ) {
+        let cat = catalog(seed, 256);
+        let pool = Arc::new(WorkerPool::new(7));
+        let (name, stmt) = intentions().remove(2);
+        let outcome_at = |threads: usize| {
+            runner_with(&cat, &pool, threads)
+                .with_policy(ExecutionPolicy::new().with_max_rows_scanned(budget))
+                .run_auto(&stmt)
+        };
+        let serial = outcome_at(1);
+        for threads in [2, 8] {
+            match (&serial, &outcome_at(threads)) {
+                (Ok((a, _)), Ok((b, _))) => prop_assert_eq!(a.to_csv(), b.to_csv()),
+                (
+                    Err(AssessError::BudgetExceeded { resource: ra, limit: la, .. }),
+                    Err(AssessError::BudgetExceeded { resource: rb, limit: lb, .. }),
+                ) => {
+                    prop_assert_eq!(ra, rb, "{} budget resource diverged", name);
+                    prop_assert_eq!(la, lb, "{} budget limit diverged", name);
+                }
+                (a, b) => prop_assert!(
+                    false,
+                    "{} budget {} outcome diverged at {} threads: serial ok={} parallel ok={}",
+                    name, budget, threads, a.is_ok(), b.is_ok()
+                ),
+            }
+        }
+    }
+
+    /// Randomized fault schedules produce the same outcome — identical
+    /// bytes on recovery, identical error text on exhaustion — serially
+    /// and at 8 threads. Faults must cross the pool boundary as typed
+    /// errors, never as panics.
+    #[test]
+    fn fault_injection_is_thread_count_invariant(seed in any::<u64>()) {
+        let cat = catalog(seed, 256);
+        let pool = Arc::new(WorkerPool::new(7));
+        let rate = 0.02 + (seed % 32) as f64 / 32.0 * 0.7;
+        for (name, stmt) in intentions() {
+            let outcome_at = |threads: usize| {
+                let engine = engine_with(&cat, &pool, threads)
+                    .with_fault_injector(Arc::new(FaultInjector::with_rate(seed, rate)));
+                AssessRunner::new(engine).run_auto(&stmt)
+            };
+            match (outcome_at(1), outcome_at(8)) {
+                (Ok((a, _)), Ok((b, _))) => prop_assert_eq!(
+                    a.to_csv(), b.to_csv(), "{} recovered differently", name
+                ),
+                (Err(ea), Err(eb)) => {
+                    prop_assert!(
+                        matches!(ea, AssessError::Engine(EngineError::FaultInjected { .. })),
+                        "{} serial error not the injected fault: {:?}", name, ea
+                    );
+                    prop_assert_eq!(
+                        format!("{ea}"), format!("{eb}"),
+                        "{} error text diverged", name
+                    );
+                }
+                (a, b) => prop_assert!(
+                    false,
+                    "{} fault outcome diverged: serial ok={} parallel ok={}",
+                    name, a.is_ok(), b.is_ok()
+                ),
+            }
+        }
+    }
+}
+
+/// The degree of parallelism is observable: the report's stage parallelism
+/// reaches beyond one thread exactly when the cap allows it.
+#[test]
+fn report_records_parallelism_per_stage() {
+    let cat = catalog(42, 300);
+    let pool = Arc::new(WorkerPool::new(7));
+    let stmt = intentions().remove(2).1;
+    let (_, serial) = runner_with(&cat, &pool, 1).run_auto(&stmt).expect("serial run");
+    assert_eq!(serial.parallelism.max_parallelism(), 1);
+    assert!(serial.parallelism.total_morsels() > 1, "scan must still be chunked serially");
+    let (_, parallel) = runner_with(&cat, &pool, 8).run_auto(&stmt).expect("parallel run");
+    // The process-wide ASSESS_MAX_THREADS lid (CI's serial pass) clamps
+    // below the engine cap; only expect helpers when it permits them.
+    let env_cap = std::env::var("ASSESS_MAX_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(usize::MAX);
+    if env_cap > 1 {
+        assert!(
+            parallel.parallelism.max_parallelism() > 1,
+            "8-thread cap over a 7-helper pool must grant helpers, got {:?}",
+            parallel.parallelism
+        );
+    } else {
+        assert_eq!(
+            parallel.parallelism.max_parallelism(),
+            1,
+            "ASSESS_MAX_THREADS=1 must pin the scan to one thread"
+        );
+    }
+}
+
+/// `ExecutionPolicy::max_threads` clamps below the engine's own cap: a
+/// policy of 1 forces a serial scan even on a parallel engine, with bytes
+/// identical to the engine-level serial run.
+#[test]
+fn policy_thread_cap_forces_serial() {
+    let cat = catalog(7, 300);
+    let pool = Arc::new(WorkerPool::new(7));
+    let stmt = intentions().remove(1).1;
+    let (base, _) = runner_with(&cat, &pool, 1).run_auto(&stmt).expect("serial run");
+    let (cube, report) = runner_with(&cat, &pool, 8)
+        .with_policy(ExecutionPolicy::new().with_max_threads(1))
+        .run_auto(&stmt)
+        .expect("policy-capped run");
+    assert_eq!(report.parallelism.max_parallelism(), 1, "policy cap must win");
+    assert_eq!(base.to_csv(), cube.to_csv());
+}
+
+/// A zero-size pool (no helper threads) degrades every scan to serial
+/// execution rather than deadlocking or erroring.
+#[test]
+fn empty_pool_degrades_to_serial() {
+    let cat = catalog(3, 200);
+    let pool = Arc::new(WorkerPool::new(0));
+    let stmt = intentions().remove(0).1;
+    let (cube, report) = runner_with(&cat, &pool, 8).run_auto(&stmt).expect("run");
+    let (base, _) = runner_with(&cat, &pool, 1).run_auto(&stmt).expect("serial");
+    assert_eq!(base.to_csv(), cube.to_csv());
+    assert!(report.parallelism.total_morsels() >= 1);
+}
+
+/// Budget errors keep their `ResourceKind` across the pool boundary.
+#[test]
+fn budget_kind_survives_parallel_scan() {
+    let cat = catalog(11, 300);
+    let pool = Arc::new(WorkerPool::new(7));
+    let stmt = intentions().remove(2).1;
+    let err = runner_with(&cat, &pool, 8)
+        .with_policy(ExecutionPolicy::new().with_max_rows_scanned(1))
+        .run_auto(&stmt)
+        .unwrap_err();
+    match err {
+        AssessError::BudgetExceeded { resource: ResourceKind::RowsScanned, limit: 1, .. } => {}
+        other => panic!("expected a rows-scanned overrun, got {other:?}"),
+    }
+}

@@ -121,6 +121,7 @@ pub fn derive_policy(
         deadline: min_opt::<Duration>(ceiling.deadline, session.deadline),
         max_rows_scanned: min_opt(ceiling.max_rows_scanned, session.max_rows_scanned),
         max_output_cells: min_opt(ceiling.max_output_cells, session.max_output_cells),
+        max_threads: min_opt(ceiling.max_threads, session.max_threads),
         fallback: ceiling.fallback && session.fallback,
         cancel_token: Some(token),
     }

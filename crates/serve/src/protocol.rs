@@ -59,6 +59,7 @@ pub enum Op {
         deadline_ms: Option<u64>,
         max_rows_scanned: Option<u64>,
         max_output_cells: Option<u64>,
+        max_threads: Option<u64>,
     },
     Cancel {
         target: u64,
@@ -171,6 +172,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
             deadline_ms: get_u64(&value, "deadline_ms"),
             max_rows_scanned: get_u64(&value, "max_rows_scanned"),
             max_output_cells: get_u64(&value, "max_output_cells"),
+            max_threads: get_u64(&value, "max_threads"),
         },
         "cancel" => Op::Cancel {
             target: get_u64(&value, "target")
@@ -295,12 +297,14 @@ mod tests {
         assert!(matches!(check.op, Op::Check { .. }));
         let cancel = parse_request(r#"{"op":"cancel","target":7}"#).unwrap();
         assert!(matches!(cancel.op, Op::Cancel { target: 7 }));
-        let policy = parse_request(r#"{"op":"set_policy","deadline_ms":100}"#).unwrap();
+        let policy =
+            parse_request(r#"{"op":"set_policy","deadline_ms":100,"max_threads":2}"#).unwrap();
         match policy.op {
-            Op::SetPolicy { deadline_ms, max_rows_scanned, max_output_cells } => {
+            Op::SetPolicy { deadline_ms, max_rows_scanned, max_output_cells, max_threads } => {
                 assert_eq!(deadline_ms, Some(100));
                 assert_eq!(max_rows_scanned, None);
                 assert_eq!(max_output_cells, None);
+                assert_eq!(max_threads, Some(2));
             }
             other => panic!("wrong op: {other:?}"),
         }

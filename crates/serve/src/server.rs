@@ -33,7 +33,7 @@ use std::time::{Duration, Instant};
 use assess_core::diag::{DiagCode, Diagnostic};
 use assess_core::exec::AssessRunner;
 use assess_core::{explain, stmt, AssessError, AssessedCube, ExecutionPolicy, Strategy};
-use olap_engine::{CancelToken, Engine};
+use olap_engine::{CancelToken, Engine, WorkerPool};
 use serde::Value;
 
 use crate::admission::{self, Admission, AdmissionError, Permit};
@@ -69,6 +69,10 @@ pub struct ServerConfig {
     /// Server-wide resource ceiling; every run's effective policy is the
     /// session's preferences clamped by this.
     pub ceiling: ExecutionPolicy,
+    /// Helper threads of the shared scan pool all executions draw from
+    /// (`0` = auto: available cores − 1). Per-scan parallelism is further
+    /// capped by the ceiling / session `max_threads`.
+    pub scan_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -82,6 +86,7 @@ impl Default for ServerConfig {
             cache_capacity: 128,
             default_row_limit: 50,
             ceiling: ExecutionPolicy::default(),
+            scan_threads: 0,
         }
     }
 }
@@ -120,6 +125,8 @@ struct RunCounters {
 
 struct Shared {
     engine: Engine,
+    /// The scan pool the engine draws helpers from, kept for `stats`.
+    pool: Arc<WorkerPool>,
     /// Policy-free runner for `check` and `explain` (no execution).
     runner: AssessRunner,
     config: ServerConfig,
@@ -174,9 +181,17 @@ pub fn serve(engine: Engine, config: ServerConfig) -> std::io::Result<ServerHand
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
+    // One scan pool for the whole process: concurrent runs share the cores
+    // instead of each spinning up its own threads.
+    let pool = match config.scan_threads {
+        0 => WorkerPool::global(),
+        n => Arc::new(WorkerPool::new(n)),
+    };
+    let engine = engine.with_worker_pool(pool.clone());
     let shared = Arc::new(Shared {
         runner: AssessRunner::new(engine.clone()),
         engine,
+        pool,
         sessions: SessionRegistry::new(config.max_sessions),
         admission: Admission::new(config.workers + config.max_queued),
         cache: ResultCache::new(config.cache_capacity),
@@ -385,11 +400,12 @@ fn handle_line(shared: &Arc<Shared>, session: &Arc<Session>, writer: &SharedWrit
         Op::Explain { statement } => explain_response(shared, id, &statement),
         Op::Stats => stats_response(shared, id),
         Op::History => history_response(session, id),
-        Op::SetPolicy { deadline_ms, max_rows_scanned, max_output_cells } => {
+        Op::SetPolicy { deadline_ms, max_rows_scanned, max_output_cells, max_threads } => {
             let policy = ExecutionPolicy {
                 deadline: deadline_ms.map(Duration::from_millis),
                 max_rows_scanned,
                 max_output_cells,
+                max_threads: max_threads.map(|t| (t as usize).max(1)),
                 fallback: true,
                 cancel_token: None,
             };
@@ -718,6 +734,7 @@ fn policy_json(policy: &ExecutionPolicy) -> Value {
         ("deadline_ms", opt(policy.deadline.map(ms))),
         ("max_rows_scanned", opt(policy.max_rows_scanned)),
         ("max_output_cells", opt(policy.max_output_cells)),
+        ("max_threads", opt(policy.max_threads.map(|t| t as u64))),
         ("fallback", Value::Bool(policy.fallback)),
     ])
 }
@@ -769,6 +786,17 @@ fn stats_response(shared: &Shared, id: Option<u64>) -> Value {
                     ("running", n(shared.running.load(Ordering::Relaxed))),
                 ]),
             ),
+            ("pool", {
+                let p = shared.pool.stats();
+                protocol::obj(vec![
+                    ("threads", n(p.threads as u64)),
+                    ("available", n(p.available as u64)),
+                    ("helpers_dispatched", n(p.helpers_dispatched)),
+                    ("tasks_completed", n(p.tasks_completed)),
+                    ("parallel_morsels", n(p.parallel_morsels)),
+                    ("panics", n(p.panics)),
+                ])
+            }),
             (
                 "runs",
                 protocol::obj(vec![

@@ -103,6 +103,15 @@ impl BenchmarkGroup<'_> {
     pub fn finish(&mut self) {}
 }
 
+/// Batch-size hint for [`Bencher::iter_batched`]. The shim times each
+/// input individually, so the hint is accepted and ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
 /// Times one routine.
 pub struct Bencher {
     warm_up: Duration,
@@ -150,6 +159,35 @@ impl Bencher {
         }
         means.sort();
         self.result = Some(means[means.len() / 2]);
+    }
+
+    /// Criterion's setup/routine split: `setup` builds a fresh input per
+    /// invocation and only `routine` is timed. Unlike [`Bencher::iter`]
+    /// there is no adaptive batching — setup cost makes batches expensive —
+    /// so each sample is a single timed call.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            black_box(routine(setup()));
+        }
+        let mut samples: Vec<Duration> = Vec::new();
+        let measure_end = Instant::now() + self.measurement;
+        while Instant::now() < measure_end || samples.is_empty() {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            samples.push(t.elapsed());
+        }
+        samples.sort();
+        self.result = Some(samples[samples.len() / 2]);
     }
 }
 

@@ -86,7 +86,7 @@ impl CubeBinding {
             }
         }
         for m in &measure_columns {
-            fact.require_numeric(m)?;
+            fact.numeric_slice(m)?;
         }
         for (h, d) in schema.hierarchies().iter().zip(&dims) {
             if d.level_columns.len() != h.depth() {

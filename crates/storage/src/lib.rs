@@ -20,6 +20,7 @@
 
 pub mod binding;
 pub mod catalog;
+pub mod chunk;
 pub mod column;
 pub mod dictionary;
 pub mod error;
@@ -30,6 +31,7 @@ pub mod table;
 
 pub use binding::CubeBinding;
 pub use catalog::Catalog;
+pub use chunk::{DataChunk, Morsels, NumericSlice};
 pub use column::{Column, ColumnData};
 pub use dictionary::Dictionary;
 pub use error::StorageError;

@@ -105,6 +105,12 @@ impl MaterializedAggregate {
         self.measure_names.iter().position(|m| m == name).map(|i| self.measure_cols[i].as_slice())
     }
 
+    /// The summed values of the measure at `idx` (in `measure_names` order) —
+    /// index-based access for scan contexts that resolve names once up front.
+    pub fn measure_at(&self, idx: usize) -> Option<&[f64]> {
+        self.measure_cols.get(idx).map(Vec::as_slice)
+    }
+
     /// View matching: can a query with group-by `g`, predicates on the given
     /// `(hierarchy, level)` pairs, and the given measures be answered from
     /// this view?

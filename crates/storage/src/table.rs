@@ -1,5 +1,6 @@
 //! Named, schema-checked columnar tables.
 
+use crate::chunk::{DataChunk, Morsels, NumericSlice};
 use crate::column::{Column, ColumnData};
 use crate::error::StorageError;
 
@@ -75,13 +76,38 @@ impl Table {
     }
 
     /// Requires a numeric (`i64` or `f64`) column as `f64` values.
+    #[deprecated(
+        since = "0.5.0",
+        note = "allocates a full-column copy; use `numeric_slice` (borrowing) instead"
+    )]
     pub fn require_numeric(&self, name: &str) -> Result<Vec<f64>, StorageError> {
+        Ok(self.numeric_slice(name)?.to_vec())
+    }
+
+    /// Requires a numeric (`i64` or `f64`) column as a borrowed
+    /// [`NumericSlice`] — no conversion copy for integer measures.
+    pub fn numeric_slice(&self, name: &str) -> Result<NumericSlice<'_>, StorageError> {
         let c = self.require_column(name)?;
-        c.to_f64_vec().ok_or(StorageError::TypeMismatch {
+        NumericSlice::from_column(c).ok_or(StorageError::TypeMismatch {
             column: name.to_string(),
             expected: "numeric",
             got: c.data.type_name(),
         })
+    }
+
+    /// A zero-copy view over rows `offset .. offset + len`.
+    ///
+    /// # Panics
+    /// In debug builds, when the range exceeds the table.
+    pub fn chunk(&self, offset: usize, len: usize) -> DataChunk<'_> {
+        DataChunk::new(self, offset, len)
+    }
+
+    /// Cuts the table into fixed-size [`DataChunk`]s of `chunk_rows` rows
+    /// (the last one may be shorter) — the morsel stream driving the
+    /// parallel scan pipeline.
+    pub fn morsels(&self, chunk_rows: usize) -> Morsels<'_> {
+        Morsels::new(self, chunk_rows)
     }
 
     /// Approximate heap footprint of the table in bytes.
@@ -143,13 +169,26 @@ mod tests {
         let t = customers();
         assert_eq!(t.n_rows(), 3);
         assert_eq!(t.require_i64("ckey").unwrap(), &[0, 1, 2]);
-        assert_eq!(t.require_numeric("balance").unwrap(), vec![10.5, -3.0, 0.0]);
+        assert_eq!(t.numeric_slice("balance").unwrap().to_vec(), vec![10.5, -3.0, 0.0]);
+        assert_eq!(t.numeric_slice("ckey").unwrap().get(2), 2.0, "i64 coerces without a copy");
         assert!(matches!(
             t.require_i64("nation"),
             Err(StorageError::TypeMismatch { expected: "i64", .. })
         ));
+        assert!(matches!(
+            t.numeric_slice("nation"),
+            Err(StorageError::TypeMismatch { expected: "numeric", .. })
+        ));
         assert!(matches!(t.require_column("ghost"), Err(StorageError::UnknownColumn { .. })));
         assert_eq!(t.column_index("balance"), Some(2));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn require_numeric_shim_still_materializes() {
+        let t = customers();
+        assert_eq!(t.require_numeric("balance").unwrap(), vec![10.5, -3.0, 0.0]);
+        assert_eq!(t.require_numeric("ckey").unwrap(), vec![0.0, 1.0, 2.0]);
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   --idle-timeout SECS  evict idle sessions after this long (default 300)
 //!   --max-rows N         server-wide row-scan ceiling per run (default none)
 //!   --deadline-ms MS     server-wide per-run deadline (default none)
+//!   --scan-threads N     helper threads of the shared scan pool
+//!                        (default 0 = available cores − 1)
+//!   --max-threads N      server-wide per-scan thread ceiling (default none)
 //!   --self-check         boot on an ephemeral port, run a scripted client
 //!                        session against it, print a report, and exit
 //! ```
@@ -110,6 +113,21 @@ fn main() -> ExitCode {
                 }
                 _ => return usage("--deadline-ms expects a positive integer"),
             },
+            "--scan-threads" => match value("--scan-threads").and_then(|v| v.parse::<usize>().ok())
+            {
+                Some(n) => {
+                    config.scan_threads = n;
+                    i += 2;
+                }
+                _ => return usage("--scan-threads expects an integer"),
+            },
+            "--max-threads" => match value("--max-threads").and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => {
+                    config.ceiling.max_threads = Some(n);
+                    i += 2;
+                }
+                _ => return usage("--max-threads expects a positive integer"),
+            },
             "--self-check" => {
                 self_check = true;
                 i += 1;
@@ -169,7 +187,8 @@ fn usage(problem: &str) -> ExitCode {
     eprintln!(
         "usage: assess-serve [--addr HOST:PORT] [--scale S] [--workers N] \
          [--max-sessions N] [--max-queued N] [--cache N] [--idle-timeout SECS] \
-         [--max-rows N] [--deadline-ms MS] [--self-check]"
+         [--max-rows N] [--deadline-ms MS] [--scan-threads N] [--max-threads N] \
+         [--self-check]"
     );
     ExitCode::from(2)
 }
@@ -224,8 +243,13 @@ fn run_self_check(handle: &assess_olap::serve::ServerHandle) -> Result<u32, Stri
         stats.get("runs").and_then(|r| r.get("executed")).and_then(Value::as_f64).unwrap_or(-1.0);
     let cache_hits =
         stats.get("runs").and_then(|r| r.get("cache_hits")).and_then(Value::as_f64).unwrap_or(-1.0);
+    let pool_threads =
+        stats.get("pool").and_then(|p| p.get("threads")).and_then(Value::as_f64).unwrap_or(-1.0);
     expect(
-        field_bool(&stats, "ok") == Some(true) && executed == 1.0 && cache_hits == 1.0,
+        field_bool(&stats, "ok") == Some(true)
+            && executed == 1.0
+            && cache_hits == 1.0
+            && pool_threads >= 0.0,
         "stats",
         &stats,
     )?;
