@@ -1,0 +1,86 @@
+//! Statement directives: an optional `explain [analyze]` prefix in front of
+//! a regular assess statement. The directive is not part of the statement
+//! grammar — callers (REPL, linter, network service) strip it first and
+//! parse the remainder as usual, so `AssessStatement` round-tripping is
+//! untouched.
+
+use crate::lexer::{self, SpannedToken, Token};
+
+/// An execution directive prefixed to a statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Directive {
+    /// `explain <stmt>`: render strategies/costs/plan without executing.
+    Explain,
+    /// `explain analyze <stmt>`: execute and render the measured trace.
+    ExplainAnalyze,
+}
+
+/// Splits an optional leading `explain [analyze]` directive off statement
+/// source, returning the directive (if any) and the remaining statement
+/// text. Keywords are case-insensitive, like everywhere else in the
+/// grammar; source that does not lex is returned unchanged so the parser
+/// reports the error against the full text.
+pub fn strip_directive(src: &str) -> (Option<Directive>, &str) {
+    let Ok(tokens) = lexer::tokenize_spanned(src) else {
+        return (None, src);
+    };
+    let word = |t: &SpannedToken, kw: &str| matches!(&t.token, Token::Ident(s) if s.eq_ignore_ascii_case(kw));
+    let Some(first) = tokens.first() else {
+        return (None, src);
+    };
+    if !word(first, "explain") {
+        return (None, src);
+    }
+    match tokens.get(1) {
+        Some(second) if word(second, "analyze") => {
+            (Some(Directive::ExplainAnalyze), &src[second.span.end..])
+        }
+        _ => (Some(Directive::Explain), &src[first.span.end..]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_statement_passes_through() {
+        let src = "with SALES by product assess quantity against 10 labels {}";
+        assert_eq!(strip_directive(src), (None, src));
+    }
+
+    #[test]
+    fn strips_explain() {
+        let (d, rest) = strip_directive("explain with SALES by product");
+        assert_eq!(d, Some(Directive::Explain));
+        assert_eq!(rest.trim_start(), "with SALES by product");
+    }
+
+    #[test]
+    fn strips_explain_analyze_case_insensitively() {
+        let (d, rest) = strip_directive("EXPLAIN Analyze\nwith SALES by product");
+        assert_eq!(d, Some(Directive::ExplainAnalyze));
+        assert_eq!(rest.trim_start(), "with SALES by product");
+    }
+
+    #[test]
+    fn leading_comment_hides_the_directive() {
+        // Comment handling lives in the statement-splitting utilities
+        // (`assess_core::stmt`), which run before this helper; raw comment
+        // text in front of `explain` is therefore not a directive.
+        let src = "-- check the plan\nexplain analyze with SALES";
+        assert_eq!(strip_directive(src).0, None);
+    }
+
+    #[test]
+    fn explain_needs_to_lead() {
+        let src = "with SALES by explain assess quantity";
+        assert_eq!(strip_directive(src).0, None);
+    }
+
+    #[test]
+    fn unlexable_source_is_untouched() {
+        let src = "explain with SALES assess 'unterminated";
+        assert_eq!(strip_directive(src), (None, src));
+    }
+}

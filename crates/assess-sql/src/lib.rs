@@ -16,8 +16,10 @@
 //! back to text via that type's `Display`, and `parse(render(s)) == s`
 //! round-trips (tested, including property tests).
 
+pub mod directive;
 pub mod lexer;
 pub mod parser;
 
+pub use directive::{strip_directive, Directive};
 pub use lexer::{tokenize, tokenize_spanned, LexError, SpannedToken, Token};
 pub use parser::{parse, parse_spanned, ParseError, SpannedStatement};

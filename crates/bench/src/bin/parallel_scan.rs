@@ -39,6 +39,21 @@ struct ScanRow {
     morsels: usize,
 }
 
+#[derive(Serialize)]
+struct OverheadRow {
+    intention: String,
+    threads: usize,
+    plain_secs: f64,
+    traced_secs: f64,
+    overhead_pct: f64,
+}
+
+#[derive(Serialize)]
+struct EngineBench {
+    scaling: Vec<ScanRow>,
+    obs_overhead: Vec<OverheadRow>,
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -145,8 +160,66 @@ fn main() {
     }
     println!("parallel scan scaling (SF={scale}, {reps} reps, morsels of {MORSEL_ROWS} rows)\n");
     println!("{}", report::render_table(&table));
-    let path = report::write_json("BENCH_engine", &rows).expect("write report");
+
+    // ------------------------------------------------------- obs overhead
+    // Tracing on vs off over the same workload: `run_traced` allocates the
+    // per-query span tree, so this measures the whole opt-in path. The
+    // measurements interleave plain/traced reps so clock drift and cache
+    // temperature cancel instead of biasing one side.
+    let overhead_reps = reps.max(10);
+    let threads = THREADS[THREADS.len() - 1];
+    let mut overhead_rows: Vec<OverheadRow> = Vec::new();
+    for intention in workloads::intentions() {
+        let runner = runner_at(threads);
+        runner.run(&intention.statement, Strategy::Naive).expect("warm-up run");
+        let (mut plain, mut traced) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..overhead_reps {
+            let t0 = Instant::now();
+            runner.run(&intention.statement, Strategy::Naive).expect("plain run");
+            plain = plain.min(t0.elapsed().as_secs_f64());
+            let t0 = Instant::now();
+            runner.run_traced(&intention.statement, Strategy::Naive).expect("traced run");
+            traced = traced.min(t0.elapsed().as_secs_f64());
+        }
+        let overhead_pct = (traced / plain - 1.0) * 100.0;
+        eprintln!(
+            "[overhead] {:<8} plain {} traced {} ({overhead_pct:+.2}%)",
+            intention.name,
+            report::fmt_secs(plain),
+            report::fmt_secs(traced),
+        );
+        overhead_rows.push(OverheadRow {
+            intention: intention.name.to_string(),
+            threads,
+            plain_secs: plain,
+            traced_secs: traced,
+            overhead_pct,
+        });
+    }
+    let mut overhead_table = vec![vec![
+        "intention".to_string(),
+        "plain".to_string(),
+        "traced".to_string(),
+        "overhead".to_string(),
+    ]];
+    for r in &overhead_rows {
+        overhead_table.push(vec![
+            r.intention.clone(),
+            report::fmt_secs(r.plain_secs),
+            report::fmt_secs(r.traced_secs),
+            format!("{:+.2}%", r.overhead_pct),
+        ]);
+    }
+    println!("tracing overhead (NP, {threads} threads, best of {overhead_reps})\n");
+    println!("{}", report::render_table(&overhead_table));
+    let mean_overhead = overhead_rows.iter().map(|r| r.overhead_pct).sum::<f64>()
+        / overhead_rows.len().max(1) as f64;
+    println!("mean tracing overhead: {mean_overhead:+.2}%");
+
+    let report_data = EngineBench { scaling: rows, obs_overhead: overhead_rows };
+    let path = report::write_json("BENCH_engine", &report_data).expect("write report");
     println!("report: {}", path.display());
+    let rows = report_data.scaling;
 
     // Gate: the Get-dominated statements (NP pushes only `get`s; with views
     // off each is a full fact scan) must scale. Mean speedup across the
@@ -167,5 +240,16 @@ fn main() {
     } else {
         assert!(mean >= 2.0, "Get-dominated statements must reach 2x at 4 threads, got {mean:.2}x");
         println!("speedup gate passed");
+    }
+
+    // Gate: opting into tracing must stay within 5% of the untraced run.
+    if smoke {
+        println!("smoke mode: tracing-overhead gate skipped");
+    } else {
+        assert!(
+            mean_overhead <= 5.0,
+            "tracing must cost at most 5% on the parallel_scan workload, got {mean_overhead:.2}%"
+        );
+        println!("tracing-overhead gate passed");
     }
 }

@@ -2,6 +2,15 @@
 //! the resilience machinery: every execution runs under the runner's
 //! [`ExecutionPolicy`], and [`AssessRunner::run_auto`] degrades through a
 //! strategy-fallback ladder (POP → JOP → NP) when an attempt fails.
+//!
+//! The traced entry points ([`AssessRunner::run_traced`],
+//! [`AssessRunner::run_auto_traced`]) additionally build a per-query
+//! [`TraceTree`]: one span per executed operator, carrying wall time, output
+//! rows and — for engine scans — rows scanned, morsel count and the degree
+//! of parallelism the pool granted. Tracing is runtime-opt-in: the untraced
+//! paths never construct spans. Cross-query aggregates land in the
+//! [`query_metrics`](crate::obs::query_metrics) registry once per query,
+//! gated behind the `obs` feature.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -15,6 +24,7 @@ use crate::diag::Diagnostic;
 use crate::error::AssessError;
 use crate::logical::LogicalOp;
 use crate::memops::{self, OpGuard};
+use crate::obs::{TraceSpan, TraceTree};
 use crate::plan::{self, PhysicalPlan, Strategy};
 use crate::policy::ExecutionPolicy;
 use crate::result::AssessedCube;
@@ -153,6 +163,9 @@ struct ExecState<'a> {
     parallelism: StageParallelism,
     /// Fuse `get ⋈ get` / `get + pivot` prefixes into engine calls.
     fuse: bool,
+    /// Build a [`TraceSpan`] per evaluated operator. Off for untraced
+    /// executions, which then allocate nothing observability-related.
+    tracing: bool,
 }
 
 impl ExecState<'_> {
@@ -254,6 +267,29 @@ impl AssessRunner {
         self.execute(&resolved, strategy)
     }
 
+    /// Like [`run`](Self::run), but additionally builds the per-operator
+    /// [`TraceTree`] — the machinery behind `explain analyze`. The assessed
+    /// cube is byte-identical to the untraced run; tracing only observes.
+    pub fn run_traced(
+        &self,
+        statement: &AssessStatement,
+        strategy: Strategy,
+    ) -> Result<(AssessedCube, ExecutionReport, TraceTree), AssessError> {
+        let wall = Instant::now();
+        let _in_flight = InFlightGuard::enter();
+        let t = Instant::now();
+        let resolved = self.resolve(statement)?;
+        let resolve_span = TraceSpan::new("resolve", t.elapsed());
+        let t = Instant::now();
+        let (cube, mut report, tree) =
+            self.attempt(&resolved, strategy, self.policy.deadline_at(), true)?;
+        report.attempts.push(AttemptRecord { strategy, elapsed: t.elapsed(), error: None });
+        record_success(&report, wall.elapsed());
+        let mut tree = tree.unwrap_or_default();
+        tree.spans.insert(0, resolve_span);
+        Ok((cube, report, tree))
+    }
+
     /// Resolves a statement and executes it under the strategy the
     /// cost-based chooser picks (the "just run it" entry point).
     ///
@@ -266,8 +302,32 @@ impl AssessRunner {
         &self,
         statement: &AssessStatement,
     ) -> Result<(AssessedCube, ExecutionReport), AssessError> {
+        self.run_auto_impl(statement, false).map(|(cube, report, _)| (cube, report))
+    }
+
+    /// Like [`run_auto`](Self::run_auto), but additionally builds the
+    /// per-operator [`TraceTree`]. Failed ladder attempts the runner
+    /// recovered from appear as `attempt(<strategy>)` leaf spans carrying
+    /// the failure in their detail.
+    pub fn run_auto_traced(
+        &self,
+        statement: &AssessStatement,
+    ) -> Result<(AssessedCube, ExecutionReport, TraceTree), AssessError> {
+        self.run_auto_impl(statement, true)
+            .map(|(cube, report, tree)| (cube, report, tree.unwrap_or_default()))
+    }
+
+    fn run_auto_impl(
+        &self,
+        statement: &AssessStatement,
+        tracing: bool,
+    ) -> Result<(AssessedCube, ExecutionReport, Option<TraceTree>), AssessError> {
+        let wall = Instant::now();
+        let _in_flight = InFlightGuard::enter();
+        let t = Instant::now();
         let resolved = self.resolve(statement)?;
         let chosen = crate::cost::choose(&resolved, &self.engine)?;
+        let mut resolve_span = tracing.then(|| TraceSpan::new("resolve", t.elapsed()));
         let deadline_at = self.policy.deadline_at();
         let mut order = vec![chosen];
         if self.policy.fallback {
@@ -277,18 +337,34 @@ impl AssessRunner {
             );
         }
         let mut attempts: Vec<AttemptRecord> = Vec::new();
+        let mut failed_spans: Vec<TraceSpan> = Vec::new();
         let mut last_err: Option<AssessError> = None;
         for strategy in order {
             let t = Instant::now();
-            match self.attempt(&resolved, strategy, deadline_at) {
-                Ok((cube, mut report)) => {
+            match self.attempt(&resolved, strategy, deadline_at, tracing) {
+                Ok((cube, mut report, tree)) => {
                     attempts.push(AttemptRecord { strategy, elapsed: t.elapsed(), error: None });
                     report.attempts = attempts;
-                    return Ok((cube, report));
+                    record_success(&report, wall.elapsed());
+                    let tree = tree.map(|mut tr| {
+                        let mut spans = Vec::with_capacity(2 + failed_spans.len() + tr.spans.len());
+                        spans.extend(resolve_span.take());
+                        spans.append(&mut failed_spans);
+                        spans.append(&mut tr.spans);
+                        tr.spans = spans;
+                        tr
+                    });
+                    return Ok((cube, report, tree));
                 }
                 Err(err) => {
                     let fatal = matches!(err, AssessError::Cancelled)
                         || deadline_at.is_some_and(|at| Instant::now() >= at);
+                    if tracing {
+                        failed_spans.push(
+                            TraceSpan::new(format!("attempt({})", strategy.acronym()), t.elapsed())
+                                .with_detail(err.to_string()),
+                        );
+                    }
                     attempts.push(AttemptRecord {
                         strategy,
                         elapsed: t.elapsed(),
@@ -301,6 +377,7 @@ impl AssessRunner {
                 }
             }
         }
+        record_failure(attempts.len() as u64, wall.elapsed());
         Err(last_err.expect("ladder ran at least one attempt"))
     }
 
@@ -311,10 +388,20 @@ impl AssessRunner {
         resolved: &ResolvedAssess,
         strategy: Strategy,
     ) -> Result<(AssessedCube, ExecutionReport), AssessError> {
+        let wall = Instant::now();
+        let _in_flight = InFlightGuard::enter();
         let t = Instant::now();
-        let (cube, mut report) = self.attempt(resolved, strategy, self.policy.deadline_at())?;
-        report.attempts.push(AttemptRecord { strategy, elapsed: t.elapsed(), error: None });
-        Ok((cube, report))
+        match self.attempt(resolved, strategy, self.policy.deadline_at(), false) {
+            Ok((cube, mut report, _)) => {
+                report.attempts.push(AttemptRecord { strategy, elapsed: t.elapsed(), error: None });
+                record_success(&report, wall.elapsed());
+                Ok((cube, report))
+            }
+            Err(err) => {
+                record_failure(1, wall.elapsed());
+                Err(err)
+            }
+        }
     }
 
     /// One governed attempt: plans, compiles the policy into a fresh
@@ -325,20 +412,34 @@ impl AssessRunner {
         resolved: &ResolvedAssess,
         strategy: Strategy,
         deadline_at: Option<Instant>,
-    ) -> Result<(AssessedCube, ExecutionReport), AssessError> {
+        tracing: bool,
+    ) -> Result<(AssessedCube, ExecutionReport, Option<TraceTree>), AssessError> {
+        let t = Instant::now();
         let physical = plan::plan(resolved, strategy)?;
+        let plan_span =
+            tracing.then(|| TraceSpan::new("plan", t.elapsed()).with_detail(strategy.acronym()));
         let needs_governor = self.policy.needs_governor();
-        if !needs_governor && self.policy.max_threads.is_none() {
-            return execute_plan_on(&self.engine, resolved, &physical);
-        }
-        let mut engine = self.engine.clone();
-        if needs_governor {
-            engine = engine.with_governor(self.policy.governor(deadline_at));
-        }
-        if let Some(n) = self.policy.max_threads {
-            engine = engine.with_thread_cap(n);
-        }
-        execute_plan_on(&engine, resolved, &physical)
+        let result = if !needs_governor && self.policy.max_threads.is_none() {
+            execute_plan_traced_on(&self.engine, resolved, &physical, tracing)
+        } else {
+            let mut engine = self.engine.clone();
+            if needs_governor {
+                engine = engine.with_governor(self.policy.governor(deadline_at));
+            }
+            if let Some(n) = self.policy.max_threads {
+                engine = engine.with_thread_cap(n);
+            }
+            execute_plan_traced_on(&engine, resolved, &physical, tracing)
+        };
+        result.map(|(cube, report, tree)| {
+            let tree = tree.map(|mut tr| {
+                if let Some(span) = plan_span {
+                    tr.spans.insert(0, span);
+                }
+                tr
+            });
+            (cube, report, tree)
+        })
     }
 
     /// Executes an already-built physical plan on the runner's engine.
@@ -350,6 +451,52 @@ impl AssessRunner {
         execute_plan_on(&self.engine, resolved, physical)
     }
 }
+
+/// RAII bracket for the queries-in-flight gauge; compiles away without the
+/// `obs` feature.
+struct InFlightGuard;
+
+impl InFlightGuard {
+    #[cfg(feature = "obs")]
+    fn enter() -> Self {
+        crate::obs::query_metrics().in_flight().add(1);
+        InFlightGuard
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[inline(always)]
+    fn enter() -> Self {
+        InFlightGuard
+    }
+}
+
+#[cfg(feature = "obs")]
+impl Drop for InFlightGuard {
+    fn drop(&mut self) {
+        crate::obs::query_metrics().in_flight().add(-1);
+    }
+}
+
+/// Records a finished successful query into the global registry — one call
+/// per query, never inside operator or scan loops.
+#[cfg(feature = "obs")]
+fn record_success(report: &ExecutionReport, wall: Duration) {
+    crate::obs::query_metrics().observe_success(report, wall);
+}
+
+#[cfg(not(feature = "obs"))]
+#[inline(always)]
+fn record_success(_report: &ExecutionReport, _wall: Duration) {}
+
+/// Records a query whose every attempt failed.
+#[cfg(feature = "obs")]
+fn record_failure(attempts: u64, wall: Duration) {
+    crate::obs::query_metrics().observe_failure(attempts, wall);
+}
+
+#[cfg(not(feature = "obs"))]
+#[inline(always)]
+fn record_failure(_attempts: u64, _wall: Duration) {}
 
 // Send/Sync audit: the serving layer (`assess-serve`) shares one runner and
 // engine across its worker threads and passes results between them, so these
@@ -374,6 +521,19 @@ fn execute_plan_on(
     resolved: &ResolvedAssess,
     physical: &PhysicalPlan,
 ) -> Result<(AssessedCube, ExecutionReport), AssessError> {
+    execute_plan_traced_on(engine, resolved, physical, false)
+        .map(|(cube, report, _)| (cube, report))
+}
+
+/// [`execute_plan_on`] with optional tracing: when `tracing` is set the
+/// returned tree holds one `execute` span whose children are the evaluated
+/// operators in execution order.
+fn execute_plan_traced_on(
+    engine: &Engine,
+    resolved: &ResolvedAssess,
+    physical: &PhysicalPlan,
+    tracing: bool,
+) -> Result<(AssessedCube, ExecutionReport, Option<TraceTree>), AssessError> {
     let mut state = ExecState {
         engine,
         governor: engine.governor().cloned(),
@@ -382,15 +542,33 @@ fn execute_plan_on(
         rows_scanned: 0,
         parallelism: StageParallelism::default(),
         fuse: physical.strategy != Strategy::Naive,
+        tracing,
     };
-    let mut cube = eval(&physical.root, &mut state)?;
+    let t_exec = Instant::now();
+    let (mut cube, root_span) = eval(&physical.root, &mut state)?;
     // `assess` (non-starred) returns only target cells with a benchmark
     // match; `assess*` keeps the rest with nulls (Section 4.1).
+    let mut drop_span = None;
     if !resolved.starred {
         let t = Instant::now();
         cube = memops::drop_null_rows(&cube, &resolved.benchmark_column(), state.guard())?;
         state.timings.join += t.elapsed();
+        drop_span = state
+            .tracing
+            .then(|| TraceSpan::new("drop_nulls", t.elapsed()).with_rows(cube.len() as u64));
     }
+    let tree = tracing.then(|| {
+        let mut children = Vec::with_capacity(2);
+        children.extend(root_span);
+        children.extend(drop_span);
+        TraceTree {
+            strategy: Some(physical.strategy),
+            cache_hit: false,
+            spans: vec![TraceSpan::new("execute", t_exec.elapsed())
+                .with_rows(cube.len() as u64)
+                .with_children(children)],
+        }
+    });
     let report = ExecutionReport {
         strategy: physical.strategy,
         timings: state.timings,
@@ -400,7 +578,7 @@ fn execute_plan_on(
         parallelism: state.parallelism,
         attempts: Vec::new(),
     };
-    Ok((AssessedCube::new(cube, resolved), report))
+    Ok((AssessedCube::new(cube, resolved), report, tree))
 }
 
 /// Which engine-time stage an absorbed outcome belongs to.
@@ -411,11 +589,27 @@ enum ScanStage {
     GetCb,
 }
 
+/// Builds the trace span for an engine scan (when tracing), then folds the
+/// outcome's bookkeeping into the state and returns the cube.
 fn absorb(
     state: &mut ExecState<'_>,
     outcome: olap_engine::GetOutcome,
     stage: ScanStage,
-) -> DerivedCube {
+    name: &str,
+    elapsed: Duration,
+) -> (DerivedCube, Option<TraceSpan>) {
+    let span = state.tracing.then(|| {
+        let mut span =
+            TraceSpan::new(name, elapsed).with_rows(outcome.cube.len() as u64).with_scan(
+                outcome.rows_scanned as u64,
+                outcome.morsels as u64,
+                outcome.parallelism as u64,
+            );
+        if let Some(v) = &outcome.used_view {
+            span = span.with_detail(format!("view {v}"));
+        }
+        span
+    });
     if let Some(v) = outcome.used_view {
         if !state.used_views.contains(&v) {
             state.used_views.push(v);
@@ -428,10 +622,28 @@ fn absorb(
         ScanStage::GetCb => &mut state.parallelism.get_cb,
     };
     slot.absorb(outcome.parallelism, outcome.morsels);
-    outcome.cube
+    (outcome.cube, span)
 }
 
-fn eval(op: &LogicalOp, state: &mut ExecState<'_>) -> Result<DerivedCube, AssessError> {
+/// Builds the span for a client-side operator over one input cube (when
+/// tracing); wall time covers the whole subtree including the input.
+fn op_span(
+    state: &ExecState<'_>,
+    name: &str,
+    wall: Duration,
+    cube: &DerivedCube,
+    child: Option<TraceSpan>,
+) -> Option<TraceSpan> {
+    state.tracing.then(|| {
+        TraceSpan::new(name, wall)
+            .with_rows(cube.len() as u64)
+            .with_children(child.into_iter().collect())
+    })
+}
+
+type Evaluated = (DerivedCube, Option<TraceSpan>);
+
+fn eval(op: &LogicalOp, state: &mut ExecState<'_>) -> Result<Evaluated, AssessError> {
     // Cooperative cancellation: every operator boundary re-checks the
     // governor, so a cancel or deadline expiry surfaces between operators
     // even when each individual operator is fast.
@@ -441,14 +653,14 @@ fn eval(op: &LogicalOp, state: &mut ExecState<'_>) -> Result<DerivedCube, Assess
             let t = Instant::now();
             let outcome = state.engine.get(query)?;
             let elapsed = t.elapsed();
-            let stage = if alias.as_deref() == Some("benchmark") {
+            let (stage, name) = if alias.as_deref() == Some("benchmark") {
                 state.timings.get_b += elapsed;
-                ScanStage::GetB
+                (ScanStage::GetB, "get(b)")
             } else {
                 state.timings.get_c += elapsed;
-                ScanStage::GetC
+                (ScanStage::GetC, "get(c)")
             };
-            Ok(absorb(state, outcome, stage))
+            Ok(absorb(state, outcome, stage, name, elapsed))
         }
         LogicalOp::NaturalJoin { left, right, kind, measure, rename } => {
             if state.fuse {
@@ -458,16 +670,23 @@ fn eval(op: &LogicalOp, state: &mut ExecState<'_>) -> Result<DerivedCube, Assess
                     let t = Instant::now();
                     let outcome =
                         state.engine.get_join(lq, rq, *kind, std::slice::from_ref(rename))?;
-                    state.timings.get_cb += t.elapsed();
-                    return Ok(absorb(state, outcome, ScanStage::GetCb));
+                    let elapsed = t.elapsed();
+                    state.timings.get_cb += elapsed;
+                    return Ok(absorb(state, outcome, ScanStage::GetCb, "get(c+b)", elapsed));
                 }
             }
-            let l = eval(left, state)?;
-            let r = eval(right, state)?;
+            let t0 = Instant::now();
+            let (l, ls) = eval(left, state)?;
+            let (r, rs) = eval(right, state)?;
             let t = Instant::now();
             let joined = memops::natural_join(&l, &r, *kind, measure, rename, state.guard())?;
             state.timings.join += t.elapsed();
-            Ok(joined)
+            let span = state.tracing.then(|| {
+                TraceSpan::new("join", t0.elapsed())
+                    .with_rows(joined.len() as u64)
+                    .with_children(ls.into_iter().chain(rs).collect())
+            });
+            Ok((joined, span))
         }
         LogicalOp::RollupJoin {
             left,
@@ -494,12 +713,14 @@ fn eval(op: &LogicalOp, state: &mut ExecState<'_>) -> Result<DerivedCube, Assess
                         rename,
                         *kind,
                     )?;
-                    state.timings.get_cb += t.elapsed();
-                    return Ok(absorb(state, outcome, ScanStage::GetCb));
+                    let elapsed = t.elapsed();
+                    state.timings.get_cb += elapsed;
+                    return Ok(absorb(state, outcome, ScanStage::GetCb, "get(c+b)", elapsed));
                 }
             }
-            let l = eval(left, state)?;
-            let r = eval(right, state)?;
+            let t0 = Instant::now();
+            let (l, ls) = eval(left, state)?;
+            let (r, rs) = eval(right, state)?;
             let component = l.group_by().component_of(*hierarchy).ok_or_else(|| {
                 AssessError::Statement("rolled level is not in the group-by set".into())
             })?;
@@ -517,7 +738,13 @@ fn eval(op: &LogicalOp, state: &mut ExecState<'_>) -> Result<DerivedCube, Assess
                 state.guard(),
             )?;
             state.timings.join += t.elapsed();
-            Ok(joined)
+            let span = state.tracing.then(|| {
+                TraceSpan::new("join", t0.elapsed())
+                    .with_rows(joined.len() as u64)
+                    .with_detail("rollup")
+                    .with_children(ls.into_iter().chain(rs).collect())
+            });
+            Ok((joined, span))
         }
         LogicalOp::SlicedJoin { left, right, kind, hierarchy, members, measure, names } => {
             if state.fuse {
@@ -528,12 +755,14 @@ fn eval(op: &LogicalOp, state: &mut ExecState<'_>) -> Result<DerivedCube, Assess
                     let outcome = state
                         .engine
                         .get_join_sliced(lq, rq, *hierarchy, members, measure, names, *kind)?;
-                    state.timings.get_cb += t.elapsed();
-                    return Ok(absorb(state, outcome, ScanStage::GetCb));
+                    let elapsed = t.elapsed();
+                    state.timings.get_cb += elapsed;
+                    return Ok(absorb(state, outcome, ScanStage::GetCb, "get(c+b)", elapsed));
                 }
             }
-            let l = eval(left, state)?;
-            let r = eval(right, state)?;
+            let t0 = Instant::now();
+            let (l, ls) = eval(left, state)?;
+            let (r, rs) = eval(right, state)?;
             let component = l.group_by().component_of(*hierarchy).ok_or_else(|| {
                 AssessError::Statement("sliced level is not in the group-by set".into())
             })?;
@@ -549,7 +778,13 @@ fn eval(op: &LogicalOp, state: &mut ExecState<'_>) -> Result<DerivedCube, Assess
                 state.guard(),
             )?;
             state.timings.join += t.elapsed();
-            Ok(joined)
+            let span = state.tracing.then(|| {
+                TraceSpan::new("join", t0.elapsed())
+                    .with_rows(joined.len() as u64)
+                    .with_detail("sliced")
+                    .with_children(ls.into_iter().chain(rs).collect())
+            });
+            Ok((joined, span))
         }
         LogicalOp::Pivot { input, hierarchy, reference, neighbors, measure, names } => {
             if state.fuse {
@@ -558,11 +793,13 @@ fn eval(op: &LogicalOp, state: &mut ExecState<'_>) -> Result<DerivedCube, Assess
                     let outcome = state
                         .engine
                         .get_pivot(query, *hierarchy, *reference, neighbors, measure, names)?;
-                    state.timings.get_cb += t.elapsed();
-                    return Ok(absorb(state, outcome, ScanStage::GetCb));
+                    let elapsed = t.elapsed();
+                    state.timings.get_cb += elapsed;
+                    return Ok(absorb(state, outcome, ScanStage::GetCb, "get+pivot", elapsed));
                 }
             }
-            let cube = eval(input, state)?;
+            let t0 = Instant::now();
+            let (cube, child) = eval(input, state)?;
             let component = cube.group_by().component_of(*hierarchy).ok_or_else(|| {
                 AssessError::Statement("pivot level is not in the group-by set".into())
             })?;
@@ -580,35 +817,45 @@ fn eval(op: &LogicalOp, state: &mut ExecState<'_>) -> Result<DerivedCube, Assess
                 state.guard(),
             )?;
             state.timings.transform += t.elapsed();
-            Ok(pivoted)
+            let span = op_span(state, "pivot", t0.elapsed(), &pivoted, child);
+            Ok((pivoted, span))
         }
         LogicalOp::Transform { input, step } => {
-            let mut cube = eval(input, state)?;
+            let t0 = Instant::now();
+            let (mut cube, child) = eval(input, state)?;
             let t = Instant::now();
             memops::apply_transform(&mut cube, step)?;
             state.timings.comparison += t.elapsed();
-            Ok(cube)
+            let span = op_span(state, "transform", t0.elapsed(), &cube, child);
+            Ok((cube, span))
         }
         LogicalOp::Regression { input, history, output } => {
-            let mut cube = eval(input, state)?;
+            let t0 = Instant::now();
+            let (mut cube, child) = eval(input, state)?;
             let t = Instant::now();
             memops::apply_regression(&mut cube, history, output)?;
             state.timings.transform += t.elapsed();
-            Ok(cube)
+            let span = op_span(state, "regress", t0.elapsed(), &cube, child);
+            Ok((cube, span))
         }
         LogicalOp::ConstColumn { input, name, value } => {
-            let mut cube = eval(input, state)?;
+            let t0 = Instant::now();
+            let (mut cube, child) = eval(input, state)?;
             let t = Instant::now();
             memops::add_const_column(&mut cube, name, *value)?;
             state.timings.get_b += t.elapsed();
-            Ok(cube)
+            let span = op_span(state, "const", t0.elapsed(), &cube, child)
+                .map(|s| s.with_detail(format!("{name}={value}")));
+            Ok((cube, span))
         }
         LogicalOp::Label { input, labeling, input_column } => {
-            let mut cube = eval(input, state)?;
+            let t0 = Instant::now();
+            let (mut cube, child) = eval(input, state)?;
             let t = Instant::now();
             memops::apply_label(&mut cube, labeling, input_column)?;
             state.timings.label += t.elapsed();
-            Ok(cube)
+            let span = op_span(state, "label", t0.elapsed(), &cube, child);
+            Ok((cube, span))
         }
     }
 }

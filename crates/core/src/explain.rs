@@ -1,9 +1,12 @@
 //! Human-readable explanation of how a statement will execute: the feasible
 //! strategies with their estimated costs, the chosen plan tree, and the SQL
-//! that the fused prefixes stand for.
+//! that the fused prefixes stand for. [`explain_analyze`] goes further and
+//! actually runs the statement, rendering the measured trace tree.
 
+use crate::ast::AssessStatement;
 use crate::error::AssessError;
-use crate::exec::AssessRunner;
+use crate::exec::{AssessRunner, ExecutionReport};
+use crate::obs::TraceTree;
 use crate::plan::{self, Strategy};
 use crate::semantics::ResolvedAssess;
 use crate::{codegen, cost};
@@ -65,6 +68,38 @@ pub fn explain_strategy(
 ) -> Result<String, AssessError> {
     let physical = plan::plan(resolved, strategy)?;
     Ok(format!("plan ({strategy}):\n{}", physical.root))
+}
+
+/// `explain analyze`: executes the statement through the ladder (discarding
+/// the result cube) and renders the measured trace tree plus the Figure-4
+/// stage breakdown. Returns the rendered text with the report and trace for
+/// callers that want the structured forms too.
+pub fn explain_analyze(
+    runner: &AssessRunner,
+    statement: &AssessStatement,
+) -> Result<(String, ExecutionReport, TraceTree), AssessError> {
+    let (_cube, report, tree) = runner.run_auto_traced(statement)?;
+    Ok((render_analyze(&report, &tree), report, tree))
+}
+
+/// Renders an `explain analyze` report: the trace tree followed by the
+/// per-stage timing table and the scan totals.
+pub fn render_analyze(report: &ExecutionReport, tree: &TraceTree) -> String {
+    use std::fmt::Write as _;
+    let mut out = tree.render(false);
+    let _ = writeln!(out, "\nstage breakdown:");
+    for (name, secs) in report.timings.as_rows() {
+        let _ = writeln!(out, "  {name:<8} {:>10.3}ms", secs * 1000.0);
+    }
+    let _ = writeln!(
+        out,
+        "\nrows scanned: {}  max dop: {}  morsels: {}  attempts: {}",
+        report.rows_scanned,
+        report.parallelism.max_parallelism(),
+        report.parallelism.total_morsels(),
+        report.attempts.len()
+    );
+    out
 }
 
 #[cfg(test)]

@@ -45,6 +45,9 @@
 //! * [`exec`] — plan execution with the per-stage timing breakdown of the
 //!   paper's Figure 4, plus the strategy-fallback ladder of
 //!   [`exec::AssessRunner::run_auto`];
+//! * [`obs`] — the observability spine: the per-query span tracer behind
+//!   `explain analyze`, the cross-query metrics registry and the
+//!   Prometheus-style text exposition;
 //! * [`policy`] — resource limits (wall clock, rows scanned, output cells)
 //!   compiled into an engine-level governor per execution;
 //! * [`stmt`] — source-level statement utilities (comment-aware splitting,
@@ -68,6 +71,7 @@ pub mod functions;
 pub mod labeling;
 pub mod logical;
 pub mod memops;
+pub mod obs;
 pub mod plan;
 pub mod policy;
 pub mod result;
@@ -85,6 +89,10 @@ pub use diag::{DiagCode, Diagnostic, Severity, Sink, Span};
 pub use error::AssessError;
 pub use exec::{
     AssessRunner, AttemptRecord, ExecutionReport, ParStat, StageParallelism, StageTimings,
+};
+pub use obs::{
+    query_metrics, Exposition, Histogram, HistogramSnapshot, QueryMetrics, QueryMetricsSnapshot,
+    SpanScan, TraceSpan, TraceTree,
 };
 pub use plan::Strategy;
 pub use policy::ExecutionPolicy;

@@ -1,0 +1,176 @@
+//! Golden-file tests pinning `explain analyze` trace trees.
+//!
+//! Each case runs one statement over the fixed SALES catalog under a fixed
+//! strategy and compares the rendered trace tree — shape, row counts,
+//! scanned rows, morsel counts and DOP — against
+//! `tests/golden/analyze/<name>.txt`. Wall times are masked (`<t>`), so
+//! everything left in the file is deterministic: the SALES fixture is far
+//! below the engine's parallel threshold, which pins every scan to the
+//! serial path (dop 1). Regenerate with
+//! `UPDATE_GOLDEN=1 cargo test -p assess-core --test analyze_golden`.
+
+mod common;
+
+use std::path::Path;
+
+use assess_core::plan::Strategy;
+use assess_core::{AssessRunner, TraceTree};
+use assess_sql::parse;
+use olap_engine::Engine;
+
+const SIBLING: &str = "with SALES for country = 'Italy' by product, country assess quantity \
+     against country = 'France' using ratio(quantity, benchmark.quantity) \
+     labels {[0, 2]: ok}";
+
+const PAST: &str = "with SALES for month = 'm4' by product, month assess quantity \
+     against past 3 using ratio(quantity, benchmark.quantity) labels {[0, 2]: ok}";
+
+const CONSTANT: &str = "with SALES by month assess quantity against 10 \
+     using ratio(quantity, benchmark.quantity) labels {[0, 1]: low, (1, inf]: high}";
+
+fn runner() -> AssessRunner {
+    AssessRunner::new(Engine::new(common::catalog()))
+}
+
+/// Runs `src` under `strategy` and returns the masked render plus the tree.
+fn trace(src: &str, strategy: Strategy) -> (String, TraceTree) {
+    let statement = parse(src).unwrap_or_else(|e| panic!("fixture statement parses: {e}"));
+    let (_, report, tree) = runner()
+        .run_traced(&statement, strategy)
+        .unwrap_or_else(|e| panic!("{strategy} run succeeds: {e}"));
+    assert_eq!(
+        tree.rows_scanned(),
+        report.rows_scanned as u64,
+        "trace scan totals must agree with the execution report"
+    );
+    (tree.render(true), tree)
+}
+
+fn golden(name: &str, actual: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/analyze").join(name);
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|_| panic!("missing golden file {name}; regenerate with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        actual.trim_end(),
+        expected.trim_end(),
+        "rendered trace diverges from tests/golden/analyze/{name}"
+    );
+}
+
+/// Collects every span in the tree that carries scan statistics.
+fn scan_stats(tree: &TraceTree) -> Vec<assess_core::SpanScan> {
+    fn walk(span: &assess_core::TraceSpan, out: &mut Vec<assess_core::SpanScan>) {
+        if let Some(scan) = span.scan {
+            out.push(scan);
+        }
+        for child in &span.children {
+            walk(child, out);
+        }
+    }
+    let mut out = Vec::new();
+    for span in &tree.spans {
+        walk(span, &mut out);
+    }
+    out
+}
+
+/// The SALES fixture is tiny, so every scan must take the serial path
+/// (dop at most 1). Exact morsel counts are pinned by the golden files —
+/// a fused multi-slice get legitimately reports one morsel per pass.
+fn assert_serial(tree: &TraceTree) {
+    assert!(tree.max_parallelism() <= 1, "fixture scans must be serial");
+    for scan in scan_stats(tree) {
+        assert!(scan.parallelism <= 1, "serial scans report dop<=1, got {}", scan.parallelism);
+    }
+}
+
+#[test]
+fn sibling_np() {
+    let (rendered, tree) = trace(SIBLING, Strategy::Naive);
+    assert_serial(&tree);
+    golden("sibling_np.txt", &rendered);
+}
+
+#[test]
+fn sibling_jop() {
+    let (rendered, tree) = trace(SIBLING, Strategy::JoinOptimized);
+    assert_serial(&tree);
+    golden("sibling_jop.txt", &rendered);
+}
+
+#[test]
+fn sibling_pop() {
+    let (rendered, tree) = trace(SIBLING, Strategy::PivotOptimized);
+    assert_serial(&tree);
+    golden("sibling_pop.txt", &rendered);
+}
+
+#[test]
+fn past_jop() {
+    let (rendered, tree) = trace(PAST, Strategy::JoinOptimized);
+    assert_serial(&tree);
+    golden("past_jop.txt", &rendered);
+}
+
+#[test]
+fn past_pop() {
+    let (rendered, tree) = trace(PAST, Strategy::PivotOptimized);
+    assert_serial(&tree);
+    golden("past_pop.txt", &rendered);
+}
+
+#[test]
+fn constant_np() {
+    let (rendered, tree) = trace(CONSTANT, Strategy::Naive);
+    assert_serial(&tree);
+    golden("constant_np.txt", &rendered);
+}
+
+#[test]
+fn traced_trees_have_the_documented_shape() {
+    let (_, tree) = trace(SIBLING, Strategy::Naive);
+    assert_eq!(tree.strategy, Some(Strategy::Naive));
+    assert!(!tree.cache_hit);
+    let names: Vec<&str> = tree.spans.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(names, ["resolve", "plan", "execute"], "top-level span order is fixed");
+    let execute = &tree.spans[2];
+    assert!(!execute.children.is_empty(), "execute wraps the operator tree");
+    assert!(tree.rows_scanned() > 0, "the fixture statement scans the fact table");
+}
+
+#[test]
+fn auto_trace_reports_failed_attempts() {
+    // A constant benchmark is NP-only; the auto ladder's trace must show
+    // the infeasible attempts it burned before the strategy that ran.
+    let statement = parse(CONSTANT).unwrap();
+    let (_, report, tree) = runner().run_auto_traced(&statement).unwrap();
+    assert_eq!(report.strategy, Strategy::Naive);
+    let attempts: Vec<&str> = tree
+        .spans
+        .iter()
+        .filter(|s| s.name.starts_with("attempt("))
+        .map(|s| s.name.as_str())
+        .collect();
+    assert_eq!(
+        attempts.len(),
+        report.attempts.len() - 1,
+        "one attempt span per failed ladder rung"
+    );
+    assert!(
+        tree.spans.iter().any(|s| s.name == "execute"),
+        "the winning strategy still contributes an execute span"
+    );
+}
+
+#[test]
+fn masked_render_never_leaks_wall_times() {
+    let (rendered, _) = trace(PAST, Strategy::PivotOptimized);
+    for line in rendered.lines().filter(|l| l.contains("time=")) {
+        assert!(line.contains("time=<t>"), "unmasked time in: {line}");
+    }
+}

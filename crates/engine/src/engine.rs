@@ -14,6 +14,7 @@ use crate::error::EngineError;
 use crate::fault::{FaultInjector, FaultSite};
 use crate::governor::{ResourceGovernor, CHECK_INTERVAL};
 use crate::key::KeyLayout;
+use crate::metrics::{self, EngineMetrics, ScanPath};
 use crate::pool::{run_morsels, MorselScan, ScanRun, WorkerPool};
 use crate::predicate::{select_into, CompiledFilter, IdColumn};
 
@@ -243,6 +244,9 @@ pub struct Engine {
     /// Worker pool for parallel scans; `None` falls back to the
     /// process-wide [`WorkerPool::global`] when a scan wants helpers.
     pool: Option<Arc<WorkerPool>>,
+    /// Scan-metrics registry; defaults to the process-wide
+    /// [`metrics::global`] registry.
+    metrics: Arc<EngineMetrics>,
 }
 
 impl Engine {
@@ -251,7 +255,14 @@ impl Engine {
     }
 
     pub fn with_config(catalog: Arc<Catalog>, config: EngineConfig) -> Self {
-        Engine { catalog, config, governor: None, faults: None, pool: None }
+        Engine {
+            catalog,
+            config,
+            governor: None,
+            faults: None,
+            pool: None,
+            metrics: metrics::global().clone(),
+        }
     }
 
     /// Attaches a resource governor; all subsequent queries check it at
@@ -272,6 +283,19 @@ impl Engine {
     pub fn with_worker_pool(mut self, pool: Arc<WorkerPool>) -> Self {
         self.pool = Some(pool);
         self
+    }
+
+    /// Attaches a private scan-metrics registry, replacing the process-wide
+    /// default — tests use this so concurrent test threads cannot perturb
+    /// each other's counter deltas.
+    pub fn with_metrics(mut self, metrics: Arc<EngineMetrics>) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The scan-metrics registry this engine records into.
+    pub fn metrics(&self) -> &Arc<EngineMetrics> {
+        &self.metrics
     }
 
     /// Tightens the per-scan thread cap: the effective cap becomes the
@@ -388,7 +412,14 @@ impl Engine {
         let outcome = match self.run_get(q) {
             Ok(internal) => materialize(internal),
             Err(EngineError::Unsupported(msg)) if msg.contains("wide keys") => {
-                crate::wide::get_wide(&self.catalog, q, self.config.morsel_rows)?
+                let o = crate::wide::get_wide(&self.catalog, q, self.config.morsel_rows)?;
+                self.metrics.record_scan(
+                    ScanPath::Wide,
+                    o.rows_scanned as u64,
+                    o.morsels as u64,
+                    o.parallelism as u64,
+                );
+                o
             }
             Err(e) => return Err(e),
         };
@@ -862,6 +893,12 @@ impl Engine {
             layout: layout.clone(),
             ops: ops.to_vec(),
         })?;
+        self.metrics.record_scan(
+            ScanPath::View,
+            n as u64,
+            run.morsels as u64,
+            run.parallelism as u64,
+        );
         Ok(GetInternal {
             schema: schema.clone(),
             group_by: q.group_by.clone(),
@@ -964,6 +1001,7 @@ impl Engine {
                         table.update(key, &values);
                     }
                 }
+                self.metrics.record_scan(ScanPath::Index, rows_scanned as u64, 0, 1);
                 return Ok(GetInternal {
                     schema: schema.clone(),
                     group_by: q.group_by.clone(),
@@ -989,6 +1027,12 @@ impl Engine {
             layout: layout.clone(),
             ops: ops.to_vec(),
         })?;
+        self.metrics.record_scan(
+            ScanPath::Fact,
+            n as u64,
+            run.morsels as u64,
+            run.parallelism as u64,
+        );
         Ok(GetInternal {
             schema: schema.clone(),
             group_by: q.group_by.clone(),

@@ -36,6 +36,7 @@ pub mod error;
 pub mod fault;
 pub mod governor;
 pub mod key;
+pub mod metrics;
 pub mod pool;
 pub mod predicate;
 pub mod sqlgen;
@@ -46,4 +47,5 @@ pub use error::EngineError;
 pub use fault::{FaultInjector, FaultSite};
 pub use governor::{CancelToken, ResourceGovernor, ResourceKind};
 pub use key::KeyLayout;
+pub use metrics::{EngineMetrics, EngineMetricsSnapshot, ScanPath};
 pub use pool::{PoolStats, WorkerPool};

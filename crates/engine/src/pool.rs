@@ -67,6 +67,8 @@ struct PoolShared {
     tasks_completed: AtomicU64,
     parallel_morsels: AtomicU64,
     panics: AtomicU64,
+    reservations_requested: AtomicU64,
+    reservations_denied: AtomicU64,
 }
 
 /// Point-in-time pool counters (exposed by `assess-serve stats`).
@@ -84,6 +86,11 @@ pub struct PoolStats {
     pub parallel_morsels: u64,
     /// Worker panics caught at the pool boundary.
     pub panics: u64,
+    /// Helper reservation attempts (scans that wanted at least one helper).
+    pub reservations_requested: u64,
+    /// Reservation attempts granted zero helpers (the scan ran serially
+    /// because the pool was saturated).
+    pub reservations_denied: u64,
 }
 
 /// A fixed-size pool of helper threads shared by all scans of an engine
@@ -114,6 +121,8 @@ impl WorkerPool {
             tasks_completed: AtomicU64::new(0),
             parallel_morsels: AtomicU64::new(0),
             panics: AtomicU64::new(0),
+            reservations_requested: AtomicU64::new(0),
+            reservations_denied: AtomicU64::new(0),
         });
         let handles = (0..threads)
             .map(|i| {
@@ -151,10 +160,16 @@ impl WorkerPool {
     /// behind other queries). Every granted slot must be used by exactly
     /// one subsequent [`Self::submit`]; the slot frees when that job ends.
     pub fn try_reserve(&self, want: usize) -> usize {
+        if want > 0 {
+            self.shared.reservations_requested.fetch_add(1, Ordering::Relaxed);
+        }
         let mut cur = self.shared.available.load(Ordering::Acquire);
         loop {
             let take = want.min(cur);
             if take == 0 {
+                if want > 0 {
+                    self.shared.reservations_denied.fetch_add(1, Ordering::Relaxed);
+                }
                 return 0;
             }
             match self.shared.available.compare_exchange_weak(
@@ -185,6 +200,8 @@ impl WorkerPool {
             tasks_completed: self.shared.tasks_completed.load(Ordering::Relaxed),
             parallel_morsels: self.shared.parallel_morsels.load(Ordering::Relaxed),
             panics: self.shared.panics.load(Ordering::Relaxed),
+            reservations_requested: self.shared.reservations_requested.load(Ordering::Relaxed),
+            reservations_denied: self.shared.reservations_denied.load(Ordering::Relaxed),
         }
     }
 

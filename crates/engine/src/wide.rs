@@ -9,6 +9,11 @@
 //! [`DataChunk`](olap_storage::DataChunk)/[`select_into`] machinery as the
 //! packed paths but stays serial: boxed keys allocate per row, so the scan
 //! is allocator-bound and does not profit from helpers.
+//!
+//! Scan metrics for this path ([`ScanPath::Wide`](crate::metrics::ScanPath))
+//! are recorded by the caller, `Engine::get`, from the returned
+//! [`GetOutcome`] — this module stays free of engine state, and the counters
+//! still land once per scan, outside any per-row loop.
 
 use std::sync::Arc;
 

@@ -126,6 +126,20 @@ impl LineClient {
         self.request(vec![("op", s("run")), ("statement", s(statement)), ("format", s("csv"))])
     }
 
+    /// Runs with `"trace": true`, asking for the execution trace tree.
+    pub fn run_traced(&mut self, statement: &str) -> std::io::Result<Value> {
+        self.request(vec![
+            ("op", s("run")),
+            ("statement", s(statement)),
+            ("trace", Value::Bool(true)),
+        ])
+    }
+
+    /// Fetches the registry snapshots (text exposition plus JSON).
+    pub fn metrics(&mut self) -> std::io::Result<Value> {
+        self.request(vec![("op", s("metrics"))])
+    }
+
     /// Starts a run without waiting; pair with [`Self::wait_for`] and
     /// [`Self::cancel`].
     pub fn start_run(&mut self, statement: &str) -> std::io::Result<u64> {

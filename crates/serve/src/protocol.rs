@@ -40,6 +40,9 @@ pub struct RunOptions {
     pub limit: Option<usize>,
     /// Whether the shared result cache may serve / store this run.
     pub cache: bool,
+    /// Whether the response should carry the execution trace tree
+    /// (`"trace": true` on the request).
+    pub trace: bool,
 }
 
 /// One protocol operation.
@@ -54,6 +57,8 @@ pub enum Op {
         statement: String,
     },
     Stats,
+    /// Registry snapshots: Prometheus-style text exposition plus JSON.
+    Metrics,
     History,
     SetPolicy {
         deadline_ms: Option<u64>,
@@ -76,6 +81,7 @@ impl Op {
             Op::Run(_) => "run",
             Op::Explain { .. } => "explain",
             Op::Stats => "stats",
+            Op::Metrics => "metrics",
             Op::History => "history",
             Op::SetPolicy { .. } => "set_policy",
             Op::Cancel { .. } => "cancel",
@@ -166,6 +172,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         "check" => Op::Check { statement: statement(&value)? },
         "explain" => Op::Explain { statement: statement(&value)? },
         "stats" => Op::Stats,
+        "metrics" => Op::Metrics,
         "history" => Op::History,
         "invalidate_cache" => Op::InvalidateCache,
         "set_policy" => Op::SetPolicy {
@@ -204,6 +211,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 format,
                 limit: get_u64(&value, "limit").map(|x| x as usize),
                 cache: get_bool(&value, "cache").unwrap_or(true),
+                trace: get_bool(&value, "trace").unwrap_or(false),
             })
         }
         other => return Err(ProtoError::new("unknown_op", format!("unknown op `{other}`"))),
@@ -288,6 +296,7 @@ mod tests {
     fn parses_every_op() {
         assert!(matches!(parse_request(r#"{"op":"ping"}"#).unwrap().op, Op::Ping));
         assert!(matches!(parse_request(r#"{"op":"stats","id":3}"#).unwrap().op, Op::Stats));
+        assert!(matches!(parse_request(r#"{"op":"metrics"}"#).unwrap().op, Op::Metrics));
         assert!(matches!(parse_request(r#"{"op":"history"}"#).unwrap().op, Op::History));
         assert!(matches!(
             parse_request(r#"{"op":"invalidate_cache"}"#).unwrap().op,
@@ -313,7 +322,7 @@ mod tests {
     #[test]
     fn parses_run_options() {
         let req = parse_request(
-            r#"{"op":"run","id":5,"statement":"s","strategy":"POP","format":"csv","cache":false}"#,
+            r#"{"op":"run","id":5,"statement":"s","strategy":"POP","format":"csv","cache":false,"trace":true}"#,
         )
         .unwrap();
         assert_eq!(req.id, Some(5));
@@ -323,6 +332,7 @@ mod tests {
                 assert_eq!(opts.strategy, Some(Strategy::PivotOptimized));
                 assert_eq!(opts.format, RunFormat::Csv);
                 assert!(!opts.cache);
+                assert!(opts.trace);
                 assert_eq!(opts.limit, None);
             }
             other => panic!("wrong op: {other:?}"),

@@ -32,6 +32,7 @@ use std::time::{Duration, Instant};
 
 use assess_core::diag::{DiagCode, Diagnostic};
 use assess_core::exec::AssessRunner;
+use assess_core::obs::{self, TraceSpan, TraceTree};
 use assess_core::{explain, stmt, AssessError, AssessedCube, ExecutionPolicy, Strategy};
 use olap_engine::{CancelToken, Engine, WorkerPool};
 use serde::Value;
@@ -398,7 +399,8 @@ fn handle_line(shared: &Arc<Shared>, session: &Arc<Session>, writer: &SharedWrit
         Op::Ping => protocol::ok_response(id, vec![("pong", Value::Bool(true))]),
         Op::Check { statement } => check_response(shared, id, &statement),
         Op::Explain { statement } => explain_response(shared, id, &statement),
-        Op::Stats => stats_response(shared, id),
+        Op::Stats => stats_response(shared, session, id),
+        Op::Metrics => metrics_response(shared, id),
         Op::History => history_response(session, id),
         Op::SetPolicy { deadline_ms, max_rows_scanned, max_output_cells, max_threads } => {
             let policy = ExecutionPolicy {
@@ -557,17 +559,36 @@ fn execute_run(shared: &Shared, job: &Job) -> Value {
             shared.runs.cache_hits.fetch_add(1, Ordering::Relaxed);
             let elapsed_ms = ms(t0.elapsed());
             record("cached", elapsed_ms, hit.cube.len());
-            return run_response(id, &hit, true, elapsed_ms, &warnings, opts, shared);
+            // A hit never scans: its trace is a single `cache_hit` leaf
+            // (zero scan spans), with the original strategy for context.
+            let trace = opts.trace.then(|| TraceTree {
+                strategy: Some(hit.strategy),
+                cache_hit: true,
+                spans: vec![
+                    TraceSpan::new("cache_hit", t0.elapsed()).with_rows(hit.cube.len() as u64)
+                ],
+            });
+            return run_response(id, &hit, true, elapsed_ms, &warnings, opts, shared, trace);
         }
     }
 
     let runner = AssessRunner::new(shared.engine.clone()).with_policy(policy);
-    let outcome = match opts.strategy {
-        Some(strategy) => runner.run(&spanned.statement, strategy),
-        None => runner.run_auto(&spanned.statement),
+    let outcome = match (opts.strategy, opts.trace) {
+        (Some(strategy), false) => {
+            runner.run(&spanned.statement, strategy).map(|(cube, report)| (cube, report, None))
+        }
+        (Some(strategy), true) => runner
+            .run_traced(&spanned.statement, strategy)
+            .map(|(cube, report, trace)| (cube, report, Some(trace))),
+        (None, false) => {
+            runner.run_auto(&spanned.statement).map(|(cube, report)| (cube, report, None))
+        }
+        (None, true) => runner
+            .run_auto_traced(&spanned.statement)
+            .map(|(cube, report, trace)| (cube, report, Some(trace))),
     };
     match outcome {
-        Ok((cube, report)) => {
+        Ok((cube, report, trace)) => {
             let elapsed_ms = ms(t0.elapsed());
             shared.runs.executed.fetch_add(1, Ordering::Relaxed);
             record("ok", elapsed_ms, cube.len());
@@ -579,7 +600,8 @@ fn execute_run(shared: &Shared, job: &Job) -> Value {
                 attempts: report.attempts.len(),
                 elapsed_ms,
             };
-            let response = run_response(id, &result, false, elapsed_ms, &warnings, opts, shared);
+            let response =
+                run_response(id, &result, false, elapsed_ms, &warnings, opts, shared, trace);
             // Only cache results the catalog provably did not shift under:
             // same even version before and after the run.
             if opts.cache && catalog.version() == version_before {
@@ -618,6 +640,7 @@ fn execute_run(shared: &Shared, job: &Job) -> Value {
 
 // --------------------------------------------------------------- responses
 
+#[allow(clippy::too_many_arguments)]
 fn run_response(
     id: Option<u64>,
     result: &CachedResult,
@@ -626,6 +649,7 @@ fn run_response(
     warnings: &[Diagnostic],
     opts: &RunOptions,
     shared: &Shared,
+    trace: Option<TraceTree>,
 ) -> Value {
     let labels = Value::Object(
         result
@@ -653,6 +677,9 @@ fn run_response(
             fields.push(("rows", Value::Array(rows)));
             fields.push(("truncated", Value::Bool(result.cube.len() > limit)));
         }
+    }
+    if let Some(tree) = trace {
+        fields.push(("trace", tree.to_json()));
     }
     if !warnings.is_empty() {
         fields.push(("diagnostics", protocol::diagnostics_json(warnings, Some(&opts.statement))));
@@ -739,13 +766,14 @@ fn policy_json(policy: &ExecutionPolicy) -> Value {
     ])
 }
 
-fn stats_response(shared: &Shared, id: Option<u64>) -> Value {
+fn stats_response(shared: &Shared, session: &Session, id: Option<u64>) -> Value {
     let sessions = shared.sessions.stats();
     let cache = shared.cache.stats();
     let adm = shared.admission.stats();
     let ops = Value::Object(
         lock(&shared.ops).iter().map(|(name, count)| (name.to_string(), n(*count))).collect(),
     );
+    let latency = session.latency_snapshot();
     protocol::ok_response(
         id,
         vec![
@@ -795,6 +823,8 @@ fn stats_response(shared: &Shared, id: Option<u64>) -> Value {
                     ("tasks_completed", n(p.tasks_completed)),
                     ("parallel_morsels", n(p.parallel_morsels)),
                     ("panics", n(p.panics)),
+                    ("reservations_requested", n(p.reservations_requested)),
+                    ("reservations_denied", n(p.reservations_denied)),
                 ])
             }),
             (
@@ -806,7 +836,145 @@ fn stats_response(shared: &Shared, id: Option<u64>) -> Value {
                     ("cancelled", n(shared.runs.cancelled.load(Ordering::Relaxed))),
                 ]),
             ),
+            (
+                "obs",
+                protocol::obj(vec![
+                    ("core", obs::query_metrics().snapshot().to_json()),
+                    ("engine", engine_metrics_json(shared)),
+                ]),
+            ),
+            (
+                "session",
+                protocol::obj(vec![("queries", n(latency.count)), ("latency", latency.to_json())]),
+            ),
             ("ops", ops),
         ],
     )
+}
+
+fn engine_metrics_json(shared: &Shared) -> Value {
+    Value::Object(
+        shared
+            .engine
+            .metrics()
+            .snapshot()
+            .as_rows()
+            .into_iter()
+            .map(|(name, value)| (name.to_string(), n(value)))
+            .collect(),
+    )
+}
+
+/// The `metrics` verb: one Prometheus-style text exposition over every
+/// registry (core query metrics, engine scan metrics, the scan pool and the
+/// serving layer's own counters), plus the same snapshots as JSON.
+fn metrics_response(shared: &Shared, id: Option<u64>) -> Value {
+    let core = obs::query_metrics().snapshot();
+    let engine = shared.engine.metrics().snapshot();
+    let pool = shared.pool.stats();
+    let cache = shared.cache.stats();
+    let sessions = shared.sessions.stats();
+
+    let mut exp = obs::Exposition::new();
+    exp.counter("assess_queries_total", "Queries executed (successes and failures).", core.queries);
+    exp.counter("assess_query_failures_total", "Queries whose whole ladder failed.", core.failures);
+    exp.counter(
+        "assess_fallback_attempts_total",
+        "Failed attempts the strategy ladder recovered from.",
+        core.fallback_attempts,
+    );
+    for (name, value) in ["np", "jop", "pop"].iter().zip(core.by_strategy) {
+        exp.counter(
+            &format!("assess_queries_{name}_total"),
+            "Successful executions under this strategy.",
+            value,
+        );
+    }
+    exp.counter(
+        "assess_rows_scanned_total",
+        "Rows scanned by successful executions.",
+        core.rows_scanned,
+    );
+    for (name, value) in obs::STAGE_NAMES.iter().zip(core.stage_micros) {
+        exp.counter(
+            &format!("assess_stage_{name}_micros_total"),
+            "Cumulative stage time in microseconds.",
+            value,
+        );
+    }
+    exp.histogram("assess_query_latency_ms", "Query wall time (milliseconds).", &core.latency);
+    exp.gauge("assess_queries_in_flight", "Queries executing right now.", core.in_flight as f64);
+
+    for (name, value) in engine.as_rows() {
+        exp.counter(
+            &format!("assess_engine_{name}_total"),
+            "Engine scan counter (see olap_engine::metrics).",
+            value,
+        );
+    }
+
+    exp.gauge("assess_pool_threads", "Helper threads in the scan pool.", pool.threads as f64);
+    exp.counter(
+        "assess_pool_helpers_dispatched_total",
+        "Helper dispatches.",
+        pool.helpers_dispatched,
+    );
+    exp.counter(
+        "assess_pool_tasks_completed_total",
+        "Completed helper tasks.",
+        pool.tasks_completed,
+    );
+    exp.counter(
+        "assess_pool_parallel_morsels_total",
+        "Morsels claimed by helpers.",
+        pool.parallel_morsels,
+    );
+    exp.counter(
+        "assess_pool_reservations_requested_total",
+        "Helper reservations requested.",
+        pool.reservations_requested,
+    );
+    exp.counter(
+        "assess_pool_reservations_denied_total",
+        "Helper reservations denied (pool exhausted).",
+        pool.reservations_denied,
+    );
+
+    exp.counter(
+        "assess_serve_runs_total",
+        "Cold runs executed.",
+        shared.runs.executed.load(Ordering::Relaxed),
+    );
+    exp.counter(
+        "assess_serve_cache_hits_total",
+        "Runs served from the result cache.",
+        shared.runs.cache_hits.load(Ordering::Relaxed),
+    );
+    exp.counter(
+        "assess_serve_failed_total",
+        "Runs that failed.",
+        shared.runs.failed.load(Ordering::Relaxed),
+    );
+    exp.counter(
+        "assess_serve_cancelled_total",
+        "Runs cancelled.",
+        shared.runs.cancelled.load(Ordering::Relaxed),
+    );
+    exp.counter("assess_serve_cache_misses_total", "Result-cache misses.", cache.misses);
+    exp.gauge("assess_serve_sessions_active", "Open sessions.", sessions.active as f64);
+
+    let metrics = protocol::obj(vec![
+        ("core", core.to_json()),
+        ("engine", engine_metrics_json(shared)),
+        (
+            "serve",
+            protocol::obj(vec![
+                ("executed", n(shared.runs.executed.load(Ordering::Relaxed))),
+                ("cache_hits", n(shared.runs.cache_hits.load(Ordering::Relaxed))),
+                ("failed", n(shared.runs.failed.load(Ordering::Relaxed))),
+                ("cancelled", n(shared.runs.cancelled.load(Ordering::Relaxed))),
+            ]),
+        ),
+    ]);
+    protocol::ok_response(id, vec![("exposition", s(exp.finish())), ("metrics", metrics)])
 }

@@ -19,6 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
+use assess_core::obs::{Histogram, HistogramSnapshot};
 use assess_core::ExecutionPolicy;
 use olap_engine::CancelToken;
 
@@ -43,6 +44,9 @@ pub struct Session {
     policy: Mutex<ExecutionPolicy>,
     history: Mutex<VecDeque<HistoryEntry>>,
     in_flight: Mutex<HashMap<u64, CancelToken>>,
+    /// Wall-time histogram over this session's recorded statements
+    /// (cache hits included — it measures what the client experienced).
+    latency: Histogram,
 }
 
 fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -59,6 +63,7 @@ impl Session {
             policy: Mutex::new(policy),
             history: Mutex::new(VecDeque::new()),
             in_flight: Mutex::new(HashMap::new()),
+            latency: Histogram::new(),
         }
     }
 
@@ -85,13 +90,20 @@ impl Session {
         *lock(&self.policy) = policy;
     }
 
-    /// Appends to the bounded statement history.
+    /// Appends to the bounded statement history and feeds the session's
+    /// latency histogram.
     pub fn record(&self, entry: HistoryEntry) {
+        self.latency.observe(Duration::from_millis(entry.elapsed_ms));
         let mut history = lock(&self.history);
         if history.len() >= HISTORY_CAP {
             history.pop_front();
         }
         history.push_back(entry);
+    }
+
+    /// Snapshot of the session's statement-latency histogram.
+    pub fn latency_snapshot(&self) -> HistogramSnapshot {
+        self.latency.snapshot()
     }
 
     pub fn history(&self) -> Vec<HistoryEntry> {
@@ -271,6 +283,23 @@ mod tests {
         let history = session.history();
         assert_eq!(history.len(), HISTORY_CAP);
         assert_eq!(history[0].statement, "stmt 10");
+    }
+
+    #[test]
+    fn recording_feeds_the_latency_histogram() {
+        let registry = SessionRegistry::new(1);
+        let session = registry.open(ExecutionPolicy::default()).unwrap();
+        for elapsed_ms in [0, 3, 40] {
+            session.record(HistoryEntry {
+                statement: "stmt".into(),
+                outcome: "ok".into(),
+                elapsed_ms,
+                cells: 0,
+            });
+        }
+        let snap = session.latency_snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.sum_micros, 43_000);
     }
 
     #[test]

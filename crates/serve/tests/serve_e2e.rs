@@ -434,6 +434,150 @@ fn idle_sessions_are_evicted() {
     handle.shutdown();
 }
 
+// ------------------------------------------------------------ observability
+
+/// Pulls one counter value out of a Prometheus-style text exposition.
+fn exposition_value(exposition: &str, name: &str) -> Option<f64> {
+    exposition.lines().find_map(|line| {
+        let mut parts = line.split_whitespace();
+        (parts.next() == Some(name)).then(|| parts.next())?.and_then(|v| v.parse().ok())
+    })
+}
+
+/// `metrics` round-trips: the exposition parses line by line, and the
+/// query counters are monotone across two runs.
+#[test]
+fn metrics_exposition_parses_and_counters_are_monotone() {
+    let handle = boot(ServerConfig { cache_capacity: 0, ..ServerConfig::default() });
+    let mut client = connect(&handle);
+
+    let first = client.metrics().unwrap();
+    assert_ok(&first);
+    let exposition = first.get("exposition").and_then(Value::as_str).unwrap().to_string();
+    assert!(!exposition.is_empty());
+    // Every line is either a `# HELP`/`# TYPE` comment or `name value`
+    // with a parseable number — the whole exposition must scan cleanly.
+    for line in exposition.lines().filter(|l| !l.is_empty() && !l.starts_with('#')) {
+        let mut parts = line.split_whitespace();
+        let (name, value) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+        assert!(!name.is_empty(), "nameless sample line: {line}");
+        assert!(value.parse::<f64>().is_ok(), "unparseable sample value in: {line}");
+        assert!(parts.next().is_none(), "trailing tokens in: {line}");
+    }
+    for required in [
+        "assess_queries_total",
+        "assess_rows_scanned_total",
+        "assess_queries_in_flight",
+        "assess_serve_runs_total",
+        "assess_engine_scans_total",
+        "assess_pool_threads",
+        "assess_query_latency_ms_count",
+    ] {
+        assert!(
+            exposition_value(&exposition, required).is_some()
+                || exposition.contains(&format!("{required}{{")),
+            "exposition is missing {required}:\n{exposition}"
+        );
+    }
+    let runs_before = exposition_value(&exposition, "assess_serve_runs_total").unwrap();
+    let queries_before = exposition_value(&exposition, "assess_queries_total").unwrap();
+    let rows_before = exposition_value(&exposition, "assess_rows_scanned_total").unwrap();
+
+    assert_ok(&client.run(CONSTANT).unwrap());
+    assert_ok(&client.run(SIBLING).unwrap());
+
+    let second = client.metrics().unwrap();
+    assert_ok(&second);
+    let exposition = second.get("exposition").and_then(Value::as_str).unwrap();
+    assert!(
+        exposition_value(exposition, "assess_serve_runs_total").unwrap() >= runs_before + 2.0,
+        "serve run counter did not advance"
+    );
+    // The query registry is process-global (other tests share it), so the
+    // two runs above are a lower bound, never an exact delta.
+    assert!(
+        exposition_value(exposition, "assess_queries_total").unwrap() >= queries_before + 2.0,
+        "core query counter did not advance"
+    );
+    assert!(
+        exposition_value(exposition, "assess_rows_scanned_total").unwrap() > rows_before,
+        "rows-scanned counter did not advance"
+    );
+
+    // The JSON twin carries the same sections.
+    let json = second.get("metrics").expect("metrics JSON section");
+    for section in ["core", "engine", "serve"] {
+        assert!(json.get(section).is_some(), "metrics JSON missing {section}");
+    }
+
+    handle.shutdown();
+}
+
+/// `"trace": true` on a cold run returns a well-formed trace tree whose
+/// scan totals agree with the response's own row accounting.
+#[test]
+fn traced_runs_return_well_formed_trees() {
+    let handle = boot(ServerConfig { cache_capacity: 0, ..ServerConfig::default() });
+    let mut client = connect(&handle);
+
+    // Without the opt-in there is no trace field at all.
+    let plain = client.run(SIBLING).unwrap();
+    assert_ok(&plain);
+    assert!(plain.get("trace").is_none(), "untraced run leaked a trace");
+
+    let traced = client.run_traced(SIBLING).unwrap();
+    assert_ok(&traced);
+    let trace = traced.get("trace").expect("traced run carries a trace");
+    assert_eq!(trace.get("cache_hit").and_then(Value::as_bool), Some(false));
+    let strategy = trace.get("strategy").and_then(Value::as_str).unwrap_or("");
+    assert!(["NP", "JOP", "POP"].contains(&strategy), "odd strategy {strategy:?}");
+    assert!(
+        trace.get("rows_scanned").and_then(Value::as_f64).unwrap_or(0.0) > 0.0,
+        "a cold run must scan rows"
+    );
+    let spans = trace.get("spans").and_then(Value::as_array).expect("spans array");
+    let names: Vec<&str> =
+        spans.iter().map(|s| s.get("name").and_then(Value::as_str).unwrap_or("?")).collect();
+    assert!(names.contains(&"resolve"), "missing resolve span in {names:?}");
+    assert!(names.contains(&"execute"), "missing execute span in {names:?}");
+    for span in spans {
+        assert!(span.get("wall_ms").and_then(Value::as_f64).is_some(), "span without wall time");
+        assert!(span.get("rows_out").and_then(Value::as_f64).is_some(), "span without rows_out");
+    }
+
+    handle.shutdown();
+}
+
+/// A warm-cache hit still honours the trace opt-in: it reports
+/// `cache_hit: true` and zero scan spans (nothing was re-scanned).
+#[test]
+fn cache_hit_traces_report_no_scans() {
+    let handle = boot(ServerConfig::default());
+    let mut client = connect(&handle);
+
+    assert_ok(&client.run(PAST).unwrap());
+    let warm = client.run_traced(PAST).unwrap();
+    assert_ok(&warm);
+    assert_eq!(warm.get("cached").and_then(Value::as_bool), Some(true));
+    let trace = warm.get("trace").expect("cache hit still traces");
+    assert_eq!(trace.get("cache_hit").and_then(Value::as_bool), Some(true));
+    assert_eq!(
+        trace.get("rows_scanned").and_then(Value::as_f64),
+        Some(0.0),
+        "a cache hit must not scan"
+    );
+    let spans = trace.get("spans").and_then(Value::as_array).unwrap();
+    assert_eq!(spans.len(), 1, "a cache hit reports exactly the hit span");
+    assert_eq!(spans[0].get("name").and_then(Value::as_str), Some("cache_hit"));
+    assert!(spans[0].get("rows_scanned").is_none(), "the cache-hit span must carry no scan stats");
+
+    // The session's latency histogram saw both statements.
+    let stats = client.stats().unwrap();
+    assert!(stat_u64(&stats, &["session", "queries"]) >= 2);
+
+    handle.shutdown();
+}
+
 // -------------------------------------------------------- pinned strategies
 
 #[test]

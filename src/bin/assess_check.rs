@@ -7,6 +7,8 @@
 //!   --format text|json   output format (default text)
 //!   --scale S            SSB scale factor for the checking catalog (default 0.001)
 //!   --deny-warnings      exit non-zero on warnings, not just errors
+//!   --analyze            additionally execute clean statements and print
+//!                        their measured trace trees (`explain analyze`)
 //! ```
 //!
 //! Each file holds one or more statements separated by `;`. `--` starts a
@@ -21,6 +23,7 @@ use std::process::ExitCode;
 
 use assess_olap::assess::diag::{self, DiagCode, Diagnostic};
 use assess_olap::assess::exec::AssessRunner;
+use assess_olap::assess::explain;
 use assess_olap::engine::Engine;
 use assess_olap::serde::Value;
 use assess_olap::ssb::{generate::generate, views, SsbConfig};
@@ -35,6 +38,7 @@ fn main() -> ExitCode {
     let mut format = Format::Text;
     let mut scale = 0.001;
     let mut deny_warnings = false;
+    let mut analyze = false;
     let mut files: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -56,6 +60,10 @@ fn main() -> ExitCode {
             }
             "--deny-warnings" => {
                 deny_warnings = true;
+                i += 1;
+            }
+            "--analyze" => {
+                analyze = true;
                 i += 1;
             }
             "--help" | "-h" => return usage(""),
@@ -80,6 +88,7 @@ fn main() -> ExitCode {
 
     let mut total_errors = 0usize;
     let mut total_warnings = 0usize;
+    let mut analyze_failures = 0usize;
     let mut io_failure = false;
     let mut json_files: Vec<Value> = Vec::new();
 
@@ -93,22 +102,66 @@ fn main() -> ExitCode {
             }
         };
         let diagnostics = check_source(&runner, &source);
-        total_errors += diagnostics.iter().filter(|d| d.is_error()).count();
+        let file_errors = diagnostics.iter().filter(|d| d.is_error()).count();
+        total_errors += file_errors;
         total_warnings += diagnostics.iter().filter(|d| !d.is_error()).count();
+        // `--analyze` executes the file's statements (only when its check
+        // was clean) and renders their measured trace trees.
+        let mut analyses: Vec<(String, Result<_, _>)> = Vec::new();
+        if analyze && file_errors == 0 {
+            for (_, text) in assess_olap::assess::stmt::split_statements(&source) {
+                if let Ok(statement) = assess_olap::sql::parse(&text) {
+                    analyses.push((text, explain::explain_analyze(&runner, &statement)));
+                }
+            }
+        }
         match format {
             Format::Text => {
                 if !diagnostics.is_empty() {
                     println!("== {file}");
                     println!("{}", diag::render_all(&diagnostics, Some(&source)));
                 }
+                for (text, outcome) in &analyses {
+                    println!("== {file}: explain analyze");
+                    println!("{}", text.trim());
+                    match outcome {
+                        Ok((rendered, _, _)) => println!("{rendered}"),
+                        Err(e) => {
+                            eprintln!("assess-check: execution failed: {e}");
+                            analyze_failures += 1;
+                        }
+                    }
+                }
             }
             Format::Json => {
                 let rendered: Vec<Value> =
                     diagnostics.iter().map(|d| d.to_json(Some(&source))).collect();
-                json_files.push(Value::Object(vec![
+                let mut fields = vec![
                     ("file".to_string(), Value::String(file.clone())),
                     ("diagnostics".to_string(), Value::Array(rendered)),
-                ]));
+                ];
+                if analyze {
+                    let traces: Vec<Value> = analyses
+                        .iter()
+                        .map(|(text, outcome)| match outcome {
+                            Ok((_, report, trace)) => Value::Object(vec![
+                                ("statement".to_string(), Value::String(text.clone())),
+                                (
+                                    "strategy".to_string(),
+                                    Value::String(report.strategy.acronym().to_string()),
+                                ),
+                                ("trace".to_string(), trace.to_json()),
+                            ]),
+                            Err(e) => Value::Object(vec![
+                                ("statement".to_string(), Value::String(text.clone())),
+                                ("error".to_string(), Value::String(e.to_string())),
+                            ]),
+                        })
+                        .collect();
+                    analyze_failures += analyses.iter().filter(|(_, o)| o.is_err()).count();
+                    fields.push(("analyze".to_string(), Value::Array(traces)));
+                }
+                json_files.push(Value::Object(fields));
             }
         }
     }
@@ -140,7 +193,7 @@ fn main() -> ExitCode {
 
     if io_failure {
         ExitCode::from(2)
-    } else if total_errors > 0 || (deny_warnings && total_warnings > 0) {
+    } else if total_errors > 0 || analyze_failures > 0 || (deny_warnings && total_warnings > 0) {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
@@ -152,7 +205,8 @@ fn usage(problem: &str) -> ExitCode {
         eprintln!("assess-check: {problem}");
     }
     eprintln!(
-        "usage: assess-check [--format text|json] [--scale S] [--deny-warnings] <file.assess>…"
+        "usage: assess-check [--format text|json] [--scale S] [--deny-warnings] [--analyze] \
+         <file.assess>…"
     );
     ExitCode::from(2)
 }

@@ -16,7 +16,9 @@
 //! Dot-commands: `.help`, `.strategy auto|np|jop|pop`, `.plan` (show the
 //! last plan), `.check` (re-run the analyzer on the last statement),
 //! `.suggest` (complete the last partial statement), `.schema`, `.quit`.
-//! `\check` is accepted as an alias for `.check`.
+//! `\check` is accepted as an alias for `.check`. A statement may be
+//! prefixed with `explain` (plans/costs only) or `explain analyze`
+//! (execute and print the measured trace tree).
 
 use std::io::{BufRead, Write};
 
@@ -100,23 +102,51 @@ fn main() {
         let statements = assess_olap::assess::stmt::split_statements(&buffer);
         buffer.clear();
         for (_, text) in statements {
-            match assess_olap::sql::parse_spanned(&text) {
+            // `explain [analyze]` directives prefix a normal statement; the
+            // remainder parses as usual.
+            let (directive, rest) = assess_olap::sql::strip_directive(&text);
+            match assess_olap::sql::parse_spanned(rest) {
                 Ok(spanned) => {
                     last_statement = Some(spanned.statement.clone());
-                    last_source = Some((text.clone(), spanned.spans.clone()));
+                    last_source = Some((rest.to_string(), spanned.spans.clone()));
                     let diagnostics =
                         runner.check_spanned(&spanned.statement, Some(&spanned.spans));
                     if !diagnostics.is_empty() {
-                        eprintln!("{}", diag::render_all(&diagnostics, Some(&text)));
+                        eprintln!("{}", diag::render_all(&diagnostics, Some(rest)));
                     }
                     if diagnostics.iter().any(|d| d.is_error()) {
                         continue; // refuse to plan a statement with errors
                     }
-                    run_statement(&runner, &spanned.statement, &chooser, &mut last_plan);
+                    match directive {
+                        None => {
+                            run_statement(&runner, &spanned.statement, &chooser, &mut last_plan)
+                        }
+                        Some(assess_olap::sql::Directive::Explain) => {
+                            match runner
+                                .resolve(&spanned.statement)
+                                .and_then(|resolved| explain::explain(&runner, &resolved))
+                            {
+                                Ok(text) => println!("{text}"),
+                                Err(e) => eprintln!("{e}"),
+                            }
+                        }
+                        Some(assess_olap::sql::Directive::ExplainAnalyze) => {
+                            match explain::explain_analyze(&runner, &spanned.statement) {
+                                Ok((text, report, _trace)) => {
+                                    println!("{text}");
+                                    last_plan = Some(format!(
+                                        "strategy {}\n{}",
+                                        report.strategy, report.plan
+                                    ));
+                                }
+                                Err(e) => eprintln!("{e}"),
+                            }
+                        }
+                    }
                 }
                 Err(e) => {
                     let d = Diagnostic::new(DiagCode::E001, e.span, e.message.clone());
-                    eprintln!("{}", diag::render(&d, Some(&text)));
+                    eprintln!("{}", diag::render(&d, Some(rest)));
                 }
             }
         }
@@ -145,6 +175,7 @@ fn handle_command(
                  .plan                      show the last executed plan\n\
                  .check                     re-run the static analyzer on the last statement\n\
                  .explain                   explain strategies/costs/SQL of the last statement\n\
+                 explain [analyze] <stmt>;  explain (or execute and trace) a statement inline\n\
                  .suggest                   complete the last statement without an against clause\n\
                  .schema                    list hierarchies and measures\n\
                  .quit                      leave"

@@ -22,8 +22,8 @@
 //!
 //! The protocol is newline-delimited JSON; see the `Serving` section of the
 //! README for request and response shapes. `--self-check` is the CI smoke
-//! mode: it exercises check → run → cached run → stats → cancel end to end
-//! and exits non-zero if any response deviates.
+//! mode: it exercises check → run → traced cached run → stats → metrics →
+//! cancel end to end and exits non-zero if any response deviates.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -212,8 +212,8 @@ fn expect(cond: bool, step: &str, response: &Value) -> Result<(), String> {
     }
 }
 
-/// The scripted session: check → run (cold) → run (cached) → stats →
-/// cancel. Returns the number of verified steps.
+/// The scripted session: check → run (cold) → traced run (cached) →
+/// stats → metrics → cancel. Returns the number of verified steps.
 fn run_self_check(handle: &assess_olap::serve::ServerHandle) -> Result<u32, String> {
     let mut client = LineClient::connect(handle.addr()).map_err(|e| format!("connect: {e}"))?;
 
@@ -231,9 +231,18 @@ fn run_self_check(handle: &assess_olap::serve::ServerHandle) -> Result<u32, Stri
         &cold,
     )?;
 
-    let warm = client.run(STATEMENT).map_err(|e| format!("cached run: {e}"))?;
+    // The warm run opts into tracing: a cache hit must still report a
+    // trace, with `cache_hit` set and no scan spans.
+    let warm = client.run_traced(STATEMENT).map_err(|e| format!("cached run: {e}"))?;
+    let trace_hit = warm
+        .get("trace")
+        .and_then(|t| t.get("cache_hit"))
+        .and_then(Value::as_bool)
+        .unwrap_or(false);
     expect(
-        field_bool(&warm, "ok") == Some(true) && field_bool(&warm, "cached") == Some(true),
+        field_bool(&warm, "ok") == Some(true)
+            && field_bool(&warm, "cached") == Some(true)
+            && trace_hit,
         "cached run",
         &warm,
     )?;
@@ -254,6 +263,17 @@ fn run_self_check(handle: &assess_olap::serve::ServerHandle) -> Result<u32, Stri
         &stats,
     )?;
 
+    let metrics = client.metrics().map_err(|e| format!("metrics: {e}"))?;
+    let exposition =
+        metrics.get("exposition").and_then(Value::as_str).unwrap_or_default().to_string();
+    expect(
+        field_bool(&metrics, "ok") == Some(true)
+            && !exposition.is_empty()
+            && exposition.contains("assess_serve_runs_total"),
+        "metrics",
+        &metrics,
+    )?;
+
     // Start a run and cancel it. Depending on timing the run is aborted
     // while queued/executing or has already finished; the protocol answers
     // both cases coherently and that is what the step verifies.
@@ -272,5 +292,5 @@ fn run_self_check(handle: &assess_olap::serve::ServerHandle) -> Result<u32, Stri
         &outcome,
     )?;
 
-    Ok(5)
+    Ok(6)
 }
