@@ -525,6 +525,33 @@ impl Exposition {
         self.out.push_str(&format!("{name} {value}\n"));
     }
 
+    /// Escapes a label value per the exposition format (`\`, `"`, newline).
+    fn escape_label(value: &str) -> String {
+        let mut out = String::with_capacity(value.len());
+        for c in value.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                other => out.push(other),
+            }
+        }
+        out
+    }
+
+    /// A labeled counter family: one `name{label="value"} sample` line per
+    /// entry under a single HELP/TYPE header.
+    pub fn counter_vec(&mut self, name: &str, help: &str, label: &str, samples: &[(&str, u64)]) {
+        if samples.is_empty() {
+            return;
+        }
+        self.header(name, help, "counter");
+        for (value, sample) in samples {
+            let escaped = Self::escape_label(value);
+            self.out.push_str(&format!("{name}{{{label}=\"{escaped}\"}} {sample}\n"));
+        }
+    }
+
     /// A point-in-time gauge.
     pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
         self.header(name, help, "gauge");
@@ -543,6 +570,40 @@ impl Exposition {
         self.out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", snap.count));
         self.out.push_str(&format!("{name}_sum {}\n", snap.sum_micros as f64 / 1000.0));
         self.out.push_str(&format!("{name}_count {}\n", snap.count));
+    }
+
+    /// A labeled histogram family: each entry's buckets carry the extra
+    /// label alongside the cumulative `le` bound.
+    pub fn histogram_vec(
+        &mut self,
+        name: &str,
+        help: &str,
+        label: &str,
+        samples: &[(&str, &HistogramSnapshot)],
+    ) {
+        if samples.is_empty() {
+            return;
+        }
+        self.header(name, help, "histogram");
+        for (value, snap) in samples {
+            let escaped = Self::escape_label(value);
+            let mut cumulative = 0u64;
+            for (bound, count) in LATENCY_BOUNDS_MS.iter().zip(&snap.buckets) {
+                cumulative += count;
+                self.out.push_str(&format!(
+                    "{name}_bucket{{{label}=\"{escaped}\",le=\"{bound}\"}} {cumulative}\n"
+                ));
+            }
+            self.out.push_str(&format!(
+                "{name}_bucket{{{label}=\"{escaped}\",le=\"+Inf\"}} {}\n",
+                snap.count
+            ));
+            self.out.push_str(&format!(
+                "{name}_sum{{{label}=\"{escaped}\"}} {}\n",
+                snap.sum_micros as f64 / 1000.0
+            ));
+            self.out.push_str(&format!("{name}_count{{{label}=\"{escaped}\"}} {}\n", snap.count));
+        }
     }
 
     pub fn finish(self) -> String {
@@ -635,6 +696,35 @@ mod tests {
         assert!(text.contains("assess_query_latency_ms_bucket{le=\"5\"} 1"));
         assert!(text.contains("assess_query_latency_ms_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("assess_query_latency_ms_count 1"));
+    }
+
+    #[test]
+    fn exposition_renders_labeled_families() {
+        let h = Histogram::new();
+        h.observe(Duration::from_millis(3));
+        let snap = h.snapshot();
+        let mut exp = Exposition::new();
+        exp.counter_vec(
+            "assess_tenant_runs_total",
+            "Runs per tenant.",
+            "tenant",
+            &[("anonymous", 4), ("quo\"ted", 1)],
+        );
+        exp.histogram_vec(
+            "assess_tenant_latency_ms",
+            "Run wall time per tenant.",
+            "tenant",
+            &[("anonymous", &snap)],
+        );
+        // Empty families emit nothing, not a dangling header.
+        exp.counter_vec("assess_tenant_empty_total", "Nothing.", "tenant", &[]);
+        let text = exp.finish();
+        assert!(text.contains("# TYPE assess_tenant_runs_total counter"));
+        assert!(text.contains("assess_tenant_runs_total{tenant=\"anonymous\"} 4"));
+        assert!(text.contains("assess_tenant_runs_total{tenant=\"quo\\\"ted\"} 1"));
+        assert!(text.contains("assess_tenant_latency_ms_bucket{tenant=\"anonymous\",le=\"5\"} 1"));
+        assert!(text.contains("assess_tenant_latency_ms_count{tenant=\"anonymous\"} 1"));
+        assert!(!text.contains("assess_tenant_empty_total"));
     }
 
     #[test]

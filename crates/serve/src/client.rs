@@ -5,13 +5,67 @@
 //! of order (a quick `stats` answered by the reader thread can overtake a
 //! long `run` answered by an executor), so [`LineClient::wait_for`]
 //! buffers whatever arrives for other ids until asked for it.
+//!
+//! With [`LineClient::with_retry`] the client transparently retries
+//! requests the server refuses with `overloaded`/`queue_full`: it sleeps
+//! for the response's `retry_after_ms` hint (or its own exponential
+//! schedule when the hint is missing), jittered to avoid thundering-herd
+//! resubmission, up to [`RetryPolicy::max_retries`] attempts.
 
 use std::io::{BufRead, BufReader, Write as _};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 use serde::Value;
 
-use crate::protocol::{self, get_u64, n, obj, s};
+use crate::protocol::{self, get_str, get_u64, n, obj, s};
+
+/// Backoff behavior for [`LineClient::with_retry`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the first refusal (0 = behave like a bare client).
+    pub max_retries: u32,
+    /// Base of the exponential schedule when the server sends no
+    /// `retry_after_ms` hint: attempt k sleeps `base * 2^k`, capped.
+    pub base_delay: Duration,
+    /// Upper bound on any single sleep, hinted or not.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 5,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A tiny xorshift generator for retry jitter — deterministic given its
+/// seed, no dependencies, good enough for decorrelating client sleeps.
+struct Jitter(u64);
+
+impl Jitter {
+    fn new() -> Self {
+        let seed = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+            .unwrap_or(0x9e37_79b9);
+        Jitter(seed | 1)
+    }
+
+    /// A factor in `[0.5, 1.0)`: sleeps are shortened, never lengthened,
+    /// so `retry_after_ms` stays an upper bound per attempt.
+    fn factor(&mut self) -> f64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        0.5 + (x >> 11) as f64 / (1u64 << 53) as f64 / 2.0
+    }
+}
 
 /// A connected client session.
 pub struct LineClient {
@@ -21,15 +75,29 @@ pub struct LineClient {
     session_id: u64,
     /// Responses read while waiting for a different id.
     pending: Vec<Value>,
+    /// When set, `request` retries `overloaded`/`queue_full` refusals.
+    retry: Option<RetryPolicy>,
+    jitter: Jitter,
 }
 
 impl LineClient {
     /// Connects and consumes the server's hello line.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<LineClient> {
         let writer = TcpStream::connect(addr)?;
+        // Interactive line protocol: without TCP_NODELAY, Nagle holds a
+        // second request back until the first one's response ACKs, which
+        // serializes what should be pipelined sends.
+        writer.set_nodelay(true)?;
         let reader = BufReader::new(writer.try_clone()?);
-        let mut client =
-            LineClient { writer, reader, next_id: 1, session_id: 0, pending: Vec::new() };
+        let mut client = LineClient {
+            writer,
+            reader,
+            next_id: 1,
+            session_id: 0,
+            pending: Vec::new(),
+            retry: None,
+            jitter: Jitter::new(),
+        };
         let hello = client.read_response()?;
         if hello.get("error").is_some() {
             let message = hello
@@ -47,6 +115,13 @@ impl LineClient {
     /// The server-assigned session id from the hello line.
     pub fn session_id(&self) -> u64 {
         self.session_id
+    }
+
+    /// Opts into transparent retry of `overloaded`/`queue_full` refusals
+    /// for every [`Self::request`]-based call.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
     }
 
     /// Sends a raw line (appending `\n` if missing) without waiting.
@@ -97,16 +172,54 @@ impl LineClient {
         }
     }
 
-    /// Sends a request and waits for its response.
+    /// Whether a response is an admission refusal worth retrying, and its
+    /// `retry_after_ms` hint if the server sent one.
+    fn refusal_hint(response: &Value) -> Option<Option<u64>> {
+        let error = response.get("error")?;
+        match get_str(error, "code") {
+            Some("overloaded") | Some("queue_full") => Some(get_u64(error, "retry_after_ms")),
+            _ => None,
+        }
+    }
+
+    /// Sends a request and waits for its response. With a [`RetryPolicy`]
+    /// installed (see [`Self::with_retry`]), `overloaded`/`queue_full`
+    /// refusals are retried after a jittered sleep honoring the server's
+    /// `retry_after_ms` hint; other errors return as-is.
     pub fn request(&mut self, fields: Vec<(&str, Value)>) -> std::io::Result<Value> {
-        let id = self.send(fields)?;
-        self.wait_for(id)
+        let Some(policy) = self.retry.clone() else {
+            let id = self.send(fields)?;
+            return self.wait_for(id);
+        };
+        let mut attempt: u32 = 0;
+        loop {
+            let id = self.send(fields.clone())?;
+            let response = self.wait_for(id)?;
+            let Some(hint) = Self::refusal_hint(&response) else {
+                return Ok(response);
+            };
+            if attempt >= policy.max_retries {
+                return Ok(response); // refusal stands; caller sees it
+            }
+            let backoff = match hint {
+                Some(ms) => Duration::from_millis(ms),
+                None => policy.base_delay.saturating_mul(1u32 << attempt.min(16)),
+            };
+            let capped = backoff.min(policy.max_delay).max(Duration::from_millis(1));
+            std::thread::sleep(capped.mul_f64(self.jitter.factor()));
+            attempt += 1;
+        }
     }
 
     // ------------------------------------------------------- conveniences
 
     pub fn ping(&mut self) -> std::io::Result<Value> {
         self.request(vec![("op", s("ping"))])
+    }
+
+    /// Binds the session to the tenant owning `key` via the `auth` op.
+    pub fn auth(&mut self, key: &str) -> std::io::Result<Value> {
+        self.request(vec![("op", s("auth")), ("key", s(key))])
     }
 
     pub fn check(&mut self, statement: &str) -> std::io::Result<Value> {

@@ -10,17 +10,25 @@
 //! std-only — `std::net` sockets, `std::thread` workers, no async runtime —
 //! and is layered bottom-up:
 //!
-//! * [`protocol`] — the wire format: requests (`check`, `run`, `explain`,
-//!   `stats`, `history`, `set_policy`, `cancel`, `ping`) parsed from JSON
-//!   lines, responses built back into JSON lines, diagnostics rendered via
-//!   `assess_core::diag`;
-//! * [`session`] — per-connection state: session id, default
+//! * [`protocol`] — the wire format: requests (`auth`, `check`, `run`,
+//!   `explain`, `stats`, `history`, `set_policy`, `cancel`, `ping`) parsed
+//!   from JSON lines, responses built back into JSON lines, diagnostics
+//!   rendered via `assess_core::diag`;
+//! * [`tenant`] — tenant identity: the API-key directory loaded from a
+//!   `--tenants` config file, each tenant's fair-share weight, quotas
+//!   (max in-flight, max queued, requests/second) and policy ceiling, with
+//!   a built-in anonymous tenant for unauthenticated sessions;
+//! * [`session`] — per-connection state: session id, bound tenant, default
 //!   [`ExecutionPolicy`](assess_core::ExecutionPolicy), statement history,
 //!   the in-flight run registry used for cancellation, and idle-eviction
 //!   bookkeeping;
-//! * [`admission`] — a semaphore-bounded admission gate for `run` requests
-//!   plus the derivation of each run's effective policy from the server's
-//!   ceiling and the session's preferences;
+//! * [`admission`] — tenant-aware admission control: per-tenant quotas and
+//!   token-bucket rate limits behind structured `overloaded`/`queue_full`
+//!   refusals carrying `retry_after_ms` hints, soft-shedding levels, the
+//!   deficit-weighted-round-robin [`FairQueue`](admission::FairQueue) the
+//!   executors drain, and the derivation of each run's effective policy
+//!   from the server's ceiling, the tenant's ceiling and the session's
+//!   preferences;
 //! * [`cache`] — the shared LRU result cache, keyed on the normalized
 //!   statement text ([`assess_core::stmt::normalize`]) plus a policy
 //!   fingerprint, validated against the catalog's mutation counter
@@ -37,10 +45,12 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 pub mod session;
+pub mod tenant;
 
-pub use admission::{derive_policy, Admission, AdmissionError};
+pub use admission::{derive_policy, Admission, AdmissionError, FairQueue, Permit, ShedLevel};
 pub use cache::{cache_key, policy_fingerprint, CacheStats, ResultCache};
-pub use client::LineClient;
+pub use client::{LineClient, RetryPolicy};
 pub use protocol::{parse_request, Op, ProtoError, Request, RunFormat, RunOptions};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use session::{HistoryEntry, Session, SessionRegistry};
+pub use tenant::{TenantDirectory, TenantId, TenantSpec, ANONYMOUS};

@@ -49,6 +49,11 @@ pub struct RunOptions {
 #[derive(Debug, Clone)]
 pub enum Op {
     Ping,
+    /// Binds the session to a tenant: `{"op":"auth","key":"..."}`. Omitting
+    /// the key (or the op altogether) leaves the session anonymous.
+    Auth {
+        key: Option<String>,
+    },
     Check {
         statement: String,
     },
@@ -77,6 +82,7 @@ impl Op {
     pub fn name(&self) -> &'static str {
         match self {
             Op::Ping => "ping",
+            Op::Auth { .. } => "auth",
             Op::Check { .. } => "check",
             Op::Run(_) => "run",
             Op::Explain { .. } => "explain",
@@ -169,6 +175,12 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
     };
     let op = match op_name {
         "ping" => Op::Ping,
+        "auth" => {
+            if value.get("key").is_some() && get_str(&value, "key").is_none() {
+                return Err(ProtoError::new("bad_request", "`key` must be a string"));
+            }
+            Op::Auth { key: get_str(&value, "key").map(str::to_string) }
+        }
         "check" => Op::Check { statement: statement(&value)? },
         "explain" => Op::Explain { statement: statement(&value)? },
         "stats" => Op::Stats,
@@ -256,6 +268,19 @@ pub fn error_response(id: Option<u64>, code: &str, message: &str) -> Value {
     ])
 }
 
+/// An overload refusal: an [`error_response`] whose error object also
+/// carries the backoff hint — `{"error": {"code", "message",
+/// "retry_after_ms"}}`. Clients must not retry sooner than the hint.
+pub fn overload_response(id: Option<u64>, code: &str, message: &str, retry_after_ms: u64) -> Value {
+    let mut value = error_response(id, code, message);
+    if let Value::Object(fields) = &mut value {
+        if let Some((_, Value::Object(error))) = fields.iter_mut().find(|(k, _)| k == "error") {
+            error.push(("retry_after_ms".to_string(), n(retry_after_ms)));
+        }
+    }
+    value
+}
+
 /// Like [`error_response`], with diagnostics attached.
 pub fn error_with_diagnostics(
     id: Option<u64>,
@@ -337,6 +362,28 @@ mod tests {
             }
             other => panic!("wrong op: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_auth() {
+        let with_key = parse_request(r#"{"op":"auth","id":1,"key":"secret"}"#).unwrap();
+        match with_key.op {
+            Op::Auth { key } => assert_eq!(key.as_deref(), Some("secret")),
+            other => panic!("wrong op: {other:?}"),
+        }
+        let bare = parse_request(r#"{"op":"auth"}"#).unwrap();
+        assert!(matches!(bare.op, Op::Auth { key: None }));
+        assert_eq!(parse_request(r#"{"op":"auth","key":7}"#).unwrap_err().code, "bad_request");
+    }
+
+    #[test]
+    fn overload_responses_carry_the_backoff_hint() {
+        let refusal = overload_response(Some(4), "overloaded", "tenant quota exhausted", 250);
+        let back: Value = serde_json::from_str(to_line(&refusal).trim()).unwrap();
+        assert_eq!(get_bool(&back, "ok"), Some(false));
+        let error = back.get("error").unwrap();
+        assert_eq!(get_str(error, "code"), Some("overloaded"));
+        assert_eq!(get_u64(error, "retry_after_ms"), Some(250));
     }
 
     #[test]

@@ -22,11 +22,11 @@
 //! readers notice at their next read timeout, and executors drain the
 //! remaining queue before exiting.
 
-use std::collections::{BTreeMap, VecDeque};
-use std::io::{BufRead, BufReader, ErrorKind, Write as _};
+use std::collections::BTreeMap;
+use std::io::{ErrorKind, Read, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -37,10 +37,11 @@ use assess_core::{explain, stmt, AssessError, AssessedCube, ExecutionPolicy, Str
 use olap_engine::{CancelToken, Engine, WorkerPool};
 use serde::Value;
 
-use crate::admission::{self, Admission, AdmissionError, Permit};
+use crate::admission::{self, Admission, FairQueue, Permit, ShedLevel};
 use crate::cache::{cache_key, policy_fingerprint, CacheStats, ResultCache};
 use crate::protocol::{self, n, s, Op, RunFormat, RunOptions};
 use crate::session::{HistoryEntry, Session, SessionRegistry};
+use crate::tenant::{TenantDirectory, ANONYMOUS};
 
 /// How often blocked reads and the acceptor wake up to check the
 /// shutdown flag and the idle clock.
@@ -74,6 +75,12 @@ pub struct ServerConfig {
     /// (`0` = auto: available cores − 1). Per-scan parallelism is further
     /// capped by the ceiling / session `max_threads`.
     pub scan_threads: usize,
+    /// Tenant directory: API keys, weights, quotas, and per-tenant policy
+    /// ceilings. The default knows only the anonymous tenant.
+    pub tenants: Arc<TenantDirectory>,
+    /// Longest accepted request line in bytes; longer frames are answered
+    /// with `frame_too_large` and discarded instead of buffered unboundedly.
+    pub max_frame_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +95,8 @@ impl Default for ServerConfig {
             default_row_limit: 50,
             ceiling: ExecutionPolicy::default(),
             scan_threads: 0,
+            tenants: Arc::new(TenantDirectory::anonymous_only()),
+            max_frame_bytes: 256 * 1024,
         }
     }
 }
@@ -113,7 +122,7 @@ struct Job {
     opts: RunOptions,
     token: CancelToken,
     writer: SharedWriter,
-    _permit: Permit,
+    permit: Permit,
 }
 
 #[derive(Default)]
@@ -138,8 +147,9 @@ struct Shared {
     runs: RunCounters,
     started: Instant,
     shutdown: AtomicBool,
-    queue: Mutex<VecDeque<Job>>,
-    queue_cv: Condvar,
+    /// Admitted runs waiting for an executor, drained fairly across
+    /// tenants by deficit-weighted round-robin.
+    queue: FairQueue<Job>,
     running: AtomicU64,
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -159,19 +169,14 @@ impl Shared {
 
     /// Pops the next run job; `None` once shut down **and** drained.
     fn pop_job(&self) -> Option<Job> {
-        let mut queue = lock(&self.queue);
         loop {
-            if let Some(job) = queue.pop_front() {
+            if let Some(job) = self.queue.pop_timeout(POLL_INTERVAL) {
                 return Some(job);
             }
             if self.shutdown.load(Ordering::Relaxed) {
-                return None;
+                // Drain whatever is left so queued clients get answers.
+                return self.queue.try_pop();
             }
-            queue = self
-                .queue_cv
-                .wait_timeout(queue, POLL_INTERVAL)
-                .unwrap_or_else(|poison| poison.into_inner())
-                .0;
         }
     }
 }
@@ -194,14 +199,17 @@ pub fn serve(engine: Engine, config: ServerConfig) -> std::io::Result<ServerHand
         engine,
         pool,
         sessions: SessionRegistry::new(config.max_sessions),
-        admission: Admission::new(config.workers + config.max_queued),
+        admission: Admission::new(
+            config.workers + config.max_queued,
+            config.workers,
+            config.tenants.clone(),
+        ),
         cache: ResultCache::new(config.cache_capacity),
         ops: Mutex::new(BTreeMap::new()),
         runs: RunCounters::default(),
         started: Instant::now(),
         shutdown: AtomicBool::new(false),
-        queue: Mutex::new(VecDeque::new()),
-        queue_cv: Condvar::new(),
+        queue: FairQueue::new(config.tenants.weights()),
         running: AtomicU64::new(0),
         conn_threads: Mutex::new(Vec::new()),
         config,
@@ -251,7 +259,7 @@ impl ServerHandle {
 
     fn stop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Relaxed);
-        self.shared.queue_cv.notify_all();
+        self.shared.queue.notify_all();
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
@@ -300,6 +308,108 @@ fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
 
 // ------------------------------------------------------------- connections
 
+/// One event of the framing layer, as consumed by the connection loop.
+#[derive(Debug, PartialEq, Eq)]
+enum FrameEvent {
+    /// A complete `\n`-terminated frame (newline stripped, UTF-8 checked).
+    Line(String),
+    /// The frame exceeded the size cap; its remainder (up to the next
+    /// newline) is being discarded without buffering.
+    TooLarge,
+    /// A complete frame that is not valid UTF-8.
+    NotUtf8,
+    /// The read timed out with no complete frame — poll the shutdown flag
+    /// and the idle clock, then come back.
+    Timeout,
+    /// Peer closed cleanly; carries a final unterminated frame if any.
+    Eof(Option<String>),
+    /// Hard I/O error; drop the connection.
+    Closed,
+}
+
+/// Incremental newline framing with a hard per-frame size cap.
+///
+/// Unlike `BufReader::read_line`, an oversized or non-UTF-8 frame is a
+/// *recoverable* event: the frame is rejected, its bytes are discarded (in
+/// chunks — never buffered whole), and the connection keeps serving. This
+/// is what bounds a garbage flood to O(`max` + chunk) memory, and why a
+/// slow-loris drip of bytes without a newline yields only [`FrameEvent::Timeout`]s
+/// — the idle clock keeps running and the session gets evicted.
+struct FrameReader<R> {
+    reader: R,
+    buf: Vec<u8>,
+    max: usize,
+    /// Set after `TooLarge`: swallow bytes until the next newline.
+    discarding: bool,
+}
+
+impl<R: Read> FrameReader<R> {
+    fn new(reader: R, max: usize) -> Self {
+        FrameReader { reader, buf: Vec::new(), max: max.max(1), discarding: false }
+    }
+
+    fn take_line(&mut self, end: usize) -> Option<String> {
+        let mut line: Vec<u8> = self.buf.drain(..=end).collect();
+        line.pop(); // the newline
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        String::from_utf8(line).ok()
+    }
+
+    fn next_event(&mut self) -> FrameEvent {
+        loop {
+            // Drain complete frames already buffered.
+            while let Some(end) = self.buf.iter().position(|&b| b == b'\n') {
+                if self.discarding {
+                    // Tail of an already-reported oversized frame.
+                    self.buf.drain(..=end);
+                    self.discarding = false;
+                    continue;
+                }
+                if end > self.max {
+                    // The whole oversized frame arrived in one gulp, so
+                    // the mid-read size check below never saw it; the cap
+                    // must not depend on how TCP chunked the bytes.
+                    self.buf.drain(..=end);
+                    return FrameEvent::TooLarge;
+                }
+                return match self.take_line(end) {
+                    Some(line) => FrameEvent::Line(line),
+                    None => FrameEvent::NotUtf8,
+                };
+            }
+            if self.discarding {
+                self.buf.clear(); // no newline yet: keep memory bounded
+            } else if self.buf.len() > self.max {
+                self.buf.clear();
+                self.discarding = true;
+                return FrameEvent::TooLarge;
+            }
+            let mut chunk = [0u8; 4096];
+            match self.reader.read(&mut chunk) {
+                Ok(0) => {
+                    if self.discarding || self.buf.is_empty() {
+                        return FrameEvent::Eof(None);
+                    }
+                    let tail = std::mem::take(&mut self.buf);
+                    return FrameEvent::Eof(String::from_utf8(tail).ok());
+                }
+                Ok(read) => self.buf.extend_from_slice(&chunk[..read]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                    ) =>
+                {
+                    return FrameEvent::Timeout;
+                }
+                Err(_) => return FrameEvent::Closed,
+            }
+        }
+    }
+}
+
 fn write_line(writer: &SharedWriter, response: &Value) {
     let line = protocol::to_line(response);
     let mut stream = lock(writer);
@@ -339,31 +449,49 @@ fn handle_connection(shared: Arc<Shared>, stream: TcpStream) {
             ],
         ),
     );
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut reader = FrameReader::new(stream, shared.config.max_frame_bytes);
     loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => {
-                // EOF; a final unterminated line still gets processed.
-                if !line.trim().is_empty() {
-                    session.touch();
-                    handle_line(&shared, &session, &writer, &std::mem::take(&mut line));
-                }
-                break;
-            }
-            Ok(_) => {
+        match reader.next_event() {
+            FrameEvent::Line(text) => {
+                // Only a *complete* frame counts as activity: a slow-loris
+                // peer dripping bytes never touches the idle clock.
                 session.touch();
-                let text = std::mem::take(&mut line);
                 if !text.trim().is_empty() {
                     handle_line(&shared, &session, &writer, &text);
                 }
             }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
-                ) =>
-            {
+            FrameEvent::TooLarge => {
+                session.touch();
+                write_line(
+                    &writer,
+                    &protocol::error_response(
+                        None,
+                        "frame_too_large",
+                        &format!(
+                            "request line exceeds {} bytes and was discarded",
+                            shared.config.max_frame_bytes
+                        ),
+                    ),
+                );
+            }
+            FrameEvent::NotUtf8 => {
+                session.touch();
+                write_line(
+                    &writer,
+                    &protocol::error_response(None, "bad_request", "request line is not UTF-8"),
+                );
+            }
+            FrameEvent::Eof(tail) => {
+                // A final unterminated line still gets processed.
+                if let Some(text) = tail {
+                    if !text.trim().is_empty() {
+                        session.touch();
+                        handle_line(&shared, &session, &writer, &text);
+                    }
+                }
+                break;
+            }
+            FrameEvent::Timeout => {
                 if shared.shutdown.load(Ordering::Relaxed) {
                     break;
                 }
@@ -376,7 +504,7 @@ fn handle_connection(shared: Arc<Shared>, stream: TcpStream) {
                     break;
                 }
             }
-            Err(_) => break,
+            FrameEvent::Closed => break,
         }
     }
     // Dropped (or evicted) connection: cancel whatever is still in
@@ -397,6 +525,7 @@ fn handle_line(shared: &Arc<Shared>, session: &Arc<Session>, writer: &SharedWrit
     let id = request.id;
     let response = match request.op {
         Op::Ping => protocol::ok_response(id, vec![("pong", Value::Bool(true))]),
+        Op::Auth { key } => auth_response(shared, session, id, key.as_deref()),
         Op::Check { statement } => check_response(shared, id, &statement),
         Op::Explain { statement } => explain_response(shared, id, &statement),
         Op::Stats => stats_response(shared, session, id),
@@ -457,35 +586,41 @@ fn enqueue_run(
         );
         return;
     }
-    let permit = match shared.admission.try_admit() {
+    let tenant = session.tenant();
+    let permit = match shared.admission.try_admit(tenant) {
         Ok(permit) => permit,
-        Err(AdmissionError::QueueFull) => {
+        Err(refusal) => {
+            // Structured refusal with a backoff hint — never a dropped
+            // request, never unbounded queueing.
             session.finish_run(request_id);
             write_line(
                 writer,
-                &protocol::error_response(id, "queue_full", "too many runs in flight, retry later"),
+                &protocol::overload_response(
+                    id,
+                    refusal.code(),
+                    &refusal.message(),
+                    refusal.retry_after_ms(),
+                ),
             );
             return;
         }
     };
-    let job = Job {
-        session: session.clone(),
-        request_id,
-        opts,
-        token,
-        writer: writer.clone(),
-        _permit: permit,
-    };
-    lock(&shared.queue).push_back(job);
-    shared.queue_cv.notify_one();
+    let job =
+        Job { session: session.clone(), request_id, opts, token, writer: writer.clone(), permit };
+    shared.queue.push(tenant, job);
 }
 
 // --------------------------------------------------------------- executors
 
 fn executor_loop(shared: Arc<Shared>) {
-    while let Some(job) = shared.pop_job() {
+    while let Some(mut job) = shared.pop_job() {
+        job.permit.mark_running();
         shared.running.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
         let response = execute_run(&shared, &job);
+        let counters = shared.admission.counters(job.permit.tenant());
+        counters.completed.fetch_add(1, Ordering::Relaxed);
+        counters.latency.observe(t0.elapsed());
         job.session.finish_run(job.request_id);
         let writer = job.writer.clone();
         // Release the admission permit *before* the response goes out: a
@@ -547,8 +682,19 @@ fn execute_run(shared: &Shared, job: &Job) -> Value {
     }
     let warnings = diagnostics; // errors returned above; only warnings left
 
-    let policy =
-        admission::derive_policy(&shared.config.ceiling, &job.session.policy(), job.token.clone());
+    // Soft shedding: under pressure the run still executes, but trace
+    // capture and cache *inserts* are disabled (lookups stay on — a hit is
+    // the cheapest way to serve). The response says so via `"shed"`.
+    let shed = job.permit.shed();
+    let want_trace = opts.trace && shed == ShedLevel::Full;
+
+    let tenant_ceiling = &shared.admission.directory().spec(job.permit.tenant()).ceiling;
+    let policy = admission::derive_policy(
+        &shared.config.ceiling,
+        tenant_ceiling,
+        &job.session.policy(),
+        job.token.clone(),
+    );
     let key =
         cache_key(&stmt::normalize(&opts.statement), &policy_fingerprint(&policy, opts.strategy));
     let catalog = shared.engine.catalog().clone();
@@ -561,19 +707,20 @@ fn execute_run(shared: &Shared, job: &Job) -> Value {
             record("cached", elapsed_ms, hit.cube.len());
             // A hit never scans: its trace is a single `cache_hit` leaf
             // (zero scan spans), with the original strategy for context.
-            let trace = opts.trace.then(|| TraceTree {
+            let trace = want_trace.then(|| TraceTree {
                 strategy: Some(hit.strategy),
                 cache_hit: true,
                 spans: vec![
                     TraceSpan::new("cache_hit", t0.elapsed()).with_rows(hit.cube.len() as u64)
                 ],
             });
-            return run_response(id, &hit, true, elapsed_ms, &warnings, opts, shared, trace);
+            let response = run_response(id, &hit, true, elapsed_ms, &warnings, opts, shared, trace);
+            return mark_shed(response, shed);
         }
     }
 
     let runner = AssessRunner::new(shared.engine.clone()).with_policy(policy);
-    let outcome = match (opts.strategy, opts.trace) {
+    let outcome = match (opts.strategy, want_trace) {
         (Some(strategy), false) => {
             runner.run(&spanned.statement, strategy).map(|(cube, report)| (cube, report, None))
         }
@@ -603,11 +750,12 @@ fn execute_run(shared: &Shared, job: &Job) -> Value {
             let response =
                 run_response(id, &result, false, elapsed_ms, &warnings, opts, shared, trace);
             // Only cache results the catalog provably did not shift under:
-            // same even version before and after the run.
-            if opts.cache && catalog.version() == version_before {
+            // same even version before and after the run. Under shedding,
+            // skip the insert entirely.
+            if opts.cache && shed == ShedLevel::Full && catalog.version() == version_before {
                 shared.cache.insert(key, result, version_before);
             }
-            response
+            mark_shed(response, shed)
         }
         Err(e) => {
             let elapsed_ms = ms(t0.elapsed());
@@ -639,6 +787,37 @@ fn execute_run(shared: &Shared, job: &Job) -> Value {
 }
 
 // --------------------------------------------------------------- responses
+
+/// Tags a response produced under soft shedding with `"shed": "light"`.
+fn mark_shed(mut response: Value, shed: ShedLevel) -> Value {
+    if shed == ShedLevel::Light {
+        if let Value::Object(fields) = &mut response {
+            fields.push(("shed".to_string(), s("light")));
+        }
+    }
+    response
+}
+
+/// The `auth` op: binds the session to the tenant owning the key (or back
+/// to anonymous when no key is given). Unknown keys leave the binding
+/// untouched and answer `auth_failed`.
+fn auth_response(shared: &Shared, session: &Session, id: Option<u64>, key: Option<&str>) -> Value {
+    let tenant = match key {
+        None => Some(ANONYMOUS),
+        Some(key) => shared.config.tenants.authenticate(key),
+    };
+    match tenant {
+        Some(tenant) => {
+            session.set_tenant(tenant);
+            let spec = shared.config.tenants.spec(tenant);
+            protocol::ok_response(
+                id,
+                vec![("tenant", s(spec.name.clone())), ("weight", n(u64::from(spec.weight)))],
+            )
+        }
+        None => protocol::error_response(id, "auth_failed", "unknown API key"),
+    }
+}
 
 #[allow(clippy::too_many_arguments)]
 fn run_response(
@@ -804,13 +983,15 @@ fn stats_response(shared: &Shared, session: &Session, id: Option<u64>) -> Value 
                     ("limit", n(adm.limit as u64)),
                     ("admitted", n(adm.admitted)),
                     ("rejected", n(adm.rejected)),
+                    ("shed_light", n(adm.shed_light)),
                 ]),
             ),
+            ("tenants", tenants_json(shared)),
             (
                 "executor",
                 protocol::obj(vec![
                     ("workers", n(shared.config.workers as u64)),
-                    ("queued", n(lock(&shared.queue).len() as u64)),
+                    ("queued", n(shared.queue.len() as u64)),
                     ("running", n(shared.running.load(Ordering::Relaxed))),
                 ]),
             ),
@@ -849,6 +1030,32 @@ fn stats_response(shared: &Shared, session: &Session, id: Option<u64>) -> Value 
             ),
             ("ops", ops),
         ],
+    )
+}
+
+/// Per-tenant gating state and counters for the `stats` op, in tenant-id
+/// order.
+fn tenants_json(shared: &Shared) -> Value {
+    Value::Array(
+        shared
+            .admission
+            .tenant_stats()
+            .into_iter()
+            .map(|ts| {
+                protocol::obj(vec![
+                    ("name", s(ts.name)),
+                    ("weight", n(u64::from(ts.weight))),
+                    ("queued", n(ts.queued)),
+                    ("running", n(ts.running)),
+                    ("admitted", n(ts.admitted)),
+                    ("completed", n(ts.completed)),
+                    ("rejected_quota", n(ts.rejected_quota)),
+                    ("rejected_rate", n(ts.rejected_rate)),
+                    ("shed_light", n(ts.shed_light)),
+                    ("latency", ts.latency.to_json()),
+                ])
+            })
+            .collect(),
     )
 }
 
@@ -962,6 +1169,62 @@ fn metrics_response(shared: &Shared, id: Option<u64>) -> Value {
     );
     exp.counter("assess_serve_cache_misses_total", "Result-cache misses.", cache.misses);
     exp.gauge("assess_serve_sessions_active", "Open sessions.", sessions.active as f64);
+    let adm = shared.admission.stats();
+    exp.counter("assess_serve_admitted_total", "Runs admitted.", adm.admitted);
+    exp.counter(
+        "assess_serve_rejected_total",
+        "Runs refused at admission (queue_full/overloaded).",
+        adm.rejected,
+    );
+    exp.counter(
+        "assess_serve_shed_light_total",
+        "Runs admitted under soft shedding.",
+        adm.shed_light,
+    );
+
+    // Per-tenant families, labeled `tenant="..."`.
+    let tenant_stats = shared.admission.tenant_stats();
+    let with = |f: fn(&admission::TenantStats) -> u64| -> Vec<(&str, u64)> {
+        tenant_stats.iter().map(|ts| (ts.name.as_str(), f(ts))).collect()
+    };
+    exp.counter_vec(
+        "assess_tenant_admitted_total",
+        "Runs admitted per tenant.",
+        "tenant",
+        &with(|ts| ts.admitted),
+    );
+    exp.counter_vec(
+        "assess_tenant_completed_total",
+        "Runs completed per tenant.",
+        "tenant",
+        &with(|ts| ts.completed),
+    );
+    exp.counter_vec(
+        "assess_tenant_rejected_quota_total",
+        "Runs refused by tenant quota.",
+        "tenant",
+        &with(|ts| ts.rejected_quota),
+    );
+    exp.counter_vec(
+        "assess_tenant_rejected_rate_total",
+        "Runs refused by tenant rate limit.",
+        "tenant",
+        &with(|ts| ts.rejected_rate),
+    );
+    exp.counter_vec(
+        "assess_tenant_shed_light_total",
+        "Runs served under soft shedding per tenant.",
+        "tenant",
+        &with(|ts| ts.shed_light),
+    );
+    let latencies: Vec<(&str, &obs::HistogramSnapshot)> =
+        tenant_stats.iter().map(|ts| (ts.name.as_str(), &ts.latency)).collect();
+    exp.histogram_vec(
+        "assess_tenant_run_latency_ms",
+        "Run wall time per tenant (milliseconds).",
+        "tenant",
+        &latencies,
+    );
 
     let metrics = protocol::obj(vec![
         ("core", core.to_json()),
@@ -977,4 +1240,86 @@ fn metrics_response(shared: &Shared, id: Option<u64>) -> Value {
         ),
     ]);
     protocol::ok_response(id, vec![("exposition", s(exp.finish())), ("metrics", metrics)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{FrameEvent, FrameReader};
+
+    /// A reader serving predetermined chunks, one per `read` call — lets
+    /// the tests control exactly how "TCP" slices the byte stream.
+    struct Chunks(Vec<Vec<u8>>);
+
+    impl std::io::Read for Chunks {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            if self.0.is_empty() {
+                return Ok(0);
+            }
+            let chunk = self.0.remove(0);
+            out[..chunk.len()].copy_from_slice(&chunk);
+            Ok(chunk.len())
+        }
+    }
+
+    fn events(max: usize, chunks: Vec<Vec<u8>>) -> Vec<FrameEvent> {
+        let mut reader = FrameReader::new(Chunks(chunks), max);
+        let mut seen = Vec::new();
+        loop {
+            let event = reader.next_event();
+            let done = matches!(event, FrameEvent::Eof(_) | FrameEvent::Closed);
+            seen.push(event);
+            if done {
+                return seen;
+            }
+        }
+    }
+
+    /// An oversized line whose newline arrives in the same read as its
+    /// body must still be refused: the cap cannot depend on how the
+    /// transport chunked the bytes.
+    #[test]
+    fn oversized_frame_in_one_read_is_too_large() {
+        let mut line = vec![b'x'; 100];
+        line.extend_from_slice(b"\nping\n");
+        let seen = events(64, vec![line]);
+        assert!(matches!(seen[0], FrameEvent::TooLarge), "{seen:?}");
+        assert!(matches!(&seen[1], FrameEvent::Line(l) if l == "ping"), "{seen:?}");
+    }
+
+    /// The same oversized line dribbled in below-cap chunks takes the
+    /// mid-read path; the verdict must be identical.
+    #[test]
+    fn oversized_frame_across_reads_is_too_large() {
+        let chunks = vec![vec![b'x'; 50], vec![b'x'; 50], b"\nping\n".to_vec()];
+        let seen = events(64, chunks);
+        assert!(matches!(seen[0], FrameEvent::TooLarge), "{seen:?}");
+        assert!(matches!(&seen[1], FrameEvent::Line(l) if l == "ping"), "{seen:?}");
+    }
+
+    /// A line of exactly `max` bytes is within the cap on both paths.
+    #[test]
+    fn frame_at_the_cap_passes() {
+        let mut line = vec![b'y'; 64];
+        line.push(b'\n');
+        let seen = events(64, vec![line.clone()]);
+        assert!(matches!(&seen[0], FrameEvent::Line(l) if l.len() == 64), "{seen:?}");
+        let seen = events(64, vec![line[..30].to_vec(), line[30..].to_vec()]);
+        assert!(matches!(&seen[0], FrameEvent::Line(l) if l.len() == 64), "{seen:?}");
+    }
+
+    /// Non-UTF-8 frames are reported as such and the stream continues.
+    #[test]
+    fn non_utf8_frame_is_flagged_and_skipped() {
+        let seen = events(64, vec![b"\xff\xfe\x80\nok\n".to_vec()]);
+        assert!(matches!(seen[0], FrameEvent::NotUtf8), "{seen:?}");
+        assert!(matches!(&seen[1], FrameEvent::Line(l) if l == "ok"), "{seen:?}");
+    }
+
+    /// An unterminated tail at EOF is surfaced for processing.
+    #[test]
+    fn eof_tail_is_returned() {
+        let seen = events(64, vec![b"a\nb".to_vec()]);
+        assert!(matches!(&seen[0], FrameEvent::Line(l) if l == "a"), "{seen:?}");
+        assert!(matches!(&seen[1], FrameEvent::Eof(Some(t)) if t == "b"), "{seen:?}");
+    }
 }

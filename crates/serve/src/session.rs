@@ -23,6 +23,8 @@ use assess_core::obs::{Histogram, HistogramSnapshot};
 use assess_core::ExecutionPolicy;
 use olap_engine::CancelToken;
 
+use crate::tenant::{TenantId, ANONYMOUS};
+
 /// How many statements a session's history retains.
 const HISTORY_CAP: usize = 64;
 
@@ -41,6 +43,9 @@ pub struct HistoryEntry {
 pub struct Session {
     id: u64,
     last_activity: Mutex<Instant>,
+    /// The tenant this session is bound to; [`ANONYMOUS`] until an `auth`
+    /// op with a valid key rebinds it.
+    tenant: Mutex<TenantId>,
     policy: Mutex<ExecutionPolicy>,
     history: Mutex<VecDeque<HistoryEntry>>,
     in_flight: Mutex<HashMap<u64, CancelToken>>,
@@ -60,6 +65,7 @@ impl Session {
         Session {
             id,
             last_activity: Mutex::new(Instant::now()),
+            tenant: Mutex::new(ANONYMOUS),
             policy: Mutex::new(policy),
             history: Mutex::new(VecDeque::new()),
             in_flight: Mutex::new(HashMap::new()),
@@ -69,6 +75,16 @@ impl Session {
 
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// The tenant this session currently runs as.
+    pub fn tenant(&self) -> TenantId {
+        *lock(&self.tenant)
+    }
+
+    /// Rebinds the session to a tenant (successful `auth` op).
+    pub fn set_tenant(&self, tenant: TenantId) {
+        *lock(&self.tenant) = tenant;
     }
 
     /// Marks the session active now (called on every received line).
@@ -300,6 +316,15 @@ mod tests {
         let snap = session.latency_snapshot();
         assert_eq!(snap.count, 3);
         assert_eq!(snap.sum_micros, 43_000);
+    }
+
+    #[test]
+    fn sessions_start_anonymous_and_rebind() {
+        let registry = SessionRegistry::new(1);
+        let session = registry.open(ExecutionPolicy::default()).unwrap();
+        assert_eq!(session.tenant(), ANONYMOUS);
+        session.set_tenant(TenantId(3));
+        assert_eq!(session.tenant(), TenantId(3));
     }
 
     #[test]

@@ -1,0 +1,371 @@
+//! Tenant identity and per-tenant policy.
+//!
+//! Every session belongs to exactly one tenant. A fresh connection starts
+//! as the **anonymous** tenant (id 0, always present); the `auth` op maps
+//! an API key from the server's tenant directory to a named tenant and
+//! rebinds the session. The tenant carries everything the serving layer
+//! needs for isolation:
+//!
+//! * a **fair-share weight** — the deficit-weighted round-robin drain of
+//!   the admission queue serves tenants proportionally to it;
+//! * **admission quotas** — max runs in flight (queued + executing), max
+//!   runs queued, and a token-bucket rate limit;
+//! * a **policy ceiling** — deadline / row / cell / thread caps clamped
+//!   min-wins into every run's effective [`ExecutionPolicy`], between the
+//!   server-wide ceiling and the session's own preferences.
+//!
+//! The directory is loaded once at boot from a JSON config file
+//! (`assess-serve --tenants FILE`) and never mutated afterwards, so the
+//! hot path reads it without locks.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use assess_core::ExecutionPolicy;
+use serde::Value;
+
+/// Index of a tenant in the server's [`TenantDirectory`]. Cheap to copy
+/// and carried by every session and admission permit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub usize);
+
+/// The always-present default tenant for unauthenticated sessions.
+pub const ANONYMOUS: TenantId = TenantId(0);
+
+/// One tenant's identity, fair-share weight, quotas and policy ceiling.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Unique tenant name (reported in `stats`, `metrics` labels, `auth`).
+    pub name: String,
+    /// API key presented via the `auth` op; `None` only for the anonymous
+    /// tenant (which needs no key).
+    pub key: Option<String>,
+    /// Fair-share weight (≥ 1) of the admission queue drain.
+    pub weight: u32,
+    /// Max runs this tenant may have outstanding (queued + executing).
+    pub max_in_flight: Option<u64>,
+    /// Max runs this tenant may have waiting in the admission queue.
+    pub max_queued: Option<u64>,
+    /// Sustained run-admission rate (token bucket, burst = `rate` rounded
+    /// up to at least one token).
+    pub rate_per_sec: Option<f64>,
+    /// Tenant-level resource ceiling, clamped min-wins with the server
+    /// ceiling and the session policy.
+    pub ceiling: ExecutionPolicy,
+}
+
+impl TenantSpec {
+    /// A permissive spec: weight 1, no quotas, no ceiling.
+    pub fn named(name: impl Into<String>) -> Self {
+        TenantSpec {
+            name: name.into(),
+            key: None,
+            weight: 1,
+            max_in_flight: None,
+            max_queued: None,
+            rate_per_sec: None,
+            ceiling: ExecutionPolicy::default(),
+        }
+    }
+
+    pub fn with_key(mut self, key: impl Into<String>) -> Self {
+        self.key = Some(key.into());
+        self
+    }
+
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        self.weight = weight.max(1);
+        self
+    }
+
+    pub fn with_max_in_flight(mut self, n: u64) -> Self {
+        self.max_in_flight = Some(n);
+        self
+    }
+
+    pub fn with_max_queued(mut self, n: u64) -> Self {
+        self.max_queued = Some(n);
+        self
+    }
+
+    pub fn with_rate_per_sec(mut self, rate: f64) -> Self {
+        self.rate_per_sec = Some(rate);
+        self
+    }
+
+    pub fn with_ceiling(mut self, ceiling: ExecutionPolicy) -> Self {
+        self.ceiling = ceiling;
+        self
+    }
+}
+
+/// The immutable tenant table: anonymous at index 0, named tenants after.
+#[derive(Debug)]
+pub struct TenantDirectory {
+    tenants: Vec<TenantSpec>,
+    by_key: HashMap<String, TenantId>,
+}
+
+impl TenantDirectory {
+    /// A directory with only the (permissive) anonymous tenant — the
+    /// default when no `--tenants` config is given.
+    pub fn anonymous_only() -> Self {
+        TenantDirectory::new(TenantSpec::named("anonymous"), Vec::new())
+            .expect("anonymous-only directory is always valid")
+    }
+
+    /// Builds a directory from the anonymous spec plus named tenants.
+    /// Every named tenant needs a unique non-empty name and a unique
+    /// non-empty key.
+    pub fn new(mut anonymous: TenantSpec, named: Vec<TenantSpec>) -> Result<Self, String> {
+        anonymous.key = None; // the anonymous tenant is never key-addressable
+        anonymous.weight = anonymous.weight.max(1);
+        let mut tenants = vec![anonymous];
+        let mut by_key = HashMap::new();
+        for mut spec in named {
+            if spec.name.is_empty() {
+                return Err("tenant with an empty name".to_string());
+            }
+            if tenants.iter().any(|t| t.name == spec.name) {
+                return Err(format!("duplicate tenant name `{}`", spec.name));
+            }
+            let key = match spec.key.as_deref() {
+                Some(k) if !k.is_empty() => k.to_string(),
+                _ => return Err(format!("tenant `{}` has no API key", spec.name)),
+            };
+            spec.weight = spec.weight.max(1);
+            let id = TenantId(tenants.len());
+            if by_key.insert(key, id).is_some() {
+                return Err(format!("tenant `{}` reuses another tenant's key", spec.name));
+            }
+            tenants.push(spec);
+        }
+        Ok(TenantDirectory { tenants, by_key })
+    }
+
+    /// Parses the `--tenants` JSON config:
+    ///
+    /// ```json
+    /// {
+    ///   "anonymous": {"weight": 1, "max_in_flight": 4},
+    ///   "tenants": [
+    ///     {"name": "acme", "key": "acme-k1", "weight": 4,
+    ///      "max_in_flight": 8, "max_queued": 16, "rate_per_sec": 50,
+    ///      "deadline_ms": 500, "max_rows_scanned": 1000000,
+    ///      "max_output_cells": 100000, "max_threads": 4}
+    ///   ]
+    /// }
+    /// ```
+    ///
+    /// Every field except `name` and `key` is optional; the `anonymous`
+    /// section (itself optional) accepts the same fields minus `name`/`key`.
+    pub fn from_json(value: &Value) -> Result<Self, String> {
+        if !matches!(value, Value::Object(_)) {
+            return Err("tenants config must be a JSON object".to_string());
+        }
+        let mut anonymous = TenantSpec::named("anonymous");
+        if let Some(spec) = value.get("anonymous") {
+            apply_json_fields(&mut anonymous, spec)?;
+        }
+        let mut named = Vec::new();
+        if let Some(list) = value.get("tenants") {
+            let list = list.as_array().ok_or("`tenants` must be an array")?;
+            for entry in list {
+                let name = entry
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or("tenant entry without a string `name`")?;
+                let key = entry
+                    .get("key")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("tenant `{name}` without a string `key`"))?;
+                let mut spec = TenantSpec::named(name).with_key(key);
+                apply_json_fields(&mut spec, entry)?;
+                named.push(spec);
+            }
+        }
+        TenantDirectory::new(anonymous, named)
+    }
+
+    /// Loads and parses a `--tenants` config file.
+    pub fn load(path: &str) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let value: Value =
+            serde_json::from_str(&text).map_err(|e| format!("{path} is not valid JSON: {e}"))?;
+        TenantDirectory::from_json(&value)
+    }
+
+    /// Maps an API key to its tenant; `None` means authentication failed.
+    pub fn authenticate(&self, key: &str) -> Option<TenantId> {
+        self.by_key.get(key).copied()
+    }
+
+    pub fn spec(&self, id: TenantId) -> &TenantSpec {
+        &self.tenants[id.0]
+    }
+
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // the anonymous tenant is always present
+    }
+
+    /// Fair-share weights in tenant-id order (for the admission queue).
+    pub fn weights(&self) -> Vec<u32> {
+        self.tenants.iter().map(|t| t.weight).collect()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (TenantId, &TenantSpec)> {
+        self.tenants.iter().enumerate().map(|(i, t)| (TenantId(i), t))
+    }
+}
+
+/// Reads the optional quota/ceiling fields shared by named tenants and the
+/// anonymous section.
+fn apply_json_fields(spec: &mut TenantSpec, value: &Value) -> Result<(), String> {
+    let get_u64 = |key: &str| -> Option<u64> {
+        let x = value.get(key)?.as_f64()?;
+        (x >= 0.0 && x.fract() == 0.0 && x <= 9.0e15).then_some(x as u64)
+    };
+    if let Some(raw) = value.get("weight") {
+        let w = raw.as_f64().filter(|x| *x >= 1.0 && x.fract() == 0.0 && *x <= 1.0e6);
+        spec.weight = w
+            .ok_or_else(|| format!("tenant `{}`: `weight` must be a positive integer", spec.name))?
+            as u32;
+    }
+    if value.get("max_in_flight").is_some() {
+        spec.max_in_flight = Some(get_u64("max_in_flight").ok_or_else(|| {
+            format!("tenant `{}`: `max_in_flight` must be a non-negative integer", spec.name)
+        })?);
+    }
+    if value.get("max_queued").is_some() {
+        spec.max_queued = Some(get_u64("max_queued").ok_or_else(|| {
+            format!("tenant `{}`: `max_queued` must be a non-negative integer", spec.name)
+        })?);
+    }
+    if let Some(raw) = value.get("rate_per_sec") {
+        let rate = raw.as_f64().filter(|x| *x > 0.0 && x.is_finite());
+        spec.rate_per_sec = Some(rate.ok_or_else(|| {
+            format!("tenant `{}`: `rate_per_sec` must be a positive number", spec.name)
+        })?);
+    }
+    if value.get("deadline_ms").is_some() {
+        let ms = get_u64("deadline_ms").filter(|ms| *ms > 0).ok_or_else(|| {
+            format!("tenant `{}`: `deadline_ms` must be a positive integer", spec.name)
+        })?;
+        spec.ceiling.deadline = Some(Duration::from_millis(ms));
+    }
+    if value.get("max_rows_scanned").is_some() {
+        spec.ceiling.max_rows_scanned = Some(get_u64("max_rows_scanned").ok_or_else(|| {
+            format!("tenant `{}`: `max_rows_scanned` must be a non-negative integer", spec.name)
+        })?);
+    }
+    if value.get("max_output_cells").is_some() {
+        spec.ceiling.max_output_cells = Some(get_u64("max_output_cells").ok_or_else(|| {
+            format!("tenant `{}`: `max_output_cells` must be a non-negative integer", spec.name)
+        })?);
+    }
+    if value.get("max_threads").is_some() {
+        let t = get_u64("max_threads").filter(|t| *t > 0).ok_or_else(|| {
+            format!("tenant `{}`: `max_threads` must be a positive integer", spec.name)
+        })?;
+        spec.ceiling.max_threads = Some(t as usize);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anonymous_only_directory() {
+        let dir = TenantDirectory::anonymous_only();
+        assert_eq!(dir.len(), 1);
+        assert_eq!(dir.spec(ANONYMOUS).name, "anonymous");
+        assert_eq!(dir.spec(ANONYMOUS).weight, 1);
+        assert!(dir.authenticate("anything").is_none());
+    }
+
+    #[test]
+    fn keys_map_to_tenants() {
+        let dir = TenantDirectory::new(
+            TenantSpec::named("anonymous"),
+            vec![
+                TenantSpec::named("acme").with_key("k1").with_weight(4),
+                TenantSpec::named("beta").with_key("k2"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(dir.len(), 3);
+        let acme = dir.authenticate("k1").unwrap();
+        assert_eq!(dir.spec(acme).name, "acme");
+        assert_eq!(dir.spec(acme).weight, 4);
+        assert!(dir.authenticate("k3").is_none());
+        assert_eq!(dir.weights(), vec![1, 4, 1]);
+    }
+
+    #[test]
+    fn rejects_duplicates_and_missing_keys() {
+        let dup_name = TenantDirectory::new(
+            TenantSpec::named("anonymous"),
+            vec![TenantSpec::named("a").with_key("k1"), TenantSpec::named("a").with_key("k2")],
+        );
+        assert!(dup_name.is_err());
+        let dup_key = TenantDirectory::new(
+            TenantSpec::named("anonymous"),
+            vec![TenantSpec::named("a").with_key("k"), TenantSpec::named("b").with_key("k")],
+        );
+        assert!(dup_key.is_err());
+        let keyless =
+            TenantDirectory::new(TenantSpec::named("anonymous"), vec![TenantSpec::named("a")]);
+        assert!(keyless.is_err());
+    }
+
+    #[test]
+    fn parses_json_config() {
+        let text = r#"{
+            "anonymous": {"weight": 2, "max_in_flight": 4},
+            "tenants": [
+                {"name": "acme", "key": "acme-k1", "weight": 4,
+                 "max_in_flight": 8, "max_queued": 16, "rate_per_sec": 50,
+                 "deadline_ms": 500, "max_rows_scanned": 1000000,
+                 "max_output_cells": 100000, "max_threads": 4},
+                {"name": "lite", "key": "lite-k1"}
+            ]
+        }"#;
+        let value: Value = serde_json::from_str(text).unwrap();
+        let dir = TenantDirectory::from_json(&value).unwrap();
+        assert_eq!(dir.len(), 3);
+        assert_eq!(dir.spec(ANONYMOUS).weight, 2);
+        assert_eq!(dir.spec(ANONYMOUS).max_in_flight, Some(4));
+        let acme = dir.authenticate("acme-k1").unwrap();
+        let spec = dir.spec(acme);
+        assert_eq!(spec.weight, 4);
+        assert_eq!(spec.max_queued, Some(16));
+        assert_eq!(spec.rate_per_sec, Some(50.0));
+        assert_eq!(spec.ceiling.deadline, Some(Duration::from_millis(500)));
+        assert_eq!(spec.ceiling.max_rows_scanned, Some(1_000_000));
+        assert_eq!(spec.ceiling.max_threads, Some(4));
+        let lite = dir.authenticate("lite-k1").unwrap();
+        assert_eq!(dir.spec(lite).weight, 1);
+        assert!(dir.spec(lite).ceiling.is_unlimited());
+    }
+
+    #[test]
+    fn rejects_malformed_json_config() {
+        for bad in [
+            r#"[1,2]"#,
+            r#"{"tenants": [{"key": "k"}]}"#,
+            r#"{"tenants": [{"name": "a"}]}"#,
+            r#"{"tenants": [{"name": "a", "key": "k", "weight": 0}]}"#,
+            r#"{"tenants": [{"name": "a", "key": "k", "rate_per_sec": -1}]}"#,
+            r#"{"tenants": [{"name": "a", "key": "k", "deadline_ms": 0}]}"#,
+        ] {
+            let value: Value = serde_json::from_str(bad).unwrap();
+            assert!(TenantDirectory::from_json(&value).is_err(), "accepted bad config {bad}");
+        }
+    }
+}

@@ -13,7 +13,9 @@ use olap_storage::{Catalog, Table};
 use serde::Value;
 use ssb_data::SsbConfig;
 
-use assess_serve::{serve, LineClient, ServerConfig, ServerHandle};
+use assess_serve::{
+    serve, LineClient, RetryPolicy, ServerConfig, ServerHandle, TenantDirectory, TenantSpec,
+};
 
 /// The canonical intention statements (one per benchmark type) against the
 /// shared SSB test dataset.
@@ -367,6 +369,13 @@ fn overload_is_refused_with_queue_full_and_server_full() {
     let b = client.start_run(CONSTANT).unwrap();
     let b_response = client.wait_for(b).unwrap();
     assert_eq!(error_code(&b_response), Some("queue_full"));
+    // Every admission refusal carries a backoff hint.
+    let hint = b_response
+        .get("error")
+        .and_then(|e| e.get("retry_after_ms"))
+        .and_then(Value::as_f64)
+        .unwrap_or(-1.0);
+    assert!(hint >= 1.0, "queue_full without a usable retry_after_ms: {b_response:?}");
     assert_ok(&client.wait_for(a).unwrap());
     // The slot freed by A is usable again.
     assert_ok(&client.run(CONSTANT).unwrap());
@@ -610,6 +619,230 @@ fn pinned_strategies_and_infeasible_pins() {
         let refused = run(&mut client, CONSTANT, infeasible);
         assert_eq!(error_code(&refused), Some("execution_error"));
     }
+
+    handle.shutdown();
+}
+
+// -------------------------------------------------------- tenancy & shedding
+
+/// Finds one tenant's entry in the `stats` response's `tenants` array.
+fn tenant_entry<'a>(stats: &'a Value, name: &str) -> &'a Value {
+    stats
+        .get("tenants")
+        .and_then(Value::as_array)
+        .and_then(|ts| ts.iter().find(|t| t.get("name").and_then(Value::as_str) == Some(name)))
+        .unwrap_or_else(|| panic!("stats has no tenant {name:?}: {stats:?}"))
+}
+
+/// `auth` rebinds the session to a keyed tenant; the tenant's own quotas
+/// and rate limit then refuse with structured `overloaded` + hint, while
+/// stats and metrics report per-tenant counters under the tenant's name.
+#[test]
+fn auth_binds_tenants_and_their_quotas_bite() {
+    let tenants = Arc::new(
+        TenantDirectory::new(
+            TenantSpec::named("anonymous"),
+            vec![
+                TenantSpec::named("acme").with_key("acme-key").with_weight(3).with_max_in_flight(1),
+                TenantSpec::named("lite").with_key("lite-key").with_rate_per_sec(1.0),
+            ],
+        )
+        .expect("directory builds"),
+    );
+    let config = ServerConfig { workers: 1, cache_capacity: 0, tenants, ..ServerConfig::default() };
+    let handle = boot(config);
+    let mut client = connect(&handle);
+
+    // A bad key is refused and the session stays anonymous (still usable).
+    let bad = client.auth("wrong-key").unwrap();
+    assert_eq!(error_code(&bad), Some("auth_failed"));
+    assert_ok(&client.ping().unwrap());
+
+    let ok = client.auth("acme-key").unwrap();
+    assert_ok(&ok);
+    assert_eq!(ok.get("tenant").and_then(Value::as_str), Some("acme"));
+    assert_eq!(ok.get("weight").and_then(Value::as_f64), Some(3.0));
+
+    // max_in_flight = 1: while one run is outstanding the next is refused
+    // at the tenant gate (`overloaded`), not the server gate (`queue_full`).
+    let a = client.start_run(SIBLING).unwrap();
+    let b = client.start_run(CONSTANT).unwrap();
+    let b_response = client.wait_for(b).unwrap();
+    assert_eq!(error_code(&b_response), Some("overloaded"));
+    let hint = b_response
+        .get("error")
+        .and_then(|e| e.get("retry_after_ms"))
+        .and_then(Value::as_f64)
+        .unwrap_or(-1.0);
+    assert!(hint >= 1.0, "overloaded without retry_after_ms: {b_response:?}");
+    assert_ok(&client.wait_for(a).unwrap());
+    // With the slot free again the tenant may run.
+    assert_ok(&client.run(CONSTANT).unwrap());
+
+    // lite's token bucket (1/s, burst 1): the first run drains it, an
+    // immediate second run is rate-refused with a wait hint.
+    let mut lite = connect(&handle);
+    assert_ok(&lite.auth("lite-key").unwrap());
+    assert_ok(&lite.run(CONSTANT).unwrap());
+    let limited = lite.run(CONSTANT).unwrap();
+    assert_eq!(error_code(&limited), Some("overloaded"));
+    let wait = limited
+        .get("error")
+        .and_then(|e| e.get("retry_after_ms"))
+        .and_then(Value::as_f64)
+        .unwrap_or(-1.0);
+    assert!((1.0..=10_000.0).contains(&wait), "odd rate-limit hint: {limited:?}");
+
+    // Per-tenant accounting shows up in `stats` under the tenant's name...
+    let stats = client.stats().unwrap();
+    let acme = tenant_entry(&stats, "acme");
+    assert_eq!(acme.get("weight").and_then(Value::as_f64), Some(3.0));
+    assert!(acme.get("admitted").and_then(Value::as_f64).unwrap_or(0.0) >= 2.0);
+    assert!(acme.get("rejected_quota").and_then(Value::as_f64).unwrap_or(0.0) >= 1.0);
+    let lite_stats = tenant_entry(&stats, "lite");
+    assert!(lite_stats.get("rejected_rate").and_then(Value::as_f64).unwrap_or(0.0) >= 1.0);
+    assert!(lite_stats.get("completed").and_then(Value::as_f64).unwrap_or(0.0) >= 1.0);
+
+    // ...and in the metrics exposition as labeled families.
+    let metrics = client.metrics().unwrap();
+    let exposition = metrics.get("exposition").and_then(Value::as_str).unwrap();
+    for family in [
+        "assess_tenant_admitted_total{tenant=\"acme\"}",
+        "assess_tenant_rejected_quota_total{tenant=\"acme\"}",
+        "assess_tenant_rejected_rate_total{tenant=\"lite\"}",
+        "assess_tenant_run_latency_ms_count{tenant=\"acme\"}",
+    ] {
+        assert!(exposition.contains(family), "exposition is missing {family}:\n{exposition}");
+    }
+
+    handle.shutdown();
+}
+
+/// Under pressure (outstanding ≥ half the limit) runs are admitted in
+/// *light* mode: they execute and answer, but trace capture is suppressed
+/// and their results are not inserted into the cache.
+#[test]
+fn soft_shedding_drops_traces_and_cache_inserts_under_pressure() {
+    // limit = workers + max_queued = 9; shedding starts at outstanding ≥ 5.
+    let config = ServerConfig { workers: 1, max_queued: 8, ..ServerConfig::default() };
+    let handle = boot(config);
+    let mut client = connect(&handle);
+
+    // Six uncached traced runs pile onto the single worker; the sends are
+    // microseconds apart while each run takes milliseconds, so the later
+    // admissions see outstanding ≥ 5 and are shed.
+    let xs: Vec<u64> = (0..6)
+        .map(|_| {
+            client
+                .send(vec![
+                    ("op", Value::String("run".into())),
+                    ("statement", Value::String(SIBLING.into())),
+                    ("cache", Value::Bool(false)),
+                    ("trace", Value::Bool(true)),
+                ])
+                .unwrap()
+        })
+        .collect();
+    // A seventh, cacheable run queued at peak pressure: its insert is shed.
+    let y = client
+        .send(vec![
+            ("op", Value::String("run".into())),
+            ("statement", Value::String(CONSTANT.into())),
+            ("trace", Value::Bool(true)),
+        ])
+        .unwrap();
+
+    let x_responses: Vec<Value> = xs.iter().map(|&id| client.wait_for(id).unwrap()).collect();
+    let y_response = client.wait_for(y).unwrap();
+    for response in x_responses.iter().chain([&y_response]) {
+        assert_ok(response);
+        let shed = response.get("shed").and_then(Value::as_str) == Some("light");
+        assert_eq!(
+            response.get("trace").is_some(),
+            !shed,
+            "trace presence must match the shed level: {response:?}"
+        );
+    }
+    assert_eq!(
+        x_responses[0].get("shed"),
+        None,
+        "the first run was admitted into an empty server and must not shed"
+    );
+    let shed_count = x_responses
+        .iter()
+        .filter(|r| r.get("shed").and_then(Value::as_str) == Some("light"))
+        .count();
+    assert!(shed_count >= 1, "a 7-deep pile-up on one worker must shed: {x_responses:?}");
+
+    let stats = client.stats().unwrap();
+    assert!(stat_u64(&stats, &["admission", "shed_light"]) >= 1);
+
+    // If Y was shed its result must NOT be in the cache: the re-run (now
+    // unpressured) is cold. Either way that re-run inserts, so a third run
+    // is a hit — the cache works again once the pressure is gone.
+    let y_shed = y_response.get("shed").and_then(Value::as_str) == Some("light");
+    let again = client.run(CONSTANT).unwrap();
+    assert_ok(&again);
+    if y_shed {
+        assert_eq!(
+            again.get("cached").and_then(Value::as_bool),
+            Some(false),
+            "a shed run must not have inserted into the cache"
+        );
+    }
+    let third = client.run(CONSTANT).unwrap();
+    assert_eq!(third.get("cached").and_then(Value::as_bool), Some(true));
+
+    handle.shutdown();
+}
+
+/// A `with_retry` client rides out `queue_full`/`overloaded` refusals by
+/// honoring the server's `retry_after_ms` hints; every request eventually
+/// completes even with zero queue slots.
+#[test]
+fn retrying_clients_ride_out_overload() {
+    let config =
+        ServerConfig { workers: 1, max_queued: 0, cache_capacity: 0, ..ServerConfig::default() };
+    let handle = boot(config);
+    let addr = handle.addr();
+
+    // Connect everyone up front (accepts are polled, so connecting inside
+    // the contention loop would stagger the clients apart), then race 4
+    // retrying clients × 4 runs against 1 worker with zero queue slots.
+    let mut probe = connect(&handle);
+    // Each round starts behind a barrier so the four sends hit the server
+    // within microseconds of each other: one is admitted, the rest are
+    // refused and must back off.
+    let round_gate = Arc::new(std::sync::Barrier::new(4));
+    let contenders: Vec<_> = (0..4)
+        .map(|_| {
+            let client = LineClient::connect(addr)
+                .unwrap()
+                .with_retry(RetryPolicy { max_retries: 50, ..RetryPolicy::default() });
+            let round_gate = round_gate.clone();
+            std::thread::spawn(move || {
+                let mut client = client;
+                for _ in 0..4 {
+                    round_gate.wait();
+                    let response = client.run(SIBLING).expect("request completes");
+                    assert_eq!(
+                        response.get("ok").and_then(Value::as_bool),
+                        Some(true),
+                        "retries exhausted: {response:?}"
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in contenders {
+        h.join().expect("contender panicked");
+    }
+
+    // 16 uncached runs racing for a single slot: with backoff every one
+    // completed, and at least one of them needed a retry to get there.
+    let stats = probe.stats().unwrap();
+    assert!(stat_u64(&stats, &["runs", "executed"]) >= 16);
+    assert!(stat_u64(&stats, &["admission", "rejected"]) >= 1, "no refusal was retried");
 
     handle.shutdown();
 }

@@ -16,6 +16,10 @@
 //!   --scan-threads N     helper threads of the shared scan pool
 //!                        (default 0 = available cores − 1)
 //!   --max-threads N      server-wide per-scan thread ceiling (default none)
+//!   --tenants FILE       tenant directory (API keys, weights, quotas) as
+//!                        JSON; see the README "Multi-tenancy & overload"
+//!                        section for the format (default: anonymous only)
+//!   --max-frame BYTES    longest accepted request line (default 262144)
 //!   --self-check         boot on an ephemeral port, run a scripted client
 //!                        session against it, print a report, and exit
 //! ```
@@ -23,14 +27,16 @@
 //! The protocol is newline-delimited JSON; see the `Serving` section of the
 //! README for request and response shapes. `--self-check` is the CI smoke
 //! mode: it exercises check → run → traced cached run → stats → metrics →
-//! cancel end to end and exits non-zero if any response deviates.
+//! cancel → auth → rate-limit overload → oversized frame end to end and
+//! exits non-zero if any response deviates.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use assess_olap::engine::Engine;
 use assess_olap::serde::Value;
-use assess_olap::serve::{serve, LineClient, ServerConfig};
+use assess_olap::serve::{serve, LineClient, ServerConfig, TenantDirectory};
 use assess_olap::ssb::{generate::generate, views, SsbConfig};
 
 fn main() -> ExitCode {
@@ -128,6 +134,23 @@ fn main() -> ExitCode {
                 }
                 _ => return usage("--max-threads expects a positive integer"),
             },
+            "--tenants" => match value("--tenants") {
+                Some(path) => {
+                    match TenantDirectory::load(&path) {
+                        Ok(directory) => config.tenants = Arc::new(directory),
+                        Err(e) => return usage(&format!("--tenants: {e}")),
+                    }
+                    i += 2;
+                }
+                None => return ExitCode::from(2),
+            },
+            "--max-frame" => match value("--max-frame").and_then(|v| v.parse::<usize>().ok()) {
+                Some(bytes) if bytes > 0 => {
+                    config.max_frame_bytes = bytes;
+                    i += 2;
+                }
+                _ => return usage("--max-frame expects a positive byte count"),
+            },
             "--self-check" => {
                 self_check = true;
                 i += 1;
@@ -139,6 +162,16 @@ fn main() -> ExitCode {
 
     if self_check {
         config.addr = "127.0.0.1:0".to_string();
+        // The scripted session exercises auth and the rate-limit overload
+        // path, so it needs a known tenant: write a directory to a temp
+        // file and load it the same way `--tenants` would.
+        match self_check_tenants() {
+            Ok(directory) => config.tenants = Arc::new(directory),
+            Err(e) => {
+                eprintln!("assess-serve: self-check tenant setup failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
     }
 
     eprintln!("assess-serve: generating SSB catalog at SF={scale} …");
@@ -188,9 +221,28 @@ fn usage(problem: &str) -> ExitCode {
         "usage: assess-serve [--addr HOST:PORT] [--scale S] [--workers N] \
          [--max-sessions N] [--max-queued N] [--cache N] [--idle-timeout SECS] \
          [--max-rows N] [--deadline-ms MS] [--scan-threads N] [--max-threads N] \
-         [--self-check]"
+         [--tenants FILE] [--max-frame BYTES] [--self-check]"
     );
     ExitCode::from(2)
+}
+
+/// Self-check tenant directory: written as JSON to a temp file and loaded
+/// back through the `--tenants` code path, so the file format is exercised
+/// in CI too. The `ci` tenant's 1 req/s rate limit (burst 1) makes the
+/// overload step deterministic: the first run drains the bucket, the
+/// immediate second run must be refused.
+fn self_check_tenants() -> Result<TenantDirectory, String> {
+    let path =
+        std::env::temp_dir().join(format!("assess-serve-selfcheck-{}.json", std::process::id()));
+    let json = r#"{
+        "tenants": [
+            {"name": "ci", "key": "ci-key", "weight": 2, "rate_per_sec": 1.0}
+        ]
+    }"#;
+    std::fs::write(&path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
+    let loaded = TenantDirectory::load(&path.to_string_lossy());
+    let _ = std::fs::remove_file(&path);
+    loaded
 }
 
 // ----------------------------------------------------------- self-check
@@ -212,8 +264,14 @@ fn expect(cond: bool, step: &str, response: &Value) -> Result<(), String> {
     }
 }
 
+fn error_code(v: &Value) -> &str {
+    v.get("error").and_then(|e| e.get("code")).and_then(Value::as_str).unwrap_or_default()
+}
+
 /// The scripted session: check → run (cold) → traced run (cached) →
-/// stats → metrics → cancel. Returns the number of verified steps.
+/// stats → metrics → cancel → auth (bad key, then good) → rate-limit
+/// overload with a `retry_after_ms` hint → oversized-frame rejection with
+/// the connection surviving. Returns the number of verified steps.
 fn run_self_check(handle: &assess_olap::serve::ServerHandle) -> Result<u32, String> {
     let mut client = LineClient::connect(handle.addr()).map_err(|e| format!("connect: {e}"))?;
 
@@ -292,5 +350,49 @@ fn run_self_check(handle: &assess_olap::serve::ServerHandle) -> Result<u32, Stri
         &outcome,
     )?;
 
-    Ok(6)
+    // Tenancy: an unknown key is refused and the session stays anonymous;
+    // the self-check directory's `ci-key` binds the session to tenant `ci`.
+    let bad = client.auth("not-a-key").map_err(|e| format!("auth bad key: {e}"))?;
+    expect(
+        field_bool(&bad, "ok") == Some(false) && error_code(&bad) == "auth_failed",
+        "auth rejects unknown key",
+        &bad,
+    )?;
+    let good = client.auth("ci-key").map_err(|e| format!("auth: {e}"))?;
+    expect(
+        field_bool(&good, "ok") == Some(true)
+            && good.get("tenant").and_then(Value::as_str) == Some("ci"),
+        "auth binds tenant",
+        &good,
+    )?;
+
+    // Overload: `ci` is rate-limited to 1 req/s with burst 1, so the first
+    // run drains the bucket and the immediate second run must be refused
+    // with a structured `overloaded` error carrying `retry_after_ms`.
+    let first = client.run(STATEMENT).map_err(|e| format!("rate-limited run: {e}"))?;
+    expect(field_bool(&first, "ok") == Some(true), "run within rate", &first)?;
+    let refused = client.run(STATEMENT).map_err(|e| format!("overloaded run: {e}"))?;
+    let hint = refused
+        .get("error")
+        .and_then(|e| e.get("retry_after_ms"))
+        .and_then(Value::as_f64)
+        .unwrap_or(-1.0);
+    expect(
+        field_bool(&refused, "ok") == Some(false)
+            && error_code(&refused) == "overloaded"
+            && hint >= 0.0,
+        "overloaded with retry_after_ms",
+        &refused,
+    )?;
+
+    // Robustness: an oversized frame gets `frame_too_large` and the
+    // connection keeps serving.
+    let oversized = "x".repeat(300 * 1024);
+    client.send_raw(&oversized).map_err(|e| format!("oversized frame: {e}"))?;
+    let rejection = client.read_response().map_err(|e| format!("oversized response: {e}"))?;
+    expect(error_code(&rejection) == "frame_too_large", "oversized frame rejected", &rejection)?;
+    let pong = client.ping().map_err(|e| format!("post-rejection ping: {e}"))?;
+    expect(field_bool(&pong, "ok") == Some(true), "connection survives rejection", &pong)?;
+
+    Ok(12)
 }
