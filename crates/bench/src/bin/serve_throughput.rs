@@ -13,7 +13,10 @@
 //! refusals at high fan-in (the 64-client row) back off and resubmit
 //! instead of failing the run. The cold mode disables the result cache per
 //! request; the warm mode pre-warms the cache once and then measures pure
-//! hits. Results go to `target/experiments/BENCH_serve.json`.
+//! hits. A final shared-scan pair runs a four-statement group whose target
+//! cubes are fingerprint-equal through the `batch` op (one scan, fanned
+//! out) and through sequential cold runs, so the report quantifies what
+//! scan sharing buys. Results go to `target/experiments/BENCH_serve.json`.
 
 use std::time::Instant;
 
@@ -82,6 +85,7 @@ fn main() {
             rows.push(measure(&handle, &statements, clients, reps, mode));
         }
     }
+    rows.extend(measure_shared(&handle, reps));
 
     let mut table = vec![vec![
         "clients".to_string(),
@@ -183,4 +187,86 @@ fn measure(
         mean_ms: total_secs * 1000.0 * clients as f64 / runs.max(1) as f64,
         cache_hits,
     }
+}
+
+/// The shared-scan pair: a four-statement group whose target cubes are
+/// fingerprint-equal, executed `reps` times through the `batch` op (the
+/// scan runs once and feeds all four) and `reps` times as sequential
+/// cache-bypassing runs. Both cells are cold — batch bypasses the result
+/// cache by design, and the sequential baseline opts out per request.
+/// Both use the cells format at limit 1, matching the grid above, so the
+/// pair isolates execution cost rather than payload serialization.
+fn measure_shared(handle: &ServerHandle, reps: usize) -> Vec<ThroughputRow> {
+    let statements: Vec<String> = [900_000u64, 1_100_000, 1_300_000, 1_500_000]
+        .iter()
+        .map(|k| {
+            format!(
+                "with SSB by customer, year assess revenue against {k} \
+                 using ratio(revenue, {k}) labels {{[0, 1): low, [1, inf]: high}}"
+            )
+        })
+        .collect();
+    handle.invalidate_cache();
+
+    let mut client = LineClient::connect(handle.addr()).expect("shared-scan client connects");
+    let mut rows = Vec::new();
+    for mode in ["shared-batch", "sequential"] {
+        let t0 = Instant::now();
+        let mut runs = 0usize;
+        for _ in 0..reps {
+            if mode == "shared-batch" {
+                let texts: Vec<Value> =
+                    statements.iter().map(|t| Value::String(t.clone())).collect();
+                let response = client
+                    .request(vec![
+                        ("op", Value::String("batch".into())),
+                        ("statements", Value::Array(texts)),
+                        ("format", Value::String("cells".into())),
+                        ("limit", Value::Number(1.0)),
+                    ])
+                    .expect("batch completes");
+                assert_eq!(
+                    response.get("ok").and_then(Value::as_bool),
+                    Some(true),
+                    "batch failed: {response:?}"
+                );
+                let shared = response
+                    .get("shared_scans")
+                    .and_then(Value::as_array)
+                    .map(Vec::len)
+                    .unwrap_or(0);
+                assert_eq!(shared, 1, "the four statements must share one scan: {response:?}");
+                runs += statements.len();
+            } else {
+                for statement in &statements {
+                    let response = client
+                        .request(vec![
+                            ("op", Value::String("run".into())),
+                            ("statement", Value::String(statement.clone())),
+                            ("limit", Value::Number(1.0)),
+                            ("cache", Value::Bool(false)),
+                        ])
+                        .expect("sequential run completes");
+                    assert_eq!(
+                        response.get("ok").and_then(Value::as_bool),
+                        Some(true),
+                        "run failed: {response:?}"
+                    );
+                    runs += 1;
+                }
+            }
+        }
+        let total_secs = t0.elapsed().as_secs_f64();
+        eprintln!("[measure] shared-scan {mode:<12}: {runs} runs in {:.2}s", total_secs);
+        rows.push(ThroughputRow {
+            clients: 1,
+            mode: mode.to_string(),
+            runs,
+            total_secs,
+            runs_per_sec: runs as f64 / total_secs.max(1e-9),
+            mean_ms: total_secs * 1000.0 / runs.max(1) as f64,
+            cache_hits: 0,
+        });
+    }
+    rows
 }

@@ -241,6 +241,7 @@ impl<'a> StructuralPass<'a> {
         let group_by = self.check_group_by(schema.as_deref(), sink);
         self.check_measure(schema.as_deref(), sink);
         let predicates = self.check_predicates(schema.as_deref(), sink);
+        self.check_contradictions(schema.as_deref(), predicates.as_deref(), sink);
         self.check_benchmark(schema.as_deref(), group_by.as_ref(), predicates.as_deref(), sink);
         self.check_using(schema.as_deref(), sink);
         self.check_labels(sink);
@@ -383,6 +384,65 @@ impl<'a> StructuralPass<'a> {
             }
         }
         clean.then_some(resolved)
+    }
+
+    /// `E018`: the conjunction of `for` predicates on one level selects no
+    /// member — the target cube is provably empty before any scan runs.
+    /// Runs only when every predicate resolved (index-aligned with
+    /// `for_preds`), so spans can point at the contradicting clause.
+    fn check_contradictions(
+        &self,
+        schema: Option<&CubeSchema>,
+        predicates: Option<&[Predicate]>,
+        sink: &mut Sink,
+    ) {
+        let (Some(schema), Some(preds)) = (schema, predicates) else { return };
+        // Group predicate indices by (hierarchy, level), preserving order.
+        let mut groups: Vec<(usize, usize, Vec<usize>)> = Vec::new();
+        for (i, p) in preds.iter().enumerate() {
+            match groups.iter_mut().find(|(h, l, _)| *h == p.hierarchy && *l == p.level) {
+                Some((_, _, idxs)) => idxs.push(i),
+                None => groups.push((p.hierarchy, p.level, vec![i])),
+            }
+        }
+        for (h, l, idxs) in groups {
+            let (Some(&first), true) = (idxs.first(), idxs.len() >= 2) else { continue };
+            let mut surviving = preds.get(first).map(Predicate::members).unwrap_or_default();
+            for &i in idxs.iter().skip(1) {
+                let members = preds.get(i).map(Predicate::members).unwrap_or_default();
+                surviving.retain(|m| members.contains(m));
+            }
+            if !surviving.is_empty() {
+                continue;
+            }
+            let level_name = schema
+                .hierarchy(h)
+                .and_then(|x| x.level(l))
+                .map(|lvl| lvl.name().to_owned())
+                .unwrap_or_default();
+            let last = idxs.last().copied().unwrap_or(first);
+            let span = self
+                .spans
+                .for_preds
+                .get(last)
+                .map(|s| s.span)
+                .filter(|s| !s.is_dummy())
+                .unwrap_or(self.spans.span);
+            sink.push(
+                Diagnostic::new(
+                    DiagCode::E018,
+                    span,
+                    format!(
+                        "the for clause slices `{level_name}` {} times with no member in common",
+                        idxs.len()
+                    ),
+                )
+                .with_note("predicates are conjunctive: a cell must satisfy all of them, so the target cube is provably empty")
+                .with_suggestion(format!(
+                    "keep a single `{level_name}` predicate, or list the wanted members in one `in (…)`"
+                )),
+            );
+        }
     }
 
     // ---- against -------------------------------------------------------

@@ -142,6 +142,9 @@ pub enum DiagCode {
     E016,
     /// Any other statement-level inconsistency.
     E017,
+    /// Self-contradictory predicates: the conjunction selects no member of
+    /// some level, so the target cube is provably empty.
+    E018,
     /// The labeling ranges leave gaps: some delta values get no label.
     W101,
     /// The benchmark is fetched but `using` never references it.
@@ -155,11 +158,18 @@ pub enum DiagCode {
     W105,
     /// A pivot-optimized plan would build a very wide pivot.
     W106,
+    /// Two statements of a workload share a fingerprint-equal subplan.
+    W107,
+    /// A statement's `get` target is statically subsumed by another
+    /// statement's target (containment per the cube algebra).
+    W108,
+    /// One statement dominates the workload's estimated execution cost.
+    W109,
 }
 
 impl DiagCode {
     /// Every code, in catalog order (used by docs and the golden tests).
-    pub const ALL: [DiagCode; 23] = [
+    pub const ALL: [DiagCode; 27] = [
         DiagCode::E001,
         DiagCode::E002,
         DiagCode::E003,
@@ -177,12 +187,16 @@ impl DiagCode {
         DiagCode::E015,
         DiagCode::E016,
         DiagCode::E017,
+        DiagCode::E018,
         DiagCode::W101,
         DiagCode::W102,
         DiagCode::W103,
         DiagCode::W104,
         DiagCode::W105,
         DiagCode::W106,
+        DiagCode::W107,
+        DiagCode::W108,
+        DiagCode::W109,
     ];
 
     pub fn as_str(&self) -> &'static str {
@@ -204,12 +218,16 @@ impl DiagCode {
             DiagCode::E015 => "E015",
             DiagCode::E016 => "E016",
             DiagCode::E017 => "E017",
+            DiagCode::E018 => "E018",
             DiagCode::W101 => "W101",
             DiagCode::W102 => "W102",
             DiagCode::W103 => "W103",
             DiagCode::W104 => "W104",
             DiagCode::W105 => "W105",
             DiagCode::W106 => "W106",
+            DiagCode::W107 => "W107",
+            DiagCode::W108 => "W108",
+            DiagCode::W109 => "W109",
         }
     }
 
@@ -220,7 +238,10 @@ impl DiagCode {
             | DiagCode::W103
             | DiagCode::W104
             | DiagCode::W105
-            | DiagCode::W106 => Severity::Warning,
+            | DiagCode::W106
+            | DiagCode::W107
+            | DiagCode::W108
+            | DiagCode::W109 => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -245,12 +266,16 @@ impl DiagCode {
             DiagCode::E015 => "`using` references the wrong benchmark measure",
             DiagCode::E016 => "invalid group-by set",
             DiagCode::E017 => "invalid statement",
+            DiagCode::E018 => "self-contradictory predicates select an empty cube",
             DiagCode::W101 => "labeling ranges leave gaps",
             DiagCode::W102 => "benchmark is never used",
             DiagCode::W103 => "division by a constant-zero benchmark",
             DiagCode::W104 => "borderline history for `past k`",
             DiagCode::W105 => "only the naive strategy is feasible on a large target",
             DiagCode::W106 => "pivot-optimized plan would be very wide",
+            DiagCode::W107 => "duplicate subplan across the workload",
+            DiagCode::W108 => "get target is subsumed by another statement's target",
+            DiagCode::W109 => "statement dominates the workload's estimated cost",
         }
     }
 }

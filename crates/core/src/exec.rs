@@ -12,11 +12,12 @@
 //! [`query_metrics`](crate::obs::query_metrics) registry once per query,
 //! gated behind the `obs` feature.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use olap_engine::{Engine, ResourceGovernor};
-use olap_model::DerivedCube;
+use olap_model::{CubeQuery, DerivedCube};
 
 use crate::analyze::Analyzer;
 use crate::ast::{AssessStatement, StatementSpans};
@@ -166,6 +167,9 @@ struct ExecState<'a> {
     /// Build a [`TraceSpan`] per evaluated operator. Off for untraced
     /// executions, which then allocate nothing observability-related.
     tracing: bool,
+    /// Pre-executed shared scans of a `batch`, keyed by the canonical
+    /// fingerprint of the `get`'s cube query. `None` outside batches.
+    shared: Option<&'a HashMap<u64, SharedScan>>,
 }
 
 impl ExecState<'_> {
@@ -450,6 +454,193 @@ impl AssessRunner {
     ) -> Result<(AssessedCube, ExecutionReport), AssessError> {
         execute_plan_on(&self.engine, resolved, physical)
     }
+
+    /// Executes a group of statements as one *batch* with shared-scan
+    /// scheduling (the multi-query-optimization path behind the serve
+    /// `batch` op).
+    ///
+    /// Every statement is planned exactly as [`run_auto`](Self::run_auto)
+    /// would plan it first (cost-chosen strategy; a single attempt, no
+    /// fallback ladder), then the standalone `get`s of all plans are
+    /// fingerprinted with [`crate::workload::fingerprint_query`]. A
+    /// fingerprint two or more plans request is executed **once** up front
+    /// and the consuming plans absorb the stored result — including its
+    /// scan metadata — so every per-statement cube and report is
+    /// byte-identical to a serial execution while the engine's scan
+    /// counters record a single scan. Gets fused into engine-side
+    /// join/pivot calls never share: the fused call scans both sides at
+    /// once and has no standalone result to store.
+    pub fn run_batch(&self, statements: &[AssessStatement], tracing: bool) -> BatchOutcome {
+        let _in_flight = InFlightGuard::enter();
+        let deadline_at = self.policy.deadline_at();
+        let needs_governor = self.policy.needs_governor();
+        let governed;
+        let engine: &Engine = if !needs_governor && self.policy.max_threads.is_none() {
+            &self.engine
+        } else {
+            let mut e = self.engine.clone();
+            if needs_governor {
+                e = e.with_governor(self.policy.governor(deadline_at));
+            }
+            if let Some(n) = self.policy.max_threads {
+                e = e.with_thread_cap(n);
+            }
+            governed = e;
+            &governed
+        };
+
+        // Plan every statement first: sharing decisions need all plans.
+        let planned: Vec<Result<(ResolvedAssess, PhysicalPlan), AssessError>> = statements
+            .iter()
+            .map(|statement| {
+                let resolved = self.resolve(statement)?;
+                let strategy = crate::cost::choose(&resolved, &self.engine)?;
+                let physical = plan::plan(&resolved, strategy)?;
+                Ok((resolved, physical))
+            })
+            .collect();
+
+        // Count how many plans want each standalone get (insertion order,
+        // so shared-scan reports are deterministic across runs).
+        let mut wanted: Vec<(u64, CubeQuery, usize)> = Vec::new();
+        for (_, physical) in planned.iter().filter_map(|r| r.as_ref().ok()) {
+            let fuse = physical.strategy != Strategy::Naive;
+            for query in crate::workload::standalone_gets(&physical.root, fuse) {
+                let fp = crate::workload::fingerprint_query(query).0;
+                match wanted.iter_mut().find(|(f, _, _)| *f == fp) {
+                    Some((_, _, n)) => *n += 1,
+                    None => wanted.push((fp, query.clone(), 1)),
+                }
+            }
+        }
+
+        // Pre-execute every scan with at least two consumers.
+        let mut shared: HashMap<u64, SharedScan> = HashMap::new();
+        let mut reports: Vec<SharedScanReport> = Vec::new();
+        let mut shared_spans: Vec<TraceSpan> = Vec::new();
+        for (fp, query, consumers) in &wanted {
+            if *consumers < 2 {
+                continue;
+            }
+            let t = Instant::now();
+            // A failing shared scan is not fatal here: consumers simply
+            // scan for themselves and surface the error per statement.
+            let Ok(outcome) = engine.get(query) else { continue };
+            if tracing {
+                shared_spans.push(
+                    TraceSpan::new("shared_scan", t.elapsed())
+                        .with_rows(outcome.cube.len() as u64)
+                        .with_scan(
+                            outcome.rows_scanned as u64,
+                            outcome.morsels as u64,
+                            outcome.parallelism as u64,
+                        )
+                        .with_detail(format!(
+                            "fp={} consumers={consumers}",
+                            crate::workload::Fingerprint(*fp)
+                        )),
+                );
+            }
+            reports.push(SharedScanReport {
+                fingerprint: crate::workload::Fingerprint(*fp),
+                consumers: *consumers,
+                rows_scanned: outcome.rows_scanned,
+                query: LogicalOp::Get { query: query.clone(), alias: None }.describe(),
+            });
+            shared.insert(
+                *fp,
+                SharedScan {
+                    cube: outcome.cube,
+                    used_view: outcome.used_view,
+                    rows_scanned: outcome.rows_scanned,
+                    parallelism: outcome.parallelism,
+                    morsels: outcome.morsels,
+                },
+            );
+        }
+
+        // Execute every plan, feeding consumers from the shared store.
+        let items = planned
+            .into_iter()
+            .map(|planned| {
+                let wall = Instant::now();
+                let (resolved, physical) = planned?;
+                match execute_plan_shared_on(engine, &resolved, &physical, tracing, Some(&shared)) {
+                    Ok((cube, mut report, tree)) => {
+                        report.attempts.push(AttemptRecord {
+                            strategy: physical.strategy,
+                            elapsed: wall.elapsed(),
+                            error: None,
+                        });
+                        record_success(&report, wall.elapsed());
+                        Ok(BatchItem { cube, report, trace: tree })
+                    }
+                    Err(err) => {
+                        record_failure(1, wall.elapsed());
+                        Err(err)
+                    }
+                }
+            })
+            .collect();
+        BatchOutcome { items, shared: reports, shared_spans }
+    }
+}
+
+/// A pre-executed scan a batch shares across statements: the result cube
+/// plus the scan metadata each consumer folds into its own report.
+struct SharedScan {
+    cube: DerivedCube,
+    used_view: Option<String>,
+    rows_scanned: usize,
+    parallelism: usize,
+    morsels: usize,
+}
+
+impl SharedScan {
+    /// Rebuilds the engine outcome a consumer would have seen had it run
+    /// the scan itself (the cube is cloned per consumer).
+    fn outcome(&self) -> olap_engine::GetOutcome {
+        olap_engine::GetOutcome {
+            cube: self.cube.clone(),
+            used_view: self.used_view.clone(),
+            rows_scanned: self.rows_scanned,
+            parallelism: self.parallelism,
+            morsels: self.morsels,
+        }
+    }
+}
+
+/// One statement's result inside a [`BatchOutcome`].
+#[derive(Debug)]
+pub struct BatchItem {
+    pub cube: AssessedCube,
+    pub report: ExecutionReport,
+    /// Per-operator trace (present when the batch ran traced).
+    pub trace: Option<TraceTree>,
+}
+
+/// One shared scan of a batch, for the response's sharing summary.
+#[derive(Debug, Clone)]
+pub struct SharedScanReport {
+    /// Canonical fingerprint of the shared `get`.
+    pub fingerprint: crate::workload::Fingerprint,
+    /// How many statements consumed the stored result.
+    pub consumers: usize,
+    /// Rows the single scan read.
+    pub rows_scanned: usize,
+    /// Human-readable description of the shared get.
+    pub query: String,
+}
+
+/// Everything [`AssessRunner::run_batch`] reports.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// Per-statement results, in submission order.
+    pub items: Vec<Result<BatchItem, AssessError>>,
+    /// The scans that executed once and fanned out.
+    pub shared: Vec<SharedScanReport>,
+    /// `shared_scan` spans (one per shared scan) when the batch ran traced.
+    pub shared_spans: Vec<TraceSpan>,
 }
 
 /// RAII bracket for the queries-in-flight gauge; compiles away without the
@@ -534,6 +725,19 @@ fn execute_plan_traced_on(
     physical: &PhysicalPlan,
     tracing: bool,
 ) -> Result<(AssessedCube, ExecutionReport, Option<TraceTree>), AssessError> {
+    execute_plan_shared_on(engine, resolved, physical, tracing, None)
+}
+
+/// [`execute_plan_traced_on`] with an optional store of pre-executed shared
+/// scans: `get` nodes whose canonical fingerprint hits the store absorb the
+/// stored result instead of re-scanning (the `batch` op's sharing path).
+fn execute_plan_shared_on(
+    engine: &Engine,
+    resolved: &ResolvedAssess,
+    physical: &PhysicalPlan,
+    tracing: bool,
+    shared: Option<&HashMap<u64, SharedScan>>,
+) -> Result<(AssessedCube, ExecutionReport, Option<TraceTree>), AssessError> {
     let mut state = ExecState {
         engine,
         governor: engine.governor().cloned(),
@@ -543,6 +747,7 @@ fn execute_plan_traced_on(
         parallelism: StageParallelism::default(),
         fuse: physical.strategy != Strategy::Naive,
         tracing,
+        shared,
     };
     let t_exec = Instant::now();
     let (mut cube, root_span) = eval(&physical.root, &mut state)?;
@@ -651,7 +856,15 @@ fn eval(op: &LogicalOp, state: &mut ExecState<'_>) -> Result<Evaluated, AssessEr
     match op {
         LogicalOp::Get { query, alias } => {
             let t = Instant::now();
-            let outcome = state.engine.get(query)?;
+            let hit =
+                state.shared.and_then(|m| m.get(&crate::workload::fingerprint_query(query).0));
+            let (outcome, from_shared) = match hit {
+                // Consumers absorb the stored scan's metadata, so the
+                // per-statement report matches a serial execution exactly;
+                // only the engine's scan counters show the single scan.
+                Some(entry) => (entry.outcome(), true),
+                None => (state.engine.get(query)?, false),
+            };
             let elapsed = t.elapsed();
             let (stage, name) = if alias.as_deref() == Some("benchmark") {
                 state.timings.get_b += elapsed;
@@ -660,7 +873,9 @@ fn eval(op: &LogicalOp, state: &mut ExecState<'_>) -> Result<Evaluated, AssessEr
                 state.timings.get_c += elapsed;
                 (ScanStage::GetC, "get(c)")
             };
-            Ok(absorb(state, outcome, stage, name, elapsed))
+            let (cube, span) = absorb(state, outcome, stage, name, elapsed);
+            let span = if from_shared { span.map(|s| s.with_detail("shared scan")) } else { span };
+            Ok((cube, span))
         }
         LogicalOp::NaturalJoin { left, right, kind, measure, rename } => {
             if state.fuse {

@@ -9,7 +9,7 @@ use crate::exec::{AssessRunner, ExecutionReport};
 use crate::obs::TraceTree;
 use crate::plan::{self, Strategy};
 use crate::semantics::ResolvedAssess;
-use crate::{codegen, cost};
+use crate::{codegen, cost, workload};
 
 /// Renders a full explanation of a resolved statement.
 pub fn explain(runner: &AssessRunner, resolved: &ResolvedAssess) -> Result<String, AssessError> {
@@ -44,6 +44,21 @@ pub fn explain(runner: &AssessRunner, resolved: &ResolvedAssess) -> Result<Strin
     let chosen = cost::choose(resolved, runner.engine())?;
     let physical = plan::plan(resolved, chosen)?;
     let _ = writeln!(out, "\nchosen plan ({chosen}):\n{}", physical.root);
+
+    // Canonical subplan fingerprints: stable within a release, so two
+    // statements printing the same fingerprint will share that subplan in
+    // a serve `batch` (gets) or trip the workload linter (any node).
+    let _ = writeln!(out, "\nsubplan fingerprints (canonical):");
+    for sub in workload::subplan_fingerprints(&physical.root) {
+        let _ = writeln!(
+            out,
+            "  {}{}  {}{}",
+            "  ".repeat(sub.depth),
+            sub.fingerprint,
+            sub.describe,
+            if sub.is_get { "  [shareable]" } else { "" }
+        );
+    }
 
     // Scan parallelism: the ceiling the engine (and any policy clamp)
     // grants; small inputs still run serially under it.

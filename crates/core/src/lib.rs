@@ -57,7 +57,10 @@
 //!   formulation-effort experiment (Table 1);
 //! * [`cost`] — the cost-based strategy chooser (a future-work extension);
 //! * [`suggest`] — ranked completion of partial statements (a future-work
-//!   extension).
+//!   extension);
+//! * [`workload`] — canonical subplan fingerprints and the cross-statement
+//!   sharing/subsumption analysis behind `assess-check --workload` and the
+//!   serve `batch` op (a multi-query-optimization extension).
 
 pub mod analyze;
 pub mod ast;
@@ -79,6 +82,7 @@ pub mod rewrite;
 pub mod semantics;
 pub mod stmt;
 pub mod suggest;
+pub mod workload;
 
 pub use analyze::Analyzer;
 pub use ast::{
@@ -88,7 +92,8 @@ pub use ast::{
 pub use diag::{DiagCode, Diagnostic, Severity, Sink, Span};
 pub use error::AssessError;
 pub use exec::{
-    AssessRunner, AttemptRecord, ExecutionReport, ParStat, StageParallelism, StageTimings,
+    AssessRunner, AttemptRecord, BatchItem, BatchOutcome, ExecutionReport, ParStat,
+    SharedScanReport, StageParallelism, StageTimings,
 };
 pub use obs::{
     query_metrics, Exposition, Histogram, HistogramSnapshot, QueryMetrics, QueryMetricsSnapshot,
@@ -98,3 +103,4 @@ pub use plan::Strategy;
 pub use policy::ExecutionPolicy;
 pub use result::AssessedCube;
 pub use semantics::{ResolvedAssess, SchemaProvider};
+pub use workload::{Fingerprint, SharingReport, WorkloadAnalyzer, WorkloadStatement};

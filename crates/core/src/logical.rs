@@ -108,7 +108,7 @@ impl LogicalOp {
     }
 
     /// One-line operator name with its key parameters.
-    fn describe(&self) -> String {
+    pub fn describe(&self) -> String {
         match self {
             LogicalOp::Get { query, alias } => {
                 let alias = alias.as_deref().map(|a| format!(" → {a}")).unwrap_or_default();

@@ -198,6 +198,28 @@ fn e017_other() {
 }
 
 #[test]
+fn e018_contradictory_predicates() {
+    golden(
+        "e018.txt",
+        &check_sales(
+            "with SALES for country = 'Italy', country = 'France' by product, country \
+             assess quantity labels quartiles",
+        ),
+    );
+}
+
+#[test]
+fn e018_disjoint_in_lists() {
+    golden(
+        "e018_in.txt",
+        &check_sales(
+            "with SALES for month in ('m0', 'm1'), month in ('m2', 'm3') by product, month \
+             assess quantity labels quartiles",
+        ),
+    );
+}
+
+#[test]
 fn w101_label_gap() {
     golden(
         "w101.txt",

@@ -925,9 +925,9 @@ impl Engine {
         let carrier: Vec<Option<usize>> = vec![Some(0); schema.hierarchies().len()];
         let filter = CompiledFilter::compile(schema, &q.predicates, &carrier)?;
 
-        // Resolve and type-check every column up front (borrowing — the
-        // old `require_numeric` copied each measure column per query), so
-        // workers can index into chunks infallibly.
+        // Resolve and type-check every column up front (borrowing, never
+        // copying measure columns per query), so workers can index into
+        // chunks infallibly.
         let mut masks: Vec<(usize, Arc<[bool]>)> = Vec::new();
         for m in filter.masks() {
             let name = binding.fk_column(m.hierarchy);

@@ -248,6 +248,24 @@ impl LineClient {
         ])
     }
 
+    /// Executes a group of statements as one `batch` with shared-scan
+    /// scheduling. `format` is `"cells"` or `"csv"`; `trace` asks for the
+    /// batch-level `shared_scan` spans plus per-statement traces.
+    pub fn batch(
+        &mut self,
+        statements: &[&str],
+        format: &str,
+        trace: bool,
+    ) -> std::io::Result<Value> {
+        let items: Vec<Value> = statements.iter().map(|t| Value::String(t.to_string())).collect();
+        let mut fields =
+            vec![("op", s("batch")), ("statements", Value::Array(items)), ("format", s(format))];
+        if trace {
+            fields.push(("trace", Value::Bool(true)));
+        }
+        self.request(fields)
+    }
+
     /// Fetches the registry snapshots (text exposition plus JSON).
     pub fn metrics(&mut self) -> std::io::Result<Value> {
         self.request(vec![("op", s("metrics"))])

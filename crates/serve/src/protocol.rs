@@ -45,6 +45,22 @@ pub struct RunOptions {
     pub trace: bool,
 }
 
+/// Parsed fields of a `batch` request: a group of statements executed as
+/// one unit with shared-scan scheduling.
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    pub statements: Vec<String>,
+    pub format: RunFormat,
+    /// Row cap for [`RunFormat::Cells`] per-statement results.
+    pub limit: Option<usize>,
+    /// Whether the response carries per-statement traces plus the
+    /// batch-level `shared_scan` spans.
+    pub trace: bool,
+}
+
+/// Upper bound on statements per batch, to bound planning memory.
+pub const MAX_BATCH_STATEMENTS: usize = 256;
+
 /// One protocol operation.
 #[derive(Debug, Clone)]
 pub enum Op {
@@ -58,6 +74,9 @@ pub enum Op {
         statement: String,
     },
     Run(RunOptions),
+    /// Executes a group of statements with shared-scan scheduling:
+    /// fingerprint-equal scans run once and fan out to every consumer.
+    Batch(BatchOptions),
     Explain {
         statement: String,
     },
@@ -85,6 +104,7 @@ impl Op {
             Op::Auth { .. } => "auth",
             Op::Check { .. } => "check",
             Op::Run(_) => "run",
+            Op::Batch(_) => "batch",
             Op::Explain { .. } => "explain",
             Op::Stats => "stats",
             Op::Metrics => "metrics",
@@ -173,6 +193,16 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
             .map(str::to_string)
             .ok_or_else(|| ProtoError::new("bad_request", "missing string field `statement`"))
     };
+    let run_format = |value: &Value| -> Result<RunFormat, ProtoError> {
+        match get_str(value, "format") {
+            None | Some("cells") => Ok(RunFormat::Cells),
+            Some("csv") => Ok(RunFormat::Csv),
+            Some(other) => Err(ProtoError::new(
+                "bad_request",
+                format!("`format` must be cells|csv, got `{other}`"),
+            )),
+        }
+    };
     let op = match op_name {
         "ping" => Op::Ping,
         "auth" => {
@@ -207,22 +237,56 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 None => None,
                 Some(text) => Some(parse_strategy(text)?),
             };
-            let format = match get_str(&value, "format") {
-                None | Some("cells") => RunFormat::Cells,
-                Some("csv") => RunFormat::Csv,
-                Some(other) => {
-                    return Err(ProtoError::new(
-                        "bad_request",
-                        format!("`format` must be cells|csv, got `{other}`"),
-                    ))
-                }
-            };
             Op::Run(RunOptions {
                 statement: statement(&value)?,
                 strategy,
-                format,
+                format: run_format(&value)?,
                 limit: get_u64(&value, "limit").map(|x| x as usize),
                 cache: get_bool(&value, "cache").unwrap_or(true),
+                trace: get_bool(&value, "trace").unwrap_or(false),
+            })
+        }
+        "batch" => {
+            if id.is_none() {
+                // Like `run`: the id is the cancellation handle.
+                return Err(ProtoError::new("bad_request", "`batch` requires an `id`"));
+            }
+            let statements = match value.get("statements") {
+                Some(Value::Array(items)) => {
+                    let mut out = Vec::with_capacity(items.len());
+                    for item in items {
+                        match item.as_str() {
+                            Some(text) if !text.trim().is_empty() => out.push(text.to_string()),
+                            _ => {
+                                return Err(ProtoError::new(
+                                    "bad_request",
+                                    "`statements` must hold non-empty strings",
+                                ))
+                            }
+                        }
+                    }
+                    out
+                }
+                _ => {
+                    return Err(ProtoError::new(
+                        "bad_request",
+                        "`batch` needs a `statements` array",
+                    ))
+                }
+            };
+            if statements.is_empty() {
+                return Err(ProtoError::new("bad_request", "`statements` must not be empty"));
+            }
+            if statements.len() > MAX_BATCH_STATEMENTS {
+                return Err(ProtoError::new(
+                    "bad_request",
+                    format!("`batch` holds at most {MAX_BATCH_STATEMENTS} statements"),
+                ));
+            }
+            Op::Batch(BatchOptions {
+                statements,
+                format: run_format(&value)?,
+                limit: get_u64(&value, "limit").map(|x| x as usize),
                 trace: get_bool(&value, "trace").unwrap_or(false),
             })
         }
@@ -361,6 +425,42 @@ mod tests {
                 assert_eq!(opts.limit, None);
             }
             other => panic!("wrong op: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_batch_options() {
+        let req = parse_request(
+            r#"{"op":"batch","id":8,"statements":["a","b"],"format":"csv","trace":true}"#,
+        )
+        .unwrap();
+        assert_eq!(req.id, Some(8));
+        match req.op {
+            Op::Batch(opts) => {
+                assert_eq!(opts.statements, vec!["a".to_string(), "b".to_string()]);
+                assert_eq!(opts.format, RunFormat::Csv);
+                assert!(opts.trace);
+                assert_eq!(opts.limit, None);
+            }
+            other => panic!("wrong op: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_batches() {
+        // No id: the id doubles as the cancellation handle.
+        let err = parse_request(r#"{"op":"batch","statements":["a"]}"#).unwrap_err();
+        assert_eq!(err.code, "bad_request");
+        assert!(err.message.contains("id"));
+        // Missing, empty, or non-string statement lists.
+        for bad in [
+            r#"{"op":"batch","id":1}"#,
+            r#"{"op":"batch","id":1,"statements":[]}"#,
+            r#"{"op":"batch","id":1,"statements":"a"}"#,
+            r#"{"op":"batch","id":1,"statements":[1,2]}"#,
+            r#"{"op":"batch","id":1,"statements":["a",""]}"#,
+        ] {
+            assert_eq!(parse_request(bad).unwrap_err().code, "bad_request", "{bad}");
         }
     }
 

@@ -30,16 +30,18 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use assess_core::diag::{DiagCode, Diagnostic};
+use assess_core::diag::{DiagCode, Diagnostic, Span};
 use assess_core::exec::AssessRunner;
 use assess_core::obs::{self, TraceSpan, TraceTree};
-use assess_core::{explain, stmt, AssessError, AssessedCube, ExecutionPolicy, Strategy};
+use assess_core::{
+    explain, stmt, AssessError, AssessStatement, AssessedCube, ExecutionPolicy, Strategy,
+};
 use olap_engine::{CancelToken, Engine, WorkerPool};
 use serde::Value;
 
 use crate::admission::{self, Admission, FairQueue, Permit, ShedLevel};
 use crate::cache::{cache_key, policy_fingerprint, CacheStats, ResultCache};
-use crate::protocol::{self, n, s, Op, RunFormat, RunOptions};
+use crate::protocol::{self, n, s, BatchOptions, Op, RunFormat, RunOptions};
 use crate::session::{HistoryEntry, Session, SessionRegistry};
 use crate::tenant::{TenantDirectory, ANONYMOUS};
 
@@ -114,12 +116,18 @@ pub struct CachedResult {
 
 type SharedWriter = Arc<Mutex<TcpStream>>;
 
-/// One admitted `run`, queued for the executor pool. Dropping the job
-/// releases its admission permit.
+/// What an admitted job executes: a single `run` or a `batch` group.
+enum Payload {
+    Run(RunOptions),
+    Batch(BatchOptions),
+}
+
+/// One admitted `run` or `batch`, queued for the executor pool. Dropping
+/// the job releases its admission permit.
 struct Job {
     session: Arc<Session>,
     request_id: u64,
-    opts: RunOptions,
+    payload: Payload,
     token: CancelToken,
     writer: SharedWriter,
     permit: Permit,
@@ -552,19 +560,23 @@ fn handle_line(shared: &Arc<Shared>, session: &Arc<Session>, writer: &SharedWrit
             protocol::ok_response(id, vec![("invalidated", n(dropped as u64))])
         }
         Op::Run(opts) => {
-            enqueue_run(shared, session, writer, id, opts);
+            enqueue_job(shared, session, writer, id, Payload::Run(opts));
+            return; // the executor writes the response
+        }
+        Op::Batch(opts) => {
+            enqueue_job(shared, session, writer, id, Payload::Batch(opts));
             return; // the executor writes the response
         }
     };
     write_line(writer, &response);
 }
 
-fn enqueue_run(
+fn enqueue_job(
     shared: &Arc<Shared>,
     session: &Arc<Session>,
     writer: &SharedWriter,
     id: Option<u64>,
-    opts: RunOptions,
+    payload: Payload,
 ) {
     let Some(request_id) = id else {
         // The protocol layer already rejects id-less runs; belt and braces.
@@ -605,8 +617,14 @@ fn enqueue_run(
             return;
         }
     };
-    let job =
-        Job { session: session.clone(), request_id, opts, token, writer: writer.clone(), permit };
+    let job = Job {
+        session: session.clone(),
+        request_id,
+        payload,
+        token,
+        writer: writer.clone(),
+        permit,
+    };
     shared.queue.push(tenant, job);
 }
 
@@ -617,7 +635,10 @@ fn executor_loop(shared: Arc<Shared>) {
         job.permit.mark_running();
         shared.running.fetch_add(1, Ordering::Relaxed);
         let t0 = Instant::now();
-        let response = execute_run(&shared, &job);
+        let response = match &job.payload {
+            Payload::Run(opts) => execute_run(&shared, &job, opts),
+            Payload::Batch(opts) => execute_batch(&shared, &job, opts),
+        };
         let counters = shared.admission.counters(job.permit.tenant());
         counters.completed.fetch_add(1, Ordering::Relaxed);
         counters.latency.observe(t0.elapsed());
@@ -632,9 +653,8 @@ fn executor_loop(shared: Arc<Shared>) {
     }
 }
 
-fn execute_run(shared: &Shared, job: &Job) -> Value {
+fn execute_run(shared: &Shared, job: &Job, opts: &RunOptions) -> Value {
     let id = Some(job.request_id);
-    let opts = &job.opts;
     let t0 = Instant::now();
     let record = |outcome: &str, elapsed_ms: u64, cells: usize| {
         job.session.record(HistoryEntry {
@@ -784,6 +804,211 @@ fn execute_run(shared: &Shared, job: &Job) -> Value {
             )
         }
     }
+}
+
+/// Executes a `batch` job: per-statement parse/check, then
+/// [`AssessRunner::run_batch`] with shared-scan scheduling. The response is
+/// `ok` at the batch level; per-statement failures travel inside the
+/// `results` array. Batches bypass the result cache in both directions —
+/// the point of a batch is the shared scan, and mixed hit/miss groups
+/// would break its exactly-once accounting.
+fn execute_batch(shared: &Shared, job: &Job, opts: &BatchOptions) -> Value {
+    let id = Some(job.request_id);
+    let t0 = Instant::now();
+    if job.token.is_cancelled() {
+        shared.runs.cancelled.fetch_add(1, Ordering::Relaxed);
+        return protocol::error_response(id, "cancelled", "cancelled while queued");
+    }
+    let shed = job.permit.shed();
+    let want_trace = opts.trace && shed == ShedLevel::Full;
+
+    // Parse and statically check every statement; failures become
+    // per-statement result objects and are excluded from execution.
+    enum Slot {
+        Ready { index: usize, warnings: Vec<Diagnostic>, span: Span },
+        Failed(Value),
+    }
+    let mut statements: Vec<AssessStatement> = Vec::new();
+    let mut slots: Vec<Slot> = Vec::with_capacity(opts.statements.len());
+    for text in &opts.statements {
+        match assess_sql::parse_spanned(&stmt::strip_comments(text)) {
+            Err(e) => {
+                let diag = Diagnostic::new(DiagCode::E001, e.span, e.message.clone());
+                slots.push(Slot::Failed(statement_error(
+                    "parse_error",
+                    &e.to_string(),
+                    &[diag],
+                    text,
+                )));
+            }
+            Ok(spanned) => {
+                let diagnostics =
+                    shared.runner.check_spanned(&spanned.statement, Some(&spanned.spans));
+                if diagnostics.iter().any(Diagnostic::is_error) {
+                    slots.push(Slot::Failed(statement_error(
+                        "check_failed",
+                        "static analysis reported errors",
+                        &diagnostics,
+                        text,
+                    )));
+                } else {
+                    slots.push(Slot::Ready {
+                        index: statements.len(),
+                        warnings: diagnostics,
+                        span: spanned.spans.span,
+                    });
+                    statements.push(spanned.statement);
+                }
+            }
+        }
+    }
+
+    let tenant_ceiling = &shared.admission.directory().spec(job.permit.tenant()).ceiling;
+    let policy = admission::derive_policy(
+        &shared.config.ceiling,
+        tenant_ceiling,
+        &job.session.policy(),
+        job.token.clone(),
+    );
+    let runner = AssessRunner::new(shared.engine.clone()).with_policy(policy);
+    let mut outcome = runner.run_batch(&statements, want_trace);
+    let mut items: Vec<Option<Result<assess_core::BatchItem, AssessError>>> =
+        outcome.items.drain(..).map(Some).collect();
+
+    let mut results: Vec<Value> = Vec::with_capacity(slots.len());
+    let mut ok_count = 0usize;
+    let mut total_cells = 0usize;
+    for (slot, text) in slots.into_iter().zip(&opts.statements) {
+        match slot {
+            Slot::Failed(value) => {
+                shared.runs.failed.fetch_add(1, Ordering::Relaxed);
+                results.push(value);
+            }
+            Slot::Ready { index, warnings, span } => {
+                match items.get_mut(index).and_then(Option::take) {
+                    Some(Ok(item)) => {
+                        shared.runs.executed.fetch_add(1, Ordering::Relaxed);
+                        ok_count += 1;
+                        total_cells += item.cube.len();
+                        let mut fields = vec![
+                            ("ok", Value::Bool(true)),
+                            ("strategy", s(item.report.strategy.acronym())),
+                            ("cells", n(item.cube.len() as u64)),
+                            ("rows_scanned", n(item.report.rows_scanned as u64)),
+                        ];
+                        match opts.format {
+                            RunFormat::Csv => fields.push(("csv", s(item.cube.to_csv()))),
+                            RunFormat::Cells => {
+                                let limit = opts.limit.unwrap_or(shared.config.default_row_limit);
+                                let rows: Vec<Value> = item
+                                    .cube
+                                    .cells()
+                                    .iter()
+                                    .take(limit)
+                                    .map(serde::Serialize::to_value)
+                                    .collect();
+                                fields.push(("rows", Value::Array(rows)));
+                                fields.push(("truncated", Value::Bool(item.cube.len() > limit)));
+                            }
+                        }
+                        if let Some(tree) = item.trace {
+                            fields.push(("trace", tree.to_json()));
+                        }
+                        if !warnings.is_empty() {
+                            fields.push((
+                                "diagnostics",
+                                protocol::diagnostics_json(&warnings, Some(text)),
+                            ));
+                        }
+                        results.push(protocol::obj(fields));
+                    }
+                    Some(Err(e)) => {
+                        let code = match &e {
+                            AssessError::Cancelled => {
+                                shared.runs.cancelled.fetch_add(1, Ordering::Relaxed);
+                                "cancelled"
+                            }
+                            AssessError::BudgetExceeded { .. } => {
+                                shared.runs.failed.fetch_add(1, Ordering::Relaxed);
+                                "budget_exceeded"
+                            }
+                            _ => {
+                                shared.runs.failed.fetch_add(1, Ordering::Relaxed);
+                                "execution_error"
+                            }
+                        };
+                        let diag = Diagnostic::from_error(&e, span);
+                        results.push(statement_error(code, &e.to_string(), &[diag], text));
+                    }
+                    None => {
+                        shared.runs.failed.fetch_add(1, Ordering::Relaxed);
+                        results.push(statement_error(
+                            "internal",
+                            "missing batch result",
+                            &[],
+                            text,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    let shared_scans: Vec<Value> = outcome
+        .shared
+        .iter()
+        .map(|r| {
+            protocol::obj(vec![
+                ("fingerprint", s(r.fingerprint.to_string())),
+                ("consumers", n(r.consumers as u64)),
+                ("rows_scanned", n(r.rows_scanned as u64)),
+                ("query", s(r.query.clone())),
+            ])
+        })
+        .collect();
+    let elapsed_ms = ms(t0.elapsed());
+    job.session.record(HistoryEntry {
+        statement: format!("batch({} statements)", opts.statements.len()),
+        outcome: if ok_count == opts.statements.len() {
+            "ok".to_string()
+        } else {
+            format!("{ok_count}/{} ok", opts.statements.len())
+        },
+        elapsed_ms,
+        cells: total_cells,
+    });
+    let mut fields = vec![
+        ("batch", Value::Bool(true)),
+        ("count", n(opts.statements.len() as u64)),
+        ("succeeded", n(ok_count as u64)),
+        ("elapsed_ms", n(elapsed_ms)),
+        ("shared_scans", Value::Array(shared_scans)),
+        ("results", Value::Array(results)),
+    ];
+    if want_trace {
+        // The batch-level trace carries one `shared_scan` span per scan
+        // that executed once and fanned out; per-statement traces live on
+        // the corresponding result objects.
+        let tree = TraceTree {
+            strategy: None,
+            cache_hit: false,
+            spans: std::mem::take(&mut outcome.shared_spans),
+        };
+        fields.push(("trace", tree.to_json()));
+    }
+    mark_shed(protocol::ok_response(id, fields), shed)
+}
+
+/// A per-statement failure object inside a batch `results` array.
+fn statement_error(code: &str, message: &str, diagnostics: &[Diagnostic], source: &str) -> Value {
+    let mut fields = vec![
+        ("ok", Value::Bool(false)),
+        ("error", protocol::obj(vec![("code", s(code)), ("message", s(message))])),
+    ];
+    if !diagnostics.is_empty() {
+        fields.push(("diagnostics", protocol::diagnostics_json(diagnostics, Some(source))));
+    }
+    protocol::obj(fields)
 }
 
 // --------------------------------------------------------------- responses

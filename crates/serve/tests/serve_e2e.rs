@@ -796,6 +796,110 @@ fn soft_shedding_drops_traces_and_cache_inserts_under_pressure() {
     handle.shutdown();
 }
 
+// ------------------------------------------------------ shared-scan batches
+
+/// The acceptance test for shared-scan batch execution: four statements
+/// that differ only in their constant benchmark share one canonical target
+/// `get`, so a `batch` executes that scan exactly once — proved by a
+/// private engine-metrics registry and the batch trace's `shared_scan`
+/// span — while every response stays byte-identical to serial execution.
+#[test]
+fn batch_executes_a_shared_scan_once_with_serial_identical_results() {
+    let statements: Vec<String> = [900_000u64, 1_100_000, 1_300_000, 1_500_000]
+        .iter()
+        .map(|k| {
+            format!(
+                "with SSB by customer, year assess revenue against {k} \
+                 using ratio(revenue, {k}) labels {{[0, 1): low, [1, inf]: high}}"
+            )
+        })
+        .collect();
+    let refs: Vec<&str> = statements.iter().map(String::as_str).collect();
+
+    // A private metrics registry so concurrent tests cannot perturb the
+    // scan deltas this test asserts exactly.
+    let metrics = Arc::new(olap_engine::EngineMetrics::new());
+    let engine = Engine::new(ssb_catalog()).with_metrics(metrics.clone());
+    let handle = serve(engine, ServerConfig { cache_capacity: 0, ..ServerConfig::default() })
+        .expect("server boots");
+    let mut client = connect(&handle);
+
+    // Serial baseline: each statement runs alone — one target scan each.
+    let before_serial = metrics.snapshot().scans;
+    let serial: Vec<String> = refs
+        .iter()
+        .map(|text| {
+            let response = client
+                .request(vec![
+                    ("op", Value::String("run".into())),
+                    ("statement", Value::String((*text).into())),
+                    ("format", Value::String("csv".into())),
+                ])
+                .unwrap();
+            assert_ok(&response);
+            response.get("csv").and_then(Value::as_str).expect("csv result").to_string()
+        })
+        .collect();
+    let serial_scans = metrics.snapshot().scans - before_serial;
+    assert_eq!(serial_scans, 4, "serial baseline must scan once per statement");
+
+    // The batch: the four target gets are fingerprint-equal, so the scan
+    // runs once and fans out to all four consumers.
+    let before_batch = metrics.snapshot().scans;
+    let response = client.batch(&refs, "csv", true).unwrap();
+    let batch_scans = metrics.snapshot().scans - before_batch;
+    assert_ok(&response);
+    assert_eq!(response.get("batch").and_then(Value::as_bool), Some(true));
+    assert_eq!(response.get("succeeded").and_then(Value::as_f64), Some(4.0));
+    assert_eq!(batch_scans, 1, "the shared scan must execute exactly once");
+
+    // The sharing report names one group feeding all four statements.
+    let shared = response.get("shared_scans").and_then(Value::as_array).expect("shared_scans");
+    assert_eq!(shared.len(), 1, "exactly one shared group expected: {shared:?}");
+    assert_eq!(shared[0].get("consumers").and_then(Value::as_f64), Some(4.0));
+    assert!(shared[0].get("fingerprint").and_then(Value::as_str).is_some());
+    assert!(shared[0].get("rows_scanned").and_then(Value::as_f64).unwrap_or(0.0) > 0.0);
+
+    // The batch-level trace carries the `shared_scan` span...
+    let trace = response.get("trace").expect("traced batch carries a trace");
+    let spans = trace.get("spans").and_then(Value::as_array).expect("spans array");
+    let shared_span = spans
+        .iter()
+        .find(|s| s.get("name").and_then(Value::as_str) == Some("shared_scan"))
+        .expect("batch trace is missing the shared_scan span");
+    let detail = shared_span.get("detail").and_then(Value::as_str).unwrap_or("");
+    assert!(detail.contains("consumers=4"), "odd shared_scan detail: {detail:?}");
+
+    // ...each consumer's own trace marks the get it absorbed as shared
+    // (the marker sits on a nested get span, so search the whole tree)...
+    fn any_span(spans: &[Value], pred: &dyn Fn(&Value) -> bool) -> bool {
+        spans.iter().any(|s| {
+            pred(s)
+                || s.get("children").and_then(Value::as_array).is_some_and(|cs| any_span(cs, pred))
+        })
+    }
+    let results = response.get("results").and_then(Value::as_array).expect("results array");
+    assert_eq!(results.len(), 4);
+    for (i, (result, baseline)) in results.iter().zip(&serial).enumerate() {
+        assert_eq!(result.get("ok").and_then(Value::as_bool), Some(true));
+        let item_trace = result.get("trace").expect("per-statement trace");
+        let item_spans = item_trace.get("spans").and_then(Value::as_array).expect("item spans");
+        assert!(
+            any_span(item_spans, &|s| s.get("detail").and_then(Value::as_str)
+                == Some("shared scan")),
+            "statement {i} has no span fed by the shared scan: {item_spans:?}"
+        );
+        // ...and every result is byte-identical to its serial run.
+        assert_eq!(
+            result.get("csv").and_then(Value::as_str),
+            Some(baseline.as_str()),
+            "statement {i} differed between batch and serial execution"
+        );
+    }
+
+    handle.shutdown();
+}
+
 /// A `with_retry` client rides out `queue_full`/`overloaded` refusals by
 /// honoring the server's `retry_after_ms` hints; every request eventually
 /// completes even with zero queue slots.

@@ -8,10 +8,10 @@
 //! in morsel-index order, so the reduction tree is a function of the data
 //! and the morsel size alone, never of the thread count or the scheduling.
 //!
-//! [`NumericSlice`] is the borrow-based numeric accessor that replaces the
-//! allocating [`Table::require_numeric`]: it reads `f64` values straight
-//! out of `i64` or `f64` storage, so scanning an integer measure no longer
-//! materializes a converted copy of the whole column.
+//! [`NumericSlice`] is the borrow-based numeric accessor behind
+//! [`Table::numeric_slice`]: it reads `f64` values straight out of `i64`
+//! or `f64` storage, so scanning an integer measure never materializes a
+//! converted copy of the whole column.
 
 use crate::column::{Column, ColumnData};
 use crate::error::StorageError;
@@ -63,8 +63,8 @@ impl<'a> NumericSlice<'a> {
         }
     }
 
-    /// Materializes the view as owned `f64`s (the compatibility shim for
-    /// the deprecated [`Table::require_numeric`]).
+    /// Materializes the view as owned `f64`s, for the few callers that
+    /// genuinely need a contiguous converted copy.
     pub fn to_vec(&self) -> Vec<f64> {
         match self {
             NumericSlice::I64(v) => v.iter().map(|x| *x as f64).collect(),

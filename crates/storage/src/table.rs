@@ -75,15 +75,6 @@ impl Table {
         })
     }
 
-    /// Requires a numeric (`i64` or `f64`) column as `f64` values.
-    #[deprecated(
-        since = "0.5.0",
-        note = "allocates a full-column copy; use `numeric_slice` (borrowing) instead"
-    )]
-    pub fn require_numeric(&self, name: &str) -> Result<Vec<f64>, StorageError> {
-        Ok(self.numeric_slice(name)?.to_vec())
-    }
-
     /// Requires a numeric (`i64` or `f64`) column as a borrowed
     /// [`NumericSlice`] — no conversion copy for integer measures.
     pub fn numeric_slice(&self, name: &str) -> Result<NumericSlice<'_>, StorageError> {
@@ -181,14 +172,6 @@ mod tests {
         ));
         assert!(matches!(t.require_column("ghost"), Err(StorageError::UnknownColumn { .. })));
         assert_eq!(t.column_index("balance"), Some(2));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn require_numeric_shim_still_materializes() {
-        let t = customers();
-        assert_eq!(t.require_numeric("balance").unwrap(), vec![10.5, -3.0, 0.0]);
-        assert_eq!(t.require_numeric("ckey").unwrap(), vec![0.0, 1.0, 2.0]);
     }
 
     #[test]

@@ -9,6 +9,10 @@
 //!   --deny-warnings      exit non-zero on warnings, not just errors
 //!   --analyze            additionally execute clean statements and print
 //!                        their measured trace trees (`explain analyze`)
+//!   --workload           additionally run the cross-statement workload
+//!                        analysis per file: duplicate subplans (W107),
+//!                        subsumed get targets (W108), cost dominance
+//!                        (W109), plus the sharing matrix
 //! ```
 //!
 //! Each file holds one or more statements separated by `;`. `--` starts a
@@ -24,6 +28,7 @@ use std::process::ExitCode;
 use assess_olap::assess::diag::{self, DiagCode, Diagnostic};
 use assess_olap::assess::exec::AssessRunner;
 use assess_olap::assess::explain;
+use assess_olap::assess::workload::{WorkloadAnalyzer, WorkloadStatement};
 use assess_olap::engine::Engine;
 use assess_olap::serde::Value;
 use assess_olap::ssb::{generate::generate, views, SsbConfig};
@@ -39,6 +44,7 @@ fn main() -> ExitCode {
     let mut scale = 0.001;
     let mut deny_warnings = false;
     let mut analyze = false;
+    let mut workload = false;
     let mut files: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -64,6 +70,10 @@ fn main() -> ExitCode {
             }
             "--analyze" => {
                 analyze = true;
+                i += 1;
+            }
+            "--workload" => {
+                workload = true;
                 i += 1;
             }
             "--help" | "-h" => return usage(""),
@@ -105,6 +115,30 @@ fn main() -> ExitCode {
         let file_errors = diagnostics.iter().filter(|d| d.is_error()).count();
         total_errors += file_errors;
         total_warnings += diagnostics.iter().filter(|d| !d.is_error()).count();
+        // `--workload` runs the cross-statement analysis over the file.
+        let sharing = workload.then(|| {
+            let statements: Vec<WorkloadStatement> =
+                assess_olap::assess::stmt::split_statements(&source)
+                    .into_iter()
+                    .filter_map(|(offset, text)| {
+                        // Unparseable statements were already reported as
+                        // E001 by the per-statement pass above.
+                        let spanned = assess_olap::sql::parse_spanned(&text).ok()?;
+                        Some(WorkloadStatement {
+                            text,
+                            statement: spanned.statement,
+                            spans: Some(spanned.spans),
+                            offset,
+                        })
+                    })
+                    .collect();
+            let report = WorkloadAnalyzer::new(runner.engine().catalog().as_ref())
+                .with_engine(runner.engine())
+                .analyze(&statements);
+            total_errors += report.diagnostics.iter().filter(|d| d.is_error()).count();
+            total_warnings += report.diagnostics.iter().filter(|d| !d.is_error()).count();
+            report
+        });
         // `--analyze` executes the file's statements (only when its check
         // was clean) and renders their measured trace trees.
         let mut analyses: Vec<(String, Result<_, _>)> = Vec::new();
@@ -120,6 +154,13 @@ fn main() -> ExitCode {
                 if !diagnostics.is_empty() {
                     println!("== {file}");
                     println!("{}", diag::render_all(&diagnostics, Some(&source)));
+                }
+                if let Some(report) = &sharing {
+                    println!("== {file}: workload");
+                    if !report.diagnostics.is_empty() {
+                        println!("{}", diag::render_all(&report.diagnostics, Some(&source)));
+                    }
+                    print!("{}", report.render_matrix());
                 }
                 for (text, outcome) in &analyses {
                     println!("== {file}: explain analyze");
@@ -140,6 +181,15 @@ fn main() -> ExitCode {
                     ("file".to_string(), Value::String(file.clone())),
                     ("diagnostics".to_string(), Value::Array(rendered)),
                 ];
+                if let Some(report) = &sharing {
+                    let lints: Vec<Value> =
+                        report.diagnostics.iter().map(|d| d.to_json(Some(&source))).collect();
+                    let mut workload_json = report.to_json();
+                    if let Value::Object(wf) = &mut workload_json {
+                        wf.push(("diagnostics".to_string(), Value::Array(lints)));
+                    }
+                    fields.push(("workload".to_string(), workload_json));
+                }
                 if analyze {
                     let traces: Vec<Value> = analyses
                         .iter()
@@ -206,7 +256,7 @@ fn usage(problem: &str) -> ExitCode {
     }
     eprintln!(
         "usage: assess-check [--format text|json] [--scale S] [--deny-warnings] [--analyze] \
-         <file.assess>…"
+         [--workload] <file.assess>…"
     );
     ExitCode::from(2)
 }

@@ -27,8 +27,8 @@
 //! The protocol is newline-delimited JSON; see the `Serving` section of the
 //! README for request and response shapes. `--self-check` is the CI smoke
 //! mode: it exercises check → run → traced cached run → stats → metrics →
-//! cancel → auth → rate-limit overload → oversized frame end to end and
-//! exits non-zero if any response deviates.
+//! cancel → shared-scan batch → auth → rate-limit overload → oversized
+//! frame end to end and exits non-zero if any response deviates.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -269,9 +269,10 @@ fn error_code(v: &Value) -> &str {
 }
 
 /// The scripted session: check → run (cold) → traced run (cached) →
-/// stats → metrics → cancel → auth (bad key, then good) → rate-limit
-/// overload with a `retry_after_ms` hint → oversized-frame rejection with
-/// the connection surviving. Returns the number of verified steps.
+/// stats → metrics → cancel → shared-scan batch → auth (bad key, then
+/// good) → rate-limit overload with a `retry_after_ms` hint →
+/// oversized-frame rejection with the connection surviving. Returns the
+/// number of verified steps.
 fn run_self_check(handle: &assess_olap::serve::ServerHandle) -> Result<u32, String> {
     let mut client = LineClient::connect(handle.addr()).map_err(|e| format!("connect: {e}"))?;
 
@@ -350,6 +351,40 @@ fn run_self_check(handle: &assess_olap::serve::ServerHandle) -> Result<u32, Stri
         &outcome,
     )?;
 
+    // Batch: four statements sharing one target get must execute its scan
+    // once and fan out — the response reports the shared scan with all
+    // four consumers, and every per-statement result succeeds.
+    let shared_group: Vec<String> = [900_000u64, 1_100_000, 1_300_000, 1_500_000]
+        .iter()
+        .map(|k| {
+            format!(
+                "with SSB by customer, year assess revenue against {k} \
+                 using ratio(revenue, {k}) \
+                 labels {{[0, 1): low, [1, inf]: high}}"
+            )
+        })
+        .collect();
+    let refs: Vec<&str> = shared_group.iter().map(String::as_str).collect();
+    let batch = client.batch(&refs, "cells", false).map_err(|e| format!("batch: {e}"))?;
+    let succeeded = batch.get("succeeded").and_then(Value::as_f64).unwrap_or(-1.0);
+    let consumers = batch
+        .get("shared_scans")
+        .and_then(|ss| match ss {
+            Value::Array(items) => items.first(),
+            _ => None,
+        })
+        .and_then(|scan| scan.get("consumers"))
+        .and_then(Value::as_f64)
+        .unwrap_or(-1.0);
+    expect(
+        field_bool(&batch, "ok") == Some(true)
+            && field_bool(&batch, "batch") == Some(true)
+            && succeeded == 4.0
+            && consumers == 4.0,
+        "batch shares one scan across 4 statements",
+        &batch,
+    )?;
+
     // Tenancy: an unknown key is refused and the session stays anonymous;
     // the self-check directory's `ci-key` binds the session to tenant `ci`.
     let bad = client.auth("not-a-key").map_err(|e| format!("auth bad key: {e}"))?;
@@ -394,5 +429,5 @@ fn run_self_check(handle: &assess_olap::serve::ServerHandle) -> Result<u32, Stri
     let pong = client.ping().map_err(|e| format!("post-rejection ping: {e}"))?;
     expect(field_bool(&pong, "ok") == Some(true), "connection survives rejection", &pong)?;
 
-    Ok(12)
+    Ok(13)
 }
