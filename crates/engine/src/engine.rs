@@ -402,6 +402,18 @@ impl Engine {
         run_morsels(Some(&pool), dop, morsel_rows, ctx, self.governor.clone(), self.faults.clone())
     }
 
+    /// Appends a batch of fact rows to `cube`'s fact table, incrementally
+    /// maintaining every dependent materialized view, and commits table,
+    /// views and the change's [`olap_storage::Delta`] under one catalog
+    /// version bump. See [`crate::maintain`] for the full contract.
+    pub fn append(
+        &self,
+        cube: &str,
+        batch: &[olap_storage::Column],
+    ) -> Result<crate::maintain::MaintainOutcome, EngineError> {
+        crate::maintain::append(self, cube, batch)
+    }
+
     /// Executes a cube query (the `get` logical operator, Definition 2.6),
     /// producing a sorted, materialized derived cube.
     ///

@@ -36,6 +36,7 @@ pub mod error;
 pub mod fault;
 pub mod governor;
 pub mod key;
+pub mod maintain;
 pub mod metrics;
 pub mod pool;
 pub mod predicate;
@@ -47,5 +48,6 @@ pub use error::EngineError;
 pub use fault::{FaultInjector, FaultSite};
 pub use governor::{CancelToken, ResourceGovernor, ResourceKind};
 pub use key::KeyLayout;
+pub use maintain::MaintainOutcome;
 pub use metrics::{EngineMetrics, EngineMetricsSnapshot, ScanPath};
 pub use pool::{PoolStats, WorkerPool};

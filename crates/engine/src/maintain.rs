@@ -1,0 +1,699 @@
+//! Incremental maintenance: the append path of the engine.
+//!
+//! [`append`] grows a cube's fact table by a batch of rows and keeps every
+//! dependent materialized view consistent, committing the new table, the
+//! maintained views and a [`Delta`] descriptor under **one** catalog
+//! version bump. Downstream caches can therefore follow the catalog's
+//! delta chain instead of invalidating wholesale.
+//!
+//! ## View maintenance policy
+//!
+//! For every view in the catalog:
+//!
+//! * its recorded [`source`](MaterializedAggregate::source) cube resolves
+//!   to a binding over the appended fact table → the view is maintained:
+//!   **merged** when every one of its measures aggregates distributively
+//!   (sum/count/min/max) and its group-by key packs into a machine word,
+//!   **rebuilt** from the full fact table otherwise;
+//! * its source resolves to a binding over a *different* fact table → the
+//!   view is untouched;
+//! * its provenance cannot be resolved (no source recorded, unknown
+//!   source cube, or columns that no longer line up) → the view is
+//!   **dropped**: a view that cannot be re-derived must not keep serving
+//!   stale aggregates after its underlying data may have grown.
+//!
+//! ## Determinism
+//!
+//! Both the delta scan and the rebuild scan run through the same
+//! morsel-driven pipeline as queries ([`run_morsels`]), so partial
+//! aggregates merge in morsel order and maintenance is byte-identical at
+//! every thread count. Maintained views are kept **coordinate-sorted**
+//! (the order `Engine::get` materializes), so a merged view is
+//! bit-comparable to one rebuilt from scratch; merged sums equal rebuilt
+//! sums exactly whenever measure values are integer-valued (exact f64
+//! addition), which the bundled datasets guarantee.
+//!
+//! ## Concurrency
+//!
+//! The new table and all maintained views are computed *outside* the
+//! catalog lock, then committed with
+//! [`commit_append`](olap_storage::Catalog::commit_append), which verifies
+//! the base table is still current. A lost race surfaces as
+//! [`StorageError::ConcurrentMutation`] and the append is retried from the
+//! fresh table, a bounded number of times.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use olap_model::{AggOp, Coordinate, MemberId};
+use olap_storage::{
+    Column, CubeBinding, Delta, MaterializedAggregate, NumericSlice, StorageError, Table,
+};
+
+use crate::aggregate::{accumulate_chunk, GroupTable};
+use crate::engine::Engine;
+use crate::error::EngineError;
+use crate::key::KeyLayout;
+use crate::pool::{run_morsels, MorselScan, WorkerPool};
+
+/// Attempts before a repeatedly lost commit race is surfaced to the caller.
+const MAX_COMMIT_ATTEMPTS: usize = 4;
+
+/// The result of one committed append.
+#[derive(Debug)]
+pub struct MaintainOutcome {
+    /// The committed delta, stamped with the catalog version the append
+    /// settled at.
+    pub delta: Arc<Delta>,
+    /// Views maintained by merging the delta's partial aggregates.
+    pub views_merged: usize,
+    /// Views maintained by a full rebuild from the grown fact table.
+    pub views_rebuilt: usize,
+    /// Views dropped because their provenance could not be resolved.
+    pub views_dropped: Vec<String>,
+}
+
+impl MaintainOutcome {
+    /// Rows the append added to the fact table.
+    pub fn appended(&self) -> usize {
+        self.delta.rows()
+    }
+
+    /// The catalog version the append settled at.
+    pub fn version(&self) -> u64 {
+        self.delta.version()
+    }
+}
+
+/// Appends `batch` to `cube`'s fact table, maintaining every dependent
+/// materialized view, and commits table + views + delta atomically.
+pub fn append(
+    engine: &Engine,
+    cube: &str,
+    batch: &[Column],
+) -> Result<MaintainOutcome, EngineError> {
+    let binding = engine.catalog().binding(cube)?;
+    validate_batch(&binding, batch)?;
+    let mut attempt = 0;
+    loop {
+        let base = engine.catalog().table(binding.fact_table())?;
+        let appended = Arc::new(base.append_batch(batch)?);
+        let delta = Delta::describe(binding.fact_table(), base.n_rows(), batch);
+        let plan = maintain_views(engine, cube, &binding, &appended, &delta)?;
+        match engine.catalog().commit_append(&base, appended, plan.maintained, &plan.dropped, delta)
+        {
+            Ok(delta) => {
+                engine.metrics().record_append(plan.merged as u64, plan.rebuilt as u64);
+                return Ok(MaintainOutcome {
+                    delta,
+                    views_merged: plan.merged,
+                    views_rebuilt: plan.rebuilt,
+                    views_dropped: plan.dropped,
+                });
+            }
+            Err(StorageError::ConcurrentMutation(_)) if attempt + 1 < MAX_COMMIT_ATTEMPTS => {
+                attempt += 1;
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// Referential integrity of the batch: every foreign-key value must be a
+/// member id of its hierarchy's finest level, mirroring the check
+/// [`CubeBinding::new`] runs on the seed table. Rejecting here keeps the
+/// binding's invariant without re-validating the whole grown table.
+fn validate_batch(binding: &CubeBinding, batch: &[Column]) -> Result<(), EngineError> {
+    let schema = binding.schema();
+    for (hi, h) in schema.hierarchies().iter().enumerate() {
+        let fk = binding.fk_column(hi);
+        let Some(col) = batch.iter().find(|c| c.name == fk) else {
+            continue; // a missing column fails structurally in append_batch
+        };
+        let Some(keys) = col.as_i64() else {
+            continue; // a mistyped column fails structurally in append_batch
+        };
+        let domain = h.level(0).map(|l| l.cardinality() as i64).unwrap_or(0);
+        if let Some(&bad) = keys.iter().find(|&&k| k < 0 || k >= domain) {
+            return Err(EngineError::Storage(StorageError::InvalidBinding(format!(
+                "appended foreign key `{fk}` holds value {bad} outside the domain of level `{}` (0..{domain})",
+                h.level(0).map(|l| l.name()).unwrap_or("?"),
+            ))));
+        }
+    }
+    Ok(())
+}
+
+/// The maintenance work computed for one append, ready to commit.
+struct MaintenancePlan {
+    maintained: Vec<MaterializedAggregate>,
+    dropped: Vec<String>,
+    merged: usize,
+    rebuilt: usize,
+}
+
+/// Walks the catalog's views and maintains, skips or drops each per the
+/// module-level policy. `table` is the already-grown fact table.
+fn maintain_views(
+    engine: &Engine,
+    cube: &str,
+    binding: &Arc<CubeBinding>,
+    table: &Arc<Table>,
+    delta: &Delta,
+) -> Result<MaintenancePlan, EngineError> {
+    let mut plan =
+        MaintenancePlan { maintained: Vec::new(), dropped: Vec::new(), merged: 0, rebuilt: 0 };
+    for view in engine.catalog().views() {
+        let vb = match view.source() {
+            Some(src) if src == cube => binding.clone(),
+            Some(src) => match engine.catalog().binding(src) {
+                Ok(b) => b,
+                Err(_) => {
+                    plan.dropped.push(view.name().to_string());
+                    continue;
+                }
+            },
+            None => {
+                plan.dropped.push(view.name().to_string());
+                continue;
+            }
+        };
+        if vb.fact_table() != table.name() {
+            continue; // aggregates a different fact table: unaffected
+        }
+        match resolve(&vb, &view, table) {
+            Some(r) => {
+                let (maintained, merged) = maintain_one(engine, &view, table, delta, r)?;
+                plan.maintained.push(maintained);
+                if merged {
+                    plan.merged += 1;
+                } else {
+                    plan.rebuilt += 1;
+                }
+            }
+            None => plan.dropped.push(view.name().to_string()),
+        }
+    }
+    Ok(plan)
+}
+
+/// A view's maintenance inputs, resolved against the grown fact table:
+/// fk column indexes + roll-up maps per group-by component, measure column
+/// indexes, aggregation operators and the packed key layout.
+struct Resolved {
+    keys: Vec<(usize, Vec<MemberId>)>,
+    measures: Vec<usize>,
+    ops: Vec<AggOp>,
+    layout: KeyLayout,
+}
+
+impl Resolved {
+    /// Whether the delta's partial aggregates can be merged into the
+    /// existing view directly: every operator distributive, packed keys.
+    fn mergeable(&self) -> bool {
+        self.layout.fits_u64()
+            && self
+                .ops
+                .iter()
+                .all(|op| matches!(op, AggOp::Sum | AggOp::Count | AggOp::Min | AggOp::Max))
+    }
+}
+
+/// Resolves a view against binding + table; `None` means the view cannot
+/// be re-derived (its columns or levels no longer line up) and must drop.
+fn resolve(binding: &CubeBinding, view: &MaterializedAggregate, table: &Table) -> Option<Resolved> {
+    let schema = binding.schema();
+    let mut keys = Vec::new();
+    let mut cardinalities = Vec::new();
+    for (hi, li) in view.group_by().included_hierarchies() {
+        let idx = table.column_index(binding.fk_column(hi))?;
+        table.columns()[idx].as_i64()?;
+        let h = schema.hierarchy(hi)?;
+        keys.push((idx, h.composed_map(0, li).ok()?));
+        cardinalities.push(h.level(li)?.cardinality());
+    }
+    let mut measures = Vec::new();
+    let mut ops = Vec::new();
+    for m in view.measure_names() {
+        let col = binding.measure_column_by_name(m)?;
+        let idx = table.column_index(col)?;
+        NumericSlice::from_column(&table.columns()[idx])?;
+        measures.push(idx);
+        ops.push(schema.require_measure(m).ok()?.agg());
+    }
+    Some(Resolved { keys, measures, ops, layout: KeyLayout::for_cardinalities(&cardinalities) })
+}
+
+/// Maintains one view: delta merge when possible, full rebuild otherwise.
+/// Returns the new view and whether it was merged (vs rebuilt).
+fn maintain_one(
+    engine: &Engine,
+    view: &MaterializedAggregate,
+    table: &Arc<Table>,
+    delta: &Delta,
+    r: Resolved,
+) -> Result<(MaterializedAggregate, bool), EngineError> {
+    if r.mergeable() {
+        let scan = RangeScan {
+            table: table.clone(),
+            start: delta.start_row(),
+            rows: delta.rows(),
+            keys: r.keys,
+            measures: r.measures,
+            layout: r.layout.clone(),
+            ops: r.ops.clone(),
+        };
+        let partial = run_range(engine, scan)?;
+        Ok((merge(view, partial, &r.layout, &r.ops)?, true))
+    } else if r.layout.fits_u64() {
+        let scan = RangeScan {
+            table: table.clone(),
+            start: 0,
+            rows: table.n_rows(),
+            keys: r.keys,
+            measures: r.measures,
+            layout: r.layout.clone(),
+            ops: r.ops.clone(),
+        };
+        let rebuilt = run_range(engine, scan)?;
+        let (keys, cols) = rebuilt.finish();
+        let arity = view.group_by().arity();
+        let mut coords: Vec<Vec<MemberId>> =
+            (0..arity).map(|_| Vec::with_capacity(keys.len())).collect();
+        for &key in &keys {
+            for (c, col) in coords.iter_mut().enumerate() {
+                col.push(r.layout.unpack_component(key, c));
+            }
+        }
+        Ok((sorted_view(view, coords, cols)?, false))
+    } else {
+        Ok((rebuild_wide(view, table, &r)?, false))
+    }
+}
+
+/// Merges a delta partial aggregate into the existing view's rows:
+/// matching coordinates fold per operator, unseen coordinates append, and
+/// the result re-sorts to the engine's canonical coordinate order.
+fn merge(
+    view: &MaterializedAggregate,
+    partial: GroupTable<u64>,
+    layout: &KeyLayout,
+    ops: &[AggOp],
+) -> Result<MaterializedAggregate, EngineError> {
+    let arity = view.group_by().arity();
+    let mut coords: Vec<Vec<MemberId>> = view.coord_cols().to_vec();
+    let mut measures: Vec<Vec<f64>> = (0..view.measure_names().len())
+        .map(|i| view.measure_at(i).expect("measure count checked at construction").to_vec())
+        .collect();
+    let mut index: HashMap<u64, usize> = HashMap::with_capacity(view.len());
+    for row in 0..view.len() {
+        let mut key = 0u64;
+        for (comp, col) in coords.iter().enumerate() {
+            layout.pack_component(&mut key, comp, col[row]);
+        }
+        index.insert(key, row);
+    }
+    let (keys, cols) = partial.finish();
+    for (slot, &key) in keys.iter().enumerate() {
+        match index.get(&key) {
+            Some(&row) => {
+                for (op, (col, delta_col)) in ops.iter().zip(measures.iter_mut().zip(&cols)) {
+                    let d = delta_col[slot];
+                    col[row] = match op {
+                        AggOp::Sum | AggOp::Count => col[row] + d,
+                        AggOp::Min => col[row].min(d),
+                        AggOp::Max => col[row].max(d),
+                        AggOp::Avg => unreachable!("avg views take the rebuild path"),
+                    };
+                }
+            }
+            None => {
+                for (c, col) in coords.iter_mut().enumerate().take(arity) {
+                    col.push(layout.unpack_component(key, c));
+                }
+                for (col, delta_col) in measures.iter_mut().zip(&cols) {
+                    col.push(delta_col[slot]);
+                }
+            }
+        }
+    }
+    sorted_view(view, coords, measures)
+}
+
+/// Full rebuild with boxed coordinate keys, for group-by sets whose packed
+/// key exceeds a machine word. Serial, like the engine's wide query path.
+fn rebuild_wide(
+    view: &MaterializedAggregate,
+    table: &Table,
+    r: &Resolved,
+) -> Result<MaterializedAggregate, EngineError> {
+    let key_cols: Vec<(&[i64], &[MemberId])> = r
+        .keys
+        .iter()
+        .map(|(idx, roll)| {
+            (table.columns()[*idx].as_i64().expect("resolved fk column"), roll.as_slice())
+        })
+        .collect();
+    let measure_slices: Vec<NumericSlice<'_>> = r
+        .measures
+        .iter()
+        .map(|idx| NumericSlice::from_column(&table.columns()[*idx]).expect("resolved measure"))
+        .collect();
+    let mut out: GroupTable<Coordinate> = GroupTable::new(&r.ops);
+    let mut key_buf: Vec<MemberId> = vec![MemberId(0); key_cols.len()];
+    let mut values = vec![0.0f64; measure_slices.len()];
+    for row in 0..table.n_rows() {
+        for (slot, (fks, roll)) in key_buf.iter_mut().zip(&key_cols) {
+            *slot = roll[fks[row] as usize];
+        }
+        for (v, m) in values.iter_mut().zip(&measure_slices) {
+            *v = m.get(row);
+        }
+        out.update(Coordinate::new(key_buf.clone()), &values);
+    }
+    let (keys, cols) = out.finish();
+    let arity = view.group_by().arity();
+    let mut coords: Vec<Vec<MemberId>> =
+        (0..arity).map(|_| Vec::with_capacity(keys.len())).collect();
+    for key in &keys {
+        for (c, col) in coords.iter_mut().enumerate() {
+            col.push(key.members()[c]);
+        }
+    }
+    sorted_view(view, coords, cols)
+}
+
+/// Assembles the maintained view, sorted lexicographically by coordinate —
+/// the same canonical order `Engine::get` materializes cubes in, so a
+/// merged view is byte-comparable to a rebuilt one.
+fn sorted_view(
+    view: &MaterializedAggregate,
+    mut coords: Vec<Vec<MemberId>>,
+    mut measures: Vec<Vec<f64>>,
+) -> Result<MaterializedAggregate, EngineError> {
+    let n =
+        coords.first().map(Vec::len).unwrap_or_else(|| measures.first().map(Vec::len).unwrap_or(0));
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.sort_unstable_by(|&a, &b| {
+        for col in &coords {
+            match col[a].cmp(&col[b]) {
+                std::cmp::Ordering::Equal => {}
+                other => return other,
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    for col in coords.iter_mut() {
+        *col = perm.iter().map(|&i| col[i]).collect();
+    }
+    for col in measures.iter_mut() {
+        *col = perm.iter().map(|&i| col[i]).collect();
+    }
+    let rebuilt = MaterializedAggregate::new(
+        view.name(),
+        view.group_by().clone(),
+        coords,
+        view.measure_names().to_vec(),
+        measures,
+    )
+    .map_err(EngineError::Storage)?;
+    Ok(match view.source() {
+        Some(src) => rebuilt.with_source(src),
+        None => rebuilt,
+    })
+}
+
+/// A morsel scan over a row range of a fact table, grouping by resolved
+/// fk columns through roll-up maps — the maintenance analogue of the
+/// engine's query scan context (no predicate masks: appends are total).
+struct RangeScan {
+    table: Arc<Table>,
+    start: usize,
+    rows: usize,
+    keys: Vec<(usize, Vec<MemberId>)>,
+    measures: Vec<usize>,
+    layout: KeyLayout,
+    ops: Vec<AggOp>,
+}
+
+impl MorselScan for RangeScan {
+    fn n_rows(&self) -> usize {
+        self.rows
+    }
+
+    fn new_table(&self) -> GroupTable<u64> {
+        GroupTable::new(&self.ops)
+    }
+
+    fn process(
+        &self,
+        lo: usize,
+        hi: usize,
+        _sel: &mut Vec<u32>,
+        out: &mut GroupTable<u64>,
+    ) -> Result<(), EngineError> {
+        let len = hi - lo;
+        let chunk = self.table.chunk(self.start + lo, len);
+        let keys: Vec<(crate::predicate::IdColumn<'_>, &[MemberId])> = self
+            .keys
+            .iter()
+            .map(|(idx, roll)| {
+                (
+                    crate::predicate::IdColumn::Fks(
+                        chunk.i64_at(*idx).expect("resolved fk column"),
+                    ),
+                    roll.as_slice(),
+                )
+            })
+            .collect();
+        let measures: Vec<NumericSlice<'_>> = self
+            .measures
+            .iter()
+            .map(|idx| chunk.numeric_at(*idx).expect("resolved measure column"))
+            .collect();
+        accumulate_chunk(out, &self.layout, len, None, &keys, &measures);
+        Ok(())
+    }
+}
+
+/// Drives a maintenance scan through the same morsel pipeline and sizing
+/// rules as query scans, so maintenance output is byte-identical at every
+/// thread count.
+fn run_range(engine: &Engine, scan: RangeScan) -> Result<GroupTable<u64>, EngineError> {
+    let n = scan.rows;
+    let morsel_rows = engine.config().morsel_rows.max(1);
+    let dop = if n < engine.config().parallel_threshold { 1 } else { engine.parallelism_cap() };
+    let ctx = Arc::new(scan);
+    let run = if dop <= 1 {
+        run_morsels(None, 1, morsel_rows, ctx, None, None)?
+    } else {
+        let pool = engine.worker_pool().cloned().unwrap_or_else(WorkerPool::global);
+        run_morsels(Some(&pool), dop, morsel_rows, ctx, None, None)?
+    };
+    Ok(run.table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use olap_model::{CubeQuery, CubeSchema, GroupBySet, HierarchyBuilder, MeasureDef};
+    use olap_storage::binding::DimInfo;
+    use olap_storage::{Catalog, CubeBinding};
+
+    fn schema() -> Arc<CubeSchema> {
+        let mut product = HierarchyBuilder::new("Product", ["product", "type"]);
+        product.add_member_chain(&["Apple", "Fresh Fruit"]).unwrap();
+        product.add_member_chain(&["Milk", "Dairy"]).unwrap();
+        product.add_member_chain(&["Bread", "Bakery"]).unwrap();
+        Arc::new(CubeSchema::new(
+            "SALES",
+            vec![product.build().unwrap()],
+            vec![MeasureDef::new("quantity", AggOp::Sum), MeasureDef::new("mean_qty", AggOp::Avg)],
+        ))
+    }
+
+    fn seed() -> (Arc<Catalog>, Arc<CubeSchema>) {
+        let catalog = Arc::new(Catalog::new());
+        let schema = schema();
+        let fact = Table::new(
+            "sales",
+            vec![
+                Column::i64("pkey", vec![0, 1, 0, 2]),
+                Column::f64("quantity", vec![5.0, 2.0, 1.0, 4.0]),
+            ],
+        )
+        .unwrap();
+        let binding = CubeBinding::new(
+            schema.clone(),
+            &fact,
+            vec!["pkey".into()],
+            vec!["quantity".into(), "quantity".into()],
+            vec![DimInfo {
+                table: "product".into(),
+                pk: "pkey".into(),
+                level_columns: vec!["pkey".into(), "type".into()],
+            }],
+        )
+        .unwrap();
+        catalog.register_table(fact);
+        catalog.register_binding("SALES", binding);
+        (catalog, schema)
+    }
+
+    fn batch() -> Vec<Column> {
+        vec![Column::i64("pkey", vec![2, 1, 1]), Column::f64("quantity", vec![7.0, 3.0, 9.0])]
+    }
+
+    /// Builds a sum view over `levels` via the engine and registers it
+    /// with source provenance — the way production views are seeded.
+    fn seed_view(catalog: &Arc<Catalog>, schema: &Arc<CubeSchema>, name: &str, level: &str) {
+        let engine = Engine::with_config(
+            catalog.clone(),
+            EngineConfig { use_views: false, ..EngineConfig::default() },
+        );
+        let group_by = GroupBySet::from_level_names(schema, &[level]).unwrap();
+        let out = engine
+            .get(&CubeQuery::new("SALES", group_by.clone(), vec![], vec!["quantity".into()]))
+            .unwrap();
+        let col = out.cube.numeric_column("quantity").unwrap().data.clone();
+        let view = MaterializedAggregate::new(
+            name,
+            group_by,
+            out.cube.coord_cols().to_vec(),
+            vec!["quantity".into()],
+            vec![col],
+        )
+        .unwrap()
+        .with_source("SALES");
+        catalog.register_view(view);
+    }
+
+    #[test]
+    fn append_grows_the_fact_and_serves_new_rows() {
+        let (catalog, schema) = seed();
+        let engine = Engine::new(catalog.clone());
+        let out = engine.append("SALES", &batch()).unwrap();
+        assert_eq!(out.appended(), 3);
+        assert_eq!(out.version(), catalog.version());
+        assert_eq!(catalog.table("sales").unwrap().n_rows(), 7);
+        // Aggregate at `type` over the grown table: Fresh Fruit 6, Dairy 14,
+        // Bakery 11.
+        let g = GroupBySet::from_level_names(&schema, &["type"]).unwrap();
+        let q = CubeQuery::new("SALES", g, vec![], vec!["quantity".into()]);
+        let cube = engine.get(&q).unwrap().cube;
+        let col = &cube.numeric_column("quantity").unwrap().data;
+        assert_eq!(col.iter().sum::<f64>(), 31.0);
+    }
+
+    #[test]
+    fn merged_views_match_a_from_scratch_rebuild() {
+        let (catalog, schema) = seed();
+        seed_view(&catalog, &schema, "mv_type", "type");
+        seed_view(&catalog, &schema, "mv_product", "product");
+        let engine = Engine::new(catalog.clone());
+        let out = engine.append("SALES", &batch()).unwrap();
+        assert_eq!(out.views_merged, 2);
+        assert_eq!(out.views_rebuilt, 0);
+        assert!(out.views_dropped.is_empty());
+
+        // Rebuild both views from scratch over the grown data.
+        let (fresh, _) = seed();
+        let fresh_engine = Engine::new(fresh.clone());
+        fresh_engine.append("SALES", &batch()).unwrap();
+        seed_view(&fresh, &schema, "mv_type", "type");
+        seed_view(&fresh, &schema, "mv_product", "product");
+
+        for name in ["mv_type", "mv_product"] {
+            let merged = catalog.views().into_iter().find(|v| v.name() == name).unwrap();
+            let rebuilt = fresh.views().into_iter().find(|v| v.name() == name).unwrap();
+            assert_eq!(merged.coord_cols(), rebuilt.coord_cols(), "{name} coordinates");
+            assert_eq!(
+                merged.measure("quantity").unwrap(),
+                rebuilt.measure("quantity").unwrap(),
+                "{name} values"
+            );
+            assert_eq!(merged.source(), Some("SALES"), "{name} keeps provenance");
+        }
+    }
+
+    #[test]
+    fn avg_views_take_the_rebuild_path() {
+        let (catalog, schema) = seed();
+        // Hand-built avg view at `type`: coordinate order doesn't matter,
+        // maintenance recomputes it entirely.
+        let group_by = GroupBySet::from_level_names(&schema, &["type"]).unwrap();
+        let view = MaterializedAggregate::new(
+            "mv_avg",
+            group_by,
+            vec![vec![MemberId(0), MemberId(1), MemberId(2)]],
+            vec!["mean_qty".into()],
+            vec![vec![3.0, 2.0, 4.0]],
+        )
+        .unwrap()
+        .with_source("SALES");
+        catalog.register_view(view);
+        let engine = Engine::new(catalog.clone());
+        let out = engine.append("SALES", &batch()).unwrap();
+        assert_eq!((out.views_merged, out.views_rebuilt), (0, 1));
+        let v = catalog.views().into_iter().find(|v| v.name() == "mv_avg").unwrap();
+        // Grown rows per type: Fresh Fruit {5,1}, Dairy {2,3,9}, Bakery {4,7}.
+        assert_eq!(v.measure("mean_qty").unwrap(), &[3.0, 14.0 / 3.0, 5.5]);
+    }
+
+    #[test]
+    fn unresolvable_views_are_dropped() {
+        let (catalog, schema) = seed();
+        let group_by = GroupBySet::from_level_names(&schema, &["type"]).unwrap();
+        let orphan = MaterializedAggregate::new(
+            "mv_orphan",
+            group_by.clone(),
+            vec![vec![MemberId(0)]],
+            vec!["quantity".into()],
+            vec![vec![6.0]],
+        )
+        .unwrap();
+        catalog.register_view(orphan.clone());
+        let stranger = orphan.with_source("NO_SUCH_CUBE");
+        catalog.register_view(
+            MaterializedAggregate::new(
+                "mv_stranger",
+                group_by,
+                vec![vec![MemberId(0)]],
+                vec!["quantity".into()],
+                vec![vec![6.0]],
+            )
+            .unwrap()
+            .with_source("NO_SUCH_CUBE"),
+        );
+        drop(stranger);
+        let engine = Engine::new(catalog.clone());
+        let out = engine.append("SALES", &batch()).unwrap();
+        assert_eq!(out.views_dropped, vec!["mv_orphan".to_string(), "mv_stranger".to_string()]);
+        assert!(catalog.views().is_empty());
+    }
+
+    #[test]
+    fn out_of_domain_foreign_keys_are_rejected_before_commit() {
+        let (catalog, _) = seed();
+        let engine = Engine::new(catalog.clone());
+        let before = catalog.version();
+        let bad = vec![Column::i64("pkey", vec![99]), Column::f64("quantity", vec![1.0])];
+        let err = engine.append("SALES", &bad).unwrap_err();
+        assert!(matches!(err, EngineError::Storage(StorageError::InvalidBinding(_))));
+        assert_eq!(catalog.version(), before, "failed appends leave no trace");
+        assert_eq!(catalog.table("sales").unwrap().n_rows(), 4);
+    }
+
+    #[test]
+    #[cfg(feature = "obs")]
+    fn appends_record_maintenance_metrics() {
+        let (catalog, schema) = seed();
+        seed_view(&catalog, &schema, "mv_type", "type");
+        let metrics = Arc::new(crate::metrics::EngineMetrics::new());
+        let engine = Engine::new(catalog).with_metrics(metrics.clone());
+        engine.append("SALES", &batch()).unwrap();
+        let s = metrics.snapshot();
+        assert_eq!((s.appends, s.mview_delta_merges, s.mview_rebuilds), (1, 1, 0));
+    }
+}

@@ -49,6 +49,9 @@ pub struct EngineMetrics {
     view_scans: AtomicU64,
     index_scans: AtomicU64,
     wide_scans: AtomicU64,
+    appends: AtomicU64,
+    mview_delta_merges: AtomicU64,
+    mview_rebuilds: AtomicU64,
 }
 
 /// A point-in-time copy of an [`EngineMetrics`] registry, stable enough to
@@ -72,6 +75,12 @@ pub struct EngineMetricsSnapshot {
     pub index_scans: u64,
     /// Scans served by the wide-key fallback.
     pub wide_scans: u64,
+    /// Fact-batch appends committed through the engine.
+    pub appends: u64,
+    /// Materialized views maintained incrementally (delta merged in).
+    pub mview_delta_merges: u64,
+    /// Materialized views rebuilt from scratch during maintenance.
+    pub mview_rebuilds: u64,
 }
 
 impl EngineMetricsSnapshot {
@@ -87,6 +96,9 @@ impl EngineMetricsSnapshot {
             view_scans: self.view_scans.saturating_sub(earlier.view_scans),
             index_scans: self.index_scans.saturating_sub(earlier.index_scans),
             wide_scans: self.wide_scans.saturating_sub(earlier.wide_scans),
+            appends: self.appends.saturating_sub(earlier.appends),
+            mview_delta_merges: self.mview_delta_merges.saturating_sub(earlier.mview_delta_merges),
+            mview_rebuilds: self.mview_rebuilds.saturating_sub(earlier.mview_rebuilds),
         }
     }
 
@@ -101,6 +113,9 @@ impl EngineMetricsSnapshot {
             ("view_scans", self.view_scans),
             ("index_scans", self.index_scans),
             ("wide_scans", self.wide_scans),
+            ("appends", self.appends),
+            ("mview_delta_merges", self.mview_delta_merges),
+            ("mview_rebuilds", self.mview_rebuilds),
         ]
     }
 }
@@ -134,6 +149,20 @@ impl EngineMetrics {
     #[inline(always)]
     pub fn record_scan(&self, _path: ScanPath, _rows: u64, _morsels: u64, _parallelism: u64) {}
 
+    /// Records one committed append and its view-maintenance outcome:
+    /// how many views were delta-merged versus rebuilt from scratch.
+    #[cfg(feature = "obs")]
+    pub fn record_append(&self, merged: u64, rebuilt: u64) {
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        self.mview_delta_merges.fetch_add(merged, Ordering::Relaxed);
+        self.mview_rebuilds.fetch_add(rebuilt, Ordering::Relaxed);
+    }
+
+    /// Zero-cost stub: with the `obs` feature off the call vanishes.
+    #[cfg(not(feature = "obs"))]
+    #[inline(always)]
+    pub fn record_append(&self, _merged: u64, _rebuilt: u64) {}
+
     pub fn snapshot(&self) -> EngineMetricsSnapshot {
         EngineMetricsSnapshot {
             scans: self.scans.load(Ordering::Relaxed),
@@ -144,6 +173,9 @@ impl EngineMetrics {
             view_scans: self.view_scans.load(Ordering::Relaxed),
             index_scans: self.index_scans.load(Ordering::Relaxed),
             wide_scans: self.wide_scans.load(Ordering::Relaxed),
+            appends: self.appends.load(Ordering::Relaxed),
+            mview_delta_merges: self.mview_delta_merges.load(Ordering::Relaxed),
+            mview_rebuilds: self.mview_rebuilds.load(Ordering::Relaxed),
         }
     }
 }

@@ -14,6 +14,16 @@
 //! run. [`ResultCache::invalidate_all`] additionally supports explicit
 //! wholesale invalidation (the protocol's `invalidate_cache` op).
 //!
+//! Appends are gentler than the version check alone would be: an entry
+//! inserted with an [`EntryScope`] (the fact table it scanned plus its
+//! predicates' level-0 member masks) can be **patched** forward across an
+//! append [`Delta`] that provably cannot change its result — the delta
+//! touched a different table, or every appended row falls outside one of
+//! the entry's predicate masks. [`ResultCache::apply_delta`] re-stamps
+//! such entries to the post-append version and evicts only the entries
+//! the delta may actually affect, replacing evict-everything
+//! invalidation.
+//!
 //! The cache is generic over the stored value so the LRU/counter protocol
 //! is testable without building real assessed cubes; the server stores
 //! [`server::CachedResult`](crate::server::CachedResult).
@@ -24,6 +34,35 @@ use std::sync::{Arc, Mutex, MutexGuard};
 
 use assess_core::ExecutionPolicy;
 use assess_core::Strategy;
+use olap_storage::Delta;
+
+/// What part of the data a cached result depends on: the fact table it
+/// scanned and, per predicated foreign-key column, the mask of level-0
+/// members the predicates allow. An append delta that misses every
+/// restriction cannot change the result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntryScope {
+    /// The fact table the execution scanned.
+    pub table: String,
+    /// `(fk column, allowed-member mask)` per predicate, empty when the
+    /// statement filters nothing (every append to `table` then overlaps).
+    pub restrictions: Vec<(String, Vec<bool>)>,
+}
+
+impl EntryScope {
+    /// An unfiltered scan of `table`.
+    pub fn whole_table(table: impl Into<String>) -> Self {
+        EntryScope { table: table.into(), restrictions: Vec::new() }
+    }
+
+    /// Whether a result with this scope is provably unchanged by `delta`:
+    /// a different table, or at least one restriction that excludes every
+    /// appended row. (Unknown columns count as overlapping — conservative.)
+    pub fn survives(&self, delta: &Delta) -> bool {
+        self.table != delta.table()
+            || self.restrictions.iter().any(|(col, mask)| !delta.overlaps_mask(col, mask))
+    }
+}
 
 /// Joins the normalized statement and the policy fingerprint into one
 /// cache key. `\u{1}` cannot appear in either part (normalization collapses
@@ -55,6 +94,8 @@ pub struct CacheStats {
     pub misses: u64,
     pub evictions: u64,
     pub invalidations: u64,
+    /// Entries re-stamped across an append delta that could not affect them.
+    pub patches: u64,
     pub len: usize,
     pub capacity: usize,
 }
@@ -65,6 +106,8 @@ struct Entry<T> {
     version: u64,
     /// LRU clock reading of the last hit (or the insert).
     last_used: u64,
+    /// Data dependence of the value; `None` = unknown, evict on any delta.
+    scope: Option<EntryScope>,
 }
 
 struct Inner<T> {
@@ -82,6 +125,7 @@ pub struct ResultCache<T> {
     misses: AtomicU64,
     evictions: AtomicU64,
     invalidations: AtomicU64,
+    patches: AtomicU64,
 }
 
 impl<T> ResultCache<T> {
@@ -93,6 +137,7 @@ impl<T> ResultCache<T> {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            patches: AtomicU64::new(0),
         }
     }
 
@@ -133,11 +178,22 @@ impl<T> ResultCache<T> {
         }
     }
 
-    /// Inserts a value computed under `catalog_version`. Refused (silently)
+    /// Inserts a value computed under `catalog_version`, with no recorded
+    /// data dependence: any later append evicts it. Refused (silently)
     /// when the version is odd — a catalog mutation was in flight while the
     /// result was computed, so the result may mix old and new contents.
     /// At capacity, the least-recently-used entry is evicted.
     pub fn insert(&self, key: String, value: T, catalog_version: u64) {
+        self.insert_entry(key, value, catalog_version, None);
+    }
+
+    /// Like [`Self::insert`], but records what the value depends on so a
+    /// later [`Self::apply_delta`] can patch it across unrelated appends.
+    pub fn insert_scoped(&self, key: String, value: T, catalog_version: u64, scope: EntryScope) {
+        self.insert_entry(key, value, catalog_version, Some(scope));
+    }
+
+    fn insert_entry(&self, key: String, value: T, catalog_version: u64, scope: Option<EntryScope>) {
         if self.capacity == 0 || !catalog_version.is_multiple_of(2) {
             return;
         }
@@ -156,8 +212,41 @@ impl<T> ResultCache<T> {
         }
         inner.entries.insert(
             key,
-            Entry { value: Arc::new(value), version: catalog_version, last_used: tick },
+            Entry { value: Arc::new(value), version: catalog_version, last_used: tick, scope },
         );
+    }
+
+    /// Carries the cache across one committed append: entries computed
+    /// under the immediately preceding catalog version whose scope proves
+    /// the delta cannot affect them are re-stamped to the delta's version
+    /// (counted as patches); affected or unscoped ones are evicted
+    /// (counted as invalidations). Entries at other versions are left for
+    /// the lookup path's staleness check. Returns `(patched, evicted)`.
+    pub fn apply_delta(&self, delta: &Delta) -> (usize, usize) {
+        let predecessor = delta.version().wrapping_sub(2);
+        let mut patched = 0usize;
+        let mut evicted = 0usize;
+        let mut inner = self.lock();
+        inner.entries.retain(|_, entry| {
+            if entry.version != predecessor {
+                return true;
+            }
+            match &entry.scope {
+                Some(scope) if scope.survives(delta) => {
+                    entry.version = delta.version();
+                    patched += 1;
+                    true
+                }
+                _ => {
+                    evicted += 1;
+                    false
+                }
+            }
+        });
+        drop(inner);
+        self.patches.fetch_add(patched as u64, Ordering::Relaxed);
+        self.invalidations.fetch_add(evicted as u64, Ordering::Relaxed);
+        (patched, evicted)
     }
 
     /// Drops every entry (explicit invalidation); returns how many were
@@ -177,6 +266,7 @@ impl<T> ResultCache<T> {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            patches: self.patches.load(Ordering::Relaxed),
             len: self.lock().entries.len(),
             capacity: self.capacity,
         }
@@ -259,6 +349,78 @@ mod tests {
         assert_eq!(cache.stats().len, 0);
         assert_eq!(cache.stats().invalidations, 2);
         assert!(cache.lookup("a", 0).is_none());
+    }
+
+    fn delta_on(table: &str, col: &str, values: Vec<i64>, version: u64) -> Delta {
+        Delta::describe(table, 100, &[olap_storage::Column::i64(col, values)]).stamped(version)
+    }
+
+    #[test]
+    fn apply_delta_patches_disjoint_entries_and_evicts_overlapping() {
+        let cache: ResultCache<u32> = ResultCache::new(8);
+        // Scoped to rows where ckey ∈ {0, 1}.
+        let scoped = EntryScope {
+            table: "lineorder".into(),
+            restrictions: vec![("ckey".into(), vec![true, true, false, false])],
+        };
+        cache.insert_scoped("disjoint".into(), 1, 2, scoped);
+        // Scoped to rows where ckey ∈ {2, 3} — the append lands in range.
+        cache.insert_scoped(
+            "overlap".into(),
+            2,
+            2,
+            EntryScope {
+                table: "lineorder".into(),
+                restrictions: vec![("ckey".into(), vec![false, false, true, true])],
+            },
+        );
+        cache.insert_scoped("other_table".into(), 3, 2, EntryScope::whole_table("expected"));
+        cache.insert("unscoped".into(), 4, 2);
+
+        // Append touches only ckey 3: the scoped-disjoint entry survives.
+        let miss = delta_on("lineorder", "ckey", vec![3, 3], 4);
+        let (patched, evicted) = cache.apply_delta(&miss);
+        assert_eq!((patched, evicted), (2, 2), "disjoint + other-table patch; rest evict");
+        assert_eq!(cache.lookup("disjoint", 4).as_deref(), Some(&1));
+        assert_eq!(cache.lookup("other_table", 4).as_deref(), Some(&3));
+        assert!(cache.lookup("overlap", 4).is_none());
+        assert!(cache.lookup("unscoped", 4).is_none());
+        assert_eq!(cache.stats().patches, 2);
+
+        // A second append hitting ckey 1 evicts the patched entry.
+        let hit = delta_on("lineorder", "ckey", vec![1], 6);
+        let (patched, evicted) = cache.apply_delta(&hit);
+        assert_eq!((patched, evicted), (1, 1));
+        assert!(cache.lookup("disjoint", 6).is_none());
+        assert_eq!(cache.lookup("other_table", 6).as_deref(), Some(&3));
+    }
+
+    #[test]
+    fn apply_delta_ignores_entries_at_other_versions() {
+        let cache: ResultCache<u32> = ResultCache::new(8);
+        cache.insert_scoped("old".into(), 1, 2, EntryScope::whole_table("expected"));
+        // Delta for the 6→8 transition: the version-2 entry is neither
+        // patched nor evicted here — the lookup path handles its staleness.
+        let (patched, evicted) = cache.apply_delta(&delta_on("lineorder", "ckey", vec![0], 8));
+        assert_eq!((patched, evicted), (0, 0));
+        assert!(cache.lookup("old", 2).is_some());
+    }
+
+    #[test]
+    fn whole_table_scope_survives_only_foreign_appends() {
+        let scope = EntryScope::whole_table("lineorder");
+        assert!(!scope.survives(&delta_on("lineorder", "ckey", vec![9], 2)));
+        assert!(scope.survives(&delta_on("expected", "ckey", vec![9], 2)));
+    }
+
+    #[test]
+    fn unknown_restriction_columns_overlap_conservatively() {
+        let scope = EntryScope {
+            table: "lineorder".into(),
+            restrictions: vec![("ghost".into(), vec![false, false])],
+        };
+        // The delta says nothing about `ghost`, so overlap is assumed.
+        assert!(!scope.survives(&delta_on("lineorder", "ckey", vec![0], 2)));
     }
 
     #[test]

@@ -75,6 +75,9 @@ pub struct LineClient {
     session_id: u64,
     /// Responses read while waiting for a different id.
     pending: Vec<Value>,
+    /// Pushed event frames (`"event"` field, no `"id"`) read while waiting
+    /// for responses — diff frames and lag notices from subscriptions.
+    events: Vec<Value>,
     /// When set, `request` retries `overloaded`/`queue_full` refusals.
     retry: Option<RetryPolicy>,
     jitter: Jitter,
@@ -95,6 +98,7 @@ impl LineClient {
             next_id: 1,
             session_id: 0,
             pending: Vec::new(),
+            events: Vec::new(),
             retry: None,
             jitter: Jitter::new(),
         };
@@ -168,7 +172,27 @@ impl LineClient {
             if get_u64(&response, "id") == Some(id) {
                 return Ok(response);
             }
-            self.pending.push(response);
+            if response.get("event").is_some() {
+                self.events.push(response);
+            } else {
+                self.pending.push(response);
+            }
+        }
+    }
+
+    /// Returns the next pushed event frame (a subscription's `diff` or
+    /// `lagged` notice), blocking until one arrives. Responses read while
+    /// blocking are buffered for [`Self::wait_for`].
+    pub fn next_event(&mut self) -> std::io::Result<Value> {
+        if !self.events.is_empty() {
+            return Ok(self.events.remove(0));
+        }
+        loop {
+            let frame = self.read_response()?;
+            if frame.get("event").is_some() {
+                return Ok(frame);
+            }
+            self.pending.push(frame);
         }
     }
 
@@ -279,6 +303,23 @@ impl LineClient {
 
     pub fn cancel(&mut self, target: u64) -> std::io::Result<Value> {
         self.request(vec![("op", s("cancel")), ("target", n(target))])
+    }
+
+    /// Registers a live assessment; the response carries the subscription
+    /// id and the complete baseline cells. Diff frames then arrive via
+    /// [`Self::next_event`] after every append.
+    pub fn subscribe(&mut self, statement: &str) -> std::io::Result<Value> {
+        self.request(vec![("op", s("subscribe")), ("statement", s(statement))])
+    }
+
+    /// Drops a subscription by the id `subscribe` returned.
+    pub fn unsubscribe(&mut self, sub: u64) -> std::io::Result<Value> {
+        self.request(vec![("op", s("unsubscribe")), ("target", n(sub))])
+    }
+
+    /// Appends a fact batch: `rows` maps column names to arrays of numbers.
+    pub fn append(&mut self, cube: &str, rows: Value) -> std::io::Result<Value> {
+        self.request(vec![("op", s("append")), ("cube", s(cube)), ("rows", rows)])
     }
 
     pub fn stats(&mut self) -> std::io::Result<Value> {

@@ -34,6 +34,10 @@
 //!   fingerprint, validated against the catalog's mutation counter
 //!   ([`olap_storage::Catalog::version`]) so any catalog change invalidates
 //!   stale entries;
+//! * [`subscribe`] — live re-assessment: registered statements re-evaluated
+//!   after every `append`, pushed to clients as cell-level diff frames
+//!   (only new/changed/removed cells travel), with per-tenant subscription
+//!   ceilings and full-resend degradation under lag or load shedding;
 //! * [`server`] — the TCP listener, per-connection reader threads, the
 //!   fixed executor pool that drives the engine, and graceful shutdown;
 //! * [`client`] — a small blocking line client used by the test suite, the
@@ -45,6 +49,7 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 pub mod session;
+pub mod subscribe;
 pub mod tenant;
 
 pub use admission::{derive_policy, Admission, AdmissionError, FairQueue, Permit, ShedLevel};
@@ -53,4 +58,5 @@ pub use client::{LineClient, RetryPolicy};
 pub use protocol::{parse_request, Op, ProtoError, Request, RunFormat, RunOptions};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use session::{HistoryEntry, Session, SessionRegistry};
+pub use subscribe::{apply_diff, diff_cells, index_cells, DiffFrame, SubscriptionManager};
 pub use tenant::{TenantDirectory, TenantId, TenantSpec, ANONYMOUS};

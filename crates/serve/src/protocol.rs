@@ -94,6 +94,27 @@ pub enum Op {
         target: u64,
     },
     InvalidateCache,
+    /// Appends a fact batch: `{"op":"append","id":N,"cube":"SSB",
+    /// "rows":{"col":[...], ...}}`. The rows object maps column names to
+    /// equal-length arrays of numbers; the server types them against the
+    /// cube's fact table. Requires an id: appends mutate shared state, so
+    /// the response must be correlatable.
+    Append {
+        cube: String,
+        /// Raw column map, typed later against the target table's schema.
+        rows: Value,
+    },
+    /// Registers a live assessment: the statement is evaluated now (the
+    /// response carries the full initial cells) and re-evaluated after
+    /// every subsequent append, pushing `{"event":"diff", ...}` frames
+    /// with only the changed cells. Requires an id like `run`.
+    Subscribe {
+        statement: String,
+    },
+    /// Drops a subscription by the id `subscribe` returned.
+    Unsubscribe {
+        target: u64,
+    },
 }
 
 impl Op {
@@ -112,6 +133,9 @@ impl Op {
             Op::SetPolicy { .. } => "set_policy",
             Op::Cancel { .. } => "cancel",
             Op::InvalidateCache => "invalidate_cache",
+            Op::Append { .. } => "append",
+            Op::Subscribe { .. } => "subscribe",
+            Op::Unsubscribe { .. } => "unsubscribe",
         }
     }
 }
@@ -290,6 +314,38 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 trace: get_bool(&value, "trace").unwrap_or(false),
             })
         }
+        "append" => {
+            if id.is_none() {
+                // Appends mutate shared state; the response must be
+                // correlatable to the mutation that produced it.
+                return Err(ProtoError::new("bad_request", "`append` requires an `id`"));
+            }
+            let cube = get_str(&value, "cube")
+                .map(str::to_string)
+                .ok_or_else(|| ProtoError::new("bad_request", "missing string field `cube`"))?;
+            let rows = match value.get("rows") {
+                Some(rows @ Value::Object(fields)) if !fields.is_empty() => rows.clone(),
+                _ => {
+                    return Err(ProtoError::new(
+                        "bad_request",
+                        "`append` needs a non-empty `rows` object of column arrays",
+                    ))
+                }
+            };
+            Op::Append { cube, rows }
+        }
+        "subscribe" => {
+            if id.is_none() {
+                // The id doubles as the unsubscribe handle.
+                return Err(ProtoError::new("bad_request", "`subscribe` requires an `id`"));
+            }
+            Op::Subscribe { statement: statement(&value)? }
+        }
+        "unsubscribe" => Op::Unsubscribe {
+            target: get_u64(&value, "target").ok_or_else(|| {
+                ProtoError::new("bad_request", "`unsubscribe` needs integer `target`")
+            })?,
+        },
         other => return Err(ProtoError::new("unknown_op", format!("unknown op `{other}`"))),
     };
     Ok(Request { id, op })
@@ -474,6 +530,41 @@ mod tests {
         let bare = parse_request(r#"{"op":"auth"}"#).unwrap();
         assert!(matches!(bare.op, Op::Auth { key: None }));
         assert_eq!(parse_request(r#"{"op":"auth","key":7}"#).unwrap_err().code, "bad_request");
+    }
+
+    #[test]
+    fn parses_append_subscribe_unsubscribe() {
+        let append =
+            parse_request(r#"{"op":"append","id":4,"cube":"SSB","rows":{"ckey":[1,2]}}"#).unwrap();
+        match append.op {
+            Op::Append { cube, rows } => {
+                assert_eq!(cube, "SSB");
+                assert!(rows.get("ckey").is_some());
+            }
+            other => panic!("wrong op: {other:?}"),
+        }
+        let sub = parse_request(r#"{"op":"subscribe","id":6,"statement":"s"}"#).unwrap();
+        assert!(matches!(sub.op, Op::Subscribe { .. }));
+        let unsub = parse_request(r#"{"op":"unsubscribe","target":6}"#).unwrap();
+        assert!(matches!(unsub.op, Op::Unsubscribe { target: 6 }));
+    }
+
+    #[test]
+    fn rejects_malformed_ingest_requests() {
+        for bad in [
+            // No id: both ops need a correlatable response.
+            r#"{"op":"append","cube":"SSB","rows":{"c":[1]}}"#,
+            r#"{"op":"subscribe","statement":"s"}"#,
+            // Missing or malformed payloads.
+            r#"{"op":"append","id":1,"rows":{"c":[1]}}"#,
+            r#"{"op":"append","id":1,"cube":"SSB"}"#,
+            r#"{"op":"append","id":1,"cube":"SSB","rows":{}}"#,
+            r#"{"op":"append","id":1,"cube":"SSB","rows":[1,2]}"#,
+            r#"{"op":"subscribe","id":1}"#,
+            r#"{"op":"unsubscribe"}"#,
+        ] {
+            assert_eq!(parse_request(bad).unwrap_err().code, "bad_request", "{bad}");
+        }
     }
 
     #[test]

@@ -33,16 +33,20 @@ use std::time::{Duration, Instant};
 use assess_core::diag::{DiagCode, Diagnostic, Span};
 use assess_core::exec::AssessRunner;
 use assess_core::obs::{self, TraceSpan, TraceTree};
+use assess_core::semantics::ResolvedBenchmark;
 use assess_core::{
     explain, stmt, AssessError, AssessStatement, AssessedCube, ExecutionPolicy, Strategy,
 };
+use olap_engine::predicate::CompiledFilter;
 use olap_engine::{CancelToken, Engine, WorkerPool};
+use olap_storage::Column;
 use serde::Value;
 
 use crate::admission::{self, Admission, FairQueue, Permit, ShedLevel};
-use crate::cache::{cache_key, policy_fingerprint, CacheStats, ResultCache};
+use crate::cache::{cache_key, policy_fingerprint, CacheStats, EntryScope, ResultCache};
 use crate::protocol::{self, n, s, BatchOptions, Op, RunFormat, RunOptions};
 use crate::session::{HistoryEntry, Session, SessionRegistry};
+use crate::subscribe::{self, SubscriptionManager};
 use crate::tenant::{TenantDirectory, ANONYMOUS};
 
 /// How often blocked reads and the acceptor wake up to check the
@@ -83,6 +87,10 @@ pub struct ServerConfig {
     /// Longest accepted request line in bytes; longer frames are answered
     /// with `frame_too_large` and discarded instead of buffered unboundedly.
     pub max_frame_bytes: usize,
+    /// Live `subscribe` registrations one tenant may hold at once
+    /// (0 = unlimited). Each registration re-executes its statement after
+    /// every append, so this bounds the ingest amplification per tenant.
+    pub max_subscriptions_per_tenant: usize,
 }
 
 impl Default for ServerConfig {
@@ -99,6 +107,7 @@ impl Default for ServerConfig {
             scan_threads: 0,
             tenants: Arc::new(TenantDirectory::anonymous_only()),
             max_frame_bytes: 256 * 1024,
+            max_subscriptions_per_tenant: 8,
         }
     }
 }
@@ -116,10 +125,19 @@ pub struct CachedResult {
 
 type SharedWriter = Arc<Mutex<TcpStream>>;
 
-/// What an admitted job executes: a single `run` or a `batch` group.
+/// The push channel of a subscription: the owning connection's shared
+/// writer plus its session (for the tenant binding and current policy at
+/// notification time).
+type SubChannel = (SharedWriter, Arc<Session>);
+
+/// What an admitted job executes: a single `run`, a `batch` group, a
+/// fact-batch `append`, or a `subscribe` registration (which evaluates its
+/// statement once for the baseline).
 enum Payload {
     Run(RunOptions),
     Batch(BatchOptions),
+    Append { cube: String, rows: Value },
+    Subscribe { statement: String },
 }
 
 /// One admitted `run` or `batch`, queued for the executor pool. Dropping
@@ -160,6 +178,12 @@ struct Shared {
     queue: FairQueue<Job>,
     running: AtomicU64,
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Live subscriptions, re-evaluated and notified after every append.
+    subs: SubscriptionManager<SubChannel>,
+    /// Serializes appends: one catalog mutation (and its notification
+    /// sweep) at a time, so view maintenance is exactly-once per batch and
+    /// diff frames are pushed in commit order.
+    append_lock: Mutex<()>,
 }
 
 fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -220,6 +244,8 @@ pub fn serve(engine: Engine, config: ServerConfig) -> std::io::Result<ServerHand
         queue: FairQueue::new(config.tenants.weights()),
         running: AtomicU64::new(0),
         conn_threads: Mutex::new(Vec::new()),
+        subs: SubscriptionManager::new(config.max_subscriptions_per_tenant),
+        append_lock: Mutex::new(()),
         config,
     });
     let executors = (0..shared.config.workers.max(1))
@@ -516,7 +542,10 @@ fn handle_connection(shared: Arc<Shared>, stream: TcpStream) {
         }
     }
     // Dropped (or evicted) connection: cancel whatever is still in
-    // flight — the tokens reach every governor of the runs' ladders.
+    // flight — the tokens reach every governor of the runs' ladders — and
+    // drop the session's live subscriptions so nothing pushes to a dead
+    // writer.
+    shared.subs.drop_session(session.id());
     shared.sessions.close(session.id());
 }
 
@@ -559,12 +588,26 @@ fn handle_line(shared: &Arc<Shared>, session: &Arc<Session>, writer: &SharedWrit
             let dropped = shared.cache.invalidate_all();
             protocol::ok_response(id, vec![("invalidated", n(dropped as u64))])
         }
+        Op::Unsubscribe { target } => {
+            let removed = shared.subs.unregister(session.id(), target);
+            protocol::ok_response(id, vec![("unsubscribed", Value::Bool(removed))])
+        }
         Op::Run(opts) => {
             enqueue_job(shared, session, writer, id, Payload::Run(opts));
             return; // the executor writes the response
         }
         Op::Batch(opts) => {
             enqueue_job(shared, session, writer, id, Payload::Batch(opts));
+            return; // the executor writes the response
+        }
+        Op::Append { cube, rows } => {
+            // Appends ride the same admission/fair-queue path as runs:
+            // ingest competes with queries under the tenant's quota.
+            enqueue_job(shared, session, writer, id, Payload::Append { cube, rows });
+            return; // the executor writes the response
+        }
+        Op::Subscribe { statement } => {
+            enqueue_job(shared, session, writer, id, Payload::Subscribe { statement });
             return; // the executor writes the response
         }
     };
@@ -638,6 +681,8 @@ fn executor_loop(shared: Arc<Shared>) {
         let response = match &job.payload {
             Payload::Run(opts) => execute_run(&shared, &job, opts),
             Payload::Batch(opts) => execute_batch(&shared, &job, opts),
+            Payload::Append { cube, rows } => execute_append(&shared, &job, cube, rows),
+            Payload::Subscribe { statement } => execute_subscribe(&shared, &job, statement),
         };
         let counters = shared.admission.counters(job.permit.tenant());
         counters.completed.fetch_add(1, Ordering::Relaxed);
@@ -771,9 +816,15 @@ fn execute_run(shared: &Shared, job: &Job, opts: &RunOptions) -> Value {
                 run_response(id, &result, false, elapsed_ms, &warnings, opts, shared, trace);
             // Only cache results the catalog provably did not shift under:
             // same even version before and after the run. Under shedding,
-            // skip the insert entirely.
+            // skip the insert entirely. When the statement's predicate
+            // scope is derivable, the entry is inserted *scoped* so later
+            // append deltas that provably miss it patch the entry forward
+            // instead of evicting it.
             if opts.cache && shed == ShedLevel::Full && catalog.version() == version_before {
-                shared.cache.insert(key, result, version_before);
+                match entry_scope(shared, &spanned.statement) {
+                    Some(scope) => shared.cache.insert_scoped(key, result, version_before, scope),
+                    None => shared.cache.insert(key, result, version_before),
+                }
             }
             mark_shed(response, shed)
         }
@@ -1011,6 +1062,324 @@ fn statement_error(code: &str, message: &str, diagnostics: &[Diagnostic], source
     protocol::obj(fields)
 }
 
+// ----------------------------------------------------- ingest & subscribe
+
+/// Types a JSON `rows` object (`{"col":[numbers...]}`) against `table`'s
+/// columns, producing the typed batch [`Engine::append`] expects. Integer
+/// columns refuse fractional values; unknown or non-numeric target columns
+/// are refused up front so the error names the column.
+fn parse_append_rows(table: &olap_storage::Table, rows: &Value) -> Result<Vec<Column>, String> {
+    let Value::Object(fields) = rows else {
+        return Err("`rows` must be an object of column arrays".to_string());
+    };
+    let mut batch = Vec::with_capacity(fields.len());
+    for (name, values) in fields {
+        let values = values
+            .as_array()
+            .ok_or_else(|| format!("column `{name}` must be an array of numbers"))?;
+        let mut numbers = Vec::with_capacity(values.len());
+        for v in values {
+            numbers.push(v.as_f64().ok_or_else(|| format!("column `{name}` holds a non-number"))?);
+        }
+        let target = table
+            .column(name)
+            .ok_or_else(|| format!("table `{}` has no column `{name}`", table.name()))?;
+        if target.as_i64().is_some() {
+            let mut ints = Vec::with_capacity(numbers.len());
+            for x in &numbers {
+                if x.fract() != 0.0 || x.abs() > 9.0e15 {
+                    return Err(format!("column `{name}` is integer-typed; got {x}"));
+                }
+                ints.push(*x as i64);
+            }
+            batch.push(Column::i64(name.clone(), ints));
+        } else if target.as_f64().is_some() {
+            batch.push(Column::f64(name.clone(), numbers));
+        } else {
+            return Err(format!("column `{name}` is not numeric; appends carry numbers only"));
+        }
+    }
+    Ok(batch)
+}
+
+/// Executes an `append` job: type the batch, commit it through the
+/// engine's incremental-maintenance path (under the append lock, so
+/// maintenance is exactly-once and frames push in commit order), patch or
+/// evict affected cache entries by delta scope, then re-evaluate every
+/// live subscription and push its diff frame.
+fn execute_append(shared: &Shared, job: &Job, cube: &str, rows: &Value) -> Value {
+    let id = Some(job.request_id);
+    let t0 = Instant::now();
+    if job.token.is_cancelled() {
+        shared.runs.cancelled.fetch_add(1, Ordering::Relaxed);
+        return protocol::error_response(id, "cancelled", "cancelled while queued");
+    }
+    let catalog = shared.engine.catalog().clone();
+    let binding = match catalog.binding(cube) {
+        Ok(binding) => binding,
+        Err(e) => return protocol::error_response(id, "bad_request", &e.to_string()),
+    };
+    let table = match catalog.table(binding.fact_table()) {
+        Ok(table) => table,
+        Err(e) => return protocol::error_response(id, "append_failed", &e.to_string()),
+    };
+    let batch = match parse_append_rows(&table, rows) {
+        Ok(batch) => batch,
+        Err(message) => return protocol::error_response(id, "bad_request", &message),
+    };
+
+    let guard = lock(&shared.append_lock);
+    let outcome = match shared.engine.append(cube, &batch) {
+        Ok(outcome) => outcome,
+        Err(e) => return protocol::error_response(id, "append_failed", &e.to_string()),
+    };
+    let (patched, evicted) = shared.cache.apply_delta(&outcome.delta);
+    let (notified, lagged) = notify_subscriptions(shared, outcome.version());
+    drop(guard);
+
+    let elapsed_ms = ms(t0.elapsed());
+    job.session.record(HistoryEntry {
+        statement: format!("append({cube}, {} rows)", outcome.appended()),
+        outcome: "ok".to_string(),
+        elapsed_ms,
+        cells: 0,
+    });
+    protocol::ok_response(
+        id,
+        vec![
+            ("appended", n(outcome.appended() as u64)),
+            ("version", n(outcome.version())),
+            ("views_merged", n(outcome.views_merged as u64)),
+            ("views_rebuilt", n(outcome.views_rebuilt as u64)),
+            (
+                "views_dropped",
+                Value::Array(outcome.views_dropped.iter().map(|v| s(v.clone())).collect()),
+            ),
+            ("cache_patched", n(patched as u64)),
+            ("cache_evicted", n(evicted as u64)),
+            ("subscriptions_notified", n(notified)),
+            ("subscriptions_lagged", n(lagged)),
+            ("elapsed_ms", n(elapsed_ms)),
+        ],
+    )
+}
+
+/// Re-evaluates every live subscription after a committed append and
+/// pushes one frame each. Every re-evaluation passes tenant admission: a
+/// refusal pushes a `lagged` event instead (the next successful frame is a
+/// full re-send), and soft shedding degrades the frame to a full re-send
+/// rather than computing the diff. Returns `(notified, lagged)` counts.
+fn notify_subscriptions(shared: &Shared, version: u64) -> (u64, u64) {
+    let mut notified = 0;
+    let mut lagged = 0;
+    for sub in shared.subs.snapshot() {
+        let (writer, session) = sub.writer();
+        let tenant = session.tenant();
+        let permit = match shared.admission.try_admit(tenant) {
+            Ok(permit) => permit,
+            Err(refusal) => {
+                sub.mark_lagged();
+                lagged += 1;
+                write_line(
+                    writer,
+                    &subscribe::lagged_json(sub.id(), refusal.code(), refusal.retry_after_ms()),
+                );
+                continue;
+            }
+        };
+        let mut permit = permit;
+        permit.mark_running();
+        let shed = permit.shed();
+        let tenant_ceiling = &shared.admission.directory().spec(tenant).ceiling;
+        let policy = admission::derive_policy(
+            &shared.config.ceiling,
+            tenant_ceiling,
+            &session.policy(),
+            CancelToken::new(),
+        );
+        let runner = AssessRunner::new(shared.engine.clone()).with_policy(policy);
+        let evaluated = assess_sql::parse_spanned(&stmt::strip_comments(sub.statement()))
+            .map_err(|e| e.to_string())
+            .and_then(|spanned| runner.run_auto(&spanned.statement).map_err(|e| e.to_string()));
+        match evaluated {
+            Ok((cube, _report)) => {
+                shared.runs.executed.fetch_add(1, Ordering::Relaxed);
+                let (seq, frame) = sub.advance(&cube.cells(), shed == ShedLevel::Light);
+                write_line(writer, &subscribe::frame_json(sub.id(), seq, version, &frame));
+                notified += 1;
+            }
+            Err(_) => {
+                // The statement validated at registration; a failure here
+                // is transient (budget, cancellation). Leave the baseline
+                // stale and flag it so the next frame re-sends in full.
+                sub.mark_lagged();
+                lagged += 1;
+                write_line(writer, &subscribe::lagged_json(sub.id(), "execution_error", 0));
+            }
+        }
+    }
+    (notified, lagged)
+}
+
+/// Executes a `subscribe` job: validate and evaluate the statement once
+/// (the response carries the complete baseline — clients patch it with
+/// subsequent diff frames), then register the subscription.
+fn execute_subscribe(shared: &Shared, job: &Job, statement: &str) -> Value {
+    let id = Some(job.request_id);
+    let t0 = Instant::now();
+    if job.token.is_cancelled() {
+        shared.runs.cancelled.fetch_add(1, Ordering::Relaxed);
+        return protocol::error_response(id, "cancelled", "cancelled while queued");
+    }
+    let spanned = match assess_sql::parse_spanned(&stmt::strip_comments(statement)) {
+        Ok(spanned) => spanned,
+        Err(e) => {
+            let diag = Diagnostic::new(DiagCode::E001, e.span, e.message.clone());
+            return protocol::error_with_diagnostics(
+                id,
+                "parse_error",
+                &e.to_string(),
+                &[diag],
+                Some(statement),
+            );
+        }
+    };
+    let diagnostics = shared.runner.check_spanned(&spanned.statement, Some(&spanned.spans));
+    if diagnostics.iter().any(Diagnostic::is_error) {
+        return protocol::error_with_diagnostics(
+            id,
+            "check_failed",
+            "static analysis reported errors",
+            &diagnostics,
+            Some(statement),
+        );
+    }
+    let tenant = job.session.tenant();
+    let tenant_ceiling = &shared.admission.directory().spec(tenant).ceiling;
+    let policy = admission::derive_policy(
+        &shared.config.ceiling,
+        tenant_ceiling,
+        &job.session.policy(),
+        job.token.clone(),
+    );
+    let runner = AssessRunner::new(shared.engine.clone()).with_policy(policy);
+    let (cube, report) = match runner.run_auto(&spanned.statement) {
+        Ok(out) => out,
+        Err(e) => return protocol::error_response(id, "execution_error", &e.to_string()),
+    };
+    shared.runs.executed.fetch_add(1, Ordering::Relaxed);
+    let channel: SubChannel = (job.writer.clone(), job.session.clone());
+    let tenant_name = shared.admission.directory().spec(tenant).name.clone();
+    let sub = match shared.subs.register(
+        job.session.id(),
+        &tenant_name,
+        statement,
+        &cube.cells(),
+        channel,
+    ) {
+        Ok(sub) => sub,
+        Err(ceiling) => {
+            return protocol::error_response(
+                id,
+                "subscription_limit",
+                &format!("tenant `{tenant_name}` already holds {ceiling} live subscriptions"),
+            )
+        }
+    };
+    let elapsed_ms = ms(t0.elapsed());
+    job.session.record(HistoryEntry {
+        statement: statement.to_string(),
+        outcome: format!("subscribed #{}", sub.id()),
+        elapsed_ms,
+        cells: cube.len(),
+    });
+    // The baseline travels in full (never truncated): diff frames patch
+    // exactly this state forward.
+    let rows: Vec<Value> = cube.cells().iter().map(serde::Serialize::to_value).collect();
+    protocol::ok_response(
+        id,
+        vec![
+            ("sub", n(sub.id())),
+            ("cells", n(cube.len() as u64)),
+            ("strategy", s(report.strategy.acronym())),
+            ("version", n(shared.engine.catalog().version())),
+            ("rows", Value::Array(rows)),
+            ("elapsed_ms", n(elapsed_ms)),
+        ],
+    )
+}
+
+/// Derives the predicate scope of a statement for a scoped cache insert:
+/// the fact table every constituent query scans plus, per foreign-key
+/// column restricted in *every* query, the union of the allowed level-0
+/// member masks. An append delta outside that union provably misses every
+/// scan, so the cached entry can be patched forward instead of evicted.
+/// Returns `None` (→ unscoped insert, evicted on any delta) when the
+/// statement's queries span different fact tables or scope derivation
+/// fails.
+fn entry_scope(shared: &Shared, statement: &AssessStatement) -> Option<EntryScope> {
+    let resolved = shared.runner.resolve(statement).ok()?;
+    let mut queries = vec![&resolved.target_query];
+    match &resolved.benchmark {
+        ResolvedBenchmark::Constant { .. } => {}
+        ResolvedBenchmark::External { query, .. }
+        | ResolvedBenchmark::Sibling { query, .. }
+        | ResolvedBenchmark::Past { query, .. }
+        | ResolvedBenchmark::Ancestor { query, .. } => queries.push(query),
+    }
+    let catalog = shared.engine.catalog();
+    let mut fact: Option<String> = None;
+    // Per-hierarchy restriction masks, one slot per query that masks it.
+    let mut per_query_masks: Vec<BTreeMap<usize, Vec<bool>>> = Vec::new();
+    let mut fk_names: BTreeMap<usize, String> = BTreeMap::new();
+    for query in &queries {
+        let binding = catalog.binding(&query.cube).ok()?;
+        match &fact {
+            None => fact = Some(binding.fact_table().to_string()),
+            Some(table) if table == binding.fact_table() => {}
+            _ => return None, // cross-table statements stay unscoped
+        }
+        let schema = binding.schema();
+        let carriers = vec![Some(0); schema.hierarchies().len()];
+        let filter = CompiledFilter::compile(schema, &query.predicates, &carriers).ok()?;
+        let mut masks = BTreeMap::new();
+        for m in filter.masks() {
+            fk_names.insert(m.hierarchy, binding.fk_column(m.hierarchy).to_string());
+            masks.insert(m.hierarchy, m.mask.to_vec());
+        }
+        per_query_masks.push(masks);
+    }
+    let table = fact?;
+    // A column restricts the entry only when every query restricts it;
+    // the entry's mask is the union (element-wise OR) across queries.
+    let mut restrictions = Vec::new();
+    if let Some((first, rest)) = per_query_masks.split_first() {
+        for (hierarchy, mask) in first {
+            let mut union = mask.clone();
+            let mut everywhere = true;
+            for other in rest {
+                match other.get(hierarchy) {
+                    Some(theirs) if theirs.len() == union.len() => {
+                        for (slot, allowed) in union.iter_mut().zip(theirs) {
+                            *slot = *slot || *allowed;
+                        }
+                    }
+                    _ => {
+                        everywhere = false;
+                        break;
+                    }
+                }
+            }
+            if everywhere {
+                if let Some(column) = fk_names.get(hierarchy) {
+                    restrictions.push((column.clone(), union));
+                }
+            }
+        }
+    }
+    Some(EntryScope { table, restrictions })
+}
+
 // --------------------------------------------------------------- responses
 
 /// Tags a response produced under soft shedding with `"shed": "light"`.
@@ -1197,10 +1566,12 @@ fn stats_response(shared: &Shared, session: &Session, id: Option<u64>) -> Value 
                     ("misses", n(cache.misses)),
                     ("evictions", n(cache.evictions)),
                     ("invalidations", n(cache.invalidations)),
+                    ("patches", n(cache.patches)),
                     ("len", n(cache.len as u64)),
                     ("capacity", n(cache.capacity as u64)),
                 ]),
             ),
+            ("subscriptions", protocol::obj(vec![("active", n(shared.subs.active() as u64))])),
             (
                 "admission",
                 protocol::obj(vec![
@@ -1345,6 +1716,26 @@ fn metrics_response(shared: &Shared, id: Option<u64>) -> Value {
         );
     }
 
+    // The incremental-cube headline counters, under stable names of their
+    // own (dashboards alert on these; the `assess_engine_*` family above is
+    // the generic dump).
+    exp.counter("assess_appends_total", "Fact-batch appends committed.", engine.appends);
+    exp.counter(
+        "assess_mview_delta_merges_total",
+        "Materialized views maintained by delta merge.",
+        engine.mview_delta_merges,
+    );
+    exp.counter(
+        "assess_mview_rebuilds_total",
+        "Materialized views maintained by full rebuild.",
+        engine.mview_rebuilds,
+    );
+    exp.counter(
+        "assess_cache_patches_total",
+        "Cached results patched forward across an append delta.",
+        cache.patches,
+    );
+
     exp.gauge("assess_pool_threads", "Helper threads in the scan pool.", pool.threads as f64);
     exp.counter(
         "assess_pool_helpers_dispatched_total",
@@ -1394,6 +1785,11 @@ fn metrics_response(shared: &Shared, id: Option<u64>) -> Value {
     );
     exp.counter("assess_serve_cache_misses_total", "Result-cache misses.", cache.misses);
     exp.gauge("assess_serve_sessions_active", "Open sessions.", sessions.active as f64);
+    exp.gauge(
+        "assess_serve_subscriptions_active",
+        "Live subscriptions.",
+        shared.subs.active() as f64,
+    );
     let adm = shared.admission.stats();
     exp.counter("assess_serve_admitted_total", "Runs admitted.", adm.admitted);
     exp.counter(

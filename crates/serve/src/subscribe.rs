@@ -1,0 +1,385 @@
+//! Live re-assessment: subscriptions and cell-level diff frames.
+//!
+//! A `subscribe` request registers an assess statement with the server and
+//! receives the full initial result. Every committed append then re-runs
+//! the statement (through the normal admission path) and pushes a **diff
+//! frame** — only the cells whose content changed, plus the coordinates of
+//! cells that vanished — so a client maintaining a local copy of the cube
+//! applies the frame instead of re-reading everything. Frames are tagged
+//! `"event": "diff"` and carry no `"id"`, which is how clients tell pushed
+//! events from request responses on the shared line protocol.
+//!
+//! The diff/apply algebra here is pure (no sockets, no locks beyond the
+//! per-subscription state), so its exactness — *baseline + frame =
+//! re-evaluation* — is unit-testable and proptestable in isolation.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use assess_core::result::AssessedCell;
+use serde::Value;
+
+use crate::protocol::{n, obj, s};
+
+/// A cube snapshot keyed by cell coordinate, the shape diffs are computed
+/// over. Coordinates are the full group-by member tuples, so they identify
+/// a cell across re-evaluations.
+pub type CellIndex = BTreeMap<Vec<String>, AssessedCell>;
+
+/// Indexes a result's cells by coordinate.
+pub fn index_cells(cells: &[AssessedCell]) -> CellIndex {
+    cells.iter().map(|c| (c.coordinate.clone(), c.clone())).collect()
+}
+
+/// The difference between two evaluations of one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffFrame {
+    /// Cells that are new or whose value/benchmark/comparison/label
+    /// changed. On a `full` frame this is the entire result.
+    pub changed: Vec<AssessedCell>,
+    /// Coordinates present before but absent now. Empty on `full` frames.
+    pub removed: Vec<Vec<String>>,
+    /// Whether the frame is a full re-send (first frame after a lag, or a
+    /// shed-level degradation) rather than an incremental diff.
+    pub full: bool,
+}
+
+/// Diffs a new evaluation against the indexed previous one.
+pub fn diff_cells(prev: &CellIndex, next: &[AssessedCell]) -> DiffFrame {
+    let mut changed = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for cell in next {
+        seen.insert(&cell.coordinate);
+        if prev.get(&cell.coordinate) != Some(cell) {
+            changed.push(cell.clone());
+        }
+    }
+    let removed = prev.keys().filter(|coord| !seen.contains(coord)).cloned().collect::<Vec<_>>();
+    DiffFrame { changed, removed, full: false }
+}
+
+/// A full-resend frame carrying the entire evaluation.
+pub fn full_frame(next: &[AssessedCell]) -> DiffFrame {
+    DiffFrame { changed: next.to_vec(), removed: Vec::new(), full: true }
+}
+
+/// Applies a frame to a client-held index: after this, the index equals
+/// the evaluation the frame was diffed from. Works on serialized cell
+/// [`Value`]s so clients never need to re-parse cells into structs.
+pub fn apply_diff(state: &mut BTreeMap<Vec<String>, Value>, frame: &Value) -> Result<(), String> {
+    let full = frame.get("full").and_then(Value::as_bool).unwrap_or(false);
+    if full {
+        state.clear();
+    }
+    let changed = frame
+        .get("changed")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "frame has no `changed` array".to_string())?;
+    for cell in changed {
+        let coord = cell
+            .get("coordinate")
+            .and_then(coordinate_of)
+            .ok_or_else(|| "changed cell has no string `coordinate`".to_string())?;
+        state.insert(coord, cell.clone());
+    }
+    if let Some(removed) = frame.get("removed").and_then(Value::as_array) {
+        for coord in removed {
+            let coord = coordinate_of(coord)
+                .ok_or_else(|| "removed entry is not a string array".to_string())?;
+            state.remove(&coord);
+        }
+    }
+    Ok(())
+}
+
+fn coordinate_of(value: &Value) -> Option<Vec<String>> {
+    value.as_array()?.iter().map(|v| v.as_str().map(str::to_string)).collect()
+}
+
+/// Serializes a frame as the pushed event object:
+/// `{"event":"diff","sub":id,"seq":k,"version":v,"full":bool,
+///   "changed":[cells...],"removed":[[coord...]...]}`.
+pub fn frame_json(sub: u64, seq: u64, version: u64, frame: &DiffFrame) -> Value {
+    let changed: Vec<Value> = frame.changed.iter().map(serde::Serialize::to_value).collect();
+    let removed: Vec<Value> = frame
+        .removed
+        .iter()
+        .map(|coord| Value::Array(coord.iter().map(|m| s(m.clone())).collect()))
+        .collect();
+    obj(vec![
+        ("event", s("diff")),
+        ("sub", n(sub)),
+        ("seq", n(seq)),
+        ("version", n(version)),
+        ("full", Value::Bool(frame.full)),
+        ("changed", Value::Array(changed)),
+        ("removed", Value::Array(removed)),
+    ])
+}
+
+/// The pushed notice that a re-evaluation was refused at admission; the
+/// next successful frame will be a full re-send.
+pub fn lagged_json(sub: u64, code: &str, retry_after_ms: u64) -> Value {
+    obj(vec![
+        ("event", s("lagged")),
+        ("sub", n(sub)),
+        ("code", s(code)),
+        ("retry_after_ms", n(retry_after_ms)),
+    ])
+}
+
+// ----------------------------------------------------------- subscriptions
+
+/// Per-subscription mutable state, behind one lock so re-evaluations for
+/// the same subscription serialize.
+struct SubState {
+    baseline: CellIndex,
+    seq: u64,
+    /// Set when a re-evaluation was skipped (admission refusal): the
+    /// baseline is stale, so the next frame must be a full re-send.
+    lagged: bool,
+}
+
+/// One live subscription. `W` is the push channel — the server uses its
+/// shared connection writer, unit tests use `()`.
+pub struct Subscription<W> {
+    id: u64,
+    session: u64,
+    tenant: String,
+    statement: String,
+    writer: W,
+    state: Mutex<SubState>,
+}
+
+impl<W> Subscription<W> {
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    pub fn statement(&self) -> &str {
+        &self.statement
+    }
+
+    pub fn writer(&self) -> &W {
+        &self.writer
+    }
+
+    /// Folds a re-evaluation into the subscription: computes the frame
+    /// against the baseline (a full re-send when forced, or when a prior
+    /// refusal left the baseline stale), advances the baseline and the
+    /// sequence number. Returns `(seq, frame)` for the push.
+    pub fn advance(&self, next: &[AssessedCell], force_full: bool) -> (u64, DiffFrame) {
+        let mut state = self.state.lock().unwrap_or_else(|poison| poison.into_inner());
+        let frame = if force_full || state.lagged {
+            full_frame(next)
+        } else {
+            diff_cells(&state.baseline, next)
+        };
+        state.baseline = index_cells(next);
+        state.lagged = false;
+        state.seq += 1;
+        (state.seq, frame)
+    }
+
+    /// Marks a skipped re-evaluation: the next [`advance`](Self::advance)
+    /// sends a full frame regardless of the diff.
+    pub fn mark_lagged(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|poison| poison.into_inner());
+        state.lagged = true;
+    }
+}
+
+/// The registry of live subscriptions: assigns ids, enforces the
+/// per-tenant ceiling, and hands out snapshots for notification sweeps.
+pub struct SubscriptionManager<W> {
+    subs: Mutex<Vec<std::sync::Arc<Subscription<W>>>>,
+    next_id: AtomicU64,
+    /// Ceiling on live subscriptions per tenant (0 = unlimited).
+    per_tenant: usize,
+}
+
+impl<W> SubscriptionManager<W> {
+    pub fn new(per_tenant: usize) -> Self {
+        SubscriptionManager { subs: Mutex::new(Vec::new()), next_id: AtomicU64::new(1), per_tenant }
+    }
+
+    fn guard(&self) -> std::sync::MutexGuard<'_, Vec<std::sync::Arc<Subscription<W>>>> {
+        self.subs.lock().unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Registers a subscription whose baseline is `initial`, returning it
+    /// (with its assigned id), or `Err` when the tenant is at its ceiling.
+    pub fn register(
+        &self,
+        session: u64,
+        tenant: &str,
+        statement: &str,
+        initial: &[AssessedCell],
+        writer: W,
+    ) -> Result<std::sync::Arc<Subscription<W>>, usize> {
+        let mut subs = self.guard();
+        if self.per_tenant > 0 {
+            let held = subs.iter().filter(|sub| sub.tenant == tenant).count();
+            if held >= self.per_tenant {
+                return Err(self.per_tenant);
+            }
+        }
+        let sub = std::sync::Arc::new(Subscription {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            session,
+            tenant: tenant.to_string(),
+            statement: statement.to_string(),
+            writer,
+            state: Mutex::new(SubState { baseline: index_cells(initial), seq: 0, lagged: false }),
+        });
+        subs.push(sub.clone());
+        Ok(sub)
+    }
+
+    /// Drops a subscription; only its owning session may do so. Returns
+    /// whether one was removed.
+    pub fn unregister(&self, session: u64, id: u64) -> bool {
+        let mut subs = self.guard();
+        let before = subs.len();
+        subs.retain(|sub| !(sub.id == id && sub.session == session));
+        subs.len() < before
+    }
+
+    /// Drops every subscription of a closing session.
+    pub fn drop_session(&self, session: u64) -> usize {
+        let mut subs = self.guard();
+        let before = subs.len();
+        subs.retain(|sub| sub.session != session);
+        before - subs.len()
+    }
+
+    /// Live subscriptions, snapshotted for a notification sweep.
+    pub fn snapshot(&self) -> Vec<std::sync::Arc<Subscription<W>>> {
+        self.guard().clone()
+    }
+
+    pub fn active(&self) -> usize {
+        self.guard().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(coord: &[&str], value: f64, label: &str) -> AssessedCell {
+        AssessedCell {
+            coordinate: coord.iter().map(|m| m.to_string()).collect(),
+            value: Some(value),
+            benchmark: Some(1.0),
+            comparison: Some(value),
+            label: Some(label.to_string()),
+        }
+    }
+
+    #[test]
+    fn diff_reports_only_changes() {
+        let before = vec![cell(&["a"], 1.0, "low"), cell(&["b"], 2.0, "high")];
+        let after =
+            vec![cell(&["a"], 1.0, "low"), cell(&["b"], 3.0, "high"), cell(&["c"], 9.0, "high")];
+        let frame = diff_cells(&index_cells(&before), &after);
+        assert!(!frame.full);
+        let changed: Vec<&str> = frame.changed.iter().map(|c| c.coordinate[0].as_str()).collect();
+        assert_eq!(changed, vec!["b", "c"], "unchanged `a` must not travel");
+        assert!(frame.removed.is_empty());
+    }
+
+    #[test]
+    fn diff_reports_removed_coordinates() {
+        let before = vec![cell(&["a"], 1.0, "low"), cell(&["b"], 2.0, "high")];
+        let after = vec![cell(&["b"], 2.0, "high")];
+        let frame = diff_cells(&index_cells(&before), &after);
+        assert!(frame.changed.is_empty());
+        assert_eq!(frame.removed, vec![vec!["a".to_string()]]);
+    }
+
+    #[test]
+    fn apply_reproduces_the_next_evaluation() {
+        let before = vec![cell(&["a"], 1.0, "low"), cell(&["b"], 2.0, "high")];
+        let after = vec![cell(&["b"], 3.0, "par"), cell(&["c"], 9.0, "high")];
+        let frame = diff_cells(&index_cells(&before), &after);
+        // Client side: serialized state, serialized frame.
+        let mut state: BTreeMap<Vec<String>, Value> =
+            before.iter().map(|c| (c.coordinate.clone(), serde::Serialize::to_value(c))).collect();
+        apply_diff(&mut state, &frame_json(1, 1, 2, &frame)).unwrap();
+        let expected: BTreeMap<Vec<String>, Value> =
+            after.iter().map(|c| (c.coordinate.clone(), serde::Serialize::to_value(c))).collect();
+        assert_eq!(state, expected);
+    }
+
+    #[test]
+    fn full_frames_replace_the_state_wholesale() {
+        let stale = [cell(&["zombie"], 0.0, "low")];
+        let after = vec![cell(&["a"], 1.0, "low")];
+        let mut state: BTreeMap<Vec<String>, Value> =
+            stale.iter().map(|c| (c.coordinate.clone(), serde::Serialize::to_value(c))).collect();
+        apply_diff(&mut state, &frame_json(1, 1, 2, &full_frame(&after))).unwrap();
+        assert_eq!(state.len(), 1);
+        assert!(state.contains_key(&vec!["a".to_string()]));
+    }
+
+    #[test]
+    fn lagged_subscriptions_resend_in_full() {
+        let manager: SubscriptionManager<()> = SubscriptionManager::new(0);
+        let initial = vec![cell(&["a"], 1.0, "low"), cell(&["b"], 2.0, "high")];
+        let sub = manager.register(1, "t", "stmt", &initial, ()).unwrap();
+        // Normal advance: a one-cell change diffs to one cell.
+        let next = vec![cell(&["a"], 1.0, "low"), cell(&["b"], 5.0, "high")];
+        let (seq, frame) = sub.advance(&next, false);
+        assert_eq!(seq, 1);
+        assert!(!frame.full);
+        assert_eq!(frame.changed.len(), 1);
+        // After a lag, even an identical evaluation is a full re-send.
+        sub.mark_lagged();
+        let (seq, frame) = sub.advance(&next, false);
+        assert_eq!(seq, 2);
+        assert!(frame.full);
+        assert_eq!(frame.changed.len(), 2);
+        // And the lag is consumed: the following advance diffs again.
+        let (_, frame) = sub.advance(&next, false);
+        assert!(!frame.full);
+        assert!(frame.changed.is_empty());
+    }
+
+    #[test]
+    fn manager_enforces_the_per_tenant_ceiling() {
+        let manager: SubscriptionManager<()> = SubscriptionManager::new(2);
+        manager.register(1, "t", "s1", &[], ()).expect("first fits");
+        manager.register(2, "t", "s2", &[], ()).expect("second fits");
+        match manager.register(3, "t", "s3", &[], ()) {
+            Err(ceiling) => assert_eq!(ceiling, 2),
+            Ok(_) => panic!("third subscription must hit the ceiling"),
+        }
+        // A different tenant is unaffected.
+        manager.register(3, "u", "s3", &[], ()).unwrap();
+        assert_eq!(manager.active(), 3);
+    }
+
+    #[test]
+    fn unregister_is_owner_only_and_sessions_drop_their_subs() {
+        let manager: SubscriptionManager<()> = SubscriptionManager::new(0);
+        let sub = manager.register(7, "t", "s", &[], ()).unwrap();
+        assert!(!manager.unregister(8, sub.id()), "another session must not unsubscribe");
+        assert!(manager.unregister(7, sub.id()));
+        assert!(!manager.unregister(7, sub.id()), "already gone");
+        manager.register(7, "t", "a", &[], ()).unwrap();
+        manager.register(7, "t", "b", &[], ()).unwrap();
+        manager.register(9, "t", "c", &[], ()).unwrap();
+        assert_eq!(manager.drop_session(7), 2);
+        assert_eq!(manager.active(), 1);
+    }
+}

@@ -19,7 +19,11 @@ const TABLES: &[&str] = &["customer", "supplier", "part", "dates", "lineorder", 
 /// generator's output or the persisted table format changes shape: entries
 /// written under a different version are treated as cache misses and
 /// regenerated instead of being misread as current-format data.
-const FORMAT_VERSION: u32 = 1;
+///
+/// History: 1 = initial versioned layout; 2 = append-capable storage
+/// (incremental cubes) — entries predating append support are rejected so
+/// a grown table is never mixed with pre-append cached state.
+const FORMAT_VERSION: u32 = 2;
 
 /// Name of the marker file recording [`FORMAT_VERSION`] inside an entry.
 const FORMAT_FILE: &str = "FORMAT";
@@ -155,6 +159,23 @@ mod tests {
         // An unreadable marker is also a miss, not an error.
         std::fs::write(&marker, "not a number").unwrap();
         assert!(!is_cached(&root, &config));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn pre_append_entries_are_rejected() {
+        // Entries written before append support (format 1) must regenerate:
+        // their tables may coexist with stale pre-append derived state.
+        let root = tmp_root("preappend");
+        let config = SsbConfig::with_scale(0.001);
+        generate_cached(&root, config);
+        let marker = entry_dir(&root, &config).join(FORMAT_FILE);
+        std::fs::write(&marker, "1\n").unwrap();
+        assert!(!is_cached(&root, &config));
+        let (dataset, hit) = generate_cached(&root, config);
+        assert!(!hit);
+        assert_eq!(dataset.catalog.table("lineorder").unwrap().n_rows(), 6_000);
+        assert!(is_cached(&root, &config), "regeneration rewrites the marker");
         std::fs::remove_dir_all(&root).ok();
     }
 

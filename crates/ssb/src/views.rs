@@ -55,7 +55,10 @@ pub fn register_default_views(
             measures,
             measure_cols,
         )
-        .expect("view shape is consistent");
+        .expect("view shape is consistent")
+        // Provenance enables incremental maintenance when the fact table
+        // grows (`Engine::append`); without it appends would drop the view.
+        .with_source(SSB_CUBE);
         catalog.register_view(view);
         names.push(name.to_string());
     }

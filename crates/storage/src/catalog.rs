@@ -1,14 +1,20 @@
 //! A thread-safe catalog of tables, cube bindings, indexes and views.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::binding::CubeBinding;
+use crate::delta::Delta;
 use crate::error::StorageError;
 use crate::index::HashIndex;
 use crate::mview::MaterializedAggregate;
 use crate::table::Table;
+
+/// How many append deltas the catalog remembers. A reader more than this
+/// many appends behind cannot be told *what* changed and must fall back to
+/// full invalidation.
+const DELTA_HISTORY: usize = 64;
 
 #[derive(Default)]
 struct CatalogInner {
@@ -16,6 +22,13 @@ struct CatalogInner {
     bindings: HashMap<String, Arc<CubeBinding>>,
     indexes: HashMap<(String, String), Arc<HashIndex>>,
     views: Vec<Arc<MaterializedAggregate>>,
+    /// Recent append deltas in commit order, each stamped with the settled
+    /// version its commit produced.
+    deltas: VecDeque<Arc<Delta>>,
+    /// Settled version of the last *structural* mutation (registration,
+    /// removal — anything that is not a delta-carrying append). Results
+    /// computed before this version cannot be explained by deltas alone.
+    last_structural: u64,
 }
 
 /// Write guard that completes the seqlock protocol: the second version bump
@@ -23,6 +36,8 @@ struct CatalogInner {
 struct VersionedWriteGuard<'a> {
     guard: RwLockWriteGuard<'a, CatalogInner>,
     version: &'a AtomicU64,
+    /// The even version this mutation settles at when the guard drops.
+    settled: u64,
 }
 
 impl std::ops::Deref for VersionedWriteGuard<'_> {
@@ -76,15 +91,44 @@ impl Catalog {
     /// mutation observes two different version readings.
     fn write(&self) -> VersionedWriteGuard<'_> {
         let guard = self.inner.write().unwrap_or_else(|poison| poison.into_inner());
-        self.version.fetch_add(1, Ordering::Release);
-        VersionedWriteGuard { guard, version: &self.version }
+        self.versioned(guard)
+    }
+
+    /// Wraps an already-acquired write lock in the seqlock protocol:
+    /// bumps the version to odd now, remembers the even value it will
+    /// settle at, and bumps again when the guard drops.
+    fn versioned<'a>(
+        &'a self,
+        guard: RwLockWriteGuard<'a, CatalogInner>,
+    ) -> VersionedWriteGuard<'a> {
+        let settled = self.version.fetch_add(1, Ordering::Release) + 2;
+        VersionedWriteGuard { guard, version: &self.version, settled }
+    }
+
+    /// Write access for *structural* mutations — anything other than a
+    /// delta-carrying append. Marks the settled version as the structural
+    /// horizon, so delta chains cannot explain across it.
+    fn write_structural(&self) -> VersionedWriteGuard<'_> {
+        let mut guard = self.write();
+        let settled = guard.settled;
+        guard.last_structural = settled;
+        guard
+    }
+
+    /// Write access that bypasses the seqlock entirely, for mutations of
+    /// *derived* state (cached indexes) that cannot change any query
+    /// result. Invisible to versioned readers by design.
+    fn write_plain(&self) -> RwLockWriteGuard<'_, CatalogInner> {
+        self.inner.write().unwrap_or_else(|poison| poison.into_inner())
     }
 
     /// The current mutation-counter value. Two equal **even** readings
-    /// bracketing a computation guarantee the catalog's contents did not
-    /// change while it ran; any registration (table, binding, index, view)
-    /// or removal changes the value, and an odd value means a mutation is
-    /// in flight right now. Result caches key entries on this.
+    /// bracketing a computation guarantee the catalog's semantic contents
+    /// did not change while it ran; any registration (table, binding,
+    /// view), removal or append commit changes the value, and an odd value
+    /// means a mutation is in flight right now. Result caches key entries
+    /// on this. (Cached hash indexes are derived state and excepted: they
+    /// cannot change any query result.)
     pub fn version(&self) -> u64 {
         self.version.load(Ordering::Acquire)
     }
@@ -92,7 +136,7 @@ impl Catalog {
     /// Registers (or replaces) a table.
     pub fn register_table(&self, table: Table) -> Arc<Table> {
         let table = Arc::new(table);
-        self.write().tables.insert(table.name().to_string(), table.clone());
+        self.write_structural().tables.insert(table.name().to_string(), table.clone());
         table
     }
 
@@ -112,7 +156,7 @@ impl Catalog {
         binding: CubeBinding,
     ) -> Arc<CubeBinding> {
         let binding = Arc::new(binding);
-        self.write().bindings.insert(name.into(), binding.clone());
+        self.write_structural().bindings.insert(name.into(), binding.clone());
         binding
     }
 
@@ -126,27 +170,123 @@ impl Catalog {
     }
 
     /// Builds (or reuses) a hash index on `table.column`.
+    ///
+    /// Index caching is a derived-state mutation: it never changes a query
+    /// result, so it does not bump the catalog version. The insert is
+    /// guarded against a table swap racing the build — an index built from
+    /// a superseded table snapshot is discarded and rebuilt.
     pub fn hash_index(&self, table: &str, column: &str) -> Result<Arc<HashIndex>, StorageError> {
         let key = (table.to_string(), column.to_string());
-        if let Some(idx) = self.read().indexes.get(&key) {
-            return Ok(idx.clone());
+        loop {
+            if let Some(idx) = self.read().indexes.get(&key) {
+                return Ok(idx.clone());
+            }
+            let t = self.table(table)?;
+            let idx = Arc::new(HashIndex::build(&t, column)?);
+            let mut guard = self.write_plain();
+            match guard.tables.get(table) {
+                Some(current) if Arc::ptr_eq(current, &t) => {
+                    guard.indexes.insert(key, idx.clone());
+                    return Ok(idx);
+                }
+                _ => continue, // the table moved mid-build; start over
+            }
         }
-        let t = self.table(table)?;
-        let idx = Arc::new(HashIndex::build(&t, column)?);
-        self.write().indexes.insert(key, idx.clone());
-        Ok(idx)
     }
 
     /// Registers a materialized aggregate view.
     pub fn register_view(&self, view: MaterializedAggregate) -> Arc<MaterializedAggregate> {
         let view = Arc::new(view);
-        self.write().views.push(view.clone());
+        self.write_structural().views.push(view.clone());
         view
     }
 
     /// Removes all materialized views (used by the view-matching ablation).
     pub fn clear_views(&self) {
-        self.write().views.clear();
+        self.write_structural().views.clear();
+    }
+
+    /// All registered views (cloned handles; the lock is not held).
+    pub fn views(&self) -> Vec<Arc<MaterializedAggregate>> {
+        self.read().views.clone()
+    }
+
+    /// Atomically commits a prepared append: swaps `table` in (verifying
+    /// the commit was prepared against the *current* snapshot `base`),
+    /// replaces each maintained view by name (new names are added),
+    /// drops the views named in `drop_views` (those that could not be
+    /// maintained), discards the table's cached indexes, and records
+    /// `delta` stamped with the commit's settled version.
+    ///
+    /// This is the one mutation that is **not** structural: the delta it
+    /// records explains the version step completely, so delta-aware caches
+    /// can patch instead of invalidate.
+    ///
+    /// When another writer swapped the table since `base` was read, the
+    /// commit fails with [`StorageError::ConcurrentMutation`] *without*
+    /// bumping the version; the caller rebuilds against the new snapshot
+    /// and retries.
+    pub fn commit_append(
+        &self,
+        base: &Arc<Table>,
+        table: Arc<Table>,
+        views: Vec<MaterializedAggregate>,
+        drop_views: &[String],
+        delta: Delta,
+    ) -> Result<Arc<Delta>, StorageError> {
+        let name = table.name().to_string();
+        let plain = self.write_plain();
+        match plain.tables.get(&name) {
+            Some(current) if Arc::ptr_eq(current, base) => {}
+            _ => return Err(StorageError::ConcurrentMutation(name)),
+        }
+        let mut guard = self.versioned(plain);
+        let settled = guard.settled;
+        guard.tables.insert(name.clone(), table);
+        guard.indexes.retain(|(t, _), _| t != &name);
+        for view in views {
+            let view = Arc::new(view);
+            match guard.views.iter_mut().find(|v| v.name() == view.name()) {
+                Some(slot) => *slot = view,
+                None => guard.views.push(view),
+            }
+        }
+        if !drop_views.is_empty() {
+            guard.views.retain(|v| !drop_views.iter().any(|d| d == v.name()));
+        }
+        let delta = Arc::new(delta.stamped(settled));
+        guard.deltas.push_back(delta.clone());
+        while guard.deltas.len() > DELTA_HISTORY {
+            guard.deltas.pop_front();
+        }
+        Ok(delta)
+    }
+
+    /// The deltas explaining every mutation since the settled `version`
+    /// reading, oldest first — `Some(vec![])` when nothing changed.
+    ///
+    /// Returns `None` when the interval cannot be explained by appends
+    /// alone: `version` is odd (read during a mutation), from the future,
+    /// older than the last structural mutation, or beyond the retained
+    /// delta history. Callers must then treat everything as changed.
+    pub fn deltas_since(&self, version: u64) -> Option<Vec<Arc<Delta>>> {
+        if !version.is_multiple_of(2) {
+            return None;
+        }
+        let inner = self.read();
+        // Stable while the read lock is held: writers block on the lock.
+        let current = self.version.load(Ordering::Acquire);
+        if version > current || version < inner.last_structural {
+            return None;
+        }
+        let covering: Vec<Arc<Delta>> =
+            inner.deltas.iter().filter(|d| d.version() > version).cloned().collect();
+        // Every mutation advances the version by 2; any shortfall means a
+        // delta already aged out of the history window.
+        if covering.len() as u64 != (current - version) / 2 {
+            return None;
+        }
+        Some(covering)
     }
 
     /// Finds the smallest registered view answering a query with the given
@@ -243,6 +383,106 @@ mod tests {
         assert_eq!(cat.version(), v1);
         cat.clear_views();
         assert!(cat.version() > v1);
+    }
+
+    #[test]
+    fn commit_append_swaps_table_and_carries_delta() {
+        let cat = Catalog::new();
+        let base = cat.register_table(Table::new("t", vec![Column::i64("k", vec![0, 1])]).unwrap());
+        let v0 = cat.version();
+        let batch = vec![Column::i64("k", vec![2])];
+        let appended = base.append_batch(&batch).unwrap();
+        let delta = Delta::describe("t", base.n_rows(), &batch);
+        let committed = cat.commit_append(&base, Arc::new(appended), vec![], &[], delta).unwrap();
+        let v1 = cat.version();
+        assert_eq!(v1, v0 + 2, "one commit, one settled step");
+        assert_eq!(committed.version(), v1);
+        assert_eq!(cat.table("t").unwrap().n_rows(), 3);
+        // The interval v0..v1 is fully explained by the one delta.
+        let since = cat.deltas_since(v0).unwrap();
+        assert_eq!(since.len(), 1);
+        assert!(Arc::ptr_eq(&since[0], &committed));
+        assert_eq!(cat.deltas_since(v1).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn commit_append_detects_lost_races() {
+        let cat = Catalog::new();
+        let base = cat.register_table(Table::new("t", vec![Column::i64("k", vec![0])]).unwrap());
+        // Another writer swaps the table before our commit lands.
+        cat.register_table(Table::new("t", vec![Column::i64("k", vec![0, 7])]).unwrap());
+        let v = cat.version();
+        let batch = vec![Column::i64("k", vec![1])];
+        let appended = base.append_batch(&batch).unwrap();
+        let delta = Delta::describe("t", base.n_rows(), &batch);
+        let err = cat.commit_append(&base, Arc::new(appended), vec![], &[], delta).unwrap_err();
+        assert!(matches!(err, StorageError::ConcurrentMutation(_)));
+        assert_eq!(cat.version(), v, "a failed commit does not bump the version");
+        assert_eq!(cat.table("t").unwrap().n_rows(), 2, "the racing write survives");
+    }
+
+    #[test]
+    fn structural_mutations_break_the_delta_chain() {
+        let cat = Catalog::new();
+        let base = cat.register_table(Table::new("t", vec![Column::i64("k", vec![0])]).unwrap());
+        let v0 = cat.version();
+        let batch = vec![Column::i64("k", vec![1])];
+        let appended = base.append_batch(&batch).unwrap();
+        let delta = Delta::describe("t", base.n_rows(), &batch);
+        cat.commit_append(&base, Arc::new(appended), vec![], &[], delta).unwrap();
+        assert!(cat.deltas_since(v0).is_some());
+        cat.clear_views(); // structural
+        assert!(cat.deltas_since(v0).is_none(), "structural horizon moved past v0");
+        assert_eq!(cat.deltas_since(cat.version()).unwrap().len(), 0);
+        // Odd and future versions are never explainable.
+        assert!(cat.deltas_since(cat.version() - 1).is_none());
+        assert!(cat.deltas_since(cat.version() + 2).is_none());
+    }
+
+    #[test]
+    fn commit_append_replaces_views_drops_indexes() {
+        let cat = Catalog::new();
+        let base = cat.register_table(Table::new("t", vec![Column::i64("k", vec![0, 0])]).unwrap());
+        cat.hash_index("t", "k").unwrap();
+        let mk = |name: &str, total: f64| {
+            MaterializedAggregate::new(
+                name,
+                GroupBySet::from_slots(vec![Some(0)]),
+                vec![vec![MemberId(0)]],
+                vec!["m".into()],
+                vec![vec![total]],
+            )
+            .unwrap()
+        };
+        cat.register_view(mk("kept", 1.0));
+        cat.register_view(mk("doomed", 2.0));
+        let batch = vec![Column::i64("k", vec![0])];
+        let appended = base.append_batch(&batch).unwrap();
+        let delta = Delta::describe("t", base.n_rows(), &batch);
+        cat.commit_append(
+            &base,
+            Arc::new(appended),
+            vec![mk("kept", 3.0)],
+            &["doomed".into()],
+            delta,
+        )
+        .unwrap();
+        let views = cat.views();
+        assert_eq!(views.len(), 1);
+        assert_eq!(views[0].name(), "kept");
+        assert_eq!(views[0].measure("m"), Some(&[3.0][..]));
+        // The stale index is gone; the next probe rebuilds from the new table.
+        let idx = cat.hash_index("t", "k").unwrap();
+        assert_eq!(idx.lookup(0), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn index_caching_is_invisible_to_the_version() {
+        let cat = Catalog::new();
+        cat.register_table(Table::new("t", vec![Column::i64("k", vec![0])]).unwrap());
+        let v = cat.version();
+        cat.hash_index("t", "k").unwrap();
+        assert_eq!(cat.version(), v, "derived-state mutation, no semantic change");
     }
 
     #[test]

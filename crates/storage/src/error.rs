@@ -16,6 +16,11 @@ pub enum StorageError {
     TypeMismatch { column: String, expected: &'static str, got: &'static str },
     /// Mismatched column lengths while assembling a table.
     RaggedColumns { table: String, expected: usize, got: usize, column: String },
+    /// An appended batch does not line up with the target table's schema.
+    AppendMismatch { table: String, detail: String },
+    /// An optimistic catalog commit lost the race: the table it was built
+    /// against is no longer current. The caller should rebuild and retry.
+    ConcurrentMutation(String),
     /// A cube binding name was not found in the catalog.
     UnknownBinding(String),
     /// A binding refers to schema elements that do not line up with the table.
@@ -43,6 +48,12 @@ impl fmt::Display for StorageError {
                 f,
                 "column `{column}` of table `{table}` has {got} rows, expected {expected}"
             ),
+            StorageError::AppendMismatch { table, detail } => {
+                write!(f, "cannot append to table `{table}`: {detail}")
+            }
+            StorageError::ConcurrentMutation(table) => {
+                write!(f, "table `{table}` changed during an append commit; retry")
+            }
             StorageError::UnknownBinding(b) => write!(f, "unknown cube binding `{b}`"),
             StorageError::InvalidBinding(msg) => write!(f, "invalid cube binding: {msg}"),
             StorageError::Corrupt(msg) => write!(f, "corrupt storage data: {msg}"),

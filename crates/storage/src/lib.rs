@@ -22,6 +22,7 @@ pub mod binding;
 pub mod catalog;
 pub mod chunk;
 pub mod column;
+pub mod delta;
 pub mod dictionary;
 pub mod error;
 pub mod index;
@@ -33,6 +34,7 @@ pub use binding::CubeBinding;
 pub use catalog::Catalog;
 pub use chunk::{DataChunk, Morsels, NumericSlice};
 pub use column::{Column, ColumnData};
+pub use delta::Delta;
 pub use dictionary::Dictionary;
 pub use error::StorageError;
 pub use index::{BTreeIndex, HashIndex};

@@ -20,6 +20,10 @@ pub struct MaterializedAggregate {
     coord_cols: Vec<Vec<MemberId>>,
     measure_names: Vec<String>,
     measure_cols: Vec<Vec<f64>>,
+    /// The cube this view aggregates, when known. Incremental maintenance
+    /// needs provenance to re-derive a view from an append delta; views
+    /// without it can only be dropped when their fact table grows.
+    source: Option<String>,
 }
 
 impl MaterializedAggregate {
@@ -70,7 +74,26 @@ impl MaterializedAggregate {
                 });
             }
         }
-        Ok(MaterializedAggregate { name, group_by, coord_cols, measure_names, measure_cols })
+        Ok(MaterializedAggregate {
+            name,
+            group_by,
+            coord_cols,
+            measure_names,
+            measure_cols,
+            source: None,
+        })
+    }
+
+    /// Records the cube this view was aggregated from, enabling
+    /// incremental maintenance when that cube's fact table is appended to.
+    pub fn with_source(mut self, cube: impl Into<String>) -> Self {
+        self.source = Some(cube.into());
+        self
+    }
+
+    /// The source cube recorded at build time, if any.
+    pub fn source(&self) -> Option<&str> {
+        self.source.as_deref()
     }
 
     pub fn name(&self) -> &str {

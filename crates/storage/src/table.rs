@@ -1,5 +1,7 @@
 //! Named, schema-checked columnar tables.
 
+use std::sync::Arc;
+
 use crate::chunk::{DataChunk, Morsels, NumericSlice};
 use crate::column::{Column, ColumnData};
 use crate::error::StorageError;
@@ -101,6 +103,84 @@ impl Table {
         Morsels::new(self, chunk_rows)
     }
 
+    /// Returns a new table with `batch` appended row-wise — the storage
+    /// half of the incremental-cube append path. The receiver is untouched
+    /// (tables are handed out as `Arc<Table>`); the catalog swaps the new
+    /// value in atomically via `commit_append`.
+    ///
+    /// The batch must carry exactly the table's columns (matched by name,
+    /// any order) with equal lengths and matching physical types.
+    /// Dictionary columns grow the dictionary: incoming codes are decoded
+    /// against the batch's own dictionary and re-interned into a copy of
+    /// the table's, so shared upstream dictionaries are never mutated.
+    pub fn append_batch(&self, batch: &[Column]) -> Result<Table, StorageError> {
+        let mismatch =
+            |detail: String| StorageError::AppendMismatch { table: self.name.clone(), detail };
+        if batch.len() != self.columns.len() {
+            return Err(mismatch(format!(
+                "batch has {} columns, table has {}",
+                batch.len(),
+                self.columns.len()
+            )));
+        }
+        let added = batch.first().map(Column::len).unwrap_or(0);
+        for c in batch {
+            if c.len() != added {
+                return Err(StorageError::RaggedColumns {
+                    table: self.name.clone(),
+                    expected: added,
+                    got: c.len(),
+                    column: c.name.clone(),
+                });
+            }
+        }
+        let mut columns = Vec::with_capacity(self.columns.len());
+        for base in &self.columns {
+            let incoming = batch
+                .iter()
+                .find(|c| c.name == base.name)
+                .ok_or_else(|| mismatch(format!("batch is missing column `{}`", base.name)))?;
+            let data = match (&base.data, &incoming.data) {
+                (ColumnData::I64(old), ColumnData::I64(new)) => {
+                    let mut v = old.clone();
+                    v.extend_from_slice(new);
+                    ColumnData::I64(v)
+                }
+                (ColumnData::F64(old), ColumnData::F64(new)) => {
+                    let mut v = old.clone();
+                    v.extend_from_slice(new);
+                    ColumnData::F64(v)
+                }
+                (
+                    ColumnData::Dict { codes, dict },
+                    ColumnData::Dict { codes: new_codes, dict: new_dict },
+                ) => {
+                    let mut grown = (**dict).clone();
+                    let mut all = codes.clone();
+                    for &code in new_codes {
+                        let value = new_dict.value(code).ok_or_else(|| {
+                            mismatch(format!(
+                                "column `{}` has dictionary code {code} with no value",
+                                base.name
+                            ))
+                        })?;
+                        all.push(grown.intern(value));
+                    }
+                    ColumnData::Dict { codes: all, dict: Arc::new(grown) }
+                }
+                (old, new) => {
+                    return Err(StorageError::TypeMismatch {
+                        column: base.name.clone(),
+                        expected: old.type_name(),
+                        got: new.type_name(),
+                    })
+                }
+            };
+            columns.push(Column { name: base.name.clone(), data });
+        }
+        Ok(Table { name: self.name.clone(), columns, n_rows: self.n_rows + added })
+    }
+
     /// Approximate heap footprint of the table in bytes.
     pub fn byte_size(&self) -> usize {
         self.columns.iter().map(|c| c.data.byte_size()).sum()
@@ -181,6 +261,92 @@ mod tests {
             t.describe(),
             "create table customer (ckey integer, nation varchar, balance number)"
         );
+    }
+
+    #[test]
+    fn append_extends_every_column_kind() {
+        let t = customers();
+        let appended = t
+            .append_batch(&[
+                Column::f64("balance", vec![7.0]),
+                Column::i64("ckey", vec![3]),
+                Column::from_strings("nation", ["SPAIN"]),
+            ])
+            .unwrap();
+        assert_eq!(appended.n_rows(), 4);
+        assert_eq!(t.n_rows(), 3, "the receiver is untouched");
+        assert_eq!(appended.require_i64("ckey").unwrap(), &[0, 1, 2, 3]);
+        assert_eq!(appended.column("nation").unwrap().string_at(3), Some("SPAIN"));
+        assert_eq!(appended.column("nation").unwrap().string_at(2), Some("ITALY"));
+        let (_, dict) = appended.column("nation").unwrap().as_dict().unwrap();
+        assert_eq!(dict.len(), 3, "dictionary grew by the one new value");
+        let (_, old_dict) = t.column("nation").unwrap().as_dict().unwrap();
+        assert_eq!(old_dict.len(), 2, "the shared base dictionary did not grow");
+    }
+
+    #[test]
+    fn append_reencodes_against_the_batch_dictionary() {
+        let t = customers();
+        // The batch's own dictionary assigns different codes to the same
+        // strings; appending must go through the strings, not the codes.
+        let appended = t
+            .append_batch(&[
+                Column::i64("ckey", vec![3, 4]),
+                Column::from_strings("nation", ["FRANCE", "ITALY"]),
+                Column::f64("balance", vec![0.0, 0.0]),
+            ])
+            .unwrap();
+        assert_eq!(appended.column("nation").unwrap().string_at(3), Some("FRANCE"));
+        assert_eq!(appended.column("nation").unwrap().string_at(4), Some("ITALY"));
+        let (_, dict) = appended.column("nation").unwrap().as_dict().unwrap();
+        assert_eq!(dict.len(), 2, "no new values, no dictionary growth");
+    }
+
+    #[test]
+    fn append_rejects_malformed_batches() {
+        let t = customers();
+        assert!(matches!(
+            t.append_batch(&[Column::i64("ckey", vec![3])]),
+            Err(StorageError::AppendMismatch { .. })
+        ));
+        assert!(matches!(
+            t.append_batch(&[
+                Column::i64("ckey", vec![3]),
+                Column::from_strings("nation", ["SPAIN"]),
+                Column::f64("wrong_name", vec![1.0]),
+            ]),
+            Err(StorageError::AppendMismatch { .. })
+        ));
+        assert!(matches!(
+            t.append_batch(&[
+                Column::i64("ckey", vec![3, 4]),
+                Column::from_strings("nation", ["SPAIN"]),
+                Column::f64("balance", vec![1.0, 2.0]),
+            ]),
+            Err(StorageError::RaggedColumns { .. })
+        ));
+        assert!(matches!(
+            t.append_batch(&[
+                Column::i64("ckey", vec![3]),
+                Column::from_strings("nation", ["SPAIN"]),
+                Column::i64("balance", vec![1]),
+            ]),
+            Err(StorageError::TypeMismatch { expected: "f64", got: "i64", .. })
+        ));
+    }
+
+    #[test]
+    fn append_empty_batch_is_identity() {
+        let t = customers();
+        let appended = t
+            .append_batch(&[
+                Column::i64("ckey", vec![]),
+                Column::from_strings("nation", Vec::<&str>::new()),
+                Column::f64("balance", vec![]),
+            ])
+            .unwrap();
+        assert_eq!(appended.n_rows(), 3);
+        assert_eq!(appended.require_i64("ckey").unwrap(), t.require_i64("ckey").unwrap());
     }
 
     #[test]

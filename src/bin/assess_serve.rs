@@ -27,8 +27,9 @@
 //! The protocol is newline-delimited JSON; see the `Serving` section of the
 //! README for request and response shapes. `--self-check` is the CI smoke
 //! mode: it exercises check → run → traced cached run → stats → metrics →
-//! cancel → shared-scan batch → auth → rate-limit overload → oversized
-//! frame end to end and exits non-zero if any response deviates.
+//! cancel → shared-scan batch → subscribe → append (live diff frame) →
+//! unsubscribe → auth → rate-limit overload → oversized frame end to end
+//! and exits non-zero if any response deviates.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -269,10 +270,11 @@ fn error_code(v: &Value) -> &str {
 }
 
 /// The scripted session: check → run (cold) → traced run (cached) →
-/// stats → metrics → cancel → shared-scan batch → auth (bad key, then
-/// good) → rate-limit overload with a `retry_after_ms` hint →
-/// oversized-frame rejection with the connection surviving. Returns the
-/// number of verified steps.
+/// stats → metrics → cancel → shared-scan batch → subscribe → append
+/// with incremental view maintenance and a pushed diff frame →
+/// unsubscribe → auth (bad key, then good) → rate-limit overload with a
+/// `retry_after_ms` hint → oversized-frame rejection with the connection
+/// surviving. Returns the number of verified steps.
 fn run_self_check(handle: &assess_olap::serve::ServerHandle) -> Result<u32, String> {
     let mut client = LineClient::connect(handle.addr()).map_err(|e| format!("connect: {e}"))?;
 
@@ -385,6 +387,56 @@ fn run_self_check(handle: &assess_olap::serve::ServerHandle) -> Result<u32, Stri
         &batch,
     )?;
 
+    // Incremental cubes: subscribe to the statement, append two fact rows
+    // (foreign keys 0 and 1 are in-domain at every scale), and verify the
+    // append commits through incremental view maintenance, pushes a diff
+    // frame to the subscription before answering, and that unsubscribing
+    // releases the slot.
+    let subscribed = client.subscribe(STATEMENT).map_err(|e| format!("subscribe: {e}"))?;
+    let sub = subscribed.get("sub").and_then(Value::as_f64).unwrap_or(-1.0);
+    let baseline = subscribed.get("cells").and_then(Value::as_f64).unwrap_or(-1.0);
+    expect(
+        field_bool(&subscribed, "ok") == Some(true) && sub >= 0.0 && baseline > 0.0,
+        "subscribe returns the baseline evaluation",
+        &subscribed,
+    )?;
+
+    let column = |values: &[f64]| Value::Array(values.iter().copied().map(Value::Number).collect());
+    let batch_rows = Value::Object(vec![
+        ("ckey".to_string(), column(&[0.0, 1.0])),
+        ("skey".to_string(), column(&[0.0, 1.0])),
+        ("pkey".to_string(), column(&[0.0, 1.0])),
+        ("dkey".to_string(), column(&[0.0, 1.0])),
+        ("quantity".to_string(), column(&[10.0, 20.0])),
+        ("discount".to_string(), column(&[1.0, 2.0])),
+        ("extendedprice".to_string(), column(&[1000.0, 2000.0])),
+        ("revenue".to_string(), column(&[900.0, 1800.0])),
+        ("supplycost".to_string(), column(&[300.0, 600.0])),
+    ]);
+    let appended = client.append("SSB", batch_rows).map_err(|e| format!("append: {e}"))?;
+    let merged = appended.get("views_merged").and_then(Value::as_f64).unwrap_or(-1.0);
+    let notified = appended.get("subscriptions_notified").and_then(Value::as_f64).unwrap_or(-1.0);
+    expect(
+        field_bool(&appended, "ok") == Some(true)
+            && appended.get("appended").and_then(Value::as_f64) == Some(2.0)
+            && merged == 3.0
+            && notified == 1.0,
+        "append maintains views and notifies the subscription",
+        &appended,
+    )?;
+
+    let event = client.next_event().map_err(|e| format!("diff event: {e}"))?;
+    expect(
+        event.get("event").and_then(Value::as_str) == Some("diff")
+            && event.get("sub").and_then(Value::as_f64) == Some(sub)
+            && event.get("full").and_then(Value::as_bool) == Some(false),
+        "append pushes a diff frame",
+        &event,
+    )?;
+
+    let freed = client.unsubscribe(sub as u64).map_err(|e| format!("unsubscribe: {e}"))?;
+    expect(field_bool(&freed, "unsubscribed") == Some(true), "unsubscribe", &freed)?;
+
     // Tenancy: an unknown key is refused and the session stays anonymous;
     // the self-check directory's `ci-key` binds the session to tenant `ci`.
     let bad = client.auth("not-a-key").map_err(|e| format!("auth bad key: {e}"))?;
@@ -429,5 +481,5 @@ fn run_self_check(handle: &assess_olap::serve::ServerHandle) -> Result<u32, Stri
     let pong = client.ping().map_err(|e| format!("post-rejection ping: {e}"))?;
     expect(field_bool(&pong, "ok") == Some(true), "connection survives rejection", &pong)?;
 
-    Ok(13)
+    Ok(17)
 }
