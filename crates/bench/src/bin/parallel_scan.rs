@@ -22,11 +22,24 @@ use assess_core::exec::AssessRunner;
 use assess_core::plan::Strategy;
 use assess_core::AssessError;
 use olap_engine::{Engine, EngineConfig, WorkerPool};
+use olap_model::{CubeQuery, GroupBySet, Predicate};
 use serde::Serialize;
 use ssb_data::SsbConfig;
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 const MORSEL_ROWS: usize = 1 << 13;
+
+/// Median of a sample set; the scan-throughput and overhead measurements
+/// report medians so a single descheduled rep cannot flip a gate the way a
+/// best-of or mean can.
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    match samples.len() {
+        0 => f64::NAN,
+        n if n % 2 == 1 => samples[n / 2],
+        n => 0.5 * (samples[n / 2 - 1] + samples[n / 2]),
+    }
+}
 
 #[derive(Serialize)]
 struct ScanRow {
@@ -49,21 +62,47 @@ struct OverheadRow {
 }
 
 #[derive(Serialize)]
+struct ThroughputRow {
+    query: String,
+    layout: String,
+    threads: usize,
+    rows: usize,
+    secs: f64,
+    rows_per_sec: f64,
+    fact_bytes: usize,
+}
+
+/// Suite-level summary of the encoded-vs-plain scan comparison: the
+/// geometric mean of per-query `rows/s` ratios (each scan shape counts
+/// equally, so accumulate-bound rollups don't drown the shapes where the
+/// layout changes the physics) and the fact-table footprint ratio.
+#[derive(Serialize)]
+struct ScanSummary {
+    speedup_geomean: f64,
+    per_query_speedup: Vec<(String, f64)>,
+    bytes_ratio: f64,
+}
+
+#[derive(Serialize)]
 struct EngineBench {
     scaling: Vec<ScanRow>,
+    scan_throughput: Vec<ThroughputRow>,
+    scan_summary: ScanSummary,
     obs_overhead: Vec<OverheadRow>,
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let mut scale = if smoke { 0.001 } else { 0.01 };
+    let mut scale: f64 = if smoke { 0.001 } else { 0.01 };
     let mut reps = if smoke { 1usize } else { 5 };
+    let mut explicit_scale = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--scale" if i + 1 < args.len() => {
                 scale = args[i + 1].parse().expect("--scale S");
+                explicit_scale = true;
                 i += 2;
             }
             "--reps" if i + 1 < args.len() => {
@@ -72,6 +111,13 @@ fn main() {
             }
             _ => i += 1,
         }
+    }
+    // `ASSESS_SSB_SF` sets the scale for runs that did not pin `--scale`
+    // (CI's scaled job) and acts as a lid on runs that did — a runner-wide
+    // ceiling an individual invocation cannot overshoot.
+    if let Some(lid) = std::env::var("ASSESS_SSB_SF").ok().and_then(|v| v.parse::<f64>().ok()) {
+        scale = if explicit_scale { scale.min(lid) } else { lid };
+        eprintln!("[setup] ASSESS_SSB_SF={lid}: running at SF={scale}");
     }
 
     eprintln!("[setup] generating SSB at SF={scale} …");
@@ -161,26 +207,163 @@ fn main() {
     println!("parallel scan scaling (SF={scale}, {reps} reps, morsels of {MORSEL_ROWS} rows)\n");
     println!("{}", report::render_table(&table));
 
+    // ---------------------------------------------------- scan throughput
+    // Single-thread morsel scans over the encoded fact layout vs the
+    // plain `i64` baseline: same rows, same queries, different physical
+    // columns. Three scan shapes cover the kernel paths — a masked,
+    // grouped aggregation (the NP shape: two key lanes + selection), a
+    // date rollup (the run-length `dkey` lane), and a customer rollup
+    // (a bit-packed lane). Layouts are sampled interleaved so slow drift
+    // on a shared host lands on both sides equally.
+    let plain_dataset = {
+        let mut cfg = SsbConfig::with_scale(scale);
+        cfg.encode_facts = false;
+        ssb_data::generate::generate(cfg)
+    };
+    let np_query = CubeQuery::new(
+        ssb_data::generate::SSB_CUBE,
+        GroupBySet::from_level_names(&dataset.schema, &["c_nation", "year"]).expect("SSB levels"),
+        vec![Predicate::eq(&dataset.schema, "c_region", "ASIA").expect("SSB member")],
+        vec!["revenue".into(), "quantity".into()],
+    );
+    let year_query = CubeQuery::new(
+        ssb_data::generate::SSB_CUBE,
+        GroupBySet::from_level_names(&dataset.schema, &["year"]).expect("SSB levels"),
+        vec![],
+        vec!["revenue".into()],
+    );
+    let nation_query = CubeQuery::new(
+        ssb_data::generate::SSB_CUBE,
+        GroupBySet::from_level_names(&dataset.schema, &["c_nation"]).expect("SSB levels"),
+        vec![],
+        vec!["revenue".into()],
+    );
+    let sliced_query = CubeQuery::new(
+        ssb_data::generate::SSB_CUBE,
+        GroupBySet::from_level_names(&dataset.schema, &["c_nation"]).expect("SSB levels"),
+        vec![Predicate::eq(&dataset.schema, "year", "1994").expect("SSB member")],
+        vec!["revenue".into()],
+    );
+    let scan_engine = |ds: &ssb_data::generate::SsbDataset| {
+        Engine::with_config(
+            Arc::clone(&ds.catalog),
+            EngineConfig {
+                use_views: false,
+                morsel_rows: MORSEL_ROWS,
+                max_threads: 1,
+                parallel_threshold: 1,
+                ..EngineConfig::default()
+            },
+        )
+    };
+    let encoded_engine = scan_engine(&dataset);
+    let plain_engine = scan_engine(&plain_dataset);
+    let encoded_bytes = dataset.catalog.table("lineorder").expect("fact table").byte_size();
+    let plain_bytes = plain_dataset.catalog.table("lineorder").expect("fact table").byte_size();
+    let mut throughput_rows: Vec<ThroughputRow> = Vec::new();
+    let mut per_query_speedup: Vec<(String, f64)> = Vec::new();
+    // The time-sliced shape is where the clustered layout changes the
+    // physics: the year mask over the run-length `dkey` column lets the
+    // encoded scan prove and skip non-matching morsels without decoding
+    // them, while the plain layout has to touch every row.
+    for (qname, q) in [
+        ("np-filtered", &np_query),
+        ("year-rollup", &year_query),
+        ("nation-rollup", &nation_query),
+        ("time-sliced", &sliced_query),
+    ] {
+        encoded_engine.get(q).expect("warm-up scan");
+        plain_engine.get(q).expect("warm-up scan");
+        let mut samples = [Vec::new(), Vec::new()];
+        let mut rows_scanned = 0usize;
+        for _ in 0..reps.max(7) {
+            for (i, engine) in [&encoded_engine, &plain_engine].into_iter().enumerate() {
+                let t0 = Instant::now();
+                let out = engine.get(q).expect("measured scan");
+                samples[i].push(t0.elapsed().as_secs_f64());
+                rows_scanned = out.rows_scanned;
+            }
+        }
+        let medians = [median(&mut samples[0]), median(&mut samples[1])];
+        per_query_speedup.push((qname.to_string(), medians[1] / medians[0].max(1e-12)));
+        for (i, (layout, fact_bytes)) in
+            [("encoded", encoded_bytes), ("plain", plain_bytes)].into_iter().enumerate()
+        {
+            let secs = medians[i];
+            eprintln!(
+                "[scan] {qname:<14} {layout:<8} 1t: {} ({:.1}M rows/s)",
+                report::fmt_secs(secs),
+                rows_scanned as f64 / secs / 1e6,
+            );
+            throughput_rows.push(ThroughputRow {
+                query: qname.to_string(),
+                layout: layout.to_string(),
+                threads: 1,
+                rows: rows_scanned,
+                secs,
+                rows_per_sec: rows_scanned as f64 / secs,
+                fact_bytes,
+            });
+        }
+    }
+    let mut throughput_table = vec![vec![
+        "query".to_string(),
+        "layout".to_string(),
+        "secs".to_string(),
+        "rows/s".to_string(),
+        "fact bytes".to_string(),
+    ]];
+    for r in &throughput_rows {
+        throughput_table.push(vec![
+            r.query.clone(),
+            r.layout.clone(),
+            report::fmt_secs(r.secs),
+            format!("{:.2}M", r.rows_per_sec / 1e6),
+            r.fact_bytes.to_string(),
+        ]);
+    }
+    println!("single-thread scan throughput, encoded vs plain (median of {})\n", reps.max(7));
+    println!("{}", report::render_table(&throughput_table));
+    let speedup_geomean = (per_query_speedup.iter().map(|(_, r)| r.ln()).sum::<f64>()
+        / per_query_speedup.len().max(1) as f64)
+        .exp();
+    let scan_summary = ScanSummary {
+        speedup_geomean,
+        per_query_speedup,
+        bytes_ratio: encoded_bytes as f64 / plain_bytes as f64,
+    };
+    println!(
+        "encoded layout over the scan suite: {:.2}x rows/s (geomean), {:.2}x bytes of the plain fact table\n",
+        scan_summary.speedup_geomean, scan_summary.bytes_ratio,
+    );
+
     // ------------------------------------------------------- obs overhead
     // Tracing on vs off over the same workload: `run_traced` allocates the
     // per-query span tree, so this measures the whole opt-in path. The
     // measurements interleave plain/traced reps so clock drift and cache
-    // temperature cancel instead of biasing one side.
-    let overhead_reps = reps.max(10);
+    // temperature cancel instead of biasing one side, and each side reports
+    // its **median** rep — a best-of pair can land on opposite tails of the
+    // jitter distribution and report phantom overhead (or phantom speedup),
+    // which is exactly how this gate used to flake past 5%.
+    let overhead_reps = reps.max(11);
     let threads = THREADS[THREADS.len() - 1];
     let mut overhead_rows: Vec<OverheadRow> = Vec::new();
     for intention in workloads::intentions() {
         let runner = runner_at(threads);
         runner.run(&intention.statement, Strategy::Naive).expect("warm-up run");
-        let (mut plain, mut traced) = (f64::INFINITY, f64::INFINITY);
+        runner.run_traced(&intention.statement, Strategy::Naive).expect("warm-up traced run");
+        let mut plain_samples = Vec::with_capacity(overhead_reps);
+        let mut traced_samples = Vec::with_capacity(overhead_reps);
         for _ in 0..overhead_reps {
             let t0 = Instant::now();
             runner.run(&intention.statement, Strategy::Naive).expect("plain run");
-            plain = plain.min(t0.elapsed().as_secs_f64());
+            plain_samples.push(t0.elapsed().as_secs_f64());
             let t0 = Instant::now();
             runner.run_traced(&intention.statement, Strategy::Naive).expect("traced run");
-            traced = traced.min(t0.elapsed().as_secs_f64());
+            traced_samples.push(t0.elapsed().as_secs_f64());
         }
+        let plain = median(&mut plain_samples);
+        let traced = median(&mut traced_samples);
         let overhead_pct = (traced / plain - 1.0) * 100.0;
         eprintln!(
             "[overhead] {:<8} plain {} traced {} ({overhead_pct:+.2}%)",
@@ -210,13 +393,18 @@ fn main() {
             format!("{:+.2}%", r.overhead_pct),
         ]);
     }
-    println!("tracing overhead (NP, {threads} threads, best of {overhead_reps})\n");
+    println!("tracing overhead (NP, {threads} threads, median of {overhead_reps})\n");
     println!("{}", report::render_table(&overhead_table));
     let mean_overhead = overhead_rows.iter().map(|r| r.overhead_pct).sum::<f64>()
         / overhead_rows.len().max(1) as f64;
     println!("mean tracing overhead: {mean_overhead:+.2}%");
 
-    let report_data = EngineBench { scaling: rows, obs_overhead: overhead_rows };
+    let report_data = EngineBench {
+        scaling: rows,
+        scan_throughput: throughput_rows,
+        scan_summary,
+        obs_overhead: overhead_rows,
+    };
     let path = report::write_json("BENCH_engine", &report_data).expect("write report");
     println!("report: {}", path.display());
     let rows = report_data.scaling;

@@ -4,11 +4,9 @@
 use std::collections::HashMap;
 use std::hash::Hash;
 
-use olap_model::{AggOp, MemberId};
-use olap_storage::NumericSlice;
+use olap_model::AggOp;
 
 use crate::key::KeyLayout;
-use crate::predicate::IdColumn;
 
 /// A per-measure aggregation accumulator over dense group slots.
 #[derive(Debug, Clone)]
@@ -207,31 +205,37 @@ impl<K: Eq + Hash + Clone> GroupTable<K> {
 /// The aggregation kernel of the morsel pipeline: folds the rows of one
 /// chunk into `out`, packing each row's group key with `layout`.
 ///
-/// * `len` — rows in the chunk; every column slice must have that length;
+/// All inputs are flat buffers the chunk layer prepared (see
+/// `DataChunk::key_lane` / `f64_lane`): the kernel reads `u32` member
+/// codes and `f64` measure values with no per-row type or encoding
+/// dispatch, so the key-packing and value loads auto-vectorize and only
+/// the hash-table update remains irreducibly branchy.
+///
+/// * `len` — rows in the chunk; every lane must have that length;
 /// * `selection` — chunk-local ids of the rows to fold (the predicate
 ///   kernel's output), or `None` to fold every row;
-/// * `keys` — per group-by component: the id column and the roll-up map
-///   from the carried level to the queried level;
-/// * `measures` — one numeric slice per measure, in accumulator order.
+/// * `keys` — per group-by component: the code lane and the roll-up map
+///   from the carried level to the queried level (as raw `u32` codes);
+/// * `measures` — one value lane per measure, in accumulator order.
 pub fn accumulate_chunk(
     out: &mut GroupTable<u64>,
     layout: &KeyLayout,
     len: usize,
     selection: Option<&[u32]>,
-    keys: &[(IdColumn<'_>, &[MemberId])],
-    measures: &[NumericSlice<'_>],
+    keys: &[(&[u32], &[u32])],
+    measures: &[&[f64]],
 ) {
     let mut values = vec![0.0f64; measures.len()];
     let mut fold = |row: usize| {
         let mut key = 0u64;
-        for (comp, (col, rollmap)) in keys.iter().enumerate() {
-            layout.pack_component(&mut key, comp, rollmap[col.id(row)]);
+        for (comp, (lane, rollmap)) in keys.iter().enumerate() {
+            layout.pack_code(&mut key, comp, rollmap[lane[row] as usize]);
         }
         if measures.len() == 1 {
-            out.update1(key, measures[0].get(row));
+            out.update1(key, measures[0][row]);
         } else {
             for (v, m) in values.iter_mut().zip(measures) {
-                *v = m.get(row);
+                *v = m[row];
             }
             out.update(key, &values);
         }
@@ -329,23 +333,22 @@ mod tests {
     fn chunk_kernel_matches_row_at_a_time_updates() {
         // Two hierarchies of 3 and 2 members, rolled to themselves.
         let layout = KeyLayout::for_cardinalities(&[3, 2]);
-        let fk_a: Vec<i64> = vec![0, 1, 2, 0, 1, 2];
-        let fk_b: Vec<i64> = vec![0, 0, 1, 1, 0, 1];
-        let roll_a: Vec<MemberId> = (0..3).map(MemberId).collect();
-        let roll_b: Vec<MemberId> = (0..2).map(MemberId).collect();
-        let m1: Vec<i64> = vec![1, 2, 3, 4, 5, 6];
+        let fk_a: Vec<u32> = vec![0, 1, 2, 0, 1, 2];
+        let fk_b: Vec<u32> = vec![0, 0, 1, 1, 0, 1];
+        let roll_a: Vec<u32> = (0..3).collect();
+        let roll_b: Vec<u32> = (0..2).collect();
+        let m1: Vec<f64> = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
         let m2: Vec<f64> = vec![0.5; 6];
-        let keys =
-            [(IdColumn::Fks(&fk_a), roll_a.as_slice()), (IdColumn::Fks(&fk_b), roll_b.as_slice())];
-        let measures = [NumericSlice::I64(&m1), NumericSlice::F64(&m2)];
+        let keys = [(&fk_a[..], &roll_a[..]), (&fk_b[..], &roll_b[..])];
+        let measures = [&m1[..], &m2[..]];
         let ops = [AggOp::Sum, AggOp::Count];
 
         let mut expected: GroupTable<u64> = GroupTable::new(&ops);
         for row in [1usize, 3, 4] {
             let mut key = 0u64;
-            layout.pack_component(&mut key, 0, roll_a[fk_a[row] as usize]);
-            layout.pack_component(&mut key, 1, roll_b[fk_b[row] as usize]);
-            expected.update(key, &[m1[row] as f64, m2[row]]);
+            layout.pack_code(&mut key, 0, roll_a[fk_a[row] as usize]);
+            layout.pack_code(&mut key, 1, roll_b[fk_b[row] as usize]);
+            expected.update(key, &[m1[row], m2[row]]);
         }
         let mut out: GroupTable<u64> = GroupTable::new(&ops);
         accumulate_chunk(&mut out, &layout, 6, Some(&[1, 3, 4]), &keys, &measures);

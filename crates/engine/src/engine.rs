@@ -7,7 +7,7 @@ use olap_model::{
     AggOp, Coordinate, CubeColumn, CubeQuery, CubeSchema, DerivedCube, GroupBySet, MemberId,
     NumericColumn,
 };
-use olap_storage::{Catalog, MaterializedAggregate, NumericSlice, Table};
+use olap_storage::{Catalog, KeyAccess, MaterializedAggregate, NumericSlice, Table};
 
 use crate::aggregate::{accumulate_chunk, GroupTable};
 use crate::error::EngineError;
@@ -15,8 +15,8 @@ use crate::fault::{FaultInjector, FaultSite};
 use crate::governor::{ResourceGovernor, CHECK_INTERVAL};
 use crate::key::KeyLayout;
 use crate::metrics::{self, EngineMetrics, ScanPath};
-use crate::pool::{run_morsels, MorselScan, ScanRun, WorkerPool};
-use crate::predicate::{select_into, CompiledFilter, IdColumn};
+use crate::pool::{run_morsels, MorselScan, MorselScratch, ScanRun, WorkerPool};
+use crate::predicate::{select_into, CompiledFilter};
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
@@ -123,41 +123,66 @@ enum ScanSource {
 
 /// The shared, immutable context of one morsel-driven scan: the source,
 /// compiled predicate masks, roll-up maps and resolved column indexes.
-/// Column *existence and types* are validated when the context is built;
-/// workers resolve chunk-local slices per morsel and run the select +
-/// accumulate kernels.
+/// Column *existence and types* are validated when the context is built.
+///
+/// Per morsel, workers first decode every distinct id column into a flat
+/// `u32` lane of the scratch (`DataChunk::key_lane` unpacks bit-packed and
+/// RLE key columns; views copy coordinate components) and convert measures
+/// to `f64` lanes, then run the branch-free select + accumulate kernels
+/// over those lanes — the inner loops never branch on the physical
+/// encoding.
 struct ScanCtx {
     source: ScanSource,
-    /// Per predicate: the id column (fact: fk column index; view: coordinate
-    /// component) and the allowed-member mask over its domain.
+    /// Distinct id columns the kernels read (fact: fk column index; view:
+    /// coordinate component), each decoded into one scratch lane per morsel.
+    /// Masks and keys refer to these by slot, so a column shared by a
+    /// predicate and a group-by component decodes once.
+    lane_cols: Vec<usize>,
+    /// Per predicate: the lane slot of its id column and the allowed-member
+    /// mask over its domain.
     masks: Vec<(usize, Arc<[bool]>)>,
-    /// Per group-by component: the id column (as above) and the roll-up map
-    /// from the carried level to the queried level.
-    keys: Vec<(usize, Vec<MemberId>)>,
+    /// Per group-by component: the lane slot and the roll-up map (member
+    /// ids as raw codes) from the carried level to the queried level.
+    keys: Vec<(usize, Vec<u32>)>,
     /// Measure columns (fact: table column index; view: measure index).
     measures: Vec<usize>,
     layout: KeyLayout,
     ops: Vec<AggOp>,
 }
 
+/// The scratch-lane slot for id column `col`, reusing an existing slot when
+/// the column is already scheduled for decode.
+fn lane_slot(lane_cols: &mut Vec<usize>, col: usize) -> usize {
+    lane_cols.iter().position(|&c| c == col).unwrap_or_else(|| {
+        lane_cols.push(col);
+        lane_cols.len() - 1
+    })
+}
+
 impl ScanCtx {
-    /// Runs the kernels over one chunk's resolved inputs.
+    /// Runs the kernels over one morsel's decoded lanes.
     fn run_kernels(
         &self,
         sel: &mut Vec<u32>,
         out: &mut GroupTable<u64>,
         len: usize,
-        masks: &[(IdColumn<'_>, &[bool])],
-        keys: &[(IdColumn<'_>, &[MemberId])],
-        measures: &[NumericSlice<'_>],
+        lanes: &[Vec<u32>],
+        measures: &[&[f64]],
     ) {
-        let selection = if masks.is_empty() {
+        let selection = if self.masks.is_empty() {
             None
         } else {
-            select_into(sel, len, masks);
+            let masks: Vec<(&[u32], &[bool])> =
+                self.masks.iter().map(|(slot, m)| (lanes[*slot].as_slice(), &**m)).collect();
+            select_into(sel, len, &masks);
             Some(sel.as_slice())
         };
-        accumulate_chunk(out, &self.layout, len, selection, keys, measures);
+        let keys: Vec<(&[u32], &[u32])> = self
+            .keys
+            .iter()
+            .map(|(slot, roll)| (lanes[*slot].as_slice(), roll.as_slice()))
+            .collect();
+        accumulate_chunk(out, &self.layout, len, selection, &keys, measures);
     }
 }
 
@@ -177,50 +202,53 @@ impl MorselScan for ScanCtx {
         &self,
         lo: usize,
         hi: usize,
-        sel: &mut Vec<u32>,
+        scratch: &mut MorselScratch,
         out: &mut GroupTable<u64>,
     ) -> Result<(), EngineError> {
         let len = hi - lo;
+        scratch.ensure_slots(self.lane_cols.len(), self.measures.len());
         match &self.source {
             ScanSource::Fact(t) => {
+                // Morsel skipping: a masked run-length column whose
+                // overlapping runs all fail its mask proves no row of the
+                // morsel survives the predicate conjunction, so the decode
+                // and the kernels can be skipped outright. On date-
+                // clustered facts this prunes most of the table for
+                // time-sliced queries; bit-packed columns answer "maybe"
+                // and take the normal path.
+                let cant_match = |(slot, m): &(usize, Arc<[bool]>)| {
+                    matches!(
+                        &t.columns()[self.lane_cols[*slot]].data,
+                        olap_storage::ColumnData::Key(k)
+                            if !k.codes.may_match(lo, hi, |c| {
+                                m.get(c as usize).copied().unwrap_or(false)
+                            })
+                    )
+                };
+                if self.masks.iter().any(cant_match) {
+                    return Ok(());
+                }
                 let chunk = t.chunk(lo, len);
-                let fks = |idx: usize| chunk.i64_at(idx).expect("validated fk column");
-                let masks: Vec<(IdColumn<'_>, &[bool])> =
-                    self.masks.iter().map(|(idx, m)| (IdColumn::Fks(fks(*idx)), &**m)).collect();
-                let keys: Vec<(IdColumn<'_>, &[MemberId])> = self
-                    .keys
-                    .iter()
-                    .map(|(idx, roll)| (IdColumn::Fks(fks(*idx)), roll.as_slice()))
-                    .collect();
-                let measures: Vec<NumericSlice<'_>> = self
-                    .measures
-                    .iter()
-                    .map(|idx| chunk.numeric_at(*idx).expect("validated measure column"))
-                    .collect();
-                self.run_kernels(sel, out, len, &masks, &keys, &measures);
+                for (col, buf) in self.lane_cols.iter().zip(scratch.lanes.iter_mut()) {
+                    chunk.key_lane(*col, buf).expect("validated key column");
+                }
+                let mut measures: Vec<&[f64]> = Vec::with_capacity(self.measures.len());
+                for (idx, buf) in self.measures.iter().zip(scratch.vals.iter_mut()) {
+                    measures.push(chunk.f64_lane(*idx, buf).expect("validated measure column"));
+                }
+                self.run_kernels(&mut scratch.sel, out, len, &scratch.lanes, &measures);
             }
             ScanSource::View(v) => {
-                let coords = |comp: usize| &v.coord_cols()[comp][lo..hi];
-                let masks: Vec<(IdColumn<'_>, &[bool])> = self
-                    .masks
-                    .iter()
-                    .map(|(comp, m)| (IdColumn::Coords(coords(*comp)), &**m))
-                    .collect();
-                let keys: Vec<(IdColumn<'_>, &[MemberId])> = self
-                    .keys
-                    .iter()
-                    .map(|(comp, roll)| (IdColumn::Coords(coords(*comp)), roll.as_slice()))
-                    .collect();
-                let measures: Vec<NumericSlice<'_>> = self
+                for (comp, buf) in self.lane_cols.iter().zip(scratch.lanes.iter_mut()) {
+                    buf.clear();
+                    buf.extend(v.coord_cols()[*comp][lo..hi].iter().map(|m| m.0));
+                }
+                let measures: Vec<&[f64]> = self
                     .measures
                     .iter()
-                    .map(|idx| {
-                        NumericSlice::F64(
-                            &v.measure_at(*idx).expect("validated view measure")[lo..hi],
-                        )
-                    })
+                    .map(|idx| &v.measure_at(*idx).expect("validated view measure")[lo..hi])
                     .collect();
-                self.run_kernels(sel, out, len, &masks, &keys, &measures);
+                self.run_kernels(&mut scratch.sel, out, len, &scratch.lanes, &measures);
             }
         }
         Ok(())
@@ -869,21 +897,23 @@ impl Engine {
         let filter = CompiledFilter::compile(schema, &q.predicates, view.group_by().slots())?;
         // Per included hierarchy of the query: the view coordinate component
         // and the roll-up map from the view's level to the query's level.
-        let mut keys: Vec<(usize, Vec<MemberId>)> = Vec::new();
+        let mut lane_cols: Vec<usize> = Vec::new();
+        let mut keys: Vec<(usize, Vec<u32>)> = Vec::new();
         for (hi, li) in q.group_by.included_hierarchies() {
             let view_level = view.group_by().slots()[hi].ok_or_else(|| {
                 EngineError::Unsupported("view does not carry a required hierarchy".into())
             })?;
             let comp = view.group_by().component_of(hi).expect("component exists");
             let h = schema.hierarchy(hi).expect("hierarchy in range");
-            keys.push((comp, h.composed_map(view_level, li)?));
+            let roll: Vec<u32> = h.composed_map(view_level, li)?.iter().map(|m| m.0).collect();
+            keys.push((lane_slot(&mut lane_cols, comp), roll));
         }
         let mut masks: Vec<(usize, Arc<[bool]>)> = Vec::new();
         for m in filter.masks() {
             let comp = view.group_by().component_of(m.hierarchy).ok_or_else(|| {
                 EngineError::Unsupported("view does not carry a predicated hierarchy".into())
             })?;
-            masks.push((comp, m.mask.clone()));
+            masks.push((lane_slot(&mut lane_cols, comp), m.mask.clone()));
         }
         let measures: Vec<usize> =
             q.measures
@@ -899,6 +929,7 @@ impl Engine {
         self.gov_charge_rows(n)?;
         let run = self.run_scan(ScanCtx {
             source: ScanSource::View(view.clone()),
+            lane_cols,
             masks,
             keys,
             measures,
@@ -939,21 +970,20 @@ impl Engine {
 
         // Resolve and type-check every column up front (borrowing, never
         // copying measure columns per query), so workers can index into
-        // chunks infallibly.
+        // chunks infallibly. Foreign keys may be plain `i64` or encoded
+        // key columns — both decode into the same flat lanes.
+        let mut lane_cols: Vec<usize> = Vec::new();
         let mut masks: Vec<(usize, Arc<[bool]>)> = Vec::new();
         for m in filter.masks() {
-            let name = binding.fk_column(m.hierarchy);
-            fact.require_i64(name)?;
-            let idx = fact.column_index(name).expect("require_i64 checked existence");
-            masks.push((idx, m.mask.clone()));
+            let idx = fact.require_key_like(binding.fk_column(m.hierarchy))?;
+            masks.push((lane_slot(&mut lane_cols, idx), m.mask.clone()));
         }
-        let mut keys: Vec<(usize, Vec<MemberId>)> = Vec::new();
+        let mut keys: Vec<(usize, Vec<u32>)> = Vec::new();
         for (hi, li) in q.group_by.included_hierarchies() {
-            let name = binding.fk_column(hi);
-            fact.require_i64(name)?;
-            let idx = fact.column_index(name).expect("require_i64 checked existence");
+            let idx = fact.require_key_like(binding.fk_column(hi))?;
             let h = schema.hierarchy(hi).expect("hierarchy in range");
-            keys.push((idx, h.composed_map(0, li)?));
+            let roll: Vec<u32> = h.composed_map(0, li)?.iter().map(|m| m.0).collect();
+            keys.push((lane_slot(&mut lane_cols, idx), roll));
         }
         let mut measures: Vec<usize> = Vec::new();
         for m in &q.measures {
@@ -970,19 +1000,17 @@ impl Engine {
         // level (e.g. `store = 'SmartMart'`) fetches the matching rows from
         // the foreign-key hash index — the paper's B-tree-indexed keys —
         // instead of scanning the whole fact table. The row set is sparse,
-        // so this path stays serial and row-at-a-time.
+        // so this path stays serial and row-at-a-time, reading encoded key
+        // columns through point accessors instead of decoding whole lanes.
         if self.config.use_indexes {
             if let Some(rows) = self.index_row_set(q, &fact, binding)? {
                 self.gov_charge_rows(rows.len())?;
                 let cols = fact.columns();
-                let mask_inputs: Vec<(&[i64], &[bool])> = masks
-                    .iter()
-                    .map(|(idx, m)| (cols[*idx].as_i64().expect("validated"), &**m))
-                    .collect();
-                let key_inputs: Vec<(&[i64], &[MemberId])> = keys
-                    .iter()
-                    .map(|(idx, roll)| (cols[*idx].as_i64().expect("validated"), roll.as_slice()))
-                    .collect();
+                let access = |slot: usize| cols[lane_cols[slot]].key_access().expect("validated");
+                let mask_inputs: Vec<(KeyAccess<'_>, &[bool])> =
+                    masks.iter().map(|(slot, m)| (access(*slot), &**m)).collect();
+                let key_inputs: Vec<(KeyAccess<'_>, &[u32])> =
+                    keys.iter().map(|(slot, roll)| (access(*slot), roll.as_slice())).collect();
                 let measure_slices: Vec<NumericSlice<'_>> = measures
                     .iter()
                     .map(|idx| NumericSlice::from_column(&cols[*idx]).expect("validated"))
@@ -996,13 +1024,13 @@ impl Engine {
                     }
                     let row = row as usize;
                     for (fks, mask) in &mask_inputs {
-                        if !mask[fks[row] as usize] {
+                        if !mask[fks.get(row) as usize] {
                             continue 'rows;
                         }
                     }
                     let mut key = 0u64;
                     for (comp, (fks, rollmap)) in key_inputs.iter().enumerate() {
-                        layout.pack_component(&mut key, comp, rollmap[fks[row] as usize]);
+                        layout.pack_code(&mut key, comp, rollmap[fks.get(row) as usize]);
                     }
                     if values.len() == 1 {
                         table.update1(key, measure_slices[0].get(row));
@@ -1033,6 +1061,7 @@ impl Engine {
         self.gov_charge_rows(n)?;
         let run = self.run_scan(ScanCtx {
             source: ScanSource::Fact(fact.clone()),
+            lane_cols,
             masks,
             keys,
             measures,

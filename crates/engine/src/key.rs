@@ -67,6 +67,14 @@ impl KeyLayout {
         *key |= (member.0 as u64) << self.shifts[component];
     }
 
+    /// Packs a raw `u32` member code — the flat-lane scan kernels carry
+    /// member ids as plain codes; identical to [`KeyLayout::pack_component`]
+    /// without the newtype.
+    #[inline]
+    pub fn pack_code(&self, key: &mut u64, component: usize, code: u32) {
+        *key |= (code as u64) << self.shifts[component];
+    }
+
     /// Unpacks a key back into member ids.
     pub fn unpack(&self, key: u64) -> Vec<MemberId> {
         self.bits

@@ -47,14 +47,14 @@ use std::sync::Arc;
 
 use olap_model::{AggOp, Coordinate, MemberId};
 use olap_storage::{
-    Column, CubeBinding, Delta, MaterializedAggregate, NumericSlice, StorageError, Table,
+    Column, CubeBinding, Delta, KeyAccess, MaterializedAggregate, NumericSlice, StorageError, Table,
 };
 
 use crate::aggregate::{accumulate_chunk, GroupTable};
 use crate::engine::Engine;
 use crate::error::EngineError;
 use crate::key::KeyLayout;
-use crate::pool::{run_morsels, MorselScan, WorkerPool};
+use crate::pool::{run_morsels, MorselScan, MorselScratch, WorkerPool};
 
 /// Attempts before a repeatedly lost commit race is surfaced to the caller.
 const MAX_COMMIT_ATTEMPTS: usize = 4;
@@ -130,11 +130,11 @@ fn validate_batch(binding: &CubeBinding, batch: &[Column]) -> Result<(), EngineE
         let Some(col) = batch.iter().find(|c| c.name == fk) else {
             continue; // a missing column fails structurally in append_batch
         };
-        let Some(keys) = col.as_i64() else {
+        let Some(keys) = col.i64_iter() else {
             continue; // a mistyped column fails structurally in append_batch
         };
         let domain = h.level(0).map(|l| l.cardinality() as i64).unwrap_or(0);
-        if let Some(&bad) = keys.iter().find(|&&k| k < 0 || k >= domain) {
+        if let Some(bad) = keys.into_iter().find(|&k| k < 0 || k >= domain) {
             return Err(EngineError::Storage(StorageError::InvalidBinding(format!(
                 "appended foreign key `{fk}` holds value {bad} outside the domain of level `{}` (0..{domain})",
                 h.level(0).map(|l| l.name()).unwrap_or("?"),
@@ -227,7 +227,9 @@ fn resolve(binding: &CubeBinding, view: &MaterializedAggregate, table: &Table) -
     let mut cardinalities = Vec::new();
     for (hi, li) in view.group_by().included_hierarchies() {
         let idx = table.column_index(binding.fk_column(hi))?;
-        table.columns()[idx].as_i64()?;
+        if !table.columns()[idx].is_key_like() {
+            return None;
+        }
         let h = schema.hierarchy(hi)?;
         keys.push((idx, h.composed_map(0, li).ok()?));
         cardinalities.push(h.level(li)?.cardinality());
@@ -258,7 +260,7 @@ fn maintain_one(
             table: table.clone(),
             start: delta.start_row(),
             rows: delta.rows(),
-            keys: r.keys,
+            keys: code_rolls(&r.keys),
             measures: r.measures,
             layout: r.layout.clone(),
             ops: r.ops.clone(),
@@ -270,7 +272,7 @@ fn maintain_one(
             table: table.clone(),
             start: 0,
             rows: table.n_rows(),
-            keys: r.keys,
+            keys: code_rolls(&r.keys),
             measures: r.measures,
             layout: r.layout.clone(),
             ops: r.ops.clone(),
@@ -347,11 +349,11 @@ fn rebuild_wide(
     table: &Table,
     r: &Resolved,
 ) -> Result<MaterializedAggregate, EngineError> {
-    let key_cols: Vec<(&[i64], &[MemberId])> = r
+    let key_cols: Vec<(KeyAccess<'_>, &[MemberId])> = r
         .keys
         .iter()
         .map(|(idx, roll)| {
-            (table.columns()[*idx].as_i64().expect("resolved fk column"), roll.as_slice())
+            (table.columns()[*idx].key_access().expect("resolved fk column"), roll.as_slice())
         })
         .collect();
     let measure_slices: Vec<NumericSlice<'_>> = r
@@ -364,7 +366,7 @@ fn rebuild_wide(
     let mut values = vec![0.0f64; measure_slices.len()];
     for row in 0..table.n_rows() {
         for (slot, (fks, roll)) in key_buf.iter_mut().zip(&key_cols) {
-            *slot = roll[fks[row] as usize];
+            *slot = roll[fks.get(row) as usize];
         }
         for (v, m) in values.iter_mut().zip(&measure_slices) {
             *v = m.get(row);
@@ -426,14 +428,23 @@ fn sorted_view(
 /// A morsel scan over a row range of a fact table, grouping by resolved
 /// fk columns through roll-up maps — the maintenance analogue of the
 /// engine's query scan context (no predicate masks: appends are total).
+/// Per morsel, fk columns decode into flat `u32` lanes of the scratch and
+/// measures convert to `f64` lanes, exactly like query scans.
 struct RangeScan {
     table: Arc<Table>,
     start: usize,
     rows: usize,
-    keys: Vec<(usize, Vec<MemberId>)>,
+    /// Per group-by component: fk column index and the roll-up map as raw
+    /// member codes.
+    keys: Vec<(usize, Vec<u32>)>,
     measures: Vec<usize>,
     layout: KeyLayout,
     ops: Vec<AggOp>,
+}
+
+/// Roll-up maps re-expressed as raw member codes for the lane kernels.
+fn code_rolls(keys: &[(usize, Vec<MemberId>)]) -> Vec<(usize, Vec<u32>)> {
+    keys.iter().map(|(idx, roll)| (*idx, roll.iter().map(|m| m.0).collect())).collect()
 }
 
 impl MorselScan for RangeScan {
@@ -449,28 +460,21 @@ impl MorselScan for RangeScan {
         &self,
         lo: usize,
         hi: usize,
-        _sel: &mut Vec<u32>,
+        scratch: &mut MorselScratch,
         out: &mut GroupTable<u64>,
     ) -> Result<(), EngineError> {
         let len = hi - lo;
         let chunk = self.table.chunk(self.start + lo, len);
-        let keys: Vec<(crate::predicate::IdColumn<'_>, &[MemberId])> = self
-            .keys
-            .iter()
-            .map(|(idx, roll)| {
-                (
-                    crate::predicate::IdColumn::Fks(
-                        chunk.i64_at(*idx).expect("resolved fk column"),
-                    ),
-                    roll.as_slice(),
-                )
-            })
-            .collect();
-        let measures: Vec<NumericSlice<'_>> = self
-            .measures
-            .iter()
-            .map(|idx| chunk.numeric_at(*idx).expect("resolved measure column"))
-            .collect();
+        scratch.ensure_slots(self.keys.len(), self.measures.len());
+        let mut keys: Vec<(&[u32], &[u32])> = Vec::with_capacity(self.keys.len());
+        for ((idx, roll), buf) in self.keys.iter().zip(scratch.lanes.iter_mut()) {
+            let lane = chunk.key_lane(*idx, buf).expect("resolved fk column");
+            keys.push((lane, roll.as_slice()));
+        }
+        let mut measures: Vec<&[f64]> = Vec::with_capacity(self.measures.len());
+        for (idx, buf) in self.measures.iter().zip(scratch.vals.iter_mut()) {
+            measures.push(chunk.f64_lane(*idx, buf).expect("resolved measure column"));
+        }
         accumulate_chunk(out, &self.layout, len, None, &keys, &measures);
         Ok(())
     }

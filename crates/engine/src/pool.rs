@@ -249,6 +249,36 @@ fn worker_loop(shared: &PoolShared) {
     }
 }
 
+/// Reusable per-worker scan scratch: the selection vector plus the decode
+/// buffers the chunk layer fills with flat `u32` key lanes and `f64`
+/// measure lanes (`DataChunk::key_lane` / `f64_lane`). Each driving thread
+/// owns one scratch; its buffers grow to the morsel size once and are
+/// reused for every morsel that thread claims, so steady-state scanning
+/// allocates nothing.
+#[derive(Debug, Default)]
+pub struct MorselScratch {
+    /// Selection-vector buffer for the predicate kernel.
+    pub sel: Vec<u32>,
+    /// Decoded key-code lanes, one slot per distinct id column of the scan.
+    pub lanes: Vec<Vec<u32>>,
+    /// Measure lanes for columns that need conversion (plain `f64` columns
+    /// are borrowed directly and leave their slot untouched).
+    pub vals: Vec<Vec<f64>>,
+}
+
+impl MorselScratch {
+    /// Makes at least `lanes` key-lane slots and `vals` measure slots
+    /// available (existing buffers keep their capacity).
+    pub fn ensure_slots(&mut self, lanes: usize, vals: usize) {
+        if self.lanes.len() < lanes {
+            self.lanes.resize_with(lanes, Vec::new);
+        }
+        if self.vals.len() < vals {
+            self.vals.resize_with(vals, Vec::new);
+        }
+    }
+}
+
 /// A scan the morsel driver can distribute: a read-only context shared by
 /// all workers of one scan.
 pub trait MorselScan: Send + Sync + 'static {
@@ -256,13 +286,13 @@ pub trait MorselScan: Send + Sync + 'static {
     fn n_rows(&self) -> usize;
     /// An empty partial group table for one morsel.
     fn new_table(&self) -> GroupTable<u64>;
-    /// Scans rows `lo..hi` into `out`. `sel` is a reusable scratch buffer
-    /// for the selection vector.
+    /// Scans rows `lo..hi` into `out`. `scratch` holds the reusable
+    /// selection-vector and lane-decode buffers.
     fn process(
         &self,
         lo: usize,
         hi: usize,
-        sel: &mut Vec<u32>,
+        scratch: &mut MorselScratch,
         out: &mut GroupTable<u64>,
     ) -> Result<(), EngineError>;
 }
@@ -339,7 +369,7 @@ fn drive<S: MorselScan>(
     morsel_rows: usize,
     n_rows: usize,
 ) {
-    let mut sel: Vec<u32> = Vec::new();
+    let mut scratch = MorselScratch::default();
     loop {
         if state.stop.load(Ordering::Acquire) {
             return;
@@ -367,7 +397,7 @@ fn drive<S: MorselScan>(
         let lo = morsel * morsel_rows;
         let hi = (lo + morsel_rows).min(n_rows);
         let mut out = ctx.new_table();
-        match ctx.process(lo, hi, &mut sel, &mut out) {
+        match ctx.process(lo, hi, &mut scratch, &mut out) {
             Ok(()) => {
                 lock(&state.partials).insert(morsel, out);
             }
@@ -485,7 +515,7 @@ mod tests {
             &self,
             lo: usize,
             hi: usize,
-            _sel: &mut Vec<u32>,
+            _scratch: &mut MorselScratch,
             out: &mut GroupTable<u64>,
         ) -> Result<(), EngineError> {
             for row in lo..hi {

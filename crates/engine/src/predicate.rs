@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use olap_model::{CubeSchema, MemberId, Predicate};
+use olap_model::{CubeSchema, Predicate};
 
 use crate::error::EngineError;
 
@@ -113,53 +113,41 @@ impl CompiledFilter {
     }
 }
 
-/// A column of mask-domain ids: fact rows carry finest-level foreign keys,
-/// view rows carry coordinates at the view's own level. One selection and
-/// one aggregation kernel serve both by abstracting the id read.
-#[derive(Debug, Clone, Copy)]
-pub enum IdColumn<'a> {
-    /// Foreign keys of a fact-table chunk (member ids stored as `i64`).
-    Fks(&'a [i64]),
-    /// Coordinates of a materialized-view chunk.
-    Coords(&'a [MemberId]),
-}
-
-impl IdColumn<'_> {
-    /// The domain id at chunk-local `row`.
-    #[inline]
-    pub fn id(&self, row: usize) -> usize {
-        match self {
-            IdColumn::Fks(v) => v[row] as usize,
-            IdColumn::Coords(v) => v[row].index(),
-        }
-    }
-
-    /// Rows in the chunk.
-    pub fn len(&self) -> usize {
-        match self {
-            IdColumn::Fks(v) => v.len(),
-            IdColumn::Coords(v) => v.len(),
-        }
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-}
-
 /// The predicate kernel: evaluates the conjunction of `masks` over the
 /// `len` rows of a chunk, filling `sel` with the chunk-local ids of the
-/// rows that pass. `sel` is cleared first so callers can reuse one buffer
-/// across morsels.
-pub fn select_into(sel: &mut Vec<u32>, len: usize, masks: &[(IdColumn<'_>, &[bool])]) {
+/// rows that pass.
+///
+/// Each mask is paired with the flat `u32` lane of member codes the chunk
+/// layer decoded for its hierarchy (see `DataChunk::key_lane`) — the loop
+/// body is the same whether the storage was plain or encoded. The kernel is
+/// branch-free: the first mask *generates* the selection vector with the
+/// unconditional-store idiom (`sel[k] = row; k += pass`), each further mask
+/// *refines* it in place. No data-dependent branch means the loops
+/// auto-vectorize and never stall the predictor on selectivity.
+///
+/// `sel` is reset first so callers can reuse one buffer across morsels.
+pub fn select_into(sel: &mut Vec<u32>, len: usize, masks: &[(&[u32], &[bool])]) {
     sel.clear();
-    'rows: for row in 0..len {
-        for (col, mask) in masks {
-            if !mask[col.id(row)] {
-                continue 'rows;
-            }
+    let Some(((first_ids, first_mask), rest)) = masks.split_first() else {
+        sel.extend(0..len as u32);
+        return;
+    };
+    sel.resize(len, 0);
+    let ids = &first_ids[..len];
+    let mut k = 0usize;
+    for (row, &id) in ids.iter().enumerate() {
+        sel[k] = row as u32;
+        k += first_mask[id as usize] as usize;
+    }
+    sel.truncate(k);
+    for &(ids, mask) in rest {
+        let mut k = 0usize;
+        for i in 0..sel.len() {
+            let row = sel[i];
+            sel[k] = row;
+            k += mask[ids[row as usize] as usize] as usize;
         }
-        sel.push(row as u32);
+        sel.truncate(k);
     }
 }
 
@@ -239,27 +227,45 @@ mod tests {
 
     #[test]
     fn select_kernel_matches_per_row_evaluation() {
-        use olap_model::MemberId;
-        let fks: Vec<i64> = vec![0, 1, 2, 0, 2, 1];
-        let coords: Vec<MemberId> = fks.iter().map(|&k| MemberId(k as u32)).collect();
+        let ids: Vec<u32> = vec![0, 1, 2, 0, 2, 1];
         let product_mask = [true, false, true]; // members 0 and 2 pass
         let mut sel = Vec::new();
-        select_into(&mut sel, fks.len(), &[(IdColumn::Fks(&fks), &product_mask)]);
+        select_into(&mut sel, ids.len(), &[(&ids, &product_mask)]);
         assert_eq!(sel, vec![0, 2, 3, 4]);
-        // The view-side id column selects identically.
-        let mut sel_view = Vec::new();
-        select_into(&mut sel_view, coords.len(), &[(IdColumn::Coords(&coords), &product_mask)]);
-        assert_eq!(sel_view, sel);
-        // Conjunction of two masks.
+        // Conjunction of two masks: the second refines in place.
         let second = [false, true, true];
-        select_into(
-            &mut sel,
-            fks.len(),
-            &[(IdColumn::Fks(&fks), &product_mask), (IdColumn::Fks(&fks), &second)],
-        );
+        select_into(&mut sel, ids.len(), &[(&ids, &product_mask), (&ids, &second)]);
         assert_eq!(sel, vec![2, 4]);
         // No masks → everything passes; buffer reuse clears stale content.
         select_into(&mut sel, 3, &[]);
         assert_eq!(sel, vec![0, 1, 2]);
+        // All-false and all-true masks hit the truncate extremes.
+        select_into(&mut sel, ids.len(), &[(&ids, &[false, false, false])]);
+        assert!(sel.is_empty());
+        select_into(&mut sel, ids.len(), &[(&ids, &[true, true, true])]);
+        assert_eq!(sel, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn select_kernel_agrees_with_a_branchy_reference() {
+        // Pseudo-random lanes and masks: the branch-free kernel must match
+        // the obvious nested-loop evaluation exactly.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let lane_a: Vec<u32> = (0..257).map(|_| (next() % 11) as u32).collect();
+        let lane_b: Vec<u32> = (0..257).map(|_| (next() % 5) as u32).collect();
+        let mask_a: Vec<bool> = (0..11).map(|_| next() % 3 != 0).collect();
+        let mask_b: Vec<bool> = (0..5).map(|_| next() % 2 == 0).collect();
+        let expected: Vec<u32> = (0..257u32)
+            .filter(|&r| mask_a[lane_a[r as usize] as usize] && mask_b[lane_b[r as usize] as usize])
+            .collect();
+        let mut sel = vec![99u32; 4]; // stale content must not leak
+        select_into(&mut sel, 257, &[(&lane_a, &mask_a), (&lane_b, &mask_b)]);
+        assert_eq!(sel, expected);
     }
 }

@@ -25,7 +25,7 @@ use olap_storage::NumericSlice;
 use crate::aggregate::GroupTable;
 use crate::engine::GetOutcome;
 use crate::error::EngineError;
-use crate::predicate::{select_into, CompiledFilter, IdColumn};
+use crate::predicate::{select_into, CompiledFilter};
 
 /// Executes a get with wide (boxed) keys, straight to a materialized cube.
 pub(crate) fn get_wide(
@@ -45,20 +45,25 @@ pub(crate) fn get_wide(
     let carrier: Vec<Option<usize>> = vec![Some(0); schema.hierarchies().len()];
     let filter = CompiledFilter::compile(&schema, &q.predicates, &carrier)?;
 
+    // Distinct id columns decode once per chunk into flat `u32` lanes;
+    // masks and keys refer to them by lane slot (see `ScanCtx`).
+    let mut lane_cols: Vec<usize> = Vec::new();
+    let lane_slot = |lane_cols: &mut Vec<usize>, col: usize| {
+        lane_cols.iter().position(|&c| c == col).unwrap_or_else(|| {
+            lane_cols.push(col);
+            lane_cols.len() - 1
+        })
+    };
     let mut mask_cols: Vec<(usize, &[bool])> = Vec::new();
     for m in filter.masks() {
-        let name = binding.fk_column(m.hierarchy);
-        fact.require_i64(name)?;
-        let idx = fact.column_index(name).expect("require_i64 checked existence");
-        mask_cols.push((idx, &m.mask));
+        let idx = fact.require_key_like(binding.fk_column(m.hierarchy))?;
+        mask_cols.push((lane_slot(&mut lane_cols, idx), &m.mask));
     }
     let mut key_cols: Vec<(usize, Vec<MemberId>)> = Vec::new();
     for (hi, li) in q.group_by.included_hierarchies() {
-        let name = binding.fk_column(hi);
-        fact.require_i64(name)?;
-        let idx = fact.column_index(name).expect("require_i64 checked existence");
+        let idx = fact.require_key_like(binding.fk_column(hi))?;
         let h = schema.hierarchy(hi).expect("hierarchy in range");
-        key_cols.push((idx, h.composed_map(0, li)?));
+        key_cols.push((lane_slot(&mut lane_cols, idx), h.composed_map(0, li)?));
     }
     let mut measure_cols: Vec<usize> = Vec::new();
     for m in &q.measures {
@@ -76,18 +81,18 @@ pub(crate) fn get_wide(
     let mut values = vec![0.0f64; measure_cols.len()];
     let mut key_buf: Vec<MemberId> = vec![MemberId(0); key_cols.len()];
     let mut sel: Vec<u32> = Vec::new();
+    let mut lanes: Vec<Vec<u32>> = vec![Vec::new(); lane_cols.len()];
     let mut morsels = 0usize;
     for chunk in fact.morsels(morsel_rows) {
         morsels += 1;
-        let masks: Vec<(IdColumn<'_>, &[bool])> = mask_cols
+        for (col, buf) in lane_cols.iter().zip(lanes.iter_mut()) {
+            chunk.key_lane(*col, buf).expect("validated key column");
+        }
+        let masks: Vec<(&[u32], &[bool])> =
+            mask_cols.iter().map(|(slot, m)| (lanes[*slot].as_slice(), *m)).collect();
+        let keys: Vec<(&[u32], &[MemberId])> = key_cols
             .iter()
-            .map(|(idx, m)| (IdColumn::Fks(chunk.i64_at(*idx).expect("validated fk column")), *m))
-            .collect();
-        let keys: Vec<(IdColumn<'_>, &[MemberId])> = key_cols
-            .iter()
-            .map(|(idx, roll)| {
-                (IdColumn::Fks(chunk.i64_at(*idx).expect("validated fk column")), roll.as_slice())
-            })
+            .map(|(slot, roll)| (lanes[*slot].as_slice(), roll.as_slice()))
             .collect();
         let measures: Vec<NumericSlice<'_>> = measure_cols
             .iter()
@@ -98,8 +103,8 @@ pub(crate) fn get_wide(
         select_into(&mut sel, chunk.len(), &masks);
         for &local in &sel {
             let row = local as usize;
-            for (slot, (col, rollmap)) in key_buf.iter_mut().zip(&keys) {
-                *slot = rollmap[col.id(row)];
+            for (slot, (lane, rollmap)) in key_buf.iter_mut().zip(&keys) {
+                *slot = rollmap[lane[row] as usize];
             }
             let key = Coordinate::new(key_buf.clone());
             if values.len() == 1 {

@@ -1084,7 +1084,10 @@ fn parse_append_rows(table: &olap_storage::Table, rows: &Value) -> Result<Vec<Co
         let target = table
             .column(name)
             .ok_or_else(|| format!("table `{}` has no column `{name}`", table.name()))?;
-        if target.as_i64().is_some() {
+        // Encoded key columns take the integer path too: the append batch
+        // carries plain `i64` keys and the engine's maintenance encodes
+        // them into the target's packed layout.
+        if target.as_i64().is_some() || target.as_key().is_some() {
             let mut ints = Vec::with_capacity(numbers.len());
             for x in &numbers {
                 if x.fract() != 0.0 || x.abs() > 9.0e15 {
@@ -1624,8 +1627,47 @@ fn stats_response(shared: &Shared, session: &Session, id: Option<u64>) -> Value 
                 "session",
                 protocol::obj(vec![("queries", n(latency.count)), ("latency", latency.to_json())]),
             ),
+            ("storage", storage_json(shared)),
             ("ops", ops),
         ],
+    )
+}
+
+/// Physical storage footprint for the `stats` op, in table-name order:
+/// true encoded bytes next to the plain-layout equivalent (their quotient
+/// is the compression ratio) and every column's physical encoding.
+fn storage_json(shared: &Shared) -> Value {
+    Value::Array(
+        shared
+            .engine
+            .catalog()
+            .storage_stats()
+            .into_iter()
+            .map(|t| {
+                let ratio =
+                    if t.plain_bytes == 0 { 1.0 } else { t.bytes as f64 / t.plain_bytes as f64 };
+                let columns = t
+                    .columns
+                    .into_iter()
+                    .map(|c| {
+                        protocol::obj(vec![
+                            ("name", s(c.name)),
+                            ("encoding", s(c.encoding)),
+                            ("bytes", n(c.bytes as u64)),
+                            ("plain_bytes", n(c.plain_bytes as u64)),
+                        ])
+                    })
+                    .collect();
+                protocol::obj(vec![
+                    ("table", s(t.table)),
+                    ("rows", n(t.rows as u64)),
+                    ("bytes", n(t.bytes as u64)),
+                    ("plain_bytes", n(t.plain_bytes as u64)),
+                    ("compression_ratio", Value::Number(ratio)),
+                    ("columns", Value::Array(columns)),
+                ])
+            })
+            .collect(),
     )
 }
 

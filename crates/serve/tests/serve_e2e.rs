@@ -247,6 +247,20 @@ fn warm_cache_repeats_skip_execution() {
     assert_eq!(stat_u64(&stats, &["runs", "cache_hits"]), 2);
     assert!(stat_u64(&stats, &["cache", "hits"]) >= 2);
 
+    // Storage stats report the physical footprint per table; the fact
+    // table's encoded foreign keys make it smaller than its plain layout.
+    let storage = stats.get("storage").and_then(Value::as_array).expect("storage section");
+    let lineorder = storage
+        .iter()
+        .find(|t| t.get("table").and_then(Value::as_str) == Some("lineorder"))
+        .expect("lineorder stats");
+    let bytes = lineorder.get("bytes").and_then(Value::as_f64).unwrap();
+    let plain = lineorder.get("plain_bytes").and_then(Value::as_f64).unwrap();
+    let ratio = lineorder.get("compression_ratio").and_then(Value::as_f64).unwrap();
+    assert!(bytes < plain, "encoded fact table must beat the plain layout");
+    assert!(ratio < 1.0 && (ratio - bytes / plain).abs() < 1e-9);
+    assert!(lineorder.get("columns").and_then(Value::as_array).is_some_and(|c| !c.is_empty()));
+
     // Explicit wholesale invalidation brings the next run back to cold.
     assert_ok(&client.request(vec![("op", Value::String("invalidate_cache".into()))]).unwrap());
     let recold = client.run_csv(SIBLING).unwrap();

@@ -22,8 +22,11 @@ const TABLES: &[&str] = &["customer", "supplier", "part", "dates", "lineorder", 
 ///
 /// History: 1 = initial versioned layout; 2 = append-capable storage
 /// (incremental cubes) — entries predating append support are rejected so
-/// a grown table is never mixed with pre-append cached state.
-const FORMAT_VERSION: u32 = 2;
+/// a grown table is never mixed with pre-append cached state; 3 = encoded
+/// fact layout (foreign keys persisted as `TAG_KEY` columns with explicit
+/// domains) — pre-encoding entries hold plain `i64` keys and must
+/// regenerate rather than masquerade as the compressed layout.
+const FORMAT_VERSION: u32 = 3;
 
 /// Name of the marker file recording [`FORMAT_VERSION`] inside an entry.
 const FORMAT_FILE: &str = "FORMAT";
@@ -123,7 +126,16 @@ mod tests {
         let a = first.catalog.table("lineorder").unwrap();
         let b = second.catalog.table("lineorder").unwrap();
         assert_eq!(a.n_rows(), b.n_rows());
-        assert_eq!(a.require_i64("ckey").unwrap(), b.require_i64("ckey").unwrap());
+        let keys = |t: &olap_storage::Table, name: &str| -> Vec<i64> {
+            t.column(name).unwrap().i64_iter().unwrap().collect()
+        };
+        assert_eq!(keys(&a, "ckey"), keys(&b, "ckey"));
+        // The cache round-trips the *encoded* layout, not a decoded copy.
+        assert_eq!(
+            a.column("ckey").unwrap().data.encoding_name(),
+            b.column("ckey").unwrap().data.encoding_name()
+        );
+        assert!(a.column("ckey").unwrap().is_key_like());
         assert_eq!(
             a.column("revenue").unwrap().as_f64().unwrap(),
             b.column("revenue").unwrap().as_f64().unwrap()
@@ -164,13 +176,16 @@ mod tests {
 
     #[test]
     fn pre_append_entries_are_rejected() {
-        // Entries written before append support (format 1) must regenerate:
-        // their tables may coexist with stale pre-append derived state.
+        // Entries written before append support (format 1) or before the
+        // encoded fact layout (format 2) must regenerate: their tables
+        // hold a different physical shape than the current generator's.
         let root = tmp_root("preappend");
         let config = SsbConfig::with_scale(0.001);
         generate_cached(&root, config);
         let marker = entry_dir(&root, &config).join(FORMAT_FILE);
         std::fs::write(&marker, "1\n").unwrap();
+        assert!(!is_cached(&root, &config));
+        std::fs::write(&marker, "2\n").unwrap();
         assert!(!is_cached(&root, &config));
         let (dataset, hit) = generate_cached(&root, config);
         assert!(!hit);

@@ -76,9 +76,12 @@ impl CubeBinding {
             )));
         }
         for (h, fk) in schema.hierarchies().iter().zip(&fk_columns) {
-            let keys = fact.require_i64(fk)?;
+            // Accept either physical key layout (plain i64 or encoded
+            // codes); the referential-integrity check is identical.
+            let idx = fact.require_key_like(fk)?;
+            let keys = fact.columns()[idx].i64_iter().expect("key-like column iterates");
             let domain = h.level(0).map(|l| l.cardinality() as i64).unwrap_or(0);
-            if let Some(&bad) = keys.iter().find(|&&k| k < 0 || k >= domain) {
+            if let Some(bad) = keys.into_iter().find(|&k| k < 0 || k >= domain) {
                 return Err(StorageError::InvalidBinding(format!(
                     "foreign key `{fk}` holds value {bad} outside the domain of level `{}` (0..{domain})",
                     h.level(0).map(|l| l.name()).unwrap_or("?"),

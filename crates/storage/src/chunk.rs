@@ -26,12 +26,13 @@ pub enum NumericSlice<'a> {
 }
 
 impl<'a> NumericSlice<'a> {
-    /// Borrows a numeric view from a column; `None` for dictionary columns.
+    /// Borrows a numeric view from a column; `None` for dictionary and
+    /// encoded-key columns (measures are never stored encoded).
     pub fn from_column(col: &'a Column) -> Option<Self> {
         match &col.data {
             ColumnData::I64(v) => Some(NumericSlice::I64(v)),
             ColumnData::F64(v) => Some(NumericSlice::F64(v)),
-            ColumnData::Dict { .. } => None,
+            ColumnData::Dict { .. } | ColumnData::Key(_) => None,
         }
     }
 
@@ -126,10 +127,54 @@ impl<'a> DataChunk<'a> {
     }
 
     /// Chunk-local slice of the `i64` column at `col` (by column index).
+    /// Plain storage only — encoded keys have no borrowable `i64` slice;
+    /// use [`DataChunk::key_lane`] for representation-independent reads.
     pub fn i64_at(&self, col: usize) -> Option<&'a [i64]> {
         let column = self.table.columns().get(col)?;
         match &column.data {
             ColumnData::I64(v) => Some(&v[self.offset..self.offset + self.len]),
+            _ => None,
+        }
+    }
+
+    /// Chunk-local key codes of the key-like column at `col`, decoded into
+    /// `scratch` as a flat `u32` lane. This is the decode-into-scratch fast
+    /// path of the morsel kernels: plain `i64` keys are narrowed, encoded
+    /// keys are unpacked, and the inner scan loops downstream see the same
+    /// flat buffer either way — they never branch on the encoding.
+    ///
+    /// Values are assumed in-domain (`0 ..= u32::MAX`): bindings and the
+    /// append path validate keys before they reach a scan. Returns `None`
+    /// for float and dictionary columns.
+    pub fn key_lane<'s>(&self, col: usize, scratch: &'s mut Vec<u32>) -> Option<&'s [u32]> {
+        let column = self.table.columns().get(col)?;
+        let (lo, hi) = (self.offset, self.offset + self.len);
+        scratch.clear();
+        match &column.data {
+            ColumnData::I64(v) => scratch.extend(v[lo..hi].iter().map(|&x| x as u32)),
+            ColumnData::Key(k) => k.codes.decode_range(lo, hi, scratch),
+            _ => return None,
+        }
+        Some(&scratch[..])
+    }
+
+    /// Chunk-local measure values of the numeric column at `col` as a flat
+    /// `f64` lane. Float storage is borrowed zero-copy; integer storage is
+    /// converted into `scratch`. Returns `None` for dictionary and
+    /// encoded-key columns.
+    pub fn f64_lane<'s>(&self, col: usize, scratch: &'s mut Vec<f64>) -> Option<&'s [f64]>
+    where
+        'a: 's,
+    {
+        let column = self.table.columns().get(col)?;
+        let (lo, hi) = (self.offset, self.offset + self.len);
+        match &column.data {
+            ColumnData::F64(v) => Some(&v[lo..hi]),
+            ColumnData::I64(v) => {
+                scratch.clear();
+                scratch.extend(v[lo..hi].iter().map(|&x| x as f64));
+                Some(&scratch[..])
+            }
             _ => None,
         }
     }
@@ -271,6 +316,32 @@ mod tests {
         let empty = Table::new("e", vec![Column::i64("k", vec![])]).unwrap();
         assert_eq!(empty.morsels(4).count(), 0);
         assert_eq!(empty.morsels(4).count_hint(), 0);
+    }
+
+    #[test]
+    fn lanes_decode_into_scratch_regardless_of_encoding() {
+        let plain = table();
+        let encoded = Table::new(
+            "t2",
+            vec![
+                plain.require_column("k").unwrap().encode_key(10).unwrap(),
+                plain.require_column("m").unwrap().clone(),
+                Column::i64("im", (0..10).collect()),
+            ],
+        )
+        .unwrap();
+        let mut keys = Vec::new();
+        let mut vals = Vec::new();
+        // Key lanes: identical flat u32 codes from either representation.
+        let chunk = plain.chunk(4, 3);
+        assert_eq!(chunk.key_lane(0, &mut keys).unwrap(), &[4, 5, 6]);
+        let chunk = encoded.chunk(4, 3);
+        assert_eq!(chunk.key_lane(0, &mut keys).unwrap(), &[4, 5, 6]);
+        assert!(chunk.key_lane(1, &mut keys).is_none(), "f64 column has no key lane");
+        // Measure lanes: f64 borrows zero-copy, i64 converts into scratch.
+        assert_eq!(chunk.f64_lane(1, &mut vals).unwrap(), &[2.0, 2.5, 3.0]);
+        assert_eq!(chunk.f64_lane(2, &mut vals).unwrap(), &[4.0, 5.0, 6.0]);
+        assert!(chunk.f64_lane(0, &mut vals).is_none(), "encoded keys are not measures");
     }
 
     #[test]

@@ -40,8 +40,11 @@ impl Delta {
         let mut rows = batch.first().map(Column::len).unwrap_or(0);
         for col in batch {
             rows = rows.max(col.len());
-            if let Some(values) = col.as_i64() {
-                touched.insert(col.name.clone(), values.iter().copied().collect());
+            // Key-like covers both physical layouts: plain `i64` batches
+            // and batches carrying already-encoded key columns get the
+            // same touched-member sets.
+            if let Some(values) = col.i64_iter() {
+                touched.insert(col.name.clone(), values.collect());
             }
         }
         Delta { table: table.into(), start_row, rows, touched, version: 0 }
@@ -147,6 +150,18 @@ mod tests {
         assert!(d.overlaps_mask("dkey", &[false; 4]));
         // Out-of-domain value: mask shorter than member 5.
         assert!(d.overlaps_mask("ckey", &[false; 3]));
+    }
+
+    #[test]
+    fn encoded_batch_columns_report_the_same_touched_sets() {
+        let plain = Delta::describe("lineorder", 0, &batch());
+        let mut encoded_batch = batch();
+        encoded_batch[0] = encoded_batch[0].encode_key(8).unwrap();
+        encoded_batch[2] = encoded_batch[2].encode_key(2).unwrap();
+        let encoded = Delta::describe("lineorder", 0, &encoded_batch);
+        assert_eq!(encoded.touched("ckey"), plain.touched("ckey"));
+        assert_eq!(encoded.touched("skey"), plain.touched("skey"));
+        assert_eq!(encoded.touched_columns().count(), 2);
     }
 
     #[test]

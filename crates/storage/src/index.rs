@@ -16,11 +16,12 @@ pub struct BTreeIndex {
 }
 
 impl BTreeIndex {
-    /// Builds the index over an `i64` column of a table.
+    /// Builds the index over a key-like (`i64` or encoded) column.
     pub fn build(table: &Table, column: &str) -> Result<Self, StorageError> {
-        let keys = table.require_i64(column)?;
+        let idx = table.require_key_like(column)?;
+        let keys = table.columns()[idx].i64_iter().expect("key-like column iterates");
         let mut map: BTreeMap<i64, Vec<u32>> = BTreeMap::new();
-        for (row, &k) in keys.iter().enumerate() {
+        for (row, k) in keys.enumerate() {
             map.entry(k).or_default().push(row as u32);
         }
         Ok(BTreeIndex { map })
@@ -60,11 +61,13 @@ pub struct HashIndex {
 }
 
 impl HashIndex {
-    /// Builds the index over an `i64` column of a table.
+    /// Builds the index over a key-like (`i64` or encoded) column.
     pub fn build(table: &Table, column: &str) -> Result<Self, StorageError> {
-        let keys = table.require_i64(column)?;
-        let mut map: HashMap<i64, Vec<u32>> = HashMap::with_capacity(keys.len());
-        for (row, &k) in keys.iter().enumerate() {
+        let idx = table.require_key_like(column)?;
+        let col = &table.columns()[idx];
+        let keys = col.i64_iter().expect("key-like column iterates");
+        let mut map: HashMap<i64, Vec<u32>> = HashMap::with_capacity(col.len());
+        for (row, k) in keys.enumerate() {
             map.entry(k).or_default().push(row as u32);
         }
         Ok(HashIndex { map })
@@ -106,6 +109,19 @@ mod tests {
         assert_eq!(idx.lookup(9), &[3]);
         assert_eq!(idx.lookup(0), &[] as &[u32]);
         assert_eq!(idx.distinct_keys(), 3);
+    }
+
+    #[test]
+    fn encoded_columns_index_identically() {
+        let plain = table();
+        let encoded =
+            Table::new("fact", vec![plain.column("fk").unwrap().encode_key(10).unwrap()]).unwrap();
+        let a = BTreeIndex::build(&plain, "fk").unwrap();
+        let b = BTreeIndex::build(&encoded, "fk").unwrap();
+        assert_eq!(a.lookup(5), b.lookup(5));
+        assert_eq!(a.range(3, 9), b.range(3, 9));
+        let h = HashIndex::build(&encoded, "fk").unwrap();
+        assert_eq!(h.lookup(9), &[3]);
     }
 
     #[test]

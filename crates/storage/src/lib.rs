@@ -24,6 +24,7 @@ pub mod chunk;
 pub mod column;
 pub mod delta;
 pub mod dictionary;
+pub mod encode;
 pub mod error;
 pub mod index;
 pub mod mview;
@@ -31,12 +32,13 @@ pub mod persist;
 pub mod table;
 
 pub use binding::CubeBinding;
-pub use catalog::Catalog;
+pub use catalog::{Catalog, TableStorageStats};
 pub use chunk::{DataChunk, Morsels, NumericSlice};
 pub use column::{Column, ColumnData};
 pub use delta::Delta;
 pub use dictionary::Dictionary;
+pub use encode::{CodeStore, KeyAccess, KeyColumn, Validity};
 pub use error::StorageError;
 pub use index::{BTreeIndex, HashIndex};
 pub use mview::MaterializedAggregate;
-pub use table::Table;
+pub use table::{ColumnStat, Table};

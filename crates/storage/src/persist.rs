@@ -11,12 +11,19 @@
 //!
 //! Strings are `u32`-length-prefixed UTF-8; numeric payloads are row counts
 //! followed by little-endian values; dictionary payloads are the code vector
-//! followed by the dictionary strings.
+//! followed by the dictionary strings; encoded-key payloads are the domain,
+//! a validity flag, the plain code vector, and the mask words when present.
+//!
+//! Code sequences (dictionary and key columns) are stored *unpacked* on
+//! disk: bit-packing vs run-length is an in-memory layout choice re-derived
+//! deterministically on load, so the file format stays independent of the
+//! encoder's current selection heuristic.
 
 use std::sync::Arc;
 
 use crate::column::{Column, ColumnData};
 use crate::dictionary::Dictionary;
+use crate::encode::{CodeStore, KeyColumn, Validity};
 use crate::error::StorageError;
 use crate::table::Table;
 
@@ -25,6 +32,7 @@ const MAGIC: &[u8; 8] = b"OLAPTBL1";
 const TAG_I64: u8 = 1;
 const TAG_F64: u8 = 2;
 const TAG_DICT: u8 = 3;
+const TAG_KEY: u8 = 4;
 
 /// A bounds-checked little-endian reader over a byte slice.
 struct Reader<'a> {
@@ -108,12 +116,26 @@ pub fn write_table(table: &Table) -> Vec<u8> {
             ColumnData::Dict { codes, dict } => {
                 buf.push(TAG_DICT);
                 buf.extend_from_slice(&(codes.len() as u64).to_le_bytes());
-                for c in codes {
+                for c in codes.to_vec() {
                     buf.extend_from_slice(&c.to_le_bytes());
                 }
                 buf.extend_from_slice(&(dict.len() as u32).to_le_bytes());
                 for value in dict.values() {
                     put_str(&mut buf, value);
+                }
+            }
+            ColumnData::Key(k) => {
+                buf.push(TAG_KEY);
+                buf.extend_from_slice(&(k.len() as u64).to_le_bytes());
+                buf.extend_from_slice(&k.domain.to_le_bytes());
+                buf.push(k.validity.is_some() as u8);
+                for c in k.codes.to_vec() {
+                    buf.extend_from_slice(&c.to_le_bytes());
+                }
+                if let Some(v) = &k.validity {
+                    for w in v.words() {
+                        buf.extend_from_slice(&w.to_le_bytes());
+                    }
                 }
             }
         }
@@ -169,7 +191,45 @@ pub fn read_table(buf: impl AsRef<[u8]>) -> Result<Table, StorageError> {
                         "dictionary code {bad} out of range in column `{col_name}`"
                     )));
                 }
-                ColumnData::Dict { codes, dict: Arc::new(dict) }
+                ColumnData::Dict {
+                    codes: CodeStore::from_codes(&codes, (dict.len() as u32).max(1)),
+                    dict: Arc::new(dict),
+                }
+            }
+            TAG_KEY => {
+                let n = read_len(&mut r)?;
+                let domain = r.get_u32_le("key domain")?;
+                let has_validity = r.get_u8("validity flag")?;
+                if has_validity > 1 {
+                    return Err(StorageError::Corrupt(format!(
+                        "bad validity flag {has_validity} in column `{col_name}`"
+                    )));
+                }
+                ensure(&r, n * 4)?;
+                let mut codes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    codes.push(r.get_u32_le("key code payload")?);
+                }
+                if let Some(&bad) = codes.iter().find(|&&c| c >= domain.max(1)) {
+                    return Err(StorageError::Corrupt(format!(
+                        "key code {bad} out of domain {domain} in column `{col_name}`"
+                    )));
+                }
+                let mut key = KeyColumn::new(&codes, domain);
+                if has_validity == 1 {
+                    let words = n.div_ceil(64);
+                    ensure(&r, words * 8)?;
+                    let mut mask = Vec::with_capacity(words);
+                    for _ in 0..words {
+                        mask.push(r.get_u64_le("validity payload")?);
+                    }
+                    key = key.with_validity(Validity::from_words(mask, n).ok_or_else(|| {
+                        StorageError::Corrupt(format!(
+                            "validity mask length mismatch in column `{col_name}`"
+                        ))
+                    })?);
+                }
+                ColumnData::Key(key)
             }
             other => return Err(StorageError::Corrupt(format!("unknown column tag {other}"))),
         };
@@ -247,6 +307,54 @@ mod tests {
         for cut in [4, 10, full.len() - 3] {
             assert!(read_table(&full[..cut]).is_err(), "cut at {cut} should fail");
         }
+    }
+
+    #[test]
+    fn encoded_key_columns_round_trip() {
+        use crate::encode::Validity;
+        let clustered: Vec<i64> = (0..6).flat_map(|v| std::iter::repeat_n(v, 50)).collect();
+        let t = Table::new(
+            "fact",
+            vec![
+                Column::i64("ckey", (0..300).map(|i| i % 25).collect()).encode_key(25).unwrap(),
+                Column::i64("dkey", clustered.clone()).encode_key(6).unwrap(),
+            ],
+        )
+        .unwrap();
+        let back = round_trip(&t);
+        let ckey = back.column("ckey").unwrap().as_key().unwrap();
+        assert_eq!(ckey.domain, 25);
+        assert_eq!(ckey.codes, t.column("ckey").unwrap().as_key().unwrap().codes);
+        let dkey = back.column("dkey").unwrap().as_key().unwrap();
+        assert_eq!(dkey.codes.encoding_name(), "rle", "clustered column re-chooses RLE");
+        assert_eq!(back.decode_keys().require_i64("dkey").unwrap(), &clustered[..]);
+
+        // With a validity mask attached.
+        let valid: Vec<bool> = (0..300).map(|i| i % 7 != 0).collect();
+        let mut col =
+            Column::i64("ckey", (0..300).map(|i| i % 25).collect()).encode_key(25).unwrap();
+        if let ColumnData::Key(k) = &mut col.data {
+            k.validity = Some(Validity::from_bools(&valid));
+        }
+        let t = Table::new("fact", vec![col]).unwrap();
+        let back = round_trip(&t);
+        let mask = back.column("ckey").unwrap().as_key().unwrap().validity.as_ref().unwrap();
+        for (i, &b) in valid.iter().enumerate() {
+            assert_eq!(mask.is_valid(i), b);
+        }
+    }
+
+    #[test]
+    fn out_of_domain_key_codes_rejected() {
+        let t = Table::new("fact", vec![Column::i64("k", vec![0, 1, 2]).encode_key(3).unwrap()])
+            .unwrap();
+        let mut buf = write_table(&t);
+        // Shrink the domain field below the stored codes. Offset: magic(8)
+        // + "fact"(4+4) + n_cols(4) + "k"(4+1) + tag(1) + row count(8).
+        let pos = 8 + 8 + 4 + 5 + 1 + 8;
+        assert_eq!(&buf[pos..pos + 4], &3u32.to_le_bytes(), "domain field moved");
+        buf[pos..pos + 4].copy_from_slice(&1u32.to_le_bytes());
+        assert!(read_table(&buf).is_err());
     }
 
     #[test]

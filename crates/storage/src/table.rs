@@ -6,6 +6,20 @@ use crate::chunk::{DataChunk, Morsels, NumericSlice};
 use crate::column::{Column, ColumnData};
 use crate::error::StorageError;
 
+/// Physical storage statistics of one column; see [`Table::column_stats`].
+#[derive(Debug, Clone)]
+pub struct ColumnStat {
+    pub name: String,
+    /// Physical encoding name (`i64`, `f64`, `key-bitpack`, `key-rle`,
+    /// `dict-bitpack`, `dict-rle`).
+    pub encoding: &'static str,
+    /// True heap footprint of the physical representation.
+    pub bytes: usize,
+    /// Footprint the same data would have stored plain — `bytes /
+    /// plain_bytes` is the column's compression ratio.
+    pub plain_bytes: usize,
+}
+
 /// A columnar table of a star schema (fact or dimension).
 #[derive(Debug, Clone)]
 pub struct Table {
@@ -75,6 +89,24 @@ impl Table {
             expected: "i64",
             got: c.data.type_name(),
         })
+    }
+
+    /// Requires a key-like column (plain `i64` or encoded codes) and
+    /// returns its index — the validation step of scan planning, which
+    /// accepts either physical layout.
+    pub fn require_key_like(&self, name: &str) -> Result<usize, StorageError> {
+        let idx = self.column_index(name).ok_or_else(|| StorageError::UnknownColumn {
+            table: self.name.clone(),
+            column: name.to_string(),
+        })?;
+        if !self.columns[idx].is_key_like() {
+            return Err(StorageError::TypeMismatch {
+                column: name.to_string(),
+                expected: "key",
+                got: self.columns[idx].data.type_name(),
+            });
+        }
+        Ok(idx)
     }
 
     /// Requires a numeric (`i64` or `f64`) column as a borrowed
@@ -157,16 +189,38 @@ impl Table {
                 ) => {
                     let mut grown = (**dict).clone();
                     let mut all = codes.clone();
-                    for &code in new_codes {
+                    for code in new_codes.to_vec() {
                         let value = new_dict.value(code).ok_or_else(|| {
                             mismatch(format!(
                                 "column `{}` has dictionary code {code} with no value",
                                 base.name
                             ))
                         })?;
+                        // Interning a new value may widen the code space;
+                        // the store grows its packing width on demand.
                         all.push(grown.intern(value));
                     }
                     ColumnData::Dict { codes: all, dict: Arc::new(grown) }
+                }
+                // Encoded keys accept either physical layout in the batch:
+                // plain i64 values are narrowed (appends keep flowing from
+                // producers that build plain batches), encoded batches are
+                // decoded and re-packed. Codes beyond the current domain
+                // grow the domain and, when needed, the packing width.
+                (ColumnData::Key(old), _) if incoming.is_key_like() => {
+                    let mut grown = old.clone();
+                    let access = incoming.key_access().expect("key-like");
+                    for row in 0..incoming.len() {
+                        let v = access.get(row);
+                        let code = u32::try_from(v).map_err(|_| {
+                            mismatch(format!(
+                                "column `{}` got value {v}, not encodable as a key code",
+                                base.name
+                            ))
+                        })?;
+                        grown.push(code, true);
+                    }
+                    ColumnData::Key(grown)
                 }
                 (old, new) => {
                     return Err(StorageError::TypeMismatch {
@@ -181,9 +235,54 @@ impl Table {
         Ok(Table { name: self.name.clone(), columns, n_rows: self.n_rows + added })
     }
 
+    /// Returns a new table with the named key columns encoded as narrow
+    /// codes, each at the width its domain cardinality demands — the
+    /// "dims as narrow codes" fact layout. Columns must exist and hold
+    /// non-negative `i64` keys (already-encoded columns pass through).
+    pub fn encode_keys(&self, specs: &[(&str, u32)]) -> Result<Table, StorageError> {
+        let mut columns = self.columns.clone();
+        for &(name, domain) in specs {
+            let idx = self.column_index(name).ok_or_else(|| StorageError::UnknownColumn {
+                table: self.name.clone(),
+                column: name.to_string(),
+            })?;
+            columns[idx] = columns[idx].encode_key(domain).ok_or(StorageError::TypeMismatch {
+                column: name.to_string(),
+                expected: "key",
+                got: self.columns[idx].data.type_name(),
+            })?;
+        }
+        Ok(Table { name: self.name.clone(), columns, n_rows: self.n_rows })
+    }
+
+    /// Returns a copy with every encoded key column decoded back to plain
+    /// `i64` — the uncompressed baseline for storage and throughput
+    /// comparisons.
+    pub fn decode_keys(&self) -> Table {
+        Table {
+            name: self.name.clone(),
+            columns: self.columns.iter().map(Column::decode_key).collect(),
+            n_rows: self.n_rows,
+        }
+    }
+
     /// Approximate heap footprint of the table in bytes.
     pub fn byte_size(&self) -> usize {
         self.columns.iter().map(|c| c.data.byte_size()).sum()
+    }
+
+    /// Per-column physical storage statistics: encoding, true footprint,
+    /// and the plain-layout footprint the encoding is measured against.
+    pub fn column_stats(&self) -> Vec<ColumnStat> {
+        self.columns
+            .iter()
+            .map(|c| ColumnStat {
+                name: c.name.clone(),
+                encoding: c.data.encoding_name(),
+                bytes: c.data.byte_size(),
+                plain_bytes: c.data.plain_byte_size(),
+            })
+            .collect()
     }
 
     /// Total cell count (rows × columns) — cardinality statistics for the
@@ -200,7 +299,9 @@ impl Table {
             .iter()
             .map(|c| {
                 let ty = match c.data {
-                    ColumnData::I64(_) => "integer",
+                    // Plain and encoded keys are the same logical type; the
+                    // description is schema-level, not physical.
+                    ColumnData::I64(_) | ColumnData::Key(_) => "integer",
                     ColumnData::F64(_) => "number",
                     ColumnData::Dict { .. } => "varchar",
                 };
@@ -347,6 +448,52 @@ mod tests {
             .unwrap();
         assert_eq!(appended.n_rows(), 3);
         assert_eq!(appended.require_i64("ckey").unwrap(), t.require_i64("ckey").unwrap());
+    }
+
+    #[test]
+    fn key_columns_encode_append_and_report_stats() {
+        let t = Table::new(
+            "fact",
+            vec![
+                Column::i64("ckey", (0..100).map(|i| i % 25).collect()),
+                Column::f64("revenue", (0..100).map(|i| i as f64).collect()),
+            ],
+        )
+        .unwrap();
+        let enc = t.encode_keys(&[("ckey", 25)]).unwrap();
+        assert_eq!(enc.require_key_like("ckey").unwrap(), 0);
+        assert!(enc.require_i64("ckey").is_err(), "encoded keys have no plain slice");
+        assert_eq!(enc.describe(), t.describe(), "logical schema is unchanged");
+        assert!(enc.byte_size() < t.byte_size());
+        // Appends accept plain batches; a code beyond the current domain
+        // grows it (width growth is exercised in the encode module tests).
+        let grown = enc
+            .append_batch(&[
+                Column::i64("ckey", vec![24, 30]),
+                Column::f64("revenue", vec![1.0, 2.0]),
+            ])
+            .unwrap();
+        assert_eq!(grown.n_rows(), 102);
+        let k = grown.column("ckey").unwrap().as_key().unwrap();
+        assert_eq!(k.domain, 31);
+        assert_eq!(k.get(100), 24);
+        assert_eq!(k.get(101), 30);
+        // Round trip back to plain reproduces the same values.
+        let plain = grown.decode_keys();
+        assert_eq!(plain.require_i64("ckey").unwrap()[99..], [24, 24, 30]);
+        // Negative keys cannot append onto an encoded column.
+        assert!(enc
+            .append_batch(&[Column::i64("ckey", vec![-1]), Column::f64("revenue", vec![0.0]),])
+            .is_err());
+        // Stats expose encoding and compression ratio inputs.
+        let stats = enc.column_stats();
+        assert_eq!(stats[0].encoding, "key-bitpack");
+        assert!(stats[0].bytes < stats[0].plain_bytes);
+        assert_eq!(stats[1].encoding, "f64");
+        assert_eq!(stats[1].bytes, stats[1].plain_bytes);
+        // encode_keys validates its targets.
+        assert!(t.encode_keys(&[("ghost", 4)]).is_err());
+        assert!(t.encode_keys(&[("revenue", 4)]).is_err());
     }
 
     #[test]
