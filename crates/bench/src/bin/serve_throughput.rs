@@ -23,9 +23,9 @@ use std::time::Instant;
 use assess_bench::report;
 use assess_bench::workloads;
 use assess_serve::{serve, LineClient, RetryPolicy, ServerConfig, ServerHandle};
-use olap_engine::Engine;
+use olap_engine::{Engine, EngineConfig};
 use serde::{Serialize, Value};
-use ssb_data::{generate::generate, views, SsbConfig};
+use ssb_data::{generate::generate, shard::sharded_engine, views, SsbConfig};
 
 #[derive(Serialize)]
 struct ThroughputRow {
@@ -66,14 +66,15 @@ fn main() {
     let dataset = generate(SsbConfig::with_scale(scale));
     views::register_default_views(&dataset.catalog, &dataset.schema).expect("views build");
 
-    let config = ServerConfig {
+    let server_config = || ServerConfig {
         workers,
         max_sessions: 128,
         max_queued: 256,
         cache_capacity: 128,
         ..ServerConfig::default()
     };
-    let handle = serve(Engine::new(dataset.catalog.clone()), config).expect("server boots");
+    let handle =
+        serve(Engine::new(dataset.catalog.clone()), server_config()).expect("server boots");
     eprintln!("[setup] serving on {} with {workers} workers", handle.addr());
 
     let statements: Vec<String> =
@@ -84,6 +85,21 @@ fn main() {
         for mode in ["cold", "warm"] {
             rows.push(measure(&handle, &statements, clients, reps, mode));
         }
+    }
+    // Scatter-gather rows: the same cold workload against coordinators
+    // over 1/2/4 in-process shards (what does the fan-out/merge cost at
+    // one client?), plus the 64-client fan-in at 4 shards. Each topology
+    // is its own server over its own shard catalogs; results are
+    // byte-identical to the unsharded rows by construction.
+    for &shards in &[1usize, 2, 4] {
+        let engine = sharded_engine(&dataset, shards, EngineConfig::default())
+            .expect("sharded engine builds");
+        let sharded = serve(engine, server_config()).expect("sharded server boots");
+        rows.push(measure(&sharded, &statements, 1, reps, &format!("shard-{shards}x")));
+        if shards == 4 {
+            rows.push(measure(&sharded, &statements, 64, reps, &format!("shard-{shards}x")));
+        }
+        sharded.shutdown();
     }
     rows.extend(measure_shared(&handle, reps));
     // Appends mutate the served catalog, so the ingest cell runs last.

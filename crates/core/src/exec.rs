@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use olap_engine::{Engine, ResourceGovernor};
+use olap_engine::{merge_shard_scans, Engine, ResourceGovernor, ShardScan};
 use olap_model::{CubeQuery, DerivedCube};
 
 use crate::analyze::Analyzer;
@@ -142,6 +142,11 @@ pub struct ExecutionReport {
     pub rows_scanned: usize,
     /// Degree of parallelism and morsel counts per engine stage.
     pub parallelism: StageParallelism,
+    /// Per-shard scan totals when the engine executed scatter-gather over
+    /// a [`olap_engine::ShardSet`] (empty for unsharded engines). Entries
+    /// are merged by shard index across all engine calls of the execution;
+    /// their `rows_scanned` sum to [`Self::rows_scanned`].
+    pub shards: Vec<ShardScan>,
     /// The full fallback chain that led to this result, in attempt order.
     /// The last record is the attempt that produced the cube; earlier ones
     /// are failed attempts the ladder recovered from.
@@ -162,6 +167,8 @@ struct ExecState<'a> {
     used_views: Vec<String>,
     rows_scanned: usize,
     parallelism: StageParallelism,
+    /// Per-shard scan totals, merged by shard index across engine calls.
+    shards: Vec<ShardScan>,
     /// Fuse `get ⋈ get` / `get + pivot` prefixes into engine calls.
     fuse: bool,
     /// Build a [`TraceSpan`] per evaluated operator. Off for untraced
@@ -555,6 +562,7 @@ impl AssessRunner {
                     rows_scanned: outcome.rows_scanned,
                     parallelism: outcome.parallelism,
                     morsels: outcome.morsels,
+                    per_shard: outcome.per_shard,
                 },
             );
         }
@@ -594,6 +602,7 @@ struct SharedScan {
     rows_scanned: usize,
     parallelism: usize,
     morsels: usize,
+    per_shard: Vec<ShardScan>,
 }
 
 impl SharedScan {
@@ -606,6 +615,7 @@ impl SharedScan {
             rows_scanned: self.rows_scanned,
             parallelism: self.parallelism,
             morsels: self.morsels,
+            per_shard: self.per_shard.clone(),
         }
     }
 }
@@ -745,6 +755,7 @@ fn execute_plan_shared_on(
         used_views: Vec::new(),
         rows_scanned: 0,
         parallelism: StageParallelism::default(),
+        shards: Vec::new(),
         fuse: physical.strategy != Strategy::Naive,
         tracing,
         shared,
@@ -781,6 +792,7 @@ fn execute_plan_shared_on(
         used_views: state.used_views,
         rows_scanned: state.rows_scanned,
         parallelism: state.parallelism,
+        shards: state.shards,
         attempts: Vec::new(),
     };
     Ok((AssessedCube::new(cube, resolved), report, tree))
@@ -804,12 +816,32 @@ fn absorb(
     elapsed: Duration,
 ) -> (DerivedCube, Option<TraceSpan>) {
     let span = state.tracing.then(|| {
-        let mut span =
-            TraceSpan::new(name, elapsed).with_rows(outcome.cube.len() as u64).with_scan(
+        let mut span = TraceSpan::new(name, elapsed).with_rows(outcome.cube.len() as u64);
+        if outcome.per_shard.is_empty() {
+            span = span.with_scan(
                 outcome.rows_scanned as u64,
                 outcome.morsels as u64,
                 outcome.parallelism as u64,
             );
+        } else {
+            // Scatter-gather: one child span per shard carries that
+            // shard's scan stats. The parent deliberately has no scan of
+            // its own — `TraceTree::rows_scanned` sums recursively, so
+            // stats must land exactly once.
+            span = span.with_children(
+                outcome
+                    .per_shard
+                    .iter()
+                    .map(|s| {
+                        TraceSpan::new(format!("shard({})", s.shard), Duration::ZERO).with_scan(
+                            s.rows_scanned as u64,
+                            s.morsels as u64,
+                            s.parallelism as u64,
+                        )
+                    })
+                    .collect(),
+            );
+        }
         if let Some(v) = &outcome.used_view {
             span = span.with_detail(format!("view {v}"));
         }
@@ -821,6 +853,9 @@ fn absorb(
         }
     }
     state.rows_scanned += outcome.rows_scanned;
+    if !outcome.per_shard.is_empty() {
+        state.shards = merge_shard_scans(&state.shards, &outcome.per_shard);
+    }
     let slot = match stage {
         ScanStage::GetC => &mut state.parallelism.get_c,
         ScanStage::GetB => &mut state.parallelism.get_b,

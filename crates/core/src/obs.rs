@@ -737,6 +737,7 @@ mod tests {
             used_views: Vec::new(),
             rows_scanned: 123,
             parallelism: Default::default(),
+            shards: Vec::new(),
             attempts: vec![
                 crate::exec::AttemptRecord {
                     strategy: Strategy::PivotOptimized,

@@ -200,6 +200,23 @@ impl<K: Eq + Hash + Clone> GroupTable<K> {
     pub fn finish(self) -> (Vec<K>, Vec<Vec<f64>>) {
         (self.keys, self.accs.into_iter().map(Accumulator::finish).collect())
     }
+
+    /// Decomposes into raw `(keys, accumulators)` **without** finalizing —
+    /// the wire form of a shard's partial aggregate, still mergeable.
+    pub fn into_raw(self) -> (Vec<K>, Vec<Accumulator>) {
+        (self.keys, self.accs)
+    }
+
+    /// Rebuilds a group table from raw parts produced by [`Self::into_raw`]
+    /// (possibly deserialized from a remote shard).
+    pub fn from_raw(keys: Vec<K>, mut accs: Vec<Accumulator>) -> Self {
+        let map =
+            keys.iter().enumerate().map(|(i, k)| (k.clone(), i as u32)).collect::<HashMap<_, _>>();
+        for acc in &mut accs {
+            acc.grow_to(keys.len());
+        }
+        GroupTable { map, keys, accs }
+    }
 }
 
 /// The aggregation kernel of the morsel pipeline: folds the rows of one

@@ -17,6 +17,9 @@ use crate::key::KeyLayout;
 use crate::metrics::{self, EngineMetrics, ScanPath};
 use crate::pool::{run_morsels, MorselScan, MorselScratch, ScanRun, WorkerPool};
 use crate::predicate::{select_into, CompiledFilter};
+use crate::shard::{
+    at_shard, merge_shard_scans, Shard, ShardBudget, ShardPartial, ShardScan, ShardSet,
+};
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
@@ -99,6 +102,11 @@ pub struct GetOutcome {
     pub parallelism: usize,
     /// Morsels the scan was split into (fused operators report the sum).
     pub morsels: usize,
+    /// Per-shard scan statistics when the engine coordinates a
+    /// [`ShardSet`]; empty for unsharded execution. The entries sum to
+    /// `rows_scanned`/`morsels` (fused operators merge both sides per
+    /// shard index).
+    pub per_shard: Vec<ShardScan>,
 }
 
 /// An executed get kept in the engine's internal packed representation, so
@@ -113,6 +121,7 @@ struct GetInternal {
     rows_scanned: usize,
     parallelism: usize,
     morsels: usize,
+    per_shard: Vec<ShardScan>,
 }
 
 /// Which storage object a morsel-driven scan reads.
@@ -275,6 +284,9 @@ pub struct Engine {
     /// Scan-metrics registry; defaults to the process-wide
     /// [`metrics::global`] registry.
     metrics: Arc<EngineMetrics>,
+    /// Shard topology this engine coordinates over; `None` (the default)
+    /// executes against its own catalog directly.
+    shards: Option<Arc<ShardSet>>,
 }
 
 impl Engine {
@@ -290,6 +302,7 @@ impl Engine {
             faults: None,
             pool: None,
             metrics: metrics::global().clone(),
+            shards: None,
         }
     }
 
@@ -324,6 +337,36 @@ impl Engine {
     /// The scan-metrics registry this engine records into.
     pub fn metrics(&self) -> &Arc<EngineMetrics> {
         &self.metrics
+    }
+
+    /// Attaches a shard topology: this engine becomes a scatter-gather
+    /// coordinator. Its own catalog keeps the dimension tables, bindings
+    /// (over empty-but-typed fact tables) and delta history; scans and
+    /// appends fan out to the shards. See [`crate::shard`].
+    pub fn with_shards(mut self, shards: Arc<ShardSet>) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
+    /// The shard topology this engine coordinates, if any.
+    pub fn shards(&self) -> Option<&Arc<ShardSet>> {
+        self.shards.as_ref()
+    }
+
+    /// The sub-engine executing one local shard: same configuration,
+    /// governor (budgets are global across the fan-out), fault injector,
+    /// worker pool and metrics registry — but the shard's own catalog and
+    /// no shard set (recursion-safe).
+    pub(crate) fn for_shard(&self, catalog: Arc<Catalog>) -> Engine {
+        Engine {
+            catalog,
+            config: self.config.clone(),
+            governor: self.governor.clone(),
+            faults: self.faults.clone(),
+            pool: self.pool.clone(),
+            metrics: self.metrics.clone(),
+            shards: None,
+        }
     }
 
     /// Tightens the per-scan thread cap: the effective cap becomes the
@@ -439,6 +482,10 @@ impl Engine {
         cube: &str,
         batch: &[olap_storage::Column],
     ) -> Result<crate::maintain::MaintainOutcome, EngineError> {
+        if let Some(set) = &self.shards {
+            let set = set.clone();
+            return crate::shard::append_sharded(self, &set, cube, batch);
+        }
         crate::maintain::append(self, cube, batch)
     }
 
@@ -451,7 +498,11 @@ impl Engine {
     pub fn get(&self, q: &CubeQuery) -> Result<GetOutcome, EngineError> {
         let outcome = match self.run_get(q) {
             Ok(internal) => materialize(internal),
-            Err(EngineError::Unsupported(msg)) if msg.contains("wide keys") => {
+            // The wide fallback reads the coordinator's own fact table,
+            // which is empty by design when sharded — propagate instead.
+            Err(EngineError::Unsupported(msg))
+                if msg.contains("wide keys") && self.shards.is_none() =>
+            {
                 let o = crate::wide::get_wide(&self.catalog, q, self.config.morsel_rows)?;
                 self.metrics.record_scan(
                     ScanPath::Wide,
@@ -495,6 +546,7 @@ impl Engine {
         let rows_scanned = left.rows_scanned + right.rows_scanned;
         let parallelism = left.parallelism.max(right.parallelism);
         let morsels = left.morsels + right.morsels;
+        let per_shard = merge_shard_scans(&left.per_shard, &right.per_shard);
         let (left_keys, left_cols) = left.table.finish();
         let (_, right_cols) = right.table.finish();
 
@@ -527,7 +579,14 @@ impl Engine {
         let mut cube = DerivedCube::from_parts(left.schema, left.group_by, coord_cols, columns)?;
         cube.sort_by_coordinates();
         self.gov_charge_cells(cube.len())?;
-        Ok(GetOutcome { cube, used_view: left.used_view, rows_scanned, parallelism, morsels })
+        Ok(GetOutcome {
+            cube,
+            used_view: left.used_view,
+            rows_scanned,
+            parallelism,
+            morsels,
+            per_shard,
+        })
     }
 
     /// Executes two cube queries and **roll-up joins** them inside the
@@ -578,6 +637,7 @@ impl Engine {
         let rows_scanned = left.rows_scanned + right.rows_scanned;
         let parallelism = left.parallelism.max(right.parallelism);
         let morsels = left.morsels + right.morsels;
+        let per_shard = merge_shard_scans(&left.per_shard, &right.per_shard);
         let right_layout = right.layout.clone();
         let right_table = &right.table;
         let (left_keys, left_cols) = left.table.finish();
@@ -617,7 +677,14 @@ impl Engine {
         let mut cube = DerivedCube::from_parts(left.schema, left.group_by, coord_cols, columns)?;
         cube.sort_by_coordinates();
         self.gov_charge_cells(cube.len())?;
-        Ok(GetOutcome { cube, used_view: left.used_view, rows_scanned, parallelism, morsels })
+        Ok(GetOutcome {
+            cube,
+            used_view: left.used_view,
+            rows_scanned,
+            parallelism,
+            morsels,
+            per_shard,
+        })
     }
 
     /// Executes two cube queries and **partially joins** them inside the
@@ -669,6 +736,7 @@ impl Engine {
         let rows_scanned = left.rows_scanned + right.rows_scanned;
         let parallelism = left.parallelism.max(right.parallelism);
         let morsels = left.morsels + right.morsels;
+        let per_shard = merge_shard_scans(&left.per_shard, &right.per_shard);
         // Probe the benchmark side's group table directly — no separate
         // join index needs to be built.
         let right_table = &right.table;
@@ -714,7 +782,14 @@ impl Engine {
         let mut cube = DerivedCube::from_parts(left.schema, left.group_by, coord_cols, columns)?;
         cube.sort_by_coordinates();
         self.gov_charge_cells(cube.len())?;
-        Ok(GetOutcome { cube, used_view: left.used_view, rows_scanned, parallelism, morsels })
+        Ok(GetOutcome {
+            cube,
+            used_view: left.used_view,
+            rows_scanned,
+            parallelism,
+            morsels,
+            per_shard,
+        })
     }
 
     /// Executes one widened cube query and pivots it **inside the engine** —
@@ -760,6 +835,7 @@ impl Engine {
         let rows_scanned = internal.rows_scanned;
         let parallelism = internal.parallelism;
         let morsels = internal.morsels;
+        let per_shard = internal.per_shard.clone();
         // Probe the group table directly for neighbor slices — the pivot
         // needs no additional index.
         let table = &internal.table;
@@ -798,7 +874,7 @@ impl Engine {
             DerivedCube::from_parts(internal.schema, internal.group_by, coord_cols, columns)?;
         cube.sort_by_coordinates();
         self.gov_charge_cells(cube.len())?;
-        Ok(GetOutcome { cube, used_view, rows_scanned, parallelism, morsels })
+        Ok(GetOutcome { cube, used_view, rows_scanned, parallelism, morsels, per_shard })
     }
 
     /// Estimates the cost of a `get` without running it: the rows the chosen
@@ -815,13 +891,19 @@ impl Engine {
             .collect::<Result<_, _>>()?;
         let pred_levels: Vec<(usize, usize)> =
             q.predicates.iter().map(|p| (p.hierarchy, p.level)).collect();
+        // When sharded the coordinator's fact table is empty by design; the
+        // estimate counts rows across the shard set instead.
+        let fact_rows = match &self.shards {
+            Some(set) => set.total_rows(binding.fact_table())?,
+            None => self.catalog.table(binding.fact_table())?.n_rows(),
+        };
         let (rows, from_view) = if self.config.use_views && ops.iter().all(|op| *op == AggOp::Sum) {
             match self.catalog.best_view(&q.group_by, &pred_levels, &q.measures) {
                 Some(view) => (view.len(), true),
-                None => (self.catalog.table(binding.fact_table())?.n_rows(), false),
+                None => (fact_rows, false),
             }
         } else {
-            (self.catalog.table(binding.fact_table())?.n_rows(), false)
+            (fact_rows, false)
         };
         let carrier: Vec<Option<usize>> = vec![Some(0); schema.hierarchies().len()];
         let selectivity = CompiledFilter::compile(&schema, &q.predicates, &carrier)
@@ -872,6 +954,13 @@ impl Engine {
             )));
         }
 
+        // Scatter-gather: a coordinator fans the scan/aggregate stage out
+        // to its shards and merges the partials in ascending shard order.
+        if let Some(set) = &self.shards {
+            let set = set.clone();
+            return self.run_get_sharded(q, &schema, &layout, &ops, &set);
+        }
+
         // Try the materialized-view path first.
         if self.config.use_views && ops.iter().all(|op| *op == AggOp::Sum) {
             let pred_levels: Vec<(usize, usize)> =
@@ -883,6 +972,100 @@ impl Engine {
         }
 
         self.get_from_fact(q, &schema, &layout, &ops, &binding)
+    }
+
+    /// The coordinator side of a scatter-gather `get`: runs the planned
+    /// scan/aggregate stage on every shard in ascending order, merging
+    /// each partial into one group table. Local shards execute through
+    /// sub-engines sharing this engine's governor/pool/metrics; remote
+    /// shards receive the remaining budget and their reported rows are
+    /// charged here on receipt. The first shard failure aborts the whole
+    /// get — partial merges are discarded, never returned.
+    fn run_get_sharded(
+        &self,
+        q: &CubeQuery,
+        schema: &Arc<CubeSchema>,
+        layout: &KeyLayout,
+        ops: &[AggOp],
+        set: &ShardSet,
+    ) -> Result<GetInternal, EngineError> {
+        let mut table: GroupTable<u64> = GroupTable::new(ops);
+        let mut per_shard: Vec<ShardScan> = Vec::with_capacity(set.len());
+        let mut used_view: Option<String> = None;
+        let mut views_agree = true;
+        for (i, shard) in set.shards().iter().enumerate() {
+            self.gov_check()?;
+            let (partial, scan, view) = match shard {
+                Shard::Local(catalog) => {
+                    let sub = self.for_shard(catalog.clone());
+                    let internal = sub.run_get(q)?;
+                    let scan = ShardScan {
+                        shard: i,
+                        rows_scanned: internal.rows_scanned,
+                        parallelism: internal.parallelism,
+                        morsels: internal.morsels,
+                    };
+                    (internal.table, scan, internal.used_view)
+                }
+                Shard::Remote(t) => {
+                    let budget = self.shard_budget();
+                    let p: ShardPartial = t.partial(q, budget).map_err(|e| at_shard(set, i, e))?;
+                    // Remote rows are charged on receipt; the shard node
+                    // enforced the forwarded budget during the scan.
+                    self.gov_charge_rows(p.rows_scanned)?;
+                    let scan = ShardScan {
+                        shard: i,
+                        rows_scanned: p.rows_scanned,
+                        parallelism: p.parallelism,
+                        morsels: p.morsels,
+                    };
+                    (GroupTable::from_raw(p.keys, p.accs), scan, p.used_view)
+                }
+            };
+            if i == 0 {
+                used_view = view;
+            } else if used_view != view {
+                views_agree = false;
+            }
+            table.merge(partial);
+            per_shard.push(scan);
+        }
+        let rows_scanned = per_shard.iter().map(|s| s.rows_scanned).sum();
+        let parallelism = per_shard.iter().map(|s| s.parallelism).max().unwrap_or(1);
+        let morsels = per_shard.iter().map(|s| s.morsels).sum();
+        Ok(GetInternal {
+            schema: schema.clone(),
+            group_by: q.group_by.clone(),
+            layout: layout.clone(),
+            table,
+            measures: q.measures.clone(),
+            used_view: if views_agree { used_view } else { None },
+            rows_scanned,
+            parallelism,
+            morsels,
+            per_shard,
+        })
+    }
+
+    /// The remaining budget to forward with a remote shard request.
+    fn shard_budget(&self) -> ShardBudget {
+        match &self.governor {
+            Some(g) => ShardBudget {
+                max_rows: g.remaining_rows(),
+                deadline_ms: g.remaining_time().map(|d| d.as_millis() as u64),
+            },
+            None => ShardBudget::default(),
+        }
+    }
+
+    /// Runs the scan/aggregate stage of `q` and returns the raw partial
+    /// aggregate — the shard-node side of scatter-gather execution (the
+    /// serve layer exposes this as the `partial` protocol operation).
+    pub fn get_partial(&self, q: &CubeQuery) -> Result<ShardPartial, EngineError> {
+        let internal = self.run_get(q)?;
+        let GetInternal { table, used_view, rows_scanned, parallelism, morsels, .. } = internal;
+        let (keys, accs) = table.into_raw();
+        Ok(ShardPartial { keys, accs, used_view, rows_scanned, parallelism, morsels })
     }
 
     fn get_from_view(
@@ -952,6 +1135,7 @@ impl Engine {
             rows_scanned: n,
             parallelism: run.parallelism,
             morsels: run.morsels,
+            per_shard: Vec::new(),
         })
     }
 
@@ -1052,6 +1236,7 @@ impl Engine {
                     rows_scanned,
                     parallelism: 1,
                     morsels: 0,
+                    per_shard: Vec::new(),
                 });
             }
         }
@@ -1084,6 +1269,7 @@ impl Engine {
             rows_scanned: n,
             parallelism: run.parallelism,
             morsels: run.morsels,
+            per_shard: Vec::new(),
         })
     }
 
@@ -1155,6 +1341,7 @@ fn materialize(internal: GetInternal) -> GetOutcome {
         rows_scanned,
         parallelism,
         morsels,
+        per_shard,
     } = internal;
     let (keys, cols) = table.finish();
     let arity = group_by.arity();
@@ -1173,7 +1360,7 @@ fn materialize(internal: GetInternal) -> GetOutcome {
     let mut cube = DerivedCube::from_parts(schema, group_by, coord_cols, columns)
         .expect("engine-produced columns are consistent");
     cube.sort_by_coordinates();
-    GetOutcome { cube, used_view, rows_scanned, parallelism, morsels }
+    GetOutcome { cube, used_view, rows_scanned, parallelism, morsels, per_shard }
 }
 
 /// Convenience used by tests and the assess runtime: the coordinate of a

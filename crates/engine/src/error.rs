@@ -36,6 +36,10 @@ pub enum EngineError {
     /// A parallel scan worker panicked; the panic was contained at the
     /// pool boundary and the scan failed cleanly.
     WorkerPanicked,
+    /// A shard of a scatter-gather execution failed or could not be
+    /// reached; the whole query aborts — no torn or partial cube is ever
+    /// returned. `shard` names the shard (and transport, if remote).
+    ShardUnavailable { shard: String, reason: String },
 }
 
 impl fmt::Display for EngineError {
@@ -54,6 +58,9 @@ impl fmt::Display for EngineError {
                 write!(f, "injected fault at {site} #{ordinal}")
             }
             EngineError::WorkerPanicked => write!(f, "a parallel scan worker panicked"),
+            EngineError::ShardUnavailable { shard, reason } => {
+                write!(f, "{shard} unavailable: {reason}")
+            }
         }
     }
 }

@@ -224,6 +224,18 @@ impl ResourceGovernor {
     pub fn cells_emitted(&self) -> u64 {
         self.cells.load(Ordering::Relaxed)
     }
+
+    /// The unspent row budget, if one is set. A scatter-gather coordinator
+    /// forwards this to remote shards so the **global** budget is the
+    /// minimum that wins, not `limit × shards`.
+    pub fn remaining_rows(&self) -> Option<u64> {
+        self.max_rows.map(|limit| limit.saturating_sub(self.rows.load(Ordering::Relaxed)))
+    }
+
+    /// Time left before the deadline, if one is set (zero once expired).
+    pub fn remaining_time(&self) -> Option<Duration> {
+        self.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
 }
 
 /// How many loop iterations a scan runs between cooperative [`check`]s.

@@ -40,6 +40,7 @@ pub mod maintain;
 pub mod metrics;
 pub mod pool;
 pub mod predicate;
+pub mod shard;
 pub mod sqlgen;
 pub(crate) mod wide;
 
@@ -51,3 +52,6 @@ pub use key::KeyLayout;
 pub use maintain::MaintainOutcome;
 pub use metrics::{EngineMetrics, EngineMetricsSnapshot, ScanPath};
 pub use pool::{PoolStats, WorkerPool};
+pub use shard::{
+    merge_shard_scans, Shard, ShardBudget, ShardPartial, ShardScan, ShardSet, ShardTransport,
+};

@@ -123,7 +123,7 @@ pub fn append(
 /// member id of its hierarchy's finest level, mirroring the check
 /// [`CubeBinding::new`] runs on the seed table. Rejecting here keeps the
 /// binding's invariant without re-validating the whole grown table.
-fn validate_batch(binding: &CubeBinding, batch: &[Column]) -> Result<(), EngineError> {
+pub(crate) fn validate_batch(binding: &CubeBinding, batch: &[Column]) -> Result<(), EngineError> {
     let schema = binding.schema();
     for (hi, h) in schema.hierarchies().iter().enumerate() {
         let fk = binding.fk_column(hi);

@@ -135,5 +135,12 @@ pub(crate) fn get_wide(
         .collect();
     let mut cube = DerivedCube::from_parts(schema, q.group_by.clone(), coord_cols, columns)?;
     cube.sort_by_coordinates();
-    Ok(GetOutcome { cube, used_view: None, rows_scanned: n, parallelism: 1, morsels })
+    Ok(GetOutcome {
+        cube,
+        used_view: None,
+        rows_scanned: n,
+        parallelism: 1,
+        morsels,
+        per_shard: Vec::new(),
+    })
 }

@@ -14,9 +14,9 @@ use assess_core::ast::AssessStatement;
 use assess_core::exec::AssessRunner;
 use assess_core::plan::Strategy;
 use assess_core::AssessError;
-use olap_engine::{Engine, EngineConfig, EngineMetrics, ResourceGovernor, WorkerPool};
+use olap_engine::{Engine, EngineConfig, EngineMetrics, ResourceGovernor, ShardSet, WorkerPool};
 use olap_model::{AggOp, CubeSchema, HierarchyBuilder, MeasureDef};
-use olap_storage::{binding::DimInfo, Catalog, Column, CubeBinding, Table};
+use olap_storage::{binding::DimInfo, Catalog, Column, CubeBinding, ShardScheme, Table};
 use proptest::prelude::*;
 
 /// Tiny morsels so even this fixture spans many of them.
@@ -171,6 +171,61 @@ fn instrumented(cat: &Arc<Catalog>, pool: &Arc<WorkerPool>, threads: usize) -> I
     Instrumented { runner: AssessRunner::new(engine), metrics, governor }
 }
 
+/// The same instrumented runner, but scatter-gathering over `shards`
+/// in-process range shards of the SALES fact (cut by `mkey`, domain 6).
+/// Local shards share the coordinator's governor, pool and registry, so
+/// the four observers must still see one consistent total.
+fn instrumented_sharded(
+    cat: &Arc<Catalog>,
+    pool: &Arc<WorkerPool>,
+    threads: usize,
+    shards: usize,
+) -> Instrumented {
+    let fact = cat.table("sales").expect("sales fact");
+    let binding = cat.binding("SALES").expect("SALES binding");
+    let scheme = ShardScheme::range("mkey", 6, shards);
+    let parts = scheme.partition(fact.as_ref()).expect("fact partitions");
+    let mut shard_cats = Vec::with_capacity(parts.len());
+    for part in parts {
+        let shard = Arc::new(Catalog::new());
+        shard.register_table(part);
+        shard.register_binding("SALES", binding.as_ref().clone());
+        shard_cats.push(shard);
+    }
+    let coordinator = Arc::new(Catalog::new());
+    coordinator.register_table(fact.take_rows(&[]));
+    coordinator.register_binding("SALES", binding.as_ref().clone());
+    let set = ShardSet::local(scheme, shard_cats).expect("shard set builds");
+
+    let config = EngineConfig {
+        morsel_rows: MORSEL,
+        max_threads: threads,
+        parallel_threshold: 1,
+        ..EngineConfig::default()
+    };
+    let metrics = Arc::new(EngineMetrics::new());
+    let governor = Arc::new(ResourceGovernor::unlimited());
+    let engine = Engine::with_config(coordinator, config)
+        .with_worker_pool(pool.clone())
+        .with_metrics(metrics.clone())
+        .with_governor(governor.clone())
+        .with_shards(Arc::new(set));
+    Instrumented { runner: AssessRunner::new(engine), metrics, governor }
+}
+
+/// Collects every `shard(i)` span in the tree as `(shard index, rows)`.
+fn shard_spans(spans: &[assess_core::obs::TraceSpan]) -> Vec<(usize, u64)> {
+    let mut found = Vec::new();
+    for span in spans {
+        if let Some(index) = span.name.strip_prefix("shard(").and_then(|r| r.strip_suffix(')')) {
+            let scan = span.scan.expect("shard spans carry scan stats");
+            found.push((index.parse().expect("shard index"), scan.rows_scanned));
+        }
+        found.extend(shard_spans(&span.children));
+    }
+    found
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -222,6 +277,92 @@ proptest! {
                         // With recording compiled out the registry must
                         // stay exactly where it was.
                         prop_assert_eq!(ctx.metrics.snapshot(), before);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The four-way equality extends to scatter-gather: a traced sharded
+    /// run emits one `shard(i)` span per shard per engine scan, every scan
+    /// span in the tree IS a shard span, and their rows sum to the trace
+    /// total — which must equal the report, the governor's charge, the
+    /// registry delta, and the report's per-shard stage.
+    #[test]
+    fn sharded_trace_spans_account_for_every_row(
+        seed in any::<u64>(),
+        extra in 64usize..512,
+        shards in 2usize..5,
+    ) {
+        let cat = catalog(seed, extra);
+        let pool = Arc::new(WorkerPool::new(7));
+        for (name, stmt) in intentions() {
+            for strategy in
+                [Strategy::Naive, Strategy::JoinOptimized, Strategy::PivotOptimized]
+            {
+                for threads in [1usize, 2, 8] {
+                    let ctx = instrumented_sharded(&cat, &pool, threads, shards);
+                    let before = ctx.metrics.snapshot();
+                    let (_, report, tree) = match ctx.runner.run_traced(&stmt, strategy) {
+                        Ok(ok) => ok,
+                        Err(AssessError::InfeasibleStrategy { .. }) => continue,
+                        Err(e) => return Err(TestCaseError::fail(
+                            format!("{name}/{strategy}@{threads}x{shards}: {e}"),
+                        )),
+                    };
+                    let per_span = shard_spans(&tree.spans);
+                    // Every engine scan fans out: scan spans and shard
+                    // spans are the same set, and each fan-out covers each
+                    // shard exactly once.
+                    prop_assert_eq!(
+                        per_span.len(), tree.scan_spans(),
+                        "{}/{}: non-shard scan spans in a sharded run", name, strategy
+                    );
+                    prop_assert!(
+                        per_span.len() % shards == 0 && !per_span.is_empty(),
+                        "{}/{}: {} shard spans is not a whole fan-out of {}",
+                        name, strategy, per_span.len(), shards
+                    );
+                    for want in 0..shards {
+                        prop_assert_eq!(
+                            per_span.iter().filter(|(i, _)| *i == want).count(),
+                            per_span.len() / shards,
+                            "{}/{}: shard {} missing from a fan-out", name, strategy, want
+                        );
+                    }
+
+                    let span_rows: u64 = per_span.iter().map(|(_, r)| r).sum();
+                    prop_assert_eq!(
+                        span_rows, tree.rows_scanned(),
+                        "{}/{}: shard spans vs trace total", name, strategy
+                    );
+                    prop_assert_eq!(
+                        span_rows, report.rows_scanned as u64,
+                        "{}/{}: shard spans vs report", name, strategy
+                    );
+                    prop_assert_eq!(
+                        span_rows, ctx.governor.rows_scanned(),
+                        "{}/{}: shard spans vs governor", name, strategy
+                    );
+                    #[cfg(feature = "obs")]
+                    prop_assert_eq!(
+                        span_rows, ctx.metrics.snapshot().delta(&before).rows_scanned,
+                        "{}/{}: shard spans vs registry", name, strategy
+                    );
+                    #[cfg(not(feature = "obs"))]
+                    prop_assert_eq!(ctx.metrics.snapshot(), before);
+
+                    // The report's shard stage is the merged view of the
+                    // same fan-outs: same indices, same row total.
+                    prop_assert_eq!(report.shards.len(), shards, "{}: report stage", name);
+                    let stage_rows: u64 =
+                        report.shards.iter().map(|s| s.rows_scanned as u64).sum();
+                    prop_assert_eq!(
+                        stage_rows, span_rows,
+                        "{}/{}: report shard stage vs spans", name, strategy
+                    );
+                    for (i, scan) in report.shards.iter().enumerate() {
+                        prop_assert_eq!(scan.shard, i, "{}: stage order", name);
                     }
                 }
             }

@@ -86,7 +86,20 @@ pub struct LineClient {
 impl LineClient {
     /// Connects and consumes the server's hello line.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<LineClient> {
+        LineClient::connect_with_read_timeout(addr, None)
+    }
+
+    /// Like [`Self::connect`], but with a socket read timeout installed
+    /// *before* the hello line is consumed, so even a peer that accepts and
+    /// then stalls cannot block the caller forever. Used by the shard
+    /// transport, whose coordinator must turn a hung node into a structured
+    /// error instead of hanging the whole fan-out.
+    pub fn connect_with_read_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Option<Duration>,
+    ) -> std::io::Result<LineClient> {
         let writer = TcpStream::connect(addr)?;
+        writer.set_read_timeout(timeout)?;
         // Interactive line protocol: without TCP_NODELAY, Nagle holds a
         // second request back until the first one's response ACKs, which
         // serializes what should be pipelined sends.
@@ -119,6 +132,12 @@ impl LineClient {
     /// The server-assigned session id from the hello line.
     pub fn session_id(&self) -> u64 {
         self.session_id
+    }
+
+    /// Adjusts the socket read timeout (both clones share the descriptor,
+    /// so reads through the buffered reader honor it too).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.writer.set_read_timeout(timeout)
     }
 
     /// Opts into transparent retry of `overloaded`/`queue_full` refusals

@@ -40,6 +40,11 @@
 //!   ceilings and full-resend degradation under lag or load shedding;
 //! * [`server`] — the TCP listener, per-connection reader threads, the
 //!   fixed executor pool that drives the engine, and graceful shutdown;
+//! * [`shard`] — scatter-gather over the wire: the `partial` operation's
+//!   query/accumulator codec and [`RemoteShard`], a
+//!   [`ShardTransport`](olap_engine::ShardTransport) that lets one
+//!   `assess-serve` act as frontend over shard-node `assess-serve`
+//!   processes (started with `--shard-of`);
 //! * [`client`] — a small blocking line client used by the test suite, the
 //!   CI smoke job and the throughput benchmark.
 
@@ -49,6 +54,7 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 pub mod session;
+pub mod shard;
 pub mod subscribe;
 pub mod tenant;
 
@@ -58,5 +64,6 @@ pub use client::{LineClient, RetryPolicy};
 pub use protocol::{parse_request, Op, ProtoError, Request, RunFormat, RunOptions};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use session::{HistoryEntry, Session, SessionRegistry};
+pub use shard::{RemoteShard, DEFAULT_SHARD_TIMEOUT};
 pub use subscribe::{apply_diff, diff_cells, index_cells, DiffFrame, SubscriptionManager};
 pub use tenant::{TenantDirectory, TenantId, TenantSpec, ANONYMOUS};

@@ -61,6 +61,21 @@ pub struct BatchOptions {
 /// Upper bound on statements per batch, to bound planning memory.
 pub const MAX_BATCH_STATEMENTS: usize = 256;
 
+/// Parsed fields of a `partial` request — the shard-node side of
+/// scatter-gather execution. The coordinator sends the planned cube query
+/// (encoded by [`crate::shard::encode_query`]) plus its *remaining* budget;
+/// the node runs the scan/aggregate stage and answers with the raw
+/// pre-finalize accumulator state.
+#[derive(Debug, Clone)]
+pub struct PartialOptions {
+    /// The encoded cube query, decoded by [`crate::shard::decode_query`].
+    pub query: Value,
+    /// Rows this node may still scan (the coordinator's remaining budget).
+    pub max_rows: Option<u64>,
+    /// Milliseconds until the coordinator's deadline.
+    pub deadline_ms: Option<u64>,
+}
+
 /// One protocol operation.
 #[derive(Debug, Clone)]
 pub enum Op {
@@ -115,6 +130,17 @@ pub enum Op {
     Unsubscribe {
         target: u64,
     },
+    /// Runs the scan/aggregate stage of one planned cube query and answers
+    /// with the raw partial aggregate — the shard-node side of
+    /// scatter-gather execution. Requires an id: the coordinator cancels a
+    /// fan-out by cancelling every in-flight partial.
+    Partial(PartialOptions),
+    /// Current row count of one table: `{"op":"rows","table":"lineorder"}`.
+    /// A quick op (answered inline) the coordinator uses for cost
+    /// estimation across remote shards.
+    Rows {
+        table: String,
+    },
 }
 
 impl Op {
@@ -136,6 +162,8 @@ impl Op {
             Op::Append { .. } => "append",
             Op::Subscribe { .. } => "subscribe",
             Op::Unsubscribe { .. } => "unsubscribe",
+            Op::Partial(_) => "partial",
+            Op::Rows { .. } => "rows",
         }
     }
 }
@@ -345,6 +373,29 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
             target: get_u64(&value, "target").ok_or_else(|| {
                 ProtoError::new("bad_request", "`unsubscribe` needs integer `target`")
             })?,
+        },
+        "partial" => {
+            if id.is_none() {
+                // Like `run`: the id is the cancellation handle of the
+                // shard-side scan.
+                return Err(ProtoError::new("bad_request", "`partial` requires an `id`"));
+            }
+            let query = match value.get("query") {
+                Some(query @ Value::Object(_)) => query.clone(),
+                _ => {
+                    return Err(ProtoError::new("bad_request", "`partial` needs a `query` object"))
+                }
+            };
+            Op::Partial(PartialOptions {
+                query,
+                max_rows: get_u64(&value, "max_rows"),
+                deadline_ms: get_u64(&value, "deadline_ms"),
+            })
+        }
+        "rows" => Op::Rows {
+            table: get_str(&value, "table")
+                .map(str::to_string)
+                .ok_or_else(|| ProtoError::new("bad_request", "missing string field `table`"))?,
         },
         other => return Err(ProtoError::new("unknown_op", format!("unknown op `{other}`"))),
     };
@@ -562,6 +613,45 @@ mod tests {
             r#"{"op":"append","id":1,"cube":"SSB","rows":[1,2]}"#,
             r#"{"op":"subscribe","id":1}"#,
             r#"{"op":"unsubscribe"}"#,
+        ] {
+            assert_eq!(parse_request(bad).unwrap_err().code, "bad_request", "{bad}");
+        }
+    }
+
+    #[test]
+    fn parses_partial_and_rows() {
+        let req = parse_request(
+            r#"{"op":"partial","id":2,"query":{"cube":"SSB"},"max_rows":500,"deadline_ms":100}"#,
+        )
+        .unwrap();
+        match req.op {
+            Op::Partial(opts) => {
+                assert_eq!(get_str(&opts.query, "cube"), Some("SSB"));
+                assert_eq!(opts.max_rows, Some(500));
+                assert_eq!(opts.deadline_ms, Some(100));
+            }
+            other => panic!("wrong op: {other:?}"),
+        }
+        // The budget fields are optional (absent = unlimited).
+        let bare = parse_request(r#"{"op":"partial","id":3,"query":{"cube":"SSB"}}"#).unwrap();
+        match bare.op {
+            Op::Partial(opts) => {
+                assert_eq!(opts.max_rows, None);
+                assert_eq!(opts.deadline_ms, None);
+            }
+            other => panic!("wrong op: {other:?}"),
+        }
+        let rows = parse_request(r#"{"op":"rows","table":"lineorder"}"#).unwrap();
+        match rows.op {
+            Op::Rows { table } => assert_eq!(table, "lineorder"),
+            other => panic!("wrong op: {other:?}"),
+        }
+        // No id / missing or malformed query / missing table.
+        for bad in [
+            r#"{"op":"partial","query":{"cube":"SSB"}}"#,
+            r#"{"op":"partial","id":1}"#,
+            r#"{"op":"partial","id":1,"query":[1]}"#,
+            r#"{"op":"rows"}"#,
         ] {
             assert_eq!(parse_request(bad).unwrap_err().code, "bad_request", "{bad}");
         }

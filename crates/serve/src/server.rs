@@ -38,14 +38,15 @@ use assess_core::{
     explain, stmt, AssessError, AssessStatement, AssessedCube, ExecutionPolicy, Strategy,
 };
 use olap_engine::predicate::CompiledFilter;
-use olap_engine::{CancelToken, Engine, WorkerPool};
+use olap_engine::{CancelToken, Engine, EngineError, ResourceGovernor, WorkerPool};
 use olap_storage::Column;
 use serde::Value;
 
 use crate::admission::{self, Admission, FairQueue, Permit, ShedLevel};
 use crate::cache::{cache_key, policy_fingerprint, CacheStats, EntryScope, ResultCache};
-use crate::protocol::{self, n, s, BatchOptions, Op, RunFormat, RunOptions};
+use crate::protocol::{self, n, s, BatchOptions, Op, PartialOptions, RunFormat, RunOptions};
 use crate::session::{HistoryEntry, Session, SessionRegistry};
+use crate::shard;
 use crate::subscribe::{self, SubscriptionManager};
 use crate::tenant::{TenantDirectory, ANONYMOUS};
 
@@ -131,13 +132,15 @@ type SharedWriter = Arc<Mutex<TcpStream>>;
 type SubChannel = (SharedWriter, Arc<Session>);
 
 /// What an admitted job executes: a single `run`, a `batch` group, a
-/// fact-batch `append`, or a `subscribe` registration (which evaluates its
-/// statement once for the baseline).
+/// fact-batch `append`, a `subscribe` registration (which evaluates its
+/// statement once for the baseline), or a shard node's `partial`
+/// scan/aggregate stage on behalf of a scatter-gather coordinator.
 enum Payload {
     Run(RunOptions),
     Batch(BatchOptions),
     Append { cube: String, rows: Value },
     Subscribe { statement: String },
+    Partial(PartialOptions),
 }
 
 /// One admitted `run` or `batch`, queued for the executor pool. Dropping
@@ -610,6 +613,29 @@ fn handle_line(shared: &Arc<Shared>, session: &Arc<Session>, writer: &SharedWrit
             enqueue_job(shared, session, writer, id, Payload::Subscribe { statement });
             return; // the executor writes the response
         }
+        Op::Partial(opts) => {
+            // Partials are real scans: they queue behind the same
+            // admission control as runs, so a frontend fanning out cannot
+            // starve a shard node's direct clients.
+            enqueue_job(shared, session, writer, id, Payload::Partial(opts));
+            return; // the executor writes the response
+        }
+        Op::Rows { table } => {
+            // Quick op: a row-count probe for coordinator cost models.
+            // Answered from the shard set when this server is itself a
+            // sharded frontend (its local fact tables are empty shells).
+            let counted = match shared.engine.shards() {
+                Some(set) => set.total_rows(&table).map_err(|e| e.to_string()),
+                None => {
+                    let table = shared.engine.catalog().table(&table);
+                    table.map(|t| t.n_rows()).map_err(|e| e.to_string())
+                }
+            };
+            match counted {
+                Ok(rows) => protocol::ok_response(id, vec![("rows", n(rows as u64))]),
+                Err(message) => protocol::error_response(id, "bad_request", &message),
+            }
+        }
     };
     write_line(writer, &response);
 }
@@ -683,6 +709,7 @@ fn executor_loop(shared: Arc<Shared>) {
             Payload::Batch(opts) => execute_batch(&shared, &job, opts),
             Payload::Append { cube, rows } => execute_append(&shared, &job, cube, rows),
             Payload::Subscribe { statement } => execute_subscribe(&shared, &job, statement),
+            Payload::Partial(opts) => execute_partial(&shared, &job, opts),
         };
         let counters = shared.admission.counters(job.permit.tenant());
         counters.completed.fetch_add(1, Ordering::Relaxed);
@@ -839,6 +866,13 @@ fn execute_run(shared: &Shared, job: &Job, opts: &RunOptions) -> Value {
                     shared.runs.failed.fetch_add(1, Ordering::Relaxed);
                     "budget_exceeded"
                 }
+                AssessError::Engine(EngineError::ShardUnavailable { .. }) => {
+                    // A shard died or stalled mid-fan-out: the run is
+                    // aborted whole (never a torn cube) with a code the
+                    // client can retry on once the shard returns.
+                    shared.runs.failed.fetch_add(1, Ordering::Relaxed);
+                    "shard_unavailable"
+                }
                 _ => {
                     shared.runs.failed.fetch_add(1, Ordering::Relaxed);
                     "execution_error"
@@ -983,6 +1017,10 @@ fn execute_batch(shared: &Shared, job: &Job, opts: &BatchOptions) -> Value {
                                 shared.runs.failed.fetch_add(1, Ordering::Relaxed);
                                 "budget_exceeded"
                             }
+                            AssessError::Engine(EngineError::ShardUnavailable { .. }) => {
+                                shared.runs.failed.fetch_add(1, Ordering::Relaxed);
+                                "shard_unavailable"
+                            }
                             _ => {
                                 shared.runs.failed.fetch_add(1, Ordering::Relaxed);
                                 "execution_error"
@@ -1060,6 +1098,76 @@ fn statement_error(code: &str, message: &str, diagnostics: &[Diagnostic], source
         fields.push(("diagnostics", protocol::diagnostics_json(diagnostics, Some(source))));
     }
     protocol::obj(fields)
+}
+
+/// Executes a `partial` job on a shard node: decode the coordinator's
+/// planned query, run just the scan/aggregate stage under a governor
+/// clamped to min(forwarded budget, server ceiling), and answer with the
+/// raw accumulator state. Engine failures travel with their structured
+/// fields so the coordinator reconstructs the exact error
+/// ([`shard::engine_error_response`]).
+fn execute_partial(shared: &Shared, job: &Job, opts: &PartialOptions) -> Value {
+    let id = Some(job.request_id);
+    let t0 = Instant::now();
+    if job.token.is_cancelled() {
+        shared.runs.cancelled.fetch_add(1, Ordering::Relaxed);
+        return protocol::error_response(id, "cancelled", "cancelled while queued");
+    }
+    let query = match shard::decode_query(&opts.query) {
+        Ok(query) => query,
+        Err(message) => return protocol::error_response(id, "bad_request", &message),
+    };
+
+    // Min-wins between the coordinator's remaining budget and this
+    // server's own ceiling; the job token keeps `cancel` (and dropped
+    // connections) working for partials too.
+    let ceiling = &shared.config.ceiling;
+    let mut governor = ResourceGovernor::unlimited().with_cancel_token(job.token.clone());
+    let forwarded = opts.deadline_ms.map(Duration::from_millis);
+    if let Some(deadline) = match (forwarded, ceiling.deadline) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    } {
+        governor = governor.with_timeout(deadline);
+    }
+    if let Some(max_rows) = match (opts.max_rows, ceiling.max_rows_scanned) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    } {
+        governor = governor.with_max_rows_scanned(max_rows);
+    }
+
+    let engine = shared.engine.clone().with_governor(Arc::new(governor));
+    match engine.get_partial(&query) {
+        Ok(partial) => {
+            shared.runs.executed.fetch_add(1, Ordering::Relaxed);
+            let elapsed_ms = ms(t0.elapsed());
+            job.session.record(HistoryEntry {
+                statement: format!("partial({})", query.cube),
+                outcome: "ok".to_string(),
+                elapsed_ms,
+                cells: partial.keys.len(),
+            });
+            let mut fields = shard::partial_fields(&partial);
+            fields.push(("elapsed_ms", n(elapsed_ms)));
+            protocol::ok_response(id, fields)
+        }
+        Err(e) => {
+            if matches!(e, EngineError::Cancelled) {
+                shared.runs.cancelled.fetch_add(1, Ordering::Relaxed);
+            } else {
+                shared.runs.failed.fetch_add(1, Ordering::Relaxed);
+            }
+            let elapsed_ms = ms(t0.elapsed());
+            job.session.record(HistoryEntry {
+                statement: format!("partial({})", query.cube),
+                outcome: "failed".to_string(),
+                elapsed_ms,
+                cells: 0,
+            });
+            shard::engine_error_response(id, &e)
+        }
+    }
 }
 
 // ----------------------------------------------------- ingest & subscribe

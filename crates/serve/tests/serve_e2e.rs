@@ -80,6 +80,22 @@ fn stat_u64(stats: &Value, path: &[&str]) -> u64 {
     v.as_f64().unwrap_or_else(|| panic!("stats {path:?} not a number")) as u64
 }
 
+/// Condition-polls `stats` until `check` passes or a 5s deadline hits —
+/// the fixture for asserting on state the server updates asynchronously
+/// (session reaping, queue drain); a fixed sleep here would flake.
+fn wait_for_stats(client: &mut LineClient, what: &str, check: impl Fn(&Value) -> bool) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let mut last = Value::Null;
+    while std::time::Instant::now() < deadline {
+        last = client.stats().expect("stats responds");
+        if check(&last) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("server never converged on {what}: {last:?}");
+}
+
 // ----------------------------------------------------------- basic session
 
 #[test]
@@ -465,10 +481,14 @@ fn idle_sessions_are_evicted() {
     };
     assert!(evicted, "idle session was not evicted");
 
+    // The notice proves the eviction; the reaper's accounting and the
+    // close bookkeeping land asynchronously, so poll rather than assert a
+    // single racy snapshot.
     let mut probe = connect(&handle);
-    let stats = probe.stats().unwrap();
-    assert!(stat_u64(&stats, &["sessions", "idle_evicted"]) >= 1);
-    assert_eq!(stat_u64(&stats, &["sessions", "active"]), 1, "only the probe remains");
+    wait_for_stats(&mut probe, "idle eviction accounting", |stats| {
+        stat_u64(stats, &["sessions", "idle_evicted"]) >= 1
+            && stat_u64(stats, &["sessions", "active"]) == 1
+    });
 
     handle.shutdown();
 }

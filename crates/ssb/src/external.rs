@@ -93,7 +93,9 @@ pub fn gen_external(
             let factor = 1.0 + config.noise * (2.0 * rng.gen::<f64>() - 1.0);
             ckeys.push(c as i64);
             dkeys.push(jan1);
-            values.push(expectation * factor);
+            // Integer-valued like the SSB measures: exact under f64
+            // summation in any order (shard merges stay byte-identical).
+            values.push((expectation * factor).round());
         }
     }
     let n = ckeys.len();
@@ -151,10 +153,11 @@ mod tests {
         let cfg = ExternalConfig { coverage: 1.0, noise: 0.0 };
         let (t, _) = gen_external(&cfg, &counts(), &schema, 7);
         let vals = t.column("expected_revenue").unwrap().as_f64().unwrap();
-        // ~2.857 facts per (customer, year) × mean revenue per fact.
-        let expect = (1_000.0 / (50.0 * 7.0)) * mean_revenue_per_fact(20);
+        // ~2.857 facts per (customer, year) × mean revenue per fact,
+        // rounded to the integer grid all measures live on.
+        let expect = ((1_000.0 / (50.0 * 7.0)) * mean_revenue_per_fact(20)).round();
         for &v in vals {
-            assert!((v - expect).abs() < 1e-9);
+            assert_eq!(v, expect);
         }
     }
 

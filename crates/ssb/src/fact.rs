@@ -22,6 +22,11 @@ pub struct FactDomains {
 /// extendedprice · (100 − discount) / 100`, `supplycost` ≈ 60% of the base
 /// price with ±10% noise.
 ///
+/// All measures are **integer-valued**, as in SSB's dbgen (which derives
+/// them with integer arithmetic). Besides fidelity, this makes every `Sum`
+/// exact in `f64` — integer sums are associative, so sharded scatter-gather
+/// and morsel-parallel merges reproduce the sequential result bit for bit.
+///
 /// Generation is chunked: each chunk reseeds from `(seed, chunk index)` so
 /// output is deterministic and, when `parallel` is set, chunks generate on
 /// separate threads with identical results.
@@ -45,8 +50,8 @@ pub fn gen_lineorder(n: usize, domains: FactDomains, seed: u64, parallel: bool) 
             // price-from-name derivation.
             let base_price = 900.0 + (pkey % 2_000) as f64;
             let extendedprice = base_price * quantity;
-            let revenue = extendedprice * (100.0 - discount) / 100.0;
-            let supplycost = base_price * 0.6 * (0.9 + 0.2 * rng.gen::<f64>());
+            let revenue = (extendedprice * (100.0 - discount) / 100.0).round();
+            let supplycost = (base_price * 0.6 * (0.9 + 0.2 * rng.gen::<f64>())).round();
             out.push(
                 ckey,
                 skey,
@@ -234,8 +239,9 @@ mod tests {
         let disc = t.column("discount").unwrap().as_f64().unwrap();
         let rev = t.column("revenue").unwrap().as_f64().unwrap();
         for i in 0..1_000 {
-            let expect = ep[i] * (100.0 - disc[i]) / 100.0;
-            assert!((rev[i] - expect).abs() < 1e-9);
+            let expect = (ep[i] * (100.0 - disc[i]) / 100.0).round();
+            assert_eq!(rev[i], expect);
+            assert_eq!(rev[i].fract(), 0.0, "measures are integer-valued");
         }
     }
 

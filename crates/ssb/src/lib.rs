@@ -33,6 +33,8 @@ pub mod external;
 pub mod fact;
 pub mod generate;
 pub mod names;
+pub mod shard;
 pub mod views;
 
 pub use generate::{SsbConfig, SsbCounts, SsbDataset};
+pub use shard::{shard_dataset, sharded_engine, ShardedSsb};

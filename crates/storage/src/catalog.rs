@@ -262,6 +262,22 @@ impl Catalog {
         Ok(delta)
     }
 
+    /// Records an append delta *without* swapping any table — the
+    /// coordinator side of a sharded append, where the fact rows landed in
+    /// the shards' own catalogs but delta-aware caches watching the
+    /// coordinator's version still need the step explained. Returns the
+    /// delta stamped with the commit's settled version.
+    pub fn commit_delta_only(&self, delta: Delta) -> Arc<Delta> {
+        let mut guard = self.write();
+        let settled = guard.settled;
+        let delta = Arc::new(delta.stamped(settled));
+        guard.deltas.push_back(delta.clone());
+        while guard.deltas.len() > DELTA_HISTORY {
+            guard.deltas.pop_front();
+        }
+        delta
+    }
+
     /// The deltas explaining every mutation since the settled `version`
     /// reading, oldest first — `Some(vec![])` when nothing changed.
     ///

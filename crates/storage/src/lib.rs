@@ -29,6 +29,7 @@ pub mod error;
 pub mod index;
 pub mod mview;
 pub mod persist;
+pub mod shard;
 pub mod table;
 
 pub use binding::CubeBinding;
@@ -41,4 +42,5 @@ pub use encode::{CodeStore, KeyAccess, KeyColumn, Validity};
 pub use error::StorageError;
 pub use index::{BTreeIndex, HashIndex};
 pub use mview::MaterializedAggregate;
+pub use shard::ShardScheme;
 pub use table::{ColumnStat, Table};

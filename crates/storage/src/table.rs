@@ -255,6 +255,53 @@ impl Table {
         Ok(Table { name: self.name.clone(), columns, n_rows: self.n_rows })
     }
 
+    /// Returns a new table holding exactly the given rows, in the given
+    /// order, preserving every column's physical encoding — including key
+    /// domains and dictionaries, so a horizontal partition of a fact table
+    /// still validates against the full dimension tables. This is the
+    /// storage half of the shard partitioner.
+    ///
+    /// # Panics
+    /// When a row index is out of range.
+    pub fn take_rows(&self, rows: &[u32]) -> Table {
+        use crate::encode::{CodeStore, KeyColumn, Validity};
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| {
+                let data = match &c.data {
+                    ColumnData::I64(v) => {
+                        ColumnData::I64(rows.iter().map(|&r| v[r as usize]).collect())
+                    }
+                    ColumnData::F64(v) => {
+                        ColumnData::F64(rows.iter().map(|&r| v[r as usize]).collect())
+                    }
+                    ColumnData::Dict { codes, dict } => {
+                        let subset: Vec<u32> =
+                            rows.iter().map(|&r| codes.get(r as usize)).collect();
+                        let domain = (dict.len() as u32).max(1);
+                        ColumnData::Dict {
+                            codes: CodeStore::from_codes(&subset, domain),
+                            dict: dict.clone(),
+                        }
+                    }
+                    ColumnData::Key(k) => {
+                        let subset: Vec<u32> = rows.iter().map(|&r| k.get(r as usize)).collect();
+                        let mut taken = KeyColumn::new(&subset, k.domain);
+                        if let Some(v) = &k.validity {
+                            let mask: Vec<bool> =
+                                rows.iter().map(|&r| v.is_valid(r as usize)).collect();
+                            taken = taken.with_validity(Validity::from_bools(&mask));
+                        }
+                        ColumnData::Key(taken)
+                    }
+                };
+                Column { name: c.name.clone(), data }
+            })
+            .collect();
+        Table { name: self.name.clone(), columns, n_rows: rows.len() }
+    }
+
     /// Returns a copy with every encoded key column decoded back to plain
     /// `i64` — the uncompressed baseline for storage and throughput
     /// comparisons.

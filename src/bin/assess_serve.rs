@@ -20,6 +20,14 @@
 //!                        JSON; see the README "Multi-tenancy & overload"
 //!                        section for the format (default: anonymous only)
 //!   --max-frame BYTES    longest accepted request line (default 262144)
+//!   --shards N           partition the fact tables into N in-process
+//!                        shards and scatter-gather every scan (default 1)
+//!   --shard-of I/N       act as shard node I of an N-way partitioning:
+//!                        serve only that slice of the catalog (0-based)
+//!   --shard-node ADDR    act as scatter-gather frontend over a shard node
+//!                        at ADDR; repeat once per node, in shard order —
+//!                        every node must run --shard-of with the same
+//!                        --scale and N = the number of --shard-node flags
 //!   --self-check         boot on an ephemeral port, run a scripted client
 //!                        session against it, print a report, and exit
 //! ```
@@ -28,23 +36,28 @@
 //! README for request and response shapes. `--self-check` is the CI smoke
 //! mode: it exercises check → run → traced cached run → stats → metrics →
 //! cancel → shared-scan batch → subscribe → append (live diff frame) →
-//! unsubscribe → auth → rate-limit overload → oversized frame end to end
-//! and exits non-zero if any response deviates.
+//! unsubscribe → auth → rate-limit overload → oversized frame → a 2-shard
+//! scatter-gather run (byte-identical CSV) end to end and exits non-zero
+//! if any response deviates.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use assess_olap::engine::Engine;
+use assess_olap::engine::{Engine, Shard, ShardSet, ShardTransport};
 use assess_olap::serde::Value;
-use assess_olap::serve::{serve, LineClient, ServerConfig, TenantDirectory};
-use assess_olap::ssb::{generate::generate, views, SsbConfig};
+use assess_olap::serve::{serve, LineClient, RemoteShard, ServerConfig, TenantDirectory};
+use assess_olap::ssb::generate::SsbDataset;
+use assess_olap::ssb::{generate::generate, shard::shard_dataset, views, SsbConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config = ServerConfig { addr: "127.0.0.1:7878".to_string(), ..ServerConfig::default() };
     let mut scale = 0.01;
     let mut self_check = false;
+    let mut shards = 1usize;
+    let mut shard_of: Option<(usize, usize)> = None;
+    let mut shard_nodes: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -152,6 +165,28 @@ fn main() -> ExitCode {
                 }
                 _ => return usage("--max-frame expects a positive byte count"),
             },
+            "--shards" => match value("--shards").and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => {
+                    shards = n;
+                    i += 2;
+                }
+                _ => return usage("--shards expects a positive integer"),
+            },
+            "--shard-of" => match value("--shard-of").map(|v| parse_shard_of(&v)) {
+                Some(Some(pair)) => {
+                    shard_of = Some(pair);
+                    i += 2;
+                }
+                Some(None) => return usage("--shard-of expects I/N with 0 <= I < N"),
+                None => return ExitCode::from(2),
+            },
+            "--shard-node" => match value("--shard-node") {
+                Some(addr) => {
+                    shard_nodes.push(addr);
+                    i += 2;
+                }
+                None => return ExitCode::from(2),
+            },
             "--self-check" => {
                 self_check = true;
                 i += 1;
@@ -159,6 +194,13 @@ fn main() -> ExitCode {
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown flag `{other}`")),
         }
+    }
+
+    let topologies = usize::from(shards > 1)
+        + usize::from(shard_of.is_some())
+        + usize::from(!shard_nodes.is_empty());
+    if topologies > 1 {
+        return usage("--shards, --shard-of and --shard-node are mutually exclusive");
     }
 
     if self_check {
@@ -177,11 +219,72 @@ fn main() -> ExitCode {
 
     eprintln!("assess-serve: generating SSB catalog at SF={scale} …");
     let dataset = generate(SsbConfig::with_scale(scale));
-    if let Err(e) = views::register_default_views(&dataset.catalog, &dataset.schema) {
-        eprintln!("assess-serve: cannot materialize default views: {e}");
-        return ExitCode::from(2);
-    }
-    let engine = Engine::new(dataset.catalog.clone());
+    // Topology. SSB generation is seeded and deterministic, so every
+    // process started with the same --scale holds the same dataset: a
+    // frontend and its --shard-of nodes agree on the partitioning without
+    // any data exchange.
+    let engine = if let Some((index, total)) = shard_of {
+        // Shard node: serve only slice `index` of an N-way partitioning.
+        // Its fact tables hold just that dkey range; scans, views and
+        // appends all stay local. Frontends reach it via `partial`.
+        match shard_dataset(&dataset, total) {
+            Ok(deployment) => {
+                eprintln!("assess-serve: serving shard {index}/{total}");
+                Engine::new(deployment.shard_catalogs[index].clone())
+            }
+            Err(e) => {
+                eprintln!("assess-serve: cannot partition the catalog: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else if !shard_nodes.is_empty() {
+        // Scatter-gather frontend: empty-fact coordinator catalog plus one
+        // remote transport per node, in ascending shard order.
+        match shard_dataset(&dataset, shard_nodes.len()) {
+            Ok(deployment) => {
+                eprintln!(
+                    "assess-serve: scatter-gather frontend over {} shard node(s)",
+                    shard_nodes.len()
+                );
+                let transports: Vec<Shard> = shard_nodes
+                    .iter()
+                    .map(|addr| {
+                        Shard::Remote(
+                            Arc::new(RemoteShard::new(addr.clone())) as Arc<dyn ShardTransport>
+                        )
+                    })
+                    .collect();
+                match ShardSet::new(deployment.scheme, transports) {
+                    Ok(set) => Engine::new(deployment.coordinator).with_shards(Arc::new(set)),
+                    Err(e) => {
+                        eprintln!("assess-serve: cannot build the shard set: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("assess-serve: cannot partition the catalog: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else if shards > 1 {
+        match sharded_local_engine(&dataset, shards) {
+            Ok(engine) => {
+                eprintln!("assess-serve: scatter-gather over {shards} in-process shards");
+                engine
+            }
+            Err(e) => {
+                eprintln!("assess-serve: cannot partition the catalog: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        if let Err(e) = views::register_default_views(&dataset.catalog, &dataset.schema) {
+            eprintln!("assess-serve: cannot materialize default views: {e}");
+            return ExitCode::from(2);
+        }
+        Engine::new(dataset.catalog.clone())
+    };
 
     let handle = match serve(engine, config) {
         Ok(handle) => handle,
@@ -193,7 +296,7 @@ fn main() -> ExitCode {
     eprintln!("assess-serve: listening on {}", handle.addr());
 
     if self_check {
-        let outcome = run_self_check(&handle);
+        let outcome = run_self_check(&handle, &dataset);
         handle.shutdown();
         return match outcome {
             Ok(steps) => {
@@ -222,9 +325,30 @@ fn usage(problem: &str) -> ExitCode {
         "usage: assess-serve [--addr HOST:PORT] [--scale S] [--workers N] \
          [--max-sessions N] [--max-queued N] [--cache N] [--idle-timeout SECS] \
          [--max-rows N] [--deadline-ms MS] [--scan-threads N] [--max-threads N] \
-         [--tenants FILE] [--max-frame BYTES] [--self-check]"
+         [--tenants FILE] [--max-frame BYTES] [--shards N] [--shard-of I/N] \
+         [--shard-node ADDR]... [--self-check]"
     );
     ExitCode::from(2)
+}
+
+/// Parses `--shard-of I/N` into `(index, total)`.
+fn parse_shard_of(text: &str) -> Option<(usize, usize)> {
+    let (index, total) = text.split_once('/')?;
+    let index = index.trim().parse::<usize>().ok()?;
+    let total = total.trim().parse::<usize>().ok()?;
+    (index < total).then_some((index, total))
+}
+
+/// A coordinator engine scatter-gathering over `shards` in-process shards
+/// of `dataset` (the `--shards` topology, and the self-check's comparison
+/// server).
+fn sharded_local_engine(
+    dataset: &SsbDataset,
+    shards: usize,
+) -> Result<Engine, assess_olap::engine::EngineError> {
+    let deployment = shard_dataset(dataset, shards)?;
+    let set = ShardSet::local(deployment.scheme, deployment.shard_catalogs)?;
+    Ok(Engine::new(deployment.coordinator).with_shards(Arc::new(set)))
 }
 
 /// Self-check tenant directory: written as JSON to a temp file and loaded
@@ -274,8 +398,13 @@ fn error_code(v: &Value) -> &str {
 /// with incremental view maintenance and a pushed diff frame →
 /// unsubscribe → auth (bad key, then good) → rate-limit overload with a
 /// `retry_after_ms` hint → oversized-frame rejection with the connection
-/// surviving. Returns the number of verified steps.
-fn run_self_check(handle: &assess_olap::serve::ServerHandle) -> Result<u32, String> {
+/// surviving → a 2-shard scatter-gather server answering the same
+/// statement with a byte-identical CSV. Returns the number of verified
+/// steps.
+fn run_self_check(
+    handle: &assess_olap::serve::ServerHandle,
+    dataset: &SsbDataset,
+) -> Result<u32, String> {
     let mut client = LineClient::connect(handle.addr()).map_err(|e| format!("connect: {e}"))?;
 
     let check = client.check(STATEMENT).map_err(|e| format!("check: {e}"))?;
@@ -387,6 +516,39 @@ fn run_self_check(handle: &assess_olap::serve::ServerHandle) -> Result<u32, Stri
         &batch,
     )?;
 
+    // Scatter-gather: a second server partitioned into 2 in-process shards
+    // of the same catalog must answer the same statement with a
+    // byte-identical CSV. SSB measures are integer-valued, so the per-shard
+    // sums merge exactly in any association; the step runs before the
+    // append below so the comparison is against the layout the shards were
+    // cut from (re-partitioning after an append re-clusters the appended
+    // rows into range order, which only exact sums are insensitive to).
+    let reference = client.run_csv(STATEMENT).map_err(|e| format!("reference csv run: {e}"))?;
+    let reference_csv =
+        reference.get("csv").and_then(Value::as_str).unwrap_or_default().to_string();
+    expect(
+        field_bool(&reference, "ok") == Some(true) && !reference_csv.is_empty(),
+        "reference csv run",
+        &reference,
+    )?;
+    let sharded_engine =
+        sharded_local_engine(dataset, 2).map_err(|e| format!("shard the catalog: {e}"))?;
+    let sharded = serve(sharded_engine, ServerConfig::default())
+        .map_err(|e| format!("boot sharded server: {e}"))?;
+    let step = (|| -> Result<(), String> {
+        let mut shard_client =
+            LineClient::connect(sharded.addr()).map_err(|e| format!("connect sharded: {e}"))?;
+        let run = shard_client.run_csv(STATEMENT).map_err(|e| format!("sharded run: {e}"))?;
+        let csv = run.get("csv").and_then(Value::as_str).unwrap_or_default();
+        expect(
+            field_bool(&run, "ok") == Some(true) && csv == reference_csv,
+            "2-shard scatter-gather run is byte-identical",
+            &run,
+        )
+    })();
+    sharded.shutdown();
+    step?;
+
     // Incremental cubes: subscribe to the statement, append two fact rows
     // (foreign keys 0 and 1 are in-domain at every scale), and verify the
     // append commits through incremental view maintenance, pushes a diff
@@ -481,5 +643,5 @@ fn run_self_check(handle: &assess_olap::serve::ServerHandle) -> Result<u32, Stri
     let pong = client.ping().map_err(|e| format!("post-rejection ping: {e}"))?;
     expect(field_bool(&pong, "ok") == Some(true), "connection survives rejection", &pong)?;
 
-    Ok(17)
+    Ok(19)
 }
